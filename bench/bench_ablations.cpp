@@ -1,0 +1,192 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//  A1 - MOSFET subthreshold smoothing (ss_v): Newton robustness vs model
+//       sharpness (the reason the level-1 model is C1-smoothed);
+//  A2 - transient integrator: backward Euler vs trapezoidal accuracy as a
+//       function of step size (why TRAP is the default);
+//  A3 - Monte-Carlo sample count: Wilson-interval shrinkage (what the
+//       benches' N=150..5000 choices buy).
+// (A4, dense-vs-sparse LU, is timed in bench_kernels.)
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/probes.h"
+#include "tech/tech.h"
+#include "util/mathx.h"
+#include "variability/montecarlo.h"
+
+using namespace relsim;
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+namespace {
+
+// Sums Newton iterations over a forced-current sweep into a diode-connected
+// device — the bias point walks straight through the subthreshold knee,
+// which is where a sharp (near-abrupt) model hurts.
+int bias_sweep_iterations(double ss_v, bool* converged) {
+  const TechNode& tech = tech_65nm();
+  Circuit c;
+  const NodeId d = c.node("d");
+  auto& ib = c.add_isource("IB", kGround, d, 1e-12);
+  auto n = spice::make_mos_params(tech, 1.0, 0.1, false);
+  n.ss_v = ss_v;
+  c.add_mosfet("M1", d, d, kGround, kGround, n);
+  int total = 0;
+  *converged = true;
+  spice::DcOptions opt;
+  opt.allow_gmin_stepping = false;  // measure plain Newton only
+  opt.allow_source_stepping = false;
+  for (double i : logspace(1e-12, 1e-4, 17)) {
+    ib.set_dc(i);
+    try {
+      total += spice::dc_operating_point(c, opt).iterations();
+    } catch (const Error&) {
+      *converged = false;
+      total += 1000;  // penalty
+    }
+  }
+  return total;
+}
+
+// Steady-state amplitude error of a sine through RC against the analytic
+// transfer — the ICs are consistent (DC op), so this isolates the
+// integrator's local truncation behaviour.
+double rc_sine_amplitude_error(spice::Integrator integrator,
+                               int steps_per_cycle) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const double f = 1e6;
+  c.add_vsource("V1", in, kGround,
+                std::make_unique<spice::SineWaveform>(0.0, 1.0, f));
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+  spice::TransientOptions opt;
+  opt.dt = 1.0 / f / steps_per_cycle;
+  opt.t_stop = 10.0 / f;
+  opt.integrator = integrator;
+  const auto res = spice::transient_analysis(c, opt, {out});
+  const double amp =
+      0.5 * spice::peak_to_peak(res.time(), res.node(out), 7.0 / f, 10.0 / f);
+  const double fc = 1.0 / (2 * std::numbers::pi * 1e3 * 1e-9);
+  const double expected = 1.0 / std::sqrt(1.0 + std::pow(f / fc, 2));
+  return std::abs(amp - expected);
+}
+
+}  // namespace
+
+namespace {
+
+// Effective subthreshold swing (mV/decade) of the smoothed model: the
+// gate-voltage gap between I_D = 10 pA and 100 pA (deep in the exponential
+// tail, where the swing is ln(10)*ss).
+double subthreshold_swing_mv_per_dec(double ss_v) {
+  auto params = spice::make_mos_params(tech_65nm(), 1.0, 0.1, false);
+  params.ss_v = ss_v;
+  spice::Mosfet m("M1", 1, 2, 3, 4, params);
+  auto vgs_at = [&](double target) {
+    double lo = -0.5, hi = 1.2;
+    for (int i = 0; i < 60; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (m.evaluate(1.0, mid, 0.0, 0.0).id < target ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+  return (vgs_at(1e-10) - vgs_at(1e-11)) * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  bench::ShapeChecks checks;
+
+  // --- A1: subthreshold smoothing ------------------------------------------
+  bench::banner("A1 - MOSFET overdrive smoothing vs Newton robustness "
+                "(forced-current sweep through the subthreshold knee)");
+  TablePrinter a1({"ss_v_mV", "subthreshold_mV_per_dec", "total_iterations",
+                   "all_converged"});
+  a1.set_precision(4);
+  double swing_default = 0.0, swing_sharp = 0.0;
+  bool all_ok = true;
+  int worst_iters = 0;
+  for (double ss : {78e-3, 40e-3, 20e-3, 10e-3, 2e-3, 0.5e-3}) {
+    bool ok = true;
+    const int iters = bias_sweep_iterations(ss, &ok);
+    const double swing = subthreshold_swing_mv_per_dec(ss);
+    a1.add_row({ss * 1e3, swing, static_cast<long long>(iters),
+                std::string(ok ? "yes" : "NO")});
+    if (ss == 78e-3) swing_default = swing;
+    if (ss == 0.5e-3) swing_sharp = swing;
+    all_ok = all_ok && ok;
+    worst_iters = std::max(worst_iters, iters);
+  }
+  a1.print(std::cout);
+
+  // --- A2: integrator accuracy ---------------------------------------------
+  bench::banner("A2 - integrator accuracy: steady-state sine amplitude "
+                "error vs step size");
+  TablePrinter a2({"steps_per_cycle", "err_backward_euler",
+                   "err_trapezoidal", "BE/TRAP"});
+  a2.set_precision(4);
+  double be_order = 0.0, trap_order = 0.0;
+  double prev_be = 0.0, prev_trap = 0.0;
+  for (int spc : {25, 50, 100, 200}) {
+    const double be =
+        rc_sine_amplitude_error(spice::Integrator::kBackwardEuler, spc);
+    const double trap =
+        rc_sine_amplitude_error(spice::Integrator::kTrapezoidal, spc);
+    a2.add_row({static_cast<long long>(spc), be, trap, be / trap});
+    if (prev_be > 0.0) {
+      be_order = std::log2(prev_be / be);
+      trap_order = std::log2(prev_trap / trap);
+    }
+    prev_be = be;
+    prev_trap = trap;
+  }
+  a2.print(std::cout);
+  std::cout << "observed convergence order: BE ~ " << be_order
+            << ", TRAP ~ " << trap_order << "\n";
+
+  // --- A3: MC sample count --------------------------------------------------
+  bench::banner("A3 - yield-estimate confidence vs Monte-Carlo samples");
+  TablePrinter a3({"samples", "estimate", "wilson_lo", "wilson_hi",
+                   "ci_width"});
+  a3.set_precision(4);
+  const MonteCarloEngine mc(99);
+  double width_small = 0.0, width_large = 0.0;
+  for (std::size_t n : {50u, 200u, 800u, 3200u}) {
+    const auto est = mc.estimate_yield(n, [](Xoshiro256& rng, std::size_t) {
+      return rng.uniform01() < 0.85;
+    });
+    const double width = est.interval.hi - est.interval.lo;
+    a3.add_row({static_cast<long long>(n), est.yield(), est.interval.lo,
+                est.interval.hi, width});
+    if (n == 50u) width_small = width;
+    if (n == 3200u) width_large = width;
+  }
+  a3.print(std::cout);
+
+  std::cout << "\nablation claims:\n";
+  checks.check(
+      "the default ss=78mV reproduces a physical subthreshold swing "
+      "(80-110 mV/dec); a near-abrupt model is unphysical (<10 mV/dec)",
+      swing_default > 80.0 && swing_default < 110.0 && swing_sharp < 10.0);
+  checks.check(
+      "plain Newton stays bounded through the subthreshold knee at every "
+      "smoothness setting",
+      all_ok && worst_iters < 600);
+  checks.check("trapezoidal is consistently more accurate than BE",
+               prev_trap < prev_be);
+  checks.check(
+      "TRAP's advantage grows as the step shrinks (higher order: BE ~1, "
+      "TRAP measured > 1.3)",
+      be_order > 0.8 && be_order < 1.4 && trap_order > 1.3);
+  checks.check("Wilson interval shrinks ~sqrt(n): 64x samples ~ 8x tighter",
+               width_small / width_large > 4.0 &&
+                   width_small / width_large < 16.0);
+  return checks.finish();
+}

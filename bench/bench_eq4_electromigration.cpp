@@ -1,0 +1,145 @@
+// E7 — Eq. 4 / Sec. 3.4, electromigration:
+//   MTTF = A J^-2 exp(Ea/kT)                     (Black [6])
+// Series: J and T dependence; Blech-length immunity [7]; the bamboo effect
+// [25]; reservoir/via effect [30]; and the EM-aware sizing flow [25].
+#include <cmath>
+#include <iostream>
+
+#include "aging/em.h"
+#include "bench_util.h"
+#include "em_layout/planner.h"
+#include "stats/regression.h"
+#include "tech/tech.h"
+#include "util/mathx.h"
+#include "util/units.h"
+
+using namespace relsim;
+using aging::EmModel;
+using aging::WireStress;
+
+namespace {
+
+WireStress wire(double j_a_cm2, double width_um, double length_um,
+                double temp_k, const EmModel& em) {
+  WireStress s;
+  s.width_um = width_um;
+  s.length_um = length_um;
+  s.thickness_um = em.tech().metal_thickness_um;
+  s.dc_current_a = j_a_cm2 * width_um * 1e-4 * s.thickness_um * 1e-4;
+  s.rms_current_a = s.dc_current_a;
+  s.temp_k = temp_k;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const EmModel em(tech_65nm().em);
+  bench::ShapeChecks checks;
+
+  // --- Black's law: MTTF vs J ----------------------------------------------
+  bench::banner("Eq. 4: MTTF vs current density (copper, 378K, long wire)");
+  TablePrinter jt({"J_MA_per_cm2", "MTTF_years"});
+  jt.set_precision(4);
+  std::vector<double> js, mttfs;
+  for (double j : {0.3e6, 0.5e6, 1e6, 2e6, 4e6}) {
+    const double mttf =
+        em.mttf_s(wire(j, 1.0, 1e5, 378.0, em)) / units::kSecondsPerYear;
+    jt.add_row({j / 1e6, mttf});
+    js.push_back(j);
+    mttfs.push_back(mttf);
+  }
+  jt.print(std::cout);
+  const auto jfit = fit_power_law(js, mttfs);
+  std::cout << "fitted current exponent n = " << -jfit.slope << "\n";
+
+  // --- Arrhenius temperature dependence -------------------------------------
+  bench::banner("Thermal activation: MTTF vs temperature (J = 1 MA/cm2)");
+  TablePrinter ttab({"T_K", "MTTF_years"});
+  ttab.set_precision(4);
+  std::vector<double> inv_t, ln_mttf;
+  for (double t : {328.0, 353.0, 378.0, 403.0, 428.0}) {
+    const double mttf =
+        em.mttf_s(wire(1e6, 1.0, 1e5, t, em)) / units::kSecondsPerYear;
+    ttab.add_row({t, mttf});
+    inv_t.push_back(1.0 / t);
+    ln_mttf.push_back(std::log(mttf));
+  }
+  ttab.print(std::cout);
+  const auto tfit = fit_line(inv_t, ln_mttf);
+  const double ea_fit = tfit.slope * units::kBoltzmannEv;
+  std::cout << "fitted activation energy = " << ea_fit
+            << " eV (configured " << em.tech().activation_ev << " eV)\n";
+
+  // --- Blech length -----------------------------------------------------------
+  bench::banner("Blech immunity: j*L product sweep (J = 1 MA/cm2)");
+  TablePrinter blech({"L_um", "jL_A_per_cm", "immune", "MTTF_years"});
+  blech.set_precision(4);
+  bool short_immune = false, long_mortal = false;
+  for (double len : {5.0, 10.0, 20.0, 50.0, 100.0, 500.0}) {
+    const auto w = wire(1e6, 1.0, len, 378.0, em);
+    const bool immune = em.blech_immune(w);
+    const double mttf = em.mttf_s(w) / units::kSecondsPerYear;
+    blech.add_row({len, 1e6 * len * 1e-4,
+                   std::string(immune ? "yes" : "no"),
+                   std::isinf(mttf) ? -1.0 : mttf});
+    if (len <= 20.0 && immune) short_immune = true;
+    if (len >= 100.0 && !immune) long_mortal = true;
+  }
+  blech.print(std::cout);
+
+  // --- Bamboo effect -----------------------------------------------------------
+  bench::banner("Bamboo effect: MTTF vs wire width at fixed J = 2 MA/cm2");
+  TablePrinter bam({"width_um", "bamboo_factor", "MTTF_years"});
+  bam.set_precision(4);
+  std::vector<double> widths{0.05, 0.1, 0.2, 0.3, 0.6, 1.2};
+  double narrowest_mttf = 0.0, at_grain_mttf = 0.0;
+  for (double w : widths) {
+    const double mttf =
+        em.mttf_s(wire(2e6, w, 1e5, 378.0, em)) / units::kSecondsPerYear;
+    bam.add_row({w, em.bamboo_factor(w), mttf});
+    if (w == widths.front()) narrowest_mttf = mttf;
+    if (w == 0.3) at_grain_mttf = mttf;
+  }
+  bam.print(std::cout);
+
+  // --- Reservoir effect ---------------------------------------------------------
+  bench::banner("Via reservoir effect [30]");
+  auto good = wire(1e6, 1.0, 1e5, 378.0, em);
+  auto bad = good;
+  bad.good_via_reservoir = false;
+  std::cout << "good via: " << em.mttf_s(good) / units::kSecondsPerYear
+            << " years, poor via: "
+            << em.mttf_s(bad) / units::kSecondsPerYear << " years\n";
+
+  // --- EM-aware sizing flow ------------------------------------------------------
+  bench::banner("EM-aware design flow: widths for a 10-year life at 378K");
+  const em_layout::EmAwarePlanner planner(em, 10.0);
+  TablePrinter plan({"I_mA", "width_um_solid", "width_um_slotted_x16",
+                     "metal_saved_pct"});
+  plan.set_precision(4);
+  for (double i_ma : {1.0, 5.0, 20.0}) {
+    em_layout::WireRequest req;
+    req.current_a = i_ma * 1e-3;
+    req.length_um = 1e4;
+    req.temp_k = 378.0;
+    const auto solid = planner.plan(req);
+    const auto slotted = planner.plan_slotted(req, 16);
+    plan.add_row({i_ma, solid.width_um, slotted.width_um,
+                  100.0 * (1.0 - slotted.width_um / solid.width_um)});
+  }
+  plan.print(std::cout);
+
+  std::cout << "\nEq. 4 / EM shape claims:\n";
+  checks.check("MTTF ~ J^-2 (fitted exponent within 1%)",
+               std::abs(-jfit.slope - 2.0) < 0.02);
+  checks.check("Arrhenius temperature dependence recovers Ea",
+               std::abs(ea_fit / em.tech().activation_ev - 1.0) < 0.02);
+  checks.check("short wires are Blech-immune, long wires are not",
+               short_immune && long_mortal);
+  checks.check("narrow (bamboo) wires live longer than grain-size wires [25]",
+               narrowest_mttf > 5.0 * at_grain_mttf);
+  checks.check("poor via reservoir halves the lifetime [30]",
+               std::abs(em.mttf_s(good) / em.mttf_s(bad) - 2.0) < 1e-9);
+  return checks.finish();
+}

@@ -1,0 +1,110 @@
+// E12 — supporting micro-benchmarks (google-benchmark): the kernels the
+// reproduction spends its time in. Also the evidence behind DESIGN.md's
+// dense-LU-over-sparse choice at MNA sizes of a few dozen unknowns.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "aging/nbti.h"
+#include "linalg/lu.h"
+#include "rng/distributions.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+#include "variability/pelgrom.h"
+#include "variability/sampler.h"
+
+namespace relsim {
+namespace {
+
+void BM_LuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a(n, n);
+  Vector b(n);
+  std::uint64_t seed = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = static_cast<double>(splitmix64(seed) % 1000) / 500.0 - 1.0;
+      rowsum += std::abs(a(i, j));
+    }
+    a(i, i) = rowsum + 1.0;
+    b[i] = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve(a, b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MosfetEvaluate(benchmark::State& state) {
+  spice::Mosfet m("M1", 1, 2, 3, 4,
+                  spice::make_mos_params(tech_65nm(), 2.0, 0.1, false));
+  double vd = 0.3;
+  for (auto _ : state) {
+    vd = vd > 1.0 ? 0.1 : vd + 1e-4;
+    benchmark::DoNotOptimize(m.evaluate(vd, 1.0, 0.0, 0.0));
+  }
+}
+BENCHMARK(BM_MosfetEvaluate);
+
+void BM_DcOperatingPoint_Inverter(benchmark::State& state) {
+  const auto& tech = tech_65nm();
+  spice::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, spice::kGround, tech.vdd);
+  c.add_vsource("VIN", in, spice::kGround, 0.5 * tech.vdd);
+  c.add_mosfet("MN", out, in, spice::kGround, spice::kGround,
+               spice::make_mos_params(tech, 1.0, 0.1, false));
+  c.add_mosfet("MP", out, in, vdd, vdd,
+               spice::make_mos_params(tech, 2.0, 0.1, true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::dc_operating_point(c));
+  }
+}
+BENCHMARK(BM_DcOperatingPoint_Inverter);
+
+void BM_TransientRcStep(benchmark::State& state) {
+  spice::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("V1", in, spice::kGround,
+                std::make_unique<spice::SineWaveform>(0.0, 1.0, 1e6));
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, spice::kGround, 1e-9);
+  spice::TransientOptions opt;
+  opt.dt = 1e-8;
+  opt.t_stop = 1e-5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::transient_analysis(c, opt, {out}));
+  }
+}
+BENCHMARK(BM_TransientRcStep);
+
+void BM_MismatchSampling(benchmark::State& state) {
+  const PelgromModel model(PelgromParams::from_tech(tech_65nm()));
+  const MismatchSampler sampler(model, 1.0, 0.1);
+  Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_pair(rng, 100.0));
+  }
+}
+BENCHMARK(BM_MismatchSampling);
+
+void BM_NbtiClosedForm(benchmark::State& state) {
+  const aging::NbtiModel model;
+  const auto stress = aging::DeviceStress::dc(true, 1.1, 0.0, 1.8, 398.0);
+  double t = 1.0;
+  for (auto _ : state) {
+    t = t > 1e9 ? 1.0 : t * 1.0001;
+    benchmark::DoNotOptimize(model.delta_vt(stress, t));
+  }
+}
+BENCHMARK(BM_NbtiClosedForm);
+
+}  // namespace
+}  // namespace relsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) the regenerated series as aligned tables and
+// (b) a list of SHAPE CHECKS — the qualitative claims of the paper's
+// figure (who wins, direction of trends, where crossovers fall) evaluated
+// as PASS/FAIL. Absolute numbers are not expected to match the authors'
+// silicon; the shape is (see EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace relsim::bench {
+
+class ShapeChecks {
+ public:
+  void check(const std::string& claim, bool pass) {
+    std::cout << (pass ? "  [PASS] " : "  [FAIL] ") << claim << '\n';
+    ++total_;
+    if (pass) ++passed_;
+  }
+
+  /// Prints the summary line and returns the process exit code.
+  int finish() const {
+    std::cout << "\nshape checks: " << passed_ << "/" << total_ << " passed\n";
+    return passed_ == total_ ? 0 : 1;
+  }
+
+ private:
+  int total_ = 0;
+  int passed_ = 0;
+};
+
+inline void banner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace relsim::bench

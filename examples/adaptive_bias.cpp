@@ -1,0 +1,130 @@
+// Knobs & monitors scenario (Sec. 5.2 / Fig. 6), using the AdaptiveSystem
+// API end to end: a 5-stage ring oscillator's frequency (the monitor) drifts
+// below spec as NBTI/HCI slow the inverters down; a discrete supply knob
+// (the tunable circuit part) is retuned by the control algorithm after
+// every mission epoch.
+//
+//   $ ./adaptive_bias
+#include <iostream>
+#include <memory>
+
+#include "adaptive/system.h"
+#include "aging/engine.h"
+#include "aging/hci.h"
+#include "aging/nbti.h"
+#include "spice/analysis.h"
+#include "spice/probes.h"
+#include "tech/tech.h"
+#include "util/table.h"
+
+using namespace relsim;
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+namespace {
+
+constexpr int kStages = 5;
+
+std::unique_ptr<Circuit> build_ring(const TechNode& tech) {
+  auto c = std::make_unique<Circuit>();
+  const NodeId vdd = c->node("vdd");
+  c->add_vsource("VDD", vdd, kGround, tech.vdd);
+  std::vector<NodeId> n;
+  for (int i = 0; i < kStages; ++i) n.push_back(c->node("n" + std::to_string(i)));
+  for (int i = 0; i < kStages; ++i) {
+    const NodeId a = n[static_cast<std::size_t>(i)];
+    const NodeId b = n[static_cast<std::size_t>((i + 1) % kStages)];
+    c->add_mosfet("inv" + std::to_string(i) + "_n", b, a, kGround, kGround,
+                  spice::make_mos_params(tech, 1.0, 0.1, false));
+    c->add_mosfet("inv" + std::to_string(i) + "_p", b, a, vdd, vdd,
+                  spice::make_mos_params(tech, 2.0, 0.1, true));
+    c->add_capacitor("cl" + std::to_string(i), b, kGround, 5e-15);
+  }
+  return c;
+}
+
+spice::TransientOptions ring_transient(const TechNode& tech) {
+  spice::TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 4e-9;
+  opt.use_initial_conditions = true;
+  opt.initial_conditions[1] = tech.vdd;
+  for (int i = 0; i < kStages; ++i) {
+    opt.initial_conditions[i + 2] = (i % 2 == 0) ? 0.0 : tech.vdd;
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  const TechNode& tech = tech_65nm();
+
+  // Age a replica over the mission to obtain the drift timeline (the
+  // workload stress is the ring's own switching).
+  auto victim = build_ring(tech);
+  aging::AgingEngine engine;
+  engine.add_model(std::make_unique<aging::NbtiModel>());
+  engine.add_model(std::make_unique<aging::HciModel>());
+  aging::AgingOptions aopt;
+  aopt.mission.years = 10.0;
+  aopt.mission.temp_k = 398.0;
+  aopt.mission.epochs = 5;
+  const auto report = engine.age(*victim, aopt, [&](Circuit& c) {
+    c.enable_stress_recording();
+    spice::transient_analysis(c, ring_transient(tech), {});
+  });
+
+  // Wrap a replay circuit in the adaptive system: frequency monitor +
+  // supply knob + minimum-frequency spec.
+  auto plant = build_ring(tech);
+  Circuit& c = *plant;
+  adaptive::RingFrequencyMonitor::Setup setup;
+  setup.probe = c.find_node("n0");
+  setup.transient = ring_transient(tech);
+  setup.window_begin_s = 1.5e-9;
+  std::vector<std::unique_ptr<adaptive::Monitor>> monitors;
+  monitors.push_back(
+      std::make_unique<adaptive::RingFrequencyMonitor>("freq", setup));
+  const std::vector<double> vdds{tech.vdd, 1.04 * tech.vdd, 1.08 * tech.vdd,
+                                 1.13 * tech.vdd, 1.18 * tech.vdd};
+  std::vector<std::unique_ptr<adaptive::Knob>> knobs;
+  knobs.push_back(
+      std::make_unique<adaptive::VoltageKnob>("supply", "VDD", vdds));
+
+  // Spec: at most 3% below the fresh frequency.
+  adaptive::RingFrequencyMonitor probe("probe", setup);
+  const double f0 = probe.measure(c);
+  std::vector<adaptive::Spec> specs{{"freq", 0.97 * f0, 1e18}};
+  adaptive::AdaptiveSystem system(c, std::move(monitors), std::move(knobs),
+                                  std::move(specs));
+  std::cout << "fresh frequency " << f0 / 1e9 << " GHz, spec >= "
+            << 0.97 * f0 / 1e9 << " GHz\n\n";
+
+  TablePrinter table({"t_years", "f_open_GHz", "open_in_spec", "knob_VDD_V",
+                      "f_closed_GHz", "closed_in_spec", "rel_power"});
+  table.set_precision(4);
+  for (const auto& epoch : report.epochs) {
+    for (spice::Mosfet* m : c.mosfets()) {
+      m->set_degradation(epoch.device_drift.at(m->name()).to_degradation());
+    }
+    // Open loop: supply parked at nominal.
+    c.device_as<spice::VoltageSource>("VDD").set_dc(tech.vdd);
+    const double f_open = probe.measure(c);
+    // Closed loop: one control iteration over the knob space.
+    const auto closed = system.tune();
+    const double v = vdds[static_cast<std::size_t>(closed.knob_settings[0])];
+    const double f_closed = closed.readings.at("freq");
+    table.add_row({epoch.t_years, f_open / 1e9,
+                   std::string(f_open >= 0.97 * f0 ? "yes" : "NO"), v,
+                   f_closed / 1e9,
+                   std::string(closed.in_spec ? "yes" : "NO"),
+                   (v * v * f_closed) / (tech.vdd * tech.vdd * f0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe loop buys back the aging slowdown with a slightly\n"
+               "higher supply — power rises only when and as much as the\n"
+               "degradation demands, instead of worst-case overdesign.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// EMC susceptibility scenario (Sec. 4): DPI-style immunity scan of the
+// Fig. 3 current reference across the regulated 150 kHz - 1 GHz band [13],
+// reporting the rectified output shift and the immunity threshold.
+//
+//   $ ./emc_immunity
+#include <iostream>
+
+#include "emc/circuits.h"
+#include "emc/emi.h"
+#include "tech/tech.h"
+#include "util/table.h"
+
+using namespace relsim;
+using emc::EmiAnalyzer;
+using emc::Observable;
+
+int main() {
+  const TechNode& tech = tech_65nm();
+  const auto bench = emc::build_current_reference(tech);
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+
+  std::cout << "current reference, I_REF = " << bench.i_ref * 1e6
+            << " uA, quiet I_OUT = " << analyzer.baseline() * 1e6 << " uA\n"
+            << "spec: mean output shift below 5%\n\n";
+
+  emc::EmiOptions opt;
+  opt.settle_cycles = 12;
+  opt.measure_cycles = 20;
+
+  TablePrinter table(
+      {"f_MHz", "shift_pct_at_0V3", "immunity_threshold_V"});
+  table.set_precision(4);
+  for (double f : {1e6, 5e6, 20e6, 100e6, 400e6, 1000e6}) {
+    const auto p = analyzer.measure(0.3, f, opt);
+    const double amp =
+        analyzer.immunity_threshold(f, 0.05 * bench.i_ref, 2.0, opt);
+    table.add_row({f / 1e6, 100.0 * p.shift_rel(), amp});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe shift is always negative: the diode-connected mirror\n"
+               "input rectifies the interference and the filtered gate\n"
+               "carries the lowered mean (Figs. 3-4 of the paper).\n";
+  return 0;
+}

@@ -1,0 +1,183 @@
+// netlist_tool: a miniature command-line front end over the whole library —
+// parse a SPICE-style netlist, then run DC / transient / AC / aging on it.
+//
+//   $ ./netlist_tool <file.cir> op
+//   $ ./netlist_tool <file.cir> tran <t_stop_s> <dt_s> [node...]
+//   $ ./netlist_tool <file.cir> ac <f_lo_hz> <f_hi_hz> <points> <node>
+//   $ ./netlist_tool <file.cir> age <years> [temp_k]
+//
+// Without arguments it runs a built-in demo netlist through all four.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aging/engine.h"
+#include "spice/ac_analysis.h"
+#include "spice/analysis.h"
+#include "spice/netlist_parser.h"
+#include "util/mathx.h"
+#include "tech/tech.h"
+#include "util/table.h"
+
+using namespace relsim;
+using namespace relsim::spice;
+
+namespace {
+
+constexpr const char* kDemoNetlist = R"(demo: common-source amplifier (65nm)
+.tech 65nm
+VDD vdd 0 1.1
+VIN in 0 DC 0.55 AC 1
+RL vdd out 5k
+M1 out in 0 0 nmos W=2u L=0.2u
+CL out 0 100f
+.end
+)";
+
+int run_op(Circuit& c) {
+  const DcResult r = dc_operating_point(c);
+  TablePrinter table({"node", "V"});
+  table.set_precision(6);
+  for (int n = 1; n <= c.node_count(); ++n) {
+    table.add_row({c.node_name(n), r.v(n)});
+  }
+  table.print(std::cout);
+  const auto mosfets = c.mosfets();
+  if (!mosfets.empty()) {
+    TablePrinter devs({"device", "region", "ID_uA", "gm_mS", "ro_kOhm",
+                       "vgs_V", "vds_V"});
+    devs.set_precision(5);
+    for (spice::Mosfet* m : mosfets) {
+      const auto op = m->operating_point(r.x());
+      const char* region = std::abs(op.vgs) < op.vt_eff
+                               ? "subthr"
+                               : (op.saturated ? "sat" : "triode");
+      devs.add_row({m->name(), std::string(region), op.id * 1e6,
+                    std::abs(op.gm) * 1e3,
+                    op.gds != 0.0 ? 1.0 / std::abs(op.gds) / 1e3 : 0.0,
+                    op.vgs, op.vds});
+    }
+    devs.print(std::cout);
+  }
+  std::cout << "(converged in " << r.iterations() << " Newton iterations)\n";
+  return 0;
+}
+
+int run_tran(Circuit& c, double t_stop, double dt,
+             const std::vector<std::string>& nodes) {
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = dt;
+  std::vector<NodeId> probes;
+  std::vector<std::string> headers{"t_s"};
+  if (nodes.empty()) {
+    for (int n = 1; n <= c.node_count(); ++n) probes.push_back(n);
+  } else {
+    for (const auto& name : nodes) probes.push_back(c.find_node(name));
+  }
+  for (NodeId n : probes) headers.push_back("v(" + c.node_name(n) + ")");
+  const auto res = transient_analysis(c, opt, probes);
+  TablePrinter table(headers);
+  table.set_precision(6);
+  // Print ~25 evenly spaced rows regardless of step count.
+  const std::size_t stride = std::max<std::size_t>(1, res.step_count() / 25);
+  for (std::size_t k = 0; k < res.step_count(); k += stride) {
+    std::vector<TablePrinter::Cell> row{res.time()[k]};
+    for (NodeId n : probes) row.push_back(res.node(n)[k]);
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_ac(Circuit& c, double f_lo, double f_hi, int points,
+           const std::string& node) {
+  const NodeId probe = c.find_node(node);
+  const auto res = ac_analysis(c, logspace(f_lo, f_hi, points));
+  TablePrinter table({"f_Hz", "mag_dB", "phase_deg"});
+  table.set_precision(5);
+  const auto db = res.magnitude_db(probe);
+  const auto ph = res.phase(probe);
+  for (std::size_t k = 0; k < res.point_count(); ++k) {
+    table.add_row({res.frequencies()[k], db[k], ph[k] * 180.0 / 3.14159265});
+  }
+  table.print(std::cout);
+  const double fc = res.corner_frequency(probe);
+  if (fc > 0.0) std::cout << "-3dB corner: " << fc << " Hz\n";
+  return 0;
+}
+
+int run_age(Circuit& c, double years, double temp_k, const TechNode* tech) {
+  aging::AgingEngine engine = aging::AgingEngine::standard();
+  aging::AgingOptions opt;
+  opt.mission.years = years;
+  opt.mission.temp_k = temp_k;
+  opt.mission.epochs = 10;
+  // EM checks need the interconnect constants of a technology node.
+  std::unique_ptr<aging::EmModel> em;
+  if (tech != nullptr) em = std::make_unique<aging::EmModel>(tech->em);
+  const auto report = engine.age(c, opt, {}, em.get());
+  TablePrinter table({"device", "dVT_mV", "beta_factor", "gate_leak_uS"});
+  table.set_precision(5);
+  for (const auto& [name, drift] : report.final_epoch().device_drift) {
+    table.add_row({name, drift.dvt * 1e3, drift.beta_factor,
+                   (drift.g_leak_gs + drift.g_leak_gd) * 1e6});
+  }
+  table.print(std::cout);
+  for (const auto& hbd : report.hard_breakdowns) {
+    std::cout << "HARD BREAKDOWN: " << hbd << '\n';
+  }
+  for (const auto& wf : report.wire_failures) {
+    std::cout << "EM WIRE FAILURE: " << wf.wire << " at " << wf.t_fail_years
+              << " years\n";
+  }
+  std::cout << "(re-run op/tran/ac on the same file to see the aged "
+               "behaviour via the library API)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) {
+      std::cout << "no arguments: running the built-in demo netlist\n";
+      auto parsed = parse_netlist(kDemoNetlist);
+      std::cout << "\n-- " << parsed.title << " : op --\n";
+      run_op(*parsed.circuit);
+      std::cout << "\n-- ac 1k..100G, v(out) --\n";
+      run_ac(*parsed.circuit, 1e3, 1e11, 13, "out");
+      std::cout << "\n-- age 10 years --\n";
+      run_age(*parsed.circuit, 10.0, 398.0, parsed.tech);
+      std::cout << "\n-- op after aging --\n";
+      run_op(*parsed.circuit);
+      return 0;
+    }
+    auto parsed = parse_netlist_file(argv[1]);
+    Circuit& c = *parsed.circuit;
+    const std::string cmd = argv[2];
+    std::cout << parsed.title << "\n";
+    if (cmd == "op") return run_op(c);
+    if (cmd == "tran") {
+      if (argc < 5) throw Error("tran needs <t_stop> <dt>");
+      std::vector<std::string> nodes(argv + 5, argv + argc);
+      return run_tran(c, parse_spice_number(argv[3]),
+                      parse_spice_number(argv[4]), nodes);
+    }
+    if (cmd == "ac") {
+      if (argc < 7) throw Error("ac needs <f_lo> <f_hi> <points> <node>");
+      return run_ac(c, parse_spice_number(argv[3]),
+                    parse_spice_number(argv[4]), std::stoi(argv[5]), argv[6]);
+    }
+    if (cmd == "age") {
+      if (argc < 4) throw Error("age needs <years> [temp_k]");
+      return run_age(c, parse_spice_number(argv[3]),
+                     argc > 4 ? parse_spice_number(argv[4]) : 398.0,
+                     parsed.tech);
+    }
+    throw Error("unknown command '" + cmd + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,96 @@
+#include "adaptive/knobs.h"
+
+#include "spice/analysis.h"
+#include "spice/probes.h"
+#include "util/error.h"
+
+namespace relsim::adaptive {
+
+DcNodeMonitor::DcNodeMonitor(std::string name, spice::NodeId node)
+    : Monitor(std::move(name)), node_(node) {}
+
+double DcNodeMonitor::measure(spice::Circuit& circuit) {
+  return spice::dc_operating_point(circuit).v(node_);
+}
+
+SourceCurrentMonitor::SourceCurrentMonitor(std::string name,
+                                           std::string source)
+    : Monitor(std::move(name)), source_(std::move(source)) {}
+
+double SourceCurrentMonitor::measure(spice::Circuit& circuit) {
+  const spice::DcResult r = spice::dc_operating_point(circuit);
+  return circuit.device_as<spice::VoltageSource>(source_).current(r.x());
+}
+
+RingFrequencyMonitor::RingFrequencyMonitor(std::string name, Setup setup)
+    : Monitor(std::move(name)), setup_(std::move(setup)) {
+  RELSIM_REQUIRE(setup_.probe != spice::kGround,
+                 "ring monitor needs a probe node");
+}
+
+double RingFrequencyMonitor::measure(spice::Circuit& circuit) {
+  const auto res =
+      spice::transient_analysis(circuit, setup_.transient, {setup_.probe});
+  return spice::estimate_frequency(res.time(), res.node(setup_.probe),
+                                   setup_.window_begin_s,
+                                   setup_.transient.t_stop);
+}
+
+VoltageKnob::VoltageKnob(std::string name, std::string source,
+                         std::vector<double> settings_v)
+    : Knob(std::move(name)),
+      source_(std::move(source)),
+      settings_(std::move(settings_v)) {
+  RELSIM_REQUIRE(!settings_.empty(), "knob needs at least one setting");
+}
+
+int VoltageKnob::setting_count() const {
+  return static_cast<int>(settings_.size());
+}
+
+double VoltageKnob::value(int setting) const {
+  RELSIM_REQUIRE(setting >= 0 && setting < setting_count(),
+                 "knob setting out of range");
+  return settings_[static_cast<std::size_t>(setting)];
+}
+
+void VoltageKnob::apply(int setting, spice::Circuit& circuit) {
+  circuit.device_as<spice::VoltageSource>(source_).set_dc(value(setting));
+  setting_ = setting;
+}
+
+double VoltageKnob::cost(int setting) const {
+  const double v = value(setting);
+  return v * v;  // dynamic power ~ V^2
+}
+
+ResistorKnob::ResistorKnob(std::string name, std::string resistor,
+                           std::vector<double> settings_ohm)
+    : Knob(std::move(name)),
+      resistor_(std::move(resistor)),
+      settings_(std::move(settings_ohm)) {
+  RELSIM_REQUIRE(!settings_.empty(), "knob needs at least one setting");
+  for (double r : settings_) {
+    RELSIM_REQUIRE(r > 0.0, "resistor settings must be positive");
+  }
+}
+
+int ResistorKnob::setting_count() const {
+  return static_cast<int>(settings_.size());
+}
+
+void ResistorKnob::apply(int setting, spice::Circuit& circuit) {
+  RELSIM_REQUIRE(setting >= 0 && setting < setting_count(),
+                 "knob setting out of range");
+  circuit.device_as<spice::Resistor>(resistor_).set_resistance(
+      settings_[static_cast<std::size_t>(setting)]);
+  setting_ = setting;
+}
+
+double ResistorKnob::cost(int setting) const {
+  RELSIM_REQUIRE(setting >= 0 && setting < setting_count(),
+                 "knob setting out of range");
+  return 1.0 / settings_[static_cast<std::size_t>(setting)] * 1e3;
+}
+
+}  // namespace relsim::adaptive

@@ -1,0 +1,121 @@
+// Knobs & monitors — Sec. 5.2 / Fig. 6 of the paper ([3],[4], Dierickx).
+//
+// "The idea is to continuously monitor the operation of a system or circuit
+// and take runtime countermeasures to compensate for variability and
+// reliability errors." A self-adaptive system has three parts:
+//  - Monitors: simple measurement circuits observing actual performance;
+//  - Knobs: tunable/reconfigurable circuit parts that move the operating
+//    point;
+//  - a Control Algorithm choosing the knob configuration that satisfies the
+//    specifications (at minimum cost) as the performance drifts over time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+
+namespace relsim::adaptive {
+
+/// A performance monitor: measures one scalar from the (simulated) system.
+class Monitor {
+ public:
+  explicit Monitor(std::string name) : name_(std::move(name)) {}
+  virtual ~Monitor() = default;
+  const std::string& name() const { return name_; }
+  virtual double measure(spice::Circuit& circuit) = 0;
+
+ private:
+  std::string name_;
+};
+
+/// DC node-voltage monitor.
+class DcNodeMonitor final : public Monitor {
+ public:
+  DcNodeMonitor(std::string name, spice::NodeId node);
+  double measure(spice::Circuit& circuit) override;
+
+ private:
+  spice::NodeId node_;
+};
+
+/// DC branch-current monitor through a named voltage source.
+class SourceCurrentMonitor final : public Monitor {
+ public:
+  SourceCurrentMonitor(std::string name, std::string source);
+  double measure(spice::Circuit& circuit) override;
+
+ private:
+  std::string source_;
+};
+
+/// Ring-oscillator frequency monitor: runs a short transient with initial
+/// conditions and extracts the frequency at the probe node.
+class RingFrequencyMonitor final : public Monitor {
+ public:
+  struct Setup {
+    spice::NodeId probe = spice::kGround;
+    spice::TransientOptions transient;  ///< must carry UIC for startup
+    double window_begin_s = 0.0;
+  };
+  RingFrequencyMonitor(std::string name, Setup setup);
+  double measure(spice::Circuit& circuit) override;
+
+ private:
+  Setup setup_;
+};
+
+/// A tunable circuit part with a discrete set of settings.
+class Knob {
+ public:
+  explicit Knob(std::string name) : name_(std::move(name)) {}
+  virtual ~Knob() = default;
+  const std::string& name() const { return name_; }
+  virtual int setting_count() const = 0;
+  virtual int setting() const = 0;
+  virtual void apply(int setting, spice::Circuit& circuit) = 0;
+  /// Relative cost of a setting (power/area proxy the controller minimizes).
+  virtual double cost(int setting) const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Knob over the DC value of a voltage source (supply, bias, body bias).
+/// Cost grows quadratically with voltage (dynamic-power proxy).
+class VoltageKnob final : public Knob {
+ public:
+  VoltageKnob(std::string name, std::string source,
+              std::vector<double> settings_v);
+  int setting_count() const override;
+  int setting() const override { return setting_; }
+  void apply(int setting, spice::Circuit& circuit) override;
+  double cost(int setting) const override;
+  double value(int setting) const;
+
+ private:
+  std::string source_;
+  std::vector<double> settings_;
+  int setting_ = 0;
+};
+
+/// Knob over a resistor value (bias resistor trim).
+class ResistorKnob final : public Knob {
+ public:
+  ResistorKnob(std::string name, std::string resistor,
+               std::vector<double> settings_ohm);
+  int setting_count() const override;
+  int setting() const override { return setting_; }
+  void apply(int setting, spice::Circuit& circuit) override;
+  /// Lower resistance burns more bias current: cost ~ 1/R normalized.
+  double cost(int setting) const override;
+
+ private:
+  std::string resistor_;
+  std::vector<double> settings_;
+  int setting_ = 0;
+};
+
+}  // namespace relsim::adaptive

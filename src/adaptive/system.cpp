@@ -1,0 +1,102 @@
+#include "adaptive/system.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace relsim::adaptive {
+
+double Spec::violation(double value) const {
+  if (value < min) return min - value;
+  if (value > max) return value - max;
+  return 0.0;
+}
+
+AdaptiveSystem::AdaptiveSystem(spice::Circuit& circuit,
+                               std::vector<std::unique_ptr<Monitor>> monitors,
+                               std::vector<std::unique_ptr<Knob>> knobs,
+                               std::vector<Spec> specs)
+    : circuit_(circuit),
+      monitors_(std::move(monitors)),
+      knobs_(std::move(knobs)),
+      specs_(std::move(specs)) {
+  RELSIM_REQUIRE(!monitors_.empty(), "adaptive system needs monitors");
+  for (const Spec& spec : specs_) {
+    const bool known = std::any_of(
+        monitors_.begin(), monitors_.end(),
+        [&](const auto& m) { return m->name() == spec.monitor; });
+    RELSIM_REQUIRE(known, "spec references unknown monitor: " + spec.monitor);
+  }
+  RELSIM_REQUIRE(configuration_count() <= 4096,
+                 "knob configuration space too large for exhaustive search");
+}
+
+std::size_t AdaptiveSystem::configuration_count() const {
+  std::size_t n = 1;
+  for (const auto& knob : knobs_) {
+    n *= static_cast<std::size_t>(knob->setting_count());
+  }
+  return n;
+}
+
+void AdaptiveSystem::apply_settings(const std::vector<int>& settings) {
+  RELSIM_REQUIRE(settings.size() == knobs_.size(), "settings size mismatch");
+  for (std::size_t k = 0; k < knobs_.size(); ++k) {
+    knobs_[k]->apply(settings[k], circuit_);
+  }
+}
+
+SystemState AdaptiveSystem::measure_configuration(
+    const std::vector<int>& settings) {
+  apply_settings(settings);
+  SystemState state;
+  state.knob_settings = settings;
+  for (const auto& monitor : monitors_) {
+    state.readings[monitor->name()] = monitor->measure(circuit_);
+  }
+  for (std::size_t k = 0; k < knobs_.size(); ++k) {
+    state.cost += knobs_[k]->cost(settings[k]);
+  }
+  state.total_violation = 0.0;
+  for (const Spec& spec : specs_) {
+    state.total_violation += spec.violation(state.readings.at(spec.monitor));
+  }
+  state.in_spec = state.total_violation == 0.0;
+  return state;
+}
+
+SystemState AdaptiveSystem::evaluate() {
+  std::vector<int> current;
+  current.reserve(knobs_.size());
+  for (const auto& knob : knobs_) current.push_back(knob->setting());
+  return measure_configuration(current);
+}
+
+SystemState AdaptiveSystem::tune() {
+  std::vector<int> settings(knobs_.size(), 0);
+  std::optional<SystemState> best_pass;
+  std::optional<SystemState> best_fail;
+
+  for (;;) {
+    const SystemState state = measure_configuration(settings);
+    if (state.in_spec) {
+      if (!best_pass || state.cost < best_pass->cost) best_pass = state;
+    } else if (!best_fail ||
+               state.total_violation < best_fail->total_violation) {
+      best_fail = state;
+    }
+    // Advance the mixed-radix configuration counter.
+    std::size_t k = 0;
+    for (; k < knobs_.size(); ++k) {
+      if (++settings[k] < knobs_[k]->setting_count()) break;
+      settings[k] = 0;
+    }
+    if (k == knobs_.size()) break;
+  }
+
+  const SystemState& chosen = best_pass ? *best_pass : *best_fail;
+  apply_settings(chosen.knob_settings);
+  return chosen;
+}
+
+}  // namespace relsim::adaptive

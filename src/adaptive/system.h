@@ -1,0 +1,70 @@
+// AdaptiveSystem: the Fig. 6 control loop (monitors -> control algorithm ->
+// knobs) around a simulated circuit.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaptive/knobs.h"
+
+namespace relsim::adaptive {
+
+/// A specification on one monitor's reading.
+struct Spec {
+  std::string monitor;
+  double min = -1e300;
+  double max = 1e300;
+
+  bool satisfied_by(double value) const { return value >= min && value <= max; }
+  /// Distance to the allowed band, 0 when inside.
+  double violation(double value) const;
+};
+
+struct SystemState {
+  std::map<std::string, double> readings;
+  std::vector<int> knob_settings;
+  double cost = 0.0;
+  bool in_spec = false;
+  /// Sum of spec violations (0 when in_spec).
+  double total_violation = 0.0;
+};
+
+/// Exhaustive-search control algorithm: tries every knob configuration (the
+/// product space must stay small — these are 2-4 discrete hardware knobs),
+/// measures the monitors, and selects the cheapest configuration meeting
+/// every spec; if none does, the one with the smallest total violation.
+/// This is the "Control Algorithm" block of Fig. 6 reduced to its essence;
+/// a hardware implementation would use the same search over a lookup table.
+class AdaptiveSystem {
+ public:
+  AdaptiveSystem(spice::Circuit& circuit,
+                 std::vector<std::unique_ptr<Monitor>> monitors,
+                 std::vector<std::unique_ptr<Knob>> knobs,
+                 std::vector<Spec> specs);
+
+  /// Measures the monitors at the current knob configuration.
+  SystemState evaluate();
+
+  /// Runs one control-loop iteration: searches the knob space and installs
+  /// the selected configuration. Returns the state at that configuration.
+  SystemState tune();
+
+  /// Number of knob configurations the controller searches.
+  std::size_t configuration_count() const;
+
+  const std::vector<Spec>& specs() const { return specs_; }
+
+ private:
+  SystemState measure_configuration(const std::vector<int>& settings);
+  void apply_settings(const std::vector<int>& settings);
+
+  spice::Circuit& circuit_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  std::vector<std::unique_ptr<Knob>> knobs_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace relsim::adaptive

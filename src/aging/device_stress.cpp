@@ -1,0 +1,48 @@
+#include "aging/device_stress.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim::aging {
+
+DeviceStress DeviceStress::from_mosfet(const spice::Mosfet& mosfet,
+                                       double temp_k) {
+  const auto& acc = mosfet.stress();
+  RELSIM_REQUIRE(!acc.empty(),
+                 "device '" + mosfet.name() +
+                     "' has no recorded stress; run a stress workload or "
+                     "record a DC point first");
+  const auto& p = mosfet.params();
+  DeviceStress s;
+  s.is_pmos = p.is_pmos;
+  s.w_um = p.w_um;
+  s.l_um = p.l_um;
+  s.tox_nm = p.tox_nm;
+  s.vt0_abs = std::abs(p.vt0);
+  s.vgs_on = acc.mean_on_abs_vgs();
+  s.vds_on = acc.mean_on_abs_vds();
+  s.vgs_max = acc.max_abs_vgs();
+  s.duty = acc.duty();
+  s.temp_k = temp_k;
+  return s;
+}
+
+DeviceStress DeviceStress::dc(bool is_pmos, double vgs, double vds,
+                              double tox_nm, double temp_k, double w_um,
+                              double l_um, double vt0_abs) {
+  DeviceStress s;
+  s.is_pmos = is_pmos;
+  s.w_um = w_um;
+  s.l_um = l_um;
+  s.tox_nm = tox_nm;
+  s.vt0_abs = vt0_abs;
+  s.vgs_on = std::abs(vgs);
+  s.vds_on = std::abs(vds);
+  s.vgs_max = std::abs(vgs);
+  s.duty = 1.0;
+  s.temp_k = temp_k;
+  return s;
+}
+
+}  // namespace relsim::aging

@@ -1,0 +1,41 @@
+// DeviceStress: the electrical/thermal stress condition a degradation model
+// consumes (Sec. 3 of the paper: "this degradation depends on the stress
+// applied to the device, i.e. the voltages and currents applied").
+#pragma once
+
+#include "spice/mosfet.h"
+
+namespace relsim::aging {
+
+/// Stress condition of one MOSFET, averaged over its workload.
+struct DeviceStress {
+  bool is_pmos = false;
+  double w_um = 1.0;
+  double l_um = 0.1;
+  double tox_nm = 2.0;
+  double vt0_abs = 0.35;  ///< |nominal threshold|, V
+  double vgs_on = 1.0;    ///< average |vgs| while the device is on, V
+  double vds_on = 0.5;    ///< average |vds| while on, V (HCI driver)
+  double vgs_max = 1.0;   ///< worst-case |vgs| (TDDB field driver), V
+  double duty = 1.0;      ///< fraction of time under gate stress
+  double temp_k = 300.0;
+
+  /// Oxide field proxy used by the exp(E_ox/E_0) acceleration terms, V/nm.
+  double eox_v_per_nm() const { return vgs_on / tox_nm; }
+  /// Worst-case oxide field (TDDB), V/nm.
+  double eox_max_v_per_nm() const { return vgs_max / tox_nm; }
+  /// Gate-oxide area, um^2 (TDDB area scaling).
+  double gate_area_um2() const { return w_um * l_um; }
+
+  /// Builds the stress condition from a MOSFET's recorded stress
+  /// accumulator (requires a non-empty accumulator) at ambient `temp_k`.
+  static DeviceStress from_mosfet(const spice::Mosfet& mosfet, double temp_k);
+
+  /// A DC stress condition (duty 1) at explicit voltages, for closed-form
+  /// model evaluation in tests/benches.
+  static DeviceStress dc(bool is_pmos, double vgs, double vds, double tox_nm,
+                         double temp_k, double w_um = 1.0, double l_um = 0.1,
+                         double vt0_abs = 0.35);
+};
+
+}  // namespace relsim::aging

@@ -1,0 +1,109 @@
+#include "aging/em.h"
+
+#include <cmath>
+#include <limits>
+
+#include "rng/distributions.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+
+WireStress WireStress::from_resistor(const spice::Resistor& wire,
+                                     double temp_k) {
+  RELSIM_REQUIRE(wire.wire_geometry().has_value(),
+                 "resistor '" + wire.name() + "' has no wire geometry");
+  RELSIM_REQUIRE(!wire.stress().empty(),
+                 "wire '" + wire.name() + "' has no recorded current");
+  const auto& g = *wire.wire_geometry();
+  WireStress s;
+  s.width_um = g.width_um;
+  s.length_um = g.length_um;
+  s.thickness_um = g.thickness_um;
+  s.dc_current_a = wire.stress().mean_current();
+  s.rms_current_a = wire.stress().rms_current();
+  s.temp_k = temp_k;
+  return s;
+}
+
+EmModel::EmModel(const EmTechParams& tech) : tech_(tech) {
+  RELSIM_REQUIRE(tech.a_prefactor > 0.0, "EM prefactor must be positive");
+  RELSIM_REQUIRE(tech.current_exponent > 0.0, "EM exponent must be positive");
+  RELSIM_REQUIRE(tech.grain_size_um > 0.0, "grain size must be positive");
+}
+
+double EmModel::current_density_a_cm2(const WireStress& wire) const {
+  RELSIM_REQUIRE(wire.width_um > 0.0 && wire.thickness_um > 0.0,
+                 "wire cross-section must be positive");
+  const double area_cm2 = wire.width_um * 1e-4 * wire.thickness_um * 1e-4;
+  return std::abs(wire.dc_current_a) / area_cm2;
+}
+
+bool EmModel::blech_immune(const WireStress& wire) const {
+  const double j = current_density_a_cm2(wire);
+  const double product = j * wire.length_um * 1e-4;  // A/cm
+  return product < tech_.blech_product_a_per_cm;
+}
+
+double EmModel::bamboo_factor(double width_um) const {
+  RELSIM_REQUIRE(width_um > 0.0, "width must be positive");
+  if (width_um >= tech_.grain_size_um) return 1.0;
+  // Below the grain size the wire becomes a chain of single grains with no
+  // longitudinal boundary diffusion path; lifetime improves steeply.
+  return std::pow(tech_.grain_size_um / width_um, 2.0);
+}
+
+double EmModel::reservoir_factor(bool good_via) const {
+  return good_via ? 1.0 : 0.5;
+}
+
+double EmModel::mttf_s(const WireStress& wire) const {
+  const double j = current_density_a_cm2(wire);
+  if (j <= 0.0 || blech_immune(wire)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double black =
+      tech_.a_prefactor * std::pow(j, -tech_.current_exponent) *
+      std::exp(tech_.activation_ev / (units::kBoltzmannEv * wire.temp_k));
+  return black * bamboo_factor(wire.width_um) *
+         reservoir_factor(wire.good_via_reservoir);
+}
+
+double EmModel::sample_lifetime_s(const WireStress& wire,
+                                  Xoshiro256& rng) const {
+  const double mttf = mttf_s(wire);
+  if (!std::isfinite(mttf)) return mttf;
+  // Lognormal spread with the median at the Black MTTF.
+  return LogNormalDistribution::from_median(mttf, tech_.lifetime_sigma)(rng);
+}
+
+double EmModel::min_width_for_lifetime_um(double current_a, double length_um,
+                                          double temp_k,
+                                          double target_life_s) const {
+  RELSIM_REQUIRE(current_a >= 0.0, "current must be non-negative");
+  RELSIM_REQUIRE(target_life_s > 0.0, "target lifetime must be positive");
+  if (current_a == 0.0) return 0.0;
+  // Bisect on width: MTTF is monotone non-decreasing in width (J falls,
+  // though the bamboo factor also falls — the net effect of widening past
+  // the grain size is still monotone because J dominates with n = 2).
+  auto life = [&](double w) {
+    WireStress s;
+    s.width_um = w;
+    s.length_um = length_um;
+    s.thickness_um = tech_.metal_thickness_um;
+    s.dc_current_a = current_a;
+    s.temp_k = temp_k;
+    return mttf_s(s);
+  };
+  double lo = 1e-3, hi = 1e-3;
+  while (life(hi) < target_life_s && hi < 1e4) hi *= 2.0;
+  RELSIM_REQUIRE(hi < 1e4, "no realizable width meets the EM lifetime target");
+  if (life(lo) >= target_life_s) return lo;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (life(mid) >= target_life_s ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace relsim::aging

@@ -1,0 +1,74 @@
+// Electromigration — Sec. 3.4, Eq. 4 of the paper (Black's law [6]):
+//
+//   MTTF = A * J^-n * exp(E_a / kT)                                   (4)
+//
+// EM lives in the interconnect, not the devices: wires are resistors with
+// geometry (spice::WireGeometry), and the model consumes the current
+// statistics recorded through them. Implemented layout effects:
+//  - Blech length [7]: wires with j*L below a critical product are immune;
+//  - bamboo effect [25]: wires narrower than the grain size live longer;
+//  - via/reservoir effect [30]: a lifetime multiplier for well-designed
+//    vias, and a penalty for poorly designed ones;
+//  - lognormal lifetime spread around the Black MTTF.
+#pragma once
+
+#include "aging/model.h"
+#include "rng/rng.h"
+#include "spice/elements.h"
+#include "tech/tech.h"
+
+namespace relsim::aging {
+
+/// Everything the EM model needs to know about one wire.
+struct WireStress {
+  double width_um = 1.0;
+  double length_um = 10.0;
+  double thickness_um = 0.35;
+  double dc_current_a = 0.0;   ///< signed DC (average) current
+  double rms_current_a = 0.0;
+  double temp_k = 300.0;
+  bool good_via_reservoir = true;  ///< reservoir-effect via layout [30]
+
+  static WireStress from_resistor(const spice::Resistor& wire, double temp_k);
+};
+
+class EmModel {
+ public:
+  explicit EmModel(const EmTechParams& tech);
+
+  const EmTechParams& tech() const { return tech_; }
+
+  /// |DC| current density through the wire cross-section, A/cm^2 (the EM
+  /// driver is the net ion wind, i.e. the DC component).
+  double current_density_a_cm2(const WireStress& wire) const;
+
+  /// Blech immunity [7]: j * L below the critical product means the
+  /// back-stress stops the ion flux entirely.
+  bool blech_immune(const WireStress& wire) const;
+
+  /// Bamboo lifetime multiplier [25]: 1 for wide wires, growing as the
+  /// width drops below the grain size (grain boundaries leave the current
+  /// path).
+  double bamboo_factor(double width_um) const;
+
+  /// Reservoir-effect multiplier [30].
+  double reservoir_factor(bool good_via) const;
+
+  /// Eq. 4 with the layout corrections; returns +inf for Blech-immune or
+  /// currentless wires. Seconds.
+  double mttf_s(const WireStress& wire) const;
+
+  /// Samples an actual lifetime (lognormal around MTTF). Seconds.
+  double sample_lifetime_s(const WireStress& wire, Xoshiro256& rng) const;
+
+  /// Minimum wire width (um) for a target lifetime at a given current —
+  /// the EM-aware sizing rule a layout flow applies (Sec. 3.4: "wires must
+  /// be widened to reduce the degradation").
+  double min_width_for_lifetime_um(double current_a, double length_um,
+                                   double temp_k, double target_life_s) const;
+
+ private:
+  EmTechParams tech_;
+};
+
+}  // namespace relsim::aging

@@ -1,0 +1,161 @@
+#include "aging/engine.h"
+
+#include <algorithm>
+
+#include "aging/hci.h"
+#include "aging/nbti.h"
+#include "aging/tddb.h"
+#include "spice/analysis.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+
+double MissionProfile::seconds() const { return years * units::kSecondsPerYear; }
+
+const EpochRecord& AgingReport::final_epoch() const {
+  RELSIM_REQUIRE(!epochs.empty(), "aging report has no epochs");
+  return epochs.back();
+}
+
+ParameterDrift AgingReport::final_drift(const std::string& device) const {
+  if (epochs.empty()) return {};
+  const auto& drift = epochs.back().device_drift;
+  const auto it = drift.find(device);
+  return it == drift.end() ? ParameterDrift{} : it->second;
+}
+
+void AgingEngine::add_model(std::unique_ptr<AgingModel> model) {
+  RELSIM_REQUIRE(model != nullptr, "null aging model");
+  models_.push_back(std::move(model));
+}
+
+AgingEngine AgingEngine::standard() {
+  AgingEngine engine;
+  engine.add_model(std::make_unique<NbtiModel>());
+  engine.add_model(std::make_unique<HciModel>());
+  engine.add_model(std::make_unique<TddbModel>());
+  return engine;
+}
+
+void dc_stress_runner(spice::Circuit& circuit) {
+  const spice::DcResult op = spice::dc_operating_point(circuit);
+  for (spice::Mosfet* m : circuit.mosfets()) {
+    m->record_stress_point(op.x(), 1.0);
+  }
+  for (spice::Resistor* r : circuit.wires()) {
+    r->record_stress_point(op.x(), 1.0);
+  }
+}
+
+AgingReport AgingEngine::age(spice::Circuit& circuit,
+                             const AgingOptions& options,
+                             const StressRunner& runner,
+                             const EmModel* em) const {
+  RELSIM_REQUIRE(options.mission.epochs > 0, "mission needs >= 1 epoch");
+  RELSIM_REQUIRE(options.mission.years > 0.0, "mission must be non-empty");
+  RELSIM_REQUIRE(
+      options.mission.activity >= 0.0 && options.mission.activity <= 1.0,
+      "mission activity must be in [0,1]");
+  const StressRunner& run_workload =
+      runner ? runner : StressRunner(dc_stress_runner);
+
+  const std::vector<spice::Mosfet*> mosfets = circuit.mosfets();
+  const std::vector<spice::Resistor*> wires = circuit.wires();
+
+  if (options.set_circuit_temperature) {
+    circuit.set_temperature(options.mission.temp_k);
+  }
+
+  auto gather_stress = [&]() {
+    for (spice::Mosfet* m : mosfets) m->reset_stress();
+    for (spice::Resistor* r : wires) r->reset_stress();
+    run_workload(circuit);
+    std::vector<DeviceStress> out;
+    out.reserve(mosfets.size());
+    for (spice::Mosfet* m : mosfets) {
+      DeviceStress s = DeviceStress::from_mosfet(*m, options.mission.temp_k);
+      s.duty *= options.mission.activity;
+      out.push_back(s);
+    }
+    return out;
+  };
+
+  std::vector<DeviceStress> stress = gather_stress();
+
+  // Per-(device, model) state, seeded deterministically per pair.
+  std::vector<std::vector<std::unique_ptr<ModelState>>> states(mosfets.size());
+  for (std::size_t d = 0; d < mosfets.size(); ++d) {
+    states[d].reserve(models_.size());
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      Xoshiro256 rng(derive_seed(options.seed,
+                                 {static_cast<std::uint64_t>(d),
+                                  static_cast<std::uint64_t>(m)}));
+      states[d].push_back(models_[m]->init_state(stress[d], rng));
+    }
+  }
+
+  // EM: sample wire lifetimes from the initial (fresh) currents.
+  AgingReport report;
+  struct PendingWireFailure {
+    spice::Resistor* wire;
+    double t_fail_s;
+  };
+  std::vector<PendingWireFailure> wire_fates;
+  if (em != nullptr) {
+    for (std::size_t w = 0; w < wires.size(); ++w) {
+      Xoshiro256 rng(derive_seed(options.seed, {0xE111ull, w}));
+      const WireStress ws =
+          WireStress::from_resistor(*wires[w], options.mission.temp_k);
+      const double t_fail = em->sample_lifetime_s(ws, rng);
+      if (t_fail < options.mission.seconds()) {
+        wire_fates.push_back({wires[w], t_fail});
+      }
+    }
+  }
+
+  const double epoch_s =
+      options.mission.seconds() / options.mission.epochs;
+  std::vector<bool> reported_hbd(mosfets.size(), false);
+
+  for (int epoch = 1; epoch <= options.mission.epochs; ++epoch) {
+    const double t_now_s = epoch_s * epoch;
+
+    EpochRecord record;
+    record.t_years = t_now_s / units::kSecondsPerYear;
+    for (std::size_t d = 0; d < mosfets.size(); ++d) {
+      ParameterDrift total;
+      for (std::size_t m = 0; m < models_.size(); ++m) {
+        total.combine(models_[m]->advance(*states[d][m], stress[d], epoch_s));
+      }
+      mosfets[d]->set_degradation(total.to_degradation());
+      if (total.hard_breakdown && !reported_hbd[d]) {
+        reported_hbd[d] = true;
+        report.hard_breakdowns.push_back(mosfets[d]->name());
+      }
+      record.device_drift.emplace(mosfets[d]->name(), total);
+    }
+
+    // Apply EM opens whose failure time falls inside this epoch.
+    for (auto& fate : wire_fates) {
+      if (fate.wire != nullptr && fate.t_fail_s <= t_now_s) {
+        fate.wire->set_resistance(fate.wire->resistance() *
+                                  options.em_open_resistance_factor);
+        report.wire_failures.push_back(
+            {fate.wire->name(), fate.t_fail_s / units::kSecondsPerYear});
+        fate.wire = nullptr;
+      }
+    }
+
+    report.epochs.push_back(std::move(record));
+
+    // Refresh the stress condition with the degraded circuit.
+    if (options.refresh_stress_each_epoch &&
+        epoch < options.mission.epochs) {
+      stress = gather_stress();
+    }
+  }
+  return report;
+}
+
+}  // namespace relsim::aging

@@ -1,0 +1,109 @@
+// AgingEngine: ages a circuit over a mission profile.
+//
+// Flow (DESIGN.md Sec. 4):
+//   1. run the stress workload (DC operating point by default, or a caller-
+//      provided transient runner) with stress recording enabled;
+//   2. summarize per-device stress;
+//   3. advance every (device, model) state by one epoch;
+//   4. write the combined drift into each MOSFET's degradation state;
+//   5. repeat — with the *degraded* circuit, so stress feedback is captured
+//      (e.g. NBTI lowering the effective overdrive reduces further stress).
+//
+// Wire (EM) lifetimes are evaluated once from the recorded currents; a wire
+// whose sampled lifetime ends inside the mission window is reported as a
+// failure (open interconnect) and its resistance is raised to model the
+// void.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aging/em.h"
+#include "aging/model.h"
+#include "spice/circuit.h"
+
+namespace relsim::aging {
+
+struct MissionProfile {
+  double years = 10.0;
+  double temp_k = 398.0;  ///< worst-case junction temperature (125 C)
+  int epochs = 10;
+  /// Fraction of calendar time the system is powered (a phone SoC is not a
+  /// server). Scales every device's stress duty; the power-off relaxation
+  /// of the recoverable NBTI component is conservatively ignored.
+  double activity = 1.0;
+
+  double seconds() const;
+};
+
+struct AgingOptions {
+  MissionProfile mission;
+  std::uint64_t seed = 0x5eed;
+  /// Re-run the stress workload every epoch (captures operating-point
+  /// feedback); when false the initial stress is reused (faster, and the
+  /// ablation knob for bench_eq3_nbti).
+  bool refresh_stress_each_epoch = true;
+  /// Factor applied to a failed (void) wire's resistance.
+  double em_open_resistance_factor = 1e6;
+  /// When true, the circuit is electrically simulated AT the mission
+  /// temperature (Circuit::set_temperature) so the stress extraction sees
+  /// the hot operating point, not the room-temperature one.
+  bool set_circuit_temperature = false;
+};
+
+/// Runs the circuit's representative workload so that stress accumulators
+/// fill up. The default runner solves the DC operating point and records it
+/// with weight 1.
+using StressRunner = std::function<void(spice::Circuit&)>;
+
+struct EpochRecord {
+  double t_years = 0.0;
+  std::map<std::string, ParameterDrift> device_drift;
+};
+
+struct WireFailure {
+  std::string wire;
+  double t_fail_years = 0.0;
+};
+
+struct AgingReport {
+  std::vector<EpochRecord> epochs;
+  std::vector<std::string> hard_breakdowns;  ///< devices that reached HBD
+  std::vector<WireFailure> wire_failures;
+
+  const EpochRecord& final_epoch() const;
+  /// Drift of a device at end of mission (zero drift if unknown).
+  ParameterDrift final_drift(const std::string& device) const;
+};
+
+class AgingEngine {
+ public:
+  AgingEngine() = default;
+
+  /// Adds a degradation mechanism. The engine owns the model.
+  void add_model(std::unique_ptr<AgingModel> model);
+
+  /// Engine with NBTI + HCI + TDDB at default parameters.
+  static AgingEngine standard();
+
+  std::size_t model_count() const { return models_.size(); }
+
+  /// Ages `circuit` in place (device degradation states are written) and
+  /// returns the epoch-by-epoch report. `em` may be null to skip wire
+  /// checks.
+  AgingReport age(spice::Circuit& circuit, const AgingOptions& options,
+                  const StressRunner& runner = {},
+                  const EmModel* em = nullptr) const;
+
+ private:
+  std::vector<std::unique_ptr<AgingModel>> models_;
+};
+
+/// The default stress workload: solve the DC operating point and record it
+/// into every MOSFET with weight 1 second.
+void dc_stress_runner(spice::Circuit& circuit);
+
+}  // namespace relsim::aging

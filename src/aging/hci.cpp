@@ -1,0 +1,102 @@
+#include "aging/hci.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+
+namespace {
+class PowerLawState : public ModelState {
+ public:
+  double dvt = 0.0;
+};
+}  // namespace
+
+HciModel::HciModel(const HciParams& params) : params_(params) {
+  RELSIM_REQUIRE(params.a_prefactor > 0.0, "HCI prefactor must be > 0");
+  RELSIM_REQUIRE(params.n > 0.0 && params.n < 1.0,
+                 "HCI exponent must be in (0,1)");
+  RELSIM_REQUIRE(params.lambda_um > 0.0 && params.hot_spot_frac > 0.0,
+                 "HCI field parameters must be positive");
+  RELSIM_REQUIRE(params.pmos_factor >= 0.0 && params.pmos_factor <= 1.0,
+                 "pMOS factor must be in [0,1]");
+}
+
+std::unique_ptr<ModelState> HciModel::init_state(const DeviceStress&,
+                                                 Xoshiro256&) const {
+  return std::make_unique<PowerLawState>();
+}
+
+double HciModel::lateral_field_v_per_um(const DeviceStress& stress) const {
+  const double vdsat =
+      std::max(stress.vgs_on - stress.vt0_abs, params_.vdsat_min_v);
+  const double excess = stress.vds_on - vdsat;
+  if (excess <= 0.0) return 0.0;  // no pinch-off region, no hot carriers
+  return excess / (params_.hot_spot_frac * stress.l_um);
+}
+
+double HciModel::stress_prefactor(const DeviceStress& stress) const {
+  const double em = lateral_field_v_per_um(stress);
+  if (em <= 0.0) return 0.0;
+  const double qi = std::max(stress.vgs_on - stress.vt0_abs, 0.0);
+  if (qi <= 0.0) return 0.0;
+  const double type_factor = stress.is_pmos ? params_.pmos_factor : 1.0;
+  const double lucky_electron =
+      std::exp(-params_.phi_it_ev / (params_.lambda_um * em));
+  const double field = std::exp(stress.eox_v_per_nm() / params_.e0_v_per_nm);
+  const double temp = std::exp(
+      (params_.temp_ea_ev / units::kBoltzmannEv) *
+      (1.0 / stress.temp_k - 1.0 / params_.temp_ref_k));
+  const double width =
+      std::pow(params_.w_ref_um / stress.w_um, params_.w_exponent);
+  return params_.a_prefactor * type_factor * qi * field * lucky_electron *
+         temp * width;
+}
+
+double HciModel::delta_vt(const DeviceStress& stress, double t_s) const {
+  RELSIM_REQUIRE(t_s >= 0.0, "stress time must be non-negative");
+  const double k = stress_prefactor(stress);
+  const double t_eff = stress.duty * t_s;
+  if (k <= 0.0 || t_eff <= 0.0) return 0.0;
+  return k * std::pow(t_eff, params_.n);
+}
+
+double HciModel::relaxed_delta_vt(double dvt_end, double t_relax_s) const {
+  RELSIM_REQUIRE(dvt_end >= 0.0 && t_relax_s >= 0.0,
+                 "relaxation arguments must be non-negative");
+  const double permanent = (1.0 - params_.recovery_frac) * dvt_end;
+  const double annealable = params_.recovery_frac * dvt_end;
+  const double decades = std::log10(1.0 + t_relax_s / params_.relax_t0_s);
+  const double remaining =
+      std::max(0.0, 1.0 - decades / params_.relax_decades);
+  return permanent + annealable * remaining;
+}
+
+ParameterDrift HciModel::drift_from_dvt(double dvt) const {
+  ParameterDrift d;
+  d.dvt = dvt;
+  d.beta_factor = std::max(0.5, 1.0 - params_.mobility_per_volt * dvt);
+  d.lambda_factor = 1.0 + params_.lambda_per_volt * dvt;
+  return d;
+}
+
+ParameterDrift HciModel::advance(ModelState& state, const DeviceStress& stress,
+                                 double dt_s) const {
+  RELSIM_REQUIRE(dt_s >= 0.0, "epoch duration must be non-negative");
+  auto& s = static_cast<PowerLawState&>(state);
+  const double k = stress_prefactor(stress);
+  const double dt_eff = stress.duty * dt_s;
+  if (k > 0.0 && dt_eff > 0.0) {
+    // See NbtiModel::advance: guard the equivalent-time inversion against
+    // overflow when the current stress is far weaker than the history.
+    const double t_eq = std::pow(s.dvt / k, 1.0 / params_.n);
+    const double aged = k * std::pow(t_eq + dt_eff, params_.n);
+    if (std::isfinite(aged) && aged > s.dvt) s.dvt = aged;
+  }
+  return drift_from_dvt(s.dvt);
+}
+
+}  // namespace relsim::aging

@@ -1,0 +1,25 @@
+#include "aging/model.h"
+
+namespace relsim::aging {
+
+ParameterDrift& ParameterDrift::combine(const ParameterDrift& other) {
+  dvt += other.dvt;
+  beta_factor *= other.beta_factor;
+  lambda_factor *= other.lambda_factor;
+  g_leak_gs += other.g_leak_gs;
+  g_leak_gd += other.g_leak_gd;
+  hard_breakdown = hard_breakdown || other.hard_breakdown;
+  return *this;
+}
+
+spice::MosDegradation ParameterDrift::to_degradation() const {
+  spice::MosDegradation d;
+  d.dvt = dvt;
+  d.beta_factor = beta_factor;
+  d.lambda_factor = lambda_factor;
+  d.g_leak_gs = g_leak_gs;
+  d.g_leak_gd = g_leak_gd;
+  return d;
+}
+
+}  // namespace relsim::aging

@@ -1,0 +1,61 @@
+// AgingModel: the interface every transistor degradation mechanism
+// implements (NBTI, HCI, TDDB).
+//
+// Models are *incremental*: the engine creates one ModelState per
+// (device, model) pair and repeatedly advances it by an epoch of stress
+// time. This matters because (a) TDDB is stochastic — the breakdown
+// timeline is sampled once per device, and (b) power-law mechanisms must
+// accumulate through *equivalent stress time* when the stress condition
+// changes between epochs (the operating point drifts as the circuit ages).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "aging/device_stress.h"
+#include "rng/rng.h"
+
+namespace relsim::aging {
+
+/// Total drift of one device's parameters contributed by one or more
+/// mechanisms. Zero/one values mean "fresh".
+struct ParameterDrift {
+  double dvt = 0.0;            ///< |VT| increase, V
+  double beta_factor = 1.0;    ///< multiplies beta (mobility)
+  double lambda_factor = 1.0;  ///< multiplies lambda (1/r_o)
+  double g_leak_gs = 0.0;      ///< gate-source leakage, S
+  double g_leak_gd = 0.0;      ///< gate-drain leakage, S
+  bool hard_breakdown = false;
+
+  /// Accumulates another mechanism's drift: shifts add, factors multiply,
+  /// leakage conductances add (parallel paths), HBD latches.
+  ParameterDrift& combine(const ParameterDrift& other);
+
+  /// Converts to the simulator's degradation struct.
+  spice::MosDegradation to_degradation() const;
+};
+
+/// Opaque per-(device, model) state.
+class ModelState {
+ public:
+  virtual ~ModelState() = default;
+};
+
+class AgingModel {
+ public:
+  virtual ~AgingModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates the per-device state. Stochastic models (TDDB) draw their
+  /// sample here; deterministic models typically return an accumulator.
+  virtual std::unique_ptr<ModelState> init_state(const DeviceStress& stress,
+                                                 Xoshiro256& rng) const = 0;
+
+  /// Advances the device by `dt_s` seconds under `stress` and returns the
+  /// TOTAL drift this mechanism has accumulated so far (not the delta).
+  virtual ParameterDrift advance(ModelState& state, const DeviceStress& stress,
+                                 double dt_s) const = 0;
+};
+
+}  // namespace relsim::aging

@@ -1,0 +1,91 @@
+// Negative Bias Temperature Instability — Sec. 3.3, Eq. 3 of the paper.
+//
+//   dVT = A * exp(E_ox/E_0) * exp(-E_a/kT) * t^n                      (3)
+//
+// mainly affecting pMOS under negative gate bias at elevated temperature
+// [37],[40], with:
+//  - a power-law time dependence (exponent n ~ 0.15-0.25),
+//  - log(t)-like relaxation after the stress is removed, spanning
+//    microseconds to days [29],[34],
+//  - an explicit split into a permanent (lock-in) and a recoverable
+//    component [15],[29],[34], and
+//  - reduced degradation under AC stress, depending on the duty factor [15].
+//
+// Mobility degradation is coupled to the threshold shift ([40],[16]):
+// beta_factor = 1 - m * dVT (clamped).
+//
+// Default constants are calibrated so that a pMOS at |Vgs| = nominal VDD,
+// T = 398 K in a ~2 nm oxide technology accumulates ~40-60 mV in 10 years of
+// DC stress — the regime the paper's discussion targets.
+#pragma once
+
+#include "aging/model.h"
+
+namespace relsim::aging {
+
+struct NbtiParams {
+  double a_prefactor_v = 0.0022;  ///< A in Eq. 3, volts at t = 1 s
+  double e0_v_per_nm = 0.25;      ///< oxide-field acceleration E_0
+  double ea_ev = 0.08;            ///< thermal activation E_a
+  double n = 0.16;                ///< power-law exponent
+  double recoverable_frac = 0.5;  ///< share of dVT that can relax
+  double relax_t0_s = 1e-6;       ///< onset of the log(t) relaxation
+  double relax_decades = 12.0;    ///< decades to fully relax the fast part
+  double pbti_nmos_factor = 0.05; ///< PBTI strength on nMOS relative to pMOS
+  double mobility_per_volt = 0.4; ///< beta_factor = 1 - m*dVT
+};
+
+class NbtiModel final : public AgingModel {
+ public:
+  NbtiModel() : NbtiModel(NbtiParams{}) {}
+  explicit NbtiModel(const NbtiParams& params);
+
+  std::string name() const override { return "NBTI"; }
+  std::unique_ptr<ModelState> init_state(const DeviceStress& stress,
+                                         Xoshiro256& rng) const override;
+  ParameterDrift advance(ModelState& state, const DeviceStress& stress,
+                         double dt_s) const override;
+
+  const NbtiParams& params() const { return params_; }
+
+  // -- closed forms (benches/tests) ----------------------------------------
+
+  /// Eq. 3 for DC stress: dVT(t) at oxide field `eox` (V/nm), temperature
+  /// `temp_k`, after `t_s` seconds.
+  double delta_vt_dc(double eox_v_per_nm, double temp_k, double t_s) const;
+
+  /// AC duty reduction factor in [0,1]: the ratio dVT_AC/dVT_DC for duty
+  /// cycle `duty`. Combines the reaction-diffusion equivalent-time scaling
+  /// (duty^n) with suppression of the recoverable component during the
+  /// off-phase. s(0)=0, s(1)=1, monotone.
+  double duty_factor(double duty) const;
+
+  /// Full model: dVT for a stress condition after `t_s` seconds (includes
+  /// duty and device-type factors).
+  double delta_vt(const DeviceStress& stress, double t_s) const;
+
+  /// Relaxation: remaining dVT a time `t_relax_s` after the stress was
+  /// removed, given the shift `dvt_end` at the end of stress. The permanent
+  /// part never relaxes; the recoverable part decays ~log(t) [29],[34].
+  double relaxed_delta_vt(double dvt_end, double t_relax_s) const;
+
+  /// The shift a measure-stress-measure experiment would REPORT when the
+  /// readout happens `t_measure_delay_s` after removing the stress — the
+  /// relaxation "greatly complicates the evaluation of NBTI, its modeling,
+  /// and extrapolating its impact" (Sec. 3.3): slow measurements
+  /// underestimate the true degradation [34].
+  double apparent_delta_vt(const DeviceStress& stress, double t_stress_s,
+                           double t_measure_delay_s) const;
+
+  /// Maps a threshold shift to the full parameter drift (adds the coupled
+  /// mobility degradation).
+  ParameterDrift drift_from_dvt(double dvt) const;
+
+  /// The prefactor K(stress) in dVT = K * t^n for this stress condition.
+  double stress_prefactor(const DeviceStress& stress) const;
+
+ private:
+  NbtiParams params_;
+};
+
+}  // namespace relsim::aging

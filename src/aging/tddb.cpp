@@ -1,0 +1,140 @@
+#include "aging/tddb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "util/error.h"
+#include "util/mathx.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+
+namespace {
+class TddbState : public ModelState {
+ public:
+  explicit TddbState(BreakdownTimeline timeline) : timeline(timeline) {}
+  BreakdownTimeline timeline;
+  double elapsed_s = 0.0;
+};
+}  // namespace
+
+TddbModel::TddbModel(const TddbParams& params) : params_(params) {
+  RELSIM_REQUIRE(params.eta0_s > 0.0, "TDDB eta0 must be positive");
+  RELSIM_REQUIRE(params.gamma_nm_per_v > 0.0, "TDDB gamma must be positive");
+  RELSIM_REQUIRE(params.beta_per_nm > 0.0, "TDDB beta slope must be positive");
+  RELSIM_REQUIRE(params.pbd_tox_max_nm <= params.sbd_tox_max_nm,
+                 "PBD regime must be within the SBD regime");
+  RELSIM_REQUIRE(params.pbd_exponent > 0.0 && params.pbd_tau_frac > 0.0,
+                 "PBD progression parameters must be positive");
+}
+
+double TddbModel::weibull_shape(double tox_nm) const {
+  RELSIM_REQUIRE(tox_nm > 0.0, "oxide thickness must be positive");
+  return params_.beta_offset + params_.beta_per_nm * tox_nm;
+}
+
+double TddbModel::weibull_scale_s(const DeviceStress& stress) const {
+  const double beta = weibull_shape(stress.tox_nm);
+  const double field =
+      std::exp(-params_.gamma_nm_per_v * stress.eox_max_v_per_nm());
+  const double temp = std::exp(
+      (params_.ea_ev / units::kBoltzmannEv) *
+      (1.0 / stress.temp_k - 1.0 / params_.temp_ref_k));
+  // Weakest link (Poisson area scaling): larger oxide area fails earlier.
+  const double area =
+      std::pow(params_.area_ref_um2 / stress.gate_area_um2(), 1.0 / beta);
+  return params_.eta0_s * field * temp * area;
+}
+
+BreakdownTimeline TddbModel::sample_timeline(const DeviceStress& stress,
+                                             Xoshiro256& rng) const {
+  const WeibullDistribution tbd(weibull_shape(stress.tox_nm),
+                                weibull_scale_s(stress));
+  BreakdownTimeline tl;
+  const double t_bd = tbd(rng);
+  tl.spot_near_drain = rng.uniform01() < 0.5;
+  tl.has_sbd_phase = stress.tox_nm <= params_.sbd_tox_max_nm;
+  tl.has_pbd_phase = stress.tox_nm <= params_.pbd_tox_max_nm;
+  if (!tl.has_sbd_phase) {
+    tl.t_sbd_s = tl.t_hbd_s = t_bd;  // thick oxide: straight to HBD
+    return tl;
+  }
+  tl.t_sbd_s = t_bd;
+  if (tl.has_pbd_phase) {
+    // HBD when the progressively growing leak reaches the HBD level.
+    const double ratio = params_.hbd_gleak_s / params_.sbd_gleak_s;
+    const double tau = params_.pbd_tau_frac * t_bd;
+    tl.t_hbd_s =
+        t_bd + tau * std::pow(ratio - 1.0, 1.0 / params_.pbd_exponent);
+  } else {
+    // Abrupt SBD -> HBD after an exponential extra life.
+    const ExponentialDistribution extra(1.0 /
+                                        (params_.hbd_delay_mean_frac * t_bd));
+    tl.t_hbd_s = t_bd + extra(rng);
+  }
+  return tl;
+}
+
+BdMode TddbModel::mode_at(const BreakdownTimeline& tl, double t_s) const {
+  if (t_s < tl.t_sbd_s) return BdMode::kNone;
+  if (t_s >= tl.t_hbd_s) return BdMode::kHard;
+  if (tl.has_pbd_phase) return BdMode::kProgressive;
+  return tl.has_sbd_phase ? BdMode::kSoft : BdMode::kHard;
+}
+
+double TddbModel::gate_leak_at(const BreakdownTimeline& tl, double t_s) const {
+  switch (mode_at(tl, t_s)) {
+    case BdMode::kNone:
+      return 0.0;
+    case BdMode::kSoft:
+      return params_.sbd_gleak_s;
+    case BdMode::kProgressive: {
+      const double tau = params_.pbd_tau_frac * tl.t_sbd_s;
+      const double x = (t_s - tl.t_sbd_s) / tau;
+      const double g = params_.sbd_gleak_s *
+                       (1.0 + std::pow(x, params_.pbd_exponent));
+      return std::min(g, params_.hbd_gleak_s);
+    }
+    case BdMode::kHard:
+      return params_.hbd_gleak_s;
+  }
+  return 0.0;
+}
+
+ParameterDrift TddbModel::drift_at(const BreakdownTimeline& tl,
+                                   double t_s) const {
+  ParameterDrift d;
+  const BdMode mode = mode_at(tl, t_s);
+  if (mode == BdMode::kNone) return d;
+  const double g = gate_leak_at(tl, t_s);
+  (tl.spot_near_drain ? d.g_leak_gd : d.g_leak_gs) = g;
+  // Local mobility collapse [8]: small right after SBD, grows with the
+  // leak path through PBD, large after HBD.
+  const double progress =
+      (g - params_.sbd_gleak_s) /
+      std::max(params_.hbd_gleak_s - params_.sbd_gleak_s, 1e-30);
+  const double collapse =
+      mode == BdMode::kHard
+          ? params_.hbd_mobility_collapse
+          : lerp(params_.sbd_mobility_collapse, params_.hbd_mobility_collapse,
+                 std::clamp(progress, 0.0, 1.0));
+  d.beta_factor = 1.0 - collapse;
+  d.hard_breakdown = (mode == BdMode::kHard);
+  return d;
+}
+
+std::unique_ptr<ModelState> TddbModel::init_state(const DeviceStress& stress,
+                                                  Xoshiro256& rng) const {
+  return std::make_unique<TddbState>(sample_timeline(stress, rng));
+}
+
+ParameterDrift TddbModel::advance(ModelState& state, const DeviceStress&,
+                                  double dt_s) const {
+  RELSIM_REQUIRE(dt_s >= 0.0, "epoch duration must be non-negative");
+  auto& s = static_cast<TddbState&>(state);
+  s.elapsed_s += dt_s;
+  return drift_at(s.timeline, s.elapsed_s);
+}
+
+}  // namespace relsim::aging

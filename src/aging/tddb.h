@@ -1,0 +1,96 @@
+// Time Dependent Dielectric Breakdown — Sec. 3.1 of the paper.
+//
+// Implemented behaviour:
+//  - time-to-breakdown is Weibull distributed [39]; the shape parameter
+//    shrinks with oxide thickness (thin oxides have wide BD spreads) and
+//    the scale accelerates exponentially with oxide field and temperature;
+//  - weakest-link area scaling: eta ~ (A_ref/A)^(1/beta);
+//  - breakdown-mode sequence depends on oxide thickness:
+//      t_ox > 5 nm          : hard BD (HBD) directly,
+//      2.5 nm < t_ox <= 5 nm: soft BD (SBD) preceding HBD [21],
+//      t_ox <= 2.5 nm       : SBD -> progressive BD (PBD, slow gate-current
+//                             growth) -> final HBD;
+//  - post-BD device impact: extra gate leakage (uA range after SBD, mA range
+//    after HBD at operating voltages) at a random spot (drain or source
+//    side — the spot location matters for the channel current [14]), plus a
+//    local mobility reduction that collapses the channel current [8]; the
+//    immediate post-SBD effect on the transistor is small, the long-time
+//    effect significant [21],[8];
+//  - one BD does NOT necessarily imply circuit failure [20]: the model only
+//    updates device parameters, the circuit decides.
+#pragma once
+
+#include "aging/model.h"
+
+namespace relsim::aging {
+
+struct TddbParams {
+  double eta0_s = 1.0e21;          ///< scale prefactor (extrapolated to E=0)
+  double gamma_nm_per_v = 36.0;    ///< field acceleration exponent
+  double ea_ev = 0.6;              ///< thermal activation
+  double temp_ref_k = 300.0;
+  double beta_per_nm = 0.45;       ///< Weibull shape slope vs t_ox
+  double beta_offset = 0.2;
+  double area_ref_um2 = 1.0;       ///< reference gate area for eta0
+  double sbd_gleak_s = 2e-6;       ///< gate leak right after SBD
+  double hbd_gleak_s = 2e-3;       ///< gate leak after HBD (mA at ~1V)
+  double sbd_mobility_collapse = 0.05;
+  double hbd_mobility_collapse = 0.5;
+  double sbd_tox_max_nm = 5.0;     ///< SBD exists below this thickness
+  double pbd_tox_max_nm = 2.5;     ///< PBD exists below this thickness
+  double hbd_delay_mean_frac = 1.0;  ///< mean extra life after SBD / t_sbd
+  double pbd_tau_frac = 0.5;       ///< PBD progression timescale / t_sbd
+  double pbd_exponent = 2.0;       ///< leak growth power during PBD
+};
+
+enum class BdMode { kNone, kSoft, kProgressive, kHard };
+
+/// Sampled breakdown fate of one device.
+struct BreakdownTimeline {
+  double t_sbd_s = 0.0;  ///< first breakdown event (== t_hbd when no SBD)
+  double t_hbd_s = 0.0;
+  bool has_sbd_phase = false;
+  bool has_pbd_phase = false;
+  bool spot_near_drain = true;  ///< leak path location (gd vs gs)
+};
+
+class TddbModel final : public AgingModel {
+ public:
+  TddbModel() : TddbModel(TddbParams{}) {}
+  explicit TddbModel(const TddbParams& params);
+
+  std::string name() const override { return "TDDB"; }
+  std::unique_ptr<ModelState> init_state(const DeviceStress& stress,
+                                         Xoshiro256& rng) const override;
+  ParameterDrift advance(ModelState& state, const DeviceStress& stress,
+                         double dt_s) const override;
+
+  const TddbParams& params() const { return params_; }
+
+  // -- closed forms and sampling --------------------------------------------
+
+  /// Weibull shape beta for an oxide of thickness `tox_nm`.
+  double weibull_shape(double tox_nm) const;
+
+  /// Weibull scale eta (63.2% life, seconds) for a stress condition,
+  /// including field, temperature and area acceleration.
+  double weibull_scale_s(const DeviceStress& stress) const;
+
+  /// Samples the full breakdown fate of a device under `stress`.
+  BreakdownTimeline sample_timeline(const DeviceStress& stress,
+                                    Xoshiro256& rng) const;
+
+  /// Breakdown mode the device is in at absolute time `t_s`.
+  BdMode mode_at(const BreakdownTimeline& timeline, double t_s) const;
+
+  /// Gate-leak conductance at time `t_s` (grows through PBD).
+  double gate_leak_at(const BreakdownTimeline& timeline, double t_s) const;
+
+  /// Full parameter drift at time `t_s`.
+  ParameterDrift drift_at(const BreakdownTimeline& timeline, double t_s) const;
+
+ private:
+  TddbParams params_;
+};
+
+}  // namespace relsim::aging

@@ -1,0 +1,130 @@
+#include "calibration/dac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/distributions.h"
+#include "util/error.h"
+
+namespace relsim::calibration {
+
+CurrentSteeringDac::CurrentSteeringDac(const DacConfig& config,
+                                       Xoshiro256& rng)
+    : config_(config) {
+  RELSIM_REQUIRE(config.total_bits >= 2 && config.total_bits <= 20,
+                 "total_bits out of supported range");
+  RELSIM_REQUIRE(config.unary_bits >= 1 &&
+                     config.unary_bits < config.total_bits,
+                 "unary_bits must be in [1, total_bits)");
+  RELSIM_REQUIRE(config.lsb_current_a > 0.0, "LSB current must be positive");
+  RELSIM_REQUIRE(config.sigma_unit_rel >= 0.0, "sigma must be non-negative");
+
+  // Unary sources: units_per_unary units -> sigma_unit/sqrt(units).
+  const NormalDistribution unary_dist(
+      0.0, config.sigma_unit_rel /
+               std::sqrt(static_cast<double>(config.units_per_unary())));
+  unary_err_.resize(static_cast<std::size_t>(config.unary_sources()));
+  for (double& e : unary_err_) e = unary_dist(rng);
+
+  // Binary source b is built from 2^b units (of the LSB-section quality).
+  binary_err_.resize(static_cast<std::size_t>(config.binary_bits()));
+  for (int b = 0; b < config.binary_bits(); ++b) {
+    const NormalDistribution dist(
+        0.0, config.binary_sigma() / std::sqrt(std::pow(2.0, b)));
+    binary_err_[static_cast<std::size_t>(b)] = dist(rng);
+  }
+
+  sequence_.resize(unary_err_.size());
+  std::iota(sequence_.begin(), sequence_.end(), 0);
+  rebuild_tables();
+}
+
+void CurrentSteeringDac::set_switching_sequence(std::vector<int> sequence) {
+  RELSIM_REQUIRE(sequence.size() == unary_err_.size(),
+                 "sequence size mismatch");
+  std::vector<bool> seen(sequence.size(), false);
+  for (int idx : sequence) {
+    RELSIM_REQUIRE(idx >= 0 && static_cast<std::size_t>(idx) < seen.size() &&
+                       !seen[static_cast<std::size_t>(idx)],
+                   "sequence must be a permutation of the unary sources");
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  sequence_ = std::move(sequence);
+  rebuild_tables();
+}
+
+void CurrentSteeringDac::rebuild_tables() {
+  const double unary_weight =
+      config_.lsb_current_a * config_.units_per_unary();
+  unary_prefix_.assign(unary_err_.size() + 1, 0.0);
+  for (std::size_t k = 0; k < sequence_.size(); ++k) {
+    const double i =
+        unary_weight * (1.0 + unary_err_[static_cast<std::size_t>(
+                                  sequence_[k])]);
+    unary_prefix_[k + 1] = unary_prefix_[k] + i;
+  }
+  const int bb = config_.binary_bits();
+  binary_value_.assign(static_cast<std::size_t>(1) << bb, 0.0);
+  for (int low = 0; low < (1 << bb); ++low) {
+    double acc = 0.0;
+    for (int b = 0; b < bb; ++b) {
+      if ((low >> b) & 1) {
+        acc += config_.lsb_current_a * std::pow(2.0, b) *
+               (1.0 + binary_err_[static_cast<std::size_t>(b)]);
+      }
+    }
+    binary_value_[static_cast<std::size_t>(low)] = acc;
+  }
+}
+
+double CurrentSteeringDac::output(int code) const {
+  RELSIM_REQUIRE(code >= 0 && code < config_.levels(), "code out of range");
+  const int high = code >> config_.binary_bits();
+  const int low = code & ((1 << config_.binary_bits()) - 1);
+  return unary_prefix_[static_cast<std::size_t>(high)] +
+         binary_value_[static_cast<std::size_t>(low)];
+}
+
+std::vector<double> CurrentSteeringDac::transfer_curve() const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(config_.levels()));
+  for (int code = 0; code < config_.levels(); ++code) {
+    out.push_back(output(code));
+  }
+  return out;
+}
+
+std::vector<double> CurrentSteeringDac::inl_lsb() const {
+  const std::vector<double> curve = transfer_curve();
+  const double lsb_actual =
+      (curve.back() - curve.front()) / (config_.levels() - 1);
+  std::vector<double> inl(curve.size());
+  for (std::size_t code = 0; code < curve.size(); ++code) {
+    const double ideal =
+        curve.front() + lsb_actual * static_cast<double>(code);
+    inl[code] = (curve[code] - ideal) / lsb_actual;
+  }
+  return inl;
+}
+
+DacLinearity CurrentSteeringDac::linearity() const {
+  const std::vector<double> curve = transfer_curve();
+  const double lsb_actual =
+      (curve.back() - curve.front()) / (config_.levels() - 1);
+  DacLinearity lin;
+  for (std::size_t code = 0; code < curve.size(); ++code) {
+    const double ideal =
+        curve.front() + lsb_actual * static_cast<double>(code);
+    lin.inl_max_abs =
+        std::max(lin.inl_max_abs, std::abs((curve[code] - ideal) / lsb_actual));
+    if (code > 0) {
+      const double dnl =
+          (curve[code] - curve[code - 1]) / lsb_actual - 1.0;
+      lin.dnl_max_abs = std::max(lin.dnl_max_abs, std::abs(dnl));
+    }
+  }
+  return lin;
+}
+
+}  // namespace relsim::calibration

@@ -1,0 +1,90 @@
+// Behavioural segmented current-steering DAC — the vehicle of Sec. 5.1 /
+// Fig. 5 of the paper ([9]: a 14-bit 200-MHz current-steering DAC whose
+// unary MSB sources are calibrated by Switching-Sequence Post-Adjustment).
+//
+// Architecture: `unary_bits` thermometer-coded MSBs (2^u - 1 sources of
+// weight 2^(N-u) LSB each) on top of an (N-u)-bit binary LSB section.
+// Every current source carries a relative mismatch error sampled from the
+// Pelgrom statistics of its layout; the switching sequence of the unary
+// sources is programmable — that is the knob SSPA turns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace relsim::calibration {
+
+struct DacConfig {
+  int total_bits = 14;
+  int unary_bits = 6;          ///< thermometer MSB segment width
+  double lsb_current_a = 1e-6;
+  /// Relative (1-sigma) mismatch of ONE UNIT current cell of the unary MSB
+  /// array; a source made of k units has relative sigma
+  /// sigma_unit_rel / sqrt(k).
+  double sigma_unit_rel = 2e-3;
+  /// Unit-cell sigma of the binary LSB section. The LSB section is only
+  /// ~1.6% of the array and is NOT covered by SSPA, so real designs keep it
+  /// intrinsically sized while relaxing the unary cells; negative means
+  /// "same as sigma_unit_rel".
+  double sigma_unit_binary_rel = -1.0;
+
+  double binary_sigma() const {
+    return sigma_unit_binary_rel < 0.0 ? sigma_unit_rel
+                                       : sigma_unit_binary_rel;
+  }
+
+  int levels() const { return 1 << total_bits; }
+  int unary_sources() const { return (1 << unary_bits) - 1; }
+  int binary_bits() const { return total_bits - unary_bits; }
+  /// Units per unary source.
+  int units_per_unary() const { return 1 << binary_bits(); }
+};
+
+/// Static nonlinearity summary (endpoint-fit convention, in LSB).
+struct DacLinearity {
+  double inl_max_abs = 0.0;
+  double dnl_max_abs = 0.0;
+};
+
+class CurrentSteeringDac {
+ public:
+  /// Samples all source errors with `rng`.
+  CurrentSteeringDac(const DacConfig& config, Xoshiro256& rng);
+
+  const DacConfig& config() const { return config_; }
+
+  /// Analog output (amps) for an input code in [0, levels).
+  double output(int code) const;
+
+  /// Per-source relative errors of the unary segment (size unary_sources).
+  const std::vector<double>& unary_errors() const { return unary_err_; }
+
+  /// Active switching sequence: unary source index turned on k-th.
+  const std::vector<int>& switching_sequence() const { return sequence_; }
+
+  /// Installs a new switching sequence (must be a permutation).
+  void set_switching_sequence(std::vector<int> sequence);
+
+  /// Full transfer curve (levels() samples). Amps.
+  std::vector<double> transfer_curve() const;
+
+  /// INL per code in LSB, endpoint-corrected.
+  std::vector<double> inl_lsb() const;
+
+  /// Worst-case INL/DNL in LSB.
+  DacLinearity linearity() const;
+
+ private:
+  DacConfig config_;
+  std::vector<double> unary_err_;     ///< relative error per unary source
+  std::vector<double> binary_err_;    ///< relative error per binary source
+  std::vector<int> sequence_;
+  std::vector<double> unary_prefix_;  ///< cumulative current along sequence
+  std::vector<double> binary_value_;  ///< current of each binary sub-code
+
+  void rebuild_tables();
+};
+
+}  // namespace relsim::calibration

@@ -1,0 +1,159 @@
+#include "calibration/sspa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/distributions.h"
+#include "util/error.h"
+
+namespace relsim::calibration {
+
+namespace {
+
+// Maximum deviation of the cumulative error from the endpoint line — the
+// INL-relevant figure of merit of a switching sequence.
+double max_line_deviation(const std::vector<int>& sequence,
+                          const std::vector<double>& errors, double mean) {
+  double cum = 0.0;
+  double worst = 0.0;
+  for (std::size_t k = 0; k < sequence.size(); ++k) {
+    cum += errors[static_cast<std::size_t>(sequence[k])];
+    worst = std::max(worst,
+                     std::abs(cum - mean * static_cast<double>(k + 1)));
+  }
+  return worst;
+}
+
+}  // namespace
+
+std::vector<int> sspa_sequence(const std::vector<double>& measured_errors) {
+  RELSIM_REQUIRE(!measured_errors.empty(), "no sources to sequence");
+  const std::size_t n = measured_errors.size();
+  // INL is endpoint-corrected, and the cumulative error after all sources
+  // is order-invariant (the sum), so the quantity the sequence can shape is
+  // the *deviation from the straight line to the endpoint*.
+  double mean = 0.0;
+  for (double e : measured_errors) mean += e;
+  mean /= static_cast<double>(n);
+
+  // Stage 1 — greedy: at each step switch on the source that keeps
+  // |cumulative - k*mean| minimal.
+  std::vector<bool> used(n, false);
+  std::vector<int> sequence;
+  sequence.reserve(n);
+  double cumulative = 0.0;
+  for (std::size_t step = 0; step < n; ++step) {
+    const double target = mean * static_cast<double>(step + 1);
+    std::size_t best = n;
+    double best_abs = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double cand = std::abs(cumulative + measured_errors[i] - target);
+      if (best == n || cand < best_abs) {
+        best = i;
+        best_abs = cand;
+      }
+    }
+    used[best] = true;
+    cumulative += measured_errors[best];
+    sequence.push_back(static_cast<int>(best));
+  }
+
+  // Stage 2 — pairwise-swap refinement: the greedy consumes the
+  // well-matched sources early and leaves large same-magnitude errors for
+  // the tail of the walk; swapping positions fixes that cheaply. First
+  // improving swap per scan, until a full scan finds none.
+  double best_dev = max_line_deviation(sequence, measured_errors, mean);
+  for (int pass = 0; pass < 200; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < n && !improved; ++i) {
+      for (std::size_t j = i + 1; j < n && !improved; ++j) {
+        std::swap(sequence[i], sequence[j]);
+        const double dev = max_line_deviation(sequence, measured_errors, mean);
+        if (dev < best_dev) {
+          best_dev = dev;
+          improved = true;
+        } else {
+          std::swap(sequence[i], sequence[j]);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return sequence;
+}
+
+std::vector<int> natural_sequence(int n) {
+  RELSIM_REQUIRE(n > 0, "sequence length must be positive");
+  std::vector<int> seq(static_cast<std::size_t>(n));
+  std::iota(seq.begin(), seq.end(), 0);
+  return seq;
+}
+
+std::vector<double> measure_unary_errors(const CurrentSteeringDac& dac,
+                                         double sigma_meas_rel,
+                                         Xoshiro256& rng) {
+  RELSIM_REQUIRE(sigma_meas_rel >= 0.0,
+                 "measurement noise must be non-negative");
+  const NormalDistribution noise(0.0, sigma_meas_rel);
+  std::vector<double> measured;
+  measured.reserve(dac.unary_errors().size());
+  for (double e : dac.unary_errors()) {
+    measured.push_back(e + noise(rng));
+  }
+  return measured;
+}
+
+std::vector<int> calibrate_sspa(CurrentSteeringDac& dac,
+                                double sigma_meas_rel, Xoshiro256& rng) {
+  std::vector<int> seq =
+      sspa_sequence(measure_unary_errors(dac, sigma_meas_rel, rng));
+  dac.set_switching_sequence(seq);
+  return seq;
+}
+
+double required_unit_sigma_intrinsic(int total_bits, double inl_target_lsb,
+                                     double z_sigma) {
+  RELSIM_REQUIRE(total_bits >= 2, "total_bits too small");
+  RELSIM_REQUIRE(inl_target_lsb > 0.0 && z_sigma > 0.0,
+                 "INL target and confidence must be positive");
+  // Random-walk INL of a unit-cell DAC: worst-case sigma at midscale is
+  // sigma_unit * sqrt(2^N)/2 (in LSB). Require z_sigma * that <= target.
+  return 2.0 * inl_target_lsb /
+         (z_sigma * std::sqrt(std::pow(2.0, total_bits)));
+}
+
+double unit_cell_area_um2(const PelgromModel& pelgrom, double sigma_rel) {
+  RELSIM_REQUIRE(sigma_rel > 0.0, "sigma must be positive");
+  // sigma_single(beta) = (A_beta/sqrt 2) / sqrt(WL)  =>  WL = (A/(sqrt2 s))^2
+  const double a_beta = pelgrom.params().abeta_pct_um * 1e-2;  // -> relative
+  const double wl = std::pow(a_beta / (std::sqrt(2.0) * sigma_rel), 2.0);
+  return wl;
+}
+
+AreaComparison compare_analog_area(const DacConfig& config,
+                                   const PelgromModel& pelgrom,
+                                   double sigma_intrinsic,
+                                   double sigma_calibrated,
+                                   double sigma_binary,
+                                   double comparator_overhead_mm2) {
+  AreaComparison cmp;
+  cmp.sigma_intrinsic = sigma_intrinsic;
+  cmp.sigma_calibrated = sigma_calibrated;
+  cmp.comparator_overhead_mm2 = comparator_overhead_mm2;
+  const double unary_units =
+      static_cast<double>(config.unary_sources()) * config.units_per_unary();
+  const double binary_units = std::pow(2.0, config.binary_bits()) - 1.0;
+  const double um2_to_mm2 = 1e-6;
+  cmp.area_intrinsic_mm2 = (unary_units + binary_units) *
+                           unit_cell_area_um2(pelgrom, sigma_intrinsic) *
+                           um2_to_mm2;
+  cmp.area_calibrated_mm2 =
+      (unary_units * unit_cell_area_um2(pelgrom, sigma_calibrated) +
+       binary_units * unit_cell_area_um2(pelgrom, sigma_binary)) *
+      um2_to_mm2;
+  return cmp;
+}
+
+}  // namespace relsim::calibration

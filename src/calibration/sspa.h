@@ -1,0 +1,79 @@
+// Switching-Sequence Post-Adjustment (SSPA) calibration — Sec. 5.1 / [9].
+//
+// The technique of Chen & Gielen: after fabrication, measure each unary MSB
+// current source with a simple on-chip current comparator, then choose the
+// order in which the sources are switched on so that the accumulated error
+// stays near zero across the whole transfer curve. Random errors are
+// "partially cancelled out" at runtime, so the sources can be drawn at a
+// fraction of the intrinsic-accuracy area (the paper reports ~6% of the
+// analog area of an intrinsic 14-bit design, INL < 0.5 LSB, with a current
+// comparator as the only extra analog block).
+#pragma once
+
+#include <vector>
+
+#include "calibration/dac.h"
+#include "rng/rng.h"
+#include "variability/pelgrom.h"
+
+namespace relsim::calibration {
+
+/// Greedy SSPA sequence: at every step switch on the remaining source that
+/// keeps |cumulative error| minimal. `measured_errors` are the comparator
+/// readings of each unary source's relative error.
+std::vector<int> sspa_sequence(const std::vector<double>& measured_errors);
+
+/// The as-drawn (natural) sequence 0,1,2,...
+std::vector<int> natural_sequence(int n);
+
+/// Simulates the comparator measurement: true error + N(0, sigma_meas).
+std::vector<double> measure_unary_errors(const CurrentSteeringDac& dac,
+                                         double sigma_meas_rel,
+                                         Xoshiro256& rng);
+
+/// Applies the full SSPA flow (measure -> sort -> install) to a DAC.
+/// Returns the installed sequence.
+std::vector<int> calibrate_sspa(CurrentSteeringDac& dac,
+                                double sigma_meas_rel, Xoshiro256& rng);
+
+// ---------------------------------------------------------------------------
+// Intrinsic-accuracy sizing and the area comparison (Fig. 5 numbers)
+
+/// Unit-cell relative sigma that an UNCALIBRATED segmented DAC needs for
+/// INL <= `inl_target_lsb` at `z_sigma` confidence (random-walk model over
+/// the unary sources: sigma_INL ~ sigma_unit * sqrt(2^N) / 2).
+double required_unit_sigma_intrinsic(int total_bits, double inl_target_lsb,
+                                     double z_sigma);
+
+/// Pelgrom area of one unit current cell (um^2) for a target relative
+/// current sigma: WL = (A_beta / sigma)^2 with A_beta in %*um (single-device
+/// convention, so the pair constant divided by sqrt(2)).
+double unit_cell_area_um2(const PelgromModel& pelgrom, double sigma_rel);
+
+struct AreaComparison {
+  double sigma_intrinsic = 0.0;   ///< unit sigma the intrinsic design needs
+  double sigma_calibrated = 0.0;  ///< unit sigma SSPA tolerates
+  double area_intrinsic_mm2 = 0.0;
+  double area_calibrated_mm2 = 0.0;
+  double comparator_overhead_mm2 = 0.0;
+
+  double area_ratio() const {
+    return (area_calibrated_mm2 + comparator_overhead_mm2) /
+           area_intrinsic_mm2;
+  }
+};
+
+/// Computes the analog-area comparison for a DAC architecture: the total
+/// current-cell area of the intrinsic design vs the SSPA-calibrated design,
+/// plus a fixed comparator overhead. The calibrated design relaxes only the
+/// unary section to `sigma_calibrated`; its binary section stays at
+/// `sigma_binary` (typically the intrinsic sigma — SSPA does not cover it).
+/// Mirrors the Fig. 5 claim structure.
+AreaComparison compare_analog_area(const DacConfig& config,
+                                   const PelgromModel& pelgrom,
+                                   double sigma_intrinsic,
+                                   double sigma_calibrated,
+                                   double sigma_binary,
+                                   double comparator_overhead_mm2 = 0.002);
+
+}  // namespace relsim::calibration

@@ -1,0 +1,146 @@
+#include "core/reliability_sim.h"
+
+#include "aging/hci.h"
+#include "aging/nbti.h"
+#include "aging/tddb.h"
+#include "variability/sampler.h"
+#include "util/error.h"
+
+namespace relsim {
+
+ReliabilitySimulator::ReliabilitySimulator(const ReliabilityConfig& config)
+    : config_(config),
+      pelgrom_(config.tech != nullptr
+                   ? PelgromParams::from_tech(*config.tech)
+                   : PelgromParams{}),
+      em_(config.tech != nullptr ? config.tech->em : EmTechParams{}) {
+  RELSIM_REQUIRE(config.tech != nullptr,
+                 "ReliabilityConfig needs a technology node");
+}
+
+aging::AgingEngine ReliabilitySimulator::build_engine() const {
+  aging::AgingEngine engine;
+  if (config_.enable_nbti) {
+    engine.add_model(std::make_unique<aging::NbtiModel>());
+  }
+  if (config_.enable_hci) {
+    engine.add_model(std::make_unique<aging::HciModel>());
+  }
+  if (config_.enable_tddb) {
+    engine.add_model(std::make_unique<aging::TddbModel>());
+  }
+  return engine;
+}
+
+void ReliabilitySimulator::apply_process_variation(spice::Circuit& circuit,
+                                                   Xoshiro256& rng) const {
+  for (spice::Mosfet* m : circuit.mosfets()) {
+    const MismatchSampler sampler(pelgrom_, m->params().w_um,
+                                  m->params().l_um);
+    const MismatchSample sample = sampler.sample_single(rng);
+    m->set_variation({sample.dvt, sample.dbeta_rel});
+  }
+}
+
+void ReliabilitySimulator::apply_global_shift(spice::Circuit& circuit,
+                                              const GlobalShift& shift) {
+  for (spice::Mosfet* m : circuit.mosfets()) {
+    spice::MosVariation v = m->variation();
+    if (m->params().is_pmos) {
+      // Positive pmos_dvt means "slow": the pMOS VT becomes more negative.
+      v.dvt += -shift.pmos_dvt;
+      v.dbeta_rel += shift.pmos_dbeta_rel;
+    } else {
+      v.dvt += shift.nmos_dvt;
+      v.dbeta_rel += shift.nmos_dbeta_rel;
+    }
+    m->set_variation(v);
+  }
+}
+
+aging::AgingReport ReliabilitySimulator::age(
+    spice::Circuit& circuit, const aging::StressRunner& runner) const {
+  aging::AgingOptions options;
+  options.mission = config_.mission;
+  options.seed = config_.seed;
+  options.refresh_stress_each_epoch = config_.refresh_stress_each_epoch;
+  const aging::AgingEngine engine = build_engine();
+  return engine.age(circuit, options, runner,
+                    config_.enable_em ? &em_ : nullptr);
+}
+
+YieldEstimate ReliabilitySimulator::yield(const CircuitFactory& factory,
+                                          const SpecPredicate& pass,
+                                          std::size_t n) const {
+  const MonteCarloEngine mc(config_.seed);
+  return mc.estimate_yield(n, [&](Xoshiro256& rng, std::size_t) {
+    auto circuit = factory();
+    apply_process_variation(*circuit, rng);
+    return pass(*circuit);
+  });
+}
+
+YieldEstimate ReliabilitySimulator::lifetime_yield(
+    const CircuitFactory& factory, const SpecPredicate& pass, std::size_t n,
+    const aging::StressRunner& runner) const {
+  const MonteCarloEngine mc(config_.seed);
+  const aging::AgingEngine engine = build_engine();
+  return mc.estimate_yield(n, [&](Xoshiro256& rng, std::size_t index) {
+    auto circuit = factory();
+    apply_process_variation(*circuit, rng);
+    aging::AgingOptions options;
+    options.mission = config_.mission;
+    // Per-sample aging seed so stochastic mechanisms (TDDB spot, EM spread)
+    // vary across virtual fabrications.
+    options.seed = derive_seed(config_.seed, {0xA6E, index});
+    options.refresh_stress_each_epoch = config_.refresh_stress_each_epoch;
+    engine.age(*circuit, options, runner,
+               config_.enable_em ? &em_ : nullptr);
+    return pass(*circuit);
+  });
+}
+
+double ReliabilitySimulator::estimate_lifetime_years(
+    const CircuitFactory& factory, const SpecPredicate& pass,
+    double max_years, double tolerance_years,
+    const aging::StressRunner& runner) const {
+  RELSIM_REQUIRE(max_years > 0.0, "lifetime horizon must be positive");
+  RELSIM_REQUIRE(tolerance_years > 0.0, "tolerance must be positive");
+  const aging::AgingEngine engine = build_engine();
+
+  auto passes_after = [&](double years) {
+    auto circuit = factory();
+    if (years > 0.0) {
+      aging::AgingOptions options;
+      options.mission = config_.mission;
+      options.mission.years = years;
+      options.seed = config_.seed;
+      options.refresh_stress_each_epoch = config_.refresh_stress_each_epoch;
+      engine.age(*circuit, options, runner,
+                 config_.enable_em ? &em_ : nullptr);
+    }
+    return pass(*circuit);
+  };
+
+  if (!passes_after(0.0)) return 0.0;
+  if (passes_after(max_years)) return max_years;
+  double lo = 0.0, hi = max_years;
+  while (hi - lo > tolerance_years) {
+    const double mid = 0.5 * (lo + hi);
+    (passes_after(mid) ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> ReliabilitySimulator::metric_distribution(
+    const CircuitFactory& factory, const CircuitMetric& metric,
+    std::size_t n) const {
+  const MonteCarloEngine mc(config_.seed);
+  return mc.run_metric(n, [&](Xoshiro256& rng, std::size_t) {
+    auto circuit = factory();
+    apply_process_variation(*circuit, rng);
+    return metric(*circuit);
+  });
+}
+
+}  // namespace relsim

@@ -1,0 +1,106 @@
+// ReliabilitySimulator — the top-level API of relsim.
+//
+// The paper's thesis: circuits in nanometer CMOS must be analysed for BOTH
+// time-zero yield (variability, Sec. 2) and time-dependent reliability
+// (NBTI/HCI/TDDB/EM, Sec. 3) at design time. This facade wires the pieces
+// together:
+//
+//   build circuit -> apply sampled process variation (Pelgrom)
+//                 -> age over a mission profile (AgingEngine + EmModel)
+//                 -> evaluate performance metrics / spec predicates
+//                 -> Monte-Carlo over virtual fabrications
+//
+// yield()           = fraction of fresh samples meeting spec   (Sec. 2)
+// lifetime_yield()  = fraction meeting spec at END OF LIFE     (Sec. 3)
+// The gap between the two is exactly the reliability margin the paper's
+// countermeasures (calibration, knobs & monitors) recover.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "aging/engine.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+#include "variability/corners.h"
+#include "variability/montecarlo.h"
+#include "variability/pelgrom.h"
+
+namespace relsim {
+
+struct ReliabilityConfig {
+  const TechNode* tech = nullptr;  ///< required
+  aging::MissionProfile mission;
+  std::uint64_t seed = 0xC0FFEE;
+  bool enable_nbti = true;
+  bool enable_hci = true;
+  bool enable_tddb = true;
+  bool enable_em = true;
+  bool refresh_stress_each_epoch = true;
+};
+
+/// Builds a fresh copy of the circuit under test (called once per MC
+/// sample; the circuit is then varied, aged and measured in place).
+using CircuitFactory = std::function<std::unique_ptr<spice::Circuit>()>;
+
+/// Pass/fail predicate on a (possibly varied/aged) circuit.
+using SpecPredicate = std::function<bool(spice::Circuit&)>;
+
+/// Scalar metric on a circuit.
+using CircuitMetric = std::function<double(spice::Circuit&)>;
+
+class ReliabilitySimulator {
+ public:
+  explicit ReliabilitySimulator(const ReliabilityConfig& config);
+
+  const ReliabilityConfig& config() const { return config_; }
+  const PelgromModel& pelgrom() const { return pelgrom_; }
+
+  /// Applies sampled Pelgrom mismatch to every MOSFET in the circuit.
+  void apply_process_variation(spice::Circuit& circuit,
+                               Xoshiro256& rng) const;
+
+  /// Applies a global (die-level) shift on top of any existing variation —
+  /// corner analysis (variability/corners.h).
+  static void apply_global_shift(spice::Circuit& circuit,
+                                 const GlobalShift& shift);
+
+  /// Ages the circuit in place over the configured mission.
+  aging::AgingReport age(spice::Circuit& circuit,
+                         const aging::StressRunner& runner = {}) const;
+
+  /// Time-zero yield over `n` virtual fabrications.
+  YieldEstimate yield(const CircuitFactory& factory, const SpecPredicate& pass,
+                      std::size_t n) const;
+
+  /// End-of-life yield: variation + full mission aging before the check.
+  YieldEstimate lifetime_yield(const CircuitFactory& factory,
+                               const SpecPredicate& pass, std::size_t n,
+                               const aging::StressRunner& runner = {}) const;
+
+  /// Metric distribution over `n` fresh samples.
+  std::vector<double> metric_distribution(const CircuitFactory& factory,
+                                          const CircuitMetric& metric,
+                                          std::size_t n) const;
+
+  /// Lifetime estimation (the [27] flow of the paper: "lifetime estimation
+  /// of analog circuits from the electrical characteristics of stressed
+  /// MOSFETs"): bisects the mission length until `pass` first fails on the
+  /// aged nominal circuit. Returns max_years when the circuit outlives the
+  /// horizon, and 0 when it fails fresh. Degradation is assumed monotone
+  /// in time (true for the deterministic mechanisms; TDDB timelines are
+  /// deterministic per seed).
+  double estimate_lifetime_years(const CircuitFactory& factory,
+                                 const SpecPredicate& pass, double max_years,
+                                 double tolerance_years = 0.1,
+                                 const aging::StressRunner& runner = {}) const;
+
+ private:
+  aging::AgingEngine build_engine() const;
+
+  ReliabilityConfig config_;
+  PelgromModel pelgrom_;
+  aging::EmModel em_;
+};
+
+}  // namespace relsim

@@ -1,0 +1,108 @@
+#include "em_layout/planner.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace relsim::em_layout {
+
+using aging::EmModel;
+using aging::WireStress;
+
+namespace {
+
+WireStress to_stress(const WireRequest& req, double width_um,
+                     double thickness_um) {
+  WireStress s;
+  s.width_um = width_um;
+  s.length_um = req.length_um;
+  s.thickness_um = thickness_um;
+  s.dc_current_a = req.current_a;
+  s.rms_current_a = req.current_a;
+  s.temp_k = req.temp_k;
+  s.good_via_reservoir = req.good_via_reservoir;
+  return s;
+}
+
+}  // namespace
+
+EmAwarePlanner::EmAwarePlanner(const EmModel& em, double target_lifetime_years)
+    : em_(em), target_years_(target_lifetime_years) {
+  RELSIM_REQUIRE(target_lifetime_years > 0.0,
+                 "lifetime target must be positive");
+}
+
+WirePlan EmAwarePlanner::evaluate(const WireRequest& request, double width_um,
+                                  int slots) const {
+  RELSIM_REQUIRE(width_um > 0.0, "width must be positive");
+  RELSIM_REQUIRE(slots >= 1, "slots must be >= 1");
+  WirePlan plan;
+  plan.request = request;
+  plan.width_um = width_um;
+  plan.slots = slots;
+  // A slotted wire splits the current over `slots` identical fingers.
+  WireRequest finger = request;
+  finger.current_a = request.current_a / slots;
+  const WireStress stress =
+      to_stress(finger, width_um / slots, em_.tech().metal_thickness_um);
+  plan.current_density_a_cm2 = em_.current_density_a_cm2(stress);
+  plan.blech_immune = em_.blech_immune(stress);
+  plan.mttf_years = em_.mttf_s(stress) / units::kSecondsPerYear;
+  return plan;
+}
+
+WirePlan EmAwarePlanner::plan(const WireRequest& request) const {
+  const double target_s = target_years_ * units::kSecondsPerYear;
+  const double width = em_.min_width_for_lifetime_um(
+      std::abs(request.current_a), request.length_um, request.temp_k,
+      target_s);
+  return evaluate(request, std::max(width, 1e-3));
+}
+
+WirePlan EmAwarePlanner::plan_slotted(const WireRequest& request,
+                                      int slots) const {
+  RELSIM_REQUIRE(slots >= 1, "slots must be >= 1");
+  const double target_s = target_years_ * units::kSecondsPerYear;
+  const double finger_width = em_.min_width_for_lifetime_um(
+      std::abs(request.current_a) / slots, request.length_um, request.temp_k,
+      target_s);
+  return evaluate(request, std::max(finger_width, 1e-3) * slots, slots);
+}
+
+std::vector<WirePlan> EmAwarePlanner::plan_all(
+    const std::vector<WireRequest>& requests) const {
+  std::vector<WirePlan> plans;
+  plans.reserve(requests.size());
+  for (const auto& req : requests) plans.push_back(plan(req));
+  return plans;
+}
+
+std::vector<WireAuditEntry> audit_circuit(spice::Circuit& circuit,
+                                          const EmModel& em, double temp_k,
+                                          double target_lifetime_years) {
+  RELSIM_REQUIRE(target_lifetime_years > 0.0,
+                 "lifetime target must be positive");
+  std::vector<WireAuditEntry> audit;
+  for (spice::Resistor* wire : circuit.wires()) {
+    const WireStress stress = WireStress::from_resistor(*wire, temp_k);
+    WireAuditEntry entry;
+    entry.name = wire->name();
+    entry.width_um = stress.width_um;
+    entry.dc_current_a = stress.dc_current_a;
+    entry.current_density_a_cm2 = em.current_density_a_cm2(stress);
+    entry.blech_immune = em.blech_immune(stress);
+    entry.mttf_years = em.mttf_s(stress) / units::kSecondsPerYear;
+    entry.passes = entry.mttf_years >= target_lifetime_years;
+    entry.required_width_um =
+        entry.passes
+            ? stress.width_um
+            : em.min_width_for_lifetime_um(
+                  std::abs(stress.dc_current_a), stress.length_um, temp_k,
+                  target_lifetime_years * units::kSecondsPerYear);
+    audit.push_back(entry);
+  }
+  return audit;
+}
+
+}  // namespace relsim::em_layout

@@ -1,0 +1,87 @@
+// EM-aware physical design helpers — Sec. 3.4 of the paper:
+// "the effect must be considered in the layout phase of a design. Because of
+// the fixed thickness of the interconnect in a standard CMOS process, wires
+// must be widened to reduce the degradation. Special layout techniques such
+// as Slotted Wires [25] and good orientation of vias (Reservoir effect) [30]
+// can also be used ... Some of these techniques can be applied automatically
+// by the use of an EM-aware design flow [25]."
+//
+// EmAwarePlanner is that flow's sizing kernel: it turns (current, length,
+// temperature, lifetime target) into wire widths, optionally via slotting,
+// and audits existing circuits whose wires carry recorded currents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aging/em.h"
+#include "spice/circuit.h"
+
+namespace relsim::em_layout {
+
+struct WireRequest {
+  std::string name;
+  double current_a = 0.0;
+  double length_um = 10.0;
+  double temp_k = 378.0;
+  bool good_via_reservoir = true;
+};
+
+struct WirePlan {
+  WireRequest request;
+  double width_um = 0.0;
+  /// Number of parallel slotted fingers (1 = solid wire).
+  int slots = 1;
+  double current_density_a_cm2 = 0.0;
+  double mttf_years = 0.0;
+  bool blech_immune = false;
+};
+
+class EmAwarePlanner {
+ public:
+  EmAwarePlanner(const aging::EmModel& em, double target_lifetime_years);
+
+  double target_lifetime_years() const { return target_years_; }
+
+  /// Sizes a solid wire for the lifetime target.
+  WirePlan plan(const WireRequest& request) const;
+
+  /// Sizes a slotted wire [25]: the current is split over `slots` parallel
+  /// fingers, each narrow enough to be bamboo. Total metal width is
+  /// returned in width_um (slots * finger width); the per-finger lifetime
+  /// gain comes from the bamboo factor.
+  WirePlan plan_slotted(const WireRequest& request, int slots) const;
+
+  /// Plans every request; solid wires, shared target.
+  std::vector<WirePlan> plan_all(const std::vector<WireRequest>& requests) const;
+
+  /// Evaluates (does not size) a wire of known width.
+  WirePlan evaluate(const WireRequest& request, double width_um,
+                    int slots = 1) const;
+
+ private:
+  aging::EmModel em_;
+  double target_years_;
+};
+
+/// Audit entry for one wire of an existing circuit.
+struct WireAuditEntry {
+  std::string name;
+  double width_um = 0.0;
+  double dc_current_a = 0.0;
+  double current_density_a_cm2 = 0.0;
+  bool blech_immune = false;
+  double mttf_years = 0.0;
+  bool passes = false;
+  double required_width_um = 0.0;  ///< suggested fix when failing
+};
+
+/// Audits every geometry-carrying resistor in the circuit against the
+/// lifetime target. Wires must have recorded current stress (run a
+/// workload with stress recording, or the DC stress runner, first).
+std::vector<WireAuditEntry> audit_circuit(spice::Circuit& circuit,
+                                          const aging::EmModel& em,
+                                          double temp_k,
+                                          double target_lifetime_years);
+
+}  // namespace relsim::em_layout

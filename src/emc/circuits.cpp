@@ -1,0 +1,52 @@
+#include "emc/circuits.h"
+
+namespace relsim::emc {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+CurrentReferenceBench build_current_reference(
+    const TechNode& tech, const CurrentReferenceOptions& options) {
+  CurrentReferenceBench bench;
+  bench.circuit = std::make_unique<Circuit>();
+  Circuit& c = *bench.circuit;
+
+  const NodeId vdd = c.node("vdd");
+  const NodeId gate1 = c.node("gate1");  // M1 diode node, EMI lands here
+  const NodeId gate2 = c.node("gate2");  // M2 gate behind the RC filter
+  const NodeId out = c.node("out");
+  const NodeId vmeas = c.node("vmeas");
+  const NodeId emi = c.node("emi");
+  const NodeId emi_r = c.node("emi_r");
+
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  // Reference current into the diode-connected mirror input.
+  c.add_isource("IREF", vdd, gate1, options.i_ref_a);
+  const auto mirror_params = spice::make_mos_params(
+      tech, options.mirror_w_um, options.mirror_l_um, false);
+  c.add_mosfet("M1", gate1, gate1, kGround, kGround, mirror_params);
+  c.add_resistor("RF", gate1, gate2, options.filter_r_ohm);
+  c.add_mosfet("M2", out, gate2, kGround, kGround, mirror_params);
+  // Output held near mid-rail through a 0V measuring source so that the
+  // mirror output stays saturated and I_OUT is directly observable.
+  c.add_vsource("VB", vmeas, kGround, 0.5 * tech.vdd);
+  c.add_vsource("VMEAS", vmeas, out, 0.0);
+
+  // Conducted-EMI path: source behind series R and coupling C to the gate.
+  c.add_vsource("VEMI", emi, kGround, 0.0);
+  c.add_resistor("REMI", emi, emi_r, options.series_r_ohm);
+  c.add_capacitor("CC", emi_r, gate1, options.coupling_cap_f);
+
+  if (options.filter_cap_f > 0.0) {
+    c.add_capacitor("CF", gate2, kGround, options.filter_cap_f);
+  }
+
+  bench.emi_source = "VEMI";
+  bench.output_monitor = "VMEAS";
+  bench.gate = gate1;
+  bench.i_ref = options.i_ref_a;
+  return bench;
+}
+
+}  // namespace relsim::emc

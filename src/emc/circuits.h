@@ -1,0 +1,51 @@
+// Reference EMC testbenches (Fig. 3 of the paper).
+//
+// Fig. 3 is a current reference in which a filtering capacitor at the
+// mirror gate *harms* the EMC behaviour: the diode-connected input device
+// rectifies the interference riding on the reference line, the filter
+// holds the rectified (lowered) gate DC, and the mean output current is
+// pumped to a lower value (Fig. 4).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "spice/circuit.h"
+#include "tech/tech.h"
+
+namespace relsim::emc {
+
+/// Handles into the built testbench.
+struct CurrentReferenceBench {
+  std::unique_ptr<spice::Circuit> circuit;
+  std::string emi_source;      ///< VoltageSource to inject EMI on
+  std::string output_monitor;  ///< 0V VoltageSource carrying I_OUT
+  spice::NodeId gate = spice::kGround;  ///< mirror gate node
+  double i_ref = 0.0;                   ///< nominal reference current
+};
+
+struct CurrentReferenceOptions {
+  double i_ref_a = 100e-6;
+  double filter_r_ohm = 10e3;      ///< filter R between the mirror gates
+  double filter_cap_f = 20e-12;    ///< filter cap at M2's gate (0 = none)
+  double coupling_cap_f = 10e-12;  ///< EMI coupling capacitance
+  double series_r_ohm = 1e3;       ///< source impedance of the EMI path
+  double mirror_w_um = 8.0;
+  double mirror_l_um = 0.5;
+};
+
+/// Builds the Fig. 3 testbench on the given technology:
+///
+///   IREF -> [node a: M1 diode + EMI coupling] -> RF -> [node g2: CF, M2]
+///
+/// The EMI source sits behind series_r + coupling_cap into M1's gate,
+/// mimicking conducted interference on the reference pin. The diode device
+/// rectifies the ripple (its mean gate voltage drops to keep the mean
+/// current equal to IREF); with the filter cap installed M2 reproduces the
+/// *lowered mean* -> I_OUT is pumped down. Without the filter, M2 sees the
+/// full ripple and its own convexity cancels the rectification — which is
+/// exactly why "filtering harms the EMC behaviour" in this circuit.
+CurrentReferenceBench build_current_reference(
+    const TechNode& tech, const CurrentReferenceOptions& options = {});
+
+}  // namespace relsim::emc

@@ -1,0 +1,146 @@
+#include "emc/emi.h"
+
+#include <cmath>
+
+#include "spice/probes.h"
+#include "util/error.h"
+
+namespace relsim::emc {
+
+using spice::Circuit;
+using spice::DcResult;
+using spice::SineWaveform;
+using spice::TransientOptions;
+using spice::TransientResult;
+using spice::VoltageSource;
+
+Observable Observable::node_voltage(spice::NodeId node) {
+  Observable o;
+  o.kind = Kind::kNodeVoltage;
+  o.node = node;
+  return o;
+}
+
+Observable Observable::source_current(std::string source_name) {
+  Observable o;
+  o.kind = Kind::kSourceCurrent;
+  o.source = std::move(source_name);
+  return o;
+}
+
+EmiAnalyzer::EmiAnalyzer(Circuit& circuit, std::string inject_source,
+                         Observable observable)
+    : circuit_(circuit),
+      inject_source_(std::move(inject_source)),
+      observable_(std::move(observable)) {
+  // Validate the names eagerly so misuse fails at construction.
+  circuit_.device_as<VoltageSource>(inject_source_);
+  if (observable_.kind == Observable::Kind::kSourceCurrent) {
+    circuit_.device_as<VoltageSource>(observable_.source);
+  }
+}
+
+double EmiAnalyzer::observe_dc(const DcResult& result) const {
+  if (observable_.kind == Observable::Kind::kNodeVoltage) {
+    return result.v(observable_.node);
+  }
+  return circuit_.device_as<VoltageSource>(observable_.source)
+      .current(result.x());
+}
+
+double EmiAnalyzer::baseline() const {
+  return observe_dc(spice::dc_operating_point(circuit_));
+}
+
+RectificationPoint EmiAnalyzer::measure(double amplitude_v,
+                                        double frequency_hz,
+                                        const EmiOptions& options) const {
+  RELSIM_REQUIRE(amplitude_v >= 0.0, "EMI amplitude must be non-negative");
+  RELSIM_REQUIRE(frequency_hz > 0.0, "EMI frequency must be positive");
+  RELSIM_REQUIRE(options.settle_cycles >= 1 && options.measure_cycles >= 1,
+                 "EMI analysis needs at least one settle and measure cycle");
+
+  RectificationPoint point;
+  point.amplitude_v = amplitude_v;
+  point.frequency_hz = frequency_hz;
+  point.baseline = baseline();
+
+  auto& source = circuit_.device_as<VoltageSource>(inject_source_);
+  const double dc_offset = source.waveform().dc_value();
+  auto original = source.waveform().clone();
+  source.set_waveform(
+      std::make_unique<SineWaveform>(dc_offset, amplitude_v, frequency_hz));
+
+  const double period = 1.0 / frequency_hz;
+  TransientOptions topt;
+  topt.newton = options.newton;
+  topt.dt = period / options.steps_per_cycle;
+  topt.t_stop = period * (options.settle_cycles + options.measure_cycles);
+
+  try {
+    std::vector<spice::NodeId> probe_nodes;
+    std::vector<std::string> probe_currents;
+    if (observable_.kind == Observable::Kind::kNodeVoltage) {
+      probe_nodes.push_back(observable_.node);
+    } else {
+      probe_currents.push_back(observable_.source);
+    }
+    const TransientResult res =
+        transient_analysis(circuit_, topt, probe_nodes, probe_currents);
+    const auto& values = observable_.kind == Observable::Kind::kNodeVoltage
+                             ? res.node(observable_.node)
+                             : res.source_current(observable_.source);
+    const double t_begin = period * options.settle_cycles;
+    point.with_emi =
+        spice::time_average(res.time(), values, t_begin, topt.t_stop);
+    point.ripple_pp =
+        spice::peak_to_peak(res.time(), values, t_begin, topt.t_stop);
+  } catch (...) {
+    source.set_waveform(std::move(original));
+    throw;
+  }
+  source.set_waveform(std::move(original));
+  return point;
+}
+
+std::vector<RectificationPoint> EmiAnalyzer::amplitude_sweep(
+    double frequency_hz, const std::vector<double>& amplitudes,
+    const EmiOptions& options) const {
+  std::vector<RectificationPoint> out;
+  out.reserve(amplitudes.size());
+  for (double amp : amplitudes) {
+    out.push_back(measure(amp, frequency_hz, options));
+  }
+  return out;
+}
+
+std::vector<RectificationPoint> EmiAnalyzer::frequency_sweep(
+    double amplitude_v, const std::vector<double>& frequencies,
+    const EmiOptions& options) const {
+  std::vector<RectificationPoint> out;
+  out.reserve(frequencies.size());
+  for (double f : frequencies) {
+    out.push_back(measure(amplitude_v, f, options));
+  }
+  return out;
+}
+
+double EmiAnalyzer::immunity_threshold(double frequency_hz,
+                                       double max_abs_shift, double amp_max,
+                                       const EmiOptions& options) const {
+  RELSIM_REQUIRE(max_abs_shift > 0.0, "shift budget must be positive");
+  RELSIM_REQUIRE(amp_max > 0.0, "amplitude ceiling must be positive");
+  if (std::abs(measure(amp_max, frequency_hz, options).shift()) <=
+      max_abs_shift) {
+    return amp_max;
+  }
+  double lo = 0.0, hi = amp_max;
+  for (int i = 0; i < 12; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const auto p = measure(mid, frequency_hz, options);
+    (std::abs(p.shift()) <= max_abs_shift ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace relsim::emc

@@ -1,0 +1,93 @@
+#include "linalg/complex_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+ComplexMatrix::ComplexMatrix(std::size_t rows, std::size_t cols, Complex fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void ComplexMatrix::fill(Complex value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+ComplexVector ComplexMatrix::multiply(const ComplexVector& x) const {
+  RELSIM_REQUIRE(x.size() == cols_, "matrix-vector size mismatch");
+  ComplexVector y(rows_, Complex(0.0, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc(0.0, 0.0);
+    const Complex* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+ComplexLu::ComplexLu(const ComplexMatrix& a, double singular_threshold)
+    : lu_(a), perm_(a.rows()) {
+  RELSIM_REQUIRE(a.rows() == a.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  std::vector<double> scale(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double m = 0.0;
+    for (std::size_t c = 0; c < n; ++c) m = std::max(m, std::abs(lu_(r, c)));
+    if (m == 0.0) throw SingularMatrixError("complex LU: zero row");
+    scale[r] = 1.0 / m;
+  }
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k)) * scale[k];
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double cand = std::abs(lu_(r, k)) * scale[r];
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(scale[k], scale[pivot]);
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    const Complex pivot_value = lu_(k, k);
+    if (std::abs(pivot_value) < singular_threshold) {
+      throw SingularMatrixError("complex LU: (near-)singular pivot");
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex factor = lu_(r, k) / pivot_value;
+      lu_(r, k) = factor;
+      if (factor == Complex(0.0, 0.0)) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+ComplexVector ComplexLu::solve(const ComplexVector& b) const {
+  const std::size_t n = size();
+  RELSIM_REQUIRE(b.size() == n, "complex LU solve: rhs size mismatch");
+  ComplexVector x(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    Complex acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    Complex acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+ComplexVector solve(const ComplexMatrix& a, const ComplexVector& b) {
+  return ComplexLu(a).solve(b);
+}
+
+}  // namespace relsim

@@ -1,0 +1,62 @@
+// Complex dense matrix + LU for AC (small-signal) analysis.
+//
+// Mirrors matrix.h/lu.h for std::complex<double>. Kept separate from the
+// real-valued path on purpose: the transient/DC hot loop stays free of
+// complex arithmetic and the two implementations stay independently
+// readable (see DESIGN.md "Design choices").
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace relsim {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols,
+                Complex fill = Complex(0.0, 0.0));
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  Complex operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void fill(Complex value);
+
+  ComplexVector multiply(const ComplexVector& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// Partial-pivot LU for complex systems. Throws SingularMatrixError on
+/// (near-)singular pivots.
+class ComplexLu {
+ public:
+  explicit ComplexLu(const ComplexMatrix& a,
+                     double singular_threshold = 1e-13);
+
+  std::size_t size() const { return lu_.rows(); }
+  ComplexVector solve(const ComplexVector& b) const;
+
+ private:
+  ComplexMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// One-shot convenience: solves A x = b.
+ComplexVector solve(const ComplexMatrix& a, const ComplexVector& b);
+
+}  // namespace relsim

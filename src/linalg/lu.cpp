@@ -1,0 +1,91 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+LuFactorization::LuFactorization(const Matrix& a, double singular_threshold)
+    : lu_(a), perm_(a.rows()) {
+  RELSIM_REQUIRE(a.rows() == a.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  // Scale factors for scaled partial pivoting: keeps the pivot choice
+  // meaningful when MNA rows mix conductances of very different magnitude.
+  std::vector<double> scale(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double m = 0.0;
+    for (std::size_t c = 0; c < n; ++c) m = std::max(m, std::abs(lu_(r, c)));
+    if (m == 0.0) throw SingularMatrixError("LU: zero row in matrix");
+    scale[r] = 1.0 / m;
+  }
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Choose the pivot row.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k)) * scale[k];
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double cand = std::abs(lu_(r, k)) * scale[r];
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(scale[k], scale[pivot]);
+      std::swap(perm_[k], perm_[pivot]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot_value = lu_(k, k);
+    if (std::abs(pivot_value) < singular_threshold) {
+      throw SingularMatrixError("LU: (near-)singular pivot at column " +
+                                std::to_string(k));
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / pivot_value;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+void LuFactorization::solve_into(const Vector& b, Vector& x) const {
+  const std::size_t n = size();
+  RELSIM_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+  x.resize(n);
+  // Forward substitution with the permutation applied on the fly.
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return LuFactorization(a).solve(b);
+}
+
+}  // namespace relsim

@@ -1,0 +1,37 @@
+// Partial-pivot LU factorization and solve.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace relsim {
+
+/// LU factorization with partial (row) pivoting: PA = LU, stored packed.
+/// Throws SingularMatrixError when a pivot falls below the singularity
+/// threshold.
+class LuFactorization {
+ public:
+  /// Factorizes a square matrix. `A` is copied.
+  explicit LuFactorization(const Matrix& a,
+                           double singular_threshold = 1e-13);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// In-place solve into `x` (x may alias b's storage after copy).
+  void solve_into(const Vector& b, Vector& x) const;
+
+  /// det(A); sign accounts for row swaps.
+  double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int pivot_sign_ = 1;
+};
+
+/// One-shot convenience: solves A x = b.
+Vector solve(const Matrix& a, const Vector& b);
+
+}  // namespace relsim

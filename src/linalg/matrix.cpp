@@ -1,0 +1,70 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  RELSIM_REQUIRE(x.size() == cols_, "matrix-vector size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::norm_inf() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += std::abs((*this)(r, c));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double norm2(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  RELSIM_REQUIRE(a.size() == b.size(), "vector size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+}  // namespace relsim

@@ -1,0 +1,61 @@
+// Dense row-major matrix for MNA systems.
+//
+// relsim's benchmark circuits have at most a few dozen unknowns, so a dense
+// matrix with partial-pivot LU beats the bookkeeping cost of a sparse
+// structure (see DESIGN.md "Design choices"; bench_kernels measures it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace relsim {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Sets every element to `value` without reallocating.
+  void fill(double value);
+
+  /// y = A*x. x.size() must equal cols().
+  Vector multiply(const Vector& x) const;
+
+  /// Max-abs element (used in convergence/conditioning diagnostics).
+  double max_abs() const;
+
+  /// Infinity norm (max absolute row sum).
+  double norm_inf() const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(const Vector& v);
+
+/// Infinity norm of a vector.
+double norm_inf(const Vector& v);
+
+/// r = a - b elementwise.
+Vector subtract(const Vector& a, const Vector& b);
+
+}  // namespace relsim

@@ -1,0 +1,82 @@
+#include "rng/distributions.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+NormalDistribution::NormalDistribution(double mean, double sigma)
+    : mean_(mean), sigma_(sigma) {
+  RELSIM_REQUIRE(sigma >= 0.0, "normal sigma must be non-negative");
+}
+
+double NormalDistribution::operator()(Xoshiro256& rng) const {
+  // Marsaglia polar method; the second variate of the pair is discarded so
+  // that the sample stream has no hidden state.
+  for (;;) {
+    const double u = rng.uniform(-1.0, 1.0);
+    const double v = rng.uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double factor = std::sqrt(-2.0 * std::log(s) / s);
+      return mean_ + sigma_ * u * factor;
+    }
+  }
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : normal_(mu, sigma) {}
+
+double LogNormalDistribution::operator()(Xoshiro256& rng) const {
+  return std::exp(normal_(rng));
+}
+
+LogNormalDistribution LogNormalDistribution::from_median(double median,
+                                                         double sigma) {
+  RELSIM_REQUIRE(median > 0.0, "lognormal median must be positive");
+  return LogNormalDistribution(std::log(median), sigma);
+}
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  RELSIM_REQUIRE(shape > 0.0 && scale > 0.0,
+                 "Weibull shape and scale must be positive");
+}
+
+double WeibullDistribution::quantile(double p) const {
+  RELSIM_REQUIRE(p > 0.0 && p < 1.0, "Weibull quantile needs p in (0,1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double WeibullDistribution::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(t / scale_, shape_));
+}
+
+double WeibullDistribution::operator()(Xoshiro256& rng) const {
+  // 1 - u is uniform on (0,1]; guard the u==0 endpoint explicitly.
+  double u = rng.uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  RELSIM_REQUIRE(rate > 0.0, "exponential rate must be positive");
+}
+
+double ExponentialDistribution::operator()(Xoshiro256& rng) const {
+  double u = rng.uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return -std::log1p(-u) / rate_;
+}
+
+BernoulliDistribution::BernoulliDistribution(double p) : p_(p) {
+  RELSIM_REQUIRE(p >= 0.0 && p <= 1.0, "Bernoulli p must be in [0,1]");
+}
+
+bool BernoulliDistribution::operator()(Xoshiro256& rng) const {
+  return rng.uniform01() < p_;
+}
+
+}  // namespace relsim

@@ -1,0 +1,83 @@
+// Portable, reproducible sampling distributions.
+//
+// The standard-library distributions produce implementation-defined streams;
+// these implementations are fully specified so MC experiments reproduce
+// bit-for-bit everywhere. Each distribution is a small value type holding
+// its parameters; sampling takes the engine explicitly.
+#pragma once
+
+#include "rng/rng.h"
+
+namespace relsim {
+
+/// Normal(mean, sigma) via the Marsaglia polar method. Each sample draws a
+/// fresh pair (no cached spare), so a given (seed, call index) always yields
+/// the same value regardless of which distributions were sampled before.
+class NormalDistribution {
+ public:
+  NormalDistribution(double mean, double sigma);
+  double operator()(Xoshiro256& rng) const;
+  double mean() const { return mean_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mean_;
+  double sigma_;
+};
+
+/// LogNormal: exp(Normal(mu, sigma)) — mu/sigma are the parameters of the
+/// underlying normal (the convention used for EM lifetime spread).
+class LogNormalDistribution {
+ public:
+  LogNormalDistribution(double mu, double sigma);
+  double operator()(Xoshiro256& rng) const;
+
+  /// Builds the distribution from the median t50 and log-space sigma
+  /// (EM convention: mu = ln t50).
+  static LogNormalDistribution from_median(double median, double sigma);
+
+ private:
+  NormalDistribution normal_;
+};
+
+/// Weibull(shape k, scale lambda) via inverse-CDF sampling.
+/// CDF: F(t) = 1 - exp(-(t/lambda)^k). Used for time-to-breakdown (TDDB).
+class WeibullDistribution {
+ public:
+  WeibullDistribution(double shape, double scale);
+  double operator()(Xoshiro256& rng) const;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  /// Quantile function (inverse CDF) at probability p in (0,1).
+  double quantile(double p) const;
+
+  /// CDF at time t >= 0.
+  double cdf(double t) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Exponential(rate) via inverse CDF.
+class ExponentialDistribution {
+ public:
+  explicit ExponentialDistribution(double rate);
+  double operator()(Xoshiro256& rng) const;
+
+ private:
+  double rate_;
+};
+
+/// Bernoulli(p) -> bool.
+class BernoulliDistribution {
+ public:
+  explicit BernoulliDistribution(double p);
+  bool operator()(Xoshiro256& rng) const;
+
+ private:
+  double p_;
+};
+
+}  // namespace relsim

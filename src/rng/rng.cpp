@@ -1,0 +1,66 @@
+#include "rng/rng.h"
+
+#include "util/error.h"
+
+namespace relsim {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) {
+  RELSIM_REQUIRE(n > 0, "uniform_index needs n > 0");
+  // Rejection sampling on the top bits to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> stream) {
+  std::uint64_t state = base ^ 0xd6e8feb86659fd93ull;
+  std::uint64_t acc = splitmix64(state);
+  for (std::uint64_t id : stream) {
+    state ^= id + 0x9e3779b97f4a7c15ull + (acc << 6) + (acc >> 2);
+    acc = splitmix64(state);
+  }
+  return acc;
+}
+
+}  // namespace relsim

@@ -1,0 +1,54 @@
+// Reproducible random number generation.
+//
+// Monte-Carlo results in relsim must be bit-reproducible across platforms
+// and across parallel decompositions, so we do not use std:: engines or
+// std:: distributions (their stream is implementation-defined). The engine
+// is xoshiro256++, seeded through SplitMix64. derive_seed() hashes an
+// arbitrary list of stream identifiers into an independent seed so that
+// (experiment, sample-index) pairs get decorrelated streams — any MC sample
+// can be regenerated in isolation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+namespace relsim {
+
+/// SplitMix64 step; also used as the seed-derivation hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through SplitMix64 as recommended by the
+  /// xoshiro authors; any 64-bit seed (including 0) is valid.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Derives a decorrelated seed from a base seed and a list of stream ids
+/// (e.g. {experiment_id, sample_index}). Deterministic and order-sensitive.
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> stream);
+
+}  // namespace relsim

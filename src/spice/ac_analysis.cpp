@@ -1,0 +1,122 @@
+#include "spice/ac_analysis.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace relsim::spice {
+
+// ---------------------------------------------------------------------------
+// AcStampArgs helpers (declared in device.h)
+
+void AcStampArgs::add_jac(int row, int col, Complex value) {
+  if (row < 0 || col < 0) return;
+  jac(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+}
+
+void AcStampArgs::add_rhs(int row, Complex value) {
+  if (row < 0) return;
+  rhs[static_cast<std::size_t>(row)] += value;
+}
+
+void AcStampArgs::add_admittance(NodeId a, NodeId b, Complex y) {
+  const int ia = StampArgs::unknown_of(a);
+  const int ib = StampArgs::unknown_of(b);
+  add_jac(ia, ia, y);
+  add_jac(ib, ib, y);
+  add_jac(ia, ib, -y);
+  add_jac(ib, ia, -y);
+}
+
+void AcStampArgs::add_current(NodeId a, NodeId b, Complex i) {
+  add_rhs(StampArgs::unknown_of(a), -i);
+  add_rhs(StampArgs::unknown_of(b), i);
+}
+
+// ---------------------------------------------------------------------------
+// AcResult
+
+Complex AcResult::v(std::size_t k, NodeId node) const {
+  RELSIM_REQUIRE(k < solutions_.size(), "frequency index out of range");
+  if (node == kGround) return Complex(0.0, 0.0);
+  return solutions_[k][static_cast<std::size_t>(node - 1)];
+}
+
+std::vector<double> AcResult::magnitude(NodeId node) const {
+  std::vector<double> out;
+  out.reserve(freqs_.size());
+  for (std::size_t k = 0; k < freqs_.size(); ++k) {
+    out.push_back(std::abs(v(k, node)));
+  }
+  return out;
+}
+
+std::vector<double> AcResult::magnitude_db(NodeId node) const {
+  std::vector<double> out = magnitude(node);
+  for (double& m : out) m = 20.0 * std::log10(std::max(m, 1e-300));
+  return out;
+}
+
+std::vector<double> AcResult::phase(NodeId node) const {
+  std::vector<double> out;
+  out.reserve(freqs_.size());
+  for (std::size_t k = 0; k < freqs_.size(); ++k) {
+    out.push_back(std::arg(v(k, node)));
+  }
+  return out;
+}
+
+double AcResult::corner_frequency(NodeId node) const {
+  const std::vector<double> db = magnitude_db(node);
+  RELSIM_REQUIRE(!db.empty(), "AC result is empty");
+  const double target = db.front() - 3.0103;  // -3 dB (half power)
+  for (std::size_t k = 1; k < db.size(); ++k) {
+    if (db[k] <= target && db[k - 1] > target) {
+      // Interpolate in log-frequency.
+      const double t = (db[k - 1] - target) / (db[k - 1] - db[k]);
+      const double lf = std::log10(freqs_[k - 1]) +
+                        t * (std::log10(freqs_[k]) - std::log10(freqs_[k - 1]));
+      return std::pow(10.0, lf);
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+
+AcResult ac_analysis(Circuit& circuit,
+                     const std::vector<double>& frequencies_hz,
+                     const AcOptions& options) {
+  RELSIM_REQUIRE(!frequencies_hz.empty(), "AC analysis needs frequencies");
+  circuit.assemble();
+
+  // Linearization point.
+  const DcResult op = dc_operating_point(circuit, options.dc);
+
+  const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
+  AcResult result;
+  result.freqs_ = frequencies_hz;
+  result.solutions_.reserve(frequencies_hz.size());
+
+  ComplexMatrix jac(n, n);
+  ComplexVector rhs(n);
+  for (double f : frequencies_hz) {
+    RELSIM_REQUIRE(f > 0.0, "AC frequencies must be positive");
+    jac.fill(Complex(0.0, 0.0));
+    std::fill(rhs.begin(), rhs.end(), Complex(0.0, 0.0));
+    AcStampArgs args{jac, rhs, op.x(), 2.0 * std::numbers::pi * f};
+    for (const auto& device : circuit.devices()) device->stamp_ac(args);
+    // Same diagonal gmin discipline as the DC solve: keeps matrices
+    // regular with cut-off stacks and floating nodes.
+    const Complex gmin(options.dc.newton.gmin, 0.0);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(circuit.node_count()); ++i) {
+      jac(i, i) += gmin;
+    }
+    result.solutions_.push_back(ComplexLu(jac).solve(rhs));
+  }
+  return result;
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,59 @@
+// AC (small-signal) frequency-domain analysis.
+//
+// Linearizes the circuit around its DC operating point and solves the
+// complex MNA system at each requested frequency. Excitation comes from
+// sources whose AC magnitude has been set (set_ac_magnitude); every other
+// source is an AC ground/open. Used by the EMC work to cross-check the
+// coupling transfer function the time-domain rectification rides on, and
+// by amplifier characterization (gain/bandwidth) in general.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "linalg/complex_matrix.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+
+namespace relsim::spice {
+
+struct AcOptions {
+  /// DC operating-point controls for the linearization point.
+  DcOptions dc;
+};
+
+class AcResult {
+ public:
+  const std::vector<double>& frequencies() const { return freqs_; }
+
+  /// Complex node voltage at frequency index `k`.
+  Complex v(std::size_t k, NodeId node) const;
+
+  /// |V(node)| across all frequencies.
+  std::vector<double> magnitude(NodeId node) const;
+
+  /// 20*log10|V(node)| across all frequencies.
+  std::vector<double> magnitude_db(NodeId node) const;
+
+  /// Phase in radians across all frequencies.
+  std::vector<double> phase(NodeId node) const;
+
+  /// -3dB corner relative to the response at the first frequency point;
+  /// linear interpolation in log-magnitude, 0 when never crossed.
+  double corner_frequency(NodeId node) const;
+
+  std::size_t point_count() const { return freqs_.size(); }
+
+ private:
+  friend AcResult ac_analysis(Circuit&, const std::vector<double>&,
+                              const AcOptions&);
+  std::vector<double> freqs_;
+  std::vector<ComplexVector> solutions_;  ///< one vector per frequency
+};
+
+/// Runs the AC analysis over `frequencies_hz` (each > 0).
+AcResult ac_analysis(Circuit& circuit,
+                     const std::vector<double>& frequencies_hz,
+                     const AcOptions& options = {});
+
+}  // namespace relsim::spice

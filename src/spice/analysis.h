@@ -1,0 +1,113 @@
+// DC and transient analyses.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+
+namespace relsim::spice {
+
+/// Newton-iteration controls shared by DC and transient analyses.
+struct NewtonOptions {
+  int max_iterations = 200;
+  double v_abstol = 1e-6;   ///< node-voltage absolute tolerance, V
+  double i_abstol = 1e-9;   ///< branch-current absolute tolerance, A
+  double reltol = 1e-6;
+  double max_step_v = 1.0;  ///< per-iteration voltage-update damping limit
+  double gmin = 1e-12;      ///< conductance added from every node to ground
+};
+
+struct DcOptions {
+  NewtonOptions newton;
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+};
+
+/// Result of a converged DC operating point.
+class DcResult {
+ public:
+  DcResult(Vector x, int iterations) : x_(std::move(x)), iters_(iterations) {}
+
+  const Vector& x() const { return x_; }
+  int iterations() const { return iters_; }
+
+  double v(NodeId node) const {
+    return node == kGround ? 0.0 : x_[static_cast<std::size_t>(node - 1)];
+  }
+
+ private:
+  Vector x_;
+  int iters_;
+};
+
+/// Solves the DC operating point. Tries plain Newton from `initial_guess`
+/// (zeros when empty), then gmin stepping, then source stepping. Throws
+/// ConvergenceError when everything fails.
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options = {},
+                            const Vector& initial_guess = {});
+
+/// Sweeps the DC value of `source` over `values`, reusing each solution as
+/// the next starting point. Returns one DcResult per value.
+std::vector<DcResult> dc_sweep(Circuit& circuit, VoltageSource& source,
+                               const std::vector<double>& values,
+                               const DcOptions& options = {});
+
+/// Low-level Newton solve used by both analyses (exposed for tests).
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+};
+NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
+                          Integrator integrator, double time, double dt,
+                          double source_scale, double gmin,
+                          const NewtonOptions& options);
+
+// ---------------------------------------------------------------------------
+// Transient
+
+struct TransientOptions {
+  double dt = 1e-9;      ///< nominal step
+  double t_stop = 1e-6;  ///< end time
+  Integrator integrator = Integrator::kTrapezoidal;
+  NewtonOptions newton;
+  /// When true, skip the initial DC operating point and start from the
+  /// voltages in `initial_conditions` (unspecified nodes start at 0 V) —
+  /// SPICE "UIC". Needed to start oscillators.
+  bool use_initial_conditions = false;
+  std::map<NodeId, double> initial_conditions;
+  /// Maximum number of successive step halvings on non-convergence.
+  int max_step_halvings = 8;
+};
+
+/// Recorded waveforms of a transient run.
+class TransientResult {
+ public:
+  const std::vector<double>& time() const { return time_; }
+  /// Waveform of a probed node (throws if the node was not probed).
+  const std::vector<double>& node(NodeId node) const;
+  /// Waveform of a probed source branch current.
+  const std::vector<double>& source_current(const std::string& name) const;
+
+  std::size_t step_count() const { return time_.size(); }
+
+ private:
+  friend TransientResult transient_analysis(
+      Circuit&, const TransientOptions&, const std::vector<NodeId>&,
+      const std::vector<std::string>&);
+
+  std::vector<double> time_;
+  std::map<NodeId, std::vector<double>> nodes_;
+  std::map<std::string, std::vector<double>> currents_;
+};
+
+/// Runs a transient analysis, probing the listed nodes and the branch
+/// currents of the listed voltage sources. Devices accumulate stress when
+/// recording is enabled on the circuit.
+TransientResult transient_analysis(
+    Circuit& circuit, const TransientOptions& options,
+    const std::vector<NodeId>& probe_nodes = {},
+    const std::vector<std::string>& probe_source_currents = {});
+
+}  // namespace relsim::spice

@@ -1,0 +1,171 @@
+#include "spice/circuit.h"
+
+#include "util/error.h"
+
+namespace relsim::spice {
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = next_node_++;
+  node_ids_.emplace(name, id);
+  node_names_.push_back(name);
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_ids_.find(name);
+  RELSIM_REQUIRE(it != node_ids_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  RELSIM_REQUIRE(id >= 0 && id < next_node_, "node id out of range");
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+int Circuit::unknown_count() const {
+  RELSIM_REQUIRE(assembled_, "circuit not assembled yet");
+  return node_count() + extra_unknowns_;
+}
+
+Device& Circuit::add_device(std::unique_ptr<Device> device) {
+  RELSIM_REQUIRE(device != nullptr, "null device");
+  RELSIM_REQUIRE(device_index_.find(device->name()) == device_index_.end(),
+                 "duplicate device name: " + device->name());
+  Device& ref = *device;
+  device_index_.emplace(device->name(), &ref);
+  devices_.push_back(std::move(device));
+  assembled_ = false;
+  return ref;
+}
+
+Resistor& Circuit::add_resistor(const std::string& name, NodeId a, NodeId b,
+                                double resistance) {
+  return static_cast<Resistor&>(
+      add_device(std::make_unique<Resistor>(name, a, b, resistance)));
+}
+
+Capacitor& Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                  double capacitance) {
+  return static_cast<Capacitor&>(
+      add_device(std::make_unique<Capacitor>(name, a, b, capacitance)));
+}
+
+Inductor& Circuit::add_inductor(const std::string& name, NodeId a, NodeId b,
+                                double inductance) {
+  return static_cast<Inductor&>(
+      add_device(std::make_unique<Inductor>(name, a, b, inductance)));
+}
+
+VoltageSource& Circuit::add_vsource(const std::string& name, NodeId plus,
+                                    NodeId minus, double dc_value) {
+  return add_vsource(name, plus, minus,
+                     std::make_unique<DcWaveform>(dc_value));
+}
+
+VoltageSource& Circuit::add_vsource(const std::string& name, NodeId plus,
+                                    NodeId minus,
+                                    std::unique_ptr<Waveform> waveform) {
+  return static_cast<VoltageSource&>(add_device(
+      std::make_unique<VoltageSource>(name, plus, minus, std::move(waveform))));
+}
+
+CurrentSource& Circuit::add_isource(const std::string& name, NodeId from,
+                                    NodeId to, double dc_value) {
+  return add_isource(name, from, to, std::make_unique<DcWaveform>(dc_value));
+}
+
+CurrentSource& Circuit::add_isource(const std::string& name, NodeId from,
+                                    NodeId to,
+                                    std::unique_ptr<Waveform> waveform) {
+  return static_cast<CurrentSource&>(add_device(
+      std::make_unique<CurrentSource>(name, from, to, std::move(waveform))));
+}
+
+Vcvs& Circuit::add_vcvs(const std::string& name, NodeId plus, NodeId minus,
+                        NodeId control_plus, NodeId control_minus,
+                        double gain) {
+  return static_cast<Vcvs&>(add_device(std::make_unique<Vcvs>(
+      name, plus, minus, control_plus, control_minus, gain)));
+}
+
+Diode& Circuit::add_diode(const std::string& name, NodeId anode,
+                          NodeId cathode, Diode::Params params) {
+  return static_cast<Diode&>(
+      add_device(std::make_unique<Diode>(name, anode, cathode, params)));
+}
+
+Mosfet& Circuit::add_mosfet(const std::string& name, NodeId drain, NodeId gate,
+                            NodeId source, NodeId bulk,
+                            const MosParams& params) {
+  return static_cast<Mosfet&>(add_device(
+      std::make_unique<Mosfet>(name, drain, gate, source, bulk, params)));
+}
+
+Device& Circuit::device(const std::string& name) {
+  const auto it = device_index_.find(name);
+  RELSIM_REQUIRE(it != device_index_.end(), "unknown device: " + name);
+  return *it->second;
+}
+
+const Device& Circuit::device(const std::string& name) const {
+  const auto it = device_index_.find(name);
+  RELSIM_REQUIRE(it != device_index_.end(), "unknown device: " + name);
+  return *it->second;
+}
+
+std::vector<Mosfet*> Circuit::mosfets() {
+  std::vector<Mosfet*> out;
+  for (const auto& d : devices_) {
+    if (auto* m = dynamic_cast<Mosfet*>(d.get())) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<Resistor*> Circuit::wires() {
+  std::vector<Resistor*> out;
+  for (const auto& d : devices_) {
+    if (auto* r = dynamic_cast<Resistor*>(d.get())) {
+      if (r->wire_geometry().has_value()) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void Circuit::enable_stress_recording() {
+  for (Mosfet* m : mosfets()) {
+    m->enable_stress_recording();
+    m->reset_stress();
+  }
+  for (Resistor* r : wires()) r->reset_stress();
+}
+
+void Circuit::set_temperature(double temp_k) {
+  RELSIM_REQUIRE(temp_k > 0.0, "temperature must be positive");
+  for (const auto& d : devices_) {
+    if (auto* m = dynamic_cast<Mosfet*>(d.get())) {
+      m->mutable_params().temp_k = temp_k;
+    } else if (auto* diode = dynamic_cast<Diode*>(d.get())) {
+      diode->set_temperature(temp_k);
+    }
+  }
+}
+
+void Circuit::assemble() {
+  if (assembled_) return;
+  int base = node_count();
+  for (const auto& d : devices_) {
+    const int extra = d->extra_unknowns();
+    if (extra > 0) {
+      d->set_extra_base(base);
+      base += extra;
+    }
+  }
+  extra_unknowns_ = base - node_count();
+  assembled_ = true;
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,103 @@
+// Circuit: named nodes + owned devices, with the MNA bookkeeping.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/device.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+#include "util/error.h"
+
+namespace relsim::spice {
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Returns the node id for `name`, creating it on first use. "0" and
+  /// "gnd" map to ground.
+  NodeId node(const std::string& name);
+
+  /// Looks up an existing node; throws if it was never created.
+  NodeId find_node(const std::string& name) const;
+
+  const std::string& node_name(NodeId id) const;
+
+  /// Number of non-ground nodes.
+  int node_count() const { return next_node_ - 1; }
+
+  /// Total unknown count (nodes + branch currents). Valid after assemble().
+  int unknown_count() const;
+
+  // -- device factories (names must be unique) ------------------------------
+  Resistor& add_resistor(const std::string& name, NodeId a, NodeId b,
+                         double resistance);
+  Capacitor& add_capacitor(const std::string& name, NodeId a, NodeId b,
+                           double capacitance);
+  Inductor& add_inductor(const std::string& name, NodeId a, NodeId b,
+                         double inductance);
+  VoltageSource& add_vsource(const std::string& name, NodeId plus,
+                             NodeId minus, double dc_value);
+  VoltageSource& add_vsource(const std::string& name, NodeId plus,
+                             NodeId minus, std::unique_ptr<Waveform> waveform);
+  CurrentSource& add_isource(const std::string& name, NodeId from, NodeId to,
+                             double dc_value);
+  CurrentSource& add_isource(const std::string& name, NodeId from, NodeId to,
+                             std::unique_ptr<Waveform> waveform);
+  Vcvs& add_vcvs(const std::string& name, NodeId plus, NodeId minus,
+                 NodeId control_plus, NodeId control_minus, double gain);
+  Diode& add_diode(const std::string& name, NodeId anode, NodeId cathode,
+                   Diode::Params params = {});
+  Mosfet& add_mosfet(const std::string& name, NodeId drain, NodeId gate,
+                     NodeId source, NodeId bulk, const MosParams& params);
+
+  /// Adds an externally constructed device (takes ownership).
+  Device& add_device(std::unique_ptr<Device> device);
+
+  /// Finds a device by name (throws if absent / wrong type on the typed
+  /// variants).
+  Device& device(const std::string& name);
+  const Device& device(const std::string& name) const;
+  template <typename T>
+  T& device_as(const std::string& name) {
+    T* typed = dynamic_cast<T*>(&device(name));
+    if (typed == nullptr) {
+      throw Error("device '" + name + "' has unexpected type");
+    }
+    return *typed;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// All MOSFETs in insertion order (aging and stress APIs iterate these).
+  std::vector<Mosfet*> mosfets();
+  /// All wire resistors (with geometry) in insertion order.
+  std::vector<Resistor*> wires();
+
+  /// Enables stress recording on every MOSFET and resets wire accumulators.
+  void enable_stress_recording();
+
+  /// Sets the operating temperature of every temperature-aware device
+  /// (MOSFET VT/mobility tempcos, diode thermal voltage).
+  void set_temperature(double temp_k);
+
+  /// Assigns branch-current indices. Called by analyses; idempotent until a
+  /// device is added.
+  void assemble();
+
+ private:
+  int next_node_ = 1;
+  std::map<std::string, NodeId> node_ids_;
+  std::vector<std::string> node_names_{"0"};
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::map<std::string, Device*> device_index_;
+  int extra_unknowns_ = 0;
+  bool assembled_ = false;
+};
+
+}  // namespace relsim::spice

@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "spice/analysis.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace relsim::spice {
+
+// ---------------------------------------------------------------------------
+// StampArgs helpers (declared in device.h)
+
+void StampArgs::add_jac(int row, int col, double value) {
+  if (row < 0 || col < 0) return;
+  jac(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+}
+
+void StampArgs::add_rhs(int row, double value) {
+  if (row < 0) return;
+  rhs[static_cast<std::size_t>(row)] += value;
+}
+
+void StampArgs::add_conductance(NodeId a, NodeId b, double g) {
+  const int ia = unknown_of(a);
+  const int ib = unknown_of(b);
+  add_jac(ia, ia, g);
+  add_jac(ib, ib, g);
+  add_jac(ia, ib, -g);
+  add_jac(ib, ia, -g);
+}
+
+void StampArgs::add_current(NodeId a, NodeId b, double i) {
+  add_rhs(unknown_of(a), -i);
+  add_rhs(unknown_of(b), i);
+}
+
+// ---------------------------------------------------------------------------
+// Newton core
+
+NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
+                          Integrator integrator, double time, double dt,
+                          double source_scale, double gmin,
+                          const NewtonOptions& options) {
+  circuit.assemble();
+  RELSIM_REQUIRE(circuit.unknown_count() > 0,
+                 "cannot analyse an empty circuit");
+  const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
+  x.resize(n, 0.0);
+  const std::size_t nodes = static_cast<std::size_t>(circuit.node_count());
+
+  Matrix jac(n, n);
+  Vector rhs(n);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    jac.fill(0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    StampArgs args{jac, rhs, x, mode, integrator, time, dt, source_scale};
+    for (const auto& device : circuit.devices()) device->stamp(args);
+
+    // Diagonal gmin from every node to ground: guards floating nodes and
+    // cut-off device stacks.
+    for (std::size_t i = 0; i < nodes; ++i) jac(i, i) += gmin;
+
+    Vector x_new;
+    try {
+      LuFactorization lu(jac);
+      lu.solve_into(rhs, x_new);
+    } catch (const SingularMatrixError&) {
+      return {false, iter};
+    }
+
+    // Damp the voltage update and check convergence on the damped step.
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double delta = x_new[i] - x[i];
+      const bool is_voltage = i < nodes;
+      if (is_voltage && std::abs(delta) > options.max_step_v) {
+        delta = std::copysign(options.max_step_v, delta);
+        converged = false;
+      }
+      const double tol =
+          (is_voltage ? options.v_abstol : options.i_abstol) +
+          options.reltol * std::max(std::abs(x[i]), std::abs(x[i] + delta));
+      if (std::abs(delta) > tol) converged = false;
+      x[i] += delta;
+    }
+    if (converged && iter > 1) return {true, iter};
+  }
+  return {false, options.max_iterations};
+}
+
+// ---------------------------------------------------------------------------
+// DC operating point with gmin / source stepping fallbacks
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
+                            const Vector& initial_guess) {
+  circuit.assemble();
+  Vector x = initial_guess;
+  NewtonResult res =
+      newton_solve(circuit, x, AnalysisMode::kDcOp, Integrator::kBackwardEuler,
+                   0.0, 0.0, 1.0, options.newton.gmin, options.newton);
+  if (res.converged) return DcResult(std::move(x), res.iterations);
+
+  if (options.allow_gmin_stepping) {
+    // Solve with a heavy diagonal conductance, then relax it step by step,
+    // reusing each solution as the next starting point.
+    Vector xg(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
+    bool ok = true;
+    int total_iters = 0;
+    for (double g = 1e-2; g >= options.newton.gmin; g /= 10.0) {
+      res = newton_solve(circuit, xg, AnalysisMode::kDcOp,
+                         Integrator::kBackwardEuler, 0.0, 0.0, 1.0, g,
+                         options.newton);
+      total_iters += res.iterations;
+      if (!res.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      res = newton_solve(circuit, xg, AnalysisMode::kDcOp,
+                         Integrator::kBackwardEuler, 0.0, 0.0, 1.0,
+                         options.newton.gmin, options.newton);
+      if (res.converged)
+        return DcResult(std::move(xg), total_iters + res.iterations);
+    }
+    log_debug("gmin stepping failed, trying source stepping");
+  }
+
+  if (options.allow_source_stepping) {
+    Vector xs(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
+    bool ok = true;
+    int total_iters = 0;
+    for (double scale = 0.05; scale < 1.0 + 1e-12; scale += 0.05) {
+      res = newton_solve(circuit, xs, AnalysisMode::kDcOp,
+                         Integrator::kBackwardEuler, 0.0, 0.0,
+                         std::min(scale, 1.0), options.newton.gmin,
+                         options.newton);
+      total_iters += res.iterations;
+      if (!res.converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return DcResult(std::move(xs), total_iters);
+  }
+
+  throw ConvergenceError(
+      "DC operating point did not converge (Newton, gmin stepping and "
+      "source stepping all failed)");
+}
+
+std::vector<DcResult> dc_sweep(Circuit& circuit, VoltageSource& source,
+                               const std::vector<double>& values,
+                               const DcOptions& options) {
+  std::vector<DcResult> results;
+  results.reserve(values.size());
+  Vector guess;
+  for (double value : values) {
+    source.set_dc(value);
+    DcResult r = dc_operating_point(circuit, options, guess);
+    guess = r.x();
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,133 @@
+// Device interface for the MNA simulator.
+//
+// The simulator solves F(x) = 0 by Newton iteration, where x stacks the
+// non-ground node voltages followed by branch currents of devices that need
+// them (voltage sources, VCVS). Each Newton iteration assembles the
+// linearized system J * x_new = rhs by asking every device to stamp its
+// companion model at the current iterate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "linalg/complex_matrix.h"
+#include "linalg/matrix.h"
+
+namespace relsim::spice {
+
+/// Node handle. 0 is ground; positive ids are created by Circuit::node().
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+enum class AnalysisMode {
+  kDcOp,       ///< DC operating point: capacitors open, inductors short
+  kTransient,  ///< time stepping with companion models
+};
+
+/// Integration method for the transient companion models.
+enum class Integrator {
+  kBackwardEuler,
+  kTrapezoidal,
+};
+
+/// Everything a device needs to stamp one Newton iteration.
+struct StampArgs {
+  Matrix& jac;
+  Vector& rhs;
+  const Vector& x;  ///< current iterate
+  AnalysisMode mode = AnalysisMode::kDcOp;
+  Integrator integrator = Integrator::kBackwardEuler;
+  double time = 0.0;          ///< time at the end of the step being solved
+  double dt = 0.0;            ///< current step size (transient only)
+  double source_scale = 1.0;  ///< independent-source scale (source stepping)
+
+  /// Voltage of node `n` at the current iterate (0 for ground).
+  double v(NodeId n) const {
+    return n == kGround ? 0.0 : x[static_cast<std::size_t>(n - 1)];
+  }
+
+  /// Adds `g` between nodes a and b (standard conductance stamp).
+  void add_conductance(NodeId a, NodeId b, double g);
+
+  /// Adds a current source of value `i` flowing from node a to node b
+  /// (i.e. out of a, into b).
+  void add_current(NodeId a, NodeId b, double i);
+
+  /// Adds `value` at jacobian (row, col) where row/col are unknown indices
+  /// (node-1 for voltages, or a branch index). Ignores ground (-1).
+  void add_jac(int row, int col, double value);
+
+  /// Adds `value` to rhs[row]; ignores ground (-1).
+  void add_rhs(int row, double value);
+
+  /// Unknown index of node `n` (-1 for ground).
+  static int unknown_of(NodeId n) { return n - 1; }
+};
+
+/// Everything a device needs to stamp one AC (small-signal) frequency
+/// point. Devices are linearized around the DC operating point `op`.
+struct AcStampArgs {
+  ComplexMatrix& jac;
+  ComplexVector& rhs;
+  const Vector& op;  ///< DC operating point the linearization is taken at
+  double omega = 0.0;  ///< angular frequency, rad/s
+
+  double v_op(NodeId n) const {
+    return n == kGround ? 0.0 : op[static_cast<std::size_t>(n - 1)];
+  }
+
+  /// Adds complex admittance `y` between nodes a and b.
+  void add_admittance(NodeId a, NodeId b, Complex y);
+
+  /// Adds a phasor current source of value `i` flowing from a to b.
+  void add_current(NodeId a, NodeId b, Complex i);
+
+  void add_jac(int row, int col, Complex value);
+  void add_rhs(int row, Complex value);
+};
+
+/// Base class of every circuit element.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra unknowns (branch currents) this device contributes.
+  virtual int extra_unknowns() const { return 0; }
+
+  /// Called once the circuit assigns this device its first extra-unknown
+  /// index (only called when extra_unknowns() > 0).
+  virtual void set_extra_base(int /*base*/) {}
+
+  /// Stamps the linearized companion model at the iterate in `args`.
+  virtual void stamp(StampArgs& args) = 0;
+
+  /// Stamps the small-signal model at the DC operating point for one AC
+  /// frequency. The default stamps nothing (an open); every relsim device
+  /// overrides this.
+  virtual void stamp_ac(AcStampArgs& /*args*/) {}
+
+  /// Called when an analysis starts, with the starting solution (DC op
+  /// result or user initial conditions). Devices reset integration state.
+  virtual void begin_analysis(AnalysisMode /*mode*/, const Vector& /*x*/) {}
+
+  /// Called after a step has been accepted; devices update their state
+  /// (capacitor history, stress accumulators).
+  virtual void accept_step(const Vector& /*x*/, double /*time*/,
+                           double /*dt*/) {}
+
+ protected:
+  static double voltage(const Vector& x, NodeId n) {
+    return n == kGround ? 0.0 : x[static_cast<std::size_t>(n - 1)];
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace relsim::spice

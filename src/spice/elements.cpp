@@ -1,0 +1,334 @@
+#include "spice/elements.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace relsim::spice {
+
+// ---------------------------------------------------------------------------
+// Resistor
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+  RELSIM_REQUIRE(resistance > 0.0, "resistance must be positive");
+  RELSIM_REQUIRE(a != b, "resistor terminals must differ");
+}
+
+void Resistor::set_resistance(double r) {
+  RELSIM_REQUIRE(r > 0.0, "resistance must be positive");
+  resistance_ = r;
+}
+
+void Resistor::stamp(StampArgs& args) {
+  args.add_conductance(a_, b_, 1.0 / resistance_);
+}
+
+void Resistor::stamp_ac(AcStampArgs& args) {
+  args.add_admittance(a_, b_, Complex(1.0 / resistance_, 0.0));
+}
+
+double Resistor::current(const Vector& x) const {
+  return (voltage(x, a_) - voltage(x, b_)) / resistance_;
+}
+
+void Resistor::accept_step(const Vector& x, double /*time*/, double dt) {
+  if (geometry_.has_value() && dt > 0.0) stress_.add(current(x), dt);
+}
+
+void Resistor::record_stress_point(const Vector& x, double weight) {
+  if (geometry_.has_value()) stress_.add(current(x), weight);
+}
+
+// ---------------------------------------------------------------------------
+// Capacitor
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), capacitance_(capacitance) {
+  RELSIM_REQUIRE(capacitance > 0.0, "capacitance must be positive");
+  RELSIM_REQUIRE(a != b, "capacitor terminals must differ");
+}
+
+void Capacitor::set_capacitance(double c) {
+  RELSIM_REQUIRE(c > 0.0, "capacitance must be positive");
+  capacitance_ = c;
+}
+
+void Capacitor::stamp_ac(AcStampArgs& args) {
+  args.add_admittance(a_, b_, Complex(0.0, args.omega * capacitance_));
+}
+
+void Capacitor::begin_analysis(AnalysisMode mode, const Vector& x) {
+  if (mode == AnalysisMode::kTransient) {
+    v_prev_ = voltage(x, a_) - voltage(x, b_);
+    i_prev_ = 0.0;
+  }
+}
+
+void Capacitor::stamp(StampArgs& args) {
+  if (args.mode != AnalysisMode::kTransient) return;  // open in DC
+  integrator_ = args.integrator;
+  dt_pending_ = args.dt;
+  // Companion model: BE   i = (C/dt)(v - v_prev)
+  //                  TRAP i = (2C/dt)(v - v_prev) - i_prev
+  const bool trap = args.integrator == Integrator::kTrapezoidal;
+  const double geq = (trap ? 2.0 : 1.0) * capacitance_ / args.dt;
+  const double history = trap ? geq * v_prev_ + i_prev_ : geq * v_prev_;
+  args.add_conductance(a_, b_, geq);
+  // i_ab = geq*v - history: the constant part enters the node equations as
+  // a current source of value `history` flowing from b to a.
+  args.add_current(b_, a_, history);
+}
+
+void Capacitor::accept_step(const Vector& x, double /*time*/, double dt) {
+  if (dt <= 0.0) return;
+  const bool trap = integrator_ == Integrator::kTrapezoidal;
+  const double geq = (trap ? 2.0 : 1.0) * capacitance_ / dt;
+  const double v = voltage(x, a_) - voltage(x, b_);
+  const double i = trap ? geq * (v - v_prev_) - i_prev_ : geq * (v - v_prev_);
+  v_prev_ = v;
+  i_prev_ = i;
+}
+
+// ---------------------------------------------------------------------------
+// Inductor
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance)
+    : Device(std::move(name)), a_(a), b_(b), inductance_(inductance) {
+  RELSIM_REQUIRE(inductance > 0.0, "inductance must be positive");
+  RELSIM_REQUIRE(a != b, "inductor terminals must differ");
+}
+
+void Inductor::begin_analysis(AnalysisMode mode, const Vector& x) {
+  if (mode == AnalysisMode::kTransient) {
+    i_prev_ = current(x);
+    v_prev_ = voltage(x, a_) - voltage(x, b_);
+  }
+}
+
+void Inductor::stamp(StampArgs& args) {
+  const int p = StampArgs::unknown_of(a_);
+  const int m = StampArgs::unknown_of(b_);
+  // Node rows: branch current leaves a, enters b.
+  args.add_jac(p, branch_, 1.0);
+  args.add_jac(m, branch_, -1.0);
+  // Branch row: v(a) - v(b) = L di/dt  (0 in DC: a short).
+  args.add_jac(branch_, p, 1.0);
+  args.add_jac(branch_, m, -1.0);
+  if (args.mode == AnalysisMode::kTransient) {
+    // BE:   v = (L/dt)(i - i_prev)          -> v - (L/dt) i = -(L/dt) i_prev
+    // TRAP: v = (2L/dt)(i - i_prev) - v_prev
+    const bool trap = args.integrator == Integrator::kTrapezoidal;
+    const double req = (trap ? 2.0 : 1.0) * inductance_ / args.dt;
+    args.add_jac(branch_, branch_, -req);
+    args.add_rhs(branch_, -req * i_prev_ - (trap ? v_prev_ : 0.0));
+  }
+}
+
+void Inductor::stamp_ac(AcStampArgs& args) {
+  const int p = StampArgs::unknown_of(a_);
+  const int m = StampArgs::unknown_of(b_);
+  args.add_jac(p, branch_, Complex(1.0, 0.0));
+  args.add_jac(m, branch_, Complex(-1.0, 0.0));
+  // v(a) - v(b) - jwL * i = 0.
+  args.add_jac(branch_, p, Complex(1.0, 0.0));
+  args.add_jac(branch_, m, Complex(-1.0, 0.0));
+  args.add_jac(branch_, branch_, Complex(0.0, -args.omega * inductance_));
+}
+
+void Inductor::accept_step(const Vector& x, double /*time*/, double dt) {
+  if (dt <= 0.0) return;
+  i_prev_ = current(x);
+  v_prev_ = voltage(x, a_) - voltage(x, b_);
+}
+
+double Inductor::current(const Vector& x) const {
+  RELSIM_REQUIRE(branch_ >= 0, "inductor not yet assembled");
+  return x[static_cast<std::size_t>(branch_)];
+}
+
+// ---------------------------------------------------------------------------
+// VoltageSource
+
+VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus,
+                             std::unique_ptr<Waveform> waveform)
+    : Device(std::move(name)),
+      plus_(plus),
+      minus_(minus),
+      waveform_(std::move(waveform)) {
+  RELSIM_REQUIRE(waveform_ != nullptr, "voltage source needs a waveform");
+  RELSIM_REQUIRE(plus != minus, "voltage source terminals must differ");
+}
+
+void VoltageSource::set_waveform(std::unique_ptr<Waveform> waveform) {
+  RELSIM_REQUIRE(waveform != nullptr, "voltage source needs a waveform");
+  waveform_ = std::move(waveform);
+}
+
+void VoltageSource::set_dc(double value) {
+  waveform_ = std::make_unique<DcWaveform>(value);
+}
+
+void VoltageSource::stamp(StampArgs& args) {
+  const double value = (args.mode == AnalysisMode::kDcOp
+                            ? waveform_->dc_value()
+                            : waveform_->value(args.time)) *
+                       args.source_scale;
+  const int p = StampArgs::unknown_of(plus_);
+  const int m = StampArgs::unknown_of(minus_);
+  // Branch current leaves the + node, enters the - node.
+  args.add_jac(p, branch_, 1.0);
+  args.add_jac(m, branch_, -1.0);
+  // Branch equation: v(plus) - v(minus) = value.
+  args.add_jac(branch_, p, 1.0);
+  args.add_jac(branch_, m, -1.0);
+  args.add_rhs(branch_, value);
+}
+
+void VoltageSource::stamp_ac(AcStampArgs& args) {
+  const int p = StampArgs::unknown_of(plus_);
+  const int m = StampArgs::unknown_of(minus_);
+  args.add_jac(p, branch_, Complex(1.0, 0.0));
+  args.add_jac(m, branch_, Complex(-1.0, 0.0));
+  args.add_jac(branch_, p, Complex(1.0, 0.0));
+  args.add_jac(branch_, m, Complex(-1.0, 0.0));
+  args.add_rhs(branch_, Complex(ac_magnitude_, 0.0));
+}
+
+double VoltageSource::current(const Vector& x) const {
+  RELSIM_REQUIRE(branch_ >= 0, "voltage source not yet assembled");
+  return x[static_cast<std::size_t>(branch_)];
+}
+
+// ---------------------------------------------------------------------------
+// CurrentSource
+
+CurrentSource::CurrentSource(std::string name, NodeId from, NodeId to,
+                             std::unique_ptr<Waveform> waveform)
+    : Device(std::move(name)),
+      from_(from),
+      to_(to),
+      waveform_(std::move(waveform)) {
+  RELSIM_REQUIRE(waveform_ != nullptr, "current source needs a waveform");
+  RELSIM_REQUIRE(from != to, "current source terminals must differ");
+}
+
+void CurrentSource::set_waveform(std::unique_ptr<Waveform> waveform) {
+  RELSIM_REQUIRE(waveform != nullptr, "current source needs a waveform");
+  waveform_ = std::move(waveform);
+}
+
+void CurrentSource::set_dc(double value) {
+  waveform_ = std::make_unique<DcWaveform>(value);
+}
+
+void CurrentSource::stamp(StampArgs& args) {
+  const double value = (args.mode == AnalysisMode::kDcOp
+                            ? waveform_->dc_value()
+                            : waveform_->value(args.time)) *
+                       args.source_scale;
+  args.add_current(from_, to_, value);
+}
+
+void CurrentSource::stamp_ac(AcStampArgs& args) {
+  args.add_current(from_, to_, Complex(ac_magnitude_, 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Vcvs
+
+Vcvs::Vcvs(std::string name, NodeId plus, NodeId minus, NodeId control_plus,
+           NodeId control_minus, double gain)
+    : Device(std::move(name)),
+      plus_(plus),
+      minus_(minus),
+      cp_(control_plus),
+      cm_(control_minus),
+      gain_(gain) {
+  RELSIM_REQUIRE(plus != minus, "VCVS output terminals must differ");
+}
+
+void Vcvs::stamp(StampArgs& args) {
+  const int p = StampArgs::unknown_of(plus_);
+  const int m = StampArgs::unknown_of(minus_);
+  const int cp = StampArgs::unknown_of(cp_);
+  const int cm = StampArgs::unknown_of(cm_);
+  args.add_jac(p, branch_, 1.0);
+  args.add_jac(m, branch_, -1.0);
+  // Branch equation: v(plus) - v(minus) - gain*(v(cp) - v(cm)) = 0.
+  args.add_jac(branch_, p, 1.0);
+  args.add_jac(branch_, m, -1.0);
+  args.add_jac(branch_, cp, -gain_);
+  args.add_jac(branch_, cm, gain_);
+}
+
+void Vcvs::stamp_ac(AcStampArgs& args) {
+  const int p = StampArgs::unknown_of(plus_);
+  const int m = StampArgs::unknown_of(minus_);
+  const int cp = StampArgs::unknown_of(cp_);
+  const int cm = StampArgs::unknown_of(cm_);
+  args.add_jac(p, branch_, Complex(1.0, 0.0));
+  args.add_jac(m, branch_, Complex(-1.0, 0.0));
+  args.add_jac(branch_, p, Complex(1.0, 0.0));
+  args.add_jac(branch_, m, Complex(-1.0, 0.0));
+  args.add_jac(branch_, cp, Complex(-gain_, 0.0));
+  args.add_jac(branch_, cm, Complex(gain_, 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Diode
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, Params params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode),
+      params_(params) {
+  RELSIM_REQUIRE(params_.is > 0.0, "diode saturation current must be > 0");
+  RELSIM_REQUIRE(params_.n > 0.0, "diode emission coefficient must be > 0");
+  RELSIM_REQUIRE(anode != cathode, "diode terminals must differ");
+}
+
+void Diode::evaluate(double v, double& i, double& g) const {
+  const double vt = params_.n * units::thermal_voltage(params_.temp_k);
+  // Linearize beyond +40 thermal voltages to keep exp() bounded; the
+  // extension is C1-continuous so Newton sees no kink.
+  const double vmax = 40.0 * vt;
+  if (v <= vmax) {
+    const double e = std::exp(v / vt);
+    i = params_.is * (e - 1.0);
+    g = params_.is * e / vt;
+  } else {
+    const double e = std::exp(vmax / vt);
+    const double g0 = params_.is * e / vt;
+    i = params_.is * (e - 1.0) + g0 * (v - vmax);
+    g = g0;
+  }
+}
+
+void Diode::set_temperature(double temp_k) {
+  RELSIM_REQUIRE(temp_k > 0.0, "temperature must be positive");
+  params_.temp_k = temp_k;
+}
+
+double Diode::current_at(double v) const {
+  double i = 0.0, g = 0.0;
+  evaluate(v, i, g);
+  return i;
+}
+
+void Diode::stamp(StampArgs& args) {
+  const double v = args.v(anode_) - args.v(cathode_);
+  double i = 0.0, g = 0.0;
+  evaluate(v, i, g);
+  args.add_conductance(anode_, cathode_, g);
+  // Newton companion current: i(v*) - g*v* flowing anode -> cathode.
+  args.add_current(anode_, cathode_, i - g * v);
+}
+
+void Diode::stamp_ac(AcStampArgs& args) {
+  const double v = args.v_op(anode_) - args.v_op(cathode_);
+  double i = 0.0, g = 0.0;
+  evaluate(v, i, g);
+  args.add_admittance(anode_, cathode_, Complex(g, 0.0));
+}
+
+}  // namespace relsim::spice

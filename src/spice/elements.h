@@ -1,0 +1,214 @@
+// Passive elements, independent sources, controlled sources and the diode.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "spice/device.h"
+#include "spice/stress.h"
+#include "spice/waveform.h"
+
+namespace relsim::spice {
+
+/// Interconnect geometry attached to a resistor that models a wire; enables
+/// current-density extraction for electromigration analysis.
+struct WireGeometry {
+  double width_um = 1.0;
+  double length_um = 10.0;
+  double thickness_um = 0.35;
+
+  /// Cross-section area in cm^2.
+  double cross_section_cm2() const {
+    return width_um * 1e-4 * thickness_um * 1e-4;
+  }
+};
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double resistance);
+
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+  void accept_step(const Vector& x, double time, double dt) override;
+
+  double resistance() const { return resistance_; }
+  void set_resistance(double r);
+
+  /// Marks this resistor as an interconnect wire with physical geometry and
+  /// starts accumulating current stress through it.
+  void set_wire_geometry(const WireGeometry& geom) { geometry_ = geom; }
+  const std::optional<WireGeometry>& wire_geometry() const { return geometry_; }
+
+  /// Instantaneous current a->b at solution `x`.
+  double current(const Vector& x) const;
+
+  /// Records one DC stress observation (used by the aging engine when the
+  /// workload is a DC operating point). No-op without wire geometry.
+  void record_stress_point(const Vector& x, double weight);
+
+  const WireStressAccumulator& stress() const { return stress_; }
+  void reset_stress() { stress_.reset(); }
+
+  NodeId node_a() const { return a_; }
+  NodeId node_b() const { return b_; }
+
+ private:
+  NodeId a_, b_;
+  double resistance_;
+  std::optional<WireGeometry> geometry_;
+  WireStressAccumulator stress_;
+};
+
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
+
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+  void begin_analysis(AnalysisMode mode, const Vector& x) override;
+  void accept_step(const Vector& x, double time, double dt) override;
+
+  double capacitance() const { return capacitance_; }
+  void set_capacitance(double c);
+
+ private:
+  NodeId a_, b_;
+  double capacitance_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+  double dt_pending_ = 0.0;
+  Integrator integrator_ = Integrator::kBackwardEuler;
+};
+
+/// Inductor (adds one branch-current unknown; DC short, BE/TRAP companion
+/// in transient, jwL branch in AC).
+class Inductor final : public Device {
+ public:
+  Inductor(std::string name, NodeId a, NodeId b, double inductance);
+
+  int extra_unknowns() const override { return 1; }
+  void set_extra_base(int base) override { branch_ = base; }
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+  void begin_analysis(AnalysisMode mode, const Vector& x) override;
+  void accept_step(const Vector& x, double time, double dt) override;
+
+  double inductance() const { return inductance_; }
+
+  /// Branch current (a -> b) at solution `x`.
+  double current(const Vector& x) const;
+
+ private:
+  NodeId a_, b_;
+  double inductance_;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+  int branch_ = -1;
+};
+
+/// Independent voltage source (adds one branch-current unknown).
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, NodeId plus, NodeId minus,
+                std::unique_ptr<Waveform> waveform);
+
+  int extra_unknowns() const override { return 1; }
+  void set_extra_base(int base) override { branch_ = base; }
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+
+  /// Sets the AC (small-signal) excitation magnitude of this source; the
+  /// default 0 makes supplies AC grounds. Phase is taken as 0.
+  void set_ac_magnitude(double magnitude) { ac_magnitude_ = magnitude; }
+  double ac_magnitude() const { return ac_magnitude_; }
+
+  /// Replaces the waveform (used by DC sweeps and EMI injection).
+  void set_waveform(std::unique_ptr<Waveform> waveform);
+  void set_dc(double value);
+  const Waveform& waveform() const { return *waveform_; }
+
+  /// Branch current at solution `x`: positive when conventional current
+  /// flows from the + terminal through the source to the - terminal.
+  double current(const Vector& x) const;
+
+  NodeId plus() const { return plus_; }
+  NodeId minus() const { return minus_; }
+
+ private:
+  NodeId plus_, minus_;
+  std::unique_ptr<Waveform> waveform_;
+  double ac_magnitude_ = 0.0;
+  int branch_ = -1;
+};
+
+/// Independent current source: a positive value drives conventional current
+/// out of node `from`, through the source, into node `to` (so `to`'s
+/// potential rises when it is loaded resistively to ground).
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, NodeId from, NodeId to,
+                std::unique_ptr<Waveform> waveform);
+
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+  void set_waveform(std::unique_ptr<Waveform> waveform);
+  void set_dc(double value);
+
+  /// AC excitation magnitude (default 0: open in small signal).
+  void set_ac_magnitude(double magnitude) { ac_magnitude_ = magnitude; }
+
+ private:
+  NodeId from_, to_;
+  double ac_magnitude_ = 0.0;
+  std::unique_ptr<Waveform> waveform_;
+};
+
+/// Voltage-controlled voltage source: v(plus,minus) = gain * v(cp, cm).
+class Vcvs final : public Device {
+ public:
+  Vcvs(std::string name, NodeId plus, NodeId minus, NodeId control_plus,
+       NodeId control_minus, double gain);
+
+  int extra_unknowns() const override { return 1; }
+  void set_extra_base(int base) override { branch_ = base; }
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+
+  double gain() const { return gain_; }
+  void set_gain(double gain) { gain_ = gain; }
+
+ private:
+  NodeId plus_, minus_, cp_, cm_;
+  double gain_;
+  int branch_ = -1;
+};
+
+/// Junction diode with exponential I-V and overflow-safe linearized tail.
+class Diode final : public Device {
+ public:
+  struct Params {
+    double is = 1e-14;       ///< saturation current, A
+    double n = 1.0;          ///< emission coefficient
+    double temp_k = 300.0;   ///< junction temperature
+  };
+
+  Diode(std::string name, NodeId anode, NodeId cathode, Params params);
+  Diode(std::string name, NodeId anode, NodeId cathode)
+      : Diode(std::move(name), anode, cathode, Params{}) {}
+
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+
+  /// Diode current at forward voltage v (exposed for tests).
+  double current_at(double v) const;
+
+  void set_temperature(double temp_k);
+
+ private:
+  void evaluate(double v, double& i, double& g) const;
+
+  NodeId anode_, cathode_;
+  Params params_;
+};
+
+}  // namespace relsim::spice

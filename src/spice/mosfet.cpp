@@ -1,0 +1,305 @@
+#include "spice/mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/mathx.h"
+#include "util/units.h"
+
+namespace relsim::spice {
+
+MosParams make_mos_params(const TechNode& tech, double w_um, double l_um,
+                          bool is_pmos) {
+  RELSIM_REQUIRE(w_um > 0.0 && l_um > 0.0, "device W and L must be positive");
+  MosParams p;
+  p.is_pmos = is_pmos;
+  p.w_um = w_um;
+  p.l_um = l_um;
+  p.vt0 = is_pmos ? tech.vt0_pmos : tech.vt0_nmos;
+  p.kp = is_pmos ? tech.kp_pmos : tech.kp_nmos;
+  // lambda scales inversely with channel length (first-order CLM).
+  p.lambda = tech.lambda_per_um / l_um;
+  p.gamma = tech.gamma;
+  p.phi = tech.phi;
+  p.tox_nm = tech.tox_nm;
+  return p;
+}
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+               NodeId bulk, MosParams params)
+    : Device(std::move(name)),
+      d_(drain),
+      g_(gate),
+      s_(source),
+      b_(bulk),
+      params_(params),
+      stress_(std::abs(params.vt0) * 0.75) {
+  RELSIM_REQUIRE(params_.w_um > 0.0 && params_.l_um > 0.0,
+                 "device W and L must be positive");
+  RELSIM_REQUIRE(params_.kp > 0.0, "KP must be positive");
+  RELSIM_REQUIRE(params_.phi > 0.0, "phi must be positive");
+  RELSIM_REQUIRE(params_.ss_v > 0.0, "smoothing voltage must be positive");
+  RELSIM_REQUIRE(!params_.is_pmos || params_.vt0 <= 0.0,
+                 "PMOS vt0 must be negative");
+  RELSIM_REQUIRE(params_.is_pmos || params_.vt0 >= 0.0,
+                 "NMOS vt0 must be non-negative");
+}
+
+void Mosfet::set_degradation(const MosDegradation& d) {
+  RELSIM_REQUIRE(d.dvt >= 0.0, "aging dvt is a magnitude (>= 0)");
+  RELSIM_REQUIRE(d.beta_factor > 0.0 && d.lambda_factor > 0.0,
+                 "degradation factors must stay positive");
+  RELSIM_REQUIRE(d.g_leak_gs >= 0.0 && d.g_leak_gd >= 0.0,
+                 "gate leakage conductances must be non-negative");
+  degradation_ = d;
+}
+
+double Mosfet::vt_effective_signed() const {
+  const double type_sign = params_.is_pmos ? -1.0 : 1.0;
+  return params_.vt0 + variation_.dvt + type_sign * degradation_.dvt;
+}
+
+MosOperatingPoint Mosfet::evaluate(double vd, double vg, double vs,
+                                   double vb) const {
+  const double s = params_.is_pmos ? -1.0 : 1.0;
+
+  // Map to the equivalent-NMOS frame.
+  double vde = s * vd, vge = s * vg, vse = s * vs, vbe = s * vb;
+  const bool reversed = vde < vse;
+  if (reversed) std::swap(vde, vse);
+
+  const double vgs_e = vge - vse;
+  const double vds_e = vde - vse;  // >= 0 by construction
+  const double vbs_e = vbe - vse;
+
+  // Threshold in the equivalent frame (positive), with the temperature
+  // coefficient and body effect. The forward-bias side of the sqrt is
+  // clamped; the derivative is zeroed in the clamped region to stay
+  // consistent.
+  const double dtemp = params_.temp_k - params_.tnom_k;
+  const double vt_base = s * (params_.vt0 + variation_.dvt) +
+                         params_.vt_tc_v_per_k * dtemp + degradation_.dvt;
+  const double phi = params_.phi;
+  double vbs_c = vbs_e;
+  double dvt_dvbs = 0.0;
+  const double vbs_max = 0.9 * phi;
+  double body = 0.0;
+  if (params_.gamma > 0.0) {
+    if (vbs_c > vbs_max) vbs_c = vbs_max;
+    const double root = std::sqrt(phi - vbs_c);
+    body = params_.gamma * (root - std::sqrt(phi));
+    if (vbs_e <= vbs_max) dvt_dvbs = -params_.gamma / (2.0 * root);
+  }
+  const double vt_eff = vt_base + body;
+
+  // Smoothed overdrive: strong inversion for vgs >> vt, exponential-like
+  // tail below threshold; C1 everywhere.
+  const double vov = softplus(vgs_e - vt_eff, params_.ss_v);
+  const double dvov_dvgs = softplus_deriv(vgs_e - vt_eff, params_.ss_v);
+  const double dvov_dvbs = -dvov_dvgs * dvt_dvbs;
+
+  const double beta = params_.beta() * (1.0 + variation_.dbeta_rel) *
+                      degradation_.beta_factor *
+                      std::pow(params_.temp_k / params_.tnom_k,
+                               params_.mobility_exp);
+  const double lambda = params_.lambda * degradation_.lambda_factor;
+
+  double i = 0.0, gm_e = 0.0, gds_e = 0.0;
+  const bool saturated = vds_e >= vov;
+  if (saturated) {
+    const double clm = 1.0 + lambda * vds_e;
+    i = 0.5 * beta * vov * vov * clm;
+    gm_e = beta * vov * clm * dvov_dvgs;
+    gds_e = 0.5 * beta * vov * vov * lambda;
+  } else {
+    const double clm = 1.0 + lambda * vds_e;
+    const double q = vov * vds_e - 0.5 * vds_e * vds_e;
+    i = beta * q * clm;
+    gm_e = beta * vds_e * clm * dvov_dvgs;
+    gds_e = beta * ((vov - vds_e) * clm + q * lambda);
+  }
+  const double gmb_e = saturated
+                           ? beta * vov * (1.0 + lambda * vds_e) * dvov_dvbs
+                           : beta * vds_e * (1.0 + lambda * vds_e) * dvov_dvbs;
+
+  // Map the current and conductances back to the actual terminal frame:
+  // I_D (into the actual drain) = s * sr * i_eq with sr = -1 when the
+  // drain/source roles were swapped. The type sign s cancels out of every
+  // conductance (s^2 = 1); the swap does not, because the equivalent-frame
+  // voltages are referenced to the equivalent source (= actual drain when
+  // reversed). The published gm/gds/gmb are actual-frame partials of I_D
+  // with respect to v_gate / v_drain / v_bulk.
+  MosOperatingPoint op;
+  const double sr = reversed ? -1.0 : 1.0;
+  op.id = s * sr * i;
+  if (reversed) {
+    op.gm = -gm_e;
+    op.gds = gm_e + gds_e + gmb_e;
+    op.gmb = -gmb_e;
+  } else {
+    op.gm = gm_e;
+    op.gds = gds_e;
+    op.gmb = gmb_e;
+  }
+  op.vgs = vg - vs;
+  op.vds = vd - vs;
+  op.vbs = vb - vs;
+  op.vov = vov;
+  op.vt_eff = vt_eff;
+  op.saturated = saturated;
+  op.reversed = reversed;
+  return op;
+}
+
+MosOperatingPoint Mosfet::operating_point(const Vector& x) const {
+  return evaluate(voltage(x, d_), voltage(x, g_), voltage(x, s_),
+                  voltage(x, b_));
+}
+
+void Mosfet::stamp(StampArgs& args) {
+  const double vd = args.v(d_), vg = args.v(g_), vs = args.v(s_),
+               vb = args.v(b_);
+  const MosOperatingPoint op = evaluate(vd, vg, vs, vb);
+
+  // Current into the actual drain I_D = f(vg, vd, vs, vb), with the
+  // actual-frame partials published by evaluate(); the source partial is
+  // the remainder (the current depends only on voltage differences).
+  const int rd = StampArgs::unknown_of(d_);
+  const int rs = StampArgs::unknown_of(s_);
+  const int cg = StampArgs::unknown_of(g_);
+  const int cd = StampArgs::unknown_of(d_);
+  const int cs = StampArgs::unknown_of(s_);
+  const int cb = StampArgs::unknown_of(b_);
+
+  const double gss = -(op.gm + op.gds + op.gmb);
+  // Row for the drain node (current leaving d through the channel = +I_D).
+  args.add_jac(rd, cg, op.gm);
+  args.add_jac(rd, cd, op.gds);
+  args.add_jac(rd, cs, gss);
+  args.add_jac(rd, cb, op.gmb);
+  // Row for the source node: I_S = -I_D.
+  args.add_jac(rs, cg, -op.gm);
+  args.add_jac(rs, cd, -op.gds);
+  args.add_jac(rs, cs, -gss);
+  args.add_jac(rs, cb, -op.gmb);
+
+  // Newton companion current: I_D(v*) - J*v* flows d -> s.
+  const double linear = op.gm * vg + op.gds * vd + gss * vs + op.gmb * vb;
+  args.add_current(d_, s_, op.id - linear);
+
+  // Post-breakdown gate leakage paths (TDDB, Sec. 3.1).
+  if (degradation_.g_leak_gs > 0.0)
+    args.add_conductance(g_, s_, degradation_.g_leak_gs);
+  if (degradation_.g_leak_gd > 0.0)
+    args.add_conductance(g_, d_, degradation_.g_leak_gd);
+
+  // Internal capacitances (transient only).
+  if (args.mode == AnalysisMode::kTransient) {
+    integrator_ = args.integrator;
+    stamp_cap(args, g_, s_, cgs(), cap_gs_);
+    stamp_cap(args, g_, d_, cgd(), cap_gd_);
+    stamp_cap(args, d_, b_, cdb(), cap_db_);
+  }
+}
+
+void Mosfet::stamp_ac(AcStampArgs& args) {
+  // Small-signal model at the DC operating point: gm/gds/gmb conductances
+  // (actual-frame partials, like the DC jacobian) plus the internal
+  // capacitances and any post-breakdown gate leakage.
+  const MosOperatingPoint op =
+      evaluate(args.v_op(d_), args.v_op(g_), args.v_op(s_), args.v_op(b_));
+  const int rd = StampArgs::unknown_of(d_);
+  const int rs = StampArgs::unknown_of(s_);
+  const int cg = StampArgs::unknown_of(g_);
+  const int cd = StampArgs::unknown_of(d_);
+  const int cs = StampArgs::unknown_of(s_);
+  const int cb = StampArgs::unknown_of(b_);
+  const double gss = -(op.gm + op.gds + op.gmb);
+  args.add_jac(rd, cg, Complex(op.gm, 0.0));
+  args.add_jac(rd, cd, Complex(op.gds, 0.0));
+  args.add_jac(rd, cs, Complex(gss, 0.0));
+  args.add_jac(rd, cb, Complex(op.gmb, 0.0));
+  args.add_jac(rs, cg, Complex(-op.gm, 0.0));
+  args.add_jac(rs, cd, Complex(-op.gds, 0.0));
+  args.add_jac(rs, cs, Complex(-gss, 0.0));
+  args.add_jac(rs, cb, Complex(-op.gmb, 0.0));
+
+  if (degradation_.g_leak_gs > 0.0)
+    args.add_admittance(g_, s_, Complex(degradation_.g_leak_gs, 0.0));
+  if (degradation_.g_leak_gd > 0.0)
+    args.add_admittance(g_, d_, Complex(degradation_.g_leak_gd, 0.0));
+
+  args.add_admittance(g_, s_, Complex(0.0, args.omega * cgs()));
+  args.add_admittance(g_, d_, Complex(0.0, args.omega * cgd()));
+  args.add_admittance(d_, b_, Complex(0.0, args.omega * cdb()));
+}
+
+double Mosfet::cgs() const {
+  const double cgate = units::cox_per_area(params_.tox_nm) *
+                       units::um_to_m(params_.w_um) *
+                       units::um_to_m(params_.l_um);
+  return params_.cap_scale * (2.0 / 3.0) * cgate;
+}
+
+double Mosfet::cgd() const {
+  const double cgate = units::cox_per_area(params_.tox_nm) *
+                       units::um_to_m(params_.w_um) *
+                       units::um_to_m(params_.l_um);
+  return params_.cap_scale * (1.0 / 3.0) * cgate;
+}
+
+double Mosfet::cdb() const {
+  const double cgate = units::cox_per_area(params_.tox_nm) *
+                       units::um_to_m(params_.w_um) *
+                       units::um_to_m(params_.l_um);
+  return params_.cap_scale * 0.5 * cgate;
+}
+
+void Mosfet::stamp_cap(StampArgs& args, NodeId a, NodeId b, double c,
+                       CapState& state) const {
+  if (c <= 0.0) return;
+  const bool trap = args.integrator == Integrator::kTrapezoidal;
+  const double geq = (trap ? 2.0 : 1.0) * c / args.dt;
+  const double history =
+      trap ? geq * state.v_prev + state.i_prev : geq * state.v_prev;
+  args.add_conductance(a, b, geq);
+  args.add_current(b, a, history);
+}
+
+void Mosfet::accept_cap(const Vector& x, NodeId a, NodeId b, double c,
+                        CapState& state, double dt) const {
+  if (c <= 0.0 || dt <= 0.0) return;
+  const bool trap = integrator_ == Integrator::kTrapezoidal;
+  const double geq = (trap ? 2.0 : 1.0) * c / dt;
+  const double v = voltage(x, a) - voltage(x, b);
+  const double i = trap ? geq * (v - state.v_prev) - state.i_prev
+                        : geq * (v - state.v_prev);
+  state.v_prev = v;
+  state.i_prev = i;
+}
+
+void Mosfet::begin_analysis(AnalysisMode mode, const Vector& x) {
+  if (mode != AnalysisMode::kTransient) return;
+  cap_gs_ = {voltage(x, g_) - voltage(x, s_), 0.0};
+  cap_gd_ = {voltage(x, g_) - voltage(x, d_), 0.0};
+  cap_db_ = {voltage(x, d_) - voltage(x, b_), 0.0};
+}
+
+void Mosfet::accept_step(const Vector& x, double /*time*/, double dt) {
+  accept_cap(x, g_, s_, cgs(), cap_gs_, dt);
+  accept_cap(x, g_, d_, cgd(), cap_gd_, dt);
+  accept_cap(x, d_, b_, cdb(), cap_db_, dt);
+  if (record_stress_ && dt > 0.0) record_stress_point(x, dt);
+}
+
+void Mosfet::enable_stress_recording(bool enabled) {
+  record_stress_ = enabled;
+}
+
+void Mosfet::record_stress_point(const Vector& x, double weight) {
+  const MosOperatingPoint op = operating_point(x);
+  stress_.add(op.vgs, op.vds, op.vbs, op.id, weight);
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,161 @@
+// MOSFET device model.
+//
+// A level-1 (Shichman-Hodges) square-law model with channel-length
+// modulation, body effect, and a softplus-smoothed overdrive that gives a
+// continuous (C1) subthreshold-to-strong-inversion transition — enough
+// physics for every effect the paper discusses at circuit level, while
+// keeping Newton iteration robust.
+//
+// The device carries two extra parameter sets on top of the nominal ones:
+//  - MosVariation: the time-zero mismatch sampled from the Pelgrom model
+//    (Sec. 2 of the paper), and
+//  - MosDegradation: the time-dependent drift computed by the aging engine
+//    (Sec. 3): |VT| shift (NBTI/HCI), beta/mobility degradation, output-
+//    resistance change, and post-breakdown gate leakage (TDDB).
+// Fig. 2 of the paper is exactly the I_DS-V_DS characteristic of this model
+// with and without a populated MosDegradation.
+#pragma once
+
+#include "spice/device.h"
+#include "spice/stress.h"
+#include "tech/tech.h"
+
+namespace relsim::spice {
+
+/// Nominal model parameters. W/L in micrometres, voltages in volts.
+struct MosParams {
+  bool is_pmos = false;
+  double w_um = 1.0;
+  double l_um = 0.1;
+  double vt0 = 0.35;         ///< signed threshold (negative for PMOS), V
+  double kp = 400e-6;        ///< mu*Cox, A/V^2
+  double lambda = 0.1;       ///< channel-length modulation, 1/V
+  double gamma = 0.35;       ///< body effect, sqrt(V)
+  double phi = 0.85;         ///< surface potential (2*phiF), V
+  /// Overdrive smoothing voltage. In the deep tail I_D ~ exp(2 vgs/ss), so
+  /// the model's subthreshold swing is ln(10)*ss/2 per decade — 0.078 V
+  /// gives a physical ~90 mV/dec (see bench_ablations A1).
+  double ss_v = 0.078;
+
+  // -- temperature behaviour (Circuit::set_temperature drives temp_k) ------
+  double temp_k = 300.0;        ///< device temperature
+  double tnom_k = 300.0;        ///< temperature the parameters are quoted at
+  /// |VT| temperature coefficient: both device types lose threshold
+  /// magnitude as they heat (~ -1 mV/K).
+  double vt_tc_v_per_k = -1.0e-3;
+  /// Mobility power law: beta ~ (T/Tnom)^mobility_exp.
+  double mobility_exp = -1.5;
+  double tox_nm = 2.0;       ///< gate-oxide thickness (stress + caps), nm
+  double cap_scale = 1.0;    ///< scales the internal node capacitances
+
+  double beta() const { return kp * w_um / l_um; }
+};
+
+/// Builds MosParams from a technology node.
+MosParams make_mos_params(const TechNode& tech, double w_um, double l_um,
+                          bool is_pmos);
+
+/// Time-zero random mismatch applied to this instance (variability, Sec. 2).
+struct MosVariation {
+  double dvt = 0.0;        ///< signed VT shift added to vt0, V
+  double dbeta_rel = 0.0;  ///< relative beta error (e.g. +0.02 = +2%)
+};
+
+/// Time-dependent degradation state (aging, Sec. 3). All magnitudes are
+/// defined so that zero means "fresh".
+struct MosDegradation {
+  double dvt = 0.0;            ///< |VT| increase, V (>= 0)
+  double beta_factor = 1.0;    ///< multiplies beta (mobility degradation)
+  double lambda_factor = 1.0;  ///< multiplies lambda (r_o degradation)
+  double g_leak_gs = 0.0;      ///< gate-source leakage after oxide BD, S
+  double g_leak_gd = 0.0;      ///< gate-drain leakage after oxide BD, S
+
+  bool fresh() const {
+    return dvt == 0.0 && beta_factor == 1.0 && lambda_factor == 1.0 &&
+           g_leak_gs == 0.0 && g_leak_gd == 0.0;
+  }
+};
+
+/// DC operating-point evaluation result (currents/conductances are in the
+/// actual terminal frame, not the symmetric internal frame).
+struct MosOperatingPoint {
+  double id = 0.0;    ///< current into the drain terminal, A
+  double gm = 0.0;    ///< d id / d vg
+  double gds = 0.0;   ///< d id / d vd
+  double gmb = 0.0;   ///< d id / d vb
+  double vgs = 0.0;   ///< actual-frame vg - vs
+  double vds = 0.0;   ///< actual-frame vd - vs
+  double vbs = 0.0;
+  double vov = 0.0;   ///< smoothed overdrive in the equivalent NMOS frame
+  double vt_eff = 0.0;  ///< effective threshold in equivalent frame (>0)
+  bool saturated = false;
+  bool reversed = false;  ///< true when source/drain roles were swapped
+};
+
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+         NodeId bulk, MosParams params);
+
+  void stamp(StampArgs& args) override;
+  void stamp_ac(AcStampArgs& args) override;
+  void begin_analysis(AnalysisMode mode, const Vector& x) override;
+  void accept_step(const Vector& x, double time, double dt) override;
+
+  /// Full model evaluation at explicit terminal voltages.
+  MosOperatingPoint evaluate(double vd, double vg, double vs, double vb) const;
+
+  /// Model evaluation at a solution vector.
+  MosOperatingPoint operating_point(const Vector& x) const;
+
+  const MosParams& params() const { return params_; }
+  MosParams& mutable_params() { return params_; }
+
+  const MosVariation& variation() const { return variation_; }
+  void set_variation(const MosVariation& v) { variation_ = v; }
+
+  const MosDegradation& degradation() const { return degradation_; }
+  void set_degradation(const MosDegradation& d);
+
+  /// Effective signed threshold voltage including variation and aging.
+  double vt_effective_signed() const;
+
+  /// Enables stress accumulation during transient analysis.
+  void enable_stress_recording(bool enabled = true);
+  bool stress_recording() const { return record_stress_; }
+  const MosStressAccumulator& stress() const { return stress_; }
+  void reset_stress() { stress_.reset(); }
+
+  /// Records one DC stress observation with the given time weight; used by
+  /// the aging engine when the mission profile is a DC operating point.
+  void record_stress_point(const Vector& x, double weight);
+
+  NodeId drain() const { return d_; }
+  NodeId gate() const { return g_; }
+  NodeId source() const { return s_; }
+  NodeId bulk() const { return b_; }
+
+ private:
+  struct CapState {
+    double v_prev = 0.0;
+    double i_prev = 0.0;
+  };
+  void stamp_cap(StampArgs& args, NodeId a, NodeId b, double c,
+                 CapState& state) const;
+  void accept_cap(const Vector& x, NodeId a, NodeId b, double c,
+                  CapState& state, double dt) const;
+  double cgs() const;
+  double cgd() const;
+  double cdb() const;
+
+  NodeId d_, g_, s_, b_;
+  MosParams params_;
+  MosVariation variation_;
+  MosDegradation degradation_;
+  bool record_stress_ = false;
+  MosStressAccumulator stress_;
+  CapState cap_gs_, cap_gd_, cap_db_;
+  Integrator integrator_ = Integrator::kBackwardEuler;
+};
+
+}  // namespace relsim::spice

@@ -1,0 +1,467 @@
+#include "spice/netlist_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "tech/tech.h"
+#include "util/error.h"
+
+namespace relsim::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw NetlistError("netlist line " + std::to_string(line) + ": " + message);
+}
+
+// Splits a card into tokens; parentheses and '=' become separators that
+// keep function-style sources easy to scan: "SIN(0 1 2k)" ->
+// {"sin", "(", "0", "1", "2k", ")"}.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char ch : text) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      flush();
+    } else if (ch == '(' || ch == ')' || ch == '=') {
+      flush();
+      tokens.push_back(std::string(1, ch));
+    } else {
+      current.push_back(ch);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+struct MosModelCard {
+  bool is_pmos = false;
+  std::map<std::string, double> params;  // lowercase keys
+};
+
+struct DiodeModelCard {
+  Diode::Params params;
+};
+
+// Parser state shared across cards.
+struct ParserState {
+  Circuit* circuit = nullptr;
+  const TechNode* tech = nullptr;
+  double temp_k = -1.0;  ///< pending .temp directive (applied at the end)
+  std::map<std::string, MosModelCard> mos_models;
+  std::map<std::string, DiodeModelCard> diode_models;
+};
+
+// A token cursor over one (continued) card.
+class Cursor {
+ public:
+  Cursor(std::vector<std::string> tokens, int line)
+      : tokens_(std::move(tokens)), line_(line) {}
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  int line() const { return line_; }
+
+  const std::string& peek() const {
+    if (done()) fail(line_, "unexpected end of card");
+    return tokens_[pos_];
+  }
+
+  std::string next(const std::string& what) {
+    if (done()) fail(line_, "missing " + what);
+    return tokens_[pos_++];
+  }
+
+  double number(const std::string& what) {
+    const std::string tok = next(what);
+    try {
+      return parse_spice_number(tok);
+    } catch (const Error&) {
+      fail(line_, "bad " + what + " '" + tok + "'");
+    }
+  }
+
+  void expect(const std::string& token, const std::string& context) {
+    const std::string tok = next(context);
+    if (lower(tok) != token) {
+      fail(line_, "expected '" + token + "' in " + context + ", got '" +
+                      tok + "'");
+    }
+  }
+
+  bool accept(const std::string& token) {
+    if (!done() && lower(tokens_[pos_]) == token) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+// Parses "<key> = <number>" pairs until the cursor runs out; unknown keys
+// go through `sink` which returns false to reject.
+template <typename Sink>
+void parse_kv_pairs(Cursor& cur, Sink&& sink) {
+  while (!cur.done()) {
+    const std::string key = lower(cur.next("parameter name"));
+    cur.expect("=", "parameter assignment");
+    const double value = cur.number("parameter value");
+    if (!sink(key, value)) {
+      fail(cur.line(), "unknown parameter '" + key + "'");
+    }
+  }
+}
+
+std::unique_ptr<Waveform> parse_source(Cursor& cur, double* ac_magnitude) {
+  std::string tok = cur.next("source value");
+  const std::string kind = lower(tok);
+  std::unique_ptr<Waveform> wave;
+  if (kind == "dc") {
+    wave = std::make_unique<DcWaveform>(cur.number("DC value"));
+  } else if (kind == "sin") {
+    cur.expect("(", "SIN source");
+    const double off = cur.number("SIN offset");
+    const double ampl = cur.number("SIN amplitude");
+    const double freq = cur.number("SIN frequency");
+    double delay = 0.0;
+    if (!cur.accept(")")) {
+      delay = cur.number("SIN delay");
+      cur.expect(")", "SIN source");
+    }
+    wave = std::make_unique<SineWaveform>(off, ampl, freq, delay);
+  } else if (kind == "pulse") {
+    cur.expect("(", "PULSE source");
+    const double v1 = cur.number("PULSE low");
+    const double v2 = cur.number("PULSE high");
+    const double delay = cur.number("PULSE delay");
+    const double rise = cur.number("PULSE rise");
+    const double fall = cur.number("PULSE fall");
+    const double width = cur.number("PULSE width");
+    const double period = cur.number("PULSE period");
+    cur.expect(")", "PULSE source");
+    wave = std::make_unique<PulseWaveform>(v1, v2, delay, rise, fall, width,
+                                           period);
+  } else if (kind == "pwl") {
+    cur.expect("(", "PWL source");
+    std::vector<double> ts, vs;
+    while (!cur.accept(")")) {
+      ts.push_back(cur.number("PWL time"));
+      vs.push_back(cur.number("PWL value"));
+    }
+    wave = std::make_unique<PwlWaveform>(std::move(ts), std::move(vs));
+  } else {
+    // Bare number = DC.
+    try {
+      wave = std::make_unique<DcWaveform>(parse_spice_number(tok));
+    } catch (const Error&) {
+      fail(cur.line(), "unrecognized source '" + tok + "'");
+    }
+  }
+  // Optional trailing "AC <magnitude>".
+  if (ac_magnitude != nullptr && cur.accept("ac")) {
+    *ac_magnitude = cur.number("AC magnitude");
+  }
+  return wave;
+}
+
+void parse_resistor(ParserState& st, const std::string& name, Cursor& cur) {
+  const NodeId a = st.circuit->node(cur.next("node"));
+  const NodeId b = st.circuit->node(cur.next("node"));
+  auto& r = st.circuit->add_resistor(name, a, b, cur.number("resistance"));
+  if (cur.accept("wire")) {
+    WireGeometry geom;
+    parse_kv_pairs(cur, [&](const std::string& key, double value) {
+      if (key == "w") geom.width_um = value * 1e6;       // metres -> um
+      else if (key == "l") geom.length_um = value * 1e6;
+      else if (key == "t") geom.thickness_um = value * 1e6;
+      else return false;
+      return true;
+    });
+    r.set_wire_geometry(geom);
+  } else if (!cur.done()) {
+    fail(cur.line(), "trailing tokens on resistor card");
+  }
+}
+
+void parse_mosfet(ParserState& st, const std::string& name, Cursor& cur) {
+  const NodeId d = st.circuit->node(cur.next("drain"));
+  const NodeId g = st.circuit->node(cur.next("gate"));
+  const NodeId s = st.circuit->node(cur.next("source"));
+  const NodeId b = st.circuit->node(cur.next("bulk"));
+  const std::string model = lower(cur.next("model name"));
+
+  MosParams params;
+  bool have_base = false;
+  if (model == "nmos" || model == "pmos") {
+    if (st.tech == nullptr) {
+      fail(cur.line(),
+           "builtin model '" + model + "' needs a preceding .tech card");
+    }
+    params = make_mos_params(*st.tech, 1.0, 0.1, model == "pmos");
+    have_base = true;
+  }
+  const auto it = st.mos_models.find(model);
+  if (it != st.mos_models.end()) {
+    if (!have_base) {
+      params.is_pmos = it->second.is_pmos;
+      // Unset vt0 sign sanity is checked by the device constructor.
+    }
+    params.is_pmos = it->second.is_pmos;
+    for (const auto& [key, value] : it->second.params) {
+      if (key == "vt0") params.vt0 = value;
+      else if (key == "kp") params.kp = value;
+      else if (key == "lambda") params.lambda = value;
+      else if (key == "gamma") params.gamma = value;
+      else if (key == "phi") params.phi = value;
+      else if (key == "tox") params.tox_nm = value;  // nm
+    }
+    have_base = true;
+  }
+  if (!have_base) fail(cur.line(), "unknown MOS model '" + model + "'");
+
+  parse_kv_pairs(cur, [&](const std::string& key, double value) {
+    if (key == "w") params.w_um = value * 1e6;
+    else if (key == "l") params.l_um = value * 1e6;
+    else return false;
+    return true;
+  });
+  st.circuit->add_mosfet(name, d, g, s, b, params);
+}
+
+void parse_model_card(ParserState& st, Cursor& cur) {
+  const std::string name = lower(cur.next("model name"));
+  const std::string type = lower(cur.next("model type"));
+  if (type == "nmos" || type == "pmos") {
+    MosModelCard card;
+    card.is_pmos = (type == "pmos");
+    parse_kv_pairs(cur, [&](const std::string& key, double value) {
+      if (key == "vt0" || key == "kp" || key == "lambda" || key == "gamma" ||
+          key == "phi" || key == "tox") {
+        card.params[key] = value;
+        return true;
+      }
+      return false;
+    });
+    st.mos_models[name] = card;
+  } else if (type == "d") {
+    DiodeModelCard card;
+    parse_kv_pairs(cur, [&](const std::string& key, double value) {
+      if (key == "is") card.params.is = value;
+      else if (key == "n") card.params.n = value;
+      else if (key == "temp") card.params.temp_k = value;
+      else return false;
+      return true;
+    });
+    st.diode_models[name] = card;
+  } else {
+    fail(cur.line(), "unknown model type '" + type + "'");
+  }
+}
+
+void parse_card(ParserState& st, const std::string& card, int line) {
+  Cursor cur(tokenize(card), line);
+  if (cur.done()) return;
+  const std::string head = cur.next("card");
+  const std::string head_lc = lower(head);
+
+  if (head_lc[0] == '.') {
+    if (head_lc == ".end") return;
+    if (head_lc == ".tech") {
+      const std::string node = cur.next("technology name");
+      try {
+        st.tech = &technology(node);
+      } catch (const Error&) {
+        fail(line, "unknown technology node '" + node + "'");
+      }
+      return;
+    }
+    if (head_lc == ".model") {
+      parse_model_card(st, cur);
+      return;
+    }
+    if (head_lc == ".temp") {
+      st.temp_k = cur.number("temperature (K)");
+      if (st.temp_k <= 0.0) fail(line, "temperature must be positive");
+      return;
+    }
+    fail(line, "unknown directive '" + head + "'");
+  }
+
+  switch (head_lc[0]) {
+    case 'r':
+      parse_resistor(st, head, cur);
+      break;
+    case 'c': {
+      const NodeId a = st.circuit->node(cur.next("node"));
+      const NodeId b = st.circuit->node(cur.next("node"));
+      st.circuit->add_capacitor(head, a, b, cur.number("capacitance"));
+      break;
+    }
+    case 'l': {
+      const NodeId a = st.circuit->node(cur.next("node"));
+      const NodeId b = st.circuit->node(cur.next("node"));
+      st.circuit->add_inductor(head, a, b, cur.number("inductance"));
+      break;
+    }
+    case 'v': {
+      const NodeId p = st.circuit->node(cur.next("node"));
+      const NodeId m = st.circuit->node(cur.next("node"));
+      double ac_mag = 0.0;
+      auto wave = parse_source(cur, &ac_mag);
+      auto& src = st.circuit->add_vsource(head, p, m, std::move(wave));
+      if (ac_mag != 0.0) src.set_ac_magnitude(ac_mag);
+      break;
+    }
+    case 'i': {
+      const NodeId p = st.circuit->node(cur.next("node"));
+      const NodeId m = st.circuit->node(cur.next("node"));
+      auto wave = parse_source(cur, nullptr);
+      st.circuit->add_isource(head, p, m, std::move(wave));
+      break;
+    }
+    case 'e': {
+      const NodeId p = st.circuit->node(cur.next("node"));
+      const NodeId m = st.circuit->node(cur.next("node"));
+      const NodeId cp = st.circuit->node(cur.next("node"));
+      const NodeId cm = st.circuit->node(cur.next("node"));
+      st.circuit->add_vcvs(head, p, m, cp, cm, cur.number("gain"));
+      break;
+    }
+    case 'd': {
+      const NodeId a = st.circuit->node(cur.next("anode"));
+      const NodeId c = st.circuit->node(cur.next("cathode"));
+      Diode::Params params;
+      if (!cur.done()) {
+        const std::string model = lower(cur.next("model name"));
+        const auto it = st.diode_models.find(model);
+        if (it == st.diode_models.end()) {
+          fail(line, "unknown diode model '" + model + "'");
+        }
+        params = it->second.params;
+      }
+      st.circuit->add_diode(head, a, c, params);
+      break;
+    }
+    case 'm':
+      parse_mosfet(st, head, cur);
+      break;
+    default:
+      fail(line, "unknown card '" + head + "'");
+  }
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  RELSIM_REQUIRE(!token.empty(), "empty number");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw Error("not a number: '" + token + "'");
+  }
+  std::string suffix = lower(token.substr(pos));
+  if (suffix.empty()) return value;
+  // Trailing unit letters after the scale are ignored (SPICE habit: 10kohm,
+  // 5pf), so only the leading scale characters matter.
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  switch (suffix[0]) {
+    case 'f': return value * 1e-15;
+    case 'p': return value * 1e-12;
+    case 'n': return value * 1e-9;
+    case 'u': return value * 1e-6;
+    case 'm': return value * 1e-3;
+    case 'k': return value * 1e3;
+    case 'g': return value * 1e9;
+    case 't': return value * 1e12;
+    default:
+      throw Error("unknown magnitude suffix on '" + token + "'");
+  }
+}
+
+ParsedNetlist parse_netlist(const std::string& text) {
+  ParsedNetlist out;
+  out.circuit = std::make_unique<Circuit>();
+  ParserState st;
+  st.circuit = out.circuit.get();
+
+  std::istringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  bool have_title = false;
+  std::string pending_card;
+  int pending_line = 0;
+
+  auto flush_pending = [&]() {
+    if (!pending_card.empty()) {
+      parse_card(st, pending_card, pending_line);
+      pending_card.clear();
+    }
+  };
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    // Strip comments: '*' at start, "//" or ';' anywhere.
+    std::string card = raw;
+    if (!card.empty() && card[0] == '*') card.clear();
+    const auto semi = card.find(';');
+    if (semi != std::string::npos) card.resize(semi);
+    // Trim.
+    const auto first = card.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      card.clear();
+    } else {
+      card = card.substr(first);
+    }
+    if (!have_title) {
+      // SPICE rule: the first line is the title, never a card.
+      out.title = card;
+      have_title = true;
+      continue;
+    }
+    if (card.empty()) continue;
+    if (card[0] == '+') {
+      if (pending_card.empty()) fail(line_no, "continuation without a card");
+      pending_card += ' ' + card.substr(1);
+      continue;
+    }
+    flush_pending();
+    pending_card = card;
+    pending_line = line_no;
+  }
+  flush_pending();
+  out.tech = st.tech;
+  if (st.temp_k > 0.0) out.circuit->set_temperature(st.temp_k);
+  return out;
+}
+
+ParsedNetlist parse_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw NetlistError("cannot open netlist file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_netlist(buffer.str());
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,72 @@
+// SPICE-style netlist parser.
+//
+// Accepts the classic card format so circuits can live in text files
+// instead of C++:
+//
+//   bias stage example            <- first line is the title (SPICE rule)
+//   * comment
+//   .tech 65nm                    <- selects a relsim technology node
+//   VDD vdd 0 1.1
+//   VIN in  0 SIN(0.55 0.01 1e6)
+//   RD  vdd d 2k
+//   M1  d in 0 0 nmos W=2u L=0.1u
+//   C1  d 0 5f
+//   .end
+//
+// Supported cards:
+//   R<name> n1 n2 value [WIRE W=<um> L=<um> T=<um>]      resistor (wire)
+//   C<name> n1 n2 value                                  capacitor
+//   L<name> n1 n2 value                                  inductor
+//   V<name> n+ n- <src> [AC mag]                         voltage source
+//   I<name> n+ n- <src>                                  current source
+//   E<name> p m cp cm gain                               VCVS
+//   D<name> a c [model]                                  diode
+//   M<name> d g s b <model> W=.. L=..                    MOSFET
+//   .tech <node>          technology node ("65nm", "0.18um", ...)
+//   .temp <kelvin>        operating temperature of all devices
+//   .model <name> NMOS|PMOS|D [param=value ...]          device models
+//   .end                  optional terminator
+//
+// Sources: a bare number (DC), DC <v>, SIN(off ampl freq [delay]),
+// PULSE(v1 v2 delay rise fall width period), PWL(t1 v1 t2 v2 ...).
+// Numbers accept SPICE suffixes: f p n u m k meg g t (case-insensitive;
+// 'M'/'m' is milli, "MEG" is mega). Lines starting with '+' continue the
+// previous card; '*' starts a comment; everything is case-insensitive
+// except node and device names.
+//
+// MOSFET models: "nmos"/"pmos" resolve against the active .tech node;
+// .model cards may override VT0, KP, LAMBDA (1/V), GAMMA, PHI, TOX (nm).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "spice/circuit.h"
+#include "tech/tech.h"
+
+namespace relsim::spice {
+
+/// Thrown on malformed netlists; the message carries the line number.
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+struct ParsedNetlist {
+  std::string title;
+  std::unique_ptr<Circuit> circuit;
+  /// The node selected by the last .tech card (nullptr when absent).
+  const TechNode* tech = nullptr;
+};
+
+/// Parses a netlist from text (first line = title).
+ParsedNetlist parse_netlist(const std::string& text);
+
+/// Parses a netlist file.
+ParsedNetlist parse_netlist_file(const std::string& path);
+
+/// Parses a single SPICE number with magnitude suffix ("2.5k" -> 2500).
+/// Exposed for tests and other text frontends.
+double parse_spice_number(const std::string& token);
+
+}  // namespace relsim::spice

@@ -1,0 +1,98 @@
+#include "spice/probes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim::spice {
+
+namespace {
+
+// Returns the [first, last] sample index range overlapping the window and
+// validates inputs.
+std::pair<std::size_t, std::size_t> window_range(
+    const std::vector<double>& time, const std::vector<double>& values,
+    double t_begin, double t_end) {
+  RELSIM_REQUIRE(time.size() == values.size(), "time/value size mismatch");
+  RELSIM_REQUIRE(time.size() >= 2, "waveform needs >= 2 samples");
+  RELSIM_REQUIRE(t_end > t_begin, "empty analysis window");
+  const auto lo = std::lower_bound(time.begin(), time.end(), t_begin);
+  const auto hi = std::upper_bound(time.begin(), time.end(), t_end);
+  RELSIM_REQUIRE(hi - lo >= 2, "analysis window contains < 2 samples");
+  return {static_cast<std::size_t>(lo - time.begin()),
+          static_cast<std::size_t>(hi - time.begin()) - 1};
+}
+
+template <typename Transform>
+double integrate_mean(const std::vector<double>& time,
+                      const std::vector<double>& values, double t_begin,
+                      double t_end, Transform f) {
+  const auto [first, last] = window_range(time, values, t_begin, t_end);
+  double integral = 0.0;
+  double span = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    const double dt = time[i + 1] - time[i];
+    integral += 0.5 * (f(values[i]) + f(values[i + 1])) * dt;
+    span += dt;
+  }
+  RELSIM_REQUIRE(span > 0.0, "degenerate analysis window");
+  return integral / span;
+}
+
+}  // namespace
+
+double time_average(const std::vector<double>& time,
+                    const std::vector<double>& values, double t_begin,
+                    double t_end) {
+  return integrate_mean(time, values, t_begin, t_end,
+                        [](double v) { return v; });
+}
+
+double time_rms(const std::vector<double>& time,
+                const std::vector<double>& values, double t_begin,
+                double t_end) {
+  return std::sqrt(integrate_mean(time, values, t_begin, t_end,
+                                  [](double v) { return v * v; }));
+}
+
+double peak_to_peak(const std::vector<double>& time,
+                    const std::vector<double>& values, double t_begin,
+                    double t_end) {
+  const auto [first, last] = window_range(time, values, t_begin, t_end);
+  double lo = values[first], hi = values[first];
+  for (std::size_t i = first; i <= last; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  return hi - lo;
+}
+
+double estimate_frequency(const std::vector<double>& time,
+                          const std::vector<double>& values, double t_begin,
+                          double t_end) {
+  const auto [first, last] = window_range(time, values, t_begin, t_end);
+  double lo = values[first], hi = values[first];
+  for (std::size_t i = first; i <= last; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  const double mid = 0.5 * (lo + hi);
+  double first_cross = 0.0, last_cross = 0.0;
+  int crossings = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const double a = values[i] - mid;
+    const double b = values[i + 1] - mid;
+    if (a < 0.0 && b >= 0.0) {  // rising crossing
+      const double frac = a / (a - b);
+      const double tc = time[i] + frac * (time[i + 1] - time[i]);
+      if (crossings == 0) first_cross = tc;
+      last_cross = tc;
+      ++crossings;
+    }
+  }
+  if (crossings < 2) return 0.0;
+  return static_cast<double>(crossings - 1) / (last_cross - first_cross);
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,37 @@
+// Waveform post-processing for transient results.
+//
+// The EMC analyses (Figs. 3-4) extract the DC operating-point shift as the
+// time-average of an output quantity over the settled tail of a transient;
+// the knobs-and-monitors bench extracts ring-oscillator frequency from zero
+// crossings. These helpers operate on the (possibly non-uniformly sampled)
+// time/value vectors produced by transient_analysis().
+#pragma once
+
+#include <vector>
+
+namespace relsim::spice {
+
+/// Trapezoidal time-average of `values` over [t_begin, t_end] (clamped to
+/// the record range). Requires at least two samples in the window.
+double time_average(const std::vector<double>& time,
+                    const std::vector<double>& values, double t_begin,
+                    double t_end);
+
+/// RMS of `values` over [t_begin, t_end] (trapezoidal on the square).
+double time_rms(const std::vector<double>& time,
+                const std::vector<double>& values, double t_begin,
+                double t_end);
+
+/// Peak-to-peak over the window.
+double peak_to_peak(const std::vector<double>& time,
+                    const std::vector<double>& values, double t_begin,
+                    double t_end);
+
+/// Fundamental frequency estimated from rising zero crossings of
+/// (value - midlevel) inside the window; returns 0 when fewer than two
+/// crossings are found. Crossing times are linearly interpolated.
+double estimate_frequency(const std::vector<double>& time,
+                          const std::vector<double>& values, double t_begin,
+                          double t_end);
+
+}  // namespace relsim::spice

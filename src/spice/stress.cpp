@@ -1,0 +1,68 @@
+#include "spice/stress.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim::spice {
+
+void MosStressAccumulator::add(double vgs, double vds, double vbs, double ids,
+                               double dt) {
+  (void)vbs;  // recorded API keeps the body voltage for future models
+  RELSIM_REQUIRE(dt > 0.0, "stress weight must be positive");
+  const double avgs = std::abs(vgs);
+  const double avds = std::abs(vds);
+  total_weight_ += dt;
+  sum_abs_vgs_ += avgs * dt;
+  sum_ids2_ += ids * ids * dt;
+  max_abs_vgs_ = std::max(max_abs_vgs_, avgs);
+  max_abs_vds_ = std::max(max_abs_vds_, avds);
+  if (avgs > on_threshold_) {
+    on_weight_ += dt;
+    sum_on_abs_vgs_ += avgs * dt;
+    sum_on_abs_vds_ += avds * dt;
+  }
+}
+
+void MosStressAccumulator::reset() { *this = MosStressAccumulator(on_threshold_); }
+
+double MosStressAccumulator::mean_abs_vgs() const {
+  return total_weight_ > 0.0 ? sum_abs_vgs_ / total_weight_ : 0.0;
+}
+
+double MosStressAccumulator::mean_on_abs_vgs() const {
+  return on_weight_ > 0.0 ? sum_on_abs_vgs_ / on_weight_ : 0.0;
+}
+
+double MosStressAccumulator::mean_on_abs_vds() const {
+  return on_weight_ > 0.0 ? sum_on_abs_vds_ / on_weight_ : 0.0;
+}
+
+double MosStressAccumulator::rms_ids() const {
+  return total_weight_ > 0.0 ? std::sqrt(sum_ids2_ / total_weight_) : 0.0;
+}
+
+double MosStressAccumulator::duty() const {
+  return total_weight_ > 0.0 ? on_weight_ / total_weight_ : 0.0;
+}
+
+void WireStressAccumulator::add(double current, double dt) {
+  RELSIM_REQUIRE(dt > 0.0, "stress weight must be positive");
+  total_weight_ += dt;
+  sum_i_ += current * dt;
+  sum_i2_ += current * current * dt;
+  peak_abs_ = std::max(peak_abs_, std::abs(current));
+}
+
+void WireStressAccumulator::reset() { *this = WireStressAccumulator(); }
+
+double WireStressAccumulator::mean_current() const {
+  return total_weight_ > 0.0 ? sum_i_ / total_weight_ : 0.0;
+}
+
+double WireStressAccumulator::rms_current() const {
+  return total_weight_ > 0.0 ? std::sqrt(sum_i2_ / total_weight_) : 0.0;
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,76 @@
+// Stress recording: the bridge between circuit simulation and aging models.
+//
+// Time-dependent degradation (Sec. 3 of the paper) depends on the electrical
+// stress each device sees: gate/drain voltages, conduction duty and
+// temperature for MOSFETs (NBTI/HCI/TDDB), and current density for wires
+// (EM). During transient analysis every device accumulates time-weighted
+// stress statistics; the aging engine then extrapolates them over the
+// mission time.
+#pragma once
+
+#include <cstddef>
+
+namespace relsim::spice {
+
+/// Time-weighted stress statistics of one MOSFET.
+class MosStressAccumulator {
+ public:
+  /// `on_threshold` is the |vgs| above which the device counts as "on"
+  /// (conducting / under gate stress) for the duty-cycle statistic.
+  explicit MosStressAccumulator(double on_threshold = 0.1)
+      : on_threshold_(on_threshold) {}
+
+  /// Adds one observation with weight `dt` (seconds of simulated time, or
+  /// 1.0 for a DC operating point).
+  void add(double vgs, double vds, double vbs, double ids, double dt);
+
+  void reset();
+
+  bool empty() const { return total_weight_ == 0.0; }
+  double observed_time() const { return total_weight_; }
+
+  /// Time-averaged |vgs| over the whole window.
+  double mean_abs_vgs() const;
+  /// Average |vgs| restricted to on-time (0 if never on).
+  double mean_on_abs_vgs() const;
+  /// Average |vds| restricted to on-time (0 if never on) — HCI stress.
+  double mean_on_abs_vds() const;
+  double max_abs_vgs() const { return max_abs_vgs_; }
+  double max_abs_vds() const { return max_abs_vds_; }
+  /// RMS drain current over the window.
+  double rms_ids() const;
+  /// Fraction of time with |vgs| above the on-threshold (AC stress duty).
+  double duty() const;
+
+ private:
+  double on_threshold_;
+  double total_weight_ = 0.0;
+  double on_weight_ = 0.0;
+  double sum_abs_vgs_ = 0.0;
+  double sum_on_abs_vgs_ = 0.0;
+  double sum_on_abs_vds_ = 0.0;
+  double sum_ids2_ = 0.0;
+  double max_abs_vgs_ = 0.0;
+  double max_abs_vds_ = 0.0;
+};
+
+/// Time-weighted current statistics of a wire (resistor with geometry).
+class WireStressAccumulator {
+ public:
+  void add(double current, double dt);
+  void reset();
+
+  bool empty() const { return total_weight_ == 0.0; }
+  /// Signed DC (average) current.
+  double mean_current() const;
+  double rms_current() const;
+  double peak_abs_current() const { return peak_abs_; }
+
+ private:
+  double total_weight_ = 0.0;
+  double sum_i_ = 0.0;
+  double sum_i2_ = 0.0;
+  double peak_abs_ = 0.0;
+};
+
+}  // namespace relsim::spice

@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace relsim::spice {
+
+const std::vector<double>& TransientResult::node(NodeId node) const {
+  const auto it = nodes_.find(node);
+  RELSIM_REQUIRE(it != nodes_.end(), "node was not probed");
+  return it->second;
+}
+
+const std::vector<double>& TransientResult::source_current(
+    const std::string& name) const {
+  const auto it = currents_.find(name);
+  RELSIM_REQUIRE(it != currents_.end(), "source current was not probed");
+  return it->second;
+}
+
+TransientResult transient_analysis(
+    Circuit& circuit, const TransientOptions& options,
+    const std::vector<NodeId>& probe_nodes,
+    const std::vector<std::string>& probe_source_currents) {
+  RELSIM_REQUIRE(options.dt > 0.0, "transient dt must be positive");
+  RELSIM_REQUIRE(options.t_stop > 0.0, "transient t_stop must be positive");
+  circuit.assemble();
+
+  // Starting solution: DC operating point, or raw initial conditions (UIC).
+  Vector x;
+  if (options.use_initial_conditions) {
+    x.assign(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
+    for (const auto& [node, v] : options.initial_conditions) {
+      RELSIM_REQUIRE(node > kGround && node <= circuit.node_count(),
+                     "initial condition on unknown node");
+      x[static_cast<std::size_t>(node - 1)] = v;
+    }
+  } else {
+    DcOptions dc;
+    dc.newton = options.newton;
+    x = dc_operating_point(circuit, dc).x();
+  }
+
+  for (const auto& device : circuit.devices()) {
+    device->begin_analysis(AnalysisMode::kTransient, x);
+  }
+
+  std::vector<VoltageSource*> probed_sources;
+  probed_sources.reserve(probe_source_currents.size());
+  for (const std::string& name : probe_source_currents) {
+    probed_sources.push_back(&circuit.device_as<VoltageSource>(name));
+  }
+
+  TransientResult result;
+  auto record = [&](double t) {
+    result.time_.push_back(t);
+    for (NodeId n : probe_nodes) {
+      result.nodes_[n].push_back(
+          n == kGround ? 0.0 : x[static_cast<std::size_t>(n - 1)]);
+    }
+    for (std::size_t i = 0; i < probed_sources.size(); ++i) {
+      result.currents_[probe_source_currents[i]].push_back(
+          probed_sources[i]->current(x));
+    }
+  };
+  record(0.0);
+
+  double t = 0.0;
+  double dt = options.dt;
+  int halvings = 0;
+  while (t < options.t_stop - 1e-15 * options.t_stop) {
+    dt = std::min(dt, options.t_stop - t);
+    Vector x_try = x;
+    const NewtonResult res =
+        newton_solve(circuit, x_try, AnalysisMode::kTransient,
+                     options.integrator, t + dt, dt, 1.0, options.newton.gmin,
+                     options.newton);
+    if (!res.converged) {
+      ++halvings;
+      RELSIM_REQUIRE(halvings <= options.max_step_halvings,
+                     "transient step failed to converge after max halvings");
+      dt *= 0.5;
+      continue;
+    }
+    x = std::move(x_try);
+    t += dt;
+    for (const auto& device : circuit.devices()) {
+      device->accept_step(x, t, dt);
+    }
+    record(t);
+    if (halvings > 0 && dt < options.dt) {
+      dt = std::min(dt * 2.0, options.dt);
+      if (dt >= options.dt) halvings = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,73 @@
+#include "spice/waveform.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/mathx.h"
+
+namespace relsim::spice {
+
+SineWaveform::SineWaveform(double offset, double amplitude, double freq_hz,
+                           double delay_s)
+    : offset_(offset), amplitude_(amplitude), freq_(freq_hz), delay_(delay_s) {
+  RELSIM_REQUIRE(freq_hz > 0.0, "sine frequency must be positive");
+}
+
+double SineWaveform::value(double time) const {
+  if (time < delay_) return offset_;
+  return offset_ +
+         amplitude_ *
+             std::sin(2.0 * std::numbers::pi * freq_ * (time - delay_));
+}
+
+PulseWaveform::PulseWaveform(double low, double high, double delay_s,
+                             double rise_s, double fall_s, double width_s,
+                             double period_s)
+    : low_(low),
+      high_(high),
+      delay_(delay_s),
+      rise_(rise_s),
+      fall_(fall_s),
+      width_(width_s),
+      period_(period_s) {
+  RELSIM_REQUIRE(rise_s > 0.0 && fall_s > 0.0,
+                 "pulse edges must have non-zero duration");
+  RELSIM_REQUIRE(period_s >= rise_s + width_s + fall_s,
+                 "pulse period shorter than rise+width+fall");
+}
+
+double PulseWaveform::value(double time) const {
+  if (time < delay_) return low_;
+  const double t = std::fmod(time - delay_, period_);
+  if (t < rise_) return lerp(low_, high_, t / rise_);
+  if (t < rise_ + width_) return high_;
+  if (t < rise_ + width_ + fall_)
+    return lerp(high_, low_, (t - rise_ - width_) / fall_);
+  return low_;
+}
+
+std::unique_ptr<Waveform> PulseWaveform::clone() const {
+  return std::make_unique<PulseWaveform>(low_, high_, delay_, rise_, fall_,
+                                         width_, period_);
+}
+
+PwlWaveform::PwlWaveform(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  RELSIM_REQUIRE(times_.size() == values_.size() && times_.size() >= 2,
+                 "PWL needs >= 2 (t,v) points");
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    RELSIM_REQUIRE(times_[i] > times_[i - 1],
+                   "PWL times must be strictly increasing");
+  }
+}
+
+double PwlWaveform::value(double time) const {
+  return interp1(times_, values_, time);
+}
+
+std::unique_ptr<Waveform> PwlWaveform::clone() const {
+  return std::make_unique<PwlWaveform>(times_, values_);
+}
+
+}  // namespace relsim::spice

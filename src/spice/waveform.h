@@ -1,0 +1,81 @@
+// Source waveforms for independent sources.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace relsim::spice {
+
+/// Time-dependent source value. Implementations must be pure functions of
+/// time (no per-call state) so analyses can evaluate them at any t.
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  virtual double value(double time) const = 0;
+  /// Value used for the DC operating point (t = 0 unless overridden).
+  virtual double dc_value() const { return value(0.0); }
+  virtual std::unique_ptr<Waveform> clone() const = 0;
+};
+
+/// Constant value.
+class DcWaveform final : public Waveform {
+ public:
+  explicit DcWaveform(double value) : value_(value) {}
+  double value(double) const override { return value_; }
+  std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<DcWaveform>(value_);
+  }
+
+ private:
+  double value_;
+};
+
+/// offset + amplitude * sin(2*pi*freq*(t - delay)), zero sine before delay.
+/// This is the EMI injection waveform used by the EMC analyses (Figs. 3-4).
+class SineWaveform final : public Waveform {
+ public:
+  SineWaveform(double offset, double amplitude, double freq_hz,
+               double delay_s = 0.0);
+  double value(double time) const override;
+  double dc_value() const override { return offset_; }
+  std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<SineWaveform>(offset_, amplitude_, freq_, delay_);
+  }
+
+  double offset() const { return offset_; }
+  double amplitude() const { return amplitude_; }
+  double frequency() const { return freq_; }
+
+ private:
+  double offset_;
+  double amplitude_;
+  double freq_;
+  double delay_;
+};
+
+/// Periodic trapezoidal pulse (SPICE PULSE semantics).
+class PulseWaveform final : public Waveform {
+ public:
+  PulseWaveform(double low, double high, double delay_s, double rise_s,
+                double fall_s, double width_s, double period_s);
+  double value(double time) const override;
+  double dc_value() const override { return low_; }
+  std::unique_ptr<Waveform> clone() const override;
+
+ private:
+  double low_, high_, delay_, rise_, fall_, width_, period_;
+};
+
+/// Piecewise-linear waveform through (t, v) points; clamps outside range.
+class PwlWaveform final : public Waveform {
+ public:
+  PwlWaveform(std::vector<double> times, std::vector<double> values);
+  double value(double time) const override;
+  std::unique_ptr<Waveform> clone() const override;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace relsim::spice

@@ -1,0 +1,76 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace relsim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RELSIM_REQUIRE(hi > lo, "histogram range must be non-empty");
+  RELSIM_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at x ~= hi
+  ++counts_[bin];
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  RELSIM_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  RELSIM_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return bin_lo(bin) + width;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar = counts_[b] * max_width / peak;
+    os.setf(std::ios::scientific);
+    os.precision(3);
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << ")  ";
+    os << std::string(bar, '#') << "  " << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace relsim

@@ -1,0 +1,43 @@
+// Fixed-bin histogram used by MC benches to render distributions as text.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace relsim {
+
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins spanning [lo, hi). Values outside the
+  /// range are counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+  /// Fraction of all added samples (incl. under/overflow) in this bin.
+  double density(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, one line per bin.
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace relsim

@@ -1,0 +1,51 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  RELSIM_REQUIRE(x.size() == y.size(), "fit_line: size mismatch");
+  RELSIM_REQUIRE(x.size() >= 2, "fit_line needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  RELSIM_REQUIRE(sxx > 0.0, "fit_line: degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit fit_power_law(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  RELSIM_REQUIRE(x.size() == y.size(), "fit_power_law: size mismatch");
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    RELSIM_REQUIRE(x[i] > 0.0 && y[i] > 0.0,
+                   "fit_power_law needs strictly positive data");
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  return fit_line(lx, ly);
+}
+
+}  // namespace relsim

@@ -1,0 +1,29 @@
+// Ordinary least-squares line fit.
+//
+// Used throughout the benches to recover power-law exponents (slope of a
+// log-log fit), Weibull slopes, and the Fig. 1 A_VT(T_ox) trend.
+#pragma once
+
+#include <vector>
+
+namespace relsim {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1].
+  double r_squared = 0.0;
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Fits y = intercept + slope*x by least squares. Requires >= 2 points with
+/// non-degenerate x spread.
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y = c * x^p by least squares in log-log space (all values > 0).
+/// Returns {slope=p, intercept=ln c} plus r^2 of the log-space fit.
+LinearFit fit_power_law(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+}  // namespace relsim

@@ -1,0 +1,93 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  RELSIM_REQUIRE(count_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  RELSIM_REQUIRE(count_ >= 2, "variance needs at least two samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  RELSIM_REQUIRE(count_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  RELSIM_REQUIRE(count_ > 0, "max of empty sample");
+  return max_;
+}
+
+double RunningStats::mean_ci95_halfwidth() const {
+  return 1.959963984540054 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::vector<double> values, double p) {
+  RELSIM_REQUIRE(!values.empty(), "quantile of empty sample");
+  RELSIM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double h = p * (static_cast<double>(values.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = h - static_cast<double>(lo);
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials) {
+  RELSIM_REQUIRE(trials > 0, "wilson interval needs trials > 0");
+  RELSIM_REQUIRE(successes <= trials, "successes cannot exceed trials");
+  const double z = 1.959963984540054;
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {phat, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+}  // namespace relsim

@@ -1,0 +1,53 @@
+// Streaming summary statistics and quantiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace relsim {
+
+/// Numerically stable (Welford) streaming mean/variance with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); requires count >= 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Half-width of the normal-approximation confidence interval on the mean
+  /// at ~95% (1.96 sigma/sqrt(n)); requires count >= 2.
+  double mean_ci95_halfwidth() const;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample using linear interpolation between order statistics
+/// (type-7, the numpy default). `p` in [0,1]. Sorts a copy.
+double quantile(std::vector<double> values, double p);
+
+/// Convenience: median.
+double median(std::vector<double> values);
+
+/// Wilson score interval for a binomial proportion: returns {lo, hi} for
+/// `successes` out of `trials` at ~95% confidence. Used for yield estimates.
+struct ProportionInterval {
+  double estimate;
+  double lo;
+  double hi;
+};
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials);
+
+}  // namespace relsim

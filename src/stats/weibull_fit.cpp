@@ -1,0 +1,91 @@
+#include "stats/weibull_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/regression.h"
+#include "util/error.h"
+
+namespace relsim {
+
+std::vector<WeibullPlotPoint> weibull_plot(std::vector<double> times) {
+  RELSIM_REQUIRE(!times.empty(), "weibull_plot of empty sample");
+  std::sort(times.begin(), times.end());
+  RELSIM_REQUIRE(times.front() > 0.0, "Weibull samples must be positive");
+  const double n = static_cast<double>(times.size());
+  std::vector<WeibullPlotPoint> points;
+  points.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double rank = (static_cast<double>(i) + 1.0 - 0.3) / (n + 0.4);
+    WeibullPlotPoint p;
+    p.time = times[i];
+    p.median_rank = rank;
+    p.ln_time = std::log(times[i]);
+    p.weibull_y = std::log(-std::log1p(-rank));
+    points.push_back(p);
+  }
+  return points;
+}
+
+WeibullEstimate fit_weibull_rank_regression(std::vector<double> times) {
+  RELSIM_REQUIRE(times.size() >= 3,
+                 "Weibull rank regression needs >= 3 samples");
+  const auto points = weibull_plot(std::move(times));
+  std::vector<double> x, y;
+  x.reserve(points.size());
+  y.reserve(points.size());
+  for (const auto& p : points) {
+    x.push_back(p.ln_time);
+    y.push_back(p.weibull_y);
+  }
+  const LinearFit line = fit_line(x, y);
+  WeibullEstimate est;
+  est.shape = line.slope;
+  // y = beta*ln t - beta*ln eta  =>  eta = exp(-intercept/beta)
+  est.scale = std::exp(-line.intercept / line.slope);
+  est.r_squared = line.r_squared;
+  return est;
+}
+
+WeibullEstimate fit_weibull_mle(const std::vector<double>& times) {
+  RELSIM_REQUIRE(times.size() >= 3, "Weibull MLE needs >= 3 samples");
+  std::vector<double> lt;
+  lt.reserve(times.size());
+  for (double t : times) {
+    RELSIM_REQUIRE(t > 0.0, "Weibull samples must be positive");
+    lt.push_back(std::log(t));
+  }
+  const double n = static_cast<double>(times.size());
+  double mean_lt = 0.0;
+  for (double v : lt) mean_lt += v;
+  mean_lt /= n;
+
+  // Solve g(k) = sum(t^k ln t)/sum(t^k) - 1/k - mean(ln t) = 0 by Newton.
+  double k = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const double tk = std::pow(times[i], k);
+      s0 += tk;
+      s1 += tk * lt[i];
+      s2 += tk * lt[i] * lt[i];
+    }
+    const double g = s1 / s0 - 1.0 / k - mean_lt;
+    const double dg = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+    const double step = g / dg;
+    k -= step;
+    RELSIM_REQUIRE(k > 0.0, "Weibull MLE shape became non-positive");
+    if (std::abs(step) < 1e-12 * std::max(1.0, std::abs(k))) {
+      double s = 0.0;
+      for (double t : times) s += std::pow(t, k);
+      WeibullEstimate est;
+      est.shape = k;
+      est.scale = std::pow(s / n, 1.0 / k);
+      est.r_squared = 1.0;
+      return est;
+    }
+  }
+  throw ConvergenceError("Weibull MLE did not converge");
+}
+
+}  // namespace relsim

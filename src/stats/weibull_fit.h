@@ -1,0 +1,39 @@
+// Weibull parameter estimation for time-to-breakdown samples (TDDB, E4).
+//
+// Two estimators are provided:
+//  - rank regression (median ranks + least squares on the Weibull plot
+//    coordinates ln t vs ln(-ln(1-F))), the estimator reliability papers
+//    plot directly; and
+//  - maximum likelihood, solved by Newton iteration on the shape parameter.
+#pragma once
+
+#include <vector>
+
+namespace relsim {
+
+struct WeibullEstimate {
+  double shape = 0.0;  ///< beta (the "Weibull slope")
+  double scale = 0.0;  ///< eta (63.2% life)
+  /// r^2 of the rank-regression line (1.0 for the MLE estimator).
+  double r_squared = 0.0;
+};
+
+/// One point of a Weibull probability plot.
+struct WeibullPlotPoint {
+  double time;
+  double median_rank;   ///< F_i = (i - 0.3) / (n + 0.4)
+  double ln_time;       ///< x coordinate
+  double weibull_y;     ///< ln(-ln(1 - F_i))
+};
+
+/// Benard median-rank plotting positions for a (copy-sorted) sample.
+std::vector<WeibullPlotPoint> weibull_plot(std::vector<double> times);
+
+/// Rank-regression estimate. Requires >= 3 strictly positive samples.
+WeibullEstimate fit_weibull_rank_regression(std::vector<double> times);
+
+/// Maximum-likelihood estimate. Requires >= 3 strictly positive samples.
+/// Throws ConvergenceError if the Newton iteration does not converge.
+WeibullEstimate fit_weibull_mle(const std::vector<double>& times);
+
+}  // namespace relsim

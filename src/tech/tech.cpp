@@ -1,0 +1,67 @@
+#include "tech/tech.h"
+
+#include "util/error.h"
+
+namespace relsim {
+
+namespace {
+
+EmTechParams aluminum_em() {
+  EmTechParams em;
+  em.a_prefactor = 1.6e11;  // ~10-year life at 0.5 MA/cm^2, 105 C
+  em.activation_ev = 0.65;
+  em.grain_size_um = 0.8;
+  em.metal_thickness_um = 0.6;
+  return em;
+}
+
+EmTechParams copper_em() {
+  EmTechParams em;
+  em.a_prefactor = 1.4e9;  // ~10-year life at 1 MA/cm^2, 105 C
+  em.activation_ev = 0.85;
+  em.grain_size_um = 0.3;
+  em.metal_thickness_um = 0.35;
+  return em;
+}
+
+// The A_VT column tracks Fig. 1 / [43]: proportional to t_ox (the 1 mV*um/nm
+// benchmark) down to ~10 nm oxides, then clearly above the benchmark line —
+// matching keeps improving with scaling, but only slightly.
+std::vector<TechNode> build_table() {
+  std::vector<TechNode> t;
+  //            name     feat    tox   vdd   vtn    vtp     kpn      kpp     lam   gam   phi   avt   abeta  svt
+  t.push_back({"2um",    2000.0, 40.0, 5.0,  0.90, -0.90, 50e-6,  17e-6,  0.02, 0.60, 0.80, 40.0, 2.5, 4.0, aluminum_em()});
+  t.push_back({"1um",    1000.0, 25.0, 5.0,  0.80, -0.80, 70e-6,  24e-6,  0.03, 0.55, 0.80, 25.0, 2.3, 4.0, aluminum_em()});
+  t.push_back({"0.7um",   700.0, 17.0, 5.0,  0.75, -0.75, 85e-6,  29e-6,  0.04, 0.52, 0.80, 17.0, 2.2, 4.0, aluminum_em()});
+  t.push_back({"0.5um",   500.0, 12.0, 3.3,  0.70, -0.70, 110e-6, 38e-6,  0.05, 0.50, 0.80, 12.5, 2.0, 4.0, aluminum_em()});
+  t.push_back({"0.35um",  350.0,  7.5, 3.3,  0.60, -0.62, 150e-6, 52e-6,  0.06, 0.48, 0.80,  9.0, 1.9, 4.0, aluminum_em()});
+  t.push_back({"0.25um",  250.0,  5.5, 2.5,  0.52, -0.55, 190e-6, 65e-6,  0.08, 0.45, 0.82,  7.0, 1.8, 4.0, aluminum_em()});
+  t.push_back({"0.18um",  180.0,  4.0, 1.8,  0.45, -0.48, 260e-6, 90e-6,  0.10, 0.42, 0.84,  5.5, 1.7, 3.5, copper_em()});
+  t.push_back({"0.13um",  130.0,  2.8, 1.2,  0.40, -0.42, 320e-6, 115e-6, 0.12, 0.40, 0.85,  4.8, 1.6, 3.5, copper_em()});
+  t.push_back({"90nm",     90.0,  2.2, 1.2,  0.36, -0.38, 380e-6, 140e-6, 0.15, 0.38, 0.86,  4.2, 1.5, 3.0, copper_em()});
+  t.push_back({"65nm",     65.0,  1.8, 1.1,  0.33, -0.35, 430e-6, 160e-6, 0.18, 0.36, 0.87,  3.8, 1.4, 3.0, copper_em()});
+  t.push_back({"45nm",     45.0,  1.4, 1.0,  0.31, -0.33, 480e-6, 185e-6, 0.22, 0.34, 0.88,  3.4, 1.3, 2.5, copper_em()});
+  t.push_back({"32nm",     32.0,  1.1, 0.9,  0.29, -0.31, 520e-6, 205e-6, 0.26, 0.32, 0.88,  3.1, 1.2, 2.5, copper_em()});
+  return t;
+}
+
+}  // namespace
+
+const std::vector<TechNode>& technology_table() {
+  static const std::vector<TechNode> table = build_table();
+  return table;
+}
+
+const TechNode& technology(const std::string& name) {
+  for (const TechNode& node : technology_table()) {
+    if (node.name == name) return node;
+  }
+  throw Error("unknown technology node: " + name);
+}
+
+const TechNode& tech_90nm() { return technology("90nm"); }
+const TechNode& tech_65nm() { return technology("65nm"); }
+const TechNode& tech_45nm() { return technology("45nm"); }
+const TechNode& tech_32nm() { return technology("32nm"); }
+
+}  // namespace relsim

@@ -1,0 +1,73 @@
+// Technology node library.
+//
+// Fig. 1 of the paper plots the mismatch constant A_VT against gate-oxide
+// thickness across CMOS generations and compares it with Tuinhout's
+// 1 mV*um per nm-of-oxide benchmark [43]; the benchmark holds for thick
+// oxides and breaks below ~10 nm where matching improves only slightly.
+// This module encodes a generation table (2 um .. 32 nm) with electrical
+// and reliability parameters representative of published data, so the
+// benches can regenerate the figure's trend without proprietary foundry
+// decks. Values are typical textbook/survey numbers, not any foundry's PDK.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace relsim {
+
+/// Electromigration parameters of the interconnect stack (Eq. 4 context).
+struct EmTechParams {
+  /// Black's-law prefactor A, giving MTTF in seconds when J is in A/cm^2:
+  /// MTTF = a_prefactor * J^-n * exp(Ea/kT). Calibrated so a copper wire at
+  /// J = 1 MA/cm^2 and 105 C has a ~10-year median life.
+  double a_prefactor = 1.4e9;
+  /// Current-density exponent n (classically 2 for Al/Cu interconnect).
+  double current_exponent = 2.0;
+  /// Activation energy in eV (Al ~0.6-0.7, Cu ~0.8-0.9).
+  double activation_ev = 0.8;
+  /// Blech product threshold (j * L) in A/cm (wires below are EM-immune).
+  double blech_product_a_per_cm = 3000.0;
+  /// Median grain size in um; wires narrower than this become "bamboo".
+  double grain_size_um = 0.30;
+  /// Metal thickness in um.
+  double metal_thickness_um = 0.35;
+  /// Lognormal sigma of the lifetime distribution.
+  double lifetime_sigma = 0.4;
+};
+
+/// One CMOS generation. Device W/L in um, t_ox in nm, voltages in volts,
+/// KP = mu*Cox in A/V^2, A_VT in mV*um, A_beta in %*um.
+struct TechNode {
+  std::string name;
+  double feature_nm;      ///< drawn minimum channel length, nm
+  double tox_nm;          ///< gate-oxide (equivalent) thickness, nm
+  double vdd;             ///< nominal supply, V
+  double vt0_nmos;        ///< long-channel NMOS threshold, V
+  double vt0_pmos;        ///< long-channel PMOS threshold (negative), V
+  double kp_nmos;         ///< NMOS transconductance parameter, A/V^2
+  double kp_pmos;         ///< PMOS transconductance parameter, A/V^2
+  double lambda_per_um;   ///< channel-length modulation * L(um), 1/V
+  double gamma;           ///< body-effect coefficient, sqrt(V)
+  double phi;             ///< surface potential 2*phiF, V
+  double avt_mv_um;       ///< measured Pelgrom constant A_VT, mV*um (Fig. 1)
+  double abeta_pct_um;    ///< Pelgrom constant for beta mismatch, %*um
+  double svt_uv_per_um;   ///< distance term S_VT of Eq. 1, uV/um
+  EmTechParams em;
+
+  /// Tuinhout's benchmark prediction for this node: 1 mV*um per nm of oxide.
+  double tuinhout_benchmark_mv_um() const { return 1.0 * tox_nm; }
+};
+
+/// All encoded generations, ordered from oldest (2 um) to newest (32 nm).
+const std::vector<TechNode>& technology_table();
+
+/// Looks a node up by name ("65nm", "0.25um", ...). Throws if unknown.
+const TechNode& technology(const std::string& name);
+
+/// Convenience accessors for the nodes the benches use most.
+const TechNode& tech_90nm();
+const TechNode& tech_65nm();
+const TechNode& tech_45nm();
+const TechNode& tech_32nm();
+
+}  // namespace relsim

@@ -1,0 +1,15 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace relsim::detail {
+
+void throw_requirement_failure(const char* condition, const char* file,
+                               int line, const std::string& message) {
+  std::ostringstream os;
+  os << "requirement failed: " << condition << " (" << file << ":" << line
+     << "): " << message;
+  throw Error(os.str());
+}
+
+}  // namespace relsim::detail

@@ -1,0 +1,49 @@
+// Error types and precondition checking for relsim.
+//
+// All library errors are reported as exceptions derived from relsim::Error.
+// Use RELSIM_REQUIRE for precondition checks on public API boundaries; it
+// throws relsim::Error with the failed condition and a caller-supplied
+// message, so misuse is diagnosed instead of producing garbage results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace relsim {
+
+/// Base class for all errors thrown by relsim.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an iterative algorithm (Newton, transient, MLE fit, ...)
+/// fails to converge within its iteration budget.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a matrix is singular (or numerically singular) during
+/// factorization or solve.
+class SingularMatrixError : public Error {
+ public:
+  explicit SingularMatrixError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failure(const char* condition,
+                                            const char* file, int line,
+                                            const std::string& message);
+}  // namespace detail
+
+}  // namespace relsim
+
+/// Precondition check: throws relsim::Error when `cond` is false.
+#define RELSIM_REQUIRE(cond, message)                                        \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::relsim::detail::throw_requirement_failure(#cond, __FILE__, __LINE__, \
+                                                  (message));                \
+    }                                                                        \
+  } while (false)

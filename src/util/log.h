@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// relsim is a library first: logging defaults to warnings-and-above on
+// stderr and can be silenced or made verbose by the embedding application.
+// No global state beyond the level; thread-compatible (callers serialize).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace relsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+}  // namespace relsim

@@ -1,0 +1,63 @@
+#include "util/mathx.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace relsim {
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  RELSIM_REQUIRE(n >= 1, "linspace needs at least one point");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  if (n == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / (n - 1);
+  for (int i = 0; i < n; ++i) out.push_back(lo + step * i);
+  out.back() = hi;  // avoid accumulated round-off at the end point
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int n) {
+  RELSIM_REQUIRE(lo > 0.0 && hi > 0.0, "logspace endpoints must be positive");
+  std::vector<double> out = linspace(std::log(lo), std::log(hi), n);
+  for (double& v : out) v = std::exp(v);
+  if (!out.empty()) out.back() = hi;
+  return out;
+}
+
+double softplus(double x, double s) {
+  RELSIM_REQUIRE(s > 0.0, "softplus smoothness must be positive");
+  const double z = x / s;
+  if (z > 40.0) return x;               // exp(z) overflows; softplus(x) == x
+  if (z < -40.0) return s * std::exp(z);  // underflow-safe tail
+  return s * std::log1p(std::exp(z));
+}
+
+double softplus_deriv(double x, double s) {
+  const double z = x / s;
+  if (z > 40.0) return 1.0;
+  if (z < -40.0) return std::exp(z);
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+double interp1(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x) {
+  RELSIM_REQUIRE(xs.size() == ys.size() && !xs.empty(),
+                 "interp1 needs equally sized, non-empty tables");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return lerp(ys[lo], ys[hi], t);
+}
+
+}  // namespace relsim

@@ -1,0 +1,37 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace relsim {
+
+/// True when |a-b| <= atol + rtol*max(|a|,|b|).
+bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// `n` evenly spaced points from `lo` to `hi` inclusive. n>=2 required
+/// (n==1 returns {lo}).
+std::vector<double> linspace(double lo, double hi, int n);
+
+/// `n` logarithmically spaced points from `lo` to `hi` inclusive; lo,hi > 0.
+std::vector<double> logspace(double lo, double hi, int n);
+
+/// Linear interpolation between `a` and `b` at parameter `t` in [0,1].
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Numerically safe softplus: smooth max(x, 0) with smoothness `s`.
+/// softplus(x, s) = s*ln(1 + exp(x/s)); monotone, >0, -> x for x >> s.
+double softplus(double x, double s);
+
+/// Derivative of softplus with respect to x (the logistic function).
+double softplus_deriv(double x, double s);
+
+/// Piecewise-linear interpolation through (xs, ys); xs strictly increasing.
+/// Clamps outside the table range.
+double interp1(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x);
+
+/// Sign of x as -1.0, 0.0 or +1.0.
+inline double sign(double x) { return (x > 0.0) - (x < 0.0); }
+
+}  // namespace relsim

@@ -1,0 +1,49 @@
+// Aligned-table printer used by the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's figures/tables as an
+// aligned text table plus (optionally) a CSV block that downstream plotting
+// can consume. TablePrinter collects rows as strings/doubles and renders
+// them right-aligned with a fixed precision per column.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace relsim {
+
+class TablePrinter {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Sets the number of significant digits used for double cells (default 5).
+  void set_precision(int digits);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders the table, right-aligned, with a header underline.
+  void print(std::ostream& os) const;
+
+  /// Renders the same data as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 5;
+};
+
+/// Prints a section banner ("== title ==") used by benches to separate the
+/// reproduced figures.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace relsim

@@ -1,0 +1,46 @@
+// Physical constants and unit helpers.
+//
+// relsim uses SI units internally (volts, amperes, seconds, kelvin, metres)
+// except where EDA convention is overwhelmingly different and noted at the
+// API: device W/L are in micrometres, oxide thickness in nanometres, current
+// density in A/cm^2, and the Pelgrom constant A_VT in mV*um.
+#pragma once
+
+namespace relsim::units {
+
+/// Boltzmann constant in eV/K (convenient for exp(-Ea/kT) activation terms).
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/// Boltzmann constant in J/K.
+inline constexpr double kBoltzmannJ = 1.380649e-23;
+
+/// Elementary charge in coulombs.
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Vacuum permittivity in F/m.
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsilonSiO2 = 3.9;
+
+/// Thermal voltage kT/q at temperature `temp_k`, in volts.
+inline constexpr double thermal_voltage(double temp_k) {
+  return kBoltzmannEv * temp_k;
+}
+
+/// Gate-oxide capacitance per unit area for an SiO2 dielectric of thickness
+/// `tox_nm` nanometres, in F/m^2.
+inline constexpr double cox_per_area(double tox_nm) {
+  return kEpsilon0 * kEpsilonSiO2 / (tox_nm * 1e-9);
+}
+
+/// Room temperature in kelvin (the default stress temperature baseline).
+inline constexpr double kRoomTempK = 300.0;
+
+inline constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+
+inline constexpr double um_to_m(double um) { return um * 1e-6; }
+inline constexpr double nm_to_m(double nm) { return nm * 1e-9; }
+inline constexpr double m_to_um(double m) { return m * 1e6; }
+
+}  // namespace relsim::units

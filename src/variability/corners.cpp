@@ -1,0 +1,98 @@
+#include "variability/corners.h"
+
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "util/error.h"
+
+namespace relsim {
+
+const char* corner_name(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::kTypical:
+      return "TT";
+    case ProcessCorner::kSlowSlow:
+      return "SS";
+    case ProcessCorner::kFastFast:
+      return "FF";
+    case ProcessCorner::kSlowFast:
+      return "SF";
+    case ProcessCorner::kFastSlow:
+      return "FS";
+  }
+  return "?";
+}
+
+CornerModel::CornerModel(const CornerParams& params) : params_(params) {
+  RELSIM_REQUIRE(params.sigma_vt_global_v >= 0.0,
+                 "global VT sigma must be non-negative");
+  RELSIM_REQUIRE(params.sigma_beta_global_rel >= 0.0,
+                 "global beta sigma must be non-negative");
+  RELSIM_REQUIRE(params.k_sigma > 0.0, "k-sigma must be positive");
+}
+
+GlobalShift CornerModel::shift(ProcessCorner corner) const {
+  const double dvt = params_.k_sigma * params_.sigma_vt_global_v;
+  const double dbeta = params_.k_sigma * params_.sigma_beta_global_rel;
+  GlobalShift s;
+  auto slow_n = [&] {
+    s.nmos_dvt = dvt;
+    s.nmos_dbeta_rel = -dbeta;
+  };
+  auto fast_n = [&] {
+    s.nmos_dvt = -dvt;
+    s.nmos_dbeta_rel = dbeta;
+  };
+  auto slow_p = [&] {
+    s.pmos_dvt = dvt;
+    s.pmos_dbeta_rel = -dbeta;
+  };
+  auto fast_p = [&] {
+    s.pmos_dvt = -dvt;
+    s.pmos_dbeta_rel = dbeta;
+  };
+  switch (corner) {
+    case ProcessCorner::kTypical:
+      break;
+    case ProcessCorner::kSlowSlow:
+      slow_n();
+      slow_p();
+      break;
+    case ProcessCorner::kFastFast:
+      fast_n();
+      fast_p();
+      break;
+    case ProcessCorner::kSlowFast:
+      slow_n();
+      fast_p();
+      break;
+    case ProcessCorner::kFastSlow:
+      fast_n();
+      slow_p();
+      break;
+  }
+  return s;
+}
+
+GlobalShift CornerModel::sample(Xoshiro256& rng, double np_correlation) const {
+  RELSIM_REQUIRE(np_correlation >= -1.0 && np_correlation <= 1.0,
+                 "correlation must be in [-1,1]");
+  const NormalDistribution unit(0.0, 1.0);
+  // Shared process term + per-type residuals.
+  const double shared = unit(rng);
+  const double rn = unit(rng);
+  const double rp = unit(rng);
+  const double c = np_correlation;
+  const double zr = std::sqrt(std::max(0.0, 1.0 - c * c));
+  const double zn = c * shared + zr * rn;
+  const double zp = c * shared + zr * rp;
+  GlobalShift s;
+  s.nmos_dvt = zn * params_.sigma_vt_global_v;
+  s.pmos_dvt = zp * params_.sigma_vt_global_v;
+  // Beta moves opposite to VT within a type (slow = high VT + low beta).
+  s.nmos_dbeta_rel = -zn * params_.sigma_beta_global_rel;
+  s.pmos_dbeta_rel = -zp * params_.sigma_beta_global_rel;
+  return s;
+}
+
+}  // namespace relsim

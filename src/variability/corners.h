@@ -1,0 +1,61 @@
+// Global (inter-die) process corners.
+//
+// The Pelgrom model covers *local* mismatch between neighbouring devices;
+// corner analysis covers the *global* die-to-die shift every device on a
+// die shares (Sec. 2's "systematic and random errors" at die granularity).
+// Corners are the classic k-sigma extremes of the global distribution:
+// SS/FF move both device types together, SF/FS split them — the worst case
+// for ratioed logic and analog stages that rely on n/p balance.
+#pragma once
+
+#include <string>
+
+#include "rng/rng.h"
+
+namespace relsim {
+
+enum class ProcessCorner {
+  kTypical,   ///< TT
+  kSlowSlow,  ///< SS: both types high VT / low beta
+  kFastFast,  ///< FF
+  kSlowFast,  ///< SF: slow nMOS, fast pMOS
+  kFastSlow,  ///< FS
+};
+
+const char* corner_name(ProcessCorner corner);
+
+/// Per-die global shift applied to every device of a type. dvt shifts add
+/// to vt0 with the convention: positive nmos_dvt raises the nMOS VT;
+/// positive pmos_dvt makes the pMOS VT more negative (both "slow").
+struct GlobalShift {
+  double nmos_dvt = 0.0;
+  double pmos_dvt = 0.0;
+  double nmos_dbeta_rel = 0.0;
+  double pmos_dbeta_rel = 0.0;
+};
+
+struct CornerParams {
+  double sigma_vt_global_v = 0.02;      ///< 1-sigma global VT spread
+  double sigma_beta_global_rel = 0.04;  ///< 1-sigma global beta spread
+  double k_sigma = 3.0;                 ///< corner distance
+};
+
+class CornerModel {
+ public:
+  CornerModel() : CornerModel(CornerParams{}) {}
+  explicit CornerModel(const CornerParams& params);
+
+  const CornerParams& params() const { return params_; }
+
+  /// Deterministic shift of a named corner.
+  GlobalShift shift(ProcessCorner corner) const;
+
+  /// Samples a random die's global shift (Monte-Carlo over dies); nMOS and
+  /// pMOS shifts are partially correlated through a shared process term.
+  GlobalShift sample(Xoshiro256& rng, double np_correlation = 0.6) const;
+
+ private:
+  CornerParams params_;
+};
+
+}  // namespace relsim

@@ -1,0 +1,57 @@
+#include "variability/defect_yield.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+DefectYieldModel::DefectYieldModel(const DefectYieldParams& params)
+    : params_(params) {
+  RELSIM_REQUIRE(params.defect_density_per_cm2 >= 0.0,
+                 "defect density must be non-negative");
+  RELSIM_REQUIRE(params.clustering_alpha > 0.0,
+                 "clustering alpha must be positive");
+}
+
+double DefectYieldModel::yield(double area_cm2, DefectModel model) const {
+  RELSIM_REQUIRE(area_cm2 >= 0.0, "area must be non-negative");
+  const double lambda = area_cm2 * params_.defect_density_per_cm2;
+  if (lambda == 0.0) return 1.0;
+  switch (model) {
+    case DefectModel::kPoisson:
+      return std::exp(-lambda);
+    case DefectModel::kMurphy: {
+      const double f = (1.0 - std::exp(-lambda)) / lambda;
+      return f * f;
+    }
+    case DefectModel::kStapper:
+      return std::pow(1.0 + lambda / params_.clustering_alpha,
+                      -params_.clustering_alpha);
+  }
+  return 0.0;
+}
+
+double DefectYieldModel::total_yield(double area_cm2, double parametric_yield,
+                                     DefectModel model) const {
+  RELSIM_REQUIRE(parametric_yield >= 0.0 && parametric_yield <= 1.0,
+                 "parametric yield must be in [0,1]");
+  return yield(area_cm2, model) * parametric_yield;
+}
+
+double DefectYieldModel::max_area_for_yield(double target_yield,
+                                            DefectModel model) const {
+  RELSIM_REQUIRE(target_yield > 0.0 && target_yield < 1.0,
+                 "target yield must be in (0,1)");
+  RELSIM_REQUIRE(params_.defect_density_per_cm2 > 0.0,
+                 "zero defect density never limits the area");
+  double lo = 0.0, hi = 1.0;
+  while (yield(hi, model) > target_yield && hi < 1e6) hi *= 2.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (yield(mid, model) >= target_yield ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace relsim

@@ -1,0 +1,60 @@
+// Defect-limited (catastrophic) yield models.
+//
+// Sec. 2 of the paper defines yield as "the proportion of fabricated
+// circuits which meet the design specifications once the production process
+// has been completed". Two loss components multiply:
+//  - parametric yield (mismatch/variability: the MonteCarloEngine path) and
+//  - defect-limited yield — random spot defects (particles, shorts, opens)
+//    killing a die outright.
+// This header provides the classic defect models so total-yield studies can
+// combine them with the parametric estimates:
+//
+//   Poisson:            Y = exp(-A * D0)
+//   Murphy:             Y = ((1 - exp(-A D0)) / (A D0))^2
+//   Stapper (neg.bin.): Y = (1 + A D0 / alpha)^-alpha
+//
+// A is the *critical* area (cm^2) and D0 the defect density (defects/cm^2);
+// alpha is the clustering parameter (alpha -> inf recovers Poisson).
+#pragma once
+
+#include <cstddef>
+
+namespace relsim {
+
+enum class DefectModel { kPoisson, kMurphy, kStapper };
+
+struct DefectYieldParams {
+  double defect_density_per_cm2 = 0.5;
+  double clustering_alpha = 2.0;  ///< Stapper only
+};
+
+class DefectYieldModel {
+ public:
+  DefectYieldModel() : DefectYieldModel(DefectYieldParams{}) {}
+  explicit DefectYieldModel(const DefectYieldParams& params);
+
+  const DefectYieldParams& params() const { return params_; }
+
+  /// Yield of a die with critical area `area_cm2` under `model`.
+  double yield(double area_cm2, DefectModel model = DefectModel::kStapper) const;
+
+  /// Combined yield: defect-limited times parametric.
+  double total_yield(double area_cm2, double parametric_yield,
+                     DefectModel model = DefectModel::kStapper) const;
+
+  /// Largest die area (cm^2) that still reaches `target_yield` under
+  /// `model` (bisection; target in (0,1)).
+  double max_area_for_yield(double target_yield,
+                            DefectModel model = DefectModel::kStapper) const;
+
+ private:
+  DefectYieldParams params_;
+};
+
+/// Critical-area helper: fraction `sensitivity` of the drawn area is
+/// sensitive to defects of the relevant size.
+inline double critical_area_cm2(double drawn_area_mm2, double sensitivity) {
+  return drawn_area_mm2 * 1e-2 * sensitivity;
+}
+
+}  // namespace relsim

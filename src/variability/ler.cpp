@@ -1,0 +1,64 @@
+#include "variability/ler.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+LerParams LerParams::from_tech(const TechNode& tech) {
+  LerParams p;
+  // Edge roughness improves only slowly with lithography generations; the
+  // roll-off length scales with the channel. Calibrated so the roll-off
+  // slope at minimum L is ~2 mV/nm (a ~100 mV VT drop at L_min).
+  p.rms_nm = 1.5 + 0.3 * std::sqrt(tech.feature_nm / 65.0);
+  p.correlation_nm = 25.0;
+  p.rolloff_v = 0.27;
+  p.rolloff_length_nm = 1.0 * tech.feature_nm;
+  return p;
+}
+
+LerModel::LerModel(const LerParams& params) : params_(params) {
+  RELSIM_REQUIRE(params.rms_nm >= 0.0, "LER rms must be non-negative");
+  RELSIM_REQUIRE(params.correlation_nm > 0.0,
+                 "LER correlation length must be positive");
+  RELSIM_REQUIRE(params.rolloff_length_nm > 0.0,
+                 "roll-off length must be positive");
+  RELSIM_REQUIRE(params.subthreshold_mv_per_dec > 0.0,
+                 "subthreshold slope must be positive");
+}
+
+double LerModel::sigma_leff_nm(double w_um) const {
+  RELSIM_REQUIRE(w_um > 0.0, "width must be positive");
+  const double w_nm = w_um * 1e3;
+  // Two independent rough edges; width-averaging leaves W/corr independent
+  // segments per edge. Clamp the segment count at 1 for narrow devices.
+  const double segments = std::max(w_nm / params_.correlation_nm, 1.0);
+  const double per_edge_var = params_.rms_nm * params_.rms_nm / segments;
+  return std::sqrt(2.0 * per_edge_var);
+}
+
+double LerModel::dvt_dl_v_per_nm(double l_um) const {
+  RELSIM_REQUIRE(l_um > 0.0, "length must be positive");
+  const double l_nm = l_um * 1e3;
+  return params_.rolloff_v / params_.rolloff_length_nm *
+         std::exp(-l_nm / params_.rolloff_length_nm);
+}
+
+double LerModel::sigma_vt(double w_um, double l_um) const {
+  return dvt_dl_v_per_nm(l_um) * sigma_leff_nm(w_um);
+}
+
+double LerModel::sigma_vt_combined(const PelgromModel& pelgrom, double w_um,
+                                   double l_um) const {
+  const double ler = sigma_vt(w_um, l_um);
+  const double rdf = pelgrom.sigma_dvt_single(w_um, l_um);
+  return std::sqrt(ler * ler + rdf * rdf);
+}
+
+double LerModel::sigma_ln_ioff(double w_um, double l_um) const {
+  const double sigma_vt_mv = sigma_vt(w_um, l_um) * 1e3;
+  return sigma_vt_mv / params_.subthreshold_mv_per_dec * std::numbers::ln10;
+}
+
+}  // namespace relsim

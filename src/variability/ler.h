@@ -1,0 +1,69 @@
+// Line-edge roughness (LER) — Sec. 2 of the paper: "line edge roughness is
+// also becoming a serious yield threatening problem [11]" (Croon et al.).
+//
+// Model: the gate's two edges are rough lines with RMS amplitude `rms_nm`
+// and correlation length `correlation_nm`. Averaged over the device width,
+// the effective channel-length deviation has
+//
+//   sigma_Leff^2 = 2 * rms^2 * correlation / W        (W >> correlation)
+//
+// (two independent edges, W/corr independent segments each). The threshold
+// impact comes through the short-channel VT roll-off
+//
+//   VT(L) = VT_long - rolloff_v * exp(-L / rolloff_length)
+//
+// so sigma_VT(LER) = |dVT/dL| * sigma_Leff. Unlike random dopant
+// fluctuation (the Pelgrom A_VT term), this contribution explodes as L
+// approaches the roll-off length — the "emerging" part of the threat. The
+// same VT spread amplifies exponentially into the off-current spread
+// through the subthreshold slope.
+#pragma once
+
+#include "tech/tech.h"
+#include "variability/pelgrom.h"
+
+namespace relsim {
+
+struct LerParams {
+  double rms_nm = 1.5;           ///< edge roughness RMS amplitude
+  double correlation_nm = 25.0;  ///< edge correlation length
+  double rolloff_v = 0.12;       ///< VT roll-off amplitude
+  double rolloff_length_nm = 30.0;  ///< roll-off decay length l0
+  double subthreshold_mv_per_dec = 90.0;  ///< for the Ioff amplification
+
+  /// Typical values scaled from the node's feature size: the roll-off
+  /// length tracks ~0.45x the minimum channel length.
+  static LerParams from_tech(const TechNode& tech);
+};
+
+class LerModel {
+ public:
+  LerModel() : LerModel(LerParams{}) {}
+  explicit LerModel(const LerParams& params);
+
+  const LerParams& params() const { return params_; }
+
+  /// Effective channel-length sigma (nm) for a device of width `w_um`.
+  double sigma_leff_nm(double w_um) const;
+
+  /// |dVT/dL| of the roll-off at channel length `l_um`, in V/nm.
+  double dvt_dl_v_per_nm(double l_um) const;
+
+  /// LER-induced VT sigma of a single device (volts).
+  double sigma_vt(double w_um, double l_um) const;
+
+  /// Combined single-device VT sigma: LER + Pelgrom (RDF et al.) in
+  /// quadrature.
+  double sigma_vt_combined(const PelgromModel& pelgrom, double w_um,
+                           double l_um) const;
+
+  /// Sigma of ln(Ioff/Ioff_nominal): the VT spread divided by the
+  /// subthreshold slope, times ln 10. Large values mean the leakage tail
+  /// dominates the yield loss.
+  double sigma_ln_ioff(double w_um, double l_um) const;
+
+ private:
+  LerParams params_;
+};
+
+}  // namespace relsim

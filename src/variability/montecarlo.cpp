@@ -1,0 +1,3 @@
+// montecarlo.h is header-only; this translation unit exists so the target
+// has a compiled object and the header is syntax-checked standalone.
+#include "variability/montecarlo.h"

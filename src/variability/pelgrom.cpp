@@ -1,0 +1,58 @@
+#include "variability/pelgrom.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace relsim {
+
+PelgromParams PelgromParams::from_tech(const TechNode& tech) {
+  PelgromParams p;
+  p.avt_mv_um = tech.avt_mv_um;
+  p.abeta_pct_um = tech.abeta_pct_um;
+  p.svt_uv_per_um = tech.svt_uv_per_um;
+  p.asc_mv_um15 = 0.25 * tech.avt_mv_um * std::sqrt(tech.feature_nm * 1e-3);
+  p.anc_mv_um15 = 0.25 * tech.avt_mv_um * std::sqrt(tech.feature_nm * 1e-3);
+  return p;
+}
+
+PelgromModel::PelgromModel(const PelgromParams& params) : params_(params) {
+  RELSIM_REQUIRE(params.avt_mv_um > 0.0, "A_VT must be positive");
+  RELSIM_REQUIRE(params.abeta_pct_um >= 0.0, "A_beta must be non-negative");
+  RELSIM_REQUIRE(params.svt_uv_per_um >= 0.0, "S_VT must be non-negative");
+  RELSIM_REQUIRE(params.asc_mv_um15 >= 0.0 && params.anc_mv_um15 >= 0.0,
+                 "extension terms must be non-negative");
+}
+
+double PelgromModel::sigma_dvt_pair(double w_um, double l_um,
+                                    double distance_um) const {
+  RELSIM_REQUIRE(w_um > 0.0 && l_um > 0.0, "W and L must be positive");
+  RELSIM_REQUIRE(distance_um >= 0.0, "distance must be non-negative");
+  const double area = w_um * l_um;
+  double var_mv2 = params_.avt_mv_um * params_.avt_mv_um / area;
+  var_mv2 += params_.asc_mv_um15 * params_.asc_mv_um15 / (w_um * l_um * l_um);
+  var_mv2 += params_.anc_mv_um15 * params_.anc_mv_um15 / (w_um * w_um * l_um);
+  const double sd_mv = params_.svt_uv_per_um * 1e-3 * distance_um;
+  var_mv2 += sd_mv * sd_mv;
+  return std::sqrt(var_mv2) * 1e-3;  // mV -> V
+}
+
+double PelgromModel::sigma_dvt_single(double w_um, double l_um) const {
+  return sigma_dvt_pair(w_um, l_um, 0.0) / std::sqrt(2.0);
+}
+
+double PelgromModel::sigma_dbeta_pair(double w_um, double l_um) const {
+  RELSIM_REQUIRE(w_um > 0.0 && l_um > 0.0, "W and L must be positive");
+  return params_.abeta_pct_um * 1e-2 / std::sqrt(w_um * l_um);
+}
+
+double PelgromModel::sigma_dbeta_single(double w_um, double l_um) const {
+  return sigma_dbeta_pair(w_um, l_um) / std::sqrt(2.0);
+}
+
+double tuinhout_benchmark_avt(double tox_nm) {
+  RELSIM_REQUIRE(tox_nm > 0.0, "oxide thickness must be positive");
+  return 1.0 * tox_nm;  // 1 mV*um per nm of gate oxide [43]
+}
+
+}  // namespace relsim

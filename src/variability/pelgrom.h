@@ -1,0 +1,68 @@
+// Pelgrom mismatch model — Eq. 1 of the paper.
+//
+//   sigma^2(dVT) = A_VT^2 / (W L) + S_VT^2 * D^2                      (1)
+//
+// with the nanometer-era extension terms for short- and narrow-channel
+// devices ([5],[41] in the paper):
+//
+//   sigma^2(dVT) += A_SC^2 / (W L^2) + A_NC^2 / (W^2 L)
+//
+// Conventions (stated everywhere they matter):
+//  - sigma_dvt() is the standard deviation of the *difference* between two
+//    identically drawn devices at mutual distance D (the quantity Eq. 1
+//    defines). A single device's deviation from nominal is sigma/sqrt(2).
+//  - W, L and D in micrometres; A_VT in mV*um; A_SC/A_NC in mV*um^1.5;
+//    S_VT in uV/um; returned sigmas in volts (dVT) or relative (dbeta).
+#pragma once
+
+#include "tech/tech.h"
+
+namespace relsim {
+
+struct PelgromParams {
+  double avt_mv_um = 4.0;       ///< area term for VT, mV*um
+  double abeta_pct_um = 1.5;    ///< area term for beta, %*um
+  double svt_uv_per_um = 3.0;   ///< distance term for VT, uV/um
+  double asc_mv_um15 = 0.0;     ///< short-channel extension, mV*um^1.5
+  double anc_mv_um15 = 0.0;     ///< narrow-channel extension, mV*um^1.5
+
+  /// Builds the parameters from a technology node. The extension terms are
+  /// seeded at 25% of A_VT (relevant only once L or W approach the node's
+  /// minimum feature size).
+  static PelgromParams from_tech(const TechNode& tech);
+};
+
+class PelgromModel {
+ public:
+  explicit PelgromModel(const PelgromParams& params);
+
+  const PelgromParams& params() const { return params_; }
+
+  /// sigma of the VT difference of a device pair (volts); Eq. 1 plus the
+  /// short/narrow-channel extension terms. D in um (0 = ignore gradient).
+  double sigma_dvt_pair(double w_um, double l_um,
+                        double distance_um = 0.0) const;
+
+  /// sigma of a single device's VT deviation from nominal (volts):
+  /// pair sigma (without the distance term) divided by sqrt(2).
+  double sigma_dvt_single(double w_um, double l_um) const;
+
+  /// sigma of the relative beta difference of a pair (dimensionless).
+  double sigma_dbeta_pair(double w_um, double l_um) const;
+
+  /// Single-device relative beta deviation (pair / sqrt(2)).
+  double sigma_dbeta_single(double w_um, double l_um) const;
+
+  /// The A_VT value implied by this model for large square devices (mV*um):
+  /// what Fig. 1 plots on its y axis.
+  double effective_avt_mv_um() const { return params_.avt_mv_um; }
+
+ private:
+  PelgromParams params_;
+};
+
+/// Tuinhout's scaling benchmark (Fig. 1 dashed line): the A_VT in mV*um
+/// forecast for a technology with gate-oxide thickness `tox_nm`.
+double tuinhout_benchmark_avt(double tox_nm);
+
+}  // namespace relsim

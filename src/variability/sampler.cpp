@@ -1,0 +1,36 @@
+#include "variability/sampler.h"
+
+#include "util/error.h"
+
+namespace relsim {
+
+MismatchSampler::MismatchSampler(const PelgromModel& model, double w_um,
+                                 double l_um)
+    : model_(model), w_um_(w_um), l_um_(l_um) {
+  RELSIM_REQUIRE(w_um > 0.0 && l_um > 0.0, "W and L must be positive");
+}
+
+MismatchSample MismatchSampler::sample_single(Xoshiro256& rng) const {
+  const NormalDistribution vt(0.0, model_.sigma_dvt_single(w_um_, l_um_));
+  const NormalDistribution beta(0.0, model_.sigma_dbeta_single(w_um_, l_um_));
+  return {vt(rng), beta(rng)};
+}
+
+std::pair<MismatchSample, MismatchSample> MismatchSampler::sample_pair(
+    Xoshiro256& rng, double distance_um) const {
+  MismatchSample a = sample_single(rng);
+  MismatchSample b = sample_single(rng);
+  if (distance_um > 0.0) {
+    // Distance gradient: a common-centroid-free pair sees a systematic
+    // offset sampled once per pair, split antisymmetrically.
+    const double sd_v =
+        model_.params().svt_uv_per_um * 1e-6 * distance_um;
+    const NormalDistribution grad(0.0, sd_v);
+    const double g = grad(rng);
+    a.dvt += 0.5 * g;
+    b.dvt -= 0.5 * g;
+  }
+  return {a, b};
+}
+
+}  // namespace relsim

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "adaptive/system.h"
+#include "spice/analysis.h"
+#include "tech/tech.h"
+#include "util/error.h"
+
+namespace relsim::adaptive {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+// An NMOS source-degenerated bias stage: VBIAS drives the gate, the drain
+// current through VMEAS is the performance of interest. Aging (VT shift)
+// lowers the current; raising VBIAS (the knob) restores it.
+std::unique_ptr<Circuit> bias_stage(const TechNode& tech) {
+  auto c = std::make_unique<Circuit>();
+  const NodeId vdd = c->node("vdd");
+  const NodeId g = c->node("g");
+  const NodeId d = c->node("d");
+  const NodeId meas = c->node("meas");
+  c->add_vsource("VDD", vdd, kGround, tech.vdd);
+  c->add_vsource("VBIAS", g, kGround, 0.6);
+  c->add_vsource("VMEAS", vdd, meas, 0.0);
+  c->add_resistor("RD", meas, d, 2e3);
+  c->add_mosfet("M1", d, g, kGround, kGround,
+                spice::make_mos_params(tech, 2.0, 0.2, false));
+  return c;
+}
+
+TEST(SpecTest, ViolationDistance) {
+  Spec s{"m", 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(s.violation(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.violation(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.violation(2.75), 0.75);
+  EXPECT_TRUE(s.satisfied_by(1.0));
+  EXPECT_TRUE(s.satisfied_by(2.0));
+  EXPECT_FALSE(s.satisfied_by(2.0001));
+}
+
+TEST(MonitorTest, SourceCurrentMonitorReadsDrainCurrent) {
+  auto c = bias_stage(tech_90nm());
+  SourceCurrentMonitor mon("iout", "VMEAS");
+  const double i = mon.measure(*c);
+  EXPECT_GT(i, 1e-5);
+  EXPECT_LT(i, 1e-3);
+}
+
+TEST(MonitorTest, DcNodeMonitor) {
+  auto c = bias_stage(tech_90nm());
+  DcNodeMonitor mon("vd", c->find_node("d"));
+  const double vd = mon.measure(*c);
+  EXPECT_GT(vd, 0.0);
+  EXPECT_LT(vd, tech_90nm().vdd);
+}
+
+TEST(KnobTest, VoltageKnobAppliesAndCosts) {
+  auto c = bias_stage(tech_90nm());
+  VoltageKnob knob("bias", "VBIAS", {0.5, 0.6, 0.7});
+  knob.apply(2, *c);
+  EXPECT_EQ(knob.setting(), 2);
+  EXPECT_DOUBLE_EQ(
+      c->device_as<spice::VoltageSource>("VBIAS").waveform().dc_value(), 0.7);
+  EXPECT_GT(knob.cost(2), knob.cost(0));
+  EXPECT_THROW(knob.apply(3, *c), Error);
+}
+
+TEST(KnobTest, ResistorKnob) {
+  auto c = bias_stage(tech_90nm());
+  ResistorKnob knob("rd", "RD", {1e3, 2e3, 4e3});
+  knob.apply(0, *c);
+  EXPECT_DOUBLE_EQ(c->device_as<spice::Resistor>("RD").resistance(), 1e3);
+  EXPECT_GT(knob.cost(0), knob.cost(2));  // lower R burns more current
+}
+
+AdaptiveSystem make_system(Circuit& c, double i_min, double i_max) {
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(
+      std::make_unique<SourceCurrentMonitor>("iout", "VMEAS"));
+  std::vector<std::unique_ptr<Knob>> knobs;
+  knobs.push_back(std::make_unique<VoltageKnob>(
+      "bias", "VBIAS",
+      std::vector<double>{0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80}));
+  std::vector<Spec> specs{{"iout", i_min, i_max}};
+  return AdaptiveSystem(c, std::move(monitors), std::move(knobs),
+                        std::move(specs));
+}
+
+TEST(AdaptiveSystemTest, TunePicksCheapestPassingConfig) {
+  auto c = bias_stage(tech_90nm());
+  // Target band chosen to be reachable by several settings.
+  auto sys = make_system(*c, 100e-6, 400e-6);
+  const auto state = sys.tune();
+  EXPECT_TRUE(state.in_spec);
+  // Every lower-cost (lower-voltage) setting must fail the spec.
+  const int chosen = state.knob_settings[0];
+  VoltageKnob probe("bias", "VBIAS",
+                    {0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80});
+  SourceCurrentMonitor mon("iout", "VMEAS");
+  for (int s = 0; s < chosen; ++s) {
+    probe.apply(s, *c);
+    const double i = mon.measure(*c);
+    EXPECT_FALSE(i >= 100e-6 && i <= 400e-6) << "setting " << s;
+  }
+}
+
+TEST(AdaptiveSystemTest, CompensatesAgingDrift) {
+  // Fig. 6 story: degradation pushes the system out of spec; the control
+  // loop retunes the knob and recovers correct operation.
+  auto c = bias_stage(tech_90nm());
+  auto sys = make_system(*c, 150e-6, 300e-6);
+  const auto fresh = sys.tune();
+  ASSERT_TRUE(fresh.in_spec);
+
+  // Apply a heavy threshold shift (10-year HCI/NBTI class drift).
+  spice::MosDegradation d;
+  d.dvt = 0.08;
+  d.beta_factor = 0.93;
+  c->device_as<spice::Mosfet>("M1").set_degradation(d);
+
+  const auto drifted = sys.evaluate();
+  EXPECT_FALSE(drifted.in_spec);  // open loop: out of spec
+
+  const auto retuned = sys.tune();
+  EXPECT_TRUE(retuned.in_spec);   // closed loop: recovered
+  // Compensation costs something: a higher bias setting.
+  EXPECT_GT(retuned.knob_settings[0], fresh.knob_settings[0]);
+  EXPECT_GT(retuned.cost, fresh.cost);
+}
+
+TEST(AdaptiveSystemTest, ReportsBestEffortWhenNothingPasses) {
+  auto c = bias_stage(tech_90nm());
+  auto sys = make_system(*c, 10e-3, 20e-3);  // unreachable band
+  const auto state = sys.tune();
+  EXPECT_FALSE(state.in_spec);
+  EXPECT_GT(state.total_violation, 0.0);
+  // Best effort = the highest-current setting.
+  EXPECT_EQ(state.knob_settings[0], 6);
+}
+
+TEST(AdaptiveSystemTest, UnknownMonitorInSpecRejected) {
+  auto c = bias_stage(tech_90nm());
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(
+      std::make_unique<SourceCurrentMonitor>("iout", "VMEAS"));
+  std::vector<std::unique_ptr<Knob>> knobs;
+  std::vector<Spec> specs{{"nope", 0.0, 1.0}};
+  EXPECT_THROW(AdaptiveSystem(*c, std::move(monitors), std::move(knobs),
+                              std::move(specs)),
+               Error);
+}
+
+TEST(AdaptiveSystemTest, MultiKnobSearchSpace) {
+  auto c = bias_stage(tech_90nm());
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(
+      std::make_unique<SourceCurrentMonitor>("iout", "VMEAS"));
+  std::vector<std::unique_ptr<Knob>> knobs;
+  knobs.push_back(std::make_unique<VoltageKnob>(
+      "bias", "VBIAS", std::vector<double>{0.55, 0.65, 0.75}));
+  knobs.push_back(std::make_unique<ResistorKnob>(
+      "rd", "RD", std::vector<double>{1e3, 2e3, 4e3}));
+  std::vector<Spec> specs{{"iout", 150e-6, 350e-6}};
+  AdaptiveSystem sys(*c, std::move(monitors), std::move(knobs),
+                     std::move(specs));
+  EXPECT_EQ(sys.configuration_count(), 9u);
+  const auto state = sys.tune();
+  EXPECT_TRUE(state.in_spec);
+}
+
+}  // namespace
+}  // namespace relsim::adaptive

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/engine.h"
+#include "aging/hci.h"
+#include "aging/nbti.h"
+#include "aging/tddb.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+
+namespace relsim::aging {
+namespace {
+
+using spice::Circuit;
+using spice::DcResult;
+using spice::kGround;
+using spice::Mosfet;
+using spice::NodeId;
+
+// A pMOS current-source stage: the classic NBTI victim (gate grounded,
+// source at VDD -> constant negative gate bias). Sized so the device sits
+// in saturation (out well below |vdsat|).
+Circuit pmos_bias_stage(const TechNode& tech) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_mosfet("MP", out, kGround, vdd, vdd,
+               spice::make_mos_params(tech, 0.5, 0.5, true));
+  c.add_resistor("RL", out, kGround, 5e3);
+  return c;
+}
+
+TEST(AgingEngineTest, StandardEngineHasThreeModels) {
+  EXPECT_EQ(AgingEngine::standard().model_count(), 3u);
+}
+
+TEST(AgingEngineTest, PmosStageDegradesOverMission) {
+  const auto& tech = tech_65nm();
+  Circuit c = pmos_bias_stage(tech);
+  const double fresh_out = dc_operating_point(c).v(c.find_node("out"));
+
+  AgingEngine engine;
+  engine.add_model(std::make_unique<NbtiModel>());
+  AgingOptions opt;
+  opt.mission.years = 10.0;
+  opt.mission.epochs = 5;
+  const AgingReport report = engine.age(c, opt);
+
+  ASSERT_EQ(report.epochs.size(), 5u);
+  const auto drift = report.final_drift("MP");
+  EXPECT_GT(drift.dvt, 0.01);
+  // The degraded stage sources less current -> output droops.
+  const double aged_out = dc_operating_point(c).v(c.find_node("out"));
+  EXPECT_LT(aged_out, fresh_out - 0.01);
+}
+
+TEST(AgingEngineTest, DriftIsMonotonePerEpoch) {
+  const auto& tech = tech_65nm();
+  Circuit c = pmos_bias_stage(tech);
+  AgingEngine engine;
+  engine.add_model(std::make_unique<NbtiModel>());
+  engine.add_model(std::make_unique<HciModel>());
+  AgingOptions opt;
+  opt.mission.epochs = 8;
+  const auto report = engine.age(c, opt);
+  double prev = 0.0;
+  for (const auto& epoch : report.epochs) {
+    const double dvt = epoch.device_drift.at("MP").dvt;
+    EXPECT_GE(dvt, prev);
+    prev = dvt;
+  }
+}
+
+TEST(AgingEngineTest, StressFeedbackSlowsDegradation) {
+  // With feedback, NBTI on the pMOS lowers |vgs| stress over time in this
+  // self-biased stage... here the gate is hard-grounded so |vgs| is fixed;
+  // use a diode-connected stage where the operating point moves instead.
+  const auto& tech = tech_65nm();
+  auto build = [&]() {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    const NodeId d = c.node("d");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    c.add_resistor("R1", d, kGround, 20e3);
+    // Diode-connected pMOS: |vgs| = vdd - v(d); as VT grows, v(d) falls and
+    // |vgs| grows -> feedback INCREASES stress here. Either way the two
+    // results must differ measurably.
+    c.add_mosfet("MP", d, d, vdd, vdd,
+                 spice::make_mos_params(tech, 2.0, 0.2, true));
+    return c;
+  };
+  AgingEngine engine;
+  engine.add_model(std::make_unique<NbtiModel>());
+  AgingOptions with_fb;
+  with_fb.mission.epochs = 10;
+  AgingOptions no_fb = with_fb;
+  no_fb.refresh_stress_each_epoch = false;
+
+  Circuit c1 = build();
+  Circuit c2 = build();
+  const double dvt_fb = engine.age(c1, with_fb).final_drift("MP").dvt;
+  const double dvt_nofb = engine.age(c2, no_fb).final_drift("MP").dvt;
+  EXPECT_GT(dvt_fb, dvt_nofb * 1.001);
+}
+
+TEST(AgingEngineTest, TddbEventuallyBreaksUnderBurnIn) {
+  // Over-voltage burn-in: TDDB must produce hard breakdowns and report
+  // them; the circuit still solves (gate leak paths in place).
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId stress_rail = c.node("vstress");
+  const NodeId g = c.node("g");
+  c.add_vsource("VS", stress_rail, kGround, 3.0 * tech.vdd);
+  c.add_resistor("RG", stress_rail, g, 1e3);
+  c.add_mosfet("MN", kGround, g, kGround, kGround,
+               spice::make_mos_params(tech, 10.0, 1.0, false));
+  AgingEngine engine;
+  engine.add_model(std::make_unique<TddbModel>());
+  AgingOptions opt;
+  opt.mission.years = 10.0;
+  opt.mission.epochs = 20;
+  opt.seed = 123;
+  const auto report = engine.age(c, opt);
+  EXPECT_FALSE(report.hard_breakdowns.empty());
+  // Post-HBD the gate pulls mA-range current through RG: g node droops.
+  const DcResult r = dc_operating_point(c);
+  EXPECT_LT(r.v(g), 0.9 * 3.0 * tech.vdd);
+}
+
+TEST(AgingEngineTest, EmWireFailureRaisesResistance) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  c.add_vsource("V1", n1, kGround, 1.0);
+  auto& r = c.add_resistor("RW", n1, kGround, 10.0);  // 100 mA: EM death
+  r.set_wire_geometry({0.5, 2000.0, 0.35});
+  AgingEngine engine;  // no transistor models needed
+  const EmModel em(tech.em);
+  AgingOptions opt;
+  opt.mission.years = 10.0;
+  opt.mission.epochs = 10;
+  const auto report = engine.age(c, opt, {}, &em);
+  ASSERT_EQ(report.wire_failures.size(), 1u);
+  EXPECT_EQ(report.wire_failures[0].wire, "RW");
+  EXPECT_GT(r.resistance(), 1e6);
+}
+
+TEST(AgingEngineTest, SafeWireSurvives) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  c.add_vsource("V1", n1, kGround, 1.0);
+  auto& r = c.add_resistor("RW", n1, kGround, 1e4);  // 100 uA: safe
+  r.set_wire_geometry({1.0, 50.0, 0.35});
+  AgingEngine engine;
+  const EmModel em(tech.em);
+  AgingOptions opt;
+  const auto report = engine.age(c, opt, {}, &em);
+  EXPECT_TRUE(report.wire_failures.empty());
+  EXPECT_DOUBLE_EQ(r.resistance(), 1e4);
+}
+
+TEST(AgingEngineTest, HotOperatingPointChangesStressExtraction) {
+  // With set_circuit_temperature the devices are simulated hot: lower VT
+  // moves the self-biased operating point, so the extracted stress (and
+  // hence the drift) differs from the cold-extraction default.
+  const auto& tech = tech_65nm();
+  AgingEngine engine;
+  engine.add_model(std::make_unique<NbtiModel>());
+  AgingOptions cold_extract;
+  cold_extract.mission.epochs = 3;
+  AgingOptions hot_extract = cold_extract;
+  hot_extract.set_circuit_temperature = true;
+  // Self-biased stage: |vgs| tracks VT, so the hot (lower-VT) operating
+  // point carries less gate stress than the cold extraction assumes.
+  auto build = [&]() {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    const NodeId d = c.node("d");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    c.add_resistor("R1", d, kGround, 20e3);
+    c.add_mosfet("MP", d, d, vdd, vdd,
+                 spice::make_mos_params(tech, 2.0, 0.2, true));
+    return c;
+  };
+  Circuit c1 = build();
+  Circuit c2 = build();
+  const double d_cold = engine.age(c1, cold_extract).final_drift("MP").dvt;
+  const double d_hot = engine.age(c2, hot_extract).final_drift("MP").dvt;
+  EXPECT_GT(d_cold, 0.0);
+  EXPECT_GT(d_hot, 0.0);
+  EXPECT_NE(d_cold, d_hot);
+  // The hot circuit stays hot afterwards (the knob is sticky by design).
+  EXPECT_DOUBLE_EQ(c2.device_as<Mosfet>("MP").params().temp_k, 398.0);
+}
+
+TEST(AgingEngineTest, LowerActivityMeansLessDrift) {
+  const auto& tech = tech_65nm();
+  AgingEngine engine;
+  engine.add_model(std::make_unique<NbtiModel>());
+  AgingOptions always_on;
+  always_on.mission.epochs = 4;
+  AgingOptions half_on = always_on;
+  half_on.mission.activity = 0.5;
+  AgingOptions off = always_on;
+  off.mission.activity = 0.0;
+
+  Circuit c1 = pmos_bias_stage(tech);
+  Circuit c2 = pmos_bias_stage(tech);
+  Circuit c3 = pmos_bias_stage(tech);
+  const double full = engine.age(c1, always_on).final_drift("MP").dvt;
+  const double half = engine.age(c2, half_on).final_drift("MP").dvt;
+  const double none = engine.age(c3, off).final_drift("MP").dvt;
+  EXPECT_GT(full, half);
+  EXPECT_GT(half, 0.0);
+  EXPECT_DOUBLE_EQ(none, 0.0);
+
+  AgingOptions bad = always_on;
+  bad.mission.activity = 1.5;
+  Circuit c4 = pmos_bias_stage(tech);
+  EXPECT_THROW(engine.age(c4, bad), Error);
+}
+
+TEST(AgingEngineTest, ReportIsDeterministicForSeed) {
+  const auto& tech = tech_65nm();
+  AgingEngine engine = AgingEngine::standard();
+  AgingOptions opt;
+  opt.seed = 99;
+  opt.mission.epochs = 4;
+  Circuit c1 = pmos_bias_stage(tech);
+  Circuit c2 = pmos_bias_stage(tech);
+  const auto r1 = engine.age(c1, opt);
+  const auto r2 = engine.age(c2, opt);
+  ASSERT_EQ(r1.epochs.size(), r2.epochs.size());
+  EXPECT_DOUBLE_EQ(r1.final_drift("MP").dvt, r2.final_drift("MP").dvt);
+  EXPECT_DOUBLE_EQ(r1.final_drift("MP").beta_factor,
+                   r2.final_drift("MP").beta_factor);
+}
+
+TEST(AgingEngineTest, CustomTransientStressRunner) {
+  // Stress from a switching workload: use a transient runner on an
+  // inverter; the nMOS then carries duty < 1 and ages less than under DC.
+  const auto& tech = tech_65nm();
+  auto build = [&]() {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    c.add_vsource("VIN", in, kGround,
+                  std::make_unique<spice::PulseWaveform>(
+                      0.0, tech.vdd, 0.0, 10e-12, 10e-12, 3e-9, 10e-9));
+    c.add_mosfet("MN", out, in, kGround, kGround,
+                 spice::make_mos_params(tech, 1.0, 0.1, false));
+    c.add_mosfet("MP", out, in, vdd, vdd,
+                 spice::make_mos_params(tech, 2.0, 0.1, true));
+    c.add_capacitor("CL", out, kGround, 5e-15);
+    return c;
+  };
+  const StressRunner transient_runner = [](Circuit& circuit) {
+    circuit.enable_stress_recording();
+    spice::TransientOptions topt;
+    topt.dt = 20e-12;
+    topt.t_stop = 30e-9;
+    spice::transient_analysis(circuit, topt, {});
+  };
+  AgingEngine engine;
+  engine.add_model(std::make_unique<NbtiModel>());
+  AgingOptions opt;
+  opt.mission.epochs = 3;
+  Circuit ac = build();
+  const auto ac_report = engine.age(ac, opt, transient_runner);
+  Circuit dc = build();
+  // DC stress comparison: input low forever -> pMOS |vgs| = vdd, duty 1.
+  dc.device_as<spice::VoltageSource>("VIN").set_dc(0.0);
+  const auto dc_report = engine.age(dc, opt);
+  EXPECT_LT(ac_report.final_drift("MP").dvt,
+            0.9 * dc_report.final_drift("MP").dvt);
+  EXPECT_GT(ac_report.final_drift("MP").dvt, 0.0);
+}
+
+}  // namespace
+}  // namespace relsim::aging

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/hci.h"
+#include "stats/regression.h"
+#include "util/mathx.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+namespace {
+
+DeviceStress nmos_dc(double vgs = 1.1, double vds = 1.1, double temp = 398.0,
+                     double l_um = 0.1, double w_um = 1.0) {
+  return DeviceStress::dc(/*is_pmos=*/false, vgs, vds, 1.8, temp, w_um, l_um);
+}
+
+TEST(HciTest, NoSaturationNoDegradation) {
+  HciModel m;
+  // vds below vdsat: no pinch-off region, no hot carriers.
+  auto s = nmos_dc(1.1, 0.3);
+  EXPECT_DOUBLE_EQ(m.lateral_field_v_per_um(s), 0.0);
+  EXPECT_DOUBLE_EQ(m.delta_vt(s, 1e8), 0.0);
+}
+
+TEST(HciTest, TenYearShiftPlausible) {
+  HciModel m;
+  const double dvt = m.delta_vt(nmos_dc(), 10 * units::kSecondsPerYear);
+  EXPECT_GT(dvt, 0.005);
+  EXPECT_LT(dvt, 0.2);
+}
+
+TEST(HciTest, PowerLawExponent) {
+  HciModel m;
+  std::vector<double> t, dvt;
+  for (double ts : logspace(1e2, 1e8, 12)) {
+    t.push_back(ts);
+    dvt.push_back(m.delta_vt(nmos_dc(), ts));
+  }
+  const auto fit = fit_power_law(t, dvt);
+  EXPECT_NEAR(fit.slope, m.params().n, 1e-9);
+}
+
+TEST(HciTest, SuperlinearInDrainVoltage) {
+  HciModel m;
+  const double t = 1e7;
+  const double d1 = m.delta_vt(nmos_dc(1.1, 0.9), t);
+  const double d2 = m.delta_vt(nmos_dc(1.1, 1.1), t);
+  const double d3 = m.delta_vt(nmos_dc(1.1, 1.3), t);
+  ASSERT_GT(d1, 0.0);
+  // exp(-phi/(q lambda Em)) acceleration: each 0.2V step multiplies the
+  // degradation by an increasing... by a large factor, and the ratio
+  // itself shrinks as Em grows (exponential in -1/Em saturates).
+  EXPECT_GT(d2 / d1, 3.0);
+  EXPECT_GT(d3 / d2, 2.0);
+  EXPECT_LT(d3 / d2, d2 / d1);
+}
+
+TEST(HciTest, ShorterChannelDegradesFaster) {
+  HciModel m;
+  const double t = 1e7;
+  const double l_long = m.delta_vt(nmos_dc(1.1, 1.1, 398.0, 0.25), t);
+  const double l_short = m.delta_vt(nmos_dc(1.1, 1.1, 398.0, 0.1), t);
+  EXPECT_GT(l_short, 5.0 * l_long);
+}
+
+TEST(HciTest, NmosWorseThanPmos) {
+  HciModel m;
+  auto pmos = nmos_dc();
+  pmos.is_pmos = true;
+  const double t = 1e8;
+  EXPECT_NEAR(m.delta_vt(pmos, t) / m.delta_vt(nmos_dc(), t),
+              m.params().pmos_factor, 1e-9);
+}
+
+TEST(HciTest, HotterIsWorseInDeepSubmicron) {
+  HciModel m;  // default temp_ea_ev < 0 per [44]
+  const double t = 1e7;
+  EXPECT_GT(m.delta_vt(nmos_dc(1.1, 1.1, 398.0), t),
+            m.delta_vt(nmos_dc(1.1, 1.1, 300.0), t));
+}
+
+TEST(HciTest, WiderDevicesDegradeLess) {
+  HciModel m;
+  const double t = 1e7;
+  EXPECT_GT(m.delta_vt(nmos_dc(1.1, 1.1, 398.0, 0.1, 1.0), t),
+            m.delta_vt(nmos_dc(1.1, 1.1, 398.0, 0.1, 4.0), t));
+}
+
+TEST(HciTest, DutyScalesEquivalentTime) {
+  HciModel m;
+  auto ac = nmos_dc();
+  ac.duty = 0.25;
+  const double t = 1e8;
+  EXPECT_NEAR(m.delta_vt(ac, t), m.delta_vt(nmos_dc(), 0.25 * t), 1e-12);
+}
+
+TEST(HciTest, RecoveryIsMinorComparedToNbti) {
+  HciModel m;
+  const double dvt0 = 0.05;
+  // Even after very long relaxation, at most recovery_frac anneals out.
+  const double floor = (1.0 - m.params().recovery_frac) * dvt0;
+  EXPECT_GE(m.relaxed_delta_vt(dvt0, 1e15), floor - 1e-15);
+  EXPECT_GE(floor, 0.8 * dvt0);  // "negligible in comparison to NBTI" [17]
+}
+
+TEST(HciTest, OutputResistanceDegrades) {
+  HciModel m;
+  const auto d = m.drift_from_dvt(0.04);
+  EXPECT_GT(d.lambda_factor, 1.05);
+  EXPECT_LT(d.beta_factor, 1.0);
+}
+
+TEST(HciTest, IncrementalMatchesClosedForm) {
+  HciModel m;
+  const auto stress = nmos_dc();
+  Xoshiro256 rng(1);
+  auto state = m.init_state(stress, rng);
+  ParameterDrift last;
+  for (int e = 0; e < 5; ++e) last = m.advance(*state, stress, 2e7);
+  EXPECT_NEAR(last.dvt / m.delta_vt(stress, 1e8), 1.0, 1e-9);
+}
+
+// Property: degradation is monotone in stress time for all drain voltages.
+class HciTimeMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(HciTimeMonotone, MonotoneInTime) {
+  HciModel m;
+  const double vds = GetParam();
+  double prev = -1.0;
+  for (double t : logspace(1.0, 1e9, 10)) {
+    const double v = m.delta_vt(nmos_dc(1.1, vds), t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DrainVoltages, HciTimeMonotone,
+                         ::testing::Values(0.9, 1.0, 1.1, 1.2, 1.3));
+
+}  // namespace
+}  // namespace relsim::aging

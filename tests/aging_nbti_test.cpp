@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/nbti.h"
+#include "stats/regression.h"
+#include "util/mathx.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+namespace {
+
+DeviceStress pmos_dc(double vgs = 1.1, double temp = 398.0,
+                     double tox = 1.8) {
+  return DeviceStress::dc(/*is_pmos=*/true, vgs, 0.0, tox, temp);
+}
+
+TEST(NbtiTest, ZeroTimeZeroShift) {
+  NbtiModel m;
+  EXPECT_DOUBLE_EQ(m.delta_vt(pmos_dc(), 0.0), 0.0);
+}
+
+TEST(NbtiTest, TenYearShiftInPlausibleRange) {
+  NbtiModel m;
+  const double dvt = m.delta_vt(pmos_dc(), 10 * units::kSecondsPerYear);
+  EXPECT_GT(dvt, 0.02);
+  EXPECT_LT(dvt, 0.15);
+}
+
+TEST(NbtiTest, PowerLawExponentRecovered) {
+  NbtiModel m;
+  std::vector<double> t, dvt;
+  for (double ts : logspace(1.0, 1e8, 15)) {
+    t.push_back(ts);
+    dvt.push_back(m.delta_vt(pmos_dc(), ts));
+  }
+  const auto fit = fit_power_law(t, dvt);
+  EXPECT_NEAR(fit.slope, m.params().n, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(NbtiTest, FieldAccelerationIsExponential) {
+  NbtiModel m;
+  const double t = 1e7;
+  const double lo = m.delta_vt(pmos_dc(0.8), t);
+  const double hi = m.delta_vt(pmos_dc(1.2), t);
+  // Eq. 3: ratio = exp((E2-E1)/E0) with E in V/nm over 1.8nm oxide.
+  const double expected =
+      std::exp((1.2 - 0.8) / 1.8 / m.params().e0_v_per_nm);
+  EXPECT_NEAR(hi / lo, expected, 1e-9);
+}
+
+TEST(NbtiTest, TemperatureAccelerationArrhenius) {
+  NbtiModel m;
+  const double t = 1e7;
+  const double cold = m.delta_vt(pmos_dc(1.1, 300.0), t);
+  const double hot = m.delta_vt(pmos_dc(1.1, 400.0), t);
+  EXPECT_GT(hot, cold);
+  const double expected = std::exp(-m.params().ea_ev / units::kBoltzmannEv *
+                                   (1.0 / 400.0 - 1.0 / 300.0));
+  EXPECT_NEAR(hot / cold, expected, 1e-9);
+}
+
+TEST(NbtiTest, PmosDegradesMuchMoreThanNmos) {
+  NbtiModel m;
+  auto nmos = pmos_dc();
+  nmos.is_pmos = false;
+  const double t = 1e8;
+  EXPECT_GT(m.delta_vt(pmos_dc(), t), 10.0 * m.delta_vt(nmos, t));
+}
+
+TEST(NbtiTest, DutyFactorEndpointsAndMonotonicity) {
+  NbtiModel m;
+  EXPECT_DOUBLE_EQ(m.duty_factor(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.duty_factor(1.0), 1.0);
+  double prev = 0.0;
+  for (double d = 0.05; d <= 1.0; d += 0.05) {
+    const double f = m.duty_factor(d);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  // 50% AC stress degrades clearly less than DC but is not negligible.
+  EXPECT_GT(m.duty_factor(0.5), 0.3);
+  EXPECT_LT(m.duty_factor(0.5), 0.9);
+}
+
+TEST(NbtiTest, RelaxationIsLogarithmicAndPartial) {
+  NbtiModel m;
+  const double dvt0 = 0.05;
+  // Immediately after stress: full shift.
+  EXPECT_DOUBLE_EQ(m.relaxed_delta_vt(dvt0, 0.0), dvt0);
+  // Monotone non-increasing in relaxation time.
+  double prev = dvt0;
+  for (double tr : logspace(1e-6, 1e6, 13)) {
+    const double v = m.relaxed_delta_vt(dvt0, tr);
+    EXPECT_LE(v, prev + 1e-15);
+    prev = v;
+  }
+  // Never below the permanent component [15],[29],[34].
+  const double permanent = (1.0 - m.params().recoverable_frac) * dvt0;
+  EXPECT_GE(m.relaxed_delta_vt(dvt0, 1e12), permanent - 1e-15);
+  EXPECT_NEAR(m.relaxed_delta_vt(dvt0, 1e15), permanent, 1e-12);
+}
+
+TEST(NbtiTest, RelaxationSpansMicrosecondsToDays) {
+  // [29],[34]: relaxation is observable from us to days. Check that the
+  // recoverable part is still partially present after a day.
+  NbtiModel m;
+  const double dvt0 = 0.05;
+  const double after_1us = m.relaxed_delta_vt(dvt0, 1e-6);
+  const double after_1day = m.relaxed_delta_vt(dvt0, 86400.0);
+  EXPECT_LT(after_1us, dvt0);               // already relaxing at 1 us
+  EXPECT_GT(after_1day,
+            (1.0 - m.params().recoverable_frac) * dvt0 + 1e-4);  // not done
+}
+
+TEST(NbtiTest, MeasurementDelayUnderestimatesShift) {
+  // [34]: slow measure-stress-measure readouts miss the fast-relaxing
+  // component; ultra-fast VT measurements were invented for this.
+  NbtiModel m;
+  const auto stress = pmos_dc();
+  const double t = 1e8;
+  const double truth = m.delta_vt(stress, t);
+  const double fast = m.apparent_delta_vt(stress, t, 1e-6);
+  const double slow = m.apparent_delta_vt(stress, t, 1.0);
+  EXPECT_LT(fast, truth);
+  EXPECT_LT(slow, fast);
+  EXPECT_GT(slow, (1.0 - m.params().recoverable_frac) * truth);
+  EXPECT_DOUBLE_EQ(m.apparent_delta_vt(stress, t, 0.0), truth);
+}
+
+TEST(NbtiTest, MobilityDegradationCoupled) {
+  NbtiModel m;
+  const auto drift = m.drift_from_dvt(0.05);
+  EXPECT_LT(drift.beta_factor, 1.0);
+  EXPECT_GT(drift.beta_factor, 0.9);
+  EXPECT_DOUBLE_EQ(drift.dvt, 0.05);
+}
+
+TEST(NbtiTest, IncrementalAdvanceMatchesClosedFormUnderConstantStress) {
+  NbtiModel m;
+  const auto stress = pmos_dc();
+  Xoshiro256 rng(1);
+  auto state = m.init_state(stress, rng);
+  const double total = 3e8;
+  const int epochs = 7;
+  ParameterDrift last;
+  for (int e = 0; e < epochs; ++e) {
+    last = m.advance(*state, stress, total / epochs);
+  }
+  EXPECT_NEAR(last.dvt / m.delta_vt(stress, total), 1.0, 1e-9);
+}
+
+TEST(NbtiTest, EquivalentTimeAccumulationAcrossStressChange) {
+  // Stress hard then mild: total must be below hard-only, above mild-only,
+  // and exactly the closed form evaluated through the equivalent time.
+  NbtiModel m;
+  const auto hard = pmos_dc(1.3);
+  const auto mild = pmos_dc(0.9);
+  Xoshiro256 rng(1);
+  auto state = m.init_state(hard, rng);
+  m.advance(*state, hard, 1e7);
+  const auto total = m.advance(*state, mild, 1e7);
+  EXPECT_LT(total.dvt, m.delta_vt(hard, 2e7));
+  EXPECT_GT(total.dvt, m.delta_vt(mild, 2e7));
+  // Closed-form reference: t_eq such that K_mild*t_eq^n = dvt(hard,1e7).
+  const double k_mild = m.stress_prefactor(mild);
+  const double dvt1 = m.delta_vt(hard, 1e7);
+  const double t_eq = std::pow(dvt1 / k_mild, 1.0 / m.params().n);
+  EXPECT_NEAR(total.dvt, k_mild * std::pow(t_eq + 1e7, m.params().n), 1e-12);
+}
+
+// Property sweep: dVT is monotone in each stress dimension.
+class NbtiMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(NbtiMonotonicity, MonotoneInFieldTempAndTime) {
+  NbtiModel m;
+  const double t = GetParam();
+  double prev = -1.0;
+  for (double vgs = 0.6; vgs <= 1.4; vgs += 0.1) {
+    const double v = m.delta_vt(pmos_dc(vgs), t);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  prev = -1.0;
+  for (double temp = 300.0; temp <= 420.0; temp += 20.0) {
+    const double v = m.delta_vt(pmos_dc(1.1, temp), t);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, NbtiMonotonicity,
+                         ::testing::Values(1e2, 1e4, 1e6, 1e8));
+
+}  // namespace
+}  // namespace relsim::aging

@@ -1,0 +1,161 @@
+// Property-style sweeps over the aging models' invariants (TEST_P):
+// epoch-count invariance, stress-order effects, scaling laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/hci.h"
+#include "aging/nbti.h"
+#include "aging/tddb.h"
+#include "rng/rng.h"
+#include "util/mathx.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+namespace {
+
+// --- Epoch invariance: splitting a constant-stress mission into any number
+// of epochs must not change the result (the engine's correctness backbone).
+class EpochInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpochInvariance, NbtiIndependentOfEpochCount) {
+  const int epochs = GetParam();
+  const NbtiModel m;
+  const auto stress = DeviceStress::dc(true, 1.1, 0.0, 1.8, 398.0);
+  Xoshiro256 rng(1);
+  auto state = m.init_state(stress, rng);
+  const double total = 10.0 * units::kSecondsPerYear;
+  ParameterDrift last;
+  for (int e = 0; e < epochs; ++e) {
+    last = m.advance(*state, stress, total / epochs);
+  }
+  EXPECT_NEAR(last.dvt / m.delta_vt(stress, total), 1.0, 1e-9);
+}
+
+TEST_P(EpochInvariance, HciIndependentOfEpochCount) {
+  const int epochs = GetParam();
+  const HciModel m;
+  auto stress = DeviceStress::dc(false, 1.1, 1.1, 1.8, 398.0);
+  stress.duty = 0.4;
+  Xoshiro256 rng(1);
+  auto state = m.init_state(stress, rng);
+  const double total = 10.0 * units::kSecondsPerYear;
+  ParameterDrift last;
+  for (int e = 0; e < epochs; ++e) {
+    last = m.advance(*state, stress, total / epochs);
+  }
+  EXPECT_NEAR(last.dvt / m.delta_vt(stress, total), 1.0, 1e-9);
+}
+
+TEST_P(EpochInvariance, TddbTimelineIndependentOfEpochCount) {
+  const int epochs = GetParam();
+  const TddbModel m;
+  const auto stress = DeviceStress::dc(false, 1.8, 0.0, 1.8, 398.0);
+  // Same per-device seed -> same sampled timeline regardless of epochs.
+  Xoshiro256 rng_a(42), rng_b(42);
+  auto state_a = m.init_state(stress, rng_a);
+  auto state_b = m.init_state(stress, rng_b);
+  const double total = m.weibull_scale_s(stress) * 2.0;
+  ParameterDrift a, b;
+  a = m.advance(*state_a, stress, total);
+  for (int e = 0; e < epochs; ++e) {
+    b = m.advance(*state_b, stress, total / epochs);
+  }
+  EXPECT_DOUBLE_EQ(a.g_leak_gs + a.g_leak_gd, b.g_leak_gs + b.g_leak_gd);
+  EXPECT_EQ(a.hard_breakdown, b.hard_breakdown);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpochCounts, EpochInvariance,
+                         ::testing::Values(1, 2, 3, 7, 20, 50));
+
+// --- Stress-order property: hard-then-mild stress must produce MORE total
+// damage than mild-then-hard for sublinear (n < 1) power laws? No — the
+// equivalent-time construction makes the result order-INDEPENDENT for
+// two equal-duration phases... verify the exact invariant: total damage is
+// the same whichever order the two phases run in.
+class StressOrder : public ::testing::TestWithParam<double> {};
+
+TEST_P(StressOrder, NbtiTwoPhaseOrderInvariance) {
+  const double vgs_hard = GetParam();
+  const NbtiModel m;
+  const auto hard = DeviceStress::dc(true, vgs_hard, 0.0, 1.8, 398.0);
+  const auto mild = DeviceStress::dc(true, 0.9, 0.0, 1.8, 398.0);
+  const double phase_s = 5e7;
+  Xoshiro256 rng(1);
+  auto s1 = m.init_state(hard, rng);
+  m.advance(*s1, hard, phase_s);
+  const double hard_first = m.advance(*s1, mild, phase_s).dvt;
+  auto s2 = m.init_state(mild, rng);
+  m.advance(*s2, mild, phase_s);
+  const double mild_first = m.advance(*s2, hard, phase_s).dvt;
+  // Equivalent-time accumulation is commutative for a shared exponent:
+  // K2*( (K1/K2)^(1/n) t + t )^n vs K1*( (K2/K1)^(1/n) t + t )^n are equal.
+  EXPECT_NEAR(hard_first / mild_first, 1.0, 1e-9);
+  // And both exceed mild-only while staying below hard-only.
+  EXPECT_GT(hard_first, m.delta_vt(mild, 2 * phase_s));
+  EXPECT_LT(hard_first, m.delta_vt(hard, 2 * phase_s));
+}
+
+INSTANTIATE_TEST_SUITE_P(HardLevels, StressOrder,
+                         ::testing::Values(1.1, 1.2, 1.3, 1.4));
+
+// --- Scaling-law sweeps across technology-like oxide thicknesses.
+class OxideSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OxideSweep, ThinnerOxideAgesFasterAtFixedVoltage) {
+  const double tox = GetParam();
+  const NbtiModel m;
+  const double t = 1e8;
+  const double thin = m.delta_vt(DeviceStress::dc(true, 1.0, 0.0, tox, 398.0), t);
+  const double thick =
+      m.delta_vt(DeviceStress::dc(true, 1.0, 0.0, tox * 1.5, 398.0), t);
+  EXPECT_GT(thin, thick);  // same voltage, higher field
+}
+
+TEST_P(OxideSweep, TddbShapeAndScaleTrends) {
+  const double tox = GetParam();
+  const TddbModel m;
+  const auto at = [&](double tx) {
+    return DeviceStress::dc(false, tx * 0.61, 0.0, tx, 398.0);
+  };
+  // Constant-field comparison: thicker oxide -> tighter distribution.
+  EXPECT_GT(m.weibull_shape(tox * 1.5), m.weibull_shape(tox));
+  // Constant-field scale is area/beta-corrected but comparable order.
+  EXPECT_GT(m.weibull_scale_s(at(tox)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Oxides, OxideSweep,
+                         ::testing::Values(1.1, 1.4, 1.8, 2.2, 2.8));
+
+// --- Guard-rail: the overflow protection keeps drift finite under any
+// absurd stress sequence.
+TEST(AgingGuardTest, NoInfUnderCollapsingStress) {
+  const HciModel m;
+  auto strong = DeviceStress::dc(false, 1.2, 1.3, 1.8, 420.0, 0.2, 0.06);
+  auto weak = DeviceStress::dc(false, 0.4, 0.3, 1.8, 300.0);
+  Xoshiro256 rng(1);
+  auto state = m.init_state(strong, rng);
+  // Massive over-stress, then a condition whose prefactor is ~0.
+  ParameterDrift d = m.advance(*state, strong, 1e9);
+  ASSERT_TRUE(std::isfinite(d.dvt));
+  const double before = d.dvt;
+  d = m.advance(*state, weak, 1e9);
+  EXPECT_TRUE(std::isfinite(d.dvt));
+  EXPECT_GE(d.dvt, before);  // never shrinks, never blows up
+}
+
+TEST(AgingGuardTest, NbtiNoInfUnderCollapsingStress) {
+  const NbtiModel m;
+  auto strong = DeviceStress::dc(true, 2.5, 0.0, 1.2, 420.0);
+  auto weak = DeviceStress::dc(true, 0.1, 0.0, 1.2, 300.0);
+  weak.duty = 1e-6;
+  Xoshiro256 rng(1);
+  auto state = m.init_state(strong, rng);
+  ParameterDrift d = m.advance(*state, strong, 1e9);
+  ASSERT_TRUE(std::isfinite(d.dvt));
+  d = m.advance(*state, weak, 1e9);
+  EXPECT_TRUE(std::isfinite(d.dvt));
+}
+
+}  // namespace
+}  // namespace relsim::aging

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/tddb.h"
+#include "rng/distributions.h"
+#include "stats/weibull_fit.h"
+#include "util/units.h"
+
+namespace relsim::aging {
+namespace {
+
+DeviceStress oxide(double tox_nm, double vgs, double temp = 398.0,
+                   double w = 1.0, double l = 0.1) {
+  return DeviceStress::dc(false, vgs, 0.0, tox_nm, temp, w, l);
+}
+
+TEST(TddbTest, ShapeGrowsWithThickness) {
+  TddbModel m;
+  EXPECT_LT(m.weibull_shape(1.2), m.weibull_shape(2.5));
+  EXPECT_LT(m.weibull_shape(2.5), m.weibull_shape(5.0));
+  EXPECT_GT(m.weibull_shape(1.0), 0.0);
+}
+
+TEST(TddbTest, ScaleDropsExponentiallyWithField) {
+  TddbModel m;
+  const double eta1 = m.weibull_scale_s(oxide(2.0, 1.0));
+  const double eta2 = m.weibull_scale_s(oxide(2.0, 1.2));
+  const double expected =
+      std::exp(m.params().gamma_nm_per_v * (1.2 - 1.0) / 2.0);
+  EXPECT_NEAR(eta1 / eta2, expected, expected * 1e-9);
+}
+
+TEST(TddbTest, HotterFailsSooner) {
+  TddbModel m;
+  EXPECT_GT(m.weibull_scale_s(oxide(2.0, 1.0, 300.0)),
+            m.weibull_scale_s(oxide(2.0, 1.0, 400.0)));
+}
+
+TEST(TddbTest, AreaScalingWeakestLink) {
+  TddbModel m;
+  // 100x the area -> eta scales by (1/100)^(1/beta).
+  const auto small = oxide(2.0, 1.0, 398.0, 1.0, 0.1);
+  const auto large = oxide(2.0, 1.0, 398.0, 10.0, 1.0);
+  const double beta = m.weibull_shape(2.0);
+  EXPECT_NEAR(m.weibull_scale_s(large) / m.weibull_scale_s(small),
+              std::pow(0.01, 1.0 / beta), 1e-9);
+}
+
+TEST(TddbTest, SampledTimesFollowConfiguredWeibull) {
+  TddbModel m;
+  const auto stress = oxide(2.0, 1.3);
+  Xoshiro256 rng(77);
+  std::vector<double> times;
+  for (int i = 0; i < 4000; ++i) {
+    times.push_back(m.sample_timeline(stress, rng).t_sbd_s);
+  }
+  const auto est = fit_weibull_mle(times);
+  EXPECT_NEAR(est.shape / m.weibull_shape(2.0), 1.0, 0.05);
+  EXPECT_NEAR(est.scale / m.weibull_scale_s(stress), 1.0, 0.05);
+}
+
+TEST(TddbTest, ModeSequenceByThickness) {
+  TddbModel m;
+  Xoshiro256 rng(3);
+  // Thick oxide (>5nm): no SBD phase, straight to HBD.
+  const auto thick = m.sample_timeline(oxide(7.0, 3.0), rng);
+  EXPECT_FALSE(thick.has_sbd_phase);
+  EXPECT_DOUBLE_EQ(thick.t_sbd_s, thick.t_hbd_s);
+  // Mid oxide: SBD then abrupt HBD, no PBD.
+  const auto mid = m.sample_timeline(oxide(4.0, 2.0), rng);
+  EXPECT_TRUE(mid.has_sbd_phase);
+  EXPECT_FALSE(mid.has_pbd_phase);
+  EXPECT_GT(mid.t_hbd_s, mid.t_sbd_s);
+  // Ultra-thin: SBD -> PBD -> HBD.
+  const auto thin = m.sample_timeline(oxide(1.5, 1.1), rng);
+  EXPECT_TRUE(thin.has_sbd_phase);
+  EXPECT_TRUE(thin.has_pbd_phase);
+  EXPECT_GT(thin.t_hbd_s, thin.t_sbd_s);
+}
+
+TEST(TddbTest, ProgressiveLeakGrowsMonotonically) {
+  TddbModel m;
+  BreakdownTimeline tl;
+  tl.t_sbd_s = 1e6;
+  tl.t_hbd_s = 5e6;
+  tl.has_sbd_phase = true;
+  tl.has_pbd_phase = true;
+  EXPECT_DOUBLE_EQ(m.gate_leak_at(tl, 0.5e6), 0.0);
+  double prev = 0.0;
+  for (double t = 1e6; t <= 6e6; t += 0.5e6) {
+    const double g = m.gate_leak_at(tl, t);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+  EXPECT_DOUBLE_EQ(m.gate_leak_at(tl, 1e6), m.params().sbd_gleak_s);
+  EXPECT_DOUBLE_EQ(m.gate_leak_at(tl, 6e6), m.params().hbd_gleak_s);
+}
+
+TEST(TddbTest, SbdEffectSmallHbdEffectLarge) {
+  TddbModel m;
+  BreakdownTimeline tl;
+  tl.t_sbd_s = 1e6;
+  tl.t_hbd_s = 2e6;
+  tl.has_sbd_phase = true;
+  tl.has_pbd_phase = false;
+  tl.spot_near_drain = true;
+  const auto sbd = m.drift_at(tl, 1.5e6);
+  const auto hbd = m.drift_at(tl, 3e6);
+  // [21]: just after SBD a very limited effect; large after HBD.
+  EXPECT_GT(sbd.beta_factor, 0.9);
+  EXPECT_LT(hbd.beta_factor, 0.6);
+  EXPECT_GT(hbd.g_leak_gd, 100.0 * sbd.g_leak_gd);
+  EXPECT_TRUE(hbd.hard_breakdown);
+  EXPECT_FALSE(sbd.hard_breakdown);
+  // Spot near drain -> leak on the gd side only.
+  EXPECT_DOUBLE_EQ(sbd.g_leak_gs, 0.0);
+}
+
+TEST(TddbTest, SpotLocationIsRandomlyAssigned) {
+  TddbModel m;
+  Xoshiro256 rng(5);
+  int near_drain = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (m.sample_timeline(oxide(2.0, 1.2), rng).spot_near_drain) ++near_drain;
+  }
+  EXPECT_GT(near_drain, 400);
+  EXPECT_LT(near_drain, 600);
+}
+
+TEST(TddbTest, OperatingFieldGivesLongLife) {
+  // At nominal operating field most devices must survive 10 years; at a
+  // burn-in field they must not.
+  TddbModel m;
+  const double ten_years = 10 * units::kSecondsPerYear;
+  const auto nominal = oxide(1.8, 1.1);
+  const auto burn_in = oxide(1.8, 2.6);
+  const WeibullDistribution nom(m.weibull_shape(1.8),
+                                m.weibull_scale_s(nominal));
+  const WeibullDistribution burn(m.weibull_shape(1.8),
+                                 m.weibull_scale_s(burn_in));
+  EXPECT_LT(nom.cdf(ten_years), 0.05);
+  EXPECT_GT(burn.cdf(ten_years), 0.95);
+}
+
+TEST(TddbTest, AdvanceTracksTimeline) {
+  TddbModel m;
+  const auto stress = oxide(2.0, 1.4);
+  Xoshiro256 rng(9);
+  auto state = m.init_state(stress, rng);
+  // Advance far beyond any plausible eta: must end in hard breakdown.
+  ParameterDrift d;
+  for (int i = 0; i < 50; ++i) {
+    d = m.advance(*state, stress, m.weibull_scale_s(stress));
+  }
+  EXPECT_TRUE(d.hard_breakdown);
+  EXPECT_GT(d.g_leak_gs + d.g_leak_gd, 1e-3);
+}
+
+}  // namespace
+}  // namespace relsim::aging

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "calibration/dac.h"
+#include "calibration/sspa.h"
+#include "rng/distributions.h"
+#include "util/error.h"
+#include "variability/montecarlo.h"
+#include "variability/pelgrom.h"
+
+namespace relsim::calibration {
+namespace {
+
+DacConfig small_config(double sigma = 2e-3) {
+  DacConfig c;
+  c.total_bits = 10;  // keep tests fast; benches use the paper's 14 bits
+  c.unary_bits = 5;
+  c.sigma_unit_rel = sigma;
+  return c;
+}
+
+TEST(DacTest, PerfectDacIsPerfectlyLinear) {
+  Xoshiro256 rng(1);
+  CurrentSteeringDac dac(small_config(0.0), rng);
+  const auto lin = dac.linearity();
+  EXPECT_NEAR(lin.inl_max_abs, 0.0, 1e-9);
+  EXPECT_NEAR(lin.dnl_max_abs, 0.0, 1e-9);
+  // Full-scale: (levels-1) * lsb.
+  EXPECT_NEAR(dac.output(dac.config().levels() - 1),
+              (dac.config().levels() - 1) * dac.config().lsb_current_a,
+              1e-15);
+}
+
+TEST(DacTest, OutputIsMonotoneInCodeForSmallMismatch) {
+  Xoshiro256 rng(2);
+  CurrentSteeringDac dac(small_config(1e-3), rng);
+  double prev = -1.0;
+  for (int code = 0; code < dac.config().levels(); ++code) {
+    const double v = dac.output(code);
+    EXPECT_GT(v, prev) << "code " << code;
+    prev = v;
+  }
+}
+
+TEST(DacTest, SegmentationDecomposition) {
+  Xoshiro256 rng(3);
+  CurrentSteeringDac dac(small_config(0.0), rng);
+  const int lsb_bits = dac.config().binary_bits();
+  // code 3*2^lsb + 5 = three unary sources + binary pattern 5.
+  const int code = 3 * (1 << lsb_bits) + 5;
+  EXPECT_NEAR(dac.output(code),
+              dac.config().lsb_current_a * (3 * (1 << lsb_bits) + 5), 1e-15);
+}
+
+TEST(DacTest, InlEndpointsAreZero) {
+  Xoshiro256 rng(4);
+  CurrentSteeringDac dac(small_config(5e-3), rng);
+  const auto inl = dac.inl_lsb();
+  EXPECT_NEAR(inl.front(), 0.0, 1e-12);
+  EXPECT_NEAR(inl.back(), 0.0, 1e-12);
+}
+
+TEST(DacTest, InvalidSequenceRejected) {
+  Xoshiro256 rng(5);
+  CurrentSteeringDac dac(small_config(), rng);
+  std::vector<int> bad(static_cast<std::size_t>(dac.config().unary_sources()),
+                       0);
+  EXPECT_THROW(dac.set_switching_sequence(bad), Error);
+  EXPECT_THROW(dac.set_switching_sequence({0, 1}), Error);
+}
+
+TEST(SspaTest, SequenceIsPermutation) {
+  const std::vector<double> errors{0.01, -0.02, 0.005, -0.001, 0.03};
+  auto seq = sspa_sequence(errors);
+  ASSERT_EQ(seq.size(), errors.size());
+  std::sort(seq.begin(), seq.end());
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_EQ(seq[i], static_cast<int>(i));
+}
+
+TEST(SspaTest, GreedyKeepsCumulativeErrorBounded) {
+  Xoshiro256 rng(6);
+  NormalDistribution dist(0.0, 0.01);
+  std::vector<double> errors;
+  for (int i = 0; i < 63; ++i) errors.push_back(dist(rng));
+  const auto seq = sspa_sequence(errors);
+  // Max deviation of the cumulative error from the endpoint line (the
+  // INL-relevant quantity), SSPA order vs natural order.
+  double mean = 0.0;
+  for (double e : errors) mean += e;
+  mean /= static_cast<double>(errors.size());
+  auto max_dev = [&](const std::vector<int>& order) {
+    double cum = 0.0, worst = 0.0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      cum += errors[static_cast<std::size_t>(order[k])];
+      worst = std::max(worst,
+                       std::abs(cum - mean * static_cast<double>(k + 1)));
+    }
+    return worst;
+  };
+  EXPECT_LT(max_dev(seq), 0.3 * max_dev(natural_sequence(63)));
+}
+
+TEST(SspaTest, CalibrationImprovesInl) {
+  Xoshiro256 rng(7);
+  CurrentSteeringDac dac(small_config(8e-3), rng);
+  const double inl_before = dac.linearity().inl_max_abs;
+  Xoshiro256 cal_rng(8);
+  calibrate_sspa(dac, 0.0, cal_rng);
+  const double inl_after = dac.linearity().inl_max_abs;
+  EXPECT_LT(inl_after, 0.5 * inl_before);
+}
+
+TEST(SspaTest, ImprovementHoldsAcrossSeeds) {
+  // Property: for every sampled DAC, SSPA never makes INL worse and on
+  // average improves it a lot.
+  MonteCarloEngine mc(99);
+  int improved = 0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    Xoshiro256 rng = mc.rng_for(static_cast<std::size_t>(i));
+    CurrentSteeringDac dac(small_config(5e-3), rng);
+    const double before = dac.linearity().inl_max_abs;
+    calibrate_sspa(dac, 0.0, rng);
+    const double after = dac.linearity().inl_max_abs;
+    EXPECT_LE(after, before * 1.05) << "seed " << i;
+    if (after < 0.7 * before) ++improved;
+  }
+  EXPECT_GT(improved, n * 3 / 4);
+}
+
+TEST(SspaTest, MeasurementNoiseDegradesCalibration) {
+  MonteCarloEngine mc(123);
+  double clean = 0.0, noisy = 0.0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    Xoshiro256 rng1 = mc.rng_for(static_cast<std::size_t>(i));
+    CurrentSteeringDac d1(small_config(8e-3), rng1);
+    Xoshiro256 rng2 = mc.rng_for(static_cast<std::size_t>(i));
+    CurrentSteeringDac d2(small_config(8e-3), rng2);
+    Xoshiro256 cal(1000 + static_cast<std::uint64_t>(i));
+    calibrate_sspa(d1, 0.0, cal);
+    calibrate_sspa(d2, 4e-2, cal);  // comparator noise >> source spread
+    clean += d1.linearity().inl_max_abs;
+    noisy += d2.linearity().inl_max_abs;
+  }
+  EXPECT_LT(clean, noisy);
+}
+
+TEST(SizingTest, IntrinsicSigmaShrinksWithResolution) {
+  const double s10 = required_unit_sigma_intrinsic(10, 0.5, 3.0);
+  const double s14 = required_unit_sigma_intrinsic(14, 0.5, 3.0);
+  EXPECT_NEAR(s10 / s14, 4.0, 1e-9);  // sqrt(2^4)
+  EXPECT_LT(s14, 4e-3);  // 2*0.5/(3*sqrt(2^14)) ~ 2.6e-3
+}
+
+TEST(SizingTest, AreaComparisonStructure) {
+  const PelgromModel pelgrom(PelgromParams{});  // defaults
+  DacConfig cfg;
+  cfg.total_bits = 14;
+  cfg.unary_bits = 6;
+  const double s_int = required_unit_sigma_intrinsic(14, 0.5, 3.0);
+  const auto cmp = compare_analog_area(cfg, pelgrom, s_int, 16.0 * s_int,
+                                       s_int);
+  // 16x sigma relaxation -> 256x less cell area; with comparator overhead
+  // the total lands in the percent range like Fig. 5 reports (~6%).
+  EXPECT_LT(cmp.area_ratio(), 0.15);
+  EXPECT_GT(cmp.area_ratio(), 0.001);
+  EXPECT_GT(cmp.area_intrinsic_mm2, cmp.area_calibrated_mm2);
+}
+
+TEST(SizingTest, UnitCellAreaFollowsPelgrom) {
+  const PelgromModel pelgrom(PelgromParams{});
+  // Halving sigma quadruples the area.
+  EXPECT_NEAR(unit_cell_area_um2(pelgrom, 1e-3) /
+                  unit_cell_area_um2(pelgrom, 2e-3),
+              4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace relsim::calibration

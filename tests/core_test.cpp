@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/reliability_sim.h"
+#include "spice/analysis.h"
+#include "stats/summary.h"
+#include "tech/tech.h"
+#include "util/error.h"
+
+namespace relsim {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+ReliabilityConfig config_for(const TechNode& tech, int epochs = 4) {
+  ReliabilityConfig cfg;
+  cfg.tech = &tech;
+  cfg.mission.years = 10.0;
+  cfg.mission.epochs = epochs;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// Current mirror whose output accuracy is the spec — the paper's running
+// example of a mismatch-limited analog block.
+std::unique_ptr<Circuit> mirror_factory(const TechNode& tech, double w_um,
+                                        double l_um, double i_ref = 50e-6,
+                                        double vb_v = -1.0) {
+  auto c = std::make_unique<Circuit>();
+  const NodeId vdd = c->node("vdd");
+  const NodeId ref = c->node("ref");
+  const NodeId meas = c->node("meas");
+  const NodeId out = c->node("out");
+  c->add_vsource("VDD", vdd, kGround, tech.vdd);
+  c->add_isource("IREF", vdd, ref, i_ref);
+  const auto p = spice::make_mos_params(tech, w_um, l_um, false);
+  c->add_mosfet("M1", ref, ref, kGround, kGround, p);
+  c->add_mosfet("M2", out, ref, kGround, kGround, p);
+  c->add_vsource("VB", meas, kGround, vb_v > 0.0 ? vb_v : 0.5 * tech.vdd);
+  c->add_vsource("VMEAS", meas, out, 0.0);
+  return c;
+}
+
+double mirror_output(Circuit& c) {
+  const auto r = spice::dc_operating_point(c);
+  return c.device_as<spice::VoltageSource>("VMEAS").current(r.x());
+}
+
+TEST(ReliabilitySimTest, RequiresTech) {
+  ReliabilityConfig cfg;
+  EXPECT_THROW(ReliabilitySimulator{cfg}, Error);
+}
+
+TEST(ReliabilitySimTest, ProcessVariationSpreadsMetric) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+  const auto xs = sim.metric_distribution(
+      [&] { return mirror_factory(tech, 1.0, 0.1); }, mirror_output, 200);
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  // The mean carries the mirror's SYSTEMATIC error (CLM: M2 sees a higher
+  // V_DS than the diode device) — exactly the random/systematic error split
+  // of Sec. 2. The spread on top is the random mismatch.
+  EXPECT_NEAR(stats.mean(), 50e-6, 10e-6);
+  EXPECT_GT(stats.stddev(), 0.5e-6);  // small devices mismatch visibly
+}
+
+TEST(ReliabilitySimTest, LargerDevicesYieldBetter) {
+  // Sec. 2 / Eq. 1: accuracy improves with sqrt(area) — the overdesign
+  // lever the paper says becomes too expensive.
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+  // Spec relative to each geometry's NOMINAL output, so only the random
+  // mismatch (not the systematic CLM error) is tested.
+  auto yield_for = [&](double w, double l) {
+    auto nominal_circuit = mirror_factory(tech, w, l);
+    const double nominal = mirror_output(*nominal_circuit);
+    auto pass = [&, nominal](Circuit& c) {
+      return std::abs(mirror_output(c) / nominal - 1.0) < 0.06;
+    };
+    return sim.yield([&] { return mirror_factory(tech, w, l); }, pass, 200);
+  };
+  const auto small = yield_for(0.3, 0.06);
+  const auto large = yield_for(4.0, 0.5);
+  EXPECT_GT(large.yield(), small.yield() + 0.1);
+  EXPECT_GT(large.yield(), 0.9);
+}
+
+TEST(ReliabilitySimTest, VariationIsDeterministicPerSeed) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+  auto c1 = mirror_factory(tech, 1.0, 0.1);
+  auto c2 = mirror_factory(tech, 1.0, 0.1);
+  Xoshiro256 r1(42), r2(42);
+  sim.apply_process_variation(*c1, r1);
+  sim.apply_process_variation(*c2, r2);
+  EXPECT_DOUBLE_EQ(c1->device_as<spice::Mosfet>("M1").variation().dvt,
+                   c2->device_as<spice::Mosfet>("M1").variation().dvt);
+  // Different devices get different draws.
+  EXPECT_NE(c1->device_as<spice::Mosfet>("M1").variation().dvt,
+            c1->device_as<spice::Mosfet>("M2").variation().dvt);
+}
+
+TEST(ReliabilitySimTest, AgingDegradesCircuit) {
+  const auto& tech = tech_65nm();
+  ReliabilityConfig cfg = config_for(tech);
+  cfg.enable_tddb = false;  // deterministic drift only for this check
+  const ReliabilitySimulator sim(cfg);
+  auto c = mirror_factory(tech, 1.0, 0.1);
+  const double fresh = mirror_output(*c);
+  const auto report = sim.age(*c);
+  ASSERT_EQ(report.epochs.size(), 4u);
+  const double aged = mirror_output(*c);
+  // NMOS mirror under DC stress: HCI+NBTI shift VT, current drops.
+  EXPECT_LT(aged, fresh);
+  EXPECT_GT(report.final_drift("M1").dvt, 0.0);
+}
+
+TEST(ReliabilitySimTest, LifetimeYieldBelowTimeZeroYield) {
+  const auto& tech = tech_65nm();
+  ReliabilityConfig cfg = config_for(tech, 2);
+  cfg.enable_tddb = false;  // keep runtime small; drift is the point here
+  const ReliabilitySimulator sim(cfg);
+  // Short channel with the output held at a HIGHER V_DS than the diode
+  // side: the output device sees strong lateral fields (HCI) that the
+  // reference device does not, so the drift does NOT cancel in the mirror
+  // ratio — the classic analog HCI victim.
+  auto factory = [&] { return mirror_factory(tech, 2.0, 0.1, 400e-6, 0.62); };
+  auto nominal_circuit = factory();
+  const double nominal = mirror_output(*nominal_circuit);
+  // One-sided spec: aging only ever pulls the output current down.
+  auto pass = [&, nominal](Circuit& c) {
+    return mirror_output(c) > 0.88 * nominal;
+  };
+  const auto t0 = sim.yield(factory, pass, 120);
+  const auto eol = sim.lifetime_yield(factory, pass, 120);
+  EXPECT_GT(t0.yield(), 0.8);
+  EXPECT_LT(eol.yield(), t0.yield() - 0.15);
+}
+
+TEST(ReliabilitySimTest, ModelTogglesChangeOutcome) {
+  const auto& tech = tech_65nm();
+  ReliabilityConfig all = config_for(tech);
+  all.enable_tddb = false;
+  ReliabilityConfig none = all;
+  none.enable_nbti = false;
+  none.enable_hci = false;
+  auto c1 = mirror_factory(tech, 1.0, 0.1);
+  auto c2 = mirror_factory(tech, 1.0, 0.1);
+  ReliabilitySimulator(all).age(*c1);
+  ReliabilitySimulator(none).age(*c2);
+  EXPECT_GT(c1->device_as<spice::Mosfet>("M1").degradation().dvt,
+            c2->device_as<spice::Mosfet>("M1").degradation().dvt);
+  EXPECT_DOUBLE_EQ(c2->device_as<spice::Mosfet>("M1").degradation().dvt, 0.0);
+}
+
+}  // namespace
+}  // namespace relsim

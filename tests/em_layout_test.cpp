@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/engine.h"
+#include "em_layout/planner.h"
+#include "spice/analysis.h"
+#include "tech/tech.h"
+#include "util/units.h"
+
+namespace relsim::em_layout {
+namespace {
+
+using aging::EmModel;
+
+WireRequest request(double current_a, double length_um = 1e4) {
+  WireRequest r;
+  r.name = "w";
+  r.current_a = current_a;
+  r.length_um = length_um;
+  r.temp_k = 378.0;
+  return r;
+}
+
+TEST(PlannerTest, PlannedWireMeetsTarget) {
+  const EmModel em(tech_65nm().em);
+  const EmAwarePlanner planner(em, 10.0);
+  const WirePlan plan = planner.plan(request(5e-3));
+  EXPECT_GT(plan.width_um, 0.0);
+  EXPECT_TRUE(plan.blech_immune || plan.mttf_years >= 10.0 * 0.99);
+}
+
+TEST(PlannerTest, MoreCurrentNeedsMoreMetal) {
+  const EmModel em(tech_65nm().em);
+  const EmAwarePlanner planner(em, 10.0);
+  const double w1 = planner.plan(request(2e-3)).width_um;
+  const double w2 = planner.plan(request(8e-3)).width_um;
+  EXPECT_GT(w2, 1.5 * w1);
+}
+
+TEST(PlannerTest, HotterNeedsMoreMetal) {
+  const EmModel em(tech_65nm().em);
+  const EmAwarePlanner planner(em, 10.0);
+  WireRequest cold = request(5e-3);
+  cold.temp_k = 348.0;
+  WireRequest hot = request(5e-3);
+  hot.temp_k = 398.0;
+  EXPECT_GT(planner.plan(hot).width_um, planner.plan(cold).width_um);
+}
+
+TEST(PlannerTest, SlottingSavesMetalThroughBambooEffect) {
+  // Splitting one wide wire into narrow bamboo fingers exploits the
+  // lifetime bonus [25]: total metal width shrinks.
+  const EmModel em(tech_65nm().em);
+  const EmAwarePlanner planner(em, 10.0);
+  const WirePlan solid = planner.plan(request(20e-3));
+  ASSERT_GT(solid.width_um, em.tech().grain_size_um);  // above bamboo regime
+  const WirePlan slotted = planner.plan_slotted(request(20e-3), 64);
+  EXPECT_TRUE(slotted.blech_immune || slotted.mttf_years >= 10.0 * 0.99);
+  EXPECT_LT(slotted.width_um, solid.width_um);
+}
+
+TEST(PlannerTest, EvaluateReportsDensityAndImmunity) {
+  const EmModel em(tech_65nm().em);
+  const EmAwarePlanner planner(em, 10.0);
+  const WirePlan p = planner.evaluate(request(1e-3, 50.0), 1.0);
+  EXPECT_GT(p.current_density_a_cm2, 1e5);
+  EXPECT_TRUE(p.blech_immune);  // short wire
+  EXPECT_TRUE(std::isinf(p.mttf_years));
+}
+
+TEST(PlannerTest, PlanAllCoversEveryRequest) {
+  const EmModel em(tech_65nm().em);
+  const EmAwarePlanner planner(em, 5.0);
+  const auto plans =
+      planner.plan_all({request(1e-3), request(2e-3), request(4e-3)});
+  ASSERT_EQ(plans.size(), 3u);
+  for (const auto& p : plans) {
+    EXPECT_TRUE(p.blech_immune || p.mttf_years >= 5.0 * 0.99);
+  }
+}
+
+TEST(AuditTest, FlagsUndersizedWire) {
+  using namespace spice;
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId n1 = c.node("n1");
+  const NodeId n2 = c.node("n2");
+  c.add_vsource("V1", n1, kGround, 1.0);
+  auto& hot = c.add_resistor("RHOT", n1, n2, 10.0);   // ~50 mA
+  hot.set_wire_geometry({0.5, 5e3, 0.35});
+  auto& safe = c.add_resistor("RSAFE", n2, kGround, 10.0);
+  safe.set_wire_geometry({50.0, 50.0, 0.35});
+  aging::dc_stress_runner(c);
+
+  const EmModel em(tech.em);
+  const auto audit = audit_circuit(c, em, 378.0, 10.0);
+  ASSERT_EQ(audit.size(), 2u);
+  const auto& hot_entry = audit[0].name == "RHOT" ? audit[0] : audit[1];
+  const auto& safe_entry = audit[0].name == "RHOT" ? audit[1] : audit[0];
+  EXPECT_FALSE(hot_entry.passes);
+  EXPECT_GT(hot_entry.required_width_um, hot_entry.width_um);
+  EXPECT_TRUE(safe_entry.passes);
+}
+
+TEST(AuditTest, EmptyCircuitGivesEmptyAudit) {
+  spice::Circuit c;
+  const EmModel em(tech_65nm().em);
+  EXPECT_TRUE(audit_circuit(c, em, 378.0, 10.0).empty());
+}
+
+}  // namespace
+}  // namespace relsim::em_layout

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emc/circuits.h"
+#include "emc/emi.h"
+#include "tech/tech.h"
+
+namespace relsim::emc {
+namespace {
+
+// The EMI analyses run short transients; keep the test frequencies high so
+// wall time stays low (the physics is frequency-scaled anyway).
+EmiOptions fast_options() {
+  EmiOptions o;
+  o.settle_cycles = 10;
+  o.measure_cycles = 15;
+  o.steps_per_cycle = 40;
+  return o;
+}
+
+TEST(EmcBenchTest, BaselineMatchesReferenceCurrent) {
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+  EXPECT_NEAR(analyzer.baseline() / bench.i_ref, 1.0, 0.15);
+}
+
+TEST(EmcTest, InterferencePumpsOutputCurrentDown) {
+  // Fig. 4: "Due to circuit nonlinearity, the mean output current is pumped
+  // to a lower value."
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+  const auto p = analyzer.measure(0.8, 100e6, fast_options());
+  EXPECT_LT(p.shift(), 0.0);
+  EXPECT_GT(std::abs(p.shift_rel()), 0.01);
+}
+
+TEST(EmcTest, ShiftGrowsWithAmplitude) {
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+  const auto points =
+      analyzer.amplitude_sweep(100e6, {0.2, 0.5, 1.0, 1.5}, fast_options());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].shift(), points[i - 1].shift())
+        << "amplitude " << points[i].amplitude_v;
+  }
+}
+
+TEST(EmcTest, ShiftDependsOnFrequency) {
+  // Capacitive coupling: low frequencies barely couple, high frequencies
+  // do — the error depends on the frequency of the interference (Sec. 4).
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+  // Moderate amplitude: large enough to rectify, small enough that the
+  // high-frequency point does not saturate at full collapse.
+  const auto lo = analyzer.measure(0.3, 2e6, fast_options());
+  const auto hi = analyzer.measure(0.3, 200e6, fast_options());
+  EXPECT_GT(std::abs(hi.shift()), 3.0 * std::abs(lo.shift()));
+}
+
+TEST(EmcTest, FilteringHarmsThisCircuit) {
+  // Fig. 3's point: WITH the gate filter the rectified shift appears; the
+  // unfiltered mirror cancels it through its own convexity.
+  CurrentReferenceOptions with_filter;
+  CurrentReferenceOptions no_filter;
+  no_filter.filter_cap_f = 0.0;
+  const auto filtered = build_current_reference(tech_65nm(), with_filter);
+  const auto open = build_current_reference(tech_65nm(), no_filter);
+  EmiAnalyzer fa(*filtered.circuit, filtered.emi_source,
+                 Observable::source_current(filtered.output_monitor));
+  EmiAnalyzer oa(*open.circuit, open.emi_source,
+                 Observable::source_current(open.output_monitor));
+  const double f_shift = fa.measure(1.0, 100e6, fast_options()).shift();
+  const double o_shift = oa.measure(1.0, 100e6, fast_options()).shift();
+  EXPECT_LT(f_shift, 0.0);
+  EXPECT_GT(std::abs(f_shift), 2.0 * std::abs(o_shift));
+}
+
+TEST(EmcTest, GateVoltageObservableAlsoShifts) {
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::node_voltage(bench.gate));
+  const auto p = analyzer.measure(1.0, 100e6, fast_options());
+  // The rectified mean gate voltage drops below the quiet bias.
+  EXPECT_LT(p.shift(), -1e-3);
+  EXPECT_GT(p.ripple_pp, 0.01);
+}
+
+TEST(EmcTest, WaveformRestoredAfterMeasurement) {
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+  const double base_before = analyzer.baseline();
+  analyzer.measure(1.0, 100e6, fast_options());
+  EXPECT_DOUBLE_EQ(analyzer.baseline(), base_before);
+  const auto& src =
+      bench.circuit->device_as<spice::VoltageSource>(bench.emi_source);
+  EXPECT_DOUBLE_EQ(src.waveform().dc_value(), 0.0);
+}
+
+TEST(EmcTest, ImmunityThresholdBisection) {
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+  const double budget = 0.05 * bench.i_ref;  // allow 5% shift
+  const double amp =
+      analyzer.immunity_threshold(100e6, budget, 2.0, fast_options());
+  EXPECT_GT(amp, 0.0);
+  EXPECT_LT(amp, 2.0);
+  // The threshold point indeed respects the budget...
+  EXPECT_LE(std::abs(analyzer.measure(amp, 100e6, fast_options()).shift()),
+            budget * 1.05);
+  // ...and 2x the threshold violates it.
+  EXPECT_GT(
+      std::abs(analyzer.measure(2.0 * amp, 100e6, fast_options()).shift()),
+      budget);
+}
+
+TEST(EmcTest, InvalidArgumentsRejected) {
+  const auto bench = build_current_reference(tech_65nm());
+  EmiAnalyzer analyzer(*bench.circuit, bench.emi_source,
+                       Observable::source_current(bench.output_monitor));
+  EXPECT_THROW(analyzer.measure(-1.0, 1e6), Error);
+  EXPECT_THROW(analyzer.measure(1.0, 0.0), Error);
+  EXPECT_THROW(EmiAnalyzer(*bench.circuit, "NOPE",
+                           Observable::node_voltage(bench.gate)),
+               Error);
+}
+
+}  // namespace
+}  // namespace relsim::emc

@@ -1,0 +1,224 @@
+// Cross-module integration scenarios: each test exercises a pipeline that
+// spans at least three modules, the way a downstream user would.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "aging/engine.h"
+#include "aging/nbti.h"
+#include "core/reliability_sim.h"
+#include "emc/circuits.h"
+#include "emc/emi.h"
+#include "spice/ac_analysis.h"
+#include "spice/analysis.h"
+#include "spice/netlist_parser.h"
+#include "spice/probes.h"
+#include "tech/tech.h"
+#include "util/mathx.h"
+
+namespace relsim {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+// Netlist text -> parse -> age -> AC: the amplifier loses gain over life.
+TEST(IntegrationTest, NetlistAgeAcPipeline) {
+  // RL sized so the output sits around 0.6 V: the device is saturated with
+  // a healthy V_DS - V_DSAT, i.e. squarely in HCI territory.
+  constexpr const char* kAmp = R"(common-source amp
+.tech 65nm
+VDD vdd 0 1.1
+VIN in 0 DC 0.55 AC 1
+RL vdd out 1.1k
+M1 out in 0 0 nmos W=2u L=0.1u
+)";
+  auto parsed = spice::parse_netlist(kAmp);
+  Circuit& c = *parsed.circuit;
+  const NodeId out = c.find_node("out");
+
+  const auto fresh = spice::ac_analysis(c, {1e3});
+  const double gain_fresh = std::abs(fresh.v(0, out));
+  const double vout_fresh = spice::dc_operating_point(c).v(out);
+
+  ReliabilityConfig cfg;
+  cfg.tech = &tech_65nm();
+  cfg.mission.years = 10.0;
+  cfg.mission.epochs = 5;
+  cfg.enable_tddb = false;
+  ReliabilitySimulator(cfg).age(c);
+
+  const auto aged = spice::ac_analysis(c, {1e3});
+  const double gain_aged = std::abs(aged.v(0, out));
+  const double vout_aged = spice::dc_operating_point(c).v(out);
+  // HCI raises VT -> less current -> the output bias drifts up and the
+  // transconductance (thus gain) drops.
+  EXPECT_GT(vout_aged, vout_fresh + 0.02);
+  EXPECT_LT(gain_aged, 0.9 * gain_fresh);
+  EXPECT_TRUE(std::isfinite(gain_aged));
+}
+
+// Netlist factory -> MC yield through the top-level facade.
+TEST(IntegrationTest, NetlistFactoryMonteCarloYield) {
+  constexpr const char* kDivider = R"(mos divider
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+  ReliabilityConfig cfg;
+  cfg.tech = &tech_90nm();
+  const ReliabilitySimulator sim(cfg);
+  auto factory = [&] {
+    auto parsed = spice::parse_netlist(kDivider);
+    return std::move(parsed.circuit);
+  };
+  auto nominal_circuit = factory();
+  const double nominal =
+      spice::dc_operating_point(*nominal_circuit)
+          .v(nominal_circuit->find_node("d"));
+  auto pass = [&](Circuit& c) {
+    const double v = spice::dc_operating_point(c).v(c.find_node("d"));
+    return std::abs(v - nominal) < 0.05;
+  };
+  const auto est = sim.yield(factory, pass, 150);
+  // Tiny device: mismatch must produce BOTH passes and fails.
+  EXPECT_GT(est.yield(), 0.2);
+  EXPECT_LT(est.yield(), 0.999);
+}
+
+// EMC coupling path cross-check: the gate ripple the transient EMI analysis
+// sees must match the linear AC transfer at small amplitudes.
+TEST(IntegrationTest, EmcRippleMatchesAcTransfer) {
+  const auto bench = emc::build_current_reference(tech_65nm());
+  Circuit& c = *bench.circuit;
+  const double freq = 50e6;
+  const double amp = 1e-3;  // small-signal regime
+
+  // AC prediction of the gate ripple per volt of EMI.
+  c.device_as<spice::VoltageSource>(bench.emi_source).set_ac_magnitude(1.0);
+  const auto ac = spice::ac_analysis(c, {freq});
+  const double transfer = std::abs(ac.v(0, bench.gate));
+
+  // Time-domain measurement at a small amplitude.
+  emc::EmiAnalyzer analyzer(c, bench.emi_source,
+                            emc::Observable::node_voltage(bench.gate));
+  emc::EmiOptions opt;
+  opt.settle_cycles = 20;
+  opt.measure_cycles = 20;
+  opt.steps_per_cycle = 64;
+  const auto p = analyzer.measure(amp, freq, opt);
+  EXPECT_NEAR(0.5 * p.ripple_pp / (amp * transfer), 1.0, 0.05);
+}
+
+// Knob-and-monitor loop on top of engine-produced (not synthetic) drift,
+// asserting that the compensation also restores the AC gain.
+TEST(IntegrationTest, AgedAmplifierGainRecoveredByBiasKnob) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  // Biased at 0.50 V: saturated with margin, so VT drift moves the gain
+  // DOWN instead of sliding the stage out of triode.
+  auto& vin = c.add_vsource("VIN", in, kGround, 0.50);
+  vin.set_ac_magnitude(1.0);
+  c.add_resistor("RL", vdd, out, 5e3);
+  // Long channel: r_o >> RL, so the gain tracks gm and visibly drops with
+  // VT drift (short-channel stages self-compensate through r_o).
+  c.add_mosfet("M1", out, in, kGround, kGround,
+               spice::make_mos_params(tech, 2.0, 0.5, false));
+
+  auto gain = [&]() {
+    return std::abs(spice::ac_analysis(c, {1e4}).v(0, out));
+  };
+  const double g0 = gain();
+
+  // Age and measure the dropped gain.
+  aging::AgingEngine engine;
+  engine.add_model(std::make_unique<aging::NbtiModel>());
+  aging::AgingOptions opt;
+  opt.mission.epochs = 4;
+  engine.age(c, opt);
+  spice::MosDegradation extra = c.device_as<spice::Mosfet>("M1").degradation();
+  extra.dvt += 0.06;  // top up with an HCI-class shift for a visible drop
+  c.device_as<spice::Mosfet>("M1").set_degradation(extra);
+  const double g_aged = gain();
+  ASSERT_LT(g_aged, 0.9 * g0);
+
+  // Sweep the bias knob: some setting must recover >= the fresh gain.
+  double best = 0.0;
+  for (double vb = 0.50; vb <= 0.72; vb += 0.01) {
+    vin.set_dc(vb);
+    best = std::max(best, gain());
+  }
+  EXPECT_GE(best, 0.95 * g0);
+}
+
+// Full stack determinism: the identical seed reproduces the identical
+// lifetime-yield estimate across independent simulator instances.
+TEST(IntegrationTest, FullStackDeterminism) {
+  const auto& tech = tech_65nm();
+  auto factory = [&] {
+    auto c = std::make_unique<Circuit>();
+    const NodeId vdd = c->node("vdd");
+    const NodeId d = c->node("d");
+    c->add_vsource("VDD", vdd, kGround, tech.vdd);
+    c->add_resistor("RD", vdd, d, 10e3);
+    c->add_mosfet("M1", d, d, kGround, kGround,
+                  spice::make_mos_params(tech, 0.5, 0.1, false));
+    return c;
+  };
+  auto pass = [](Circuit& c) {
+    return spice::dc_operating_point(c).v(c.find_node("d")) > 0.4;
+  };
+  ReliabilityConfig cfg;
+  cfg.tech = &tech;
+  cfg.mission.epochs = 2;
+  cfg.seed = 777;
+  const auto a = ReliabilitySimulator(cfg).lifetime_yield(factory, pass, 60);
+  const auto b = ReliabilitySimulator(cfg).lifetime_yield(factory, pass, 60);
+  EXPECT_EQ(a.passed, b.passed);
+}
+
+// Transient and AC agree on an aged circuit too (the degradation state is
+// honoured consistently by both code paths).
+TEST(IntegrationTest, AgedTransientMatchesAgedAc) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const auto& tech = tech_65nm();
+  const double f = 1e6;
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  auto& vin = c.add_vsource(
+      "VIN", in, kGround,
+      std::make_unique<spice::SineWaveform>(0.55, 0.002, f));
+  vin.set_ac_magnitude(0.002);
+  c.add_resistor("RL", vdd, out, 5e3);
+  auto& m = c.add_mosfet("M1", out, in, kGround, kGround,
+                         spice::make_mos_params(tech, 2.0, 0.2, false));
+  spice::MosDegradation d;
+  d.dvt = 0.04;
+  d.beta_factor = 0.92;
+  m.set_degradation(d);
+
+  const auto ac = spice::ac_analysis(c, {f});
+  const double ac_amp = std::abs(ac.v(0, out));
+
+  spice::TransientOptions topt;
+  topt.dt = 1.0 / f / 400;
+  topt.t_stop = 12.0 / f;
+  const auto tr = spice::transient_analysis(c, topt, {out});
+  const double tran_amp =
+      0.5 * spice::peak_to_peak(tr.time(), tr.node(out), 6.0 / f, topt.t_stop);
+  EXPECT_NEAR(tran_amp / ac_amp, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace relsim

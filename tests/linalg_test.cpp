@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "util/error.h"
+
+namespace relsim {
+namespace {
+
+TEST(MatrixTest, IdentityMultiply) {
+  const Matrix id = Matrix::identity(3);
+  const Vector x{1.0, -2.0, 3.0};
+  EXPECT_EQ(id.multiply(x), x);
+}
+
+TEST(MatrixTest, NormInf) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = -4.0;
+  m(1, 0) = 2.0;
+  m(1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(m.norm_inf(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(LuTest, Solves3x3System) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;  a(0, 1) = 1;  a(0, 2) = -1;
+  a(1, 0) = -3; a(1, 1) = -1; a(1, 2) = 2;
+  a(2, 0) = -2; a(2, 1) = 1;  a(2, 2) = 2;
+  const Vector b{8, -11, -3};
+  const Vector x = solve(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(LuTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;  a(0, 1) = 1;
+  a(1, 0) = 1;  a(1, 1) = 0;
+  const Vector x = solve(a, {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(LuTest, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{a}, SingularMatrixError);
+}
+
+TEST(LuTest, ZeroRowThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  EXPECT_THROW(LuFactorization{a}, SingularMatrixError);
+}
+
+TEST(LuTest, Determinant) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 1;
+  a(1, 0) = 4; a(1, 1) = 2;
+  EXPECT_NEAR(LuFactorization(a).determinant(), 2.0, 1e-12);
+}
+
+TEST(LuTest, ResidualSmallForIllScaledSystem) {
+  // Mix of conductances spanning 12 decades like an MNA matrix with gmin.
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  Vector xtrue(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xtrue[i] = std::sin(static_cast<double>(i));
+    for (std::size_t j = 0; j < n; ++j) {
+      const double mag = std::pow(10.0, static_cast<double>((i * 7 + j * 3) % 12) - 6.0);
+      a(i, j) = ((i + j) % 3 == 0 ? 1.0 : -0.5) * mag;
+    }
+    a(i, i) += 1e3;  // diagonally strengthen
+  }
+  const Vector b = a.multiply(xtrue);
+  const Vector x = solve(a, b);
+  const Vector r = subtract(a.multiply(x), b);
+  EXPECT_LT(norm_inf(r), 1e-8 * norm_inf(b) + 1e-12);
+}
+
+// Property sweep: random diagonally dominant systems of increasing size all
+// solve to tight residuals (the Newton inner loop depends on this).
+class LuRandomSystem : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomSystem, SolvesToTightResidual) {
+  const int n = GetParam();
+  std::uint64_t seed = static_cast<std::uint64_t>(n) * 2654435761u;
+  auto next = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return static_cast<double>(seed % 2000) / 1000.0 - 1.0;
+  };
+  Matrix a(n, n);
+  Vector xtrue(n);
+  for (int i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = next();
+      rowsum += std::abs(a(i, j));
+    }
+    a(i, i) = rowsum + 1.0;
+    xtrue[i] = next();
+  }
+  const Vector b = a.multiply(xtrue);
+  const Vector x = solve(a, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], xtrue[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSystem,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace relsim

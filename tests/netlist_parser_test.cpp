@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/ac_analysis.h"
+#include "spice/netlist_parser.h"
+#include "spice/probes.h"
+#include "tech/tech.h"
+
+namespace relsim::spice {
+namespace {
+
+TEST(SpiceNumberTest, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-1.5"), -1.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5k"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3MEG"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10m"), 0.01);  // milli, not mega!
+  EXPECT_DOUBLE_EQ(parse_spice_number("5u"), 5e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("7n"), 7e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2p"), 2e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4g"), 4e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e3"), 1000.0);
+}
+
+TEST(SpiceNumberTest, UnitTailsIgnored) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("10kohm"), 1e4);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5pF"), 5e-12);
+}
+
+TEST(SpiceNumberTest, GarbageRejected) {
+  EXPECT_THROW(parse_spice_number("abc"), Error);
+  EXPECT_THROW(parse_spice_number("1.5x"), Error);
+  EXPECT_THROW(parse_spice_number(""), Error);
+}
+
+TEST(NetlistTest, TitleAndDivider) {
+  const auto parsed = parse_netlist(R"(voltage divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+)");
+  EXPECT_EQ(parsed.title, "voltage divider");
+  const auto r = dc_operating_point(*parsed.circuit);
+  EXPECT_NEAR(r.v(parsed.circuit->find_node("mid")), 7.5, 1e-6);
+}
+
+TEST(NetlistTest, CommentsAndContinuations) {
+  const auto parsed = parse_netlist(R"(title
+* a comment line
+V1 in 0
++ 5         ; trailing comment
+R1 in 0 1k  ; load
+)");
+  const auto r = dc_operating_point(*parsed.circuit);
+  EXPECT_NEAR(r.v(parsed.circuit->find_node("in")), 5.0, 1e-6);
+}
+
+TEST(NetlistTest, SineSourceAndTransient) {
+  const auto parsed = parse_netlist(R"(rc
+V1 in 0 SIN(0 1 1meg)
+R1 in out 1k
+C1 out 0 1n
+)");
+  TransientOptions opt;
+  opt.dt = 2e-9;
+  opt.t_stop = 1e-5;
+  auto& c = *parsed.circuit;
+  const auto res = transient_analysis(c, opt, {c.find_node("out")});
+  const double amp =
+      0.5 * peak_to_peak(res.time(), res.node(c.find_node("out")), 5e-6, 1e-5);
+  const double fc = 1.0 / (2 * std::numbers::pi * 1e3 * 1e-9);
+  EXPECT_NEAR(amp, 1.0 / std::sqrt(1.0 + std::pow(1e6 / fc, 2)), 0.02);
+}
+
+TEST(NetlistTest, PulseAndPwlSources) {
+  const auto parsed = parse_netlist(R"(sources
+V1 a 0 PULSE(0 1 1n 0.1n 0.1n 4n 10n)
+V2 b 0 PWL(0 0 1u 2 2u 0)
+R1 a 0 1k
+R2 b 0 1k
+)");
+  auto& c = *parsed.circuit;
+  const auto& v1 = c.device_as<VoltageSource>("V1").waveform();
+  EXPECT_DOUBLE_EQ(v1.value(3e-9), 1.0);
+  EXPECT_DOUBLE_EQ(v1.value(0.5e-9), 0.0);
+  const auto& v2 = c.device_as<VoltageSource>("V2").waveform();
+  EXPECT_DOUBLE_EQ(v2.value(0.5e-6), 1.0);
+}
+
+TEST(NetlistTest, TechCardAndMosfet) {
+  const auto parsed = parse_netlist(R"(inverter
+.tech 65nm
+VDD vdd 0 1.1
+VIN in 0 0
+MN out in 0 0 nmos W=1u L=0.1u
+MP out in vdd vdd pmos W=2u L=0.1u
+)");
+  auto& c = *parsed.circuit;
+  const auto& mn = c.device_as<Mosfet>("MN");
+  EXPECT_FALSE(mn.params().is_pmos);
+  EXPECT_DOUBLE_EQ(mn.params().w_um, 1.0);
+  EXPECT_NEAR(mn.params().l_um, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(mn.params().vt0, tech_65nm().vt0_nmos);
+  const auto r = dc_operating_point(c);
+  EXPECT_NEAR(r.v(c.find_node("out")), 1.1, 0.02);  // input low -> out high
+}
+
+TEST(NetlistTest, ModelCardOverrides) {
+  const auto parsed = parse_netlist(R"(custom model
+.model hvt NMOS vt0=0.5 kp=200u lambda=0.2 gamma=0.4 phi=0.8 tox=2.5
+VDD d 0 1.2
+VG g 0 1.0
+M1 d g 0 0 hvt W=4u L=0.2u
+)");
+  auto& c = *parsed.circuit;
+  const auto& m = c.device_as<Mosfet>("M1");
+  EXPECT_DOUBLE_EQ(m.params().vt0, 0.5);
+  EXPECT_DOUBLE_EQ(m.params().kp, 200e-6);
+  EXPECT_DOUBLE_EQ(m.params().tox_nm, 2.5);
+  EXPECT_DOUBLE_EQ(m.params().w_um, 4.0);
+}
+
+TEST(NetlistTest, DiodeModel) {
+  const auto parsed = parse_netlist(R"(diode
+.model dx D is=1e-12 n=1.5
+V1 in 0 5
+R1 in a 1k
+D1 a 0 dx
+)");
+  const auto r = dc_operating_point(*parsed.circuit);
+  const double va = r.v(parsed.circuit->find_node("a"));
+  EXPECT_GT(va, 0.5);
+  EXPECT_LT(va, 1.0);
+}
+
+TEST(NetlistTest, WireGeometryOnResistor) {
+  const auto parsed = parse_netlist(R"(wire
+V1 a 0 1
+RW a 0 10 WIRE W=0.5u L=200u T=0.35u
+)");
+  const auto& rw = parsed.circuit->device_as<Resistor>("RW");
+  ASSERT_TRUE(rw.wire_geometry().has_value());
+  EXPECT_NEAR(rw.wire_geometry()->width_um, 0.5, 1e-12);
+  EXPECT_NEAR(rw.wire_geometry()->length_um, 200.0, 1e-9);
+}
+
+TEST(NetlistTest, AcMagnitudeOnSource) {
+  const auto parsed = parse_netlist(R"(ac
+V1 in 0 DC 0.5 AC 1
+R1 in out 1k
+C1 out 0 1n
+)");
+  auto& c = *parsed.circuit;
+  EXPECT_DOUBLE_EQ(c.device_as<VoltageSource>("V1").ac_magnitude(), 1.0);
+  const auto res = ac_analysis(c, {1e3});
+  EXPECT_NEAR(std::abs(res.v(0, c.find_node("out"))), 1.0, 1e-3);
+}
+
+TEST(NetlistTest, VcvsCard) {
+  const auto parsed = parse_netlist(R"(amp
+V1 in 0 0.1
+E1 out 0 in 0 -20
+RL out 0 1k
+)");
+  const auto r = dc_operating_point(*parsed.circuit);
+  EXPECT_NEAR(r.v(parsed.circuit->find_node("out")), -2.0, 1e-6);
+}
+
+TEST(NetlistTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("title\nV1 in 0 1\nXBAD a b c\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(NetlistTest, MosWithoutTechRejected) {
+  EXPECT_THROW(parse_netlist("t\nM1 d g 0 0 nmos W=1u L=0.1u\n"),
+               NetlistError);
+}
+
+TEST(NetlistTest, UnknownModelRejected) {
+  EXPECT_THROW(parse_netlist("t\n.tech 65nm\nM1 d g 0 0 mystery W=1u L=1u\n"),
+               NetlistError);
+  EXPECT_THROW(parse_netlist("t\n.model bad XTYPE a=1\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("t\n.tech 13nm\n"), NetlistError);
+}
+
+TEST(NetlistTest, ContinuationWithoutCardRejected) {
+  EXPECT_THROW(parse_netlist("t\n+ R1 a 0 1k\n"), NetlistError);
+}
+
+TEST(NetlistTest, MissingFileThrows) {
+  EXPECT_THROW(parse_netlist_file("/nonexistent/never.cir"), NetlistError);
+}
+
+TEST(NetlistTest, ShippedExampleNetlistsParseAndSolve) {
+  // The example netlists under examples/netlists must stay valid.
+  for (const char* path : {"examples/netlists/inverter.cir",
+                           "examples/netlists/current_mirror.cir",
+                           "examples/netlists/rlc_filter.cir"}) {
+    const std::string full = std::string(RELSIM_SOURCE_DIR) + "/" + path;
+    auto parsed = parse_netlist_file(full);
+    EXPECT_FALSE(parsed.title.empty()) << path;
+    EXPECT_NO_THROW(dc_operating_point(*parsed.circuit)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace relsim::spice

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rng/distributions.h"
+#include "rng/rng.h"
+
+namespace relsim {
+namespace {
+
+TEST(XoshiroTest, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(XoshiroTest, Uniform01Range) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(XoshiroTest, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(XoshiroTest, UniformIndexCoversRangeWithoutBias) {
+  Xoshiro256 rng(3);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_index(7)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 600);
+}
+
+TEST(DeriveSeedTest, OrderSensitiveAndStable) {
+  const auto s1 = derive_seed(1, {2, 3});
+  const auto s2 = derive_seed(1, {3, 2});
+  const auto s3 = derive_seed(1, {2, 3});
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1, s3);
+}
+
+TEST(DeriveSeedTest, ManyStreamsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(derive_seed(99, {i}));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(NormalDistTest, MomentsMatch) {
+  Xoshiro256 rng(5);
+  const NormalDistribution n(2.0, 3.0);
+  const int count = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const double x = n(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / count;
+  const double var = sum2 / count - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.03);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.03);
+}
+
+TEST(NormalDistTest, ZeroSigmaIsDegenerate) {
+  Xoshiro256 rng(5);
+  const NormalDistribution n(1.5, 0.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(n(rng), 1.5);
+}
+
+TEST(WeibullDistTest, QuantileRoundTrip) {
+  const WeibullDistribution w(2.5, 7.0);
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(WeibullDistTest, MedianMatchesTheory) {
+  Xoshiro256 rng(17);
+  const WeibullDistribution w(1.8, 4.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(w(rng));
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  const double med = xs[xs.size() / 2];
+  EXPECT_NEAR(med, w.quantile(0.5), 0.05);
+}
+
+TEST(WeibullDistTest, ScaleIs632Percentile) {
+  const WeibullDistribution w(3.0, 10.0);
+  EXPECT_NEAR(w.cdf(10.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(LogNormalDistTest, MedianEqualsExpMu) {
+  Xoshiro256 rng(23);
+  const auto d = LogNormalDistribution::from_median(100.0, 0.5);
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(d(rng));
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2] / 100.0, 1.0, 0.02);
+}
+
+TEST(ExponentialDistTest, MeanIsInverseRate) {
+  Xoshiro256 rng(31);
+  const ExponentialDistribution d(0.25);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d(rng);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(BernoulliDistTest, FrequencyMatchesP) {
+  Xoshiro256 rng(37);
+  const BernoulliDistribution d(0.3);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += d(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace relsim

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "spice/ac_analysis.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/probes.h"
+#include "tech/tech.h"
+#include "util/mathx.h"
+
+namespace relsim::spice {
+namespace {
+
+TEST(AcTest, RcLowPassMagnitudeAndPhase) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& src = c.add_vsource("V1", in, kGround, 0.0);
+  src.set_ac_magnitude(1.0);
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+  const double fc = 1.0 / (2 * std::numbers::pi * 1e3 * 1e-9);  // ~159 kHz
+
+  const auto res = ac_analysis(c, {fc / 100.0, fc, 100.0 * fc});
+  // Passband: unity. At fc: 1/sqrt(2) and -45 degrees. Stopband: -40dB/2dec.
+  EXPECT_NEAR(std::abs(res.v(0, out)), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(res.v(1, out)), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(res.phase(out)[1], -std::numbers::pi / 4.0, 1e-3);
+  EXPECT_NEAR(res.magnitude_db(out)[2], -40.0, 0.1);
+}
+
+TEST(AcTest, CornerFrequencyExtraction) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& src = c.add_vsource("V1", in, kGround, 0.0);
+  src.set_ac_magnitude(1.0);
+  c.add_resistor("R1", in, out, 10e3);
+  c.add_capacitor("C1", out, kGround, 100e-12);
+  const double fc = 1.0 / (2 * std::numbers::pi * 10e3 * 100e-12);
+  const auto res = ac_analysis(c, logspace(1e3, 1e8, 60));
+  EXPECT_NEAR(res.corner_frequency(out) / fc, 1.0, 0.02);
+}
+
+TEST(AcTest, DividerIsFrequencyFlat) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  auto& src = c.add_vsource("V1", in, kGround, 5.0);  // DC value irrelevant
+  src.set_ac_magnitude(2.0);
+  c.add_resistor("R1", in, mid, 1e3);
+  c.add_resistor("R2", mid, kGround, 3e3);
+  const auto res = ac_analysis(c, {1e3, 1e6, 1e9});
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(std::abs(res.v(k, mid)), 1.5, 1e-6);
+    EXPECT_NEAR(res.phase(mid)[k], 0.0, 1e-9);
+  }
+}
+
+TEST(AcTest, CommonSourceAmpGainMatchesGmRo) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  auto& vin = c.add_vsource("VIN", in, kGround, 0.55);
+  vin.set_ac_magnitude(1.0);
+  c.add_resistor("RL", vdd, out, 5e3);
+  auto& m = c.add_mosfet("M1", out, in, kGround, kGround,
+                         make_mos_params(tech, 2.0, 0.2, false));
+
+  // Low-frequency gain must be gm*(RL || ro).
+  const DcResult op = dc_operating_point(c);
+  const auto mos = m.operating_point(op.x());
+  const double ro = 1.0 / mos.gds;
+  const double expected = mos.gm * (5e3 * ro) / (5e3 + ro);
+
+  const auto res = ac_analysis(c, {1e3});
+  EXPECT_NEAR(std::abs(res.v(0, out)) / expected, 1.0, 1e-3);
+  // Inverting stage: phase ~ 180 degrees.
+  EXPECT_NEAR(std::abs(res.phase(out)[0]), std::numbers::pi, 1e-2);
+}
+
+TEST(AcTest, AmplifierBandwidthSetByLoadCap) {
+  const auto& tech = tech_65nm();
+  auto corner_for = [&](double cl) {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    auto& vin = c.add_vsource("VIN", in, kGround, 0.55);
+    vin.set_ac_magnitude(1.0);
+    c.add_resistor("RL", vdd, out, 5e3);
+    c.add_capacitor("CL", out, kGround, cl);
+    c.add_mosfet("M1", out, in, kGround, kGround,
+                 make_mos_params(tech, 2.0, 0.2, false));
+    const auto res = ac_analysis(c, logspace(1e4, 1e11, 80));
+    return res.corner_frequency(out);
+  };
+  const double f1 = corner_for(1e-12);
+  const double f2 = corner_for(4e-12);
+  ASSERT_GT(f1, 0.0);
+  ASSERT_GT(f2, 0.0);
+  // 4x the load cap -> ~1/4 the bandwidth (load pole dominates).
+  EXPECT_NEAR(f1 / f2, 4.0, 0.5);
+}
+
+TEST(AcTest, CrossCheckAgainstTransientSine) {
+  // The AC magnitude at one frequency must match the settled amplitude of
+  // a small-signal transient at that frequency — two completely different
+  // code paths through the simulator.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const double f = 2e6;
+  auto& src = c.add_vsource(
+      "V1", in, kGround, std::make_unique<SineWaveform>(0.0, 0.01, f));
+  src.set_ac_magnitude(0.01);
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, kGround, 200e-12);
+
+  const auto ac = ac_analysis(c, {f});
+  const double ac_amp = std::abs(ac.v(0, out));
+
+  TransientOptions topt;
+  topt.dt = 1.0 / f / 200;
+  topt.t_stop = 20.0 / f;
+  const auto tr = transient_analysis(c, topt, {out});
+  const double tran_amp =
+      0.5 * peak_to_peak(tr.time(), tr.node(out), 10.0 / f, topt.t_stop);
+  EXPECT_NEAR(tran_amp / ac_amp, 1.0, 0.01);
+}
+
+TEST(AcTest, DegradedDeviceLosesGain) {
+  const auto& tech = tech_65nm();
+  auto gain_for = [&](const MosDegradation& d) {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    auto& vin = c.add_vsource("VIN", in, kGround, 0.55);
+    vin.set_ac_magnitude(1.0);
+    c.add_resistor("RL", vdd, out, 5e3);
+    auto& m = c.add_mosfet("M1", out, in, kGround, kGround,
+                           make_mos_params(tech, 2.0, 0.2, false));
+    m.set_degradation(d);
+    const auto res = ac_analysis(c, {1e3});
+    return std::abs(res.v(0, out));
+  };
+  MosDegradation aged;
+  aged.dvt = 0.05;
+  aged.beta_factor = 0.9;
+  EXPECT_LT(gain_for(aged), gain_for(MosDegradation{}));
+}
+
+TEST(AcTest, InvalidFrequencyRejected) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  c.add_vsource("V1", in, kGround, 1.0);
+  c.add_resistor("R1", in, kGround, 1e3);
+  EXPECT_THROW(ac_analysis(c, {0.0}), Error);
+  EXPECT_THROW(ac_analysis(c, {}), Error);
+}
+
+}  // namespace
+}  // namespace relsim::spice

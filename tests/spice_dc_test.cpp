@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+#include "util/mathx.h"
+
+namespace relsim::spice {
+namespace {
+
+// Builds a CMOS inverter in the given circuit; returns {in, out} nodes.
+std::pair<NodeId, NodeId> add_inverter(Circuit& c, const TechNode& tech,
+                                       const std::string& prefix, NodeId vdd,
+                                       NodeId in, NodeId out) {
+  c.add_mosfet(prefix + "_n", out, in, kGround, kGround,
+               make_mos_params(tech, 1.0, 0.1, false));
+  c.add_mosfet(prefix + "_p", out, in, vdd, vdd,
+               make_mos_params(tech, 2.0, 0.1, true));
+  return {in, out};
+}
+
+TEST(DcMosTest, DiodeConnectedNmosBias) {
+  // VDD -- R -- drain=gate node: solves vgs such that I_R = I_D.
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId d = c.node("d");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_resistor("R1", vdd, d, 10e3);
+  auto& m = c.add_mosfet("M1", d, d, kGround, kGround,
+                         make_mos_params(tech, 2.0, 0.2, false));
+  const DcResult r = dc_operating_point(c);
+  const double v = r.v(d);
+  EXPECT_GT(v, tech.vt0_nmos);  // must be above threshold to conduct
+  EXPECT_LT(v, tech.vdd);
+  // KCL at the node.
+  const double ir = (tech.vdd - v) / 10e3;
+  const double id = m.operating_point(r.x()).id;
+  EXPECT_NEAR(ir, id, 1e-7 + 1e-4 * ir);
+}
+
+TEST(DcMosTest, InverterVtcEndsAtRails) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  auto& vin = c.add_vsource("VIN", in, kGround, 0.0);
+  add_inverter(c, tech, "inv", vdd, in, out);
+
+  const auto sweep = dc_sweep(c, vin, linspace(0.0, tech.vdd, 25));
+  EXPECT_NEAR(sweep.front().v(out), tech.vdd, 0.02);
+  EXPECT_NEAR(sweep.back().v(out), 0.0, 0.02);
+  // Monotonically non-increasing VTC.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].v(out), sweep[i - 1].v(out) + 1e-6);
+  }
+}
+
+TEST(DcMosTest, InverterSwitchingThresholdNearMidrail) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  auto& vin = c.add_vsource("VIN", in, kGround, 0.0);
+  add_inverter(c, tech, "inv", vdd, in, out);
+  // Find the crossing v(out) == v(in) by bisection on the DC sweep.
+  double lo = 0.0, hi = tech.vdd;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    vin.set_dc(mid);
+    const DcResult r = dc_operating_point(c);
+    if (r.v(out) > mid) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double vm = 0.5 * (lo + hi);
+  EXPECT_GT(vm, 0.35 * tech.vdd);
+  EXPECT_LT(vm, 0.65 * tech.vdd);
+}
+
+TEST(DcMosTest, CurrentMirrorCopiesCurrent) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId ref = c.node("ref");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_isource("IREF", vdd, ref, 100e-6);
+  const auto p = make_mos_params(tech, 4.0, 0.5, false);  // long L: low lambda
+  c.add_mosfet("M1", ref, ref, kGround, kGround, p);
+  auto& m2 = c.add_mosfet("M2", out, ref, kGround, kGround, p);
+  // Hold the output at the same drain voltage as the reference for an
+  // (almost) exact copy.
+  c.add_resistor("RL", vdd, out, 5e3);
+  const DcResult r = dc_operating_point(c);
+  const double iout = m2.operating_point(r.x()).id;
+  EXPECT_NEAR(iout / 100e-6, 1.0, 0.1);  // CLM-limited accuracy
+}
+
+TEST(DcMosTest, MirrorRatioScalesWithWidth) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId ref = c.node("ref");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_isource("IREF", vdd, ref, 50e-6);
+  c.add_mosfet("M1", ref, ref, kGround, kGround,
+               make_mos_params(tech, 2.0, 0.5, false));
+  auto& m2 = c.add_mosfet("M2", out, ref, kGround, kGround,
+                          make_mos_params(tech, 6.0, 0.5, false));
+  c.add_resistor("RL", vdd, out, 2e3);
+  const DcResult r = dc_operating_point(c);
+  EXPECT_NEAR(m2.operating_point(r.x()).id / 150e-6, 1.0, 0.12);
+}
+
+TEST(DcMosTest, NandGateTruthTable) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const NodeId out = c.node("out");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  auto& va = c.add_vsource("VA", a, kGround, 0.0);
+  auto& vb = c.add_vsource("VB", b, kGround, 0.0);
+  const auto n = make_mos_params(tech, 2.0, 0.1, false);
+  const auto p = make_mos_params(tech, 2.0, 0.1, true);
+  c.add_mosfet("MN1", out, a, mid, kGround, n);
+  c.add_mosfet("MN2", mid, b, kGround, kGround, n);
+  c.add_mosfet("MP1", out, a, vdd, vdd, p);
+  c.add_mosfet("MP2", out, b, vdd, vdd, p);
+
+  const double hi = tech.vdd;
+  struct Case {
+    double a, b, out;
+  };
+  for (const auto& tc : {Case{0, 0, hi}, Case{0, hi, hi}, Case{hi, 0, hi},
+                         Case{hi, hi, 0}}) {
+    va.set_dc(tc.a);
+    vb.set_dc(tc.b);
+    const DcResult r = dc_operating_point(c);
+    EXPECT_NEAR(r.v(out), tc.out, 0.05)
+        << "a=" << tc.a << " b=" << tc.b;
+  }
+}
+
+TEST(DcMosTest, FiveTransistorOtaHasGain) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId inp = c.node("inp");
+  const NodeId inn = c.node("inn");
+  const NodeId out = c.node("out");
+  const NodeId x = c.node("x");     // mirror node
+  const NodeId tail = c.node("tail");
+  const NodeId bias = c.node("bias");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  auto& vp = c.add_vsource("VINP", inp, kGround, 0.6);
+  c.add_vsource("VINN", inn, kGround, 0.6);
+  // Tail current source: diode-biased NMOS mirror.
+  c.add_isource("IB", vdd, bias, 20e-6);
+  const auto nb = make_mos_params(tech, 2.0, 0.5, false);
+  c.add_mosfet("MB1", bias, bias, kGround, kGround, nb);
+  c.add_mosfet("MB2", tail, bias, kGround, kGround, nb);
+  // Input pair.
+  const auto ni = make_mos_params(tech, 8.0, 0.2, false);
+  c.add_mosfet("M1", x, inp, tail, kGround, ni);
+  c.add_mosfet("M2", out, inn, tail, kGround, ni);
+  // PMOS mirror load.
+  const auto pl = make_mos_params(tech, 4.0, 0.5, true);
+  c.add_mosfet("M3", x, x, vdd, vdd, pl);
+  c.add_mosfet("M4", out, x, vdd, vdd, pl);
+
+  // Differential DC gain from a small input step.
+  const DcResult r0 = dc_operating_point(c);
+  vp.set_dc(0.601);
+  const DcResult r1 = dc_operating_point(c, {}, r0.x());
+  // inp drives the diode-connected side, so out moves WITH inp:
+  // M1 current up -> x down -> M4 sources more -> out up. Non-inverting.
+  const double gain = (r1.v(out) - r0.v(out)) / 0.001;
+  EXPECT_GT(gain, 5.0);
+}
+
+}  // namespace
+}  // namespace relsim::spice

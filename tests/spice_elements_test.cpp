@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/probes.h"
+#include "util/error.h"
+
+namespace relsim::spice {
+namespace {
+
+TEST(WaveformTest, SineValueAndDc) {
+  const SineWaveform s(0.5, 0.2, 1e6);
+  EXPECT_DOUBLE_EQ(s.dc_value(), 0.5);
+  EXPECT_NEAR(s.value(0.25e-6), 0.7, 1e-12);   // quarter period: +amplitude
+  EXPECT_NEAR(s.value(0.75e-6), 0.3, 1e-12);
+}
+
+TEST(WaveformTest, SineDelayHoldsOffset) {
+  const SineWaveform s(1.0, 0.5, 1e6, 2e-6);
+  EXPECT_DOUBLE_EQ(s.value(1e-6), 1.0);
+  EXPECT_NEAR(s.value(2e-6 + 0.25e-6), 1.5, 1e-12);
+}
+
+TEST(WaveformTest, PulseShape) {
+  const PulseWaveform p(0.0, 1.0, /*delay*/ 1e-9, /*rise*/ 1e-10,
+                        /*fall*/ 1e-10, /*width*/ 5e-10, /*period*/ 2e-9);
+  EXPECT_DOUBLE_EQ(p.value(0.0), 0.0);
+  EXPECT_NEAR(p.value(1e-9 + 5e-11), 0.5, 1e-9);        // mid rise
+  EXPECT_DOUBLE_EQ(p.value(1e-9 + 3e-10), 1.0);         // plateau
+  EXPECT_DOUBLE_EQ(p.value(1e-9 + 1e-9), 0.0);          // after fall
+  EXPECT_DOUBLE_EQ(p.value(1e-9 + 2e-9 + 3e-10), 1.0);  // next period
+}
+
+TEST(WaveformTest, PwlInterpolatesAndClamps) {
+  const PwlWaveform w({0.0, 1.0, 2.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(9.0), 0.0);
+}
+
+TEST(DcTest, VoltageDivider) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", in, kGround, 10.0);
+  c.add_resistor("R1", in, mid, 1000.0);
+  c.add_resistor("R2", mid, kGround, 3000.0);
+  const DcResult r = dc_operating_point(c);
+  EXPECT_NEAR(r.v(mid), 7.5, 1e-6);
+  EXPECT_NEAR(r.v(in), 10.0, 1e-6);
+}
+
+TEST(DcTest, VsourceBranchCurrentSign) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  c.add_vsource("V1", in, kGround, 5.0);
+  c.add_resistor("R1", in, kGround, 1000.0);
+  const DcResult r = dc_operating_point(c);
+  // 5 mA flows out of the + terminal into the resistor, so the branch
+  // current (+ terminal -> through source) is -5 mA.
+  const auto& v1 = c.device_as<VoltageSource>("V1");
+  EXPECT_NEAR(v1.current(r.x()), -5e-3, 1e-9);
+}
+
+TEST(DcTest, CurrentSourceIntoResistor) {
+  Circuit c;
+  const NodeId out = c.node("out");
+  c.add_isource("I1", kGround, out, 2e-3);
+  c.add_resistor("R1", out, kGround, 500.0);
+  const DcResult r = dc_operating_point(c);
+  EXPECT_NEAR(r.v(out), 1.0, 1e-9);
+}
+
+TEST(DcTest, VcvsGain) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, kGround, 0.1);
+  c.add_vcvs("E1", out, kGround, in, kGround, -25.0);
+  c.add_resistor("RL", out, kGround, 1e4);
+  const DcResult r = dc_operating_point(c);
+  EXPECT_NEAR(r.v(out), -2.5, 1e-9);
+}
+
+TEST(DcTest, DiodeForwardDrop) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", in, kGround, 5.0);
+  c.add_resistor("R1", in, a, 1000.0);
+  c.add_diode("D1", a, kGround);
+  const DcResult r = dc_operating_point(c);
+  // Forward drop of a 1e-14 A diode at ~4.4 mA is ~0.69 V.
+  EXPECT_GT(r.v(a), 0.6);
+  EXPECT_LT(r.v(a), 0.75);
+  // KCL: resistor current equals diode current.
+  const auto& d = c.device_as<Diode>("D1");
+  EXPECT_NEAR(d.current_at(r.v(a)), (5.0 - r.v(a)) / 1000.0, 1e-9);
+}
+
+TEST(DcTest, DiodeReverseBlocksCurrent) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", in, kGround, -5.0);
+  c.add_resistor("R1", in, a, 1000.0);
+  c.add_diode("D1", a, kGround);
+  const DcResult r = dc_operating_point(c);
+  EXPECT_NEAR(r.v(a), -5.0, 1e-3);  // almost no drop across R
+}
+
+TEST(DcSweepTest, DividerScalesLinearly) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  auto& v1 = c.add_vsource("V1", in, kGround, 0.0);
+  c.add_resistor("R1", in, mid, 1000.0);
+  c.add_resistor("R2", mid, kGround, 1000.0);
+  const auto results = dc_sweep(c, v1, {0.0, 1.0, 2.0, 3.0});
+  ASSERT_EQ(results.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(results[i].v(mid), 0.5 * i, 1e-9);
+}
+
+TEST(TransientTest, RcChargingMatchesAnalytic) {
+  // 1k / 1nF driven by a 1V step (via PWL with a fast ramp).
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, kGround,
+                std::make_unique<PwlWaveform>(std::vector<double>{0.0, 1e-9},
+                                              std::vector<double>{0.0, 1.0}));
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+
+  TransientOptions opt;
+  opt.dt = 2e-9;
+  opt.t_stop = 5e-6;
+  opt.integrator = Integrator::kTrapezoidal;
+  const auto res = transient_analysis(c, opt, {out});
+  const auto& t = res.time();
+  const auto& v = res.node(out);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] < 2e-9) continue;
+    const double expected = 1.0 - std::exp(-(t[i] - 1e-9) / 1e-6);
+    EXPECT_NEAR(v[i], expected, 5e-3) << "t=" << t[i];
+  }
+  // Fully settled at the end.
+  EXPECT_NEAR(v.back(), 1.0, 1e-2);
+}
+
+TEST(TransientTest, BackwardEulerAlsoConverges) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, kGround, 1.0);
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+  TransientOptions opt;
+  opt.dt = 1e-8;
+  opt.t_stop = 1e-5;
+  opt.integrator = Integrator::kBackwardEuler;
+  opt.use_initial_conditions = true;  // cap starts at 0, steps toward 1V
+  const auto res = transient_analysis(c, opt, {out});
+  EXPECT_NEAR(res.node(out).back(), 1.0, 1e-2);
+}
+
+TEST(TransientTest, SineThroughRcAttenuates) {
+  // 1 MHz sine through RC with pole at ~159 kHz: gain ~ 1/sqrt(1+(f/fc)^2).
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, kGround,
+                std::make_unique<SineWaveform>(0.0, 1.0, 1e6));
+  c.add_resistor("R1", in, out, 1000.0);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+  TransientOptions opt;
+  opt.dt = 2e-9;
+  opt.t_stop = 1e-5;
+  const auto res = transient_analysis(c, opt, {out});
+  const double amp =
+      0.5 * peak_to_peak(res.time(), res.node(out), 5e-6, 1e-5);
+  const double fc = 1.0 / (2 * std::numbers::pi * 1000.0 * 1e-9);
+  const double expected = 1.0 / std::sqrt(1.0 + std::pow(1e6 / fc, 2));
+  EXPECT_NEAR(amp, expected, 0.01);
+}
+
+TEST(WireStressTest, RmsOfSineCurrent) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  c.add_vsource("V1", in, kGround,
+                std::make_unique<SineWaveform>(0.0, 1.0, 1e6));
+  auto& r = c.add_resistor("R1", in, kGround, 100.0);
+  r.set_wire_geometry({1.0, 50.0, 0.5});
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 5e-6;  // 5 full periods
+  transient_analysis(c, opt, {});
+  EXPECT_NEAR(r.stress().rms_current(), 1e-2 / std::sqrt(2.0), 2e-4);
+  EXPECT_NEAR(r.stress().mean_current(), 0.0, 1e-4);
+  EXPECT_NEAR(r.stress().peak_abs_current(), 1e-2, 1e-4);
+}
+
+TEST(ProbesTest, FrequencyEstimator) {
+  std::vector<double> t, v;
+  const double f = 3e6;
+  for (int i = 0; i <= 3000; ++i) {
+    t.push_back(i * 1e-9);
+    v.push_back(std::sin(2 * std::numbers::pi * f * t.back()));
+  }
+  EXPECT_NEAR(estimate_frequency(t, v, 0.0, 3e-6), f, 1e4);
+}
+
+TEST(CircuitTest, DuplicateDeviceNameThrows) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("R1", a, kGround, 1.0);
+  EXPECT_THROW(c.add_resistor("R1", a, kGround, 2.0), Error);
+}
+
+TEST(CircuitTest, NodeNamesRoundTrip) {
+  Circuit c;
+  const NodeId a = c.node("alpha");
+  EXPECT_EQ(c.node("alpha"), a);
+  EXPECT_EQ(c.find_node("alpha"), a);
+  EXPECT_EQ(c.node_name(a), "alpha");
+  EXPECT_EQ(c.node("gnd"), kGround);
+  EXPECT_THROW(c.find_node("nope"), Error);
+}
+
+TEST(CircuitTest, DeviceTypedLookup) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("R1", a, kGround, 1.0);
+  EXPECT_NO_THROW(c.device_as<Resistor>("R1"));
+  EXPECT_THROW(c.device_as<Capacitor>("R1"), Error);
+}
+
+}  // namespace
+}  // namespace relsim::spice

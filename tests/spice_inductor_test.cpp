@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "spice/ac_analysis.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/netlist_parser.h"
+#include "spice/probes.h"
+#include "util/error.h"
+#include "util/mathx.h"
+
+namespace relsim::spice {
+namespace {
+
+TEST(InductorTest, DcShort) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", in, kGround, 2.0);
+  c.add_inductor("L1", in, mid, 1e-6);
+  c.add_resistor("R1", mid, kGround, 1e3);
+  const DcResult r = dc_operating_point(c);
+  EXPECT_NEAR(r.v(mid), 2.0, 1e-6);  // inductor is a DC short
+  const auto& l = c.device_as<Inductor>("L1");
+  EXPECT_NEAR(l.current(r.x()), 2e-3, 1e-8);
+}
+
+TEST(InductorTest, RlRiseTimeMatchesAnalytic) {
+  // Series R-L driven by a step: i(t) = (V/R)(1 - exp(-t R/L)).
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", in, kGround,
+                std::make_unique<PwlWaveform>(std::vector<double>{0.0, 1e-9},
+                                              std::vector<double>{0.0, 1.0}));
+  c.add_resistor("R1", in, mid, 100.0);
+  c.add_inductor("L1", mid, kGround, 1e-6);  // tau = L/R = 10ns
+  TransientOptions opt;
+  opt.dt = 2e-10;
+  opt.t_stop = 1e-7;
+  opt.integrator = Integrator::kTrapezoidal;
+  const auto res = transient_analysis(c, opt, {mid});
+  // v(mid) = V * exp(-t/tau) after the step.
+  const auto& t = res.time();
+  const auto& v = res.node(mid);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] < 2e-9) continue;
+    // The 1ns input ramp acts like a step at its midpoint (0.5ns).
+    const double expected = std::exp(-(t[i] - 0.5e-9) / 1e-8);
+    EXPECT_NEAR(v[i], expected, 0.02) << "t=" << t[i];
+  }
+}
+
+TEST(InductorTest, BackwardEulerAlsoWorks) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", in, kGround, 1.0);
+  c.add_resistor("R1", in, mid, 100.0);
+  c.add_inductor("L1", mid, kGround, 1e-6);
+  TransientOptions opt;
+  opt.dt = 2e-10;
+  opt.t_stop = 1e-7;
+  opt.integrator = Integrator::kBackwardEuler;
+  const auto res = transient_analysis(c, opt, {mid});
+  EXPECT_NEAR(res.node(mid).back(), 0.0, 0.01);  // settled: DC short
+}
+
+TEST(InductorTest, AcImpedanceRisesWithFrequency) {
+  // L against R divider: |v(mid)| = |jwL| / |R + jwL|.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  auto& src = c.add_vsource("V1", in, kGround, 0.0);
+  src.set_ac_magnitude(1.0);
+  c.add_resistor("R1", in, mid, 1e3);
+  c.add_inductor("L1", mid, kGround, 1e-3);
+  const double fz = 1e3 / (2 * std::numbers::pi * 1e-3);  // |Z_L| = R
+  const auto res = ac_analysis(c, {fz / 100.0, fz, 100.0 * fz});
+  EXPECT_NEAR(std::abs(res.v(0, mid)), 0.01, 2e-3);
+  EXPECT_NEAR(std::abs(res.v(1, mid)), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(std::abs(res.v(2, mid)), 1.0, 1e-3);
+}
+
+TEST(InductorTest, LcResonancePeaksAtF0) {
+  // Series RLC driven through R: the cap voltage peaks near f0.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  const NodeId out = c.node("out");
+  auto& src = c.add_vsource("V1", in, kGround, 0.0);
+  src.set_ac_magnitude(1.0);
+  c.add_resistor("R1", in, mid, 5.0);
+  c.add_inductor("L1", mid, out, 1e-6);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+  const double f0 = 1.0 / (2 * std::numbers::pi * std::sqrt(1e-6 * 1e-9));
+  const auto res = ac_analysis(c, {f0 / 10.0, f0, 10.0 * f0});
+  const double at_res = std::abs(res.v(1, out));
+  // The cap voltage at series resonance peaks at Q = sqrt(L/C)/R = 6.3;
+  // well below resonance it follows the input (~1), above it rolls off.
+  EXPECT_GT(at_res, 2.0 * std::abs(res.v(0, out)));
+  EXPECT_GT(at_res, 10.0 * std::abs(res.v(2, out)));
+  EXPECT_NEAR(at_res, std::sqrt(1e-6 / 1e-9) / 5.0, 0.4);
+}
+
+TEST(InductorTest, NetlistCard) {
+  const auto parsed = parse_netlist(R"(rl filter
+V1 in 0 1
+L1 in mid 10u
+R1 mid 0 1k
+)");
+  const auto r = dc_operating_point(*parsed.circuit);
+  EXPECT_NEAR(r.v(parsed.circuit->find_node("mid")), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(
+      parsed.circuit->device_as<Inductor>("L1").inductance(), 1e-5);
+}
+
+TEST(InductorTest, InvalidValuesRejected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_THROW(c.add_inductor("L1", a, kGround, 0.0), Error);
+  EXPECT_THROW(c.add_inductor("L2", a, a, 1e-6), Error);
+}
+
+}  // namespace
+}  // namespace relsim::spice

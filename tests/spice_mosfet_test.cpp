@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/mosfet.h"
+#include "tech/tech.h"
+#include "util/error.h"
+
+namespace relsim::spice {
+namespace {
+
+MosParams nmos_params() {
+  MosParams p;
+  p.is_pmos = false;
+  p.w_um = 1.0;
+  p.l_um = 0.1;
+  p.vt0 = 0.4;
+  p.kp = 400e-6;
+  p.lambda = 0.1;
+  p.gamma = 0.0;  // body effect off unless a test enables it
+  p.phi = 0.85;
+  return p;
+}
+
+MosParams pmos_params() {
+  MosParams p = nmos_params();
+  p.is_pmos = true;
+  p.vt0 = -0.4;
+  p.kp = 150e-6;
+  return p;
+}
+
+TEST(MosfetModelTest, CutoffCurrentIsTiny) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  const auto op = m.evaluate(/*vd*/ 1.0, /*vg*/ 0.0, /*vs*/ 0.0, /*vb*/ 0.0);
+  EXPECT_GT(op.id, 0.0);  // smoothed subthreshold leaks a little
+  EXPECT_LT(op.id, 1e-7);
+  EXPECT_FALSE(op.reversed);
+}
+
+TEST(MosfetModelTest, SaturationMatchesSquareLaw) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  const double vgs = 1.0, vds = 1.2;
+  const auto op = m.evaluate(vds, vgs, 0.0, 0.0);
+  ASSERT_TRUE(op.saturated);
+  const double beta = 400e-6 * 10.0;
+  const double vov = vgs - 0.4;  // softplus is within 1e-5 of linear here
+  const double expected = 0.5 * beta * vov * vov * (1.0 + 0.1 * vds);
+  EXPECT_NEAR(op.id / expected, 1.0, 1e-3);
+}
+
+TEST(MosfetModelTest, TriodeMatchesSquareLaw) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  const double vgs = 1.0, vds = 0.2;
+  const auto op = m.evaluate(vds, vgs, 0.0, 0.0);
+  ASSERT_FALSE(op.saturated);
+  const double beta = 400e-6 * 10.0;
+  const double vov = vgs - 0.4;
+  const double expected =
+      beta * (vov * vds - 0.5 * vds * vds) * (1.0 + 0.1 * vds);
+  EXPECT_NEAR(op.id / expected, 1.0, 1e-3);
+}
+
+TEST(MosfetModelTest, CurrentIsOddInVds) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  // Physical drain/source symmetry: I(vd, vg, vs) = -I(vs, vg, vd) with the
+  // gate and bulk held fixed.
+  const auto fwd = m.evaluate(0.3, 1.0, 0.0, 0.0);
+  const auto rev = m.evaluate(0.0, 1.0, 0.3, 0.0);
+  EXPECT_TRUE(rev.reversed);
+  EXPECT_NEAR(fwd.id, -rev.id, 1e-12);
+}
+
+TEST(MosfetModelTest, PmosMirrorsNmos) {
+  Mosfet n("MN", 1, 2, 3, 4, nmos_params());
+  MosParams pp = pmos_params();
+  pp.kp = 400e-6;  // same strength for exact mirroring
+  Mosfet p("MP", 1, 2, 3, 4, pp);
+  const auto opn = n.evaluate(0.8, 1.0, 0.0, 0.0);
+  const auto opp = p.evaluate(-0.8, -1.0, 0.0, 0.0);
+  EXPECT_NEAR(opn.id, -opp.id, 1e-12);
+}
+
+TEST(MosfetModelTest, BodyEffectRaisesThreshold) {
+  MosParams p = nmos_params();
+  p.gamma = 0.4;
+  Mosfet m("M1", 1, 2, 3, 4, p);
+  // Reverse body bias (vb < vs) must reduce the current.
+  const auto base = m.evaluate(1.0, 0.8, 0.0, 0.0);
+  const auto rbb = m.evaluate(1.0, 0.8, 0.0, -0.5);
+  EXPECT_LT(rbb.id, base.id);
+  EXPECT_GT(rbb.vt_eff, base.vt_eff);
+}
+
+TEST(MosfetModelTest, GmbPositiveWithBodyEffect) {
+  MosParams p = nmos_params();
+  p.gamma = 0.4;
+  Mosfet m("M1", 1, 2, 3, 4, p);
+  const auto op = m.evaluate(1.0, 0.8, 0.0, -0.3);
+  EXPECT_GT(op.gmb, 0.0);
+  EXPECT_LT(op.gmb, op.gm);
+}
+
+// Derivative verification across a grid of operating points, both types.
+struct OpCase {
+  bool pmos;
+  double vd, vg, vs, vb;
+};
+class MosDerivatives : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(MosDerivatives, MatchFiniteDifferences) {
+  const auto cse = GetParam();
+  MosParams p = cse.pmos ? pmos_params() : nmos_params();
+  p.gamma = 0.35;
+  Mosfet m("M1", 1, 2, 3, 4, p);
+  const double h = 1e-6;
+  const auto op = m.evaluate(cse.vd, cse.vg, cse.vs, cse.vb);
+  const double fd_gm = (m.evaluate(cse.vd, cse.vg + h, cse.vs, cse.vb).id -
+                        m.evaluate(cse.vd, cse.vg - h, cse.vs, cse.vb).id) /
+                       (2 * h);
+  const double fd_gds = (m.evaluate(cse.vd + h, cse.vg, cse.vs, cse.vb).id -
+                         m.evaluate(cse.vd - h, cse.vg, cse.vs, cse.vb).id) /
+                        (2 * h);
+  const double fd_gmb = (m.evaluate(cse.vd, cse.vg, cse.vs, cse.vb + h).id -
+                         m.evaluate(cse.vd, cse.vg, cse.vs, cse.vb - h).id) /
+                        (2 * h);
+  const double scale = std::max(1e-6, std::abs(op.gm));
+  EXPECT_NEAR(op.gm, fd_gm, 1e-4 * scale + 1e-9);
+  EXPECT_NEAR(op.gds, fd_gds, 1e-4 * std::max(1e-6, std::abs(op.gds)) + 1e-9);
+  EXPECT_NEAR(op.gmb, fd_gmb, 1e-3 * std::max(1e-6, std::abs(op.gmb)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MosDerivatives,
+    ::testing::Values(OpCase{false, 1.0, 1.0, 0.0, 0.0},    // nmos sat
+                      OpCase{false, 0.1, 1.0, 0.0, 0.0},    // nmos triode
+                      OpCase{false, 1.0, 0.2, 0.0, 0.0},    // nmos subthreshold
+                      OpCase{false, -0.4, 0.6, 0.0, 0.0},   // nmos reversed
+                      OpCase{false, 1.0, 0.9, 0.3, -0.2},   // nmos body bias
+                      OpCase{true, -1.0, -1.0, 0.0, 0.0},   // pmos sat
+                      OpCase{true, -0.1, -1.0, 0.0, 0.0},   // pmos triode
+                      OpCase{true, -1.0, -0.2, 0.0, 0.0},   // pmos subthreshold
+                      OpCase{true, 0.2, -0.8, 0.0, 0.2}));  // pmos reversed
+
+TEST(MosfetDegradationTest, VtShiftReducesCurrent) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  const double fresh = m.evaluate(1.0, 0.8, 0.0, 0.0).id;
+  MosDegradation d;
+  d.dvt = 0.05;
+  m.set_degradation(d);
+  const double aged = m.evaluate(1.0, 0.8, 0.0, 0.0).id;
+  EXPECT_LT(aged, fresh);
+  // Square law: (0.35/0.4)^2 ~ 0.77 of fresh current.
+  EXPECT_NEAR(aged / fresh, std::pow(0.35 / 0.4, 2), 0.02);
+}
+
+TEST(MosfetDegradationTest, PmosVtShiftReducesMagnitude) {
+  Mosfet m("M1", 1, 2, 3, 4, pmos_params());
+  const double fresh = m.evaluate(-1.0, -0.8, 0.0, 0.0).id;
+  MosDegradation d;
+  d.dvt = 0.05;  // NBTI makes VT more negative
+  m.set_degradation(d);
+  const double aged = m.evaluate(-1.0, -0.8, 0.0, 0.0).id;
+  EXPECT_GT(aged, fresh);  // both negative; aged is smaller in magnitude
+  EXPECT_LT(std::abs(aged), std::abs(fresh));
+  EXPECT_NEAR(m.vt_effective_signed(), -0.45, 1e-12);
+}
+
+TEST(MosfetDegradationTest, BetaFactorScalesCurrent) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  const double fresh = m.evaluate(1.0, 1.0, 0.0, 0.0).id;
+  MosDegradation d;
+  d.beta_factor = 0.9;
+  m.set_degradation(d);
+  EXPECT_NEAR(m.evaluate(1.0, 1.0, 0.0, 0.0).id / fresh, 0.9, 1e-6);
+}
+
+TEST(MosfetDegradationTest, LambdaFactorDegradesOutputResistance) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  const double gds_fresh = m.evaluate(1.0, 1.0, 0.0, 0.0).gds;
+  MosDegradation d;
+  d.lambda_factor = 2.0;
+  m.set_degradation(d);
+  const double gds_aged = m.evaluate(1.0, 1.0, 0.0, 0.0).gds;
+  EXPECT_GT(gds_aged, 1.5 * gds_fresh);
+}
+
+TEST(MosfetDegradationTest, InvalidValuesRejected) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  MosDegradation d;
+  d.dvt = -0.1;
+  EXPECT_THROW(m.set_degradation(d), Error);
+  d = MosDegradation{};
+  d.beta_factor = 0.0;
+  EXPECT_THROW(m.set_degradation(d), Error);
+}
+
+TEST(MosfetVariationTest, SignedShiftApplies) {
+  Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  m.set_variation({-0.02, 0.05});
+  EXPECT_NEAR(m.vt_effective_signed(), 0.38, 1e-12);
+  const double i = m.evaluate(1.0, 1.0, 0.0, 0.0).id;
+  Mosfet nom("M2", 1, 2, 3, 4, nmos_params());
+  // Lower VT and higher beta -> more current.
+  EXPECT_GT(i, nom.evaluate(1.0, 1.0, 0.0, 0.0).id);
+}
+
+TEST(MosfetTest, MakeFromTech) {
+  const auto p = make_mos_params(tech_90nm(), 2.0, 0.1, false);
+  EXPECT_DOUBLE_EQ(p.vt0, tech_90nm().vt0_nmos);
+  EXPECT_DOUBLE_EQ(p.w_um, 2.0);
+  EXPECT_NEAR(p.lambda, tech_90nm().lambda_per_um / 0.1, 1e-12);
+  const auto pp = make_mos_params(tech_90nm(), 2.0, 0.1, true);
+  EXPECT_LT(pp.vt0, 0.0);
+}
+
+TEST(MosfetTest, TypeParamValidation) {
+  MosParams bad = nmos_params();
+  bad.vt0 = -0.1;
+  EXPECT_THROW(Mosfet("M1", 1, 2, 3, 4, bad), Error);
+  MosParams badp = pmos_params();
+  badp.vt0 = 0.1;
+  EXPECT_THROW(Mosfet("M1", 1, 2, 3, 4, badp), Error);
+}
+
+}  // namespace
+}  // namespace relsim::spice

@@ -1,0 +1,179 @@
+// Failure injection and robustness: malformed circuits must fail loudly
+// with typed exceptions, and hard-but-valid circuits must still converge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spice/ac_analysis.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+#include "util/error.h"
+
+namespace relsim::spice {
+namespace {
+
+TEST(RobustnessTest, FloatingNodeIsHeldByGmin) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId floating = c.node("floating");
+  c.add_vsource("V1", a, kGround, 1.0);
+  c.add_resistor("R1", a, kGround, 1e3);
+  c.add_capacitor("C1", a, floating, 1e-12);  // DC-floating node
+  const DcResult r = dc_operating_point(c);
+  EXPECT_NEAR(r.v(floating), 0.0, 1e-6);
+  EXPECT_NEAR(r.v(a), 1.0, 1e-6);
+}
+
+TEST(RobustnessTest, ConflictingVoltageSourcesFail) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, kGround, 1.0);
+  c.add_vsource("V2", a, kGround, 2.0);  // direct contradiction
+  c.add_resistor("R1", a, kGround, 1e3);
+  EXPECT_THROW(dc_operating_point(c), Error);
+}
+
+TEST(RobustnessTest, CurrentSourceIntoOpenCircuitFails) {
+  // A current source with no DC path cannot satisfy KCL; gmin gives it an
+  // escape at an absurd voltage rather than a crash — verify we at least
+  // get a finite solution or a typed error, never UB.
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_isource("I1", kGround, a, 1e-3);
+  c.add_capacitor("C1", a, b, 1e-12);
+  c.add_resistor("R1", b, kGround, 1e3);
+  try {
+    const DcResult r = dc_operating_point(c);
+    EXPECT_TRUE(std::isfinite(r.v(a)));
+    EXPECT_GT(std::abs(r.v(a)), 1e4);  // 1mA through gmin=1e-12 is huge
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+TEST(RobustnessTest, InvalidDeviceValuesRejectedAtConstruction) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_THROW(c.add_resistor("R1", a, kGround, 0.0), Error);
+  EXPECT_THROW(c.add_resistor("R2", a, kGround, -5.0), Error);
+  EXPECT_THROW(c.add_capacitor("C1", a, kGround, 0.0), Error);
+  EXPECT_THROW(c.add_resistor("R3", a, a, 1e3), Error);  // same terminals
+  EXPECT_THROW(c.add_vsource("V1", a, a, 1.0), Error);
+}
+
+TEST(RobustnessTest, CrossCoupledLatchConvergesViaContinuation) {
+  // A bistable latch has a repelling middle solution; plain Newton from
+  // zero often oscillates, the continuation fallbacks must save it.
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId q = c.node("q");
+  const NodeId qb = c.node("qb");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  auto n = make_mos_params(tech, 1.0, 0.1, false);
+  auto p = make_mos_params(tech, 2.0, 0.1, true);
+  c.add_mosfet("MN1", q, qb, kGround, kGround, n);
+  c.add_mosfet("MP1", q, qb, vdd, vdd, p);
+  c.add_mosfet("MN2", qb, q, kGround, kGround, n);
+  c.add_mosfet("MP2", qb, q, vdd, vdd, p);
+  const DcResult r = dc_operating_point(c);
+  // Any consistent solution is fine; the complementary nodes must satisfy
+  // the inverter equations (sum roughly VDD at the metastable point, or
+  // one rail each).
+  EXPECT_TRUE(std::isfinite(r.v(q)));
+  EXPECT_TRUE(std::isfinite(r.v(qb)));
+  EXPECT_GE(r.v(q), -0.01);
+  EXPECT_LE(r.v(q), tech.vdd + 0.01);
+}
+
+TEST(RobustnessTest, TransientStepHalvingRecoversFromCoarseStep) {
+  // A 1ns-period oscillation stepped at 0.5ns forces halvings but must
+  // still complete.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, kGround,
+                std::make_unique<SineWaveform>(0.0, 1.0, 1e9));
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_diode("D1", out, kGround);  // nonlinear load
+  c.add_capacitor("C1", out, kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 5e-10;
+  opt.t_stop = 1e-8;
+  const auto res = transient_analysis(c, opt, {out});
+  EXPECT_GT(res.step_count(), 10u);
+  for (double v : res.node(out)) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, ExtremeDegradationStillSolves) {
+  // A device aged far beyond its specs (runaway HCI sample) must not break
+  // the solver: huge VT, halved beta, mA-range gate leak.
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId d = c.node("d");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_isource("IREF", vdd, d, 100e-6);
+  auto& m = c.add_mosfet("M1", d, d, kGround, kGround,
+                         make_mos_params(tech, 0.5, 0.1, false));
+  MosDegradation deg;
+  deg.dvt = 1.5;
+  deg.beta_factor = 0.5;
+  deg.lambda_factor = 6.0;
+  deg.g_leak_gd = 2e-3;
+  m.set_degradation(deg);
+  const DcResult r = dc_operating_point(c);
+  EXPECT_TRUE(std::isfinite(r.v(d)));
+  // And the AC linearization at that point holds up too.
+  EXPECT_NO_THROW(ac_analysis(c, {1e6}));
+}
+
+TEST(RobustnessTest, EmptyCircuitAnalysesFailCleanly) {
+  Circuit c;
+  EXPECT_THROW(dc_operating_point(c), Error);
+}
+
+TEST(RobustnessTest, ProbeOfUnknownNodeOrSourceThrows) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, kGround, 1.0);
+  c.add_resistor("R1", a, kGround, 1e3);
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 1e-8;
+  const auto res = transient_analysis(c, opt, {a});
+  EXPECT_THROW(res.node(a + 5), Error);
+  EXPECT_THROW(res.source_current("NOPE"), Error);
+}
+
+TEST(RobustnessTest, TransientOptionValidation) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, kGround, 1.0);
+  c.add_resistor("R1", a, kGround, 1e3);
+  TransientOptions bad;
+  bad.dt = 0.0;
+  EXPECT_THROW(transient_analysis(c, bad, {}), Error);
+  bad.dt = 1e-9;
+  bad.t_stop = -1.0;
+  EXPECT_THROW(transient_analysis(c, bad, {}), Error);
+}
+
+TEST(RobustnessTest, InitialConditionOnUnknownNodeRejected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, kGround, 1.0);
+  c.add_resistor("R1", a, kGround, 1e3);
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 1e-8;
+  opt.use_initial_conditions = true;
+  opt.initial_conditions[a + 9] = 1.0;
+  EXPECT_THROW(transient_analysis(c, opt, {}), Error);
+}
+
+}  // namespace
+}  // namespace relsim::spice

@@ -1,0 +1,124 @@
+// Temperature behaviour of the device models (Circuit::set_temperature):
+// threshold tempco, mobility power law, the classic ZTC crossover, and the
+// "reversed temperature dependence" of scaled digital circuits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/netlist_parser.h"
+#include "spice/probes.h"
+#include "tech/tech.h"
+
+namespace relsim::spice {
+namespace {
+
+MosParams nmos_at(double temp_k) {
+  auto p = make_mos_params(tech_65nm(), 2.0, 0.1, false);
+  p.temp_k = temp_k;
+  return p;
+}
+
+TEST(TemperatureTest, ThresholdDropsWhenHot) {
+  Mosfet cold("Mc", 1, 2, 3, 4, nmos_at(300.0));
+  Mosfet hot("Mh", 1, 2, 3, 4, nmos_at(400.0));
+  const auto opc = cold.evaluate(1.0, 0.6, 0.0, 0.0);
+  const auto oph = hot.evaluate(1.0, 0.6, 0.0, 0.0);
+  EXPECT_NEAR(opc.vt_eff - oph.vt_eff, 0.1, 1e-12);  // 1 mV/K over 100 K
+}
+
+TEST(TemperatureTest, ZtcCrossover) {
+  // Low overdrive: the VT drop wins -> more current when hot.
+  // High overdrive: mobility loss wins -> less current when hot.
+  Mosfet cold("Mc", 1, 2, 3, 4, nmos_at(300.0));
+  Mosfet hot("Mh", 1, 2, 3, 4, nmos_at(400.0));
+  const double low_vgs = 0.45;
+  const double high_vgs = 1.1;
+  EXPECT_GT(hot.evaluate(1.0, low_vgs, 0.0, 0.0).id,
+            cold.evaluate(1.0, low_vgs, 0.0, 0.0).id);
+  EXPECT_LT(hot.evaluate(1.0, high_vgs, 0.0, 0.0).id,
+            cold.evaluate(1.0, high_vgs, 0.0, 0.0).id);
+}
+
+TEST(TemperatureTest, CircuitWideSetTemperature) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId d = c.node("d");
+  const NodeId a = c.node("a");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_resistor("R1", vdd, d, 5e3);
+  c.add_mosfet("M1", d, d, kGround, kGround,
+               make_mos_params(tech, 2.0, 0.2, false));
+  c.add_resistor("R2", vdd, a, 5e3);
+  c.add_diode("D1", a, kGround);
+  const double vd_cold = dc_operating_point(c).v(d);
+  const double va_cold = dc_operating_point(c).v(a);
+  c.set_temperature(400.0);
+  EXPECT_DOUBLE_EQ(c.device_as<Mosfet>("M1").params().temp_k, 400.0);
+  const double vd_hot = dc_operating_point(c).v(d);
+  const double va_hot = dc_operating_point(c).v(a);
+  // Diode forward drop decreases when hot... thermal voltage rises but IS
+  // is fixed in this model, so V = n*VT*ln(I/IS) RISES; assert it moved.
+  EXPECT_NE(vd_hot, vd_cold);
+  EXPECT_GT(va_hot, va_cold);
+}
+
+TEST(TemperatureTest, RingOscillatorSlowsWhenHot) {
+  // Classic digital behaviour at healthy overdrive: mobility dominates.
+  const auto& tech = tech_65nm();
+  auto freq_at = [&](double temp) {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    std::vector<NodeId> n;
+    for (int i = 0; i < 5; ++i) n.push_back(c.node("n" + std::to_string(i)));
+    for (int i = 0; i < 5; ++i) {
+      c.add_mosfet("i" + std::to_string(i) + "n", n[(i + 1) % 5], n[i],
+                   kGround, kGround, make_mos_params(tech, 1.0, 0.1, false));
+      c.add_mosfet("i" + std::to_string(i) + "p", n[(i + 1) % 5], n[i], vdd,
+                   vdd, make_mos_params(tech, 2.0, 0.1, true));
+      c.add_capacitor("c" + std::to_string(i), n[(i + 1) % 5], kGround,
+                      5e-15);
+    }
+    c.set_temperature(temp);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 3e-9;
+    opt.use_initial_conditions = true;
+    opt.initial_conditions[1] = tech.vdd;
+    for (int i = 0; i < 5; ++i) {
+      opt.initial_conditions[i + 2] = (i % 2 == 0) ? 0.0 : tech.vdd;
+    }
+    const auto res = transient_analysis(c, opt, {n[0]});
+    return estimate_frequency(res.time(), res.node(n[0]), 1e-9, 3e-9);
+  };
+  const double f_cold = freq_at(300.0);
+  const double f_hot = freq_at(400.0);
+  ASSERT_GT(f_cold, 0.0);
+  ASSERT_GT(f_hot, 0.0);
+  EXPECT_LT(f_hot, 0.95 * f_cold);
+}
+
+TEST(TemperatureTest, NetlistTempDirective) {
+  const auto parsed = parse_netlist(R"(temp card
+.tech 65nm
+.temp 398
+VDD vdd 0 1.1
+M1 d vdd 0 0 nmos W=1u L=0.1u
+RD vdd d 5k
+)");
+  EXPECT_DOUBLE_EQ(
+      parsed.circuit->device_as<Mosfet>("M1").params().temp_k, 398.0);
+  EXPECT_THROW(parse_netlist("t\n.temp -10\n"), NetlistError);
+}
+
+TEST(TemperatureTest, InvalidTemperatureRejected) {
+  Circuit c;
+  EXPECT_THROW(c.set_temperature(0.0), Error);
+  EXPECT_THROW(c.set_temperature(-5.0), Error);
+}
+
+}  // namespace
+}  // namespace relsim::spice

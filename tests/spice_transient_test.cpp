@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/probes.h"
+#include "tech/tech.h"
+
+namespace relsim::spice {
+namespace {
+
+void add_inverter(Circuit& c, const TechNode& tech, const std::string& prefix,
+                  NodeId vdd, NodeId in, NodeId out, double cap_scale = 1.0) {
+  auto n = make_mos_params(tech, 1.0, 0.1, false);
+  auto p = make_mos_params(tech, 2.0, 0.1, true);
+  n.cap_scale = cap_scale;
+  p.cap_scale = cap_scale;
+  c.add_mosfet(prefix + "_n", out, in, kGround, kGround, n);
+  c.add_mosfet(prefix + "_p", out, in, vdd, vdd, p);
+}
+
+TEST(TransientMosTest, InverterSwitchesWithPulseInput) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_vsource("VIN", in, kGround,
+                std::make_unique<PulseWaveform>(0.0, tech.vdd, 1e-9, 50e-12,
+                                                50e-12, 4e-9, 10e-9));
+  add_inverter(c, tech, "inv", vdd, in, out);
+  c.add_capacitor("CL", out, kGround, 10e-15);
+
+  TransientOptions opt;
+  opt.dt = 20e-12;
+  opt.t_stop = 10e-9;
+  const auto res = transient_analysis(c, opt, {out});
+  const auto& t = res.time();
+  const auto& v = res.node(out);
+  // Before the pulse: out high. During the pulse plateau: out low.
+  EXPECT_NEAR(v[1], tech.vdd, 0.05);
+  double v_mid_pulse = -1.0, v_after = -1.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (std::abs(t[i] - 3e-9) < 30e-12) v_mid_pulse = v[i];
+    if (std::abs(t[i] - 9e-9) < 30e-12) v_after = v[i];
+  }
+  EXPECT_NEAR(v_mid_pulse, 0.0, 0.05);
+  EXPECT_NEAR(v_after, tech.vdd, 0.05);
+}
+
+TEST(TransientMosTest, PropagationDelayGrowsWithLoad) {
+  const auto& tech = tech_90nm();
+  auto delay_for = [&](double cl) {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    c.add_vsource("VIN", in, kGround,
+                  std::make_unique<PulseWaveform>(0.0, tech.vdd, 1e-9, 20e-12,
+                                                  20e-12, 5e-9, 20e-9));
+    add_inverter(c, tech, "inv", vdd, in, out);
+    c.add_capacitor("CL", out, kGround, cl);
+    TransientOptions opt;
+    opt.dt = 5e-12;
+    opt.t_stop = 4e-9;
+    const auto res = transient_analysis(c, opt, {out});
+    // 50% crossing time of the falling output after the input rise at 1ns.
+    const double half = 0.5 * tech.vdd;
+    const auto& t = res.time();
+    const auto& v = res.node(out);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (t[i] > 1e-9 && v[i - 1] >= half && v[i] < half) {
+        return t[i] - (1e-9 + 10e-12);
+      }
+    }
+    return -1.0;
+  };
+  const double d1 = delay_for(5e-15);
+  const double d2 = delay_for(20e-15);
+  ASSERT_GT(d1, 0.0);
+  ASSERT_GT(d2, 0.0);
+  // Internal device capacitances add to CL, so the ratio is below 4x.
+  EXPECT_GT(d2, 1.5 * d1);
+}
+
+TEST(TransientMosTest, RingOscillatorOscillates) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  const int stages = 5;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < stages; ++i) nodes.push_back(c.node("n" + std::to_string(i)));
+  for (int i = 0; i < stages; ++i) {
+    add_inverter(c, tech, "inv" + std::to_string(i), vdd, nodes[i],
+                 nodes[(i + 1) % stages]);
+    c.add_capacitor("cl" + std::to_string(i), nodes[(i + 1) % stages], kGround,
+                    5e-15);
+  }
+  TransientOptions opt;
+  opt.dt = 2e-12;
+  opt.t_stop = 3e-9;
+  opt.use_initial_conditions = true;
+  for (int i = 0; i < stages; ++i) {
+    opt.initial_conditions[nodes[i]] = (i % 2 == 0) ? 0.0 : tech.vdd;
+  }
+  opt.initial_conditions[vdd] = tech.vdd;
+  const auto res = transient_analysis(c, opt, {nodes[0]});
+  const double f =
+      estimate_frequency(res.time(), res.node(nodes[0]), 1e-9, 3e-9);
+  EXPECT_GT(f, 5e8);   // oscillates at a plausible GHz-range frequency
+  EXPECT_LT(f, 5e10);
+  // Rail-to-rail-ish swing.
+  EXPECT_GT(peak_to_peak(res.time(), res.node(nodes[0]), 1e-9, 3e-9),
+            0.8 * tech.vdd);
+}
+
+TEST(TransientMosTest, RingFrequencyDropsWithVtShift) {
+  const auto& tech = tech_90nm();
+  auto freq_for = [&](double dvt) {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    c.add_vsource("VDD", vdd, kGround, tech.vdd);
+    const int stages = 5;
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < stages; ++i)
+      nodes.push_back(c.node("n" + std::to_string(i)));
+    for (int i = 0; i < stages; ++i) {
+      add_inverter(c, tech, "inv" + std::to_string(i), vdd, nodes[i],
+                   nodes[(i + 1) % stages]);
+      c.add_capacitor("cl" + std::to_string(i), nodes[(i + 1) % stages],
+                      kGround, 5e-15);
+    }
+    MosDegradation d;
+    d.dvt = dvt;
+    for (Mosfet* m : c.mosfets()) m->set_degradation(d);
+    TransientOptions opt;
+    opt.dt = 2e-12;
+    opt.t_stop = 3e-9;
+    opt.use_initial_conditions = true;
+    for (int i = 0; i < stages; ++i) {
+      opt.initial_conditions[nodes[i]] = (i % 2 == 0) ? 0.0 : tech.vdd;
+    }
+    opt.initial_conditions[vdd] = tech.vdd;
+    const auto res = transient_analysis(c, opt, {nodes[0]});
+    return estimate_frequency(res.time(), res.node(nodes[0]), 1e-9, 3e-9);
+  };
+  const double f_fresh = freq_for(0.0);
+  const double f_aged = freq_for(0.08);
+  ASSERT_GT(f_fresh, 0.0);
+  ASSERT_GT(f_aged, 0.0);
+  // NBTI/HCI threshold shifts slow digital circuits down (paper Sec. 3).
+  EXPECT_LT(f_aged, 0.92 * f_fresh);
+}
+
+TEST(TransientMosTest, StressRecordingDutyMatchesInput) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  // 30% duty square-ish wave.
+  c.add_vsource("VIN", in, kGround,
+                std::make_unique<PulseWaveform>(0.0, tech.vdd, 0.0, 10e-12,
+                                                10e-12, 3e-9, 10e-9));
+  add_inverter(c, tech, "inv", vdd, in, out);
+  c.add_capacitor("CL", out, kGround, 5e-15);
+  c.enable_stress_recording();
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  opt.t_stop = 50e-9;  // 5 periods
+  transient_analysis(c, opt, {});
+  auto& mn = c.device_as<Mosfet>("inv_n");
+  auto& mp = c.device_as<Mosfet>("inv_p");
+  // NMOS sees |vgs| = vdd for ~30% of the time; PMOS for ~70%.
+  EXPECT_NEAR(mn.stress().duty(), 0.3, 0.05);
+  EXPECT_NEAR(mp.stress().duty(), 0.7, 0.05);
+  EXPECT_NEAR(mn.stress().mean_on_abs_vgs(), tech.vdd, 0.05);
+  EXPECT_GT(mn.stress().max_abs_vds(), 0.9 * tech.vdd);
+}
+
+TEST(TransientMosTest, DcStressPointRecording) {
+  const auto& tech = tech_90nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId d = c.node("d");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_resistor("R1", vdd, d, 10e3);
+  auto& m = c.add_mosfet("M1", d, d, kGround, kGround,
+                         make_mos_params(tech, 2.0, 0.2, false));
+  const DcResult r = dc_operating_point(c);
+  m.record_stress_point(r.x(), 3600.0);
+  EXPECT_DOUBLE_EQ(m.stress().observed_time(), 3600.0);
+  EXPECT_NEAR(m.stress().mean_abs_vgs(), r.v(d), 1e-9);
+  EXPECT_DOUBLE_EQ(m.stress().duty(), 1.0);
+}
+
+}  // namespace
+}  // namespace relsim::spice

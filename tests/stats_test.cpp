@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "stats/histogram.h"
+#include "stats/regression.h"
+#include "stats/summary.h"
+#include "stats/weibull_fit.h"
+#include "util/error.h"
+
+namespace relsim {
+namespace {
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 3 + i * 0.01;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), Error);
+  s.add(1.0);
+  EXPECT_THROW(s.variance(), Error);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(WilsonTest, ContainsPointEstimate) {
+  const auto i = wilson_interval(90, 100);
+  EXPECT_DOUBLE_EQ(i.estimate, 0.9);
+  EXPECT_LT(i.lo, 0.9);
+  EXPECT_GT(i.hi, 0.9);
+  EXPECT_GT(i.lo, 0.8);
+  EXPECT_LT(i.hi, 0.96);
+}
+
+TEST(WilsonTest, DegenerateEndpointsStayInUnitInterval) {
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_GE(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto all = wilson_interval(50, 50);
+  EXPECT_LE(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(FitLineTest, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  const std::vector<double> y{1, 3, 5, 7, 9};
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineRecoversSlope) {
+  Xoshiro256 rng(5);
+  NormalDistribution noise(0.0, 0.1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.05);
+    y.push_back(4.0 - 1.5 * x.back() + noise(rng));
+  }
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, -1.5, 0.05);
+  EXPECT_NEAR(fit.intercept, 4.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(FitPowerLawTest, RecoversExponent) {
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 100.0; v *= 1.5) {
+    x.push_back(v);
+    y.push_back(2.5 * std::pow(v, 0.25));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, 0.25, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 2.5, 1e-9);
+}
+
+TEST(WeibullFitTest, RankRegressionRecoversParameters) {
+  Xoshiro256 rng(11);
+  const WeibullDistribution w(2.0, 5.0);
+  std::vector<double> times;
+  for (int i = 0; i < 2000; ++i) times.push_back(w(rng));
+  const auto est = fit_weibull_rank_regression(times);
+  EXPECT_NEAR(est.shape, 2.0, 0.15);
+  EXPECT_NEAR(est.scale, 5.0, 0.2);
+  EXPECT_GT(est.r_squared, 0.97);
+}
+
+TEST(WeibullFitTest, MleRecoversParameters) {
+  Xoshiro256 rng(13);
+  const WeibullDistribution w(1.4, 3.0);
+  std::vector<double> times;
+  for (int i = 0; i < 3000; ++i) times.push_back(w(rng));
+  const auto est = fit_weibull_mle(times);
+  EXPECT_NEAR(est.shape, 1.4, 0.08);
+  EXPECT_NEAR(est.scale, 3.0, 0.12);
+}
+
+// Property sweep: both estimators recover shape/scale over a grid of true
+// parameters (the TDDB bench depends on this inversion being unbiased).
+class WeibullRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WeibullRecovery, BothEstimatorsRecover) {
+  const auto [shape, scale] = GetParam();
+  Xoshiro256 rng(derive_seed(1234, {static_cast<std::uint64_t>(shape * 100),
+                                    static_cast<std::uint64_t>(scale * 100)}));
+  const WeibullDistribution w(shape, scale);
+  std::vector<double> times;
+  for (int i = 0; i < 4000; ++i) times.push_back(w(rng));
+  const auto rr = fit_weibull_rank_regression(times);
+  const auto mle = fit_weibull_mle(times);
+  EXPECT_NEAR(rr.shape / shape, 1.0, 0.08);
+  EXPECT_NEAR(rr.scale / scale, 1.0, 0.05);
+  EXPECT_NEAR(mle.shape / shape, 1.0, 0.06);
+  EXPECT_NEAR(mle.scale / scale, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeScaleGrid, WeibullRecovery,
+    ::testing::Values(std::pair{0.8, 1.0}, std::pair{1.0, 10.0},
+                      std::pair{1.5, 100.0}, std::pair{2.5, 3.0},
+                      std::pair{4.0, 50.0}));
+
+TEST(WeibullPlotTest, MedianRanksMonotone) {
+  const auto pts = weibull_plot({3.0, 1.0, 2.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_LT(pts[0].median_rank, pts[1].median_rank);
+  EXPECT_LT(pts[1].median_rank, pts[2].median_rank);
+  EXPECT_DOUBLE_EQ(pts[0].time, 1.0);
+  EXPECT_NEAR(pts[0].median_rank, 0.7 / 3.4, 1e-12);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(5.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, DensitySumsToOneWithoutOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  for (double x = 0.05; x < 1.0; x += 0.1) h.add(x);
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.density(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace relsim

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "tech/tech.h"
+#include "util/error.h"
+
+namespace relsim {
+namespace {
+
+TEST(TechTest, TableIsOrderedNewestLast) {
+  const auto& table = technology_table();
+  ASSERT_GE(table.size(), 8u);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(table[i].feature_nm, table[i - 1].feature_nm);
+    EXPECT_LT(table[i].tox_nm, table[i - 1].tox_nm);
+    EXPECT_LE(table[i].vdd, table[i - 1].vdd);
+    EXPECT_LT(table[i].avt_mv_um, table[i - 1].avt_mv_um);
+  }
+}
+
+TEST(TechTest, LookupByName) {
+  EXPECT_DOUBLE_EQ(technology("65nm").feature_nm, 65.0);
+  EXPECT_DOUBLE_EQ(tech_90nm().feature_nm, 90.0);
+  EXPECT_THROW(technology("13nm"), Error);
+}
+
+TEST(TechTest, TuinhoutBenchmarkHoldsForThickOxides) {
+  // Fig. 1: above ~10nm oxides, measured A_VT tracks the 1 mV*um/nm line.
+  for (const auto& node : technology_table()) {
+    if (node.tox_nm >= 10.0) {
+      EXPECT_NEAR(node.avt_mv_um / node.tuinhout_benchmark_mv_um(), 1.0, 0.1)
+          << node.name;
+    }
+  }
+}
+
+TEST(TechTest, BenchmarkBreaksBelowTenNm) {
+  // Fig. 1: below 10nm the measured A_VT sits clearly ABOVE the benchmark
+  // forecast (matching improves more slowly than the oxide scales).
+  for (const auto& node : technology_table()) {
+    if (node.tox_nm < 5.0) {
+      EXPECT_GT(node.avt_mv_um, 1.2 * node.tuinhout_benchmark_mv_um())
+          << node.name;
+    }
+  }
+}
+
+TEST(TechTest, SaneElectricalParameters) {
+  for (const auto& node : technology_table()) {
+    EXPECT_GT(node.vt0_nmos, 0.0) << node.name;
+    EXPECT_LT(node.vt0_pmos, 0.0) << node.name;
+    EXPECT_LT(node.vt0_nmos, node.vdd) << node.name;
+    EXPECT_GT(node.kp_nmos, node.kp_pmos) << node.name;
+    EXPECT_GT(node.em.activation_ev, 0.3) << node.name;
+    EXPECT_GT(node.phi, 0.5) << node.name;
+  }
+}
+
+}  // namespace
+}  // namespace relsim

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/mathx.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace relsim {
+namespace {
+
+TEST(ErrorTest, RequireThrowsWithContext) {
+  try {
+    RELSIM_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RequirePassesSilently) {
+  EXPECT_NO_THROW(RELSIM_REQUIRE(true, "fine"));
+}
+
+TEST(MathxTest, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_TRUE(approx_equal(1e6, 1e6 * (1 + 1e-12)));
+}
+
+TEST(MathxTest, LinspaceEndpointsAndSpacing) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(MathxTest, LinspaceSinglePoint) {
+  const auto v = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(MathxTest, LogspaceIsGeometric) {
+  const auto v = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-7);
+  EXPECT_NEAR(v[3], 1000.0, 1e-9);
+}
+
+TEST(MathxTest, LogspaceRejectsNonPositive) {
+  EXPECT_THROW(logspace(0.0, 1.0, 3), Error);
+  EXPECT_THROW(logspace(-1.0, 1.0, 3), Error);
+}
+
+TEST(MathxTest, SoftplusLimits) {
+  // Far above zero: identity. Far below: ~0 but positive.
+  EXPECT_NEAR(softplus(3.0, 0.05), 3.0, 1e-12);
+  EXPECT_GT(softplus(-3.0, 0.05), 0.0);
+  EXPECT_LT(softplus(-3.0, 0.05), 1e-12);
+  // At zero: s*ln2.
+  EXPECT_NEAR(softplus(0.0, 0.1), 0.1 * std::log(2.0), 1e-15);
+}
+
+TEST(MathxTest, SoftplusDerivMatchesFiniteDifference) {
+  const double s = 0.04;
+  for (double x : {-0.3, -0.05, 0.0, 0.02, 0.4}) {
+    const double h = 1e-7;
+    const double fd = (softplus(x + h, s) - softplus(x - h, s)) / (2 * h);
+    EXPECT_NEAR(softplus_deriv(x, s), fd, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(MathxTest, SoftplusMonotone) {
+  double prev = softplus(-1.0, 0.04);
+  for (double x = -0.99; x <= 1.0; x += 0.01) {
+    const double cur = softplus(x, 0.04);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MathxTest, Interp1InterpolatesAndClamps) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.5), 25.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp1(xs, ys, 5.0), 40.0);
+}
+
+TEST(UnitsTest, ThermalVoltageAt300K) {
+  EXPECT_NEAR(units::thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+TEST(UnitsTest, CoxPerAreaForTwoNmOxide) {
+  // eps0*3.9/2nm ~ 1.73e-2 F/m^2
+  EXPECT_NEAR(units::cox_per_area(2.0), 1.726e-2, 1e-4);
+}
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  TablePrinter t({"a", "b"});
+  t.add_row({std::string("x"), 1.25});
+  t.add_row({std::string("longer"), 2.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({2.5, static_cast<long long>(7)});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n2.5,7\n");
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), Error);
+}
+
+}  // namespace
+}  // namespace relsim

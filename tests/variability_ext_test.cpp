@@ -1,0 +1,157 @@
+// Tests for the variability extensions: line-edge roughness (LER) and the
+// defect-limited yield models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/tech.h"
+#include "util/error.h"
+#include "variability/defect_yield.h"
+#include "variability/ler.h"
+
+namespace relsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LER
+
+TEST(LerTest, EffectiveLengthSigmaScalesWithWidth) {
+  const LerModel m;
+  // sigma_Leff ~ 1/sqrt(W) once W >> correlation length.
+  const double s1 = m.sigma_leff_nm(0.1);
+  const double s2 = m.sigma_leff_nm(0.4);
+  EXPECT_NEAR(s1 / s2, 2.0, 1e-9);
+  // Narrow devices clamp at the full edge roughness of both edges.
+  EXPECT_NEAR(m.sigma_leff_nm(0.001), std::sqrt(2.0) * m.params().rms_nm,
+              1e-9);
+}
+
+TEST(LerTest, RolloffSlopeDecaysWithLength) {
+  const LerModel m;
+  EXPECT_GT(m.dvt_dl_v_per_nm(0.03), 10.0 * m.dvt_dl_v_per_nm(0.2));
+}
+
+TEST(LerTest, SigmaVtExplodesNearMinimumLength) {
+  const LerModel m(LerParams::from_tech(tech_45nm()));
+  const double at_min = m.sigma_vt(0.2, 0.045);
+  const double relaxed = m.sigma_vt(0.2, 0.135);  // 3x minimum L
+  EXPECT_GT(at_min, 5.0 * relaxed);
+  EXPECT_GT(at_min, 1e-3);  // mV-level at minimum geometry
+}
+
+TEST(LerTest, NegligibleForLongChannel) {
+  const LerModel m(LerParams::from_tech(tech_65nm()));
+  EXPECT_LT(m.sigma_vt(1.0, 1.0), 1e-9);
+}
+
+TEST(LerTest, CombinedSigmaIsQuadratureSum) {
+  const LerModel ler(LerParams::from_tech(tech_45nm()));
+  const PelgromModel pelgrom(PelgromParams::from_tech(tech_45nm()));
+  const double w = 0.15, l = 0.045;
+  const double a = ler.sigma_vt(w, l);
+  const double b = pelgrom.sigma_dvt_single(w, l);
+  EXPECT_NEAR(ler.sigma_vt_combined(pelgrom, w, l),
+              std::sqrt(a * a + b * b), 1e-15);
+  // At minimum geometry the LER term is non-negligible (several % of the
+  // random-dopant term, and growing faster with scaling).
+  EXPECT_GT(a, 0.05 * b);
+}
+
+TEST(LerTest, IoffSpreadAmplifiesExponentially) {
+  const LerModel m(LerParams::from_tech(tech_45nm()));
+  // sigma_ln(Ioff) = sigma_VT(mV)/SS * ln10.
+  const double s = m.sigma_ln_ioff(0.15, 0.045);
+  EXPECT_NEAR(s, m.sigma_vt(0.15, 0.045) * 1e3 /
+                     m.params().subthreshold_mv_per_dec * std::numbers::ln10,
+              1e-12);
+  EXPECT_GT(s, 0.05);  // leakage spread is a visible tail
+}
+
+TEST(LerTest, FromTechScalesRolloffWithFeature) {
+  const auto p45 = LerParams::from_tech(tech_45nm());
+  const auto p180 = LerParams::from_tech(technology("0.18um"));
+  EXPECT_LT(p45.rolloff_length_nm, p180.rolloff_length_nm);
+  EXPECT_LT(p45.rms_nm, p180.rms_nm);  // roughness improves only slowly
+  EXPECT_GT(p45.rms_nm, 0.5 * p180.rms_nm);
+}
+
+// ---------------------------------------------------------------------------
+// Defect yield
+
+TEST(DefectYieldTest, PoissonMatchesClosedForm) {
+  DefectYieldParams p;
+  p.defect_density_per_cm2 = 0.5;
+  const DefectYieldModel m(p);
+  EXPECT_NEAR(m.yield(1.0, DefectModel::kPoisson), std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(m.yield(0.0, DefectModel::kPoisson), 1.0);
+}
+
+TEST(DefectYieldTest, ModelOrderingAtLargeArea) {
+  // Clustering (Stapper) is more forgiving than Poisson for big dies;
+  // Murphy lies in between.
+  DefectYieldParams p;
+  p.defect_density_per_cm2 = 1.0;
+  p.clustering_alpha = 1.0;
+  const DefectYieldModel m(p);
+  const double a = 3.0;
+  const double poisson = m.yield(a, DefectModel::kPoisson);
+  const double murphy = m.yield(a, DefectModel::kMurphy);
+  const double stapper = m.yield(a, DefectModel::kStapper);
+  EXPECT_LT(poisson, murphy);
+  EXPECT_LT(murphy, stapper);
+}
+
+TEST(DefectYieldTest, StapperApproachesPoissonForLargeAlpha) {
+  DefectYieldParams p;
+  p.defect_density_per_cm2 = 0.8;
+  p.clustering_alpha = 1e6;
+  const DefectYieldModel m(p);
+  EXPECT_NEAR(m.yield(2.0, DefectModel::kStapper),
+              m.yield(2.0, DefectModel::kPoisson), 1e-5);
+}
+
+TEST(DefectYieldTest, YieldDecreasesWithArea) {
+  const DefectYieldModel m;
+  double prev = 1.0;
+  for (double a : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double y = m.yield(a);
+    EXPECT_LT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(DefectYieldTest, MaxAreaInvertsYield) {
+  DefectYieldParams p;
+  p.defect_density_per_cm2 = 0.5;
+  const DefectYieldModel m(p);
+  for (DefectModel model :
+       {DefectModel::kPoisson, DefectModel::kMurphy, DefectModel::kStapper}) {
+    const double a = m.max_area_for_yield(0.8, model);
+    EXPECT_NEAR(m.yield(a, model), 0.8, 1e-9);
+  }
+}
+
+TEST(DefectYieldTest, TotalYieldMultiplies) {
+  const DefectYieldModel m;
+  EXPECT_NEAR(m.total_yield(1.0, 0.9),
+              m.yield(1.0) * 0.9, 1e-15);
+  EXPECT_THROW(m.total_yield(1.0, 1.5), Error);
+}
+
+TEST(DefectYieldTest, CriticalAreaHelper) {
+  // 3 mm^2 die, 40% sensitive -> 0.012 cm^2.
+  EXPECT_NEAR(critical_area_cm2(3.0, 0.4), 0.012, 1e-12);
+}
+
+TEST(DefectYieldTest, OverdesignHurtsDefectYield) {
+  // The trade-off the paper names: overdesign (more area for matching)
+  // costs defect-limited yield too.
+  const DefectYieldModel m;
+  const double small = m.total_yield(critical_area_cm2(1.0, 0.5), 0.80);
+  const double big = m.total_yield(critical_area_cm2(16.0, 0.5), 0.999);
+  EXPECT_GT(small, 0.0);
+  EXPECT_LT(big, 0.97);  // the parametric win is eaten by defects
+}
+
+}  // namespace
+}  // namespace relsim

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.h"
+#include "tech/tech.h"
+#include "variability/montecarlo.h"
+#include "variability/pelgrom.h"
+#include "variability/sampler.h"
+
+namespace relsim {
+namespace {
+
+PelgromParams plain_params(double avt = 4.0, double abeta = 1.5,
+                           double svt = 3.0) {
+  PelgromParams p;
+  p.avt_mv_um = avt;
+  p.abeta_pct_um = abeta;
+  p.svt_uv_per_um = svt;
+  p.asc_mv_um15 = 0.0;
+  p.anc_mv_um15 = 0.0;
+  return p;
+}
+
+TEST(PelgromTest, AreaScalingEq1) {
+  const PelgromModel m(plain_params());
+  // sigma(dVT) = A_VT / sqrt(WL): 4 mV*um over 1um x 1um -> 4 mV.
+  EXPECT_NEAR(m.sigma_dvt_pair(1.0, 1.0), 4.0e-3, 1e-12);
+  // Quadrupling the area halves sigma.
+  EXPECT_NEAR(m.sigma_dvt_pair(2.0, 2.0), 2.0e-3, 1e-12);
+}
+
+TEST(PelgromTest, DistanceTermAddsInQuadrature) {
+  const PelgromModel m(plain_params());
+  // S_VT = 3 uV/um; at D = 1000 um the gradient alone is 3 mV.
+  const double sigma = m.sigma_dvt_pair(1.0, 1.0, 1000.0);
+  EXPECT_NEAR(sigma, std::sqrt(16.0 + 9.0) * 1e-3, 1e-12);
+}
+
+TEST(PelgromTest, SingleDeviceIsPairOverSqrt2) {
+  const PelgromModel m(plain_params());
+  EXPECT_NEAR(m.sigma_dvt_single(1.0, 1.0) * std::sqrt(2.0),
+              m.sigma_dvt_pair(1.0, 1.0), 1e-15);
+}
+
+TEST(PelgromTest, ShortChannelTermGrowsAtSmallL) {
+  PelgromParams p = plain_params();
+  p.asc_mv_um15 = 2.0;
+  const PelgromModel ext(p);
+  const PelgromModel base(plain_params());
+  // Same area, shorter L: extension term must matter more.
+  const double wide = ext.sigma_dvt_pair(0.25, 4.0) / base.sigma_dvt_pair(0.25, 4.0);
+  const double narrow = ext.sigma_dvt_pair(4.0, 0.25) / base.sigma_dvt_pair(4.0, 0.25);
+  EXPECT_GT(narrow, wide);
+  EXPECT_GT(narrow, 1.3);
+}
+
+TEST(PelgromTest, BetaScaling) {
+  const PelgromModel m(plain_params());
+  EXPECT_NEAR(m.sigma_dbeta_pair(1.0, 1.0), 0.015, 1e-12);
+  EXPECT_NEAR(m.sigma_dbeta_pair(9.0, 1.0), 0.005, 1e-12);
+}
+
+TEST(PelgromTest, FromTechUsesNodeConstants) {
+  const auto p = PelgromParams::from_tech(tech_65nm());
+  EXPECT_DOUBLE_EQ(p.avt_mv_um, tech_65nm().avt_mv_um);
+  EXPECT_GT(p.asc_mv_um15, 0.0);
+}
+
+TEST(TuinhoutTest, BenchmarkIsLinearInTox) {
+  EXPECT_DOUBLE_EQ(tuinhout_benchmark_avt(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(tuinhout_benchmark_avt(2.0), 2.0);
+}
+
+TEST(SamplerTest, SingleDeviceSigmaMatchesModel) {
+  const PelgromModel m(plain_params());
+  const MismatchSampler s(m, 0.5, 0.2);
+  Xoshiro256 rng(99);
+  RunningStats vt, beta;
+  for (int i = 0; i < 40000; ++i) {
+    const auto d = s.sample_single(rng);
+    vt.add(d.dvt);
+    beta.add(d.dbeta_rel);
+  }
+  EXPECT_NEAR(vt.mean(), 0.0, 2e-4);
+  EXPECT_NEAR(vt.stddev() / m.sigma_dvt_single(0.5, 0.2), 1.0, 0.02);
+  EXPECT_NEAR(beta.stddev() / m.sigma_dbeta_single(0.5, 0.2), 1.0, 0.02);
+}
+
+TEST(SamplerTest, PairDifferenceReproducesEq1) {
+  const PelgromModel m(plain_params());
+  const MismatchSampler s(m, 1.0, 0.5);
+  Xoshiro256 rng(7);
+  const double d_um = 500.0;
+  RunningStats diff;
+  for (int i = 0; i < 40000; ++i) {
+    const auto [a, b] = s.sample_pair(rng, d_um);
+    diff.add(a.dvt - b.dvt);
+  }
+  EXPECT_NEAR(diff.stddev() / m.sigma_dvt_pair(1.0, 0.5, d_um), 1.0, 0.02);
+}
+
+// Property sweep over geometries: MC sigma of the pair difference always
+// matches the closed form of Eq. 1 (this is experiment E2's invariant).
+struct GeomCase {
+  double w, l, d;
+};
+class PairSigmaSweep : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(PairSigmaSweep, McMatchesClosedForm) {
+  const auto g = GetParam();
+  PelgromParams p = plain_params();
+  p.asc_mv_um15 = 1.0;
+  p.anc_mv_um15 = 0.8;
+  const PelgromModel m(p);
+  const MismatchSampler s(m, g.w, g.l);
+  Xoshiro256 rng(derive_seed(2024, {static_cast<std::uint64_t>(g.w * 100),
+                                    static_cast<std::uint64_t>(g.l * 100),
+                                    static_cast<std::uint64_t>(g.d)}));
+  RunningStats diff;
+  for (int i = 0; i < 20000; ++i) {
+    const auto [a, b] = s.sample_pair(rng, g.d);
+    diff.add(a.dvt - b.dvt);
+  }
+  EXPECT_NEAR(diff.stddev() / m.sigma_dvt_pair(g.w, g.l, g.d), 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PairSigmaSweep,
+    ::testing::Values(GeomCase{0.12, 0.065, 0.0}, GeomCase{1.0, 1.0, 0.0},
+                      GeomCase{10.0, 10.0, 0.0}, GeomCase{0.5, 0.1, 200.0},
+                      GeomCase{2.0, 0.25, 1000.0}));
+
+TEST(MonteCarloTest, SampleSeedsAreReproducible) {
+  MonteCarloEngine mc(42);
+  Xoshiro256 a = mc.rng_for(17);
+  Xoshiro256 b = mc.rng_for(17);
+  Xoshiro256 c = mc.rng_for(18);
+  EXPECT_EQ(a(), b());
+  Xoshiro256 a2 = mc.rng_for(17);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(MonteCarloTest, YieldOfFairCoin) {
+  MonteCarloEngine mc(7);
+  const auto est = mc.estimate_yield(
+      20000, [](Xoshiro256& rng, std::size_t) { return rng.uniform01() < 0.8; });
+  EXPECT_NEAR(est.yield(), 0.8, 0.01);
+  EXPECT_LT(est.interval.lo, 0.8);
+  EXPECT_GT(est.interval.hi, 0.8);
+  EXPECT_EQ(est.total, 20000u);
+}
+
+TEST(MonteCarloTest, ParallelMatchesSerialBitExactly) {
+  MonteCarloEngine mc(555);
+  auto metric = [](Xoshiro256& rng, std::size_t) {
+    double acc = 0.0;
+    const NormalDistribution d(0.0, 1.0);
+    for (int k = 0; k < 50; ++k) acc += d(rng);
+    return acc;
+  };
+  const auto serial = mc.run_metric(500, metric);
+  for (unsigned threads : {1u, 2u, 7u}) {
+    const auto parallel = mc.run_metric_parallel(500, metric, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel[i], serial[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(MonteCarloTest, ParallelYieldMatchesSerial) {
+  MonteCarloEngine mc(777);
+  auto pass = [](Xoshiro256& rng, std::size_t) {
+    return rng.uniform01() < 0.6;
+  };
+  const auto serial = mc.estimate_yield(2000, pass);
+  const auto par = mc.estimate_yield_parallel(2000, pass, 5);
+  EXPECT_EQ(serial.passed, par.passed);
+  EXPECT_EQ(serial.total, par.total);
+}
+
+TEST(MonteCarloTest, ParallelPropagatesExceptions) {
+  MonteCarloEngine mc(1);
+  EXPECT_THROW(mc.run_metric_parallel(
+                   100,
+                   [](Xoshiro256&, std::size_t i) -> double {
+                     if (i == 57) throw Error("boom");
+                     return 0.0;
+                   },
+                   4),
+               Error);
+}
+
+TEST(MonteCarloTest, ParallelHandlesEdgeSizes) {
+  MonteCarloEngine mc(2);
+  auto metric = [](Xoshiro256& rng, std::size_t) { return rng.uniform01(); };
+  EXPECT_TRUE(mc.run_metric_parallel(0, metric, 8).empty());
+  EXPECT_EQ(mc.run_metric_parallel(3, metric, 8).size(), 3u);
+}
+
+TEST(MonteCarloTest, RunMetricCollectsAll) {
+  MonteCarloEngine mc(7);
+  const auto xs = mc.run_metric(
+      100, [](Xoshiro256&, std::size_t i) { return static_cast<double>(i); });
+  ASSERT_EQ(xs.size(), 100u);
+  EXPECT_DOUBLE_EQ(xs[99], 99.0);
+}
+
+}  // namespace
+}  // namespace relsim
