@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_pelgrom_scaling.dir/bench_eq1_pelgrom_scaling.cpp.o"
+  "CMakeFiles/bench_eq1_pelgrom_scaling.dir/bench_eq1_pelgrom_scaling.cpp.o.d"
+  "bench_eq1_pelgrom_scaling"
+  "bench_eq1_pelgrom_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_pelgrom_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

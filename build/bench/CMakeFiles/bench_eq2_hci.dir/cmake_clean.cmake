@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq2_hci.dir/bench_eq2_hci.cpp.o"
+  "CMakeFiles/bench_eq2_hci.dir/bench_eq2_hci.cpp.o.d"
+  "bench_eq2_hci"
+  "bench_eq2_hci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq2_hci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq3_nbti.dir/bench_eq3_nbti.cpp.o"
+  "CMakeFiles/bench_eq3_nbti.dir/bench_eq3_nbti.cpp.o.d"
+  "bench_eq3_nbti"
+  "bench_eq3_nbti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq3_nbti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq4_electromigration.dir/bench_eq4_electromigration.cpp.o"
+  "CMakeFiles/bench_eq4_electromigration.dir/bench_eq4_electromigration.cpp.o.d"
+  "bench_eq4_electromigration"
+  "bench_eq4_electromigration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq4_electromigration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_avt_vs_tox.cpp" "bench/CMakeFiles/bench_fig1_avt_vs_tox.dir/bench_fig1_avt_vs_tox.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_avt_vs_tox.dir/bench_fig1_avt_vs_tox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/variability/CMakeFiles/relsim_variability.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/relsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/relsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/relsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

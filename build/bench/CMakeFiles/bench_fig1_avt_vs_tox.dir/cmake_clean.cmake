@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_avt_vs_tox.dir/bench_fig1_avt_vs_tox.cpp.o"
+  "CMakeFiles/bench_fig1_avt_vs_tox.dir/bench_fig1_avt_vs_tox.cpp.o.d"
+  "bench_fig1_avt_vs_tox"
+  "bench_fig1_avt_vs_tox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_avt_vs_tox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

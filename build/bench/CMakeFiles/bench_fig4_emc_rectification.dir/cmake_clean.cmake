@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_emc_rectification.dir/bench_fig4_emc_rectification.cpp.o"
+  "CMakeFiles/bench_fig4_emc_rectification.dir/bench_fig4_emc_rectification.cpp.o.d"
+  "bench_fig4_emc_rectification"
+  "bench_fig4_emc_rectification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_emc_rectification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dac_sspa.dir/bench_fig5_dac_sspa.cpp.o"
+  "CMakeFiles/bench_fig5_dac_sspa.dir/bench_fig5_dac_sspa.cpp.o.d"
+  "bench_fig5_dac_sspa"
+  "bench_fig5_dac_sspa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dac_sspa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

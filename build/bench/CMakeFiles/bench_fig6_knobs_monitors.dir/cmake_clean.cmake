@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_knobs_monitors.dir/bench_fig6_knobs_monitors.cpp.o"
+  "CMakeFiles/bench_fig6_knobs_monitors.dir/bench_fig6_knobs_monitors.cpp.o.d"
+  "bench_fig6_knobs_monitors"
+  "bench_fig6_knobs_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_knobs_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

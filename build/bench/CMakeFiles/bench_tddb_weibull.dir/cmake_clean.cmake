@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tddb_weibull.dir/bench_tddb_weibull.cpp.o"
+  "CMakeFiles/bench_tddb_weibull.dir/bench_tddb_weibull.cpp.o.d"
+  "bench_tddb_weibull"
+  "bench_tddb_weibull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tddb_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_yield_tradeoff.cpp" "bench/CMakeFiles/bench_yield_tradeoff.dir/bench_yield_tradeoff.cpp.o" "gcc" "bench/CMakeFiles/bench_yield_tradeoff.dir/bench_yield_tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/relsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/emc/CMakeFiles/relsim_emc.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibration/CMakeFiles/relsim_calibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/variability/CMakeFiles/relsim_variability.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/relsim_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/em_layout/CMakeFiles/relsim_em_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/relsim_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/relsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/relsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/relsim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/relsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/relsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yield_tradeoff.dir/bench_yield_tradeoff.cpp.o"
+  "CMakeFiles/bench_yield_tradeoff.dir/bench_yield_tradeoff.cpp.o.d"
+  "bench_yield_tradeoff"
+  "bench_yield_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yield_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

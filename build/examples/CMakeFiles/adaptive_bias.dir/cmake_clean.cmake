@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_bias.dir/adaptive_bias.cpp.o"
+  "CMakeFiles/adaptive_bias.dir/adaptive_bias.cpp.o.d"
+  "adaptive_bias"
+  "adaptive_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

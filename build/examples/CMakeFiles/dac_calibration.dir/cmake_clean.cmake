@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_calibration.dir/dac_calibration.cpp.o"
+  "CMakeFiles/dac_calibration.dir/dac_calibration.cpp.o.d"
+  "dac_calibration"
+  "dac_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

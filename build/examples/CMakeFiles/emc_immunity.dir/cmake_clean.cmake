@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_immunity.dir/emc_immunity.cpp.o"
+  "CMakeFiles/emc_immunity.dir/emc_immunity.cpp.o.d"
+  "emc_immunity"
+  "emc_immunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_immunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

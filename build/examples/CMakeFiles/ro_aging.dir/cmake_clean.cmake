@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ro_aging.dir/ro_aging.cpp.o"
+  "CMakeFiles/ro_aging.dir/ro_aging.cpp.o.d"
+  "ro_aging"
+  "ro_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ro_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

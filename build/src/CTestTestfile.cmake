@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rng")
+subdirs("stats")
+subdirs("linalg")
+subdirs("tech")
+subdirs("spice")
+subdirs("variability")
+subdirs("aging")
+subdirs("emc")
+subdirs("calibration")
+subdirs("adaptive")
+subdirs("em_layout")
+subdirs("core")

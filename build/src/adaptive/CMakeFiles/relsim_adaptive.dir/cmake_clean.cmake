@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_adaptive.dir/knobs.cpp.o"
+  "CMakeFiles/relsim_adaptive.dir/knobs.cpp.o.d"
+  "CMakeFiles/relsim_adaptive.dir/system.cpp.o"
+  "CMakeFiles/relsim_adaptive.dir/system.cpp.o.d"
+  "librelsim_adaptive.a"
+  "librelsim_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

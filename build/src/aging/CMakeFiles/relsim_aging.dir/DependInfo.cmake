@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aging/device_stress.cpp" "src/aging/CMakeFiles/relsim_aging.dir/device_stress.cpp.o" "gcc" "src/aging/CMakeFiles/relsim_aging.dir/device_stress.cpp.o.d"
+  "/root/repo/src/aging/em.cpp" "src/aging/CMakeFiles/relsim_aging.dir/em.cpp.o" "gcc" "src/aging/CMakeFiles/relsim_aging.dir/em.cpp.o.d"
+  "/root/repo/src/aging/engine.cpp" "src/aging/CMakeFiles/relsim_aging.dir/engine.cpp.o" "gcc" "src/aging/CMakeFiles/relsim_aging.dir/engine.cpp.o.d"
+  "/root/repo/src/aging/hci.cpp" "src/aging/CMakeFiles/relsim_aging.dir/hci.cpp.o" "gcc" "src/aging/CMakeFiles/relsim_aging.dir/hci.cpp.o.d"
+  "/root/repo/src/aging/model.cpp" "src/aging/CMakeFiles/relsim_aging.dir/model.cpp.o" "gcc" "src/aging/CMakeFiles/relsim_aging.dir/model.cpp.o.d"
+  "/root/repo/src/aging/nbti.cpp" "src/aging/CMakeFiles/relsim_aging.dir/nbti.cpp.o" "gcc" "src/aging/CMakeFiles/relsim_aging.dir/nbti.cpp.o.d"
+  "/root/repo/src/aging/tddb.cpp" "src/aging/CMakeFiles/relsim_aging.dir/tddb.cpp.o" "gcc" "src/aging/CMakeFiles/relsim_aging.dir/tddb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/relsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/relsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/relsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/relsim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/relsim_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

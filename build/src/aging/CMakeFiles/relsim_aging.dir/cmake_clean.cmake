@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_aging.dir/device_stress.cpp.o"
+  "CMakeFiles/relsim_aging.dir/device_stress.cpp.o.d"
+  "CMakeFiles/relsim_aging.dir/em.cpp.o"
+  "CMakeFiles/relsim_aging.dir/em.cpp.o.d"
+  "CMakeFiles/relsim_aging.dir/engine.cpp.o"
+  "CMakeFiles/relsim_aging.dir/engine.cpp.o.d"
+  "CMakeFiles/relsim_aging.dir/hci.cpp.o"
+  "CMakeFiles/relsim_aging.dir/hci.cpp.o.d"
+  "CMakeFiles/relsim_aging.dir/model.cpp.o"
+  "CMakeFiles/relsim_aging.dir/model.cpp.o.d"
+  "CMakeFiles/relsim_aging.dir/nbti.cpp.o"
+  "CMakeFiles/relsim_aging.dir/nbti.cpp.o.d"
+  "CMakeFiles/relsim_aging.dir/tddb.cpp.o"
+  "CMakeFiles/relsim_aging.dir/tddb.cpp.o.d"
+  "librelsim_aging.a"
+  "librelsim_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calibration/dac.cpp" "src/calibration/CMakeFiles/relsim_calibration.dir/dac.cpp.o" "gcc" "src/calibration/CMakeFiles/relsim_calibration.dir/dac.cpp.o.d"
+  "/root/repo/src/calibration/sspa.cpp" "src/calibration/CMakeFiles/relsim_calibration.dir/sspa.cpp.o" "gcc" "src/calibration/CMakeFiles/relsim_calibration.dir/sspa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/relsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/relsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/variability/CMakeFiles/relsim_variability.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/relsim_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_calibration.dir/dac.cpp.o"
+  "CMakeFiles/relsim_calibration.dir/dac.cpp.o.d"
+  "CMakeFiles/relsim_calibration.dir/sspa.cpp.o"
+  "CMakeFiles/relsim_calibration.dir/sspa.cpp.o.d"
+  "librelsim_calibration.a"
+  "librelsim_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

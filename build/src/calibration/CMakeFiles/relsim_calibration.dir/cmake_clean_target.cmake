@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelsim_calibration.a"
+)

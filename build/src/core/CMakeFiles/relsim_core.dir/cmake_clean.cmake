@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_core.dir/reliability_sim.cpp.o"
+  "CMakeFiles/relsim_core.dir/reliability_sim.cpp.o.d"
+  "librelsim_core.a"
+  "librelsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

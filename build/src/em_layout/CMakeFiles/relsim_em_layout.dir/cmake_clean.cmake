@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_em_layout.dir/planner.cpp.o"
+  "CMakeFiles/relsim_em_layout.dir/planner.cpp.o.d"
+  "librelsim_em_layout.a"
+  "librelsim_em_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_em_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_emc.dir/circuits.cpp.o"
+  "CMakeFiles/relsim_emc.dir/circuits.cpp.o.d"
+  "CMakeFiles/relsim_emc.dir/emi.cpp.o"
+  "CMakeFiles/relsim_emc.dir/emi.cpp.o.d"
+  "librelsim_emc.a"
+  "librelsim_emc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_emc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

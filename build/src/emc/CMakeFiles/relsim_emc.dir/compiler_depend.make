@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relsim_emc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_linalg.dir/complex_matrix.cpp.o"
+  "CMakeFiles/relsim_linalg.dir/complex_matrix.cpp.o.d"
+  "CMakeFiles/relsim_linalg.dir/lu.cpp.o"
+  "CMakeFiles/relsim_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/relsim_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/relsim_linalg.dir/matrix.cpp.o.d"
+  "librelsim_linalg.a"
+  "librelsim_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_rng.dir/distributions.cpp.o"
+  "CMakeFiles/relsim_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/relsim_rng.dir/rng.cpp.o"
+  "CMakeFiles/relsim_rng.dir/rng.cpp.o.d"
+  "librelsim_rng.a"
+  "librelsim_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

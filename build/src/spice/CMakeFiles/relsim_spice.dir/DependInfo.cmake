@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac_analysis.cpp" "src/spice/CMakeFiles/relsim_spice.dir/ac_analysis.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/ac_analysis.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/relsim_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/dc_analysis.cpp" "src/spice/CMakeFiles/relsim_spice.dir/dc_analysis.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/dc_analysis.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "src/spice/CMakeFiles/relsim_spice.dir/elements.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/elements.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/relsim_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/netlist_parser.cpp" "src/spice/CMakeFiles/relsim_spice.dir/netlist_parser.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/netlist_parser.cpp.o.d"
+  "/root/repo/src/spice/probes.cpp" "src/spice/CMakeFiles/relsim_spice.dir/probes.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/probes.cpp.o.d"
+  "/root/repo/src/spice/stress.cpp" "src/spice/CMakeFiles/relsim_spice.dir/stress.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/stress.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/relsim_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/relsim_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/relsim_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/relsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/relsim_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

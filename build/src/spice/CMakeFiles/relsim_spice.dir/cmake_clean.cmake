@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_spice.dir/ac_analysis.cpp.o"
+  "CMakeFiles/relsim_spice.dir/ac_analysis.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/circuit.cpp.o"
+  "CMakeFiles/relsim_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/dc_analysis.cpp.o"
+  "CMakeFiles/relsim_spice.dir/dc_analysis.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/elements.cpp.o"
+  "CMakeFiles/relsim_spice.dir/elements.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/relsim_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/netlist_parser.cpp.o"
+  "CMakeFiles/relsim_spice.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/probes.cpp.o"
+  "CMakeFiles/relsim_spice.dir/probes.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/stress.cpp.o"
+  "CMakeFiles/relsim_spice.dir/stress.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/transient.cpp.o"
+  "CMakeFiles/relsim_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/relsim_spice.dir/waveform.cpp.o"
+  "CMakeFiles/relsim_spice.dir/waveform.cpp.o.d"
+  "librelsim_spice.a"
+  "librelsim_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_stats.dir/histogram.cpp.o"
+  "CMakeFiles/relsim_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/relsim_stats.dir/regression.cpp.o"
+  "CMakeFiles/relsim_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/relsim_stats.dir/summary.cpp.o"
+  "CMakeFiles/relsim_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/relsim_stats.dir/weibull_fit.cpp.o"
+  "CMakeFiles/relsim_stats.dir/weibull_fit.cpp.o.d"
+  "librelsim_stats.a"
+  "librelsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

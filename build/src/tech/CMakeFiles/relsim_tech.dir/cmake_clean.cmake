@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_tech.dir/tech.cpp.o"
+  "CMakeFiles/relsim_tech.dir/tech.cpp.o.d"
+  "librelsim_tech.a"
+  "librelsim_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_util.dir/error.cpp.o"
+  "CMakeFiles/relsim_util.dir/error.cpp.o.d"
+  "CMakeFiles/relsim_util.dir/log.cpp.o"
+  "CMakeFiles/relsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/relsim_util.dir/mathx.cpp.o"
+  "CMakeFiles/relsim_util.dir/mathx.cpp.o.d"
+  "CMakeFiles/relsim_util.dir/table.cpp.o"
+  "CMakeFiles/relsim_util.dir/table.cpp.o.d"
+  "librelsim_util.a"
+  "librelsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variability/corners.cpp" "src/variability/CMakeFiles/relsim_variability.dir/corners.cpp.o" "gcc" "src/variability/CMakeFiles/relsim_variability.dir/corners.cpp.o.d"
+  "/root/repo/src/variability/defect_yield.cpp" "src/variability/CMakeFiles/relsim_variability.dir/defect_yield.cpp.o" "gcc" "src/variability/CMakeFiles/relsim_variability.dir/defect_yield.cpp.o.d"
+  "/root/repo/src/variability/ler.cpp" "src/variability/CMakeFiles/relsim_variability.dir/ler.cpp.o" "gcc" "src/variability/CMakeFiles/relsim_variability.dir/ler.cpp.o.d"
+  "/root/repo/src/variability/montecarlo.cpp" "src/variability/CMakeFiles/relsim_variability.dir/montecarlo.cpp.o" "gcc" "src/variability/CMakeFiles/relsim_variability.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/variability/pelgrom.cpp" "src/variability/CMakeFiles/relsim_variability.dir/pelgrom.cpp.o" "gcc" "src/variability/CMakeFiles/relsim_variability.dir/pelgrom.cpp.o.d"
+  "/root/repo/src/variability/sampler.cpp" "src/variability/CMakeFiles/relsim_variability.dir/sampler.cpp.o" "gcc" "src/variability/CMakeFiles/relsim_variability.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/relsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/relsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/relsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/relsim_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

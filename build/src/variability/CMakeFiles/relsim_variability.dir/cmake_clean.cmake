@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_variability.dir/corners.cpp.o"
+  "CMakeFiles/relsim_variability.dir/corners.cpp.o.d"
+  "CMakeFiles/relsim_variability.dir/defect_yield.cpp.o"
+  "CMakeFiles/relsim_variability.dir/defect_yield.cpp.o.d"
+  "CMakeFiles/relsim_variability.dir/ler.cpp.o"
+  "CMakeFiles/relsim_variability.dir/ler.cpp.o.d"
+  "CMakeFiles/relsim_variability.dir/montecarlo.cpp.o"
+  "CMakeFiles/relsim_variability.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/relsim_variability.dir/pelgrom.cpp.o"
+  "CMakeFiles/relsim_variability.dir/pelgrom.cpp.o.d"
+  "CMakeFiles/relsim_variability.dir/sampler.cpp.o"
+  "CMakeFiles/relsim_variability.dir/sampler.cpp.o.d"
+  "librelsim_variability.a"
+  "librelsim_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

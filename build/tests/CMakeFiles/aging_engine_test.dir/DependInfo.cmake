@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aging_engine_test.cpp" "tests/CMakeFiles/aging_engine_test.dir/aging_engine_test.cpp.o" "gcc" "tests/CMakeFiles/aging_engine_test.dir/aging_engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aging/CMakeFiles/relsim_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/relsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/relsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/relsim_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/relsim_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/relsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/relsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

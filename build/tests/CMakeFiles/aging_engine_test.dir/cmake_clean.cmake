@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_engine_test.dir/aging_engine_test.cpp.o"
+  "CMakeFiles/aging_engine_test.dir/aging_engine_test.cpp.o.d"
+  "aging_engine_test"
+  "aging_engine_test.pdb"
+  "aging_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

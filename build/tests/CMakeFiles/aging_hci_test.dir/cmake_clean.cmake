@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_hci_test.dir/aging_hci_test.cpp.o"
+  "CMakeFiles/aging_hci_test.dir/aging_hci_test.cpp.o.d"
+  "aging_hci_test"
+  "aging_hci_test.pdb"
+  "aging_hci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_hci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_nbti_test.dir/aging_nbti_test.cpp.o"
+  "CMakeFiles/aging_nbti_test.dir/aging_nbti_test.cpp.o.d"
+  "aging_nbti_test"
+  "aging_nbti_test.pdb"
+  "aging_nbti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_nbti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_tddb_test.dir/aging_tddb_test.cpp.o"
+  "CMakeFiles/aging_tddb_test.dir/aging_tddb_test.cpp.o.d"
+  "aging_tddb_test"
+  "aging_tddb_test.pdb"
+  "aging_tddb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_tddb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_layout_test.dir/em_layout_test.cpp.o"
+  "CMakeFiles/em_layout_test.dir/em_layout_test.cpp.o.d"
+  "em_layout_test"
+  "em_layout_test.pdb"
+  "em_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

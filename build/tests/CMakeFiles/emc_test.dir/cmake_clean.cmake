@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_test.dir/emc_test.cpp.o"
+  "CMakeFiles/emc_test.dir/emc_test.cpp.o.d"
+  "emc_test"
+  "emc_test.pdb"
+  "emc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

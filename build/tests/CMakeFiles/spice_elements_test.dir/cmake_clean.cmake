@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_elements_test.dir/spice_elements_test.cpp.o"
+  "CMakeFiles/spice_elements_test.dir/spice_elements_test.cpp.o.d"
+  "spice_elements_test"
+  "spice_elements_test.pdb"
+  "spice_elements_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_elements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_inductor_test.dir/spice_inductor_test.cpp.o"
+  "CMakeFiles/spice_inductor_test.dir/spice_inductor_test.cpp.o.d"
+  "spice_inductor_test"
+  "spice_inductor_test.pdb"
+  "spice_inductor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_inductor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_mosfet_test.dir/spice_mosfet_test.cpp.o"
+  "CMakeFiles/spice_mosfet_test.dir/spice_mosfet_test.cpp.o.d"
+  "spice_mosfet_test"
+  "spice_mosfet_test.pdb"
+  "spice_mosfet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_mosfet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

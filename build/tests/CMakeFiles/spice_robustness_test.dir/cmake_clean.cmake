@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_robustness_test.dir/spice_robustness_test.cpp.o"
+  "CMakeFiles/spice_robustness_test.dir/spice_robustness_test.cpp.o.d"
+  "spice_robustness_test"
+  "spice_robustness_test.pdb"
+  "spice_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_temperature_test.dir/spice_temperature_test.cpp.o"
+  "CMakeFiles/spice_temperature_test.dir/spice_temperature_test.cpp.o.d"
+  "spice_temperature_test"
+  "spice_temperature_test.pdb"
+  "spice_temperature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_temperature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variability_ext_test.dir/variability_ext_test.cpp.o"
+  "CMakeFiles/variability_ext_test.dir/variability_ext_test.cpp.o.d"
+  "variability_ext_test"
+  "variability_ext_test.pdb"
+  "variability_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variability_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
