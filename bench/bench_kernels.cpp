@@ -7,6 +7,8 @@
 
 #include "aging/nbti.h"
 #include "linalg/lu.h"
+#include "linalg/sparse_lu.h"
+#include "linalg/sparse_matrix.h"
 #include "rng/distributions.h"
 #include "spice/analysis.h"
 #include "spice/circuit.h"
@@ -36,6 +38,41 @@ void BM_LuSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LuSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Sparse counterpart on an MNA-like banded pattern of the same sizes:
+// shows where the cached-symbolic refactor overtakes the dense kernel
+// (bench_sparse_solver covers the larger circuit-level sizes).
+void BM_SparseRefactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  SparsityPattern pattern;
+  pattern.add_diagonal(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    pattern.add(static_cast<int>(i), static_cast<int>(i + 1));
+    pattern.add(static_cast<int>(i + 1), static_cast<int>(i));
+  }
+  SparseMatrix a(n, pattern);
+  Vector b(n);
+  std::uint64_t seed = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (int p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+      const auto j = static_cast<std::size_t>(a.col_ind()[p]);
+      if (j == i) continue;
+      const double v =
+          static_cast<double>(splitmix64(seed) % 1000) / 500.0 - 1.0;
+      a.add_at(i, j, v);
+      rowsum += std::abs(v);
+    }
+    a.add_at(i, i, rowsum + 1.0);
+    b[i] = static_cast<double>(i);
+  }
+  SparseLuFactorization lu(a);
+  for (auto _ : state) {
+    lu.refactor(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseRefactorSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_MosfetEvaluate(benchmark::State& state) {
   spice::Mosfet m("M1", 1, 2, 3, 4,

@@ -1,0 +1,141 @@
+// Dense-vs-sparse solver trajectory on parameterized MNA netlists.
+//
+// Two circuit families sized by the benchmark argument:
+//   * resistor ladder (linear; one factorization per solve dominates)
+//   * ring-oscillator-style inverter chain (nonlinear; transient Newton
+//     iterations exercise the numeric-refactor fast path)
+// Each runs through the full newton_solve/transient machinery with the
+// solver forced dense and forced sparse, so the reported ratio IS the
+// speedup the Monte-Carlo yield loops see. Raw factorization kernels are
+// benchmarked too (dense LU vs sparse symbolic vs sparse refactor).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "linalg/lu.h"
+#include "linalg/sparse_lu.h"
+#include "linalg/sparse_matrix.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+
+namespace relsim {
+namespace {
+
+spice::NewtonOptions solver_options(bool sparse) {
+  spice::NewtonOptions o;
+  o.sparse_min_unknowns = sparse ? 1 : (1 << 28);
+  return o;
+}
+
+/// Resistor ladder with `stages` nodes: series R chain with shunt R to
+/// ground at every node, driven by a 1 V source.
+void build_ladder(spice::Circuit& c, int stages) {
+  spice::NodeId prev = c.node("n0");
+  c.add_vsource("V1", prev, spice::kGround, 1.0);
+  for (int i = 1; i <= stages; ++i) {
+    const spice::NodeId node = c.node("n" + std::to_string(i));
+    c.add_resistor("Rs" + std::to_string(i), prev, node, 100.0);
+    c.add_resistor("Rg" + std::to_string(i), node, spice::kGround, 10e3);
+    prev = node;
+  }
+}
+
+/// `stages`-stage ring oscillator (odd stages), every stage loaded.
+void build_ring_oscillator(spice::Circuit& c, int stages) {
+  const auto& tech = tech_65nm();
+  const spice::NodeId vdd = c.node("vdd");
+  c.add_vsource("VDD", vdd, spice::kGround, tech.vdd);
+  spice::NodeId in = c.node("s" + std::to_string(stages - 1));
+  for (int i = 0; i < stages; ++i) {
+    const spice::NodeId out = c.node("s" + std::to_string(i));
+    c.add_mosfet("MN" + std::to_string(i), out, in, spice::kGround,
+                 spice::kGround, spice::make_mos_params(tech, 1.0, 0.1, false));
+    c.add_mosfet("MP" + std::to_string(i), out, in, vdd, vdd,
+                 spice::make_mos_params(tech, 2.0, 0.1, true));
+    c.add_capacitor("CL" + std::to_string(i), out, spice::kGround, 2e-15);
+    in = out;
+  }
+}
+
+void BM_DcLadder(benchmark::State& state, bool sparse) {
+  spice::Circuit c;
+  build_ladder(c, static_cast<int>(state.range(0)));
+  spice::DcOptions opt;
+  opt.newton = solver_options(sparse);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::dc_operating_point(c, opt));
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+}
+void BM_DcLadder_Dense(benchmark::State& state) { BM_DcLadder(state, false); }
+void BM_DcLadder_Sparse(benchmark::State& state) { BM_DcLadder(state, true); }
+BENCHMARK(BM_DcLadder_Dense)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+BENCHMARK(BM_DcLadder_Sparse)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_TransientRingOscillator(benchmark::State& state, bool sparse) {
+  spice::Circuit c;
+  const int stages = static_cast<int>(state.range(0));
+  build_ring_oscillator(c, stages);
+  spice::TransientOptions opt;
+  opt.newton = solver_options(sparse);
+  opt.dt = 20e-12;
+  opt.t_stop = 2e-9;
+  opt.use_initial_conditions = true;
+  opt.initial_conditions[c.find_node("s0")] = tech_65nm().vdd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::transient_analysis(c, opt));
+  }
+}
+void BM_TranRo_Dense(benchmark::State& state) {
+  BM_TransientRingOscillator(state, false);
+}
+void BM_TranRo_Sparse(benchmark::State& state) {
+  BM_TransientRingOscillator(state, true);
+}
+BENCHMARK(BM_TranRo_Dense)->Arg(31)->Arg(101);
+BENCHMARK(BM_TranRo_Sparse)->Arg(31)->Arg(101);
+
+// ---------------------------------------------------------------------------
+// Raw factorization kernels on the assembled ladder Jacobian.
+
+SparseMatrix ladder_jacobian(int stages) {
+  spice::Circuit c;
+  build_ladder(c, stages);
+  spice::DcOptions opt;
+  opt.newton = solver_options(true);
+  spice::dc_operating_point(c, opt);  // assembles the cached sparse matrix
+  return c.solver_cache().matrix;
+}
+
+void BM_LadderFactor_DenseLu(benchmark::State& state) {
+  const Matrix a = ladder_jacobian(static_cast<int>(state.range(0))).to_dense();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LuFactorization(a));
+  }
+}
+BENCHMARK(BM_LadderFactor_DenseLu)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_LadderFactor_SparseSymbolic(benchmark::State& state) {
+  const SparseMatrix a = ladder_jacobian(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseLuFactorization(a));
+  }
+}
+BENCHMARK(BM_LadderFactor_SparseSymbolic)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_LadderFactor_SparseRefactor(benchmark::State& state) {
+  const SparseMatrix a = ladder_jacobian(static_cast<int>(state.range(0)));
+  SparseLuFactorization lu(a);
+  for (auto _ : state) {
+    lu.refactor(a);
+    benchmark::DoNotOptimize(lu);
+  }
+}
+BENCHMARK(BM_LadderFactor_SparseRefactor)->Arg(100)->Arg(200)->Arg(400);
+
+}  // namespace
+}  // namespace relsim
+
+BENCHMARK_MAIN();

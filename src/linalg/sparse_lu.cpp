@@ -1,0 +1,274 @@
+#include "linalg/sparse_lu.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.h"
+
+namespace relsim {
+
+SparseLuFactorization::SparseLuFactorization(const SparseMatrix& a,
+                                             double singular_threshold)
+    : threshold_(singular_threshold) {
+  RELSIM_REQUIRE(a.rows() == a.cols(), "sparse LU needs a square matrix");
+  RELSIM_REQUIRE(a.rows() > 0, "sparse LU needs a non-empty matrix");
+  factor_full(a);
+}
+
+int SparseLuFactorization::reach_dfs(int i, int j, int top,
+                                     std::vector<int>& xi,
+                                     std::vector<int>& stack,
+                                     std::vector<int>& pstack,
+                                     std::vector<int>& flag) {
+  int head = 0;
+  stack[0] = i;
+  while (head >= 0) {
+    const int node = stack[static_cast<std::size_t>(head)];
+    const int col = pinv_[static_cast<std::size_t>(node)];
+    if (flag[static_cast<std::size_t>(node)] != j) {
+      flag[static_cast<std::size_t>(node)] = j;
+      pstack[static_cast<std::size_t>(head)] =
+          col < 0 ? 0 : lcol_ptr_[static_cast<std::size_t>(col)];
+    }
+    bool descended = false;
+    const int pend =
+        col < 0 ? 0 : lcol_ptr_[static_cast<std::size_t>(col) + 1];
+    for (int q = pstack[static_cast<std::size_t>(head)]; q < pend; ++q) {
+      const int child = lrow_ind_[static_cast<std::size_t>(q)];
+      if (flag[static_cast<std::size_t>(child)] == j) continue;
+      pstack[static_cast<std::size_t>(head)] = q + 1;
+      stack[static_cast<std::size_t>(++head)] = child;
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      --head;
+      xi[static_cast<std::size_t>(--top)] = node;
+    }
+  }
+  return top;
+}
+
+void SparseLuFactorization::factor_full(const SparseMatrix& a) {
+  const std::size_t n = a.rows();
+  n_ = n;
+  anz_ = a.nnz();
+
+  // CSC mirror of the pattern with a value-source map into the CSR array.
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+  acol_ptr_.assign(n + 1, 0);
+  for (int c : col_ind) ++acol_ptr_[static_cast<std::size_t>(c) + 1];
+  for (std::size_t j = 0; j < n; ++j) acol_ptr_[j + 1] += acol_ptr_[j];
+  arow_ind_.assign(anz_, 0);
+  aval_src_.assign(anz_, 0);
+  std::vector<int> next(acol_ptr_.begin(), acol_ptr_.end() - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      const auto c = static_cast<std::size_t>(col_ind[static_cast<std::size_t>(p)]);
+      const auto slot = static_cast<std::size_t>(next[c]++);
+      arow_ind_[slot] = static_cast<int>(r);
+      aval_src_[slot] = p;
+    }
+  }
+
+  // Row norms for scaled partial pivoting (pattern-time choice; refactor
+  // keeps the pivot order, so scales are not recomputed there).
+  const auto& aval = a.values();
+  row_scale_.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double m = 0.0;
+    for (int p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      m = std::max(m, std::abs(aval[static_cast<std::size_t>(p)]));
+    }
+    if (m == 0.0) throw SingularMatrixError("sparse LU: zero row in matrix");
+    row_scale_[r] = 1.0 / m;
+  }
+
+  pinv_.assign(n, -1);
+  p_.assign(n, -1);
+  lcol_ptr_.assign(1, 0);
+  lrow_ind_.clear();
+  lval_.clear();
+  ucol_ptr_.assign(1, 0);
+  urow_ind_.clear();
+  uval_.clear();
+  udiag_.assign(n, 0.0);
+  topo_ptr_.assign(1, 0);
+  topo_row_.clear();
+  lrow_ind_.reserve(4 * anz_);
+  lval_.reserve(4 * anz_);
+  urow_ind_.reserve(4 * anz_);
+  uval_.reserve(4 * anz_);
+
+  std::vector<double> x(n, 0.0);
+  std::vector<int> xi(n), stack(n), pstack(n), flag(n, -1);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Symbolic: reach of pattern(A(:,j)) through the pivoted L columns.
+    int top = static_cast<int>(n);
+    for (int p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+      const int i = arow_ind_[static_cast<std::size_t>(p)];
+      if (flag[static_cast<std::size_t>(i)] != static_cast<int>(j)) {
+        top = reach_dfs(i, static_cast<int>(j), top, xi, stack, pstack, flag);
+      }
+    }
+
+    // Numeric: sparse triangular solve x = L \ A(:,j) over the reach.
+    for (int t = top; t < static_cast<int>(n); ++t) {
+      x[static_cast<std::size_t>(xi[static_cast<std::size_t>(t)])] = 0.0;
+    }
+    for (int p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+      x[static_cast<std::size_t>(arow_ind_[static_cast<std::size_t>(p)])] +=
+          aval[static_cast<std::size_t>(aval_src_[static_cast<std::size_t>(p)])];
+    }
+    for (int t = top; t < static_cast<int>(n); ++t) {
+      const int i = xi[static_cast<std::size_t>(t)];
+      const int k = pinv_[static_cast<std::size_t>(i)];
+      if (k < 0) continue;  // not yet pivotal: becomes an L entry below
+      const double xv = x[static_cast<std::size_t>(i)];
+      urow_ind_.push_back(k);
+      uval_.push_back(xv);
+      for (int q = lcol_ptr_[static_cast<std::size_t>(k)];
+           q < lcol_ptr_[static_cast<std::size_t>(k) + 1]; ++q) {
+        x[static_cast<std::size_t>(lrow_ind_[static_cast<std::size_t>(q)])] -=
+            lval_[static_cast<std::size_t>(q)] * xv;
+      }
+    }
+
+    // Scaled partial pivoting over the not-yet-pivotal rows of the reach.
+    int best = -1;
+    double best_mag = -1.0;
+    for (int t = top; t < static_cast<int>(n); ++t) {
+      const int i = xi[static_cast<std::size_t>(t)];
+      if (pinv_[static_cast<std::size_t>(i)] >= 0) continue;
+      const double mag = std::abs(x[static_cast<std::size_t>(i)]) *
+                         row_scale_[static_cast<std::size_t>(i)];
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = i;
+      }
+    }
+    if (best < 0 ||
+        std::abs(x[static_cast<std::size_t>(best)]) < threshold_) {
+      throw SingularMatrixError("sparse LU: (near-)singular pivot at column " +
+                                std::to_string(j));
+    }
+    const double pivot = x[static_cast<std::size_t>(best)];
+    udiag_[j] = pivot;
+    pinv_[static_cast<std::size_t>(best)] = static_cast<int>(j);
+    p_[j] = best;
+
+    for (int t = top; t < static_cast<int>(n); ++t) {
+      const int i = xi[static_cast<std::size_t>(t)];
+      if (pinv_[static_cast<std::size_t>(i)] >= 0) continue;
+      lrow_ind_.push_back(i);
+      lval_.push_back(x[static_cast<std::size_t>(i)] / pivot);
+    }
+    lcol_ptr_.push_back(static_cast<int>(lrow_ind_.size()));
+    ucol_ptr_.push_back(static_cast<int>(urow_ind_.size()));
+    for (int t = top; t < static_cast<int>(n); ++t) {
+      topo_row_.push_back(xi[static_cast<std::size_t>(t)]);
+    }
+    topo_ptr_.push_back(static_cast<int>(topo_row_.size()));
+  }
+
+  // Permutation parity (for the determinant sign), by cycle decomposition.
+  perm_sign_ = 1;
+  std::vector<char> seen(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (seen[k]) continue;
+    std::size_t len = 0;
+    for (std::size_t c = k; !seen[c]; c = static_cast<std::size_t>(p_[c])) {
+      seen[c] = 1;
+      ++len;
+    }
+    if (len % 2 == 0) perm_sign_ = -perm_sign_;
+  }
+}
+
+void SparseLuFactorization::refactor(const SparseMatrix& a) {
+  RELSIM_REQUIRE(a.rows() == n_ && a.nnz() == anz_,
+                 "sparse LU refactor: matrix structure changed");
+  const auto& aval = a.values();
+  std::vector<double> x(n_, 0.0);
+  std::size_t lpos = 0;
+  std::size_t upos = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    for (int t = topo_ptr_[j]; t < topo_ptr_[j + 1]; ++t) {
+      x[static_cast<std::size_t>(topo_row_[static_cast<std::size_t>(t)])] = 0.0;
+    }
+    for (int p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+      x[static_cast<std::size_t>(arow_ind_[static_cast<std::size_t>(p)])] +=
+          aval[static_cast<std::size_t>(aval_src_[static_cast<std::size_t>(p)])];
+    }
+    // Replay the recorded elimination order; rows pivoted before column j
+    // are U entries and trigger the update with their L column.
+    for (int t = topo_ptr_[j]; t < topo_ptr_[j + 1]; ++t) {
+      const int i = topo_row_[static_cast<std::size_t>(t)];
+      const int k = pinv_[static_cast<std::size_t>(i)];
+      if (k >= static_cast<int>(j)) continue;
+      const double xv = x[static_cast<std::size_t>(i)];
+      uval_[upos++] = xv;
+      for (int q = lcol_ptr_[static_cast<std::size_t>(k)];
+           q < lcol_ptr_[static_cast<std::size_t>(k) + 1]; ++q) {
+        x[static_cast<std::size_t>(lrow_ind_[static_cast<std::size_t>(q)])] -=
+            lval_[static_cast<std::size_t>(q)] * xv;
+      }
+    }
+    const double pivot = x[static_cast<std::size_t>(p_[j])];
+    if (std::abs(pivot) < threshold_) {
+      throw SingularMatrixError(
+          "sparse LU refactor: pivot collapsed at column " + std::to_string(j));
+    }
+    udiag_[j] = pivot;
+    for (int t = topo_ptr_[j]; t < topo_ptr_[j + 1]; ++t) {
+      const int i = topo_row_[static_cast<std::size_t>(t)];
+      if (pinv_[static_cast<std::size_t>(i)] <= static_cast<int>(j)) continue;
+      lval_[lpos++] = x[static_cast<std::size_t>(i)] / pivot;
+    }
+  }
+}
+
+void SparseLuFactorization::solve_into(const Vector& b, Vector& x) const {
+  RELSIM_REQUIRE(b.size() == n_, "sparse LU solve: rhs size mismatch");
+  Vector y(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    y[k] = b[static_cast<std::size_t>(p_[k])];
+  }
+  // Forward solve L y = P b (unit diagonal; L rows are original ids).
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double yk = y[k];
+    if (yk == 0.0) continue;
+    for (int q = lcol_ptr_[k]; q < lcol_ptr_[k + 1]; ++q) {
+      y[static_cast<std::size_t>(
+          pinv_[static_cast<std::size_t>(
+              lrow_ind_[static_cast<std::size_t>(q)])])] -=
+          lval_[static_cast<std::size_t>(q)] * yk;
+    }
+  }
+  // Back solve U x = y (column-oriented; U rows are pivot-order ids).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const double xj = y[jj] / udiag_[jj];
+    y[jj] = xj;
+    for (int q = ucol_ptr_[jj]; q < ucol_ptr_[jj + 1]; ++q) {
+      y[static_cast<std::size_t>(urow_ind_[static_cast<std::size_t>(q)])] -=
+          uval_[static_cast<std::size_t>(q)] * xj;
+    }
+  }
+  x = std::move(y);
+}
+
+Vector SparseLuFactorization::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+double SparseLuFactorization::determinant() const {
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= udiag_[i];
+  return det;
+}
+
+}  // namespace relsim

@@ -1,0 +1,81 @@
+// Sparse LU factorization with a reusable symbolic structure.
+//
+// Left-looking (Gilbert-Peierls) LU with scaled partial pivoting. The first
+// factorization performs the symbolic analysis — per-column elimination
+// reach (topological order), pivot order, and the fill patterns of L and U —
+// and stores it. refactor() then redoes only the numeric work on a matrix
+// with the SAME sparsity pattern, reusing the pivot order and skipping every
+// DFS: this is the fast path the Newton loop hits on all iterations and
+// timesteps after the first.
+//
+// The symbolic-reuse contract: refactor(a) requires `a` to have exactly the
+// structure of the matrix the factorization was built from (same n, same
+// nonzero positions). A pivot that collapses below the singularity threshold
+// under the frozen pivot order throws SingularMatrixError — the caller
+// rebuilds the factorization (fresh pivot choice) or falls back to dense.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse_matrix.h"
+
+namespace relsim {
+
+class SparseLuFactorization {
+ public:
+  /// Full symbolic + numeric factorization of PA = LU. `a` must be square.
+  explicit SparseLuFactorization(const SparseMatrix& a,
+                                 double singular_threshold = 1e-13);
+
+  /// Numeric-only refactorization under the frozen symbolic structure.
+  /// Throws SingularMatrixError when a pivot falls below the threshold;
+  /// the factorization is then unusable until rebuilt.
+  void refactor(const SparseMatrix& a);
+
+  std::size_t size() const { return n_; }
+  std::size_t fill_nnz() const { return lval_.size() + uval_.size() + n_; }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+  void solve_into(const Vector& b, Vector& x) const;
+
+  /// det(A); sign accounts for the row permutation.
+  double determinant() const;
+
+ private:
+  void factor_full(const SparseMatrix& a);
+  /// Depth-first search from row `i` through pivoted L columns; prepends
+  /// the reach to xi[top..) in topological order and returns the new top.
+  int reach_dfs(int i, int j, int top, std::vector<int>& xi,
+                std::vector<int>& stack, std::vector<int>& pstack,
+                std::vector<int>& flag);
+
+  std::size_t n_ = 0;
+  std::size_t anz_ = 0;  ///< nnz of the source matrix (structure check)
+  double threshold_;
+
+  // CSC mirror of the source pattern; aval_src_ maps each CSC slot to the
+  // index of the same entry in the source matrix's CSR value array.
+  std::vector<int> acol_ptr_, arow_ind_, aval_src_;
+
+  // L (unit diagonal implicit) in CSC with ORIGINAL row indices; U in CSC
+  // with PIVOT-ORDER row indices; U's diagonal kept separate.
+  std::vector<int> lcol_ptr_, lrow_ind_;
+  std::vector<double> lval_;
+  std::vector<int> ucol_ptr_, urow_ind_;
+  std::vector<double> uval_;
+  std::vector<double> udiag_;
+
+  std::vector<int> p_;     ///< p_[k] = original row pivoted at step k
+  std::vector<int> pinv_;  ///< pinv_[original row] = pivot step
+  int perm_sign_ = 1;
+
+  // Per-column elimination reach in topological order (original row ids),
+  // replayed verbatim by refactor().
+  std::vector<int> topo_ptr_, topo_row_;
+
+  std::vector<double> row_scale_;  ///< scaled-pivoting row norms
+};
+
+}  // namespace relsim

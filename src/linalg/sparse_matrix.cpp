@@ -1,0 +1,87 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace relsim {
+
+void SparsityPattern::add_diagonal(std::size_t n) {
+  entries_.reserve(entries_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries_.emplace_back(static_cast<int>(i), static_cast<int>(i));
+  }
+}
+
+SparseMatrix::SparseMatrix(std::size_t n, const SparsityPattern& pattern)
+    : n_(n) {
+  std::vector<std::pair<int, int>> entries = pattern.entries();
+  for (const auto& [r, c] : entries) {
+    RELSIM_REQUIRE(r < static_cast<int>(n) && c < static_cast<int>(n),
+                   "sparsity pattern entry out of range");
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+  row_ptr_.assign(n + 1, 0);
+  col_ind_.reserve(entries.size());
+  for (const auto& [r, c] : entries) {
+    ++row_ptr_[static_cast<std::size_t>(r) + 1];
+    col_ind_.push_back(c);
+  }
+  for (std::size_t i = 0; i < n; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  values_.assign(col_ind_.size(), 0.0);
+}
+
+void SparseMatrix::zero_values() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+int SparseMatrix::find(std::size_t row, std::size_t col) const {
+  const auto begin = col_ind_.begin() + row_ptr_[row];
+  const auto end = col_ind_.begin() + row_ptr_[row + 1];
+  const auto it = std::lower_bound(begin, end, static_cast<int>(col));
+  if (it == end || *it != static_cast<int>(col)) return -1;
+  return static_cast<int>(it - col_ind_.begin());
+}
+
+bool SparseMatrix::add_at(std::size_t row, std::size_t col, double value) {
+  if (row >= n_ || col >= n_) return false;
+  const int pos = find(row, col);
+  if (pos < 0) return false;
+  values_[static_cast<std::size_t>(pos)] += value;
+  return true;
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  RELSIM_REQUIRE(row < n_ && col < n_, "sparse matrix index out of range");
+  const int pos = find(row, col);
+  return pos < 0 ? 0.0 : values_[static_cast<std::size_t>(pos)];
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  RELSIM_REQUIRE(x.size() == n_, "sparse multiply: size mismatch");
+  Vector y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (int p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      acc += values_[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(col_ind_[static_cast<std::size_t>(p)])];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix dense(n_, n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (int p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      dense(r, static_cast<std::size_t>(col_ind_[static_cast<std::size_t>(p)])) =
+          values_[static_cast<std::size_t>(p)];
+    }
+  }
+  return dense;
+}
+
+}  // namespace relsim

@@ -1,0 +1,91 @@
+// Compressed-sparse-row matrix for MNA systems.
+//
+// MNA Jacobians are extremely sparse (a handful of entries per device), so
+// past a few dozen unknowns a sparse factorization beats the dense path by
+// orders of magnitude (bench_sparse_solver measures the crossover). The
+// structure is split in two pieces so the hot Newton loop never allocates:
+//
+//   SparsityPattern  — a set of (row, col) positions collected once per
+//                      circuit topology ("stamp-pattern builder");
+//   SparseMatrix     — CSR storage built from a pattern; values are zeroed
+//                      and re-accumulated in place every Newton iteration.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace relsim {
+
+/// Set of structurally nonzero (row, col) positions of a square matrix.
+/// Duplicates are allowed and deduplicated when a SparseMatrix is built.
+class SparsityPattern {
+ public:
+  /// Records position (row, col). Negative indices are ignored so MNA
+  /// stamps can pass ground (-1) unconditionally, mirroring StampArgs.
+  void add(int row, int col) {
+    if (row < 0 || col < 0) return;
+    entries_.emplace_back(row, col);
+  }
+
+  /// Records (i, i) for every i in [0, n): guarantees a structural
+  /// diagonal, which the gmin stamp and pivoting both rely on.
+  void add_diagonal(std::size_t n);
+
+  void clear() { entries_.clear(); }
+  std::size_t entry_count() const { return entries_.size(); }
+  const std::vector<std::pair<int, int>>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::pair<int, int>> entries_;
+};
+
+/// Square CSR matrix with an immutable sparsity structure. Writes outside
+/// the structure are reported (not stored) so callers can detect a stale
+/// pattern and rebuild it.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds the CSR structure for an n x n matrix from `pattern`
+  /// (deduplicated, columns sorted within each row). All values start at 0.
+  SparseMatrix(std::size_t n, const SparsityPattern& pattern);
+
+  std::size_t rows() const { return n_; }
+  std::size_t cols() const { return n_; }
+  std::size_t nnz() const { return col_ind_.size(); }
+
+  /// Zeroes every stored value, keeping the structure.
+  void zero_values();
+
+  /// Accumulates `value` at (row, col). Returns false (and stores nothing)
+  /// when the position is not part of the structure.
+  bool add_at(std::size_t row, std::size_t col, double value);
+
+  /// Value at (row, col); structural zeros read as 0.0.
+  double at(std::size_t row, std::size_t col) const;
+
+  /// y = A*x.
+  Vector multiply(const Vector& x) const;
+
+  /// Dense copy (dense-fallback path and tests).
+  Matrix to_dense() const;
+
+  // Raw CSR access for the factorization.
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_ind() const { return col_ind_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  /// Index into values_ of (row, col), or -1 when absent.
+  int find(std::size_t row, std::size_t col) const;
+
+  std::size_t n_ = 0;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_ind_;
+  std::vector<double> values_;
+};
+
+}  // namespace relsim

@@ -17,6 +17,11 @@ struct NewtonOptions {
   double reltol = 1e-6;
   double max_step_v = 1.0;  ///< per-iteration voltage-update damping limit
   double gmin = 1e-12;      ///< conductance added from every node to ground
+  /// Unknown count at and above which the sparse LU path (cached symbolic
+  /// structure, numeric refactorization) is used; below it the dense LU
+  /// wins on bookkeeping overhead. Set to 1 to force sparse, a huge value
+  /// to force dense (equivalence tests do both).
+  int sparse_min_unknowns = 32;
 };
 
 struct DcOptions {
@@ -37,9 +42,15 @@ class DcResult {
     return node == kGround ? 0.0 : x_[static_cast<std::size_t>(node - 1)];
   }
 
+  /// Linear-solver counters spent on this operating point (factorizations,
+  /// symbolic reuses, fallbacks, Newton iterations).
+  const SolverStats& solver_stats() const { return stats_; }
+  void set_solver_stats(const SolverStats& stats) { stats_ = stats; }
+
  private:
   Vector x_;
   int iters_;
+  SolverStats stats_;
 };
 
 /// Solves the DC operating point. Tries plain Newton from `initial_guess`
@@ -63,6 +74,11 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
                           Integrator integrator, double time, double dt,
                           double source_scale, double gmin,
                           const NewtonOptions& options);
+
+/// The gmin-stepping relaxation ladder: decade steps from 1e-2 down,
+/// always terminating EXACTLY at `gmin` (also for non-decade values).
+/// Exposed for tests.
+std::vector<double> gmin_ladder(double gmin);
 
 // ---------------------------------------------------------------------------
 // Transient
@@ -92,6 +108,9 @@ class TransientResult {
 
   std::size_t step_count() const { return time_.size(); }
 
+  /// Linear-solver counters spent across the whole run.
+  const SolverStats& solver_stats() const { return stats_; }
+
  private:
   friend TransientResult transient_analysis(
       Circuit&, const TransientOptions&, const std::vector<NodeId>&,
@@ -100,6 +119,7 @@ class TransientResult {
   std::vector<double> time_;
   std::map<NodeId, std::vector<double>> nodes_;
   std::map<std::string, std::vector<double>> currents_;
+  SolverStats stats_;
 };
 
 /// Runs a transient analysis, probing the listed nodes and the branch

@@ -39,6 +39,7 @@ Device& Circuit::add_device(std::unique_ptr<Device> device) {
   device_index_.emplace(device->name(), &ref);
   devices_.push_back(std::move(device));
   assembled_ = false;
+  solver_cache_.invalidate_structure();
   return ref;
 }
 

@@ -9,6 +9,7 @@
 #include "spice/device.h"
 #include "spice/elements.h"
 #include "spice/mosfet.h"
+#include "spice/solver_cache.h"
 #include "util/error.h"
 
 namespace relsim::spice {
@@ -90,6 +91,11 @@ class Circuit {
   /// device is added.
   void assemble();
 
+  /// Solver state (sparsity pattern, symbolic LU, stats) reused across
+  /// Newton iterations and timesteps; structure is invalidated whenever a
+  /// device is added.
+  SolverCache& solver_cache() { return solver_cache_; }
+
  private:
   int next_node_ = 1;
   std::map<std::string, NodeId> node_ids_;
@@ -98,6 +104,7 @@ class Circuit {
   std::map<std::string, Device*> device_index_;
   int extra_unknowns_ = 0;
   bool assembled_ = false;
+  SolverCache solver_cache_;
 };
 
 }  // namespace relsim::spice

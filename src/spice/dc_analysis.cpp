@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "linalg/lu.h"
 #include "spice/analysis.h"
@@ -13,7 +14,19 @@ namespace relsim::spice {
 
 void StampArgs::add_jac(int row, int col, double value) {
   if (row < 0 || col < 0) return;
-  jac(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+  if (pattern_ != nullptr) {
+    pattern_->add(row, col);
+    return;
+  }
+  if (sparse_ != nullptr) {
+    if (!sparse_->add_at(static_cast<std::size_t>(row),
+                         static_cast<std::size_t>(col), value)) {
+      missed.emplace_back(row, col);
+    }
+    return;
+  }
+  (*dense_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
+      value;
 }
 
 void StampArgs::add_rhs(int row, double value) {
@@ -36,6 +49,59 @@ void StampArgs::add_current(NodeId a, NodeId b, double i) {
 }
 
 // ---------------------------------------------------------------------------
+// Sparse-structure management
+
+namespace {
+
+/// Captures the stamp pattern of every device — union of the DC and
+/// transient stamps, so one structure serves all analyses — plus the full
+/// structural diagonal (gmin stamp, pivot safety), and rebuilds the cached
+/// CSR matrix from it. The capture pass runs each stamp at a zero iterate
+/// with a dummy dt; devices only write positions in this mode.
+void rebuild_sparse_structure(Circuit& circuit, SolverCache& cache,
+                              std::size_t n) {
+  const Vector zeros(n, 0.0);
+  Vector scratch_rhs(n, 0.0);
+  for (const AnalysisMode mode :
+       {AnalysisMode::kDcOp, AnalysisMode::kTransient}) {
+    StampArgs args(cache.pattern, scratch_rhs, zeros, mode,
+                   Integrator::kBackwardEuler, 0.0, 1.0, 1.0);
+    for (const auto& device : circuit.devices()) device->stamp(args);
+  }
+  cache.pattern.add_diagonal(n);
+  cache.matrix = SparseMatrix(n, cache.pattern);
+  cache.lu.reset();
+  cache.pattern_valid = true;
+  cache.pattern_n = n;
+  ++cache.stats.pattern_builds;
+}
+
+/// Stamps every device into the cached sparse matrix. When a stamp lands
+/// outside the frozen structure (e.g. a post-breakdown gate-leak path that
+/// did not exist at capture time), the pattern is grown by the missed
+/// positions and the assembly is redone once against the new structure.
+void assemble_sparse(Circuit& circuit, SolverCache& cache, Vector& rhs,
+                     const Vector& x, AnalysisMode mode, Integrator integrator,
+                     double time, double dt, double source_scale) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    cache.matrix.zero_values();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    StampArgs args(cache.matrix, rhs, x, mode, integrator, time, dt,
+                   source_scale);
+    for (const auto& device : circuit.devices()) device->stamp(args);
+    if (args.missed.empty()) return;
+    RELSIM_REQUIRE(attempt == 0,
+                   "sparse assembly missed entries twice in a row");
+    for (const auto& [r, c] : args.missed) cache.pattern.add(r, c);
+    cache.matrix = SparseMatrix(cache.pattern_n, cache.pattern);
+    cache.lu.reset();
+    ++cache.stats.pattern_builds;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Newton core
 
 NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
@@ -49,26 +115,70 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
   x.resize(n, 0.0);
   const std::size_t nodes = static_cast<std::size_t>(circuit.node_count());
 
-  Matrix jac(n, n);
+  SolverCache& cache = circuit.solver_cache();
+  const bool use_sparse =
+      static_cast<int>(n) >= options.sparse_min_unknowns;
+  if (use_sparse && (!cache.pattern_valid || cache.pattern_n != n)) {
+    rebuild_sparse_structure(circuit, cache, n);
+  }
+
+  Matrix jac;  // dense path / fallback storage, allocated on first use
   Vector rhs(n);
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    jac.fill(0.0);
-    std::fill(rhs.begin(), rhs.end(), 0.0);
-
-    StampArgs args{jac, rhs, x, mode, integrator, time, dt, source_scale};
-    for (const auto& device : circuit.devices()) device->stamp(args);
-
-    // Diagonal gmin from every node to ground: guards floating nodes and
-    // cut-off device stacks.
-    for (std::size_t i = 0; i < nodes; ++i) jac(i, i) += gmin;
-
     Vector x_new;
-    try {
-      LuFactorization lu(jac);
-      lu.solve_into(rhs, x_new);
-    } catch (const SingularMatrixError&) {
-      return {false, iter};
+    bool solved = false;
+
+    if (use_sparse) {
+      assemble_sparse(circuit, cache, rhs, x, mode, integrator, time, dt,
+                      source_scale);
+      for (std::size_t i = 0; i < nodes; ++i) cache.matrix.add_at(i, i, gmin);
+      try {
+        if (cache.lu == nullptr) {
+          cache.lu = std::make_unique<SparseLuFactorization>(cache.matrix);
+          ++cache.stats.sparse_symbolic_factorizations;
+        } else {
+          try {
+            cache.lu->refactor(cache.matrix);
+            ++cache.stats.sparse_numeric_refactorizations;
+          } catch (const SingularMatrixError&) {
+            // The frozen pivot order went bad at the new operating point;
+            // redo the symbolic analysis with a fresh pivot choice.
+            cache.lu.reset();
+            cache.lu = std::make_unique<SparseLuFactorization>(cache.matrix);
+            ++cache.stats.sparse_symbolic_factorizations;
+          }
+        }
+        cache.lu->solve_into(rhs, x_new);
+        solved = true;
+      } catch (const SingularMatrixError&) {
+        // Pivot failure even with a fresh symbolic analysis: rescue the
+        // iteration with the dense factorization (different pivoting may
+        // still get through); the values are already assembled.
+        cache.lu.reset();
+        ++cache.stats.dense_fallbacks;
+        jac = cache.matrix.to_dense();
+      }
+    } else {
+      if (jac.rows() != n) jac = Matrix(n, n);
+      jac.fill(0.0);
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+      StampArgs args(jac, rhs, x, mode, integrator, time, dt, source_scale);
+      for (const auto& device : circuit.devices()) device->stamp(args);
+      // Diagonal gmin from every node to ground: guards floating nodes and
+      // cut-off device stacks.
+      for (std::size_t i = 0; i < nodes; ++i) jac(i, i) += gmin;
+    }
+
+    if (!solved) {
+      try {
+        LuFactorization lu(jac);
+        lu.solve_into(rhs, x_new);
+        ++cache.stats.dense_factorizations;
+      } catch (const SingularMatrixError&) {
+        cache.stats.newton_iterations += iter;
+        return {false, iter};
+      }
     }
 
     // Damp the voltage update and check convergence on the damped step.
@@ -86,30 +196,62 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
       if (std::abs(delta) > tol) converged = false;
       x[i] += delta;
     }
-    if (converged && iter > 1) return {true, iter};
+    if (converged) {
+      cache.stats.newton_iterations += iter;
+      return {true, iter};
+    }
   }
+  cache.stats.newton_iterations += options.max_iterations;
   return {false, options.max_iterations};
 }
 
 // ---------------------------------------------------------------------------
 // DC operating point with gmin / source stepping fallbacks
 
+std::vector<double> gmin_ladder(double gmin) {
+  RELSIM_REQUIRE(gmin > 0.0, "gmin must be positive");
+  std::vector<double> ladder;
+  // Decade rungs strictly above gmin (the 1e-9 headroom absorbs the
+  // rounding drift of repeated division), then gmin itself — the ladder
+  // ends exactly at the requested value even off the decade grid.
+  for (double g = 1e-2; g > gmin * (1.0 + 1e-9); g /= 10.0) {
+    ladder.push_back(g);
+  }
+  ladder.push_back(gmin);
+  return ladder;
+}
+
+namespace {
+
+DcResult make_dc_result(Circuit& circuit, Vector x, int iterations,
+                        const SolverStats& before) {
+  DcResult r(std::move(x), iterations);
+  r.set_solver_stats(circuit.solver_cache().stats - before);
+  return r;
+}
+
+}  // namespace
+
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
                             const Vector& initial_guess) {
   circuit.assemble();
+  const SolverStats before = circuit.solver_cache().stats;
   Vector x = initial_guess;
   NewtonResult res =
       newton_solve(circuit, x, AnalysisMode::kDcOp, Integrator::kBackwardEuler,
                    0.0, 0.0, 1.0, options.newton.gmin, options.newton);
-  if (res.converged) return DcResult(std::move(x), res.iterations);
+  if (res.converged) {
+    return make_dc_result(circuit, std::move(x), res.iterations, before);
+  }
 
   if (options.allow_gmin_stepping) {
-    // Solve with a heavy diagonal conductance, then relax it step by step,
-    // reusing each solution as the next starting point.
+    // Solve with a heavy diagonal conductance, then relax it rung by rung,
+    // reusing each solution as the next starting point. The ladder ends
+    // exactly at options.newton.gmin, so the last rung IS the final solve.
     Vector xg(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
     bool ok = true;
     int total_iters = 0;
-    for (double g = 1e-2; g >= options.newton.gmin; g /= 10.0) {
+    for (const double g : gmin_ladder(options.newton.gmin)) {
       res = newton_solve(circuit, xg, AnalysisMode::kDcOp,
                          Integrator::kBackwardEuler, 0.0, 0.0, 1.0, g,
                          options.newton);
@@ -120,11 +262,7 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
       }
     }
     if (ok) {
-      res = newton_solve(circuit, xg, AnalysisMode::kDcOp,
-                         Integrator::kBackwardEuler, 0.0, 0.0, 1.0,
-                         options.newton.gmin, options.newton);
-      if (res.converged)
-        return DcResult(std::move(xg), total_iters + res.iterations);
+      return make_dc_result(circuit, std::move(xg), total_iters, before);
     }
     log_debug("gmin stepping failed, trying source stepping");
   }
@@ -144,7 +282,9 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
         break;
       }
     }
-    if (ok) return DcResult(std::move(xs), total_iters);
+    if (ok) {
+      return make_dc_result(circuit, std::move(xs), total_iters, before);
+    }
   }
 
   throw ConvergenceError(

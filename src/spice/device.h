@@ -9,9 +9,12 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "linalg/complex_matrix.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
 
 namespace relsim::spice {
 
@@ -31,8 +34,32 @@ enum class Integrator {
 };
 
 /// Everything a device needs to stamp one Newton iteration.
+///
+/// The Jacobian target is one of three backends, selected by constructor:
+/// a dense Matrix, a SparseMatrix with a frozen structure, or a
+/// SparsityPattern capture pass (positions recorded, values discarded).
+/// Devices only see add_jac()/add_rhs() and friends, so they are agnostic
+/// to which backend is active.
 struct StampArgs {
-  Matrix& jac;
+  StampArgs(Matrix& jac, Vector& rhs_in, const Vector& x_in,
+            AnalysisMode mode_in, Integrator integrator_in, double time_in,
+            double dt_in, double source_scale_in)
+      : rhs(rhs_in), x(x_in), mode(mode_in), integrator(integrator_in),
+        time(time_in), dt(dt_in), source_scale(source_scale_in),
+        dense_(&jac) {}
+  StampArgs(SparseMatrix& jac, Vector& rhs_in, const Vector& x_in,
+            AnalysisMode mode_in, Integrator integrator_in, double time_in,
+            double dt_in, double source_scale_in)
+      : rhs(rhs_in), x(x_in), mode(mode_in), integrator(integrator_in),
+        time(time_in), dt(dt_in), source_scale(source_scale_in),
+        sparse_(&jac) {}
+  StampArgs(SparsityPattern& pattern, Vector& rhs_in, const Vector& x_in,
+            AnalysisMode mode_in, Integrator integrator_in, double time_in,
+            double dt_in, double source_scale_in)
+      : rhs(rhs_in), x(x_in), mode(mode_in), integrator(integrator_in),
+        time(time_in), dt(dt_in), source_scale(source_scale_in),
+        pattern_(&pattern) {}
+
   Vector& rhs;
   const Vector& x;  ///< current iterate
   AnalysisMode mode = AnalysisMode::kDcOp;
@@ -40,6 +67,12 @@ struct StampArgs {
   double time = 0.0;          ///< time at the end of the step being solved
   double dt = 0.0;            ///< current step size (transient only)
   double source_scale = 1.0;  ///< independent-source scale (source stepping)
+
+  /// Positions a sparse-backend stamp hit outside the frozen structure
+  /// (stale pattern, e.g. a gate-leak path appearing after breakdown).
+  /// Empty after a clean assembly; the caller grows the pattern and
+  /// restamps when non-empty.
+  std::vector<std::pair<int, int>> missed;
 
   /// Voltage of node `n` at the current iterate (0 for ground).
   double v(NodeId n) const {
@@ -62,6 +95,12 @@ struct StampArgs {
 
   /// Unknown index of node `n` (-1 for ground).
   static int unknown_of(NodeId n) { return n - 1; }
+
+ private:
+  // Exactly one backend is non-null.
+  Matrix* dense_ = nullptr;
+  SparseMatrix* sparse_ = nullptr;
+  SparsityPattern* pattern_ = nullptr;
 };
 
 /// Everything a device needs to stamp one AC (small-signal) frequency

@@ -1,0 +1,60 @@
+// Per-circuit linear-solver state reused across Newton iterations,
+// timesteps and sweep points.
+//
+// The Newton loop spends essentially all of its time assembling and
+// factorizing the MNA Jacobian. Its sparsity pattern is a property of the
+// circuit topology alone, so it is captured once (a stamp pass that records
+// positions instead of values), and the sparse LU's symbolic analysis —
+// elimination reach and pivot order — is likewise computed once and reused
+// by numeric-only refactorizations on every subsequent iteration. The cache
+// lives on the Circuit and is invalidated when a device is added.
+#pragma once
+
+#include <memory>
+
+#include "linalg/sparse_lu.h"
+#include "linalg/sparse_matrix.h"
+
+namespace relsim::spice {
+
+/// Linear-solver observability counters, exposed on analysis results.
+struct SolverStats {
+  long dense_factorizations = 0;  ///< full dense LU runs (small circuits)
+  long sparse_symbolic_factorizations = 0;  ///< pattern + pivot-order builds
+  long sparse_numeric_refactorizations = 0;  ///< symbolic-structure reuses
+  long pattern_builds = 0;    ///< stamp-pattern capture passes
+  long dense_fallbacks = 0;   ///< sparse pivot failures rescued densely
+  long newton_iterations = 0;
+};
+
+inline SolverStats operator-(const SolverStats& a, const SolverStats& b) {
+  SolverStats d;
+  d.dense_factorizations = a.dense_factorizations - b.dense_factorizations;
+  d.sparse_symbolic_factorizations =
+      a.sparse_symbolic_factorizations - b.sparse_symbolic_factorizations;
+  d.sparse_numeric_refactorizations =
+      a.sparse_numeric_refactorizations - b.sparse_numeric_refactorizations;
+  d.pattern_builds = a.pattern_builds - b.pattern_builds;
+  d.dense_fallbacks = a.dense_fallbacks - b.dense_fallbacks;
+  d.newton_iterations = a.newton_iterations - b.newton_iterations;
+  return d;
+}
+
+class SolverCache {
+ public:
+  bool pattern_valid = false;
+  std::size_t pattern_n = 0;  ///< unknown count the pattern was built for
+  SparsityPattern pattern;
+  SparseMatrix matrix;  ///< values zeroed and restamped each iteration
+  std::unique_ptr<SparseLuFactorization> lu;  ///< symbolic structure holder
+  SolverStats stats;  ///< cumulative; analyses report per-run deltas
+
+  /// Drops the pattern and factorization (topology changed); keeps stats.
+  void invalidate_structure() {
+    pattern_valid = false;
+    pattern_n = 0;
+    lu.reset();
+  }
+};
+
+}  // namespace relsim::spice

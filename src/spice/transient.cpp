@@ -27,6 +27,7 @@ TransientResult transient_analysis(
   RELSIM_REQUIRE(options.dt > 0.0, "transient dt must be positive");
   RELSIM_REQUIRE(options.t_stop > 0.0, "transient t_stop must be positive");
   circuit.assemble();
+  const SolverStats stats_before = circuit.solver_cache().stats;
 
   // Starting solution: DC operating point, or raw initial conditions (UIC).
   Vector x;
@@ -95,6 +96,7 @@ TransientResult transient_analysis(
       if (dt >= options.dt) halvings = 0;
     }
   }
+  result.stats_ = circuit.solver_cache().stats - stats_before;
   return result;
 }
 

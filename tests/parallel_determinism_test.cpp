@@ -1,0 +1,79 @@
+// Locks in the bit-identity contract of the parallel Monte-Carlo drivers:
+// because every sample owns a derived seed, run_metric_parallel and
+// estimate_yield_parallel must return EXACTLY the serial results for any
+// thread count (montecarlo.h documents this; yield analyses rely on it).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "variability/montecarlo.h"
+
+namespace relsim {
+namespace {
+
+double sample_metric(Xoshiro256& rng, std::size_t index) {
+  // Chews through enough RNG state to make ordering bugs visible.
+  NormalDistribution normal(0.0, 1.0);
+  double acc = static_cast<double>(index);
+  for (int k = 0; k < 16; ++k) acc += normal(rng);
+  return std::cos(acc) + acc;
+}
+
+TEST(ParallelDeterminismTest, RunMetricBitIdenticalAcrossThreadCounts) {
+  const MonteCarloEngine engine(0xfeedbeefULL);
+  const std::size_t n = 257;  // deliberately not a multiple of any count
+  const std::vector<double> serial = engine.run_metric(n, sample_metric);
+  for (const unsigned threads : {1u, 2u, 3u, 5u, 8u, 16u, 64u}) {
+    const std::vector<double> parallel =
+        engine.run_metric_parallel(n, sample_metric, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bit identity, not closeness: same seed, same arithmetic.
+      EXPECT_EQ(parallel[i], serial[i])
+          << "threads=" << threads << " sample=" << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, YieldEstimateIdenticalAcrossThreadCounts) {
+  const MonteCarloEngine engine(123456789ULL);
+  const auto pass = [](Xoshiro256& rng, std::size_t index) {
+    NormalDistribution normal(0.0, 1.0);
+    double acc = 0.0;
+    for (int k = 0; k < 8; ++k) acc += normal(rng);
+    return acc + 0.01 * static_cast<double>(index % 7) > 0.0;
+  };
+  const YieldEstimate serial = engine.estimate_yield(1003, pass);
+  for (const unsigned threads : {1u, 2u, 3u, 7u, 12u, 32u}) {
+    const YieldEstimate parallel =
+        engine.estimate_yield_parallel(1003, pass, threads);
+    EXPECT_EQ(parallel.passed, serial.passed) << "threads=" << threads;
+    EXPECT_EQ(parallel.total, serial.total);
+    EXPECT_EQ(parallel.interval.estimate, serial.interval.estimate);
+    EXPECT_EQ(parallel.interval.lo, serial.interval.lo);
+    EXPECT_EQ(parallel.interval.hi, serial.interval.hi);
+  }
+}
+
+TEST(ParallelDeterminismTest, MoreThreadsThanSamples) {
+  const MonteCarloEngine engine(42);
+  const std::vector<double> serial = engine.run_metric(3, sample_metric);
+  const std::vector<double> parallel =
+      engine.run_metric_parallel(3, sample_metric, 64);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]);
+  }
+}
+
+TEST(ParallelDeterminismTest, ExceptionsPropagateFromWorkers) {
+  const MonteCarloEngine engine(7);
+  const auto failing = [](Xoshiro256&, std::size_t index) -> double {
+    if (index == 100) throw Error("sample 100 exploded");
+    return 0.0;
+  };
+  EXPECT_THROW(engine.run_metric_parallel(128, failing, 4), Error);
+}
+
+}  // namespace
+}  // namespace relsim

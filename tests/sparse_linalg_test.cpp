@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "linalg/lu.h"
+#include "linalg/sparse_lu.h"
+#include "linalg/sparse_matrix.h"
+#include "util/error.h"
+
+namespace relsim {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform(std::uint64_t& state, double lo, double hi) {
+  const double u =
+      static_cast<double>(splitmix(state) >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+/// Random matrix with an MNA-like pattern: tridiagonal-ish coupling plus a
+/// few long-range entries (branch rows), diagonally dominant so the LU is
+/// well conditioned. Returns the sparse matrix and its pattern.
+SparseMatrix random_mna_matrix(std::size_t n, std::uint64_t seed,
+                               SparsityPattern* pattern_out = nullptr) {
+  SparsityPattern pattern;
+  pattern.add_diagonal(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    pattern.add(static_cast<int>(i), static_cast<int>(i + 1));
+    pattern.add(static_cast<int>(i + 1), static_cast<int>(i));
+  }
+  std::uint64_t s = seed;
+  for (std::size_t k = 0; k < n; ++k) {
+    const int r = static_cast<int>(splitmix(s) % n);
+    const int c = static_cast<int>(splitmix(s) % n);
+    pattern.add(r, c);
+    pattern.add(c, r);
+  }
+  SparseMatrix a(n, pattern);
+  // Off-diagonals first, then overwrite the diagonal with row dominance.
+  std::vector<double> rowsum(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int p = a.row_ptr()[r]; p < a.row_ptr()[r + 1]; ++p) {
+      const auto c = static_cast<std::size_t>(a.col_ind()[p]);
+      if (c == r) continue;
+      const double v = uniform(s, -1.0, 1.0);
+      a.add_at(r, c, v);
+      rowsum[r] += std::abs(v);
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    a.add_at(r, r, rowsum[r] + uniform(s, 0.5, 1.5));
+  }
+  if (pattern_out != nullptr) *pattern_out = pattern;
+  return a;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Vector b(n);
+  std::uint64_t s = seed;
+  for (auto& v : b) v = uniform(s, -2.0, 2.0);
+  return b;
+}
+
+TEST(SparseMatrixTest, BuildsDeduplicatedSortedCsr) {
+  SparsityPattern pattern;
+  pattern.add(0, 1);
+  pattern.add(0, 1);  // duplicate
+  pattern.add(1, 0);
+  pattern.add(-1, 0);  // ground: ignored
+  pattern.add(0, -1);
+  pattern.add_diagonal(2);
+  SparseMatrix a(2, pattern);
+  EXPECT_EQ(a.nnz(), 4u);
+  EXPECT_TRUE(a.add_at(0, 1, 2.5));
+  EXPECT_TRUE(a.add_at(0, 1, 0.5));  // accumulates
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);  // structural zero reads as 0
+}
+
+TEST(SparseMatrixTest, AddOutsidePatternIsReported) {
+  SparsityPattern pattern;
+  pattern.add_diagonal(3);
+  SparseMatrix a(3, pattern);
+  EXPECT_FALSE(a.add_at(0, 2, 1.0));
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  const std::size_t n = 17;
+  const SparseMatrix a = random_mna_matrix(n, 42);
+  const Matrix dense = a.to_dense();
+  const Vector x = random_vector(n, 7);
+  const Vector ys = a.multiply(x);
+  const Vector yd = dense.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(SparseLuTest, SolveMatchesDenseOnRandomMnaMatrices) {
+  for (const std::size_t n : {3u, 8u, 25u, 60u, 150u}) {
+    const SparseMatrix a = random_mna_matrix(n, 1000 + n);
+    const Matrix dense = a.to_dense();
+    const Vector b = random_vector(n, 2000 + n);
+
+    const SparseLuFactorization sparse_lu(a);
+    const LuFactorization dense_lu(dense);
+    const Vector xs = sparse_lu.solve(b);
+    const Vector xd = dense_lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(xs[i], xd[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+    // The factorization really solves A x = b.
+    const Vector ax = a.multiply(xs);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(SparseLuTest, DeterminantMatchesDenseIncludingPivotSign) {
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const std::size_t n = 9;
+    SparseMatrix a = random_mna_matrix(n, seed);
+    const SparseLuFactorization sparse_lu(a);
+    const LuFactorization dense_lu(a.to_dense());
+    const double ds = sparse_lu.determinant();
+    const double dd = dense_lu.determinant();
+    EXPECT_NEAR(ds / dd, 1.0, 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(SparseLuTest, DeterminantSignUnderForcedPivoting) {
+  // [[0, 1], [1, 0]] needs one row swap: det = -1.
+  SparsityPattern pattern;
+  pattern.add(0, 1);
+  pattern.add(1, 0);
+  pattern.add_diagonal(2);
+  SparseMatrix a(2, pattern);
+  a.add_at(0, 1, 1.0);
+  a.add_at(1, 0, 1.0);
+  const SparseLuFactorization lu(a);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+  EXPECT_NEAR(LuFactorization(a.to_dense()).determinant(), -1.0, 1e-12);
+}
+
+TEST(SparseLuTest, SingularMatrixErrorParityWithDense) {
+  // Zero row.
+  {
+    SparsityPattern pattern;
+    pattern.add_diagonal(3);
+    SparseMatrix a(3, pattern);
+    a.add_at(0, 0, 1.0);
+    a.add_at(2, 2, 1.0);  // row 1 stays all-zero
+    EXPECT_THROW(SparseLuFactorization{a}, SingularMatrixError);
+    EXPECT_THROW(LuFactorization{a.to_dense()}, SingularMatrixError);
+  }
+  // Structurally full but rank deficient (two identical rows).
+  {
+    SparsityPattern pattern;
+    pattern.add_diagonal(3);
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) pattern.add(r, c);
+    SparseMatrix a(3, pattern);
+    const double row[3] = {1.0, 2.0, 3.0};
+    for (int c = 0; c < 3; ++c) {
+      a.add_at(0, static_cast<std::size_t>(c), row[c]);
+      a.add_at(1, static_cast<std::size_t>(c), row[c]);
+      a.add_at(2, static_cast<std::size_t>(c), row[c] * row[c]);
+    }
+    EXPECT_THROW(SparseLuFactorization{a}, SingularMatrixError);
+    EXPECT_THROW(LuFactorization{a.to_dense()}, SingularMatrixError);
+  }
+}
+
+TEST(SparseLuTest, RefactorReusesStructureAndMatchesFreshFactorization) {
+  const std::size_t n = 40;
+  SparsityPattern pattern;
+  SparseMatrix a = random_mna_matrix(n, 77, &pattern);
+  SparseLuFactorization lu(a);
+
+  // New values, same structure: refactor must equal a fresh factorization.
+  for (int round = 0; round < 3; ++round) {
+    SparseMatrix a2(n, pattern);
+    std::uint64_t s = 500 + static_cast<std::uint64_t>(round);
+    std::vector<double> rowsum(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (int p = a2.row_ptr()[r]; p < a2.row_ptr()[r + 1]; ++p) {
+        const auto c = static_cast<std::size_t>(a2.col_ind()[p]);
+        if (c == r) continue;
+        const double v = uniform(s, -1.0, 1.0);
+        a2.add_at(r, c, v);
+        rowsum[r] += std::abs(v);
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) a2.add_at(r, r, rowsum[r] + 1.0);
+
+    lu.refactor(a2);
+    const Vector b = random_vector(n, 900 + static_cast<std::uint64_t>(round));
+    const Vector x_refactor = lu.solve(b);
+    const Vector x_fresh = SparseLuFactorization(a2).solve(b);
+    const Vector x_dense = LuFactorization(a2.to_dense()).solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x_refactor[i], x_fresh[i], 1e-9);
+      EXPECT_NEAR(x_refactor[i], x_dense[i], 1e-9);
+    }
+  }
+}
+
+TEST(SparseLuTest, RefactorRejectsChangedStructure) {
+  SparsityPattern p1;
+  p1.add_diagonal(4);
+  SparseMatrix a(4, p1);
+  for (std::size_t i = 0; i < 4; ++i) a.add_at(i, i, 2.0);
+  SparseLuFactorization lu(a);
+
+  SparsityPattern p2 = p1;
+  p2.add(0, 3);
+  SparseMatrix b(4, p2);
+  for (std::size_t i = 0; i < 4; ++i) b.add_at(i, i, 2.0);
+  EXPECT_THROW(lu.refactor(b), Error);
+}
+
+TEST(SparseLuTest, RefactorThrowsOnCollapsedPivot) {
+  SparsityPattern pattern;
+  pattern.add_diagonal(3);
+  SparseMatrix a(3, pattern);
+  for (std::size_t i = 0; i < 3; ++i) a.add_at(i, i, 1.0);
+  SparseLuFactorization lu(a);
+
+  SparseMatrix bad(3, pattern);
+  bad.add_at(0, 0, 1.0);
+  bad.add_at(2, 2, 1.0);  // diagonal pivot at column 1 is now ~0
+  EXPECT_THROW(lu.refactor(bad), SingularMatrixError);
+}
+
+}  // namespace
+}  // namespace relsim

@@ -1,0 +1,294 @@
+// Sparse-vs-dense solver equivalence at the analysis level, the
+// symbolic-reuse observability counters, and the Newton-loop regression
+// fixes (first-iteration convergence, exact gmin-ladder termination).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "spice/netlist_parser.h"
+#include "tech/tech.h"
+#include "util/mathx.h"
+
+namespace relsim::spice {
+namespace {
+
+NewtonOptions forced_sparse() {
+  NewtonOptions o;
+  o.sparse_min_unknowns = 1;
+  return o;
+}
+
+NewtonOptions forced_dense() {
+  NewtonOptions o;
+  o.sparse_min_unknowns = 1 << 28;
+  return o;
+}
+
+/// Resistor ladder: source -> R chain of `stages` nodes, each with a shunt
+/// resistor to ground. stages+1 unknowns (nodes + source branch).
+VoltageSource& build_resistor_ladder(Circuit& c, int stages) {
+  NodeId prev = c.node("n0");
+  auto& src = c.add_vsource("V1", prev, kGround, 1.0);
+  for (int i = 1; i <= stages; ++i) {
+    const NodeId node = c.node("n" + std::to_string(i));
+    c.add_resistor("Rs" + std::to_string(i), prev, node, 100.0);
+    c.add_resistor("Rg" + std::to_string(i), node, kGround, 10e3);
+    prev = node;
+  }
+  return src;
+}
+
+void build_inverter_chain(Circuit& c, int stages) {
+  const auto& tech = tech_65nm();
+  const NodeId vdd = c.node("vdd");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  NodeId in = c.node("in");
+  c.add_vsource("VIN", in, kGround,
+                std::make_unique<PulseWaveform>(0.0, tech.vdd, 0.2e-9, 20e-12,
+                                                20e-12, 2e-9, 4e-9));
+  for (int i = 0; i < stages; ++i) {
+    const NodeId out = c.node("s" + std::to_string(i));
+    c.add_mosfet("MN" + std::to_string(i), out, in, kGround, kGround,
+                 make_mos_params(tech, 1.0, 0.1, false));
+    c.add_mosfet("MP" + std::to_string(i), out, in, vdd, vdd,
+                 make_mos_params(tech, 2.0, 0.1, true));
+    c.add_capacitor("CL" + std::to_string(i), out, kGround, 5e-15);
+    in = out;
+  }
+}
+
+TEST(SparseSolverEquivalenceTest, DcLadderMatchesDense) {
+  for (const int stages : {10, 60, 220}) {
+    Circuit cs, cd;
+    build_resistor_ladder(cs, stages);
+    build_resistor_ladder(cd, stages);
+    DcOptions sparse_opt, dense_opt;
+    sparse_opt.newton = forced_sparse();
+    dense_opt.newton = forced_dense();
+    const DcResult rs = dc_operating_point(cs, sparse_opt);
+    const DcResult rd = dc_operating_point(cd, dense_opt);
+    ASSERT_EQ(rs.x().size(), rd.x().size());
+    for (std::size_t i = 0; i < rs.x().size(); ++i) {
+      EXPECT_NEAR(rs.x()[i], rd.x()[i], 1e-9) << "stages=" << stages;
+    }
+    EXPECT_GT(rs.solver_stats().sparse_symbolic_factorizations, 0);
+    EXPECT_EQ(rs.solver_stats().dense_factorizations, 0);
+    EXPECT_EQ(rd.solver_stats().sparse_symbolic_factorizations, 0);
+    EXPECT_GT(rd.solver_stats().dense_factorizations, 0);
+  }
+}
+
+TEST(SparseSolverEquivalenceTest, DcSweepInverterMatchesDense) {
+  Circuit cs, cd;
+  build_inverter_chain(cs, 4);
+  build_inverter_chain(cd, 4);
+  auto& vs = cs.device_as<VoltageSource>("VIN");
+  auto& vd = cd.device_as<VoltageSource>("VIN");
+  const auto values = linspace(0.0, tech_65nm().vdd, 21);
+  DcOptions sparse_opt, dense_opt;
+  sparse_opt.newton = forced_sparse();
+  dense_opt.newton = forced_dense();
+  const auto rs = dc_sweep(cs, vs, values, sparse_opt);
+  const auto rd = dc_sweep(cd, vd, values, dense_opt);
+  ASSERT_EQ(rs.size(), rd.size());
+  for (std::size_t k = 0; k < rs.size(); ++k) {
+    for (std::size_t i = 0; i < rs[k].x().size(); ++i) {
+      EXPECT_NEAR(rs[k].x()[i], rd[k].x()[i], 1e-9) << "point " << k;
+    }
+  }
+}
+
+TEST(SparseSolverEquivalenceTest, TransientRcLadderMatchesDense) {
+  auto build = [](Circuit& c) {
+    const NodeId in = c.node("in");
+    c.add_vsource("V1", in, kGround,
+                  std::make_unique<SineWaveform>(0.0, 1.0, 5e6));
+    NodeId prev = in;
+    for (int i = 1; i <= 40; ++i) {
+      const NodeId node = c.node("n" + std::to_string(i));
+      c.add_resistor("R" + std::to_string(i), prev, node, 50.0);
+      c.add_capacitor("C" + std::to_string(i), node, kGround, 2e-12);
+      prev = node;
+    }
+    return prev;
+  };
+  Circuit cs, cd;
+  const NodeId outs = build(cs);
+  const NodeId outd = build(cd);
+  TransientOptions sparse_opt, dense_opt;
+  sparse_opt.dt = dense_opt.dt = 2e-9;
+  sparse_opt.t_stop = dense_opt.t_stop = 4e-7;
+  sparse_opt.newton = forced_sparse();
+  dense_opt.newton = forced_dense();
+  const TransientResult rs = transient_analysis(cs, sparse_opt, {outs});
+  const TransientResult rd = transient_analysis(cd, dense_opt, {outd});
+  ASSERT_EQ(rs.step_count(), rd.step_count());
+  for (std::size_t k = 0; k < rs.step_count(); ++k) {
+    EXPECT_NEAR(rs.node(outs)[k], rd.node(outd)[k], 1e-9) << "step " << k;
+  }
+  // The whole transient reuses ONE symbolic analysis.
+  EXPECT_EQ(rs.solver_stats().sparse_symbolic_factorizations, 1);
+  EXPECT_EQ(rs.solver_stats().pattern_builds, 1);
+  EXPECT_GT(rs.solver_stats().sparse_numeric_refactorizations,
+            static_cast<long>(rs.step_count()));
+  EXPECT_EQ(rs.solver_stats().dense_fallbacks, 0);
+}
+
+TEST(SparseSolverEquivalenceTest, TransientInverterChainMatchesDense) {
+  Circuit cs, cd;
+  build_inverter_chain(cs, 6);
+  build_inverter_chain(cd, 6);
+  TransientOptions sparse_opt, dense_opt;
+  sparse_opt.dt = dense_opt.dt = 10e-12;
+  sparse_opt.t_stop = dense_opt.t_stop = 3e-9;
+  sparse_opt.integrator = dense_opt.integrator = Integrator::kTrapezoidal;
+  sparse_opt.newton = forced_sparse();
+  dense_opt.newton = forced_dense();
+  const NodeId outs = cs.find_node("s5");
+  const NodeId outd = cd.find_node("s5");
+  const TransientResult rs = transient_analysis(cs, sparse_opt, {outs});
+  const TransientResult rd = transient_analysis(cd, dense_opt, {outd});
+  ASSERT_EQ(rs.step_count(), rd.step_count());
+  for (std::size_t k = 0; k < rs.step_count(); ++k) {
+    EXPECT_NEAR(rs.node(outs)[k], rd.node(outd)[k], 1e-9) << "step " << k;
+  }
+}
+
+TEST(SparseSolverEquivalenceTest, ExampleNetlistsMatchDense) {
+  for (const std::string name :
+       {"inverter.cir", "current_mirror.cir", "rlc_filter.cir"}) {
+    const std::string path =
+        std::string(RELSIM_SOURCE_DIR) + "/examples/netlists/" + name;
+    ParsedNetlist sparse_net = parse_netlist_file(path);
+    ParsedNetlist dense_net = parse_netlist_file(path);
+    DcOptions sparse_opt, dense_opt;
+    sparse_opt.newton = forced_sparse();
+    dense_opt.newton = forced_dense();
+    const DcResult rs = dc_operating_point(*sparse_net.circuit, sparse_opt);
+    const DcResult rd = dc_operating_point(*dense_net.circuit, dense_opt);
+    ASSERT_EQ(rs.x().size(), rd.x().size()) << name;
+    for (std::size_t i = 0; i < rs.x().size(); ++i) {
+      EXPECT_NEAR(rs.x()[i], rd.x()[i], 1e-9) << name << " unknown " << i;
+    }
+  }
+}
+
+TEST(SparseSolverStatsTest, SymbolicStructureReusedAcrossOperatingPoints) {
+  Circuit c;
+  build_resistor_ladder(c, 100);
+  DcOptions opt;
+  opt.newton = forced_sparse();
+  const DcResult r1 = dc_operating_point(c, opt);
+  EXPECT_EQ(r1.solver_stats().pattern_builds, 1);
+  EXPECT_EQ(r1.solver_stats().sparse_symbolic_factorizations, 1);
+  EXPECT_EQ(r1.solver_stats().sparse_numeric_refactorizations,
+            r1.iterations() - 1);
+  // A second solve on the same circuit reuses pattern AND pivot order.
+  const DcResult r2 = dc_operating_point(c, opt, r1.x());
+  EXPECT_EQ(r2.solver_stats().pattern_builds, 0);
+  EXPECT_EQ(r2.solver_stats().sparse_symbolic_factorizations, 0);
+  EXPECT_EQ(r2.solver_stats().sparse_numeric_refactorizations,
+            r2.iterations());
+}
+
+TEST(SparseSolverStatsTest, AddingDeviceInvalidatesStructure) {
+  Circuit c;
+  build_resistor_ladder(c, 60);
+  DcOptions opt;
+  opt.newton = forced_sparse();
+  const DcResult r1 = dc_operating_point(c, opt);
+  EXPECT_EQ(r1.solver_stats().pattern_builds, 1);
+  c.add_resistor("Rnew", c.find_node("n3"), c.find_node("n40"), 1e3);
+  const DcResult r2 = dc_operating_point(c, opt);
+  EXPECT_EQ(r2.solver_stats().pattern_builds, 1);  // rebuilt once
+  EXPECT_EQ(r2.solver_stats().sparse_symbolic_factorizations, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Newton-loop regression fixes
+
+TEST(NewtonRegressionTest, ResistorDividerConvergesOnFirstIterationWarmStart) {
+  Circuit c;
+  const NodeId top = c.node("top");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", top, kGround, 2.0);
+  c.add_resistor("R1", top, mid, 1e3);
+  c.add_resistor("R2", mid, kGround, 1e3);
+  const DcResult cold = dc_operating_point(c);
+  EXPECT_NEAR(cold.v(mid), 1.0, 1e-9);
+  // A warm start on a linear circuit is already converged: exactly ONE
+  // Newton iteration (the old `iter > 1` guard forced a second round).
+  const DcResult warm = dc_operating_point(c, {}, cold.x());
+  EXPECT_EQ(warm.iterations(), 1);
+  EXPECT_NEAR(warm.v(mid), 1.0, 1e-9);
+}
+
+TEST(NewtonRegressionTest, RepeatedSweepPointCostsOneIteration) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& src = c.add_vsource("V1", in, kGround, 0.5);
+  c.add_resistor("R1", in, out, 2e3);
+  c.add_resistor("R2", out, kGround, 2e3);
+  const auto sweep = dc_sweep(c, src, {0.5, 0.5, 0.5});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[1].iterations(), 1);
+  EXPECT_EQ(sweep[2].iterations(), 1);
+}
+
+TEST(GminLadderTest, DecadeGminEndsExactlyOnTarget) {
+  const auto ladder = gmin_ladder(1e-12);
+  ASSERT_FALSE(ladder.empty());
+  EXPECT_EQ(ladder.front(), 1e-2);
+  EXPECT_EQ(ladder.back(), 1e-12);  // exact, not a drifted 9.99...e-13
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_LT(ladder[i], ladder[i - 1]);
+    EXPECT_NEAR(ladder[i - 1] / ladder[i], 10.0, 1e-6);
+  }
+}
+
+TEST(GminLadderTest, NonDecadeGminTerminatesExactly) {
+  for (const double gmin : {3e-9, 4.7e-13, 2.5e-7, 1.0e-3}) {
+    const auto ladder = gmin_ladder(gmin);
+    ASSERT_FALSE(ladder.empty());
+    EXPECT_EQ(ladder.back(), gmin) << "gmin=" << gmin;  // bit-exact
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+      EXPECT_GT(ladder[i - 1], ladder[i]);
+      EXPECT_GT(ladder[i], 0.0);
+    }
+    // Every rung except the last sits strictly above gmin.
+    for (std::size_t i = 0; i + 1 < ladder.size(); ++i) {
+      EXPECT_GT(ladder[i], gmin);
+    }
+  }
+}
+
+TEST(GminLadderTest, GminAboveLadderStartIsSingleRung) {
+  const auto ladder = gmin_ladder(0.5);
+  ASSERT_EQ(ladder.size(), 1u);
+  EXPECT_EQ(ladder[0], 0.5);
+}
+
+TEST(GminLadderTest, NonDecadeGminSolvesDiodeCircuit) {
+  // End-to-end: a non-decade gmin must flow through the whole DC path.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", vdd, kGround, 1.5);
+  c.add_resistor("R1", vdd, a, 1e3);
+  c.add_diode("D1", a, kGround);
+  DcOptions opt;
+  opt.newton.gmin = 7.3e-11;
+  const DcResult r = dc_operating_point(c, opt);
+  EXPECT_GT(r.v(a), 0.4);
+  EXPECT_LT(r.v(a), 0.9);
+  // And the solution agrees with the default-gmin solve.
+  const DcResult ref = dc_operating_point(c);
+  EXPECT_NEAR(r.v(a), ref.v(a), 1e-6);
+}
+
+}  // namespace
+}  // namespace relsim::spice
