@@ -15,7 +15,7 @@
 #include "spice/probes.h"
 #include "tech/tech.h"
 #include "util/mathx.h"
-#include "variability/montecarlo.h"
+#include "variability/mc_session.h"
 
 using namespace relsim;
 using spice::Circuit;
@@ -156,12 +156,15 @@ int main() {
   TablePrinter a3({"samples", "estimate", "wilson_lo", "wilson_hi",
                    "ci_width"});
   a3.set_precision(4);
-  const MonteCarloEngine mc(99);
+  const auto coin85 = [](Xoshiro256& rng, std::size_t) {
+    return rng.uniform01() < 0.85;
+  };
   double width_small = 0.0, width_large = 0.0;
   for (std::size_t n : {50u, 200u, 800u, 3200u}) {
-    const auto est = mc.estimate_yield(n, [](Xoshiro256& rng, std::size_t) {
-      return rng.uniform01() < 0.85;
-    });
+    McRequest req;
+    req.seed = 99;
+    req.n = n;
+    const auto est = McSession(req).run_yield(coin85).estimate;
     const double width = est.interval.hi - est.interval.lo;
     a3.add_row({static_cast<long long>(n), est.yield(), est.interval.lo,
                 est.interval.hi, width});
@@ -169,6 +172,26 @@ int main() {
     if (n == 3200u) width_large = width;
   }
   a3.print(std::cout);
+
+  // --- A3b: sequential early stopping ----------------------------------------
+  bench::banner("A3b - samples an early-stopped session needs to hit a "
+                "Wilson half-width target (vs the fixed-N table above)");
+  TablePrinter a3b({"target_halfwidth", "samples_used", "of_budget",
+                    "estimate", "stop_reason"});
+  a3b.set_precision(4);
+  std::size_t used_at_005 = 0;
+  for (double hw : {0.10, 0.05, 0.02}) {
+    McRequest req;
+    req.seed = 99;
+    req.n = 20000;  // generous budget; the stopping rule decides
+    req.stopping.ci_half_width = hw;
+    const McResult res = McSession(req).run_yield(coin85);
+    a3b.add_row({hw, static_cast<long long>(res.completed),
+                 static_cast<double>(res.completed) / res.requested,
+                 res.estimate.yield(), std::string(to_string(res.stop_reason))});
+    if (hw == 0.05) used_at_005 = res.completed;
+  }
+  a3b.print(std::cout);
 
   std::cout << "\nablation claims:\n";
   checks.check(
@@ -188,5 +211,9 @@ int main() {
   checks.check("Wilson interval shrinks ~sqrt(n): 64x samples ~ 8x tighter",
                width_small / width_large > 4.0 &&
                    width_small / width_large < 16.0);
+  checks.check(
+      "early stopping hits the 0.05 half-width target with a fraction of "
+      "the 20000-sample budget",
+      used_at_005 > 0 && used_at_005 < 2000);
   return checks.finish();
 }

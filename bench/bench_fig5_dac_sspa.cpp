@@ -20,7 +20,7 @@
 #include "calibration/sspa.h"
 #include "stats/summary.h"
 #include "tech/tech.h"
-#include "variability/montecarlo.h"
+#include "variability/mc_session.h"
 #include "variability/pelgrom.h"
 
 using namespace relsim;
@@ -37,19 +37,27 @@ struct YieldRow {
 YieldRow run_mc(const DacConfig& cfg, int samples, std::uint64_t seed) {
   YieldRow row;
   row.sigma_unit = cfg.sigma_unit_rel;
-  std::vector<double> raw, cal;
+  // One McSession per sigma point; each sample fabricates, measures raw
+  // INL into a side array (distinct indices: safe under parallel workers)
+  // and returns the calibrated INL as the session metric.
+  const std::size_t n = static_cast<std::size_t>(samples);
+  std::vector<double> raw(n, 0.0);
+  McRequest req;
+  req.seed = seed;
+  req.n = n;
+  req.chunk = 16;
+  const McResult res =
+      McSession(req).run_metric([&](Xoshiro256& rng, std::size_t i) {
+        CurrentSteeringDac dac(cfg, rng);
+        raw[i] = dac.linearity().inl_max_abs;
+        calibrate_sspa(dac, /*sigma_meas=*/1e-4, rng);
+        return dac.linearity().inl_max_abs;
+      });
+  const std::vector<double>& cal = res.values;
   int pass_raw = 0, pass_cal = 0;
-  const MonteCarloEngine mc(seed);
-  for (int i = 0; i < samples; ++i) {
-    Xoshiro256 rng = mc.rng_for(static_cast<std::size_t>(i));
-    CurrentSteeringDac dac(cfg, rng);
-    const double inl0 = dac.linearity().inl_max_abs;
-    calibrate_sspa(dac, /*sigma_meas=*/1e-4, rng);
-    const double inl1 = dac.linearity().inl_max_abs;
-    raw.push_back(inl0);
-    cal.push_back(inl1);
-    if (inl0 < 0.5) ++pass_raw;
-    if (inl1 < 0.5) ++pass_cal;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (raw[i] < 0.5) ++pass_raw;
+    if (cal[i] < 0.5) ++pass_cal;
   }
   row.inl_p50_raw = median(raw);
   row.inl_p50_cal = median(cal);
@@ -119,18 +127,19 @@ int main() {
   cfg.sigma_unit_rel = sigma_calibrated;
   TablePrinter noise({"sigma_meas_pct", "yield_sspa_pct"});
   noise.set_precision(4);
-  const MonteCarloEngine mc(777);
   double clean_yield = 0.0, blind_yield = 0.0;
   for (double sm : {0.0, 0.05, 0.2, 1.0, 5.0}) {
-    int pass = 0;
-    const int n = 200;
-    for (int i = 0; i < n; ++i) {
-      Xoshiro256 rng = mc.rng_for(static_cast<std::size_t>(i));
-      CurrentSteeringDac dac(cfg, rng);
-      calibrate_sspa(dac, sm * 1e-2, rng);
-      if (dac.linearity().inl_max_abs < 0.5) ++pass;
-    }
-    const double y = static_cast<double>(pass) / n;
+    McRequest nreq;
+    nreq.seed = 777;
+    nreq.n = 200;
+    nreq.chunk = 16;
+    const McResult res =
+        McSession(nreq).run_yield([&](Xoshiro256& rng, std::size_t) {
+          CurrentSteeringDac dac(cfg, rng);
+          calibrate_sspa(dac, sm * 1e-2, rng);
+          return dac.linearity().inl_max_abs < 0.5;
+        });
+    const double y = res.estimate.yield();
     noise.add_row({sm, 100.0 * y});
     if (sm == 0.0) clean_yield = y;
     if (sm == 5.0) blind_yield = y;

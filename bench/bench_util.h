@@ -7,8 +7,13 @@
 // silicon; the shape is (see EXPERIMENTS.md).
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/table.h"
 
@@ -36,5 +41,59 @@ class ShapeChecks {
 inline void banner(const std::string& title) {
   std::cout << "\n== " << title << " ==\n";
 }
+
+/// Value of `--flag v` / `--flag=v` in argv, or empty when absent.
+inline std::string arg_value(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+  }
+  return {};
+}
+
+inline long arg_long(int argc, char** argv, const std::string& flag,
+                     long fallback) {
+  const std::string v = arg_value(argc, argv, flag);
+  return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+}
+
+inline bool arg_present(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Bare-bones JSON array-of-flat-objects writer for bench telemetry
+/// artifacts (e.g. BENCH_mc.json — the Monte-Carlo perf trajectory CI
+/// records per commit). Numbers only; names must not need escaping.
+class BenchJson {
+ public:
+  void add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& fields) {
+    std::ostringstream os;
+    os << "  {\"name\": \"" << name << "\"";
+    for (const auto& [key, value] : fields) {
+      os << ", \"" << key << "\": " << value;
+    }
+    os << "}";
+    rows_.push_back(os.str());
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    return bool(os);
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 }  // namespace relsim::bench

@@ -49,9 +49,15 @@ double output_current(Circuit& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const TechNode& tech = tech_65nm();
   bench::ShapeChecks checks;
+  // --samples N shrinks the MC runs (CI smoke mode); --mc-json PATH dumps
+  // the per-run orchestration telemetry as a flat JSON artifact.
+  const std::size_t samples =
+      static_cast<std::size_t>(bench::arg_long(argc, argv, "--samples", 150));
+  const std::string mc_json = bench::arg_value(argc, argv, "--mc-json");
+  bench::BenchJson json;
 
   ReliabilityConfig cfg;
   cfg.tech = &tech;
@@ -73,7 +79,28 @@ int main() {
   const std::vector<Geometry> geoms{{0.4, 0.08}, {0.8, 0.16}, {1.6, 0.16},
                                     {2.4, 0.24}, {8.0, 0.8}};
   const double base_area = geoms.front().w * geoms.front().l;
-  const int samples = 150;
+
+  // All three MC runs per geometry go through one McSession request shape:
+  // auto worker count, work-stealing chunks sized for short runs.
+  McRequest req;
+  req.n = samples;
+  req.chunk = 8;
+
+  auto record = [&](const std::string& name, const McResult& r) {
+    if (mc_json.empty()) return;
+    double busy = 0.0;
+    for (const auto& w : r.workers) busy += w.busy_seconds;
+    json.add(name,
+             {{"requested", static_cast<double>(r.requested)},
+              {"completed", static_cast<double>(r.completed)},
+              {"yield", r.estimate.yield()},
+              {"workers", static_cast<double>(r.workers.size())},
+              {"elapsed_s", r.elapsed_seconds},
+              {"busy_s", busy},
+              {"samples_per_s",
+               r.elapsed_seconds > 0.0 ? r.completed / r.elapsed_seconds
+                                       : 0.0}});
+  };
 
   std::vector<double> t0_yields, eol_yields, cal_yields, areas;
   for (const auto& g : geoms) {
@@ -92,14 +119,20 @@ int main() {
       const double residual = std::fmod(err, 0.01);
       return std::abs(residual) < 0.05;
     };
-    const auto t0 = sim.yield(factory, pass, samples);
-    const auto eol = sim.lifetime_yield(factory, pass, samples);
-    const auto cal = sim.yield(factory, pass_calibrated, samples);
-    table.add_row({g.w, g.l, g.w * g.l / base_area, 100.0 * t0.yield(),
-                   100.0 * eol.yield(), 100.0 * cal.yield()});
-    t0_yields.push_back(t0.yield());
-    eol_yields.push_back(eol.yield());
-    cal_yields.push_back(cal.yield());
+    const std::string tag =
+        "mirror_w" + std::to_string(g.w) + "_l" + std::to_string(g.l);
+    const McResult t0 = sim.run_yield(factory, pass, req);
+    const McResult eol = sim.run_lifetime_yield(factory, pass, req);
+    const McResult cal = sim.run_yield(factory, pass_calibrated, req);
+    record(tag + "_t0", t0);
+    record(tag + "_10y", eol);
+    record(tag + "_cal", cal);
+    table.add_row({g.w, g.l, g.w * g.l / base_area,
+                   100.0 * t0.estimate.yield(), 100.0 * eol.estimate.yield(),
+                   100.0 * cal.estimate.yield()});
+    t0_yields.push_back(t0.estimate.yield());
+    eol_yields.push_back(eol.estimate.yield());
+    cal_yields.push_back(cal.estimate.yield());
     areas.push_back(g.w * g.l / base_area);
   }
   table.print(std::cout);
@@ -120,5 +153,9 @@ int main() {
       cal_yields.front() > t0_yields.front() + 0.2);
   checks.check("the smallest calibrated block beats the 4x-area raw block",
                cal_yields.front() >= t0_yields[2] - 0.02);
+  if (!mc_json.empty()) {
+    checks.check("MC telemetry artifact written to " + mc_json,
+                 json.write(mc_json));
+  }
   return checks.finish();
 }

@@ -69,23 +69,24 @@ aging::AgingReport ReliabilitySimulator::age(
                     config_.enable_em ? &em_ : nullptr);
 }
 
-YieldEstimate ReliabilitySimulator::yield(const CircuitFactory& factory,
-                                          const SpecPredicate& pass,
-                                          std::size_t n) const {
-  const MonteCarloEngine mc(config_.seed);
-  return mc.estimate_yield(n, [&](Xoshiro256& rng, std::size_t) {
+McResult ReliabilitySimulator::run_yield(const CircuitFactory& factory,
+                                         const SpecPredicate& pass,
+                                         McRequest req) const {
+  req.seed = config_.seed;
+  const McSession session(std::move(req));
+  return session.run_yield([&](Xoshiro256& rng, std::size_t) {
     auto circuit = factory();
     apply_process_variation(*circuit, rng);
     return pass(*circuit);
   });
 }
 
-YieldEstimate ReliabilitySimulator::lifetime_yield(
-    const CircuitFactory& factory, const SpecPredicate& pass, std::size_t n,
+McResult ReliabilitySimulator::run_lifetime_yield(
+    const CircuitFactory& factory, const SpecPredicate& pass, McRequest req,
     const aging::StressRunner& runner) const {
-  const MonteCarloEngine mc(config_.seed);
-  const aging::AgingEngine engine = build_engine();
-  return mc.estimate_yield(n, [&](Xoshiro256& rng, std::size_t index) {
+  req.seed = config_.seed;
+  const McSession session(std::move(req));
+  return session.run_yield([&](Xoshiro256& rng, std::size_t index) {
     auto circuit = factory();
     apply_process_variation(*circuit, rng);
     aging::AgingOptions options;
@@ -94,10 +95,47 @@ YieldEstimate ReliabilitySimulator::lifetime_yield(
     // vary across virtual fabrications.
     options.seed = derive_seed(config_.seed, {0xA6E, index});
     options.refresh_stress_each_epoch = config_.refresh_stress_each_epoch;
-    engine.age(*circuit, options, runner,
-               config_.enable_em ? &em_ : nullptr);
+    // The engine is built per sample: it is cheap next to the circuit
+    // solves and keeps samples free of shared state under parallel runs.
+    build_engine().age(*circuit, options, runner,
+                       config_.enable_em ? &em_ : nullptr);
     return pass(*circuit);
   });
+}
+
+McResult ReliabilitySimulator::run_metric(const CircuitFactory& factory,
+                                          const CircuitMetric& metric,
+                                          McRequest req) const {
+  req.seed = config_.seed;
+  const McSession session(std::move(req));
+  return session.run_metric([&](Xoshiro256& rng, std::size_t) {
+    auto circuit = factory();
+    apply_process_variation(*circuit, rng);
+    return metric(*circuit);
+  });
+}
+
+namespace {
+
+McRequest serial_request(std::size_t n) {
+  McRequest req;
+  req.n = n;
+  req.threads = 1;
+  return req;
+}
+
+}  // namespace
+
+YieldEstimate ReliabilitySimulator::yield(const CircuitFactory& factory,
+                                          const SpecPredicate& pass,
+                                          std::size_t n) const {
+  return run_yield(factory, pass, serial_request(n)).estimate;
+}
+
+YieldEstimate ReliabilitySimulator::lifetime_yield(
+    const CircuitFactory& factory, const SpecPredicate& pass, std::size_t n,
+    const aging::StressRunner& runner) const {
+  return run_lifetime_yield(factory, pass, serial_request(n), runner).estimate;
 }
 
 double ReliabilitySimulator::estimate_lifetime_years(
@@ -135,12 +173,7 @@ double ReliabilitySimulator::estimate_lifetime_years(
 std::vector<double> ReliabilitySimulator::metric_distribution(
     const CircuitFactory& factory, const CircuitMetric& metric,
     std::size_t n) const {
-  const MonteCarloEngine mc(config_.seed);
-  return mc.run_metric(n, [&](Xoshiro256& rng, std::size_t) {
-    auto circuit = factory();
-    apply_process_variation(*circuit, rng);
-    return metric(*circuit);
-  });
+  return std::move(run_metric(factory, metric, serial_request(n)).values);
 }
 
 }  // namespace relsim

@@ -23,7 +23,7 @@
 #include "spice/circuit.h"
 #include "tech/tech.h"
 #include "variability/corners.h"
-#include "variability/montecarlo.h"
+#include "variability/mc_session.h"
 #include "variability/pelgrom.h"
 
 namespace relsim {
@@ -69,16 +69,33 @@ class ReliabilitySimulator {
   aging::AgingReport age(spice::Circuit& circuit,
                          const aging::StressRunner& runner = {}) const;
 
-  /// Time-zero yield over `n` virtual fabrications.
+  /// Time-zero yield over `req.n` virtual fabrications, orchestrated by an
+  /// McSession: the request selects threads, chunking, early stopping,
+  /// checkpoint/resume and progress reporting; the result carries the
+  /// Wilson estimate plus telemetry and failing-sample replay seeds. The
+  /// session seed is always the simulator's config seed (req.seed is
+  /// ignored), so results line up with the serial facade below.
+  McResult run_yield(const CircuitFactory& factory, const SpecPredicate& pass,
+                     McRequest req) const;
+
+  /// End-of-life yield: variation + full mission aging before the check.
+  McResult run_lifetime_yield(const CircuitFactory& factory,
+                              const SpecPredicate& pass, McRequest req,
+                              const aging::StressRunner& runner = {}) const;
+
+  /// Metric distribution over `req.n` fresh samples (McResult::values).
+  McResult run_metric(const CircuitFactory& factory,
+                      const CircuitMetric& metric, McRequest req) const;
+
+  /// Serial convenience facades: single-threaded McSession runs over `n`
+  /// samples. Results are bit-identical to run_* with any thread count.
   YieldEstimate yield(const CircuitFactory& factory, const SpecPredicate& pass,
                       std::size_t n) const;
 
-  /// End-of-life yield: variation + full mission aging before the check.
   YieldEstimate lifetime_yield(const CircuitFactory& factory,
                                const SpecPredicate& pass, std::size_t n,
                                const aging::StressRunner& runner = {}) const;
 
-  /// Metric distribution over `n` fresh samples.
   std::vector<double> metric_distribution(const CircuitFactory& factory,
                                           const CircuitMetric& metric,
                                           std::size_t n) const;

@@ -96,6 +96,7 @@ AcResult ac_analysis(Circuit& circuit,
 
   const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
   AcResult result;
+  SolverStats stats = op.solver_stats();
   result.freqs_ = frequencies_hz;
   result.solutions_.reserve(frequencies_hz.size());
 
@@ -115,7 +116,10 @@ AcResult ac_analysis(Circuit& circuit,
       jac(i, i) += gmin;
     }
     result.solutions_.push_back(ComplexLu(jac).solve(rhs));
+    ++stats.complex_factorizations;
   }
+  result.set_solver_stats(stats);
+  result.set_outcome(true);
   return result;
 }
 

@@ -22,7 +22,7 @@ struct AcOptions {
   DcOptions dc;
 };
 
-class AcResult {
+class AcResult : public AnalysisResultBase {
  public:
   const std::vector<double>& frequencies() const { return freqs_; }
 

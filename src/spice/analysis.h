@@ -9,6 +9,36 @@
 
 namespace relsim::spice {
 
+/// Common outcome block shared by EVERY analysis result (DC, AC and
+/// transient): the same three accessors under the same names, so generic
+/// harnesses (Monte-Carlo telemetry, benches, logging) can consume any
+/// analysis uniformly instead of special-casing each result type.
+///
+/// Analyses that cannot produce a usable solution throw (ConvergenceError
+/// et al.), so a RETURNED result normally has converged() == true with an
+/// empty abort_reason(); the fields exist so partial-result paths added
+/// later report failure the same way everywhere.
+class AnalysisResultBase {
+ public:
+  /// Linear-solver counters spent producing this result (factorizations,
+  /// symbolic reuses, fallbacks, Newton iterations, AC complex solves).
+  const SolverStats& solver_stats() const { return solver_stats_; }
+  bool converged() const { return converged_; }
+  /// Empty when converged; otherwise why the analysis gave up.
+  const std::string& abort_reason() const { return abort_reason_; }
+
+  void set_solver_stats(const SolverStats& stats) { solver_stats_ = stats; }
+  void set_outcome(bool converged, std::string abort_reason = {}) {
+    converged_ = converged;
+    abort_reason_ = std::move(abort_reason);
+  }
+
+ protected:
+  SolverStats solver_stats_;
+  bool converged_ = false;
+  std::string abort_reason_;
+};
+
 /// Newton-iteration controls shared by DC and transient analyses.
 struct NewtonOptions {
   int max_iterations = 200;
@@ -31,7 +61,7 @@ struct DcOptions {
 };
 
 /// Result of a converged DC operating point.
-class DcResult {
+class DcResult : public AnalysisResultBase {
  public:
   DcResult(Vector x, int iterations) : x_(std::move(x)), iters_(iterations) {}
 
@@ -42,15 +72,9 @@ class DcResult {
     return node == kGround ? 0.0 : x_[static_cast<std::size_t>(node - 1)];
   }
 
-  /// Linear-solver counters spent on this operating point (factorizations,
-  /// symbolic reuses, fallbacks, Newton iterations).
-  const SolverStats& solver_stats() const { return stats_; }
-  void set_solver_stats(const SolverStats& stats) { stats_ = stats; }
-
  private:
   Vector x_;
   int iters_;
-  SolverStats stats_;
 };
 
 /// Solves the DC operating point. Tries plain Newton from `initial_guess`
@@ -98,7 +122,7 @@ struct TransientOptions {
 };
 
 /// Recorded waveforms of a transient run.
-class TransientResult {
+class TransientResult : public AnalysisResultBase {
  public:
   const std::vector<double>& time() const { return time_; }
   /// Waveform of a probed node (throws if the node was not probed).
@@ -108,9 +132,6 @@ class TransientResult {
 
   std::size_t step_count() const { return time_.size(); }
 
-  /// Linear-solver counters spent across the whole run.
-  const SolverStats& solver_stats() const { return stats_; }
-
  private:
   friend TransientResult transient_analysis(
       Circuit&, const TransientOptions&, const std::vector<NodeId>&,
@@ -119,7 +140,6 @@ class TransientResult {
   std::vector<double> time_;
   std::map<NodeId, std::vector<double>> nodes_;
   std::map<std::string, std::vector<double>> currents_;
-  SolverStats stats_;
 };
 
 /// Runs a transient analysis, probing the listed nodes and the branch

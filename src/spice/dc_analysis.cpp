@@ -227,6 +227,7 @@ DcResult make_dc_result(Circuit& circuit, Vector x, int iterations,
                         const SolverStats& before) {
   DcResult r(std::move(x), iterations);
   r.set_solver_stats(circuit.solver_cache().stats - before);
+  r.set_outcome(true);
   return r;
 }
 

@@ -24,6 +24,7 @@ struct SolverStats {
   long sparse_numeric_refactorizations = 0;  ///< symbolic-structure reuses
   long pattern_builds = 0;    ///< stamp-pattern capture passes
   long dense_fallbacks = 0;   ///< sparse pivot failures rescued densely
+  long complex_factorizations = 0;  ///< AC frequency-point complex LU runs
   long newton_iterations = 0;
 };
 
@@ -36,6 +37,8 @@ inline SolverStats operator-(const SolverStats& a, const SolverStats& b) {
       a.sparse_numeric_refactorizations - b.sparse_numeric_refactorizations;
   d.pattern_builds = a.pattern_builds - b.pattern_builds;
   d.dense_fallbacks = a.dense_fallbacks - b.dense_fallbacks;
+  d.complex_factorizations =
+      a.complex_factorizations - b.complex_factorizations;
   d.newton_iterations = a.newton_iterations - b.newton_iterations;
   return d;
 }

@@ -96,7 +96,8 @@ TransientResult transient_analysis(
       if (dt >= options.dt) halvings = 0;
     }
   }
-  result.stats_ = circuit.solver_cache().stats - stats_before;
+  result.set_solver_stats(circuit.solver_cache().stats - stats_before);
+  result.set_outcome(true);
   return result;
 }
 

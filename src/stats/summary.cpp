@@ -76,10 +76,11 @@ double quantile(std::vector<double> values, double p) {
 
 double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
 
-ProportionInterval wilson_interval(std::size_t successes, std::size_t trials) {
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double z) {
   RELSIM_REQUIRE(trials > 0, "wilson interval needs trials > 0");
   RELSIM_REQUIRE(successes <= trials, "successes cannot exceed trials");
-  const double z = 1.959963984540054;
+  RELSIM_REQUIRE(z > 0.0, "wilson interval needs a positive z-score");
   const double n = static_cast<double>(trials);
   const double phat = static_cast<double>(successes) / n;
   const double z2 = z * z;

@@ -42,12 +42,14 @@ double quantile(std::vector<double> values, double p);
 double median(std::vector<double> values);
 
 /// Wilson score interval for a binomial proportion: returns {lo, hi} for
-/// `successes` out of `trials` at ~95% confidence. Used for yield estimates.
+/// `successes` out of `trials` at the confidence of z-score `z` (default
+/// ~95%). Used for yield estimates and their early-stopping decisions.
 struct ProportionInterval {
   double estimate;
   double lo;
   double hi;
 };
-ProportionInterval wilson_interval(std::size_t successes, std::size_t trials);
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double z = 1.959963984540054);
 
 }  // namespace relsim

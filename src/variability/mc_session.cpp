@@ -1,0 +1,426 @@
+#include "variability/mc_session.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace relsim {
+
+const char* to_string(McStopReason reason) {
+  switch (reason) {
+    case McStopReason::kCompleted:
+      return "completed";
+    case McStopReason::kCiTarget:
+      return "ci-target";
+    case McStopReason::kThresholdPassed:
+      return "threshold-passed";
+    case McStopReason::kThresholdFailed:
+      return "threshold-failed";
+  }
+  return "unknown";
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("RELSIM_THREADS"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 4096) {
+      return static_cast<unsigned>(parsed);
+    }
+    static std::once_flag warned_env;
+    std::call_once(warned_env, [env] {
+      log_warn("ignoring invalid RELSIM_THREADS value \"", env,
+               "\" (expected an integer in [1, 4096])");
+    });
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    static std::once_flag warned_hw;
+    std::call_once(warned_hw, [] {
+      log_warn("hardware_concurrency() reported 0; falling back to 4 worker "
+               "threads (set RELSIM_THREADS to override)");
+    });
+    return 4;
+  }
+  return hw;
+}
+
+namespace {
+
+// Run kinds tagged in checkpoints so a yield checkpoint cannot silently
+// resume a metric run (the stored per-sample doubles mean different things).
+enum class RunKind : std::uint64_t { kYield = 0, kMetric = 1 };
+
+constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '1'};
+
+struct Range {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::size_t size() const { return hi - lo; }
+};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool read_u64(std::istream& is, std::uint64_t& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return bool(is);
+}
+
+/// Loads a checkpoint into `done`/`values`; returns the restored sample
+/// count (0 when the file does not exist). Throws when the file exists but
+/// belongs to a different request.
+std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
+                            std::size_t n, RunKind kind,
+                            std::vector<std::uint8_t>& done,
+                            std::vector<double>& values) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0;
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  std::uint64_t f_seed = 0, f_n = 0, f_kind = 0, f_count = 0;
+  const bool header_ok = bool(is) && read_u64(is, f_seed) &&
+                         read_u64(is, f_n) && read_u64(is, f_kind) &&
+                         read_u64(is, f_count);
+  RELSIM_REQUIRE(header_ok && std::memcmp(magic, kCheckpointMagic, 8) == 0,
+                 "unreadable Monte-Carlo checkpoint: " + path);
+  RELSIM_REQUIRE(f_seed == seed && f_n == n &&
+                     f_kind == static_cast<std::uint64_t>(kind),
+                 "Monte-Carlo checkpoint does not match this request "
+                 "(different seed, sample count or run kind): " + path);
+  std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
+  is.read(reinterpret_cast<char*>(bitmap.data()),
+          static_cast<std::streamsize>(bitmap.size()));
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  RELSIM_REQUIRE(bool(is),
+                 "truncated Monte-Carlo checkpoint: " + path);
+  std::size_t restored = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bitmap[i / 8] & (1u << (i % 8))) {
+      done[i] = 1;
+      ++restored;
+    }
+  }
+  RELSIM_REQUIRE(restored == f_count,
+                 "corrupt Monte-Carlo checkpoint bitmap: " + path);
+  return restored;
+}
+
+/// Atomically (tmp + rename) writes the done bitmap and values.
+void save_checkpoint(const std::string& path, std::uint64_t seed,
+                     std::size_t n, RunKind kind,
+                     const std::vector<std::uint8_t>& done,
+                     const std::vector<double>& values) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
+    os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    write_u64(os, seed);
+    write_u64(os, static_cast<std::uint64_t>(n));
+    write_u64(os, static_cast<std::uint64_t>(kind));
+    std::uint64_t count = 0;
+    std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) {
+        bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        ++count;
+      }
+    }
+    write_u64(os, count);
+    os.write(reinterpret_cast<const char*>(bitmap.data()),
+             static_cast<std::streamsize>(bitmap.size()));
+    os.write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(n * sizeof(double)));
+    RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
+  }
+  RELSIM_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot move Monte-Carlo checkpoint into place: " + path);
+}
+
+/// The shared run driver. `eval(rng, index)` returns the per-sample double
+/// (metric value, or 0/1 for yield runs).
+McResult run_session(const McRequest& req, RunKind kind,
+                     const std::function<double(Xoshiro256&, std::size_t)>&
+                         eval) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = req.n;
+  const bool yield_kind = kind == RunKind::kYield;
+
+  McResult result;
+  result.requested = n;
+  if (n == 0) return result;
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_threads(req.threads), n));
+
+  // The unit of scheduling AND of commit: contiguous index ranges, ordered
+  // by lo. Work stealing uses fixed chunks; the static baseline uses one
+  // block per worker (the legacy parallel_for partition).
+  std::vector<Range> ranges;
+  if (req.partition == McPartition::kStaticBlocks) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      const Range r{n * w / workers, n * (w + 1) / workers};
+      if (r.size() > 0) ranges.push_back(r);
+    }
+  } else {
+    const std::size_t chunk = std::max<std::size_t>(1, req.chunk);
+    for (std::size_t lo = 0; lo < n; lo += chunk) {
+      ranges.push_back({lo, std::min(lo + chunk, n)});
+    }
+  }
+  const std::size_t range_count = ranges.size();
+
+  // Per-sample state. `done` marks samples restored from the checkpoint
+  // (read-only during the run); workers publish finished work at range
+  // granularity through `range_done`.
+  std::vector<double> values(n, 0.0);
+  std::vector<std::uint8_t> done(n, 0);
+  std::size_t resumed = 0;
+  if (!req.checkpoint_path.empty()) {
+    resumed = load_checkpoint(req.checkpoint_path, req.seed, n, kind, done,
+                              values);
+  }
+  result.resumed = resumed;
+
+  std::vector<std::atomic<std::uint8_t>> range_done(range_count);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> stop{false};
+
+  // Commit state, guarded by `mu`: a contiguous prefix of retired ranges is
+  // folded into the accumulators in sample-index order, which makes every
+  // reported number independent of scheduling.
+  std::mutex mu;
+  std::size_t committed_ranges = 0;
+  std::size_t committed = 0;
+  std::size_t passed = 0;
+  RunningStats metric_stats;
+  std::vector<McFailingSample> failing;
+  bool decided = false;
+  McStopReason reason = McStopReason::kCompleted;
+  // Snapshot at the decision point: the early-stopped result is exactly
+  // the committed prefix at the moment the rule fired, even though workers
+  // may retire a few more in-flight ranges before they observe `stop`.
+  std::size_t decided_completed = 0;
+  std::size_t decided_passed = 0;
+  RunningStats decided_stats;
+  std::vector<McFailingSample> decided_failing;
+  std::size_t last_checkpoint = 0;
+  std::size_t last_progress = 0;
+  const std::size_t progress_every =
+      req.progress_every > 0 ? req.progress_every
+                             : std::max<std::size_t>(1, n / 100);
+
+  // Writes the checkpoint from the ranges retired so far (not just the
+  // committed prefix: out-of-order stolen chunks are saved too).
+  auto snapshot_checkpoint = [&] {
+    std::vector<std::uint8_t> snapshot = done;
+    for (std::size_t r = 0; r < range_count; ++r) {
+      if (range_done[r].load(std::memory_order_acquire)) {
+        for (std::size_t i = ranges[r].lo; i < ranges[r].hi; ++i) {
+          snapshot[i] = 1;
+        }
+      }
+    }
+    save_checkpoint(req.checkpoint_path, req.seed, n, kind, snapshot, values);
+  };
+
+  auto evaluate_stopping = [&] {
+    if (!req.stopping.enabled() || decided ||
+        committed < std::max<std::size_t>(1, req.stopping.min_samples)) {
+      return;
+    }
+    McStopReason fired = McStopReason::kCompleted;
+    if (yield_kind) {
+      const ProportionInterval iv =
+          wilson_interval(passed, committed, req.stopping.confidence_z);
+      const double half = 0.5 * (iv.hi - iv.lo);
+      if (req.stopping.ci_half_width > 0.0 &&
+          half <= req.stopping.ci_half_width) {
+        fired = McStopReason::kCiTarget;
+      } else if (req.stopping.yield_threshold >= 0.0) {
+        if (iv.lo > req.stopping.yield_threshold) {
+          fired = McStopReason::kThresholdPassed;
+        } else if (iv.hi < req.stopping.yield_threshold) {
+          fired = McStopReason::kThresholdFailed;
+        }
+      }
+    } else if (req.stopping.ci_half_width > 0.0 && committed >= 2 &&
+               metric_stats.mean_ci95_halfwidth() <=
+                   req.stopping.ci_half_width) {
+      fired = McStopReason::kCiTarget;
+    }
+    if (fired == McStopReason::kCompleted) return;
+    decided = true;
+    reason = fired;
+    decided_completed = committed;
+    decided_passed = passed;
+    decided_stats = metric_stats;
+    decided_failing = failing;
+    stop.store(true, std::memory_order_relaxed);
+  };
+
+  // Folds every newly contiguous retired range into the accumulators.
+  // Called (under `mu`) by whichever worker retires a range.
+  auto commit = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    while (committed_ranges < range_count &&
+           range_done[committed_ranges].load(std::memory_order_acquire)) {
+      const Range g = ranges[committed_ranges];
+      for (std::size_t i = g.lo; i < g.hi; ++i) {
+        const double v = values[i];
+        if (yield_kind) {
+          if (v != 0.0) {
+            ++passed;
+          } else if (failing.size() < req.keep_failing_seeds) {
+            failing.push_back(
+                {i, derive_seed(req.seed, {static_cast<std::uint64_t>(i)})});
+          }
+        }
+        metric_stats.add(v);
+      }
+      committed += g.size();
+      ++committed_ranges;
+      evaluate_stopping();
+      if (decided) break;
+    }
+    if (decided) return;
+    if (req.progress && committed - last_progress >= progress_every) {
+      last_progress = committed;
+      McProgress p;
+      p.completed = committed;
+      p.total = n;
+      p.passed = passed;
+      if (yield_kind && committed > 0) {
+        p.interval = wilson_interval(passed, committed);
+      }
+      req.progress(p);
+    }
+    if (!req.checkpoint_path.empty() && committed_ranges < range_count &&
+        committed - last_checkpoint >=
+            std::max<std::size_t>(1, req.checkpoint_every)) {
+      last_checkpoint = committed;
+      snapshot_checkpoint();
+    }
+  };
+
+  std::vector<McWorkerTelemetry> telemetry(workers);
+  std::vector<std::exception_ptr> errors(workers);
+
+  auto worker_body = [&](unsigned w) {
+    McWorkerTelemetry& tel = telemetry[w];
+    tel.worker = w;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      bool interrupted = false;
+      for (;;) {
+        std::size_t r;
+        if (req.partition == McPartition::kStaticBlocks) {
+          r = w;  // one pre-assigned block per worker, no stealing
+          if (r >= range_count) break;
+        } else {
+          r = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (r >= range_count) break;
+        }
+        if (stop.load(std::memory_order_relaxed)) break;
+        const Range g = ranges[r];
+        for (std::size_t i = g.lo; i < g.hi; ++i) {
+          if (stop.load(std::memory_order_relaxed)) {
+            interrupted = true;  // range unfinished: do NOT retire it
+            break;
+          }
+          if (!done[i]) {
+            Xoshiro256 rng(
+                derive_seed(req.seed, {static_cast<std::uint64_t>(i)}));
+            values[i] = eval(rng, i);
+          }
+          ++tel.samples;
+        }
+        if (interrupted) break;
+        range_done[r].store(1, std::memory_order_release);
+        ++tel.chunks;
+        commit();
+        if (req.partition == McPartition::kStaticBlocks) break;
+      }
+    } catch (...) {
+      errors[w] = std::current_exception();
+      stop.store(true, std::memory_order_relaxed);
+    }
+    tel.busy_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+
+  if (workers <= 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_body, w);
+    for (auto& t : pool) t.join();
+  }
+
+  // Persist whatever finished — on success, on early stop AND on failure,
+  // so a killed run never redoes committed work.
+  if (!req.checkpoint_path.empty()) snapshot_checkpoint();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  const bool early = decided;
+  result.completed = early ? decided_completed : committed;
+  result.stop_reason = early ? reason : McStopReason::kCompleted;
+  result.failing_samples = early ? std::move(decided_failing)
+                                 : std::move(failing);
+  result.metric = early ? decided_stats : metric_stats;
+  const std::size_t final_passed = early ? decided_passed : passed;
+  if (yield_kind) {
+    result.estimate.passed = final_passed;
+    result.estimate.total = result.completed;
+    if (result.completed > 0) {
+      result.estimate.interval =
+          wilson_interval(final_passed, result.completed);
+    }
+  }
+  if (!yield_kind || req.keep_values) {
+    values.resize(result.completed);
+    result.values = std::move(values);
+  }
+  result.workers = std::move(telemetry);
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace
+
+McResult McSession::run_yield(const McPredicate& pass) const {
+  RELSIM_REQUIRE(bool(pass), "McSession::run_yield needs a predicate");
+  return run_session(request_, RunKind::kYield,
+                     [&pass](Xoshiro256& rng, std::size_t i) {
+                       return pass(rng, i) ? 1.0 : 0.0;
+                     });
+}
+
+McResult McSession::run_metric(const McMetric& metric) const {
+  RELSIM_REQUIRE(bool(metric), "McSession::run_metric needs a metric");
+  return run_session(request_, RunKind::kMetric,
+                     [&metric](Xoshiro256& rng, std::size_t i) {
+                       return metric(rng, i);
+                     });
+}
+
+}  // namespace relsim

@@ -1,0 +1,183 @@
+// Unified Monte-Carlo orchestration: McSession / McRequest / McResult.
+//
+// Yield (Sec. 2 of the paper) is estimated by Monte-Carlo over virtual
+// fabrications, and every yield bench spends most of its wall-clock there.
+// McSession is the single entry point for those runs. It layers, on top of
+// the per-sample seeding discipline of rng.h (sample i is always evaluated
+// with Xoshiro256(derive_seed(seed, {i}))):
+//
+//  * a chunked work-stealing scheduler — workers claim fixed-size chunks
+//    off an atomic cursor, so imbalanced samples (aged/failing ones cost
+//    far more than fresh ones) no longer stall a static block partition;
+//  * streaming accumulation — pass/fail counts and metric moments are
+//    folded in *in sample-index order* as a contiguous prefix of chunks
+//    retires, so every reported number is bit-identical for ANY thread
+//    count, chunk size or partition mode;
+//  * sequential early stopping — stop when the Wilson CI half-width drops
+//    below a target, or as soon as a spec-yield threshold is decided at
+//    the configured confidence. Decisions are made at committed-chunk
+//    boundaries on the deterministic prefix, so an early-stopped run is
+//    exactly the prefix of the full run;
+//  * checkpoint/resume — {seed, completed-sample bitmap, per-sample
+//    outcomes} are serialized so a killed 1M-sample run resumes without
+//    redoing finished work, and resumes to the exact uninterrupted result.
+//
+// The request/result structs carry everything the divergent legacy entry
+// points (estimate_yield_parallel / run_metric_parallel / the simulator
+// facades) used to take positionally, plus per-worker timing telemetry and
+// the seeds of the first K failing samples for replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/summary.h"
+
+namespace relsim {
+
+struct YieldEstimate {
+  std::size_t passed = 0;
+  std::size_t total = 0;
+  ProportionInterval interval{0.0, 0.0, 0.0};
+
+  double yield() const { return interval.estimate; }
+};
+
+/// Resolves a requested worker count: `requested` when > 0, otherwise the
+/// RELSIM_THREADS environment override, otherwise hardware_concurrency()
+/// (warning once and falling back to 4 when the hardware reports 0).
+unsigned resolve_threads(unsigned requested);
+
+/// How sample indices are handed to workers.
+enum class McPartition {
+  kWorkStealing,  ///< chunks claimed off an atomic cursor (default)
+  kStaticBlocks,  ///< one contiguous block per worker (legacy baseline)
+};
+
+/// Sequential early-stopping rule, evaluated on the committed sample prefix
+/// at chunk boundaries. Disabled by default (all n samples run).
+struct McStoppingRule {
+  /// Stop once the Wilson CI half-width (yield runs) or the mean CI
+  /// half-width (metric runs) is <= this. 0 disables the criterion.
+  double ci_half_width = 0.0;
+  /// Stop once the Wilson interval clears this yield threshold entirely
+  /// (lo > threshold: passed; hi < threshold: failed). Negative disables.
+  /// Yield runs only.
+  double yield_threshold = -1.0;
+  /// z-score of the decision confidence (default ~95%).
+  double confidence_z = 1.959963984540054;
+  /// Never decide before this many samples are committed.
+  std::size_t min_samples = 64;
+
+  bool enabled() const { return ci_half_width > 0.0 || yield_threshold >= 0.0; }
+};
+
+enum class McStopReason {
+  kCompleted,        ///< all requested samples ran
+  kCiTarget,         ///< confidence-interval half-width target reached
+  kThresholdPassed,  ///< yield decided above the spec threshold
+  kThresholdFailed,  ///< yield decided below the spec threshold
+};
+
+const char* to_string(McStopReason reason);
+
+struct McProgress {
+  std::size_t completed = 0;  ///< committed samples so far
+  std::size_t total = 0;      ///< requested sample count
+  std::size_t passed = 0;     ///< passes among committed (yield runs)
+  ProportionInterval interval{0.0, 0.0, 0.0};
+};
+
+/// Everything a Monte-Carlo run needs, in one struct.
+struct McRequest {
+  std::uint64_t seed = 0;  ///< base seed; sample i uses derive_seed(seed,{i})
+  std::size_t n = 0;       ///< requested sample count
+  unsigned threads = 0;    ///< worker count; 0 = resolve_threads() auto
+  std::size_t chunk = 32;  ///< samples per work-stealing chunk
+  McPartition partition = McPartition::kWorkStealing;
+  McStoppingRule stopping;
+  /// Non-empty enables checkpointing: progress is serialized here every
+  /// `checkpoint_every` committed samples (atomically: tmp file + rename)
+  /// and once more when the run ends or a worker throws. An existing file
+  /// written for the same {seed, n, run kind} is loaded before the run and
+  /// its samples are not re-evaluated; a mismatched file throws.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 4096;
+  /// Seeds of the first K failing samples (index order) kept for replay.
+  std::size_t keep_failing_seeds = 8;
+  /// Retain the per-sample 0/1 outcomes of a yield run in McResult::values
+  /// (metric runs always retain their values).
+  bool keep_values = false;
+  /// Progress callback cadence in committed samples (0 = auto: ~1% of n).
+  std::size_t progress_every = 0;
+  std::function<void(const McProgress&)> progress;
+};
+
+/// Seed of a failing sample: re-run it in isolation with Xoshiro256(seed).
+struct McFailingSample {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+};
+
+struct McWorkerTelemetry {
+  unsigned worker = 0;
+  std::size_t samples = 0;  ///< samples this worker evaluated or replayed
+  std::size_t chunks = 0;   ///< chunks this worker retired
+  double busy_seconds = 0.0;
+};
+
+struct McResult {
+  /// Pass/fail summary over the completed prefix (yield runs; metric runs
+  /// leave total == 0).
+  YieldEstimate estimate;
+  /// Streaming metric moments over the completed prefix (metric runs).
+  RunningStats metric;
+  /// Per-sample outcomes for samples [0, completed): metric values, or 0/1
+  /// pass flags when McRequest::keep_values was set on a yield run.
+  std::vector<double> values;
+  std::size_t requested = 0;  ///< McRequest::n
+  std::size_t completed = 0;  ///< samples covered by estimate/metric
+  std::size_t resumed = 0;    ///< samples restored from the checkpoint
+  McStopReason stop_reason = McStopReason::kCompleted;
+  std::vector<McFailingSample> failing_samples;
+  std::vector<McWorkerTelemetry> workers;
+  double elapsed_seconds = 0.0;
+};
+
+using McPredicate = std::function<bool(Xoshiro256&, std::size_t)>;
+using McMetric = std::function<double(Xoshiro256&, std::size_t)>;
+
+/// One Monte-Carlo run, configured by an McRequest.
+///
+/// The evaluation function must be safe to call concurrently on DISTINCT
+/// sample indices (true for anything that builds its circuit per sample);
+/// it is never called twice for the same index within a run. Exceptions
+/// thrown by it stop the run, are rethrown on the caller's thread, and —
+/// when checkpointing is enabled — committed progress is saved first, so
+/// a crashed run resumes without redoing finished work.
+class McSession {
+ public:
+  explicit McSession(McRequest request) : request_(std::move(request)) {}
+
+  const McRequest& request() const { return request_; }
+
+  /// RNG for sample `index` (fresh, decorrelated stream).
+  Xoshiro256 rng_for(std::size_t index) const {
+    return Xoshiro256(
+        derive_seed(request_.seed, {static_cast<std::uint64_t>(index)}));
+  }
+
+  /// Pass/fail run: McResult::estimate carries the Wilson yield estimate.
+  McResult run_yield(const McPredicate& pass) const;
+
+  /// Metric run: McResult::metric and McResult::values carry the samples.
+  McResult run_metric(const McMetric& metric) const;
+
+ private:
+  McRequest request_;
+};
+
+}  // namespace relsim

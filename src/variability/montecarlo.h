@@ -6,27 +6,24 @@
 // interval. Every sample's RNG is seeded as derive_seed(base, {sample}),
 // so sample i is reproducible in isolation (debuggable failures) and the
 // result does not depend on evaluation order.
+//
+// MonteCarloEngine is the simple serial reference. Parallel, early-stopped
+// and checkpointed runs go through McSession (variability/mc_session.h) —
+// the *_parallel overloads below are deprecated shims kept so existing
+// callers compile; they forward to a work-stealing McSession and return
+// bit-identical results.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <functional>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "rng/rng.h"
 #include "stats/summary.h"
 #include "util/error.h"
+#include "variability/mc_session.h"
 
 namespace relsim {
-
-struct YieldEstimate {
-  std::size_t passed = 0;
-  std::size_t total = 0;
-  ProportionInterval interval{0.0, 0.0, 0.0};
-
-  double yield() const { return interval.estimate; }
-};
 
 class MonteCarloEngine {
  public:
@@ -65,75 +62,36 @@ class MonteCarloEngine {
     return est;
   }
 
-  /// Parallel variants. Because every sample owns a derived seed, the
-  /// results are bit-identical to the serial path for ANY thread count —
-  /// the fn must only be safe to call concurrently on distinct samples
-  /// (true for anything that builds its circuit per sample).
+  /// Deprecated parallel shims. Because every sample owns a derived seed,
+  /// the results are bit-identical to the serial path for ANY thread count;
+  /// the fn must only be safe to call concurrently on distinct samples.
+  /// New code should build an McRequest and use McSession directly — it
+  /// adds early stopping, checkpoint/resume and telemetry on top.
   template <typename Fn>
+  [[deprecated(
+      "use McSession::run_metric (variability/mc_session.h)")]]
   std::vector<double> run_metric_parallel(std::size_t n, Fn&& fn,
                                           unsigned threads = 0) const {
-    const unsigned workers = resolve_threads(threads);
-    std::vector<double> out(n, 0.0);
-    parallel_for(n, workers, [&](std::size_t i) {
-      Xoshiro256 rng = rng_for(i);
-      out[i] = fn(rng, i);
-    });
-    return out;
+    McSession session(parallel_request(n, threads));
+    return std::move(session.run_metric(McMetric(std::forward<Fn>(fn))).values);
   }
 
   template <typename Fn>
+  [[deprecated(
+      "use McSession::run_yield (variability/mc_session.h)")]]
   YieldEstimate estimate_yield_parallel(std::size_t n, Fn&& pass,
                                         unsigned threads = 0) const {
-    const unsigned workers = resolve_threads(threads);
-    std::atomic<std::size_t> passed{0};
-    parallel_for(n, workers, [&](std::size_t i) {
-      Xoshiro256 rng = rng_for(i);
-      if (pass(rng, i)) passed.fetch_add(1, std::memory_order_relaxed);
-    });
-    YieldEstimate est;
-    est.total = n;
-    est.passed = passed.load();
-    est.interval = wilson_interval(est.passed, est.total);
-    return est;
+    McSession session(parallel_request(n, threads));
+    return session.run_yield(McPredicate(std::forward<Fn>(pass))).estimate;
   }
 
  private:
-  static unsigned resolve_threads(unsigned requested) {
-    if (requested > 0) return requested;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 4;
-  }
-
-  /// Static block partition: each worker owns a contiguous index range, so
-  /// no work-queue synchronization is needed and exceptions in worker
-  /// bodies are rethrown on the caller's thread.
-  template <typename Body>
-  static void parallel_for(std::size_t n, unsigned workers, Body&& body) {
-    if (n == 0) return;
-    workers = static_cast<unsigned>(
-        std::min<std::size_t>(workers, n));
-    if (workers <= 1) {
-      for (std::size_t i = 0; i < n; ++i) body(i);
-      return;
-    }
-    std::vector<std::thread> pool;
-    std::vector<std::exception_ptr> errors(workers);
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w]() {
-        const std::size_t lo = n * w / workers;
-        const std::size_t hi = n * (w + 1) / workers;
-        try {
-          for (std::size_t i = lo; i < hi; ++i) body(i);
-        } catch (...) {
-          errors[w] = std::current_exception();
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
-    for (const auto& e : errors) {
-      if (e) std::rethrow_exception(e);
-    }
+  McRequest parallel_request(std::size_t n, unsigned threads) const {
+    McRequest req;
+    req.seed = base_seed_;
+    req.n = n;
+    req.threads = threads;
+    return req;
   }
 
   std::uint64_t base_seed_;

@@ -1,0 +1,280 @@
+// McSession orchestration contracts (mc_session.h):
+//  * an early-stopped run is EXACTLY the committed prefix of the full run,
+//    and the stopping point is scheduling-independent;
+//  * a checkpointed run killed mid-flight resumes to the bit-identical
+//    uninterrupted result without re-evaluating finished samples;
+//  * threshold stopping decides pass/fail at the configured confidence;
+//  * failing-sample seeds replay the failure in isolation;
+//  * resolve_threads honors the RELSIM_THREADS environment override.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rng/distributions.h"
+#include "util/error.h"
+#include "variability/mc_session.h"
+
+namespace relsim {
+namespace {
+
+McRequest base_request(std::uint64_t seed, std::size_t n) {
+  McRequest req;
+  req.seed = seed;
+  req.n = n;
+  req.threads = 2;
+  req.chunk = 16;
+  return req;
+}
+
+double noisy_metric(Xoshiro256& rng, std::size_t) {
+  NormalDistribution normal(0.0, 1.0);
+  double acc = 0.0;
+  for (int k = 0; k < 8; ++k) acc += normal(rng);
+  return acc;
+}
+
+bool coin_pass(Xoshiro256& rng, std::size_t) { return rng.uniform01() < 0.8; }
+
+/// Scratch checkpoint path, removed on destruction.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// Early stopping
+
+TEST(McSessionTest, EarlyStopIsExactPrefixOfFullRun) {
+  McRequest full = base_request(2024, 6000);
+  full.keep_values = true;
+  const McResult reference = McSession(full).run_yield(coin_pass);
+  ASSERT_EQ(reference.completed, 6000u);
+
+  McRequest early = full;
+  early.stopping.ci_half_width = 0.04;  // fires well before 6000 samples
+  const McResult stopped = McSession(early).run_yield(coin_pass);
+  EXPECT_EQ(stopped.stop_reason, McStopReason::kCiTarget);
+  ASSERT_GT(stopped.completed, 0u);
+  ASSERT_LT(stopped.completed, reference.completed);
+
+  // Per-sample outcomes on the overlapping prefix are bit-identical...
+  ASSERT_EQ(stopped.values.size(), stopped.completed);
+  std::size_t passed = 0;
+  for (std::size_t i = 0; i < stopped.completed; ++i) {
+    EXPECT_EQ(stopped.values[i], reference.values[i]) << "sample=" << i;
+    if (stopped.values[i] != 0.0) ++passed;
+  }
+  // ...and the reported estimate is exactly the prefix tally.
+  EXPECT_EQ(stopped.estimate.passed, passed);
+  EXPECT_EQ(stopped.estimate.total, stopped.completed);
+}
+
+TEST(McSessionTest, EarlyStopPointIsSchedulingIndependent) {
+  McRequest req = base_request(77, 8000);
+  req.stopping.ci_half_width = 0.05;
+  req.threads = 1;
+  const McResult one = McSession(req).run_yield(coin_pass);
+  ASSERT_EQ(one.stop_reason, McStopReason::kCiTarget);
+  for (const unsigned threads : {2u, 8u}) {
+    req.threads = threads;
+    const McResult many = McSession(req).run_yield(coin_pass);
+    EXPECT_EQ(many.completed, one.completed) << "threads=" << threads;
+    EXPECT_EQ(many.estimate.passed, one.estimate.passed);
+    EXPECT_EQ(many.estimate.interval.lo, one.estimate.interval.lo);
+    EXPECT_EQ(many.estimate.interval.hi, one.estimate.interval.hi);
+  }
+}
+
+TEST(McSessionTest, ThresholdStoppingDecidesPassAndFail) {
+  auto good = [](Xoshiro256& rng, std::size_t) {
+    return rng.uniform01() < 0.995;
+  };
+  McRequest req = base_request(11, 20000);
+  req.stopping.yield_threshold = 0.9;
+  const McResult passed = McSession(req).run_yield(good);
+  EXPECT_EQ(passed.stop_reason, McStopReason::kThresholdPassed);
+  EXPECT_LT(passed.completed, req.n / 3);  // decided with a fraction of n
+  EXPECT_GT(passed.estimate.interval.lo, 0.9);
+
+  auto bad = [](Xoshiro256& rng, std::size_t) {
+    return rng.uniform01() < 0.3;
+  };
+  const McResult failed = McSession(req).run_yield(bad);
+  EXPECT_EQ(failed.stop_reason, McStopReason::kThresholdFailed);
+  EXPECT_LT(failed.completed, req.n / 3);
+  EXPECT_LT(failed.estimate.interval.hi, 0.9);
+}
+
+TEST(McSessionTest, MetricCiStoppingShrinksRun) {
+  McRequest req = base_request(3, 100000);
+  req.stopping.ci_half_width = 0.2;
+  req.stopping.min_samples = 128;
+  const McResult result = McSession(req).run_metric(noisy_metric);
+  EXPECT_EQ(result.stop_reason, McStopReason::kCiTarget);
+  EXPECT_LT(result.completed, req.n);
+  EXPECT_GE(result.completed, 128u);
+  EXPECT_EQ(result.values.size(), result.completed);
+  EXPECT_EQ(result.metric.count(), result.completed);
+}
+
+TEST(McSessionTest, DisabledStoppingRunsEverything) {
+  McRequest req = base_request(8, 500);
+  EXPECT_FALSE(req.stopping.enabled());
+  const McResult result = McSession(req).run_yield(coin_pass);
+  EXPECT_EQ(result.stop_reason, McStopReason::kCompleted);
+  EXPECT_EQ(result.completed, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+
+TEST(McSessionTest, CheckpointKillResumeEqualsUninterruptedRun) {
+  const std::size_t n = 600;
+  McRequest plain = base_request(404, n);
+  const McResult reference = McSession(plain).run_metric(noisy_metric);
+
+  ScratchFile ckpt("mc_session_kill_resume.ckpt");
+  McRequest req = plain;
+  req.checkpoint_path = ckpt.path();
+  req.checkpoint_every = 32;
+
+  // First attempt dies mid-run (a worker exception stands in for a kill:
+  // the committed prefix is persisted before the error propagates).
+  auto crashing = [](Xoshiro256& rng, std::size_t i) -> double {
+    if (i == 417) throw Error("simulated crash");
+    return noisy_metric(rng, i);
+  };
+  EXPECT_THROW(McSession(req).run_metric(crashing), Error);
+
+  // Second attempt resumes: finished samples are restored, not re-run.
+  std::atomic<std::size_t> evaluated{0};
+  auto counting = [&evaluated](Xoshiro256& rng, std::size_t i) {
+    evaluated.fetch_add(1, std::memory_order_relaxed);
+    return noisy_metric(rng, i);
+  };
+  const McResult resumed = McSession(req).run_metric(counting);
+  EXPECT_GT(resumed.resumed, 0u);
+  EXPECT_LT(evaluated.load(), n);
+  EXPECT_EQ(resumed.resumed + evaluated.load(), n);
+
+  // The resumed result is bit-identical to the uninterrupted run.
+  EXPECT_EQ(resumed.completed, reference.completed);
+  ASSERT_EQ(resumed.values.size(), reference.values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(resumed.values[i], reference.values[i]) << "sample=" << i;
+  }
+  EXPECT_EQ(resumed.metric.mean(), reference.metric.mean());
+  EXPECT_EQ(resumed.metric.stddev(), reference.metric.stddev());
+}
+
+TEST(McSessionTest, ResumeOfCompletedRunEvaluatesNothing) {
+  ScratchFile ckpt("mc_session_completed.ckpt");
+  McRequest req = base_request(9, 300);
+  req.checkpoint_path = ckpt.path();
+  const McResult first = McSession(req).run_yield(coin_pass);
+  ASSERT_EQ(first.completed, 300u);
+
+  auto forbidden = [](Xoshiro256&, std::size_t) -> bool {
+    throw Error("must not be evaluated on resume");
+  };
+  const McResult second = McSession(req).run_yield(forbidden);
+  EXPECT_EQ(second.resumed, 300u);
+  EXPECT_EQ(second.estimate.passed, first.estimate.passed);
+  EXPECT_EQ(second.estimate.interval.lo, first.estimate.interval.lo);
+}
+
+TEST(McSessionTest, CheckpointRejectsMismatchedRequest) {
+  ScratchFile ckpt("mc_session_mismatch.ckpt");
+  McRequest req = base_request(1, 128);
+  req.checkpoint_path = ckpt.path();
+  McSession(req).run_yield(coin_pass);
+
+  McRequest other_seed = req;
+  other_seed.seed = 2;
+  EXPECT_THROW(McSession(other_seed).run_yield(coin_pass), Error);
+
+  McRequest other_n = req;
+  other_n.n = 256;
+  EXPECT_THROW(McSession(other_n).run_yield(coin_pass), Error);
+
+  // A yield checkpoint must not silently seed a metric run.
+  EXPECT_THROW(McSession(req).run_metric(noisy_metric), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Failing-sample replay, progress, thread resolution
+
+TEST(McSessionTest, FailingSampleSeedsReplayTheFailure) {
+  McRequest req = base_request(654, 500);
+  req.keep_failing_seeds = 4;
+  const McResult result = McSession(req).run_yield(coin_pass);
+  ASSERT_FALSE(result.failing_samples.empty());
+  ASSERT_LE(result.failing_samples.size(), 4u);
+  for (const McFailingSample& f : result.failing_samples) {
+    Xoshiro256 rng(f.seed);  // isolated replay: no session machinery needed
+    EXPECT_FALSE(coin_pass(rng, f.index)) << "index=" << f.index;
+  }
+}
+
+TEST(McSessionTest, ProgressCallbackSeesMonotonePrefix) {
+  McRequest req = base_request(21, 400);
+  req.threads = 3;
+  req.chunk = 8;
+  req.progress_every = 50;
+  std::size_t calls = 0;
+  std::size_t last = 0;
+  req.progress = [&](const McProgress& p) {
+    ++calls;
+    EXPECT_GT(p.completed, last);
+    EXPECT_EQ(p.total, 400u);
+    EXPECT_LE(p.passed, p.completed);
+    last = p.completed;
+  };
+  McSession(req).run_yield(coin_pass);
+  EXPECT_GE(calls, 4u);
+}
+
+TEST(McSessionTest, ResolveThreadsHonorsEnvOverride) {
+  const char* saved = std::getenv("RELSIM_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::setenv("RELSIM_THREADS", "7", 1);
+  EXPECT_EQ(resolve_threads(0), 7u);
+  EXPECT_EQ(resolve_threads(3), 3u);  // explicit request beats the env
+
+  ::setenv("RELSIM_THREADS", "not-a-number", 1);
+  EXPECT_GE(resolve_threads(0), 1u);  // invalid value ignored with a warning
+
+  if (saved != nullptr) {
+    ::setenv("RELSIM_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("RELSIM_THREADS");
+  }
+}
+
+TEST(McSessionTest, KeepValuesExposesPassFlags) {
+  McRequest req = base_request(12, 100);
+  req.keep_values = true;
+  const McResult result = McSession(req).run_yield(coin_pass);
+  ASSERT_EQ(result.values.size(), 100u);
+  std::size_t passed = 0;
+  for (double v : result.values) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+    if (v == 1.0) ++passed;
+  }
+  EXPECT_EQ(passed, result.estimate.passed);
+}
+
+}  // namespace
+}  // namespace relsim

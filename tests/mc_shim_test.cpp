@@ -1,0 +1,51 @@
+// Compile-and-run coverage for the deprecated parallel Monte-Carlo shims
+// (montecarlo.h). Existing out-of-tree callers still use the positional
+// run_metric_parallel / estimate_yield_parallel entry points; this test
+// pins the migration contract: the shims keep compiling, forward to
+// McSession, and return results bit-identical to the serial engine.
+#include <gtest/gtest.h>
+
+#include "variability/montecarlo.h"
+
+// The whole point of this file is to call deprecated API on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace relsim {
+namespace {
+
+TEST(McShimTest, RunMetricParallelForwardsToSession) {
+  const MonteCarloEngine engine(2718);
+  auto metric = [](Xoshiro256& rng, std::size_t) { return rng.uniform01(); };
+  const std::vector<double> serial = engine.run_metric(257, metric);
+  const std::vector<double> shim = engine.run_metric_parallel(257, metric, 4);
+  ASSERT_EQ(shim.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(shim[i], serial[i]) << "sample=" << i;
+  }
+}
+
+TEST(McShimTest, EstimateYieldParallelForwardsToSession) {
+  const MonteCarloEngine engine(314159);
+  auto pass = [](Xoshiro256& rng, std::size_t) {
+    return rng.uniform01() < 0.7;
+  };
+  const YieldEstimate serial = engine.estimate_yield(1003, pass);
+  const YieldEstimate shim = engine.estimate_yield_parallel(1003, pass, 3);
+  EXPECT_EQ(shim.passed, serial.passed);
+  EXPECT_EQ(shim.total, serial.total);
+  EXPECT_EQ(shim.interval.estimate, serial.interval.estimate);
+  EXPECT_EQ(shim.interval.lo, serial.interval.lo);
+  EXPECT_EQ(shim.interval.hi, serial.interval.hi);
+}
+
+TEST(McShimTest, DefaultThreadCountStillWorks) {
+  const MonteCarloEngine engine(1);
+  auto metric = [](Xoshiro256& rng, std::size_t) { return rng.uniform01(); };
+  EXPECT_EQ(engine.run_metric_parallel(10, metric).size(), 10u);
+}
+
+}  // namespace
+}  // namespace relsim
+
+#pragma GCC diagnostic pop

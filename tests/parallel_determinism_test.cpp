@@ -1,12 +1,15 @@
-// Locks in the bit-identity contract of the parallel Monte-Carlo drivers:
-// because every sample owns a derived seed, run_metric_parallel and
-// estimate_yield_parallel must return EXACTLY the serial results for any
-// thread count (montecarlo.h documents this; yield analyses rely on it).
+// Locks in the bit-identity contract of the McSession orchestrator:
+// because every sample owns a derived seed and retired ranges are folded
+// into the accumulators in sample-index order, a session must return
+// EXACTLY the serial results for any thread count, chunk size and
+// partitioning mode (mc_session.h documents this; yield analyses rely
+// on it).
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "rng/distributions.h"
+#include "variability/mc_session.h"
 #include "variability/montecarlo.h"
 
 namespace relsim {
@@ -20,20 +23,65 @@ double sample_metric(Xoshiro256& rng, std::size_t index) {
   return std::cos(acc) + acc;
 }
 
-TEST(ParallelDeterminismTest, RunMetricBitIdenticalAcrossThreadCounts) {
+McRequest base_request(std::uint64_t seed, std::size_t n) {
+  McRequest req;
+  req.seed = seed;
+  req.n = n;
+  return req;
+}
+
+TEST(ParallelDeterminismTest, MetricBitIdenticalAcrossThreadCounts) {
   const MonteCarloEngine engine(0xfeedbeefULL);
   const std::size_t n = 257;  // deliberately not a multiple of any count
   const std::vector<double> serial = engine.run_metric(n, sample_metric);
   for (const unsigned threads : {1u, 2u, 3u, 5u, 8u, 16u, 64u}) {
-    const std::vector<double> parallel =
-        engine.run_metric_parallel(n, sample_metric, threads);
-    ASSERT_EQ(parallel.size(), serial.size());
+    McRequest req = base_request(0xfeedbeefULL, n);
+    req.threads = threads;
+    const McResult result = McSession(req).run_metric(sample_metric);
+    ASSERT_EQ(result.values.size(), serial.size());
     for (std::size_t i = 0; i < n; ++i) {
       // Bit identity, not closeness: same seed, same arithmetic.
-      EXPECT_EQ(parallel[i], serial[i])
+      EXPECT_EQ(result.values[i], serial[i])
           << "threads=" << threads << " sample=" << i;
     }
   }
+}
+
+TEST(ParallelDeterminismTest, MetricBitIdenticalAcrossChunkSizes) {
+  const MonteCarloEngine engine(0xabcdULL);
+  const std::size_t n = 193;
+  const std::vector<double> serial = engine.run_metric(n, sample_metric);
+  for (const std::size_t chunk : {1ul, 3ul, 16ul, 64ul, 1000ul}) {
+    McRequest req = base_request(0xabcdULL, n);
+    req.threads = 4;
+    req.chunk = chunk;
+    const McResult result = McSession(req).run_metric(sample_metric);
+    ASSERT_EQ(result.values.size(), serial.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(result.values[i], serial[i])
+          << "chunk=" << chunk << " sample=" << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, StaticBlocksMatchWorkStealing) {
+  const std::size_t n = 311;
+  McRequest stealing = base_request(99, n);
+  stealing.threads = 6;
+  stealing.chunk = 8;
+  const McResult a = McSession(stealing).run_metric(sample_metric);
+
+  McRequest blocks = base_request(99, n);
+  blocks.threads = 6;
+  blocks.partition = McPartition::kStaticBlocks;
+  const McResult b = McSession(blocks).run_metric(sample_metric);
+
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a.values[i], b.values[i]) << "sample=" << i;
+  }
+  EXPECT_EQ(a.metric.mean(), b.metric.mean());
+  EXPECT_EQ(a.metric.stddev(), b.metric.stddev());
 }
 
 TEST(ParallelDeterminismTest, YieldEstimateIdenticalAcrossThreadCounts) {
@@ -46,33 +94,75 @@ TEST(ParallelDeterminismTest, YieldEstimateIdenticalAcrossThreadCounts) {
   };
   const YieldEstimate serial = engine.estimate_yield(1003, pass);
   for (const unsigned threads : {1u, 2u, 3u, 7u, 12u, 32u}) {
-    const YieldEstimate parallel =
-        engine.estimate_yield_parallel(1003, pass, threads);
-    EXPECT_EQ(parallel.passed, serial.passed) << "threads=" << threads;
-    EXPECT_EQ(parallel.total, serial.total);
-    EXPECT_EQ(parallel.interval.estimate, serial.interval.estimate);
-    EXPECT_EQ(parallel.interval.lo, serial.interval.lo);
-    EXPECT_EQ(parallel.interval.hi, serial.interval.hi);
+    McRequest req = base_request(123456789ULL, 1003);
+    req.threads = threads;
+    const McResult result = McSession(req).run_yield(pass);
+    EXPECT_EQ(result.estimate.passed, serial.passed) << "threads=" << threads;
+    EXPECT_EQ(result.estimate.total, serial.total);
+    EXPECT_EQ(result.estimate.interval.estimate, serial.interval.estimate);
+    EXPECT_EQ(result.estimate.interval.lo, serial.interval.lo);
+    EXPECT_EQ(result.estimate.interval.hi, serial.interval.hi);
+  }
+}
+
+TEST(ParallelDeterminismTest, FailingSeedsIdenticalAcrossThreadCounts) {
+  const auto pass = [](Xoshiro256& rng, std::size_t) {
+    return rng.uniform01() < 0.9;
+  };
+  McRequest ref = base_request(31337, 400);
+  ref.threads = 1;
+  ref.keep_failing_seeds = 5;
+  const McResult serial = McSession(ref).run_yield(pass);
+  ASSERT_FALSE(serial.failing_samples.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    McRequest req = ref;
+    req.threads = threads;
+    const McResult parallel = McSession(req).run_yield(pass);
+    ASSERT_EQ(parallel.failing_samples.size(), serial.failing_samples.size());
+    for (std::size_t k = 0; k < serial.failing_samples.size(); ++k) {
+      EXPECT_EQ(parallel.failing_samples[k].index,
+                serial.failing_samples[k].index);
+      EXPECT_EQ(parallel.failing_samples[k].seed,
+                serial.failing_samples[k].seed);
+    }
   }
 }
 
 TEST(ParallelDeterminismTest, MoreThreadsThanSamples) {
   const MonteCarloEngine engine(42);
   const std::vector<double> serial = engine.run_metric(3, sample_metric);
-  const std::vector<double> parallel =
-      engine.run_metric_parallel(3, sample_metric, 64);
+  McRequest req = base_request(42, 3);
+  req.threads = 64;
+  const McResult result = McSession(req).run_metric(sample_metric);
+  ASSERT_EQ(result.values.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(parallel[i], serial[i]);
+    EXPECT_EQ(result.values[i], serial[i]);
   }
 }
 
 TEST(ParallelDeterminismTest, ExceptionsPropagateFromWorkers) {
-  const MonteCarloEngine engine(7);
   const auto failing = [](Xoshiro256&, std::size_t index) -> double {
     if (index == 100) throw Error("sample 100 exploded");
     return 0.0;
   };
-  EXPECT_THROW(engine.run_metric_parallel(128, failing, 4), Error);
+  McRequest req = base_request(7, 128);
+  req.threads = 4;
+  EXPECT_THROW(McSession(req).run_metric(failing), Error);
+}
+
+TEST(ParallelDeterminismTest, TelemetryCoversAllSamples) {
+  McRequest req = base_request(5, 200);
+  req.threads = 4;
+  req.chunk = 8;
+  const McResult result = McSession(req).run_metric(sample_metric);
+  ASSERT_EQ(result.workers.size(), 4u);
+  std::size_t total = 0;
+  for (const McWorkerTelemetry& w : result.workers) {
+    EXPECT_GE(w.busy_seconds, 0.0);
+    total += w.samples;
+  }
+  EXPECT_EQ(total, 200u);
+  EXPECT_EQ(result.completed, 200u);
 }
 
 }  // namespace

@@ -159,6 +159,23 @@ TEST(AcTest, DegradedDeviceLosesGain) {
   EXPECT_LT(gain_for(aged), gain_for(MosDegradation{}));
 }
 
+// The common result shape (AnalysisResultBase): AC reports solver stats,
+// convergence and abort reason under the same member names as DC/transient.
+TEST(AcTest, ReportsCommonAnalysisResultShape) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, kGround, 1.0);
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+  const auto res = ac_analysis(c, {1e3, 1e6, 1e9});
+  EXPECT_TRUE(res.converged());
+  EXPECT_TRUE(res.abort_reason().empty());
+  // One complex LU per frequency point, on top of the DC linearization.
+  EXPECT_EQ(res.solver_stats().complex_factorizations, 3);
+  EXPECT_GT(res.solver_stats().newton_iterations, 0);
+}
+
 TEST(AcTest, InvalidFrequencyRejected) {
   Circuit c;
   const NodeId in = c.node("in");

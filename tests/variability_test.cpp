@@ -151,7 +151,7 @@ TEST(MonteCarloTest, YieldOfFairCoin) {
   EXPECT_EQ(est.total, 20000u);
 }
 
-TEST(MonteCarloTest, ParallelMatchesSerialBitExactly) {
+TEST(MonteCarloTest, SessionMetricMatchesSerialBitExactly) {
   MonteCarloEngine mc(555);
   auto metric = [](Xoshiro256& rng, std::size_t) {
     double acc = 0.0;
@@ -161,42 +161,56 @@ TEST(MonteCarloTest, ParallelMatchesSerialBitExactly) {
   };
   const auto serial = mc.run_metric(500, metric);
   for (unsigned threads : {1u, 2u, 7u}) {
-    const auto parallel = mc.run_metric_parallel(500, metric, threads);
-    ASSERT_EQ(parallel.size(), serial.size());
+    McRequest req;
+    req.seed = 555;
+    req.n = 500;
+    req.threads = threads;
+    const McResult parallel = McSession(req).run_metric(metric);
+    ASSERT_EQ(parallel.values.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
-      EXPECT_DOUBLE_EQ(parallel[i], serial[i]) << "threads=" << threads;
+      EXPECT_DOUBLE_EQ(parallel.values[i], serial[i]) << "threads=" << threads;
     }
   }
 }
 
-TEST(MonteCarloTest, ParallelYieldMatchesSerial) {
+TEST(MonteCarloTest, SessionYieldMatchesSerial) {
   MonteCarloEngine mc(777);
   auto pass = [](Xoshiro256& rng, std::size_t) {
     return rng.uniform01() < 0.6;
   };
   const auto serial = mc.estimate_yield(2000, pass);
-  const auto par = mc.estimate_yield_parallel(2000, pass, 5);
-  EXPECT_EQ(serial.passed, par.passed);
-  EXPECT_EQ(serial.total, par.total);
+  McRequest req;
+  req.seed = 777;
+  req.n = 2000;
+  req.threads = 5;
+  const McResult par = McSession(req).run_yield(pass);
+  EXPECT_EQ(serial.passed, par.estimate.passed);
+  EXPECT_EQ(serial.total, par.estimate.total);
+  EXPECT_EQ(par.stop_reason, McStopReason::kCompleted);
 }
 
-TEST(MonteCarloTest, ParallelPropagatesExceptions) {
-  MonteCarloEngine mc(1);
-  EXPECT_THROW(mc.run_metric_parallel(
-                   100,
-                   [](Xoshiro256&, std::size_t i) -> double {
-                     if (i == 57) throw Error("boom");
-                     return 0.0;
-                   },
-                   4),
+TEST(MonteCarloTest, SessionPropagatesExceptions) {
+  McRequest req;
+  req.seed = 1;
+  req.n = 100;
+  req.threads = 4;
+  EXPECT_THROW(McSession(req).run_metric([](Xoshiro256&,
+                                            std::size_t i) -> double {
+    if (i == 57) throw Error("boom");
+    return 0.0;
+  }),
                Error);
 }
 
-TEST(MonteCarloTest, ParallelHandlesEdgeSizes) {
-  MonteCarloEngine mc(2);
+TEST(MonteCarloTest, SessionHandlesEdgeSizes) {
   auto metric = [](Xoshiro256& rng, std::size_t) { return rng.uniform01(); };
-  EXPECT_TRUE(mc.run_metric_parallel(0, metric, 8).empty());
-  EXPECT_EQ(mc.run_metric_parallel(3, metric, 8).size(), 3u);
+  McRequest req;
+  req.seed = 2;
+  req.n = 0;
+  req.threads = 8;
+  EXPECT_TRUE(McSession(req).run_metric(metric).values.empty());
+  req.n = 3;
+  EXPECT_EQ(McSession(req).run_metric(metric).values.size(), 3u);
 }
 
 TEST(MonteCarloTest, RunMetricCollectsAll) {
