@@ -188,7 +188,7 @@ int main() {
     const McResult res = McSession(req).run_yield(coin85);
     a3b.add_row({hw, static_cast<long long>(res.completed),
                  static_cast<double>(res.completed) / res.requested,
-                 res.estimate.yield(), std::string(to_string(res.stop_reason))});
+                 res.estimate.yield(), std::string(to_string(res.stop_reason()))});
     if (hw == 0.05) used_at_005 = res.completed;
   }
   a3b.print(std::cout);

@@ -15,15 +15,19 @@
 // single hardware thread); the circuit benches time real solves.
 //
 // Flags: --smoke (shrink the scheduling comparison for CI),
-//        --mc-json PATH (dump the measured series as a flat JSON artifact).
+//        --mc-json PATH (dump the measured series as a flat JSON artifact),
+//        --trace PATH (Chrome trace_event timeline of every MC run),
+//        --manifest PATH (run manifest, rewritten per run; final wins).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "bench_util.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "variability/mc_session.h"
 
@@ -51,6 +55,10 @@ int main(int argc, char** argv) {
   bench::BenchJson json;
   const bool smoke = bench::arg_present(argc, argv, "--smoke");
   const std::string mc_json = bench::arg_value(argc, argv, "--mc-json");
+  const std::string trace_path = bench::arg_value(argc, argv, "--trace");
+  const std::string manifest_path = bench::arg_value(argc, argv, "--manifest");
+  std::optional<obs::TraceSession> trace;
+  if (!trace_path.empty()) trace.emplace(trace_path);
 
   // --- scheduling: static blocks vs work stealing ---------------------------
   bench::banner("Work-stealing vs static block partition, 8 workers, "
@@ -66,6 +74,8 @@ int main(int argc, char** argv) {
   sched.n = n;
   sched.threads = 8;
   sched.chunk = 4;
+  sched.manifest_path = manifest_path;
+  sched.run_label = "bench_mc.scheduling";
 
   McRequest blocks = sched;
   blocks.partition = McPartition::kStaticBlocks;
@@ -76,11 +86,12 @@ int main(int argc, char** argv) {
   TablePrinter t({"scheduler", "elapsed_s", "chunks_moved", "speedup"});
   t.set_precision(3);
   std::size_t stolen = 0;
-  for (const auto& w : r_steal.workers) stolen += w.chunks;
-  const double speedup = r_static.elapsed_seconds / r_steal.elapsed_seconds;
-  t.add_row({std::string("static blocks"), r_static.elapsed_seconds,
-             static_cast<long long>(r_static.workers.size()), 1.0});
-  t.add_row({std::string("work stealing"), r_steal.elapsed_seconds,
+  for (const auto& w : r_steal.workers()) stolen += w.chunks;
+  const double speedup =
+      r_static.elapsed_seconds() / r_steal.elapsed_seconds();
+  t.add_row({std::string("static blocks"), r_static.elapsed_seconds(),
+             static_cast<long long>(r_static.workers().size()), 1.0});
+  t.add_row({std::string("work stealing"), r_steal.elapsed_seconds(),
              static_cast<long long>(stolen), speedup});
   t.print(std::cout);
 
@@ -90,9 +101,9 @@ int main(int argc, char** argv) {
   checks.check("work stealing beats the static partition by >= 1.5x on the "
                "imbalanced workload",
                speedup >= 1.5);
-  json.add("scheduler_static", {{"elapsed_s", r_static.elapsed_seconds},
+  json.add("scheduler_static", {{"elapsed_s", r_static.elapsed_seconds()},
                                 {"n", static_cast<double>(n)}});
-  json.add("scheduler_stealing", {{"elapsed_s", r_steal.elapsed_seconds},
+  json.add("scheduler_stealing", {{"elapsed_s", r_steal.elapsed_seconds()},
                                   {"n", static_cast<double>(n)},
                                   {"speedup", speedup}});
 
@@ -106,6 +117,8 @@ int main(int argc, char** argv) {
   full.seed = 7;
   full.n = 20000;
   full.threads = 4;
+  full.manifest_path = manifest_path;
+  full.run_label = "bench_mc.early_stopping";
   const McResult fixed = McSession(full).run_yield(good_design);
 
   McRequest adaptive = full;
@@ -120,7 +133,7 @@ int main(int argc, char** argv) {
   es.add_row({std::string("early stop"),
               static_cast<long long>(stopped.completed),
               100.0 * stopped.estimate.yield(),
-              std::string(to_string(stopped.stop_reason))});
+              std::string(to_string(stopped.stop_reason()))});
   es.print(std::cout);
 
   const double reduction =
@@ -128,7 +141,7 @@ int main(int argc, char** argv) {
       static_cast<double>(std::max<std::size_t>(1, stopped.completed));
   std::cout << "sample reduction: " << reduction << "x\n";
   checks.check("early stop reaches the same verdict (threshold passed)",
-               stopped.stop_reason == McStopReason::kThresholdPassed &&
+               stopped.stop_reason() == McStopReason::kThresholdPassed &&
                    fixed.estimate.interval.lo > 0.95);
   checks.check("early stopping cuts the sample budget by >= 3x",
                reduction >= 3.0);
@@ -145,6 +158,8 @@ int main(int argc, char** argv) {
   cr.seed = 13;
   cr.n = 2000;
   cr.threads = 4;
+  cr.manifest_path = manifest_path;
+  cr.run_label = "bench_mc.checkpoint_resume";
   const McPredicate coin = [](Xoshiro256& rng, std::size_t) {
     return rng.uniform01() < 0.8;
   };

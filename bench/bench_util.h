@@ -10,11 +10,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/json_writer.h"
 #include "util/table.h"
 
 namespace relsim::bench {
@@ -65,35 +65,40 @@ inline bool arg_present(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
-/// Bare-bones JSON array-of-flat-objects writer for bench telemetry
-/// artifacts (e.g. BENCH_mc.json — the Monte-Carlo perf trajectory CI
-/// records per commit). Numbers only; names must not need escaping.
+/// JSON array-of-flat-objects writer for bench telemetry artifacts
+/// (e.g. BENCH_mc.json — the Monte-Carlo perf trajectory CI records per
+/// commit). Serialization is delegated to obs::JsonWriter, the same
+/// emitter behind traces, metrics snapshots, and run manifests.
 class BenchJson {
  public:
   void add(const std::string& name,
            const std::vector<std::pair<std::string, double>>& fields) {
-    std::ostringstream os;
-    os << "  {\"name\": \"" << name << "\"";
-    for (const auto& [key, value] : fields) {
-      os << ", \"" << key << "\": " << value;
-    }
-    os << "}";
-    rows_.push_back(os.str());
+    rows_.push_back({name, fields});
   }
 
   bool write(const std::string& path) const {
     std::ofstream os(path);
     if (!os) return false;
-    os << "[\n";
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      os << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    obs::JsonWriter w(os, 2);
+    w.begin_array();
+    for (const auto& row : rows_) {
+      w.begin_object();
+      w.kv("name", row.name);
+      for (const auto& [key, value] : row.fields) w.kv(key, value);
+      w.end_object();
     }
-    os << "]\n";
+    w.end_array();
+    w.complete();
+    os << '\n';
     return bool(os);
   }
 
  private:
-  std::vector<std::string> rows_;
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::vector<Row> rows_;
 };
 
 }  // namespace relsim::bench

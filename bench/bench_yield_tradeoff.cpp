@@ -12,9 +12,11 @@
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "bench_util.h"
 #include "core/reliability_sim.h"
+#include "obs/trace.h"
 #include "spice/analysis.h"
 #include "tech/tech.h"
 #include "util/units.h"
@@ -53,10 +55,19 @@ int main(int argc, char** argv) {
   const TechNode& tech = tech_65nm();
   bench::ShapeChecks checks;
   // --samples N shrinks the MC runs (CI smoke mode); --mc-json PATH dumps
-  // the per-run orchestration telemetry as a flat JSON artifact.
+  // the per-run orchestration telemetry as a flat JSON artifact;
+  // --trace PATH records a Chrome trace_event timeline of every MC run;
+  // --manifest PATH writes the run manifest (seed, stop reason, metrics
+  // snapshot) after each MC run — the final file covers the whole bench;
+  // --threads N pins the worker count (0 = auto).
   const std::size_t samples =
       static_cast<std::size_t>(bench::arg_long(argc, argv, "--samples", 150));
   const std::string mc_json = bench::arg_value(argc, argv, "--mc-json");
+  const std::string trace_path = bench::arg_value(argc, argv, "--trace");
+  const std::string manifest_path = bench::arg_value(argc, argv, "--manifest");
+  const long threads = bench::arg_long(argc, argv, "--threads", 0);
+  std::optional<obs::TraceSession> trace;
+  if (!trace_path.empty()) trace.emplace(trace_path);
   bench::BenchJson json;
 
   ReliabilityConfig cfg;
@@ -85,21 +96,23 @@ int main(int argc, char** argv) {
   McRequest req;
   req.n = samples;
   req.chunk = 8;
+  req.threads = static_cast<unsigned>(threads);
+  req.manifest_path = manifest_path;
 
   auto record = [&](const std::string& name, const McResult& r) {
     if (mc_json.empty()) return;
     double busy = 0.0;
-    for (const auto& w : r.workers) busy += w.busy_seconds;
+    for (const auto& w : r.workers()) busy += w.busy_seconds;
     json.add(name,
              {{"requested", static_cast<double>(r.requested)},
               {"completed", static_cast<double>(r.completed)},
               {"yield", r.estimate.yield()},
-              {"workers", static_cast<double>(r.workers.size())},
-              {"elapsed_s", r.elapsed_seconds},
+              {"workers", static_cast<double>(r.workers().size())},
+              {"elapsed_s", r.elapsed_seconds()},
               {"busy_s", busy},
               {"samples_per_s",
-               r.elapsed_seconds > 0.0 ? r.completed / r.elapsed_seconds
-                                       : 0.0}});
+               r.elapsed_seconds() > 0.0 ? r.completed / r.elapsed_seconds()
+                                         : 0.0}});
   };
 
   std::vector<double> t0_yields, eol_yields, cal_yields, areas;

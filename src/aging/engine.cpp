@@ -5,6 +5,8 @@
 #include "aging/hci.h"
 #include "aging/nbti.h"
 #include "aging/tddb.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/analysis.h"
 #include "util/error.h"
 #include "util/units.h"
@@ -60,6 +62,20 @@ AgingReport AgingEngine::age(spice::Circuit& circuit,
   const StressRunner& run_workload =
       runner ? runner : StressRunner(dc_stress_runner);
 
+  obs::init_trace_from_env();
+  const obs::TraceSpan age_span("aging.age", "epochs",
+                                static_cast<long long>(options.mission.epochs));
+  static obs::Counter& c_epochs = obs::metrics().counter("aging.epochs");
+  static obs::Counter& c_stress = obs::metrics().counter("aging.stress_refreshes");
+  // One ΔVth-eval counter per mechanism; resolved once per age() call since
+  // model names are only known at runtime.
+  std::vector<obs::Counter*> model_evals;
+  model_evals.reserve(models_.size());
+  for (const auto& model : models_) {
+    model_evals.push_back(&obs::metrics().counter(
+        "aging." + std::string(model->name()) + ".dvth_evals"));
+  }
+
   const std::vector<spice::Mosfet*> mosfets = circuit.mosfets();
   const std::vector<spice::Resistor*> wires = circuit.wires();
 
@@ -68,6 +84,8 @@ AgingReport AgingEngine::age(spice::Circuit& circuit,
   }
 
   auto gather_stress = [&]() {
+    const obs::TraceSpan stress_span("aging.gather_stress");
+    c_stress.inc();
     for (spice::Mosfet* m : mosfets) m->reset_stress();
     for (spice::Resistor* r : wires) r->reset_stress();
     run_workload(circuit);
@@ -120,6 +138,9 @@ AgingReport AgingEngine::age(spice::Circuit& circuit,
 
   for (int epoch = 1; epoch <= options.mission.epochs; ++epoch) {
     const double t_now_s = epoch_s * epoch;
+    const obs::TraceSpan epoch_span("aging.epoch", "epoch",
+                                    static_cast<long long>(epoch));
+    c_epochs.inc();
 
     EpochRecord record;
     record.t_years = t_now_s / units::kSecondsPerYear;
@@ -127,6 +148,7 @@ AgingReport AgingEngine::age(spice::Circuit& circuit,
       ParameterDrift total;
       for (std::size_t m = 0; m < models_.size(); ++m) {
         total.combine(models_[m]->advance(*states[d][m], stress[d], epoch_s));
+        model_evals[m]->inc();
       }
       mosfets[d]->set_degradation(total.to_degradation());
       if (total.hard_breakdown && !reported_hbd[d]) {

@@ -73,6 +73,7 @@ McResult ReliabilitySimulator::run_yield(const CircuitFactory& factory,
                                          const SpecPredicate& pass,
                                          McRequest req) const {
   req.seed = config_.seed;
+  if (req.run_label.empty()) req.run_label = "reliability.yield";
   const McSession session(std::move(req));
   return session.run_yield([&](Xoshiro256& rng, std::size_t) {
     auto circuit = factory();
@@ -85,6 +86,7 @@ McResult ReliabilitySimulator::run_lifetime_yield(
     const CircuitFactory& factory, const SpecPredicate& pass, McRequest req,
     const aging::StressRunner& runner) const {
   req.seed = config_.seed;
+  if (req.run_label.empty()) req.run_label = "reliability.lifetime_yield";
   const McSession session(std::move(req));
   return session.run_yield([&](Xoshiro256& rng, std::size_t index) {
     auto circuit = factory();
@@ -107,6 +109,7 @@ McResult ReliabilitySimulator::run_metric(const CircuitFactory& factory,
                                           const CircuitMetric& metric,
                                           McRequest req) const {
   req.seed = config_.seed;
+  if (req.run_label.empty()) req.run_label = "reliability.metric";
   const McSession session(std::move(req));
   return session.run_metric([&](Xoshiro256& rng, std::size_t) {
     auto circuit = factory();

@@ -1,0 +1,176 @@
+#include "obs/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace relsim::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    RELSIM_REQUIRE(!root_written_, "JsonWriter: second root value");
+    root_written_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    RELSIM_REQUIRE(key_pending_, "JsonWriter: object value without a key");
+    key_pending_ = false;
+    return;  // key() already emitted the separator and indentation
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  RELSIM_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                 "JsonWriter: key() outside an object");
+  RELSIM_REQUIRE(!key_pending_, "JsonWriter: two keys in a row");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RELSIM_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject &&
+                     !key_pending_,
+                 "JsonWriter: unbalanced end_object()");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RELSIM_REQUIRE(!stack_.empty() && stack_.back() == Scope::kArray,
+                 "JsonWriter: unbalanced end_array()");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  // Shortest round-trip representation, always with a decimal marker so
+  // the value reads back as floating-point.
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof(buf) - 2, v);
+  *res.ptr = '\0';
+  std::string_view sv(buf, static_cast<std::size_t>(res.ptr - buf));
+  os_ << sv;
+  if (sv.find('.') == std::string_view::npos &&
+      sv.find('e') == std::string_view::npos &&
+      sv.find("inf") == std::string_view::npos) {
+    os_ << ".0";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace relsim::obs

@@ -1,0 +1,88 @@
+// Minimal streaming JSON writer shared by every relsim JSON artifact.
+//
+// One emitter for traces, metrics snapshots, run manifests and the bench
+// telemetry files, replacing the ad-hoc string assembly that used to live
+// in bench_util.h and the --mc-json paths. Properties the consumers rely
+// on:
+//  * correct string escaping (control characters, quotes, backslashes);
+//  * stable key order — keys are emitted exactly in the order the caller
+//    provides them, so identical inputs produce byte-identical documents;
+//  * deterministic number formatting — shortest round-trip form for
+//    doubles, plain decimal for integers, non-finite values become null
+//    (JSON has no NaN/Inf);
+//  * nesting is tracked, so a malformed document (unbalanced scopes, a
+//    value without a key inside an object) throws instead of emitting
+//    garbage.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relsim::obs {
+
+/// JSON-escapes `s` (quotes, backslashes, control characters). The result
+/// does NOT include the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Writes to `os`. `indent` > 0 pretty-prints with that many spaces per
+  /// nesting level; 0 emits the compact single-line form (traces).
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// True once the root value is closed (the document is complete).
+  bool complete() const { return root_written_ && stack_.empty(); }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+  void raw(std::string_view s) { os_ << s; }
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  ///< parallel to stack_: comma needed?
+  bool key_pending_ = false;
+  bool root_written_ = false;
+};
+
+}  // namespace relsim::obs

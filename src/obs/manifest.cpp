@@ -1,0 +1,107 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+
+#include "obs/json_writer.h"
+#include "util/log.h"
+
+#ifndef RELSIM_GIT_DESCRIBE
+#define RELSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RELSIM_BUILD_TYPE
+#define RELSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace relsim::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      RELSIM_GIT_DESCRIBE,
+      RELSIM_BUILD_TYPE,
+#if defined(__clang__) || defined(__GNUC__)
+      __VERSION__,
+#else
+      "unknown",
+#endif
+      std::to_string(__cplusplus / 100 % 100),
+  };
+  return info;
+}
+
+void RunManifest::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("run", run);
+  w.kv("kind", kind);
+
+  w.key("build").begin_object();
+  const BuildInfo& b = build_info();
+  w.kv("git_describe", b.git_describe);
+  w.kv("build_type", b.build_type);
+  w.kv("compiler", b.compiler);
+  w.kv("cxx_standard", b.cxx_standard);
+  w.end_object();
+
+  w.key("config").begin_object();
+  w.kv("seed", static_cast<unsigned long long>(seed));
+  w.kv("threads_requested", threads_requested);
+  w.kv("threads", threads);
+  w.kv("chunk", static_cast<unsigned long long>(chunk));
+  w.kv("partition", partition);
+  for (const auto& [k, v] : extra) w.kv(k, v);
+  w.end_object();
+
+  w.key("outcome").begin_object();
+  w.kv("requested", static_cast<unsigned long long>(requested));
+  w.kv("completed", static_cast<unsigned long long>(completed));
+  w.kv("resumed", static_cast<unsigned long long>(resumed));
+  w.kv("stop_reason", stop_reason);
+  w.kv("elapsed_seconds", elapsed_seconds);
+  if (has_estimate) {
+    w.key("estimate").begin_object();
+    w.kv("passed", static_cast<unsigned long long>(passed));
+    w.kv("total", static_cast<unsigned long long>(completed));
+    w.kv("yield", yield);
+    w.kv("yield_lo", yield_lo);
+    w.kv("yield_hi", yield_hi);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("workers").begin_array();
+  for (const Worker& wk : workers) {
+    w.begin_object();
+    w.kv("worker", wk.worker);
+    w.kv("samples", static_cast<unsigned long long>(wk.samples));
+    w.kv("chunks", static_cast<unsigned long long>(wk.chunks));
+    w.kv("busy_seconds", wk.busy_seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("failing_samples").begin_array();
+  for (const FailingSample& f : failing_samples) {
+    w.begin_object();
+    w.kv("index", static_cast<unsigned long long>(f.index));
+    w.kv("seed", static_cast<unsigned long long>(f.seed));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("metrics");
+  metrics.to_json(w);
+  w.end_object();
+}
+
+bool RunManifest::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    log_error("cannot write run manifest: ", path);
+    return false;
+  }
+  JsonWriter w(os);
+  to_json(w);
+  os << '\n';
+  return bool(os);
+}
+
+}  // namespace relsim::obs

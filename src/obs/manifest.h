@@ -1,0 +1,87 @@
+// Run manifest: one self-describing JSON document per run.
+//
+// A bench or CI artifact is only replayable if it records how it was
+// produced. The manifest captures the run configuration (seed, thread
+// count, chunking, partition), how the run ended (stop reason, completed
+// sample count, failing-sample replay seeds), the build that produced it
+// (git describe, build type, compiler) and the full metrics snapshot.
+// McSession writes one automatically when McRequest::manifest_path is set;
+// benches build a bench-level manifest via bench_util helpers.
+//
+// The layering keeps this header free of simulator types: McSession fills
+// the generic worker/failing-sample rows from its own structs
+// (variability/mc_session.h: mc_manifest()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace relsim::obs {
+
+class JsonWriter;
+
+/// Compile/configure-time provenance baked into the obs library.
+struct BuildInfo {
+  std::string git_describe;  ///< `git describe --always --dirty` or "unknown"
+  std::string build_type;    ///< CMAKE_BUILD_TYPE
+  std::string compiler;      ///< compiler id + version (__VERSION__)
+  std::string cxx_standard;  ///< e.g. "20"
+};
+const BuildInfo& build_info();
+
+struct RunManifest {
+  std::string run;   ///< label, e.g. "bench_yield_tradeoff" or "mc.yield"
+  std::string kind;  ///< "yield" | "metric" | "bench"
+
+  // Configuration.
+  std::uint64_t seed = 0;
+  unsigned threads_requested = 0;  ///< 0 = auto
+  unsigned threads = 0;            ///< resolved worker count
+  std::size_t chunk = 0;
+  std::string partition;
+
+  // Outcome.
+  std::size_t requested = 0;
+  std::size_t completed = 0;
+  std::size_t resumed = 0;
+  std::string stop_reason;
+  double elapsed_seconds = 0.0;
+
+  // Yield estimate (yield runs only).
+  bool has_estimate = false;
+  std::size_t passed = 0;
+  double yield = 0.0;
+  double yield_lo = 0.0;
+  double yield_hi = 0.0;
+
+  struct Worker {
+    unsigned worker = 0;
+    std::size_t samples = 0;
+    std::size_t chunks = 0;
+    double busy_seconds = 0.0;
+  };
+  std::vector<Worker> workers;
+
+  struct FailingSample {
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+  };
+  std::vector<FailingSample> failing_samples;
+
+  /// Free-form (key, value) rows for run-specific context (bench flags,
+  /// sample counts, ...). Emitted in insertion order.
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Metrics at manifest time; fill with obs::metrics().snapshot().
+  MetricsSnapshot metrics;
+
+  void to_json(JsonWriter& w) const;
+  /// Writes the manifest as a standalone pretty-printed JSON document.
+  bool write(const std::string& path) const;
+};
+
+}  // namespace relsim::obs

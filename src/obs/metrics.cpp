@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "obs/json_writer.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace relsim::obs {
+
+namespace detail {
+
+unsigned thread_shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+double Histogram::bucket_lower_bound(int index) {
+  return std::ldexp(1.0, index - kBias);
+}
+
+void Histogram::observe(double v) {
+  int index = 0;
+  if (v > 0.0 && std::isfinite(v)) {
+    index = std::ilogb(v) + kBias;
+    if (index < 0) index = 0;
+    if (index >= kBuckets) index = kBuckets - 1;
+  } else if (std::isinf(v) && v > 0.0) {
+    index = kBuckets - 1;
+  }
+  buckets_[static_cast<std::size_t>(index)].fetch_add(
+      1, std::memory_order_relaxed);
+  // min/max via CAS: the final values depend only on the SET of observed
+  // values, so they stay deterministic under any interleaving.
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::int64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (c != 0) s.buckets.emplace_back(bucket_lower_bound(i), c);
+    s.count += c;
+  }
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>>& map,
+                  const std::string& name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name, std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RELSIM_REQUIRE(gauges_.find(name) == gauges_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric name already used by another instrument: " + name);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RELSIM_REQUIRE(counters_.find(name) == counters_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric name already used by another instrument: " + name);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RELSIM_REQUIRE(counters_.find(name) == counters_.end() &&
+                     gauges_.find(name) == gauges_.end(),
+                 "metric name already used by another instrument: " + name);
+  return find_or_create(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace(name, h->snapshot());
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked on
+  return *registry;  // purpose: instruments outlive static destructors
+}
+
+void MetricsSnapshot::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.kv(name, static_cast<long long>(v));
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.kv("count", static_cast<long long>(h.count));
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.key("buckets").begin_array();
+    for (const auto& [lo, c] : h.buckets) {
+      w.begin_object();
+      w.kv("ge", lo);
+      w.kv("count", static_cast<long long>(c));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    log_error("cannot write metrics file: ", path);
+    return false;
+  }
+  JsonWriter w(os);
+  metrics().snapshot().to_json(w);
+  os << '\n';
+  return bool(os);
+}
+
+}  // namespace relsim::obs

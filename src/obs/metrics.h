@@ -1,0 +1,152 @@
+// Metrics registry: named counters, gauges and histograms with a
+// deterministically-merging snapshot.
+//
+// Counters are thread-sharded: inc() is one relaxed fetch_add on a
+// cache-line-padded shard picked by a thread-local index, so concurrent
+// workers never contend on the same line. snapshot() sums the shards —
+// integer addition, so the merged value is identical no matter how the
+// increments were distributed over threads. The same holds for histogram
+// bucket counts. That is what makes the manifest's work counters (Newton
+// iterations, refactorizations, steal events, ...) bit-identical across
+// 1/4/8-worker runs of the same seed: the per-sample work is deterministic
+// and integer sums commute.
+//
+// Gauges carry last-written / accumulated doubles (timings, fill-in sizes);
+// they are NOT covered by the determinism guarantee and the snapshot keeps
+// them in a separate section.
+//
+// Hot-path usage pattern — resolve once, then increment lock-free:
+//   static obs::Counter& iters = obs::metrics().counter("newton.iterations");
+//   iters.inc(n);
+// The registry lookup takes a mutex; the static local makes it one-time.
+// Instruments live for the process lifetime (the registry never deletes).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace relsim::obs {
+
+class JsonWriter;
+
+namespace detail {
+/// Stable small shard index for the calling thread.
+unsigned thread_shard();
+}  // namespace detail
+
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) {
+    shards_[detail::thread_shard() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    std::int64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr unsigned kShards = 16;  // power of two
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two bucketed histogram for positive quantities spanning many
+/// orders of magnitude (residual norms, durations). Bucket i counts values
+/// in [2^(i-kBias), 2^(i-kBias+1)); zero/negative values land in bucket 0,
+/// values beyond the range saturate into the edge buckets. Bucket counts
+/// merge deterministically; min/max are tracked exactly.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::int64_t count = 0;
+    double min = 0.0;  ///< meaningful when count > 0
+    double max = 0.0;
+    /// (bucket lower bound, count) for every non-empty bucket, ascending.
+    std::vector<std::pair<double, std::int64_t>> buckets;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  void observe(double v);
+  Snapshot snapshot() const;
+  void reset();
+
+  static double bucket_lower_bound(int index);
+
+ private:
+  static constexpr int kBuckets = 128;  // exponents 2^-64 .. 2^63
+  static constexpr int kBias = 64;
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  /// Emits {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  /// keys in sorted order (maps) — identical snapshots give identical JSON.
+  void to_json(JsonWriter& w) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument. The returned reference is
+  /// valid for the process lifetime. A name may be used for only one
+  /// instrument kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered instrument (run-scoped deltas, tests).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry (never destroyed).
+MetricsRegistry& metrics();
+
+/// Writes metrics().snapshot() as a standalone JSON document.
+bool write_metrics_json(const std::string& path);
+
+}  // namespace relsim::obs

@@ -1,0 +1,207 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace relsim::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;  ///< == start_ns for instant events
+  const char* k1;        ///< nullable
+  const char* k2;        ///< nullable
+  double v1;
+  double v2;
+  char phase;  ///< 'X' complete, 'i' instant
+};
+
+/// One per (thread, session): owned by the session state so events survive
+/// worker threads that exit before the flush.
+struct ThreadTraceBuffer {
+  explicit ThreadTraceBuffer(unsigned tid_) : tid(tid_) {
+    events.reserve(1024);
+  }
+  unsigned tid;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers;
+  std::chrono::steady_clock::time_point epoch;
+  // Bumped on every session start/stop so thread-local cached buffer
+  // pointers from a previous session are never reused.
+  std::atomic<std::uint32_t> generation{0};
+  bool session_active = false;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // never destroyed: worker
+  return *s;                                // threads may outlive main
+}
+
+ThreadTraceBuffer* thread_buffer() {
+  struct Slot {
+    std::uint32_t generation = 0;  // 0 never matches a live session
+    ThreadTraceBuffer* buf = nullptr;
+  };
+  thread_local Slot slot;
+  TraceState& s = state();
+  const std::uint32_t gen = s.generation.load(std::memory_order_acquire);
+  if (slot.generation != gen) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.session_active) return nullptr;
+    s.buffers.push_back(std::make_unique<ThreadTraceBuffer>(
+        static_cast<unsigned>(s.buffers.size())));
+    slot.buf = s.buffers.back().get();
+    slot.generation = gen;
+  }
+  return slot.buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state().epoch)
+          .count());
+}
+
+void emit_complete(const char* name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, const char* k1, double v1,
+                   const char* k2, double v2) {
+  ThreadTraceBuffer* buf = thread_buffer();
+  if (buf == nullptr) return;
+  buf->events.push_back({name, start_ns, end_ns, k1, k2, v1, v2, 'X'});
+}
+
+void emit_instant(const char* name, const char* k1, double v1) {
+  ThreadTraceBuffer* buf = thread_buffer();
+  if (buf == nullptr) return;
+  const std::uint64_t now = trace_now_ns();
+  buf->events.push_back({name, now, now, k1, nullptr, v1, 0.0, 'i'});
+}
+
+}  // namespace detail
+
+bool TraceSession::active() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.session_active;
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  RELSIM_REQUIRE(!path_.empty(), "TraceSession needs an output path");
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  RELSIM_REQUIRE(!s.session_active,
+                 "a TraceSession is already active (one at a time)");
+  s.buffers.clear();
+  s.epoch = std::chrono::steady_clock::now();
+  s.session_active = true;
+  // Odd generations are live sessions; bumping invalidates every cached
+  // thread-local buffer pointer.
+  s.generation.fetch_add(1, std::memory_order_release);
+  detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() { flush(); }
+
+bool TraceSession::flush() {
+  if (flushed_) return true;
+  flushed_ = true;
+  TraceState& s = state();
+  detail::g_trace_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.generation.fetch_add(1, std::memory_order_release);
+  s.session_active = false;
+
+  std::ofstream os(path_);
+  if (!os) {
+    log_error("cannot write trace file: ", path_);
+    s.buffers.clear();
+    return false;
+  }
+  JsonWriter w(os, 0);  // compact: traces are large and machine-read
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  char num[32];
+  auto micros = [&num](std::uint64_t ns) {
+    // Microseconds with nanosecond resolution kept in the fraction.
+    std::snprintf(num, sizeof(num), "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    return num;
+  };
+  std::size_t total = 0;
+  for (const auto& buf : s.buffers) {
+    for (const TraceEvent& e : buf->events) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("cat", "relsim");
+      w.key("ph").value(std::string_view(&e.phase, 1));
+      // Raw-format the timestamps: JsonWriter's double formatting is
+      // round-trip exact but we want fixed-point micros for readability.
+      os << ",\"ts\":" << micros(e.start_ns);
+      if (e.phase == 'X') {
+        os << ",\"dur\":" << micros(e.end_ns - e.start_ns);
+      } else {
+        os << ",\"s\":\"t\"";
+      }
+      os << ",\"pid\":1,\"tid\":" << buf->tid;
+      if (e.k1 != nullptr) {
+        w.key("args").begin_object();
+        w.kv(e.k1, e.v1);
+        if (e.k2 != nullptr) w.kv(e.k2, e.v2);
+        w.end_object();
+      }
+      w.end_object();
+      ++total;
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  s.buffers.clear();
+  if (!os) {
+    log_error("error writing trace file: ", path_);
+    return false;
+  }
+  log_info("trace: ", total, " events -> ", path_);
+  return bool(os);
+}
+
+void init_trace_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("RELSIM_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    if (TraceSession::active()) {
+      log_warn("RELSIM_TRACE ignored: a TraceSession is already active");
+      return;
+    }
+    // Process-lifetime session: flushed when static destructors run.
+    static TraceSession session{std::string(path)};
+  });
+}
+
+}  // namespace relsim::obs

@@ -1,0 +1,131 @@
+// Span tracer: RAII scopes flushed to Chrome trace_event JSON.
+//
+// Open the output of a traced run in chrome://tracing or
+// https://ui.perfetto.dev to see, per worker thread, the nested timeline
+// MC chunk -> sample -> Newton solve -> LU factorization that a yield run
+// actually spends its wall-clock on.
+//
+// Design constraints (in order):
+//  1. Near-zero cost when disabled. TraceSpan's constructor is a single
+//     relaxed atomic load; no clock read, no allocation, nothing else
+//     happens on the hot path. Instrumentation can therefore live inside
+//     the Newton loop and the sparse LU without a build-time switch.
+//  2. No cross-thread contention when enabled. Each thread appends
+//     fixed-size event records to its own buffer; the global mutex is
+//     taken only to register a new thread's buffer and at flush time.
+//  3. One session at a time. A TraceSession enables collection on
+//     construction and writes the JSON on destruction (or flush()).
+//     RELSIM_TRACE=<path> installs a process-lifetime session lazily via
+//     init_trace_from_env() — McSession calls it, so library users get
+//     env-driven tracing without touching obs directly.
+//
+// Contract: span names and arg keys must be string literals (or otherwise
+// outlive the session) — events store the pointers, not copies. End a
+// session only when instrumented threads are quiescent (McSession joins
+// its workers before returning, so session boundaries between runs are
+// always safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace relsim::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+std::uint64_t trace_now_ns();
+void emit_complete(const char* name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, const char* k1, double v1,
+                   const char* k2, double v2);
+void emit_instant(const char* name, const char* k1, double v1);
+}  // namespace detail
+
+/// True while a TraceSession is collecting. Relaxed load: safe and cheap
+/// to call anywhere, including inner solver loops.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Collects spans from construction until destruction, then writes the
+/// Chrome trace_event JSON to `path`. At most one session may be active.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Stops collection and writes the file; idempotent (the destructor
+  /// calls it too). Returns false when the file could not be written.
+  bool flush();
+
+  static bool active();
+
+ private:
+  std::string path_;
+  bool flushed_ = false;
+};
+
+/// Installs a process-lifetime TraceSession writing to $RELSIM_TRACE, once;
+/// no-op when the variable is unset or a session is already active. The
+/// trace is written when the process exits normally.
+void init_trace_from_env();
+
+/// A zero-duration marker event (e.g. an early-stop decision point).
+inline void trace_instant(const char* name) {
+  if (trace_enabled()) detail::emit_instant(name, nullptr, 0.0);
+}
+inline void trace_instant(const char* name, const char* key, double value) {
+  if (trace_enabled()) detail::emit_instant(name, key, value);
+}
+
+/// RAII span: records [construction, destruction) as a complete event on
+/// the current thread's timeline. Up to two numeric args are attached.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  TraceSpan(const char* name, const char* key, double value) {
+    if (trace_enabled()) {
+      begin(name);
+      k1_ = key;
+      v1_ = value;
+    }
+  }
+  TraceSpan(const char* name, const char* key1, double value1,
+            const char* key2, double value2) {
+    if (trace_enabled()) {
+      begin(name);
+      k1_ = key1;
+      v1_ = value1;
+      k2_ = key2;
+      v2_ = value2;
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr && trace_enabled()) {
+      detail::emit_complete(name_, start_ns_, detail::trace_now_ns(), k1_, v1_,
+                            k2_, v2_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* name) {
+    name_ = name;
+    start_ns_ = detail::trace_now_ns();
+  }
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  const char* k1_ = nullptr;
+  const char* k2_ = nullptr;
+  double v1_ = 0.0;
+  double v2_ = 0.0;
+};
+
+}  // namespace relsim::obs

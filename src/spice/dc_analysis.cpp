@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "linalg/lu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/analysis.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -74,6 +76,9 @@ void rebuild_sparse_structure(Circuit& circuit, SolverCache& cache,
   cache.pattern_valid = true;
   cache.pattern_n = n;
   ++cache.stats.pattern_builds;
+  static obs::Counter& c_pattern =
+      obs::metrics().counter("lu.pattern_builds");
+  c_pattern.inc();
 }
 
 /// Stamps every device into the cached sparse matrix. When a stamp lands
@@ -96,6 +101,9 @@ void assemble_sparse(Circuit& circuit, SolverCache& cache, Vector& rhs,
     cache.matrix = SparseMatrix(cache.pattern_n, cache.pattern);
     cache.lu.reset();
     ++cache.stats.pattern_builds;
+    static obs::Counter& c_pattern =
+        obs::metrics().counter("lu.pattern_builds");
+    c_pattern.inc();
   }
 }
 
@@ -104,10 +112,43 @@ void assemble_sparse(Circuit& circuit, SolverCache& cache, Vector& rhs,
 // ---------------------------------------------------------------------------
 // Newton core
 
+namespace {
+
+// Hot-path instruments, resolved once. SolverStats stays the per-circuit
+// delta view (analysis results); these are the process-wide totals the
+// manifest reports. Only counters/histograms — deterministic per sample.
+struct NewtonMetrics {
+  obs::Counter& solves = obs::metrics().counter("newton.solves");
+  obs::Counter& iterations = obs::metrics().counter("newton.iterations");
+  obs::Counter& nonconverged = obs::metrics().counter("newton.nonconverged");
+  obs::Histogram& residual_norm =
+      obs::metrics().histogram("newton.residual_norm");
+  obs::Counter& lu_sparse_symbolic =
+      obs::metrics().counter("lu.sparse_symbolic");
+  obs::Counter& lu_sparse_refactor =
+      obs::metrics().counter("lu.sparse_refactor");
+  obs::Counter& lu_dense = obs::metrics().counter("lu.dense_factorizations");
+  obs::Counter& lu_dense_fallbacks =
+      obs::metrics().counter("lu.dense_fallbacks");
+  obs::Counter& lu_pattern_builds =
+      obs::metrics().counter("lu.pattern_builds");
+  obs::Gauge& lu_fill_nnz = obs::metrics().gauge("lu.fill_nnz");
+};
+
+NewtonMetrics& newton_metrics() {
+  static NewtonMetrics m;
+  return m;
+}
+
+}  // namespace
+
 NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
                           Integrator integrator, double time, double dt,
                           double source_scale, double gmin,
                           const NewtonOptions& options) {
+  NewtonMetrics& nm = newton_metrics();
+  const obs::TraceSpan solve_span("newton.solve");
+  nm.solves.inc();
   circuit.assemble();
   RELSIM_REQUIRE(circuit.unknown_count() > 0,
                  "cannot analyse an empty circuit");
@@ -135,18 +176,26 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
       for (std::size_t i = 0; i < nodes; ++i) cache.matrix.add_at(i, i, gmin);
       try {
         if (cache.lu == nullptr) {
+          const obs::TraceSpan lu_span("lu.factor");
           cache.lu = std::make_unique<SparseLuFactorization>(cache.matrix);
           ++cache.stats.sparse_symbolic_factorizations;
+          nm.lu_sparse_symbolic.inc();
+          nm.lu_fill_nnz.set(static_cast<double>(cache.lu->fill_nnz()));
         } else {
           try {
+            const obs::TraceSpan lu_span("lu.refactor");
             cache.lu->refactor(cache.matrix);
             ++cache.stats.sparse_numeric_refactorizations;
+            nm.lu_sparse_refactor.inc();
           } catch (const SingularMatrixError&) {
             // The frozen pivot order went bad at the new operating point;
             // redo the symbolic analysis with a fresh pivot choice.
+            const obs::TraceSpan lu_span("lu.factor");
             cache.lu.reset();
             cache.lu = std::make_unique<SparseLuFactorization>(cache.matrix);
             ++cache.stats.sparse_symbolic_factorizations;
+            nm.lu_sparse_symbolic.inc();
+            nm.lu_fill_nnz.set(static_cast<double>(cache.lu->fill_nnz()));
           }
         }
         cache.lu->solve_into(rhs, x_new);
@@ -157,6 +206,7 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
         // still get through); the values are already assembled.
         cache.lu.reset();
         ++cache.stats.dense_fallbacks;
+        nm.lu_dense_fallbacks.inc();
         jac = cache.matrix.to_dense();
       }
     } else {
@@ -172,17 +222,22 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
 
     if (!solved) {
       try {
+        const obs::TraceSpan lu_span("lu.dense_factor");
         LuFactorization lu(jac);
         lu.solve_into(rhs, x_new);
         ++cache.stats.dense_factorizations;
+        nm.lu_dense.inc();
       } catch (const SingularMatrixError&) {
         cache.stats.newton_iterations += iter;
+        nm.iterations.inc(iter);
+        nm.nonconverged.inc();
         return {false, iter};
       }
     }
 
     // Damp the voltage update and check convergence on the damped step.
     bool converged = true;
+    double max_delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       double delta = x_new[i] - x[i];
       const bool is_voltage = i < nodes;
@@ -194,14 +249,22 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
           (is_voltage ? options.v_abstol : options.i_abstol) +
           options.reltol * std::max(std::abs(x[i]), std::abs(x[i] + delta));
       if (std::abs(delta) > tol) converged = false;
+      max_delta = std::max(max_delta, std::abs(delta));
       x[i] += delta;
     }
+    // Convergence residual proxy: the max-abs damped update this
+    // iteration. The distribution shows how hard the operating points of
+    // a run fought back.
+    nm.residual_norm.observe(max_delta);
     if (converged) {
       cache.stats.newton_iterations += iter;
+      nm.iterations.inc(iter);
       return {true, iter};
     }
   }
   cache.stats.newton_iterations += options.max_iterations;
+  nm.iterations.inc(options.max_iterations);
+  nm.nonconverged.inc();
   return {false, options.max_iterations};
 }
 
@@ -235,6 +298,7 @@ DcResult make_dc_result(Circuit& circuit, Vector x, int iterations,
 
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
                             const Vector& initial_guess) {
+  obs::init_trace_from_env();
   circuit.assemble();
   const SolverStats before = circuit.solver_cache().stats;
   Vector x = initial_guess;
@@ -249,10 +313,14 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
     // Solve with a heavy diagonal conductance, then relax it rung by rung,
     // reusing each solution as the next starting point. The ladder ends
     // exactly at options.newton.gmin, so the last rung IS the final solve.
+    const obs::TraceSpan ladder_span("dc.gmin_stepping");
+    static obs::Counter& c_gmin_steps =
+        obs::metrics().counter("newton.gmin_steps");
     Vector xg(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
     bool ok = true;
     int total_iters = 0;
     for (const double g : gmin_ladder(options.newton.gmin)) {
+      c_gmin_steps.inc();
       res = newton_solve(circuit, xg, AnalysisMode::kDcOp,
                          Integrator::kBackwardEuler, 0.0, 0.0, 1.0, g,
                          options.newton);
@@ -269,10 +337,14 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
   }
 
   if (options.allow_source_stepping) {
+    const obs::TraceSpan source_span("dc.source_stepping");
+    static obs::Counter& c_source_steps =
+        obs::metrics().counter("newton.source_steps");
     Vector xs(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
     bool ok = true;
     int total_iters = 0;
     for (double scale = 0.05; scale < 1.0 + 1e-12; scale += 0.05) {
+      c_source_steps.inc();
       res = newton_solve(circuit, xs, AnalysisMode::kDcOp,
                          Integrator::kBackwardEuler, 0.0, 0.0,
                          std::min(scale, 1.0), options.newton.gmin,

@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/analysis.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -26,6 +28,7 @@ TransientResult transient_analysis(
     const std::vector<std::string>& probe_source_currents) {
   RELSIM_REQUIRE(options.dt > 0.0, "transient dt must be positive");
   RELSIM_REQUIRE(options.t_stop > 0.0, "transient t_stop must be positive");
+  obs::init_trace_from_env();
   circuit.assemble();
   const SolverStats stats_before = circuit.solver_cache().stats;
 
@@ -68,6 +71,11 @@ TransientResult transient_analysis(
   };
   record(0.0);
 
+  const obs::TraceSpan tran_span("transient.run");
+  static obs::Counter& c_steps = obs::metrics().counter("transient.steps");
+  static obs::Counter& c_rejected =
+      obs::metrics().counter("transient.rejected_steps");
+
   double t = 0.0;
   double dt = options.dt;
   int halvings = 0;
@@ -80,6 +88,7 @@ TransientResult transient_analysis(
                      options.newton);
     if (!res.converged) {
       ++halvings;
+      c_rejected.inc();
       RELSIM_REQUIRE(halvings <= options.max_step_halvings,
                      "transient step failed to converge after max halvings");
       dt *= 0.5;
@@ -87,6 +96,7 @@ TransientResult transient_analysis(
     }
     x = std::move(x_try);
     t += dt;
+    c_steps.inc();
     for (const auto& device : circuit.devices()) {
       device->accept_step(x, t, dt);
     }

@@ -1,11 +1,27 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace relsim {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// The mutex and sink are function-local statics so the logger keeps
+// working from static constructors/destructors in any TU order. They are
+// heap-allocated and never destroyed: worker threads or atexit hooks may
+// log after main() returns.
+std::mutex& log_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,11 +40,27 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  sink_slot() = std::move(sink);
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  const LogSink& sink = sink_slot();
+  if (sink) {
+    sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[relsim %s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

@@ -2,9 +2,13 @@
 //
 // relsim is a library first: logging defaults to warnings-and-above on
 // stderr and can be silenced or made verbose by the embedding application.
-// No global state beyond the level; thread-compatible (callers serialize).
+// Thread-safe: the global level is atomic and emission is serialized by a
+// mutex, so concurrent workers (McSession, parallel benches) never
+// interleave lines. The output sink is injectable (set_log_sink) so tests
+// and embedders can capture or reroute everything the library says.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,9 +16,17 @@ namespace relsim {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global minimum level that will be emitted.
+/// Sets the global minimum level that will be emitted (atomic).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every emitted line (already level-filtered, without the
+/// "[relsim LEVEL]" prefix). Called under the logger mutex: invocations
+/// are serialized, and the sink must not log reentrantly.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the output sink; an empty sink restores the stderr default.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message);

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -155,16 +157,43 @@ void save_checkpoint(const std::string& path, std::uint64_t seed,
 McResult run_session(const McRequest& req, RunKind kind,
                      const std::function<double(Xoshiro256&, std::size_t)>&
                          eval) {
+  obs::init_trace_from_env();
+  // Work counters (deterministic: identical for any thread count/chunk
+  // size on a full run of the same request — see obs/metrics.h). Timing
+  // goes to gauges/histograms, which carry wall-clock and are not.
+  static obs::Counter& c_runs = obs::metrics().counter("mc.runs");
+  static obs::Counter& c_evaluated =
+      obs::metrics().counter("mc.samples_evaluated");
+  static obs::Counter& c_restored =
+      obs::metrics().counter("mc.samples_restored");
+  static obs::Counter& c_chunks = obs::metrics().counter("mc.chunks_retired");
+  static obs::Counter& c_steals = obs::metrics().counter("mc.steal_events");
+  static obs::Counter& c_stop_checks =
+      obs::metrics().counter("mc.stop_checks");
+  static obs::Counter& c_early_stops =
+      obs::metrics().counter("mc.early_stops");
+  static obs::Counter& c_ckpt_writes =
+      obs::metrics().counter("mc.checkpoint_writes");
+  static obs::Histogram& h_ckpt_seconds =
+      obs::metrics().histogram("mc.checkpoint_seconds");
+  static obs::Gauge& g_busy =
+      obs::metrics().gauge("mc.worker_busy_seconds");
+
   const auto t_start = std::chrono::steady_clock::now();
   const std::size_t n = req.n;
   const bool yield_kind = kind == RunKind::kYield;
 
   McResult result;
   result.requested = n;
+  result.run.kind = yield_kind ? "yield" : "metric";
   if (n == 0) return result;
+  c_runs.inc();
 
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
       resolve_threads(req.threads), n));
+  result.run.threads = workers;
+  obs::TraceSpan run_span("mc.run", "n", static_cast<double>(n), "workers",
+                          static_cast<double>(workers));
 
   // The unit of scheduling AND of commit: contiguous index ranges, ordered
   // by lo. Work stealing uses fixed chunks; the static baseline uses one
@@ -192,6 +221,7 @@ McResult run_session(const McRequest& req, RunKind kind,
   if (!req.checkpoint_path.empty()) {
     resumed = load_checkpoint(req.checkpoint_path, req.seed, n, kind, done,
                               values);
+    c_restored.inc(static_cast<std::int64_t>(resumed));
   }
   result.resumed = resumed;
 
@@ -226,6 +256,8 @@ McResult run_session(const McRequest& req, RunKind kind,
   // Writes the checkpoint from the ranges retired so far (not just the
   // committed prefix: out-of-order stolen chunks are saved too).
   auto snapshot_checkpoint = [&] {
+    const obs::TraceSpan span("mc.checkpoint");
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::uint8_t> snapshot = done;
     for (std::size_t r = 0; r < range_count; ++r) {
       if (range_done[r].load(std::memory_order_acquire)) {
@@ -235,6 +267,10 @@ McResult run_session(const McRequest& req, RunKind kind,
       }
     }
     save_checkpoint(req.checkpoint_path, req.seed, n, kind, snapshot, values);
+    c_ckpt_writes.inc();
+    h_ckpt_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
   };
 
   auto evaluate_stopping = [&] {
@@ -242,6 +278,7 @@ McResult run_session(const McRequest& req, RunKind kind,
         committed < std::max<std::size_t>(1, req.stopping.min_samples)) {
       return;
     }
+    c_stop_checks.inc();
     McStopReason fired = McStopReason::kCompleted;
     if (yield_kind) {
       const ProportionInterval iv =
@@ -263,6 +300,9 @@ McResult run_session(const McRequest& req, RunKind kind,
       fired = McStopReason::kCiTarget;
     }
     if (fired == McStopReason::kCompleted) return;
+    c_early_stops.inc();
+    obs::trace_instant("mc.early_stop", "committed",
+                       static_cast<double>(committed));
     decided = true;
     reason = fired;
     decided_completed = committed;
@@ -336,21 +376,34 @@ McResult run_session(const McRequest& req, RunKind kind,
         }
         if (stop.load(std::memory_order_relaxed)) break;
         const Range g = ranges[r];
+        const obs::TraceSpan chunk_span("mc.chunk", "lo",
+                                        static_cast<double>(g.lo), "n",
+                                        static_cast<double>(g.size()));
+        std::int64_t evaluated = 0;
         for (std::size_t i = g.lo; i < g.hi; ++i) {
           if (stop.load(std::memory_order_relaxed)) {
             interrupted = true;  // range unfinished: do NOT retire it
             break;
           }
           if (!done[i]) {
+            const obs::TraceSpan sample_span("mc.sample", "index",
+                                             static_cast<double>(i));
             Xoshiro256 rng(
                 derive_seed(req.seed, {static_cast<std::uint64_t>(i)}));
             values[i] = eval(rng, i);
+            ++evaluated;
           }
           ++tel.samples;
         }
+        c_evaluated.inc(evaluated);
         if (interrupted) break;
         range_done[r].store(1, std::memory_order_release);
         ++tel.chunks;
+        c_chunks.inc();
+        // Every claim off the shared cursor is a potential steal; on a
+        // full run the count equals the chunk count for ANY worker count,
+        // which keeps it bit-identical across 1/4/8-thread runs.
+        if (req.partition == McPartition::kWorkStealing) c_steals.inc();
         commit();
         if (req.partition == McPartition::kStaticBlocks) break;
       }
@@ -381,9 +434,9 @@ McResult run_session(const McRequest& req, RunKind kind,
 
   const bool early = decided;
   result.completed = early ? decided_completed : committed;
-  result.stop_reason = early ? reason : McStopReason::kCompleted;
-  result.failing_samples = early ? std::move(decided_failing)
-                                 : std::move(failing);
+  result.run.stop_reason = early ? reason : McStopReason::kCompleted;
+  result.run.failing_samples = early ? std::move(decided_failing)
+                                     : std::move(failing);
   result.metric = early ? decided_stats : metric_stats;
   const std::size_t final_passed = early ? decided_passed : passed;
   if (yield_kind) {
@@ -398,14 +451,59 @@ McResult run_session(const McRequest& req, RunKind kind,
     values.resize(result.completed);
     result.values = std::move(values);
   }
-  result.workers = std::move(telemetry);
-  result.elapsed_seconds =
+  for (const McWorkerTelemetry& tel : telemetry) g_busy.add(tel.busy_seconds);
+  result.run.workers = std::move(telemetry);
+  result.run.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+
+  if (!req.manifest_path.empty()) {
+    mc_manifest(req, result).write(req.manifest_path);
+  }
+  // RELSIM_METRICS=<path>: refresh a cumulative metrics snapshot after
+  // every run (last run wins; counters accumulate across runs).
+  if (const char* path = std::getenv("RELSIM_METRICS");
+      path != nullptr && *path != '\0') {
+    obs::write_metrics_json(path);
+  }
   return result;
 }
 
 }  // namespace
+
+obs::RunManifest mc_manifest(const McRequest& req, const McResult& result) {
+  obs::RunManifest m;
+  m.kind = result.run.kind.empty() ? "mc" : result.run.kind;
+  m.run = req.run_label.empty() ? "mc." + m.kind : req.run_label;
+  m.seed = req.seed;
+  m.threads_requested = req.threads;
+  m.threads = result.run.threads;
+  m.chunk = req.chunk;
+  m.partition = req.partition == McPartition::kWorkStealing ? "work-stealing"
+                                                            : "static-blocks";
+  m.requested = result.requested;
+  m.completed = result.completed;
+  m.resumed = result.resumed;
+  m.stop_reason = to_string(result.stop_reason());
+  m.elapsed_seconds = result.elapsed_seconds();
+  if (result.estimate.total > 0) {
+    m.has_estimate = true;
+    m.passed = result.estimate.passed;
+    m.yield = result.estimate.yield();
+    m.yield_lo = result.estimate.interval.lo;
+    m.yield_hi = result.estimate.interval.hi;
+  }
+  m.workers.reserve(result.workers().size());
+  for (const McWorkerTelemetry& w : result.workers()) {
+    m.workers.push_back({w.worker, w.samples, w.chunks, w.busy_seconds});
+  }
+  m.failing_samples.reserve(result.failing_samples().size());
+  for (const McFailingSample& f : result.failing_samples()) {
+    m.failing_samples.push_back({f.index, f.seed});
+  }
+  m.metrics = obs::metrics().snapshot();
+  return m;
+}
 
 McResult McSession::run_yield(const McPredicate& pass) const {
   RELSIM_REQUIRE(bool(pass), "McSession::run_yield needs a predicate");

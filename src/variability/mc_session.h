@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.h"
 #include "rng/rng.h"
 #include "stats/summary.h"
 
@@ -114,6 +115,12 @@ struct McRequest {
   /// Progress callback cadence in committed samples (0 = auto: ~1% of n).
   std::size_t progress_every = 0;
   std::function<void(const McProgress&)> progress;
+  /// Label used in the run manifest and trace (default: "mc.yield" /
+  /// "mc.metric"; ReliabilitySimulator sets its facade names).
+  std::string run_label;
+  /// Non-empty: a run manifest (seed, config, stop reason, telemetry,
+  /// build info, metrics snapshot) is written here when the run ends.
+  std::string manifest_path;
 };
 
 /// Seed of a failing sample: re-run it in isolation with Xoshiro256(seed).
@@ -129,6 +136,18 @@ struct McWorkerTelemetry {
   double busy_seconds = 0.0;
 };
 
+/// How a run ended and where its wall-clock went. One struct, one source
+/// of truth: it feeds the run manifest verbatim, and McResult exposes its
+/// fields through compatibility accessors.
+struct McRunTelemetry {
+  McStopReason stop_reason = McStopReason::kCompleted;
+  std::string kind;      ///< "yield" | "metric"
+  unsigned threads = 0;  ///< resolved worker count actually used
+  std::vector<McFailingSample> failing_samples;
+  std::vector<McWorkerTelemetry> workers;
+  double elapsed_seconds = 0.0;
+};
+
 struct McResult {
   /// Pass/fail summary over the completed prefix (yield runs; metric runs
   /// leave total == 0).
@@ -141,11 +160,24 @@ struct McResult {
   std::size_t requested = 0;  ///< McRequest::n
   std::size_t completed = 0;  ///< samples covered by estimate/metric
   std::size_t resumed = 0;    ///< samples restored from the checkpoint
-  McStopReason stop_reason = McStopReason::kCompleted;
-  std::vector<McFailingSample> failing_samples;
-  std::vector<McWorkerTelemetry> workers;
-  double elapsed_seconds = 0.0;
+  /// Orchestration telemetry (manifest source).
+  McRunTelemetry run;
+
+  // Accessors kept for compatibility with the former public fields.
+  McStopReason stop_reason() const { return run.stop_reason; }
+  const std::vector<McFailingSample>& failing_samples() const {
+    return run.failing_samples;
+  }
+  const std::vector<McWorkerTelemetry>& workers() const {
+    return run.workers;
+  }
+  double elapsed_seconds() const { return run.elapsed_seconds; }
 };
+
+/// Builds the manifest of a finished run (config from `req`, outcome and
+/// telemetry from `result`, metrics from the global registry). McSession
+/// writes this automatically when McRequest::manifest_path is set.
+obs::RunManifest mc_manifest(const McRequest& req, const McResult& result);
 
 using McPredicate = std::function<bool(Xoshiro256&, std::size_t)>;
 using McMetric = std::function<double(Xoshiro256&, std::size_t)>;

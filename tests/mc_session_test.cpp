@@ -64,7 +64,7 @@ TEST(McSessionTest, EarlyStopIsExactPrefixOfFullRun) {
   McRequest early = full;
   early.stopping.ci_half_width = 0.04;  // fires well before 6000 samples
   const McResult stopped = McSession(early).run_yield(coin_pass);
-  EXPECT_EQ(stopped.stop_reason, McStopReason::kCiTarget);
+  EXPECT_EQ(stopped.stop_reason(), McStopReason::kCiTarget);
   ASSERT_GT(stopped.completed, 0u);
   ASSERT_LT(stopped.completed, reference.completed);
 
@@ -85,7 +85,7 @@ TEST(McSessionTest, EarlyStopPointIsSchedulingIndependent) {
   req.stopping.ci_half_width = 0.05;
   req.threads = 1;
   const McResult one = McSession(req).run_yield(coin_pass);
-  ASSERT_EQ(one.stop_reason, McStopReason::kCiTarget);
+  ASSERT_EQ(one.stop_reason(), McStopReason::kCiTarget);
   for (const unsigned threads : {2u, 8u}) {
     req.threads = threads;
     const McResult many = McSession(req).run_yield(coin_pass);
@@ -103,7 +103,7 @@ TEST(McSessionTest, ThresholdStoppingDecidesPassAndFail) {
   McRequest req = base_request(11, 20000);
   req.stopping.yield_threshold = 0.9;
   const McResult passed = McSession(req).run_yield(good);
-  EXPECT_EQ(passed.stop_reason, McStopReason::kThresholdPassed);
+  EXPECT_EQ(passed.stop_reason(), McStopReason::kThresholdPassed);
   EXPECT_LT(passed.completed, req.n / 3);  // decided with a fraction of n
   EXPECT_GT(passed.estimate.interval.lo, 0.9);
 
@@ -111,7 +111,7 @@ TEST(McSessionTest, ThresholdStoppingDecidesPassAndFail) {
     return rng.uniform01() < 0.3;
   };
   const McResult failed = McSession(req).run_yield(bad);
-  EXPECT_EQ(failed.stop_reason, McStopReason::kThresholdFailed);
+  EXPECT_EQ(failed.stop_reason(), McStopReason::kThresholdFailed);
   EXPECT_LT(failed.completed, req.n / 3);
   EXPECT_LT(failed.estimate.interval.hi, 0.9);
 }
@@ -121,7 +121,7 @@ TEST(McSessionTest, MetricCiStoppingShrinksRun) {
   req.stopping.ci_half_width = 0.2;
   req.stopping.min_samples = 128;
   const McResult result = McSession(req).run_metric(noisy_metric);
-  EXPECT_EQ(result.stop_reason, McStopReason::kCiTarget);
+  EXPECT_EQ(result.stop_reason(), McStopReason::kCiTarget);
   EXPECT_LT(result.completed, req.n);
   EXPECT_GE(result.completed, 128u);
   EXPECT_EQ(result.values.size(), result.completed);
@@ -132,7 +132,7 @@ TEST(McSessionTest, DisabledStoppingRunsEverything) {
   McRequest req = base_request(8, 500);
   EXPECT_FALSE(req.stopping.enabled());
   const McResult result = McSession(req).run_yield(coin_pass);
-  EXPECT_EQ(result.stop_reason, McStopReason::kCompleted);
+  EXPECT_EQ(result.stop_reason(), McStopReason::kCompleted);
   EXPECT_EQ(result.completed, 500u);
 }
 
@@ -219,9 +219,9 @@ TEST(McSessionTest, FailingSampleSeedsReplayTheFailure) {
   McRequest req = base_request(654, 500);
   req.keep_failing_seeds = 4;
   const McResult result = McSession(req).run_yield(coin_pass);
-  ASSERT_FALSE(result.failing_samples.empty());
-  ASSERT_LE(result.failing_samples.size(), 4u);
-  for (const McFailingSample& f : result.failing_samples) {
+  ASSERT_FALSE(result.failing_samples().empty());
+  ASSERT_LE(result.failing_samples().size(), 4u);
+  for (const McFailingSample& f : result.failing_samples()) {
     Xoshiro256 rng(f.seed);  // isolated replay: no session machinery needed
     EXPECT_FALSE(coin_pass(rng, f.index)) << "index=" << f.index;
   }

@@ -1,0 +1,547 @@
+// Tests for relsim::obs — JSON writer, metrics registry, span tracer and
+// run manifests. The trace/manifest tests parse the emitted documents with
+// a small recursive-descent JSON parser so well-formedness is checked
+// structurally, not with string matching.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "variability/mc_session.h"
+
+// --- allocation counting for the zero-cost-disabled-tracer test -------------
+//
+// Global operator new/delete are replaced for the whole test binary; every
+// allocation on the current thread bumps a thread_local counter. The
+// hot-path test reads the counter around a loop of disabled TraceSpans.
+namespace {
+thread_local std::size_t t_alloc_count = 0;
+}  // namespace
+
+// GCC pairs the `new` expressions it sees with the library free(); the
+// pairing is correct here because BOTH sides are replaced.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace relsim {
+namespace {
+
+// --- mini JSON parser --------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* find(const std::string& k) const {
+    for (const auto& [key, v] : obj) {
+      if (key == k) return &v;
+    }
+    return nullptr;
+  }
+  const Json& at(const std::string& k) const {
+    const Json* v = find(k);
+    RELSIM_REQUIRE(v != nullptr, "missing key " + k);
+    return *v;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  Json parse() {
+    Json v = parse_value();
+    skip_ws();
+    RELSIM_REQUIRE(pos_ == text_.size(), "trailing garbage after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    RELSIM_REQUIRE(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    RELSIM_REQUIRE(peek() == c, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string();
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        parse_literal("null");
+        return {};
+      default:
+        return parse_number();
+    }
+  }
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      RELSIM_REQUIRE(pos_ < text_.size() && text_[pos_] == *p,
+                     std::string("bad literal, wanted ") + lit);
+      ++pos_;
+    }
+  }
+  Json parse_bool() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (peek() == 't') {
+      parse_literal("true");
+      v.b = true;
+    } else {
+      parse_literal("false");
+      v.b = false;
+    }
+    return v;
+  }
+  Json parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    RELSIM_REQUIRE(pos_ > start, "expected a number");
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.num = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+  Json parse_string() {
+    expect('"');
+    Json v;
+    v.type = Json::Type::kString;
+    while (true) {
+      RELSIM_REQUIRE(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      RELSIM_REQUIRE(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.str += '"'; break;
+        case '\\': v.str += '\\'; break;
+        case '/': v.str += '/'; break;
+        case 'b': v.str += '\b'; break;
+        case 'f': v.str += '\f'; break;
+        case 'n': v.str += '\n'; break;
+        case 'r': v.str += '\r'; break;
+        case 't': v.str += '\t'; break;
+        case 'u':
+          RELSIM_REQUIRE(pos_ + 4 <= text_.size(), "bad \\u escape");
+          pos_ += 4;
+          v.str += '?';  // enough for structural checks
+          break;
+        default:
+          RELSIM_REQUIRE(false, "unknown escape");
+      }
+    }
+    return v;
+  }
+  Json parse_array() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.arr.push_back(parse_value());
+      if (consume(']')) break;
+      expect(',');
+    }
+    return v;
+  }
+  Json parse_object() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      Json key = parse_string();
+      expect(':');
+      v.obj.emplace_back(std::move(key.str), parse_value());
+      if (consume('}')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+Json parse_file(const std::string& path) {
+  std::ifstream is(path);
+  RELSIM_REQUIRE(bool(is), "cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return JsonParser(os.str()).parse();
+}
+
+// --- JsonWriter --------------------------------------------------------------
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, StableKeyOrderAndNumberFormat) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("z", 1);
+  w.kv("a", 2.5);
+  w.kv("whole", 3.0);
+  w.kv("s", "x");
+  w.kv("flag", true);
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  // Keys in insertion order (not sorted); integral doubles keep a ".0" so
+  // the value round-trips as a double.
+  EXPECT_EQ(os.str(),
+            "{\"z\":1,\"a\":2.5,\"whole\":3.0,\"s\":\"x\",\"flag\":true}");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, NestedDocumentParses) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 2);
+  w.begin_object();
+  w.key("rows");
+  w.begin_array();
+  w.begin_object();
+  w.kv("name", "a\nb");
+  w.kv("v", 0.125);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+  const Json doc = JsonParser(os.str()).parse();
+  ASSERT_EQ(doc.type, Json::Type::kObject);
+  const Json& rows = doc.at("rows");
+  ASSERT_EQ(rows.arr.size(), 1u);
+  EXPECT_EQ(rows.arr[0].at("name").str, "a\nb");
+  EXPECT_DOUBLE_EQ(rows.arr[0].at("v").num, 0.125);
+}
+
+TEST(JsonWriterTest, MalformedStructureThrows) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), Error);       // value without a key
+  EXPECT_THROW(w.end_array(), Error);    // wrong scope close
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(MetricsTest, CounterSumsConcurrentIncrements) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kIncs);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsTest, HistogramTracksMinMaxAndBuckets) {
+  obs::Histogram h;
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(0.25);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  // 1.0 and 1.5 share the [1,2) bucket; 3.0 is in [2,4); 0.25 in [0.25,0.5).
+  std::int64_t total = 0;
+  for (const auto& [lo, n] : s.buckets) {
+    total += n;
+    if (lo == 1.0) {
+      EXPECT_EQ(n, 2);
+    }
+    if (lo == 2.0) {
+      EXPECT_EQ(n, 1);
+    }
+    if (lo == 0.25) {
+      EXPECT_EQ(n, 1);
+    }
+  }
+  EXPECT_EQ(total, 4);
+}
+
+TEST(MetricsTest, HistogramSnapshotIsOrderIndependent) {
+  obs::Histogram a;
+  obs::Histogram b;
+  const std::vector<double> values{0.5, 2.0, 8.0, 2.5, 1e-9, 1e9};
+  for (double v : values) a.observe(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) b.observe(*it);
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(MetricsTest, RegistryRejectsCrossKindNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_NO_THROW(reg.counter("x"));
+  EXPECT_THROW(reg.gauge("x"), Error);
+  EXPECT_THROW(reg.histogram("x"), Error);
+}
+
+TEST(MetricsTest, SnapshotJsonParses) {
+  obs::MetricsRegistry reg;
+  reg.counter("c.one").inc(3);
+  reg.gauge("g.one").set(2.5);
+  reg.histogram("h.one").observe(1.0);
+  std::ostringstream os;
+  obs::JsonWriter w(os, 2);
+  reg.snapshot().to_json(w);
+  ASSERT_TRUE(w.complete());
+  const Json doc = JsonParser(os.str()).parse();
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("c.one").num, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("g.one").num, 2.5);
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("h.one").at("count").num, 1.0);
+}
+
+// Work counters must be bit-identical for any worker count on a full run of
+// the same seed — the manifest acceptance guarantee.
+TEST(MetricsTest, McCountersIdenticalAcrossThreadCounts) {
+  auto run_and_snapshot = [](unsigned threads) {
+    obs::metrics().reset();
+    McRequest req;
+    req.seed = 2026;
+    req.n = 512;
+    req.threads = threads;
+    req.chunk = 16;
+    McSession(req).run_yield([](Xoshiro256& rng, std::size_t) {
+      return rng.uniform01() < 0.8;
+    });
+    return obs::metrics().snapshot().counters;
+  };
+  const auto one = run_and_snapshot(1);
+  const auto four = run_and_snapshot(4);
+  const auto eight = run_and_snapshot(8);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(one.at("mc.samples_evaluated"), 512);
+  EXPECT_EQ(one.at("mc.chunks_retired"), 512 / 16);
+}
+
+// --- tracer ------------------------------------------------------------------
+
+TEST(TraceTest, DisabledSpanIsAllocationFree) {
+  ASSERT_FALSE(obs::trace_enabled());
+  // Warm the instruments so registry lookups are out of the loop.
+  static obs::Counter& c = obs::metrics().counter("obs_test.hot");
+  c.inc();
+  const std::size_t before = t_alloc_count;
+  for (int i = 0; i < 1000; ++i) {
+    obs::TraceSpan span("newton.solve", "i", static_cast<double>(i));
+    obs::trace_instant("mark");
+    c.inc();
+  }
+  EXPECT_EQ(t_alloc_count, before);
+}
+
+TEST(TraceTest, SessionWritesWellFormedNestedSpans) {
+  const std::string path = "obs_test_trace.json";
+  std::remove(path.c_str());
+  {
+    obs::TraceSession session(path);
+    ASSERT_TRUE(obs::trace_enabled());
+    McRequest req;
+    req.seed = 99;
+    req.n = 96;
+    req.threads = 8;
+    req.chunk = 4;
+    McSession(req).run_yield([](Xoshiro256& rng, std::size_t) {
+      const obs::TraceSpan inner("sample.work");
+      return rng.uniform01() < 0.5;
+    });
+    ASSERT_TRUE(session.flush());
+  }
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const Json doc = parse_file(path);
+  const Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.type, Json::Type::kArray);
+  ASSERT_FALSE(events.arr.empty());
+
+  struct Span {
+    std::string name;
+    double ts = 0.0, dur = 0.0;
+  };
+  std::vector<std::pair<double, std::vector<Span>>> by_tid;  // (tid, spans)
+  auto spans_of = [&](double tid) -> std::vector<Span>& {
+    for (auto& [t, spans] : by_tid) {
+      if (t == tid) return spans;
+    }
+    by_tid.push_back({tid, {}});
+    return by_tid.back().second;
+  };
+  std::size_t samples = 0, works = 0;
+  for (const Json& e : events.arr) {
+    ASSERT_EQ(e.type, Json::Type::kObject);
+    const std::string& ph = e.at("ph").str;
+    if (ph != "X") continue;
+    Span s{e.at("name").str, e.at("ts").num, e.at("dur").num};
+    if (s.name == "mc.sample") ++samples;
+    if (s.name == "sample.work") ++works;
+    spans_of(e.at("tid").num).push_back(s);
+  }
+  EXPECT_EQ(samples, 96u);
+  EXPECT_EQ(works, 96u);
+
+  // Per thread, spans must strictly nest: each pair is disjoint in time or
+  // one contains the other. Every sample.work span sits inside an
+  // mc.sample span, which sits inside an mc.chunk span.
+  for (const auto& [tid, spans] : by_tid) {
+    auto contains = [](const Span& outer, const Span& inner) {
+      return outer.ts <= inner.ts &&
+             inner.ts + inner.dur <= outer.ts + outer.dur;
+    };
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const Span& a = spans[i];
+        const Span& b = spans[j];
+        const bool disjoint = a.ts + a.dur <= b.ts || b.ts + b.dur <= a.ts;
+        EXPECT_TRUE(disjoint || contains(a, b) || contains(b, a))
+            << a.name << " and " << b.name << " overlap without nesting";
+      }
+    }
+    for (const Span& s : spans) {
+      auto inside_named = [&](const char* name) {
+        for (const Span& outer : spans) {
+          if (outer.name == name && contains(outer, s)) return true;
+        }
+        return false;
+      };
+      if (s.name == "sample.work") {
+        EXPECT_TRUE(inside_named("mc.sample"));
+      }
+      if (s.name == "mc.sample") {
+        EXPECT_TRUE(inside_named("mc.chunk"));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// --- manifest ----------------------------------------------------------------
+
+TEST(ManifestTest, McSessionWritesParsableManifest) {
+  const std::string path = "obs_test_manifest.json";
+  std::remove(path.c_str());
+  obs::metrics().reset();
+  McRequest req;
+  req.seed = 77;
+  req.n = 128;
+  req.threads = 4;
+  req.chunk = 8;
+  req.run_label = "obs_test.run";
+  req.manifest_path = path;
+  const McResult result =
+      McSession(req).run_yield([](Xoshiro256& rng, std::size_t) {
+        return rng.uniform01() < 0.9;
+      });
+
+  const Json doc = parse_file(path);
+  EXPECT_EQ(doc.at("run").str, "obs_test.run");
+  EXPECT_EQ(doc.at("kind").str, "yield");
+  const Json& config = doc.at("config");
+  EXPECT_DOUBLE_EQ(config.at("seed").num, 77.0);
+  EXPECT_DOUBLE_EQ(config.at("threads").num, 4.0);
+  EXPECT_EQ(config.at("partition").str, "work-stealing");
+  const Json& outcome = doc.at("outcome");
+  EXPECT_DOUBLE_EQ(outcome.at("completed").num, 128.0);
+  EXPECT_EQ(outcome.at("stop_reason").str, "completed");
+  const Json& build = doc.at("build");
+  EXPECT_FALSE(build.at("compiler").str.empty());
+  const Json& counters = doc.at("metrics").at("counters");
+  EXPECT_DOUBLE_EQ(counters.at("mc.samples_evaluated").num, 128.0);
+  EXPECT_EQ(doc.at("workers").arr.size(), result.workers().size());
+  std::remove(path.c_str());
+}
+
+TEST(ManifestTest, BuildInfoIsPopulated) {
+  const obs::BuildInfo& info = obs::build_info();
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.cxx_standard.empty());
+}
+
+}  // namespace
+}  // namespace relsim

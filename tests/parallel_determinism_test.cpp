@@ -113,17 +113,17 @@ TEST(ParallelDeterminismTest, FailingSeedsIdenticalAcrossThreadCounts) {
   ref.threads = 1;
   ref.keep_failing_seeds = 5;
   const McResult serial = McSession(ref).run_yield(pass);
-  ASSERT_FALSE(serial.failing_samples.empty());
+  ASSERT_FALSE(serial.failing_samples().empty());
   for (const unsigned threads : {2u, 8u}) {
     McRequest req = ref;
     req.threads = threads;
     const McResult parallel = McSession(req).run_yield(pass);
-    ASSERT_EQ(parallel.failing_samples.size(), serial.failing_samples.size());
-    for (std::size_t k = 0; k < serial.failing_samples.size(); ++k) {
-      EXPECT_EQ(parallel.failing_samples[k].index,
-                serial.failing_samples[k].index);
-      EXPECT_EQ(parallel.failing_samples[k].seed,
-                serial.failing_samples[k].seed);
+    ASSERT_EQ(parallel.failing_samples().size(), serial.failing_samples().size());
+    for (std::size_t k = 0; k < serial.failing_samples().size(); ++k) {
+      EXPECT_EQ(parallel.failing_samples()[k].index,
+                serial.failing_samples()[k].index);
+      EXPECT_EQ(parallel.failing_samples()[k].seed,
+                serial.failing_samples()[k].seed);
     }
   }
 }
@@ -155,9 +155,9 @@ TEST(ParallelDeterminismTest, TelemetryCoversAllSamples) {
   req.threads = 4;
   req.chunk = 8;
   const McResult result = McSession(req).run_metric(sample_metric);
-  ASSERT_EQ(result.workers.size(), 4u);
+  ASSERT_EQ(result.workers().size(), 4u);
   std::size_t total = 0;
-  for (const McWorkerTelemetry& w : result.workers) {
+  for (const McWorkerTelemetry& w : result.workers()) {
     EXPECT_GE(w.busy_seconds, 0.0);
     total += w.samples;
   }

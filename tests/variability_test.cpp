@@ -186,7 +186,7 @@ TEST(MonteCarloTest, SessionYieldMatchesSerial) {
   const McResult par = McSession(req).run_yield(pass);
   EXPECT_EQ(serial.passed, par.estimate.passed);
   EXPECT_EQ(serial.total, par.estimate.total);
-  EXPECT_EQ(par.stop_reason, McStopReason::kCompleted);
+  EXPECT_EQ(par.stop_reason(), McStopReason::kCompleted);
 }
 
 TEST(MonteCarloTest, SessionPropagatesExceptions) {
