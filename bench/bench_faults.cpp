@@ -1,0 +1,318 @@
+// Fault-tolerance bench (mc_session.h + testing/fault_injection.h): the
+// acceptance scenario of the fault-tolerant Monte-Carlo layer, run as
+// shape checks.
+//
+//  - kSkip: a 1000-sample run with injected singular pivots, injected
+//    non-convergence AND NaN-poisoned metrics completes, and the
+//    surviving-sample values are bit-identical across 1/4/8 workers and
+//    to a fault-free run;
+//  - kRetryThenSkip: when every fault is transient (first attempt only),
+//    the retry ladder recovers every sample and the run equals the
+//    fault-free run bit for bit — again for 1/4/8 workers;
+//  - disarmed overhead: with no rules armed the injection points are a
+//    relaxed atomic load each, and a default-policy (kAbort) run is
+//    bit-identical to the same run under kSkip;
+//  - checkpoint rot: a bit-flipped checkpoint is caught by its CRC-32 and,
+//    under kDiscardCorrupt, the restarted run still matches a fresh one.
+//
+// Flags: --smoke (shrink sample counts for CI),
+//        --mc-json PATH (dump the measured series as a flat JSON artifact),
+//        --manifest PATH (run manifest, rewritten per run; final wins).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "testing/fault_injection.h"
+#include "util/error.h"
+#include "variability/mc_session.h"
+
+using namespace relsim;
+using testing::FaultRule;
+using testing::FaultScope;
+using testing::FaultSite;
+
+namespace {
+
+double smooth_metric(Xoshiro256& rng, std::size_t) {
+  return 1.0 + 0.25 * rng.uniform01();
+}
+
+/// Arms the three per-sample fault kinds on disjoint residue classes
+/// (singular on i%13==3, non-convergence on i%17==5, NaN on i%19==7).
+/// `max_attempt` bounds the attempts that fail: INT_MAX = every attempt
+/// (the kSkip scenario), 1 = first attempt only (the transient scenario).
+void arm_sample_faults(int max_attempt) {
+  FaultRule singular;
+  singular.sample_modulus = 13;
+  singular.sample_remainder = 3;
+  singular.max_attempt = max_attempt;
+  testing::arm(FaultSite::kMcEvalThrowSingular, singular);
+
+  FaultRule nonconv;
+  nonconv.sample_modulus = 17;
+  nonconv.sample_remainder = 5;
+  nonconv.max_attempt = max_attempt;
+  testing::arm(FaultSite::kMcEvalThrowConvergence, nonconv);
+
+  FaultRule nan;
+  nan.sample_modulus = 19;
+  nan.sample_remainder = 7;
+  nan.max_attempt = max_attempt;
+  testing::arm(FaultSite::kMcEvalNan, nan);
+}
+
+std::size_t expected_faulted(std::size_t n) {
+  std::size_t faulted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 13 == 3 || i % 17 == 5 || i % 19 == 7) ++faulted;
+  }
+  return faulted;
+}
+
+/// Element-wise equality where censored NaN entries compare equal (IEEE
+/// NaN != NaN would otherwise hide that two runs agree).
+bool same_values(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+std::set<std::size_t> failed_indices(const McResult& r) {
+  std::set<std::size_t> idx;
+  for (const McFailedSample& f : r.failed_samples()) idx.insert(f.index);
+  return idx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ShapeChecks checks;
+  bench::BenchJson json;
+  const bool smoke = bench::arg_present(argc, argv, "--smoke");
+  const std::string mc_json = bench::arg_value(argc, argv, "--mc-json");
+  const std::string manifest_path = bench::arg_value(argc, argv, "--manifest");
+
+  const std::size_t n = 1000;  // the acceptance scenario is fixed at 1000
+  const std::vector<unsigned> worker_counts{1, 4, 8};
+
+  // --- kSkip: chaos run, bit-identical for any worker count -----------------
+  bench::banner("kSkip: 1000 samples, singular + non-convergence + NaN "
+                "faults, 1/4/8 workers");
+  std::vector<McResult> skip_runs;
+  for (unsigned threads : worker_counts) {
+    FaultScope scope;
+    arm_sample_faults(std::numeric_limits<int>::max());
+    McRequest req;
+    req.seed = 99;
+    req.n = n;
+    req.threads = threads;
+    req.chunk = 16;
+    req.failure_policy = McFailurePolicy::kSkip;
+    req.manifest_path = manifest_path;
+    req.run_label = "bench_faults.skip_w" + std::to_string(threads);
+    skip_runs.push_back(McSession(req).run_metric(smooth_metric));
+  }
+  McRequest clean_req;
+  clean_req.seed = 99;
+  clean_req.n = n;
+  clean_req.threads = 4;
+  clean_req.chunk = 16;
+  const McResult clean = McSession(clean_req).run_metric(smooth_metric);
+
+  TablePrinter skip_t({"workers", "elapsed_s", "completed", "failed",
+                       "survivors_match"});
+  skip_t.set_precision(3);
+  bool skip_identical = true;
+  bool skip_failed_agree = true;
+  for (std::size_t w = 0; w < skip_runs.size(); ++w) {
+    const McResult& r = skip_runs[w];
+    const bool match = same_values(r.values, skip_runs[0].values);
+    skip_identical = skip_identical && match;
+    skip_failed_agree = skip_failed_agree &&
+                        failed_indices(r) == failed_indices(skip_runs[0]);
+    skip_t.add_row({static_cast<long long>(worker_counts[w]),
+                    r.elapsed_seconds(), static_cast<long long>(r.completed),
+                    static_cast<long long>(r.run.failed_total),
+                    std::string(match ? "yes" : "NO")});
+    json.add("skip_w" + std::to_string(worker_counts[w]),
+             {{"elapsed_s", r.elapsed_seconds()},
+              {"failed", static_cast<double>(r.run.failed_total)}});
+  }
+  skip_t.print(std::cout);
+
+  // Surviving samples of the chaos run vs the fault-free run: only the
+  // censored entries (NaN) may differ.
+  bool survivors_clean = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(skip_runs[0].values[i])) continue;
+    survivors_clean = survivors_clean &&
+                      skip_runs[0].values[i] == clean.values[i];
+  }
+  const std::size_t want_failed = expected_faulted(n);
+  checks.check("all three fault kinds fired (failed == " +
+                   std::to_string(want_failed) + " residue-class samples)",
+               skip_runs[0].run.failed_total == want_failed);
+  checks.check("kSkip values (survivors AND censored slots) bit-identical "
+               "across 1/4/8 workers",
+               skip_identical);
+  checks.check("failed-sample indices agree across 1/4/8 workers",
+               skip_failed_agree);
+  checks.check("surviving samples equal the fault-free run bit-exactly",
+               survivors_clean);
+  checks.check("every failed sample carries a replay seed and a reason",
+               [&] {
+                 for (const McFailedSample& f :
+                      skip_runs[0].failed_samples()) {
+                   if (f.seed == 0 || f.reason.empty()) return false;
+                 }
+                 return !skip_runs[0].failed_samples().empty();
+               }());
+
+  // --- kRetryThenSkip: transient faults recovered ---------------------------
+  bench::banner("kRetryThenSkip: same faults, first attempt only — the "
+                "retry ladder recovers every sample");
+  std::vector<McResult> retry_runs;
+  for (unsigned threads : worker_counts) {
+    FaultScope scope;
+    arm_sample_faults(/*max_attempt=*/1);
+    McRequest req;
+    req.seed = 99;
+    req.n = n;
+    req.threads = threads;
+    req.chunk = 16;
+    req.failure_policy = McFailurePolicy::kRetryThenSkip;
+    req.max_retries = 2;
+    req.manifest_path = manifest_path;
+    req.run_label = "bench_faults.retry_w" + std::to_string(threads);
+    retry_runs.push_back(McSession(req).run_metric(smooth_metric));
+  }
+
+  TablePrinter retry_t({"workers", "elapsed_s", "retried", "recovered",
+                        "failed"});
+  retry_t.set_precision(3);
+  bool retry_identical = true;
+  for (std::size_t w = 0; w < retry_runs.size(); ++w) {
+    const McResult& r = retry_runs[w];
+    retry_identical = retry_identical && r.values == clean.values;
+    retry_t.add_row({static_cast<long long>(worker_counts[w]),
+                     r.elapsed_seconds(),
+                     static_cast<long long>(r.run.retried_total),
+                     static_cast<long long>(r.run.recovered_total),
+                     static_cast<long long>(r.run.failed_total)});
+    json.add("retry_w" + std::to_string(worker_counts[w]),
+             {{"elapsed_s", r.elapsed_seconds()},
+              {"recovered", static_cast<double>(r.run.recovered_total)}});
+  }
+  retry_t.print(std::cout);
+
+  checks.check("retry ladder recovers all " + std::to_string(want_failed) +
+                   " transiently-faulted samples (failed == 0)",
+               retry_runs[0].run.failed_total == 0 &&
+                   retry_runs[0].run.recovered_total == want_failed);
+  checks.check("recovered runs are bit-identical to the fault-free run "
+               "across 1/4/8 workers",
+               retry_identical);
+
+  // --- disarmed overhead ----------------------------------------------------
+  bench::banner("Disarmed harness: default kAbort vs kSkip on a fault-free "
+                "run (policies must agree bit-exactly)");
+  const std::size_t n_clean = smoke ? 50000 : 200000;
+  McRequest fast;
+  fast.seed = 5;
+  fast.n = n_clean;
+  fast.threads = 4;
+  fast.keep_values = true;
+  fast.run_label = "bench_faults.overhead";
+  auto coin = [](Xoshiro256& rng, std::size_t) {
+    return rng.uniform01() < 0.9;
+  };
+  const McResult legacy = McSession(fast).run_yield(coin);
+  fast.failure_policy = McFailurePolicy::kSkip;
+  const McResult guarded = McSession(fast).run_yield(coin);
+
+  TablePrinter ov({"policy", "elapsed_s", "passed", "total"});
+  ov.set_precision(4);
+  ov.add_row({std::string("abort (legacy)"), legacy.elapsed_seconds(),
+              static_cast<long long>(legacy.estimate.passed),
+              static_cast<long long>(legacy.estimate.total)});
+  ov.add_row({std::string("skip (guarded)"), guarded.elapsed_seconds(),
+              static_cast<long long>(guarded.estimate.passed),
+              static_cast<long long>(guarded.estimate.total)});
+  ov.print(std::cout);
+
+  checks.check("fault-free kSkip run is bit-identical to the legacy kAbort "
+               "run (values and interval)",
+               legacy.values == guarded.values &&
+                   legacy.estimate.interval.lo ==
+                       guarded.estimate.interval.lo &&
+                   legacy.estimate.interval.hi ==
+                       guarded.estimate.interval.hi);
+  json.add("overhead", {{"abort_s", legacy.elapsed_seconds()},
+                        {"skip_s", guarded.elapsed_seconds()},
+                        {"n", static_cast<double>(n_clean)}});
+
+  // --- checkpoint rot -------------------------------------------------------
+  bench::banner("Checkpoint rot: CRC-32 catches a flipped byte; "
+                "kDiscardCorrupt restarts to the bit-exact clean result");
+  const std::string ckpt = "bench_faults_rot.ckpt";
+  std::remove(ckpt.c_str());
+  McRequest cr;
+  cr.seed = 13;
+  cr.n = smoke ? 300 : 1000;
+  cr.threads = 4;
+  cr.checkpoint_path = ckpt;
+  cr.run_label = "bench_faults.checkpoint_rot";
+  {
+    FaultScope scope;
+    FaultRule rot;
+    rot.nth = 1;  // flip one byte of the first checkpoint image written
+    testing::arm(FaultSite::kCheckpointCorrupt, rot);
+    McSession(cr).run_metric(smooth_metric);
+  }
+  bool detected = false;
+  try {
+    McSession(cr).run_metric(smooth_metric);  // kThrow (default)
+  } catch (const Error&) {
+    detected = true;
+  }
+  cr.checkpoint_recovery = McCheckpointRecovery::kDiscardCorrupt;
+  cr.manifest_path = manifest_path;
+  const McResult recovered = McSession(cr).run_metric(smooth_metric);
+  std::remove(ckpt.c_str());
+
+  McRequest fresh_req;
+  fresh_req.seed = 13;
+  fresh_req.n = cr.n;
+  fresh_req.threads = 4;
+  const McResult fresh = McSession(fresh_req).run_metric(smooth_metric);
+
+  std::cout << "corrupt checkpoint: detected=" << (detected ? "yes" : "NO")
+            << " discarded=" << (recovered.run.checkpoint_discarded ? "yes"
+                                                                    : "NO")
+            << " resumed=" << recovered.resumed << "/" << cr.n << "\n";
+  checks.check("bit-flipped checkpoint is rejected by CRC-32 under kThrow",
+               detected);
+  checks.check("kDiscardCorrupt restarts cleanly (0 samples resumed, "
+               "discard recorded)",
+               recovered.resumed == 0 && recovered.run.checkpoint_discarded);
+  checks.check("restarted run equals a fresh run bit-exactly",
+               same_values(recovered.values, fresh.values) &&
+                   recovered.metric.mean() == fresh.metric.mean());
+  json.add("checkpoint_rot",
+           {{"detected", detected ? 1.0 : 0.0},
+            {"resumed", static_cast<double>(recovered.resumed)}});
+
+  if (!mc_json.empty()) {
+    checks.check("fault telemetry artifact written to " + mc_json,
+                 json.write(mc_json));
+  }
+  return checks.finish();
+}

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "testing/fault_injection.h"
 #include "util/error.h"
 
 namespace relsim {
@@ -9,6 +10,9 @@ namespace relsim {
 LuFactorization::LuFactorization(const Matrix& a, double singular_threshold)
     : lu_(a), perm_(a.rows()) {
   RELSIM_REQUIRE(a.rows() == a.cols(), "LU needs a square matrix");
+  if (testing::fire(testing::FaultSite::kDenseLuFactor)) {
+    throw SingularMatrixError("LU: injected singular pivot (fault harness)");
+  }
   const std::size_t n = lu_.rows();
   // Scale factors for scaled partial pivoting: keeps the pivot choice
   // meaningful when MNA rows mix conductances of very different magnitude.

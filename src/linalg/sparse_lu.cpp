@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "testing/fault_injection.h"
 #include "util/error.h"
 
 namespace relsim {
@@ -12,6 +13,10 @@ SparseLuFactorization::SparseLuFactorization(const SparseMatrix& a,
     : threshold_(singular_threshold) {
   RELSIM_REQUIRE(a.rows() == a.cols(), "sparse LU needs a square matrix");
   RELSIM_REQUIRE(a.rows() > 0, "sparse LU needs a non-empty matrix");
+  if (testing::fire(testing::FaultSite::kSparseLuFactor)) {
+    throw SingularMatrixError(
+        "sparse LU: injected singular pivot (fault harness)");
+  }
   factor_full(a);
 }
 
@@ -190,6 +195,10 @@ void SparseLuFactorization::factor_full(const SparseMatrix& a) {
 void SparseLuFactorization::refactor(const SparseMatrix& a) {
   RELSIM_REQUIRE(a.rows() == n_ && a.nnz() == anz_,
                  "sparse LU refactor: matrix structure changed");
+  if (testing::fire(testing::FaultSite::kSparseLuRefactor)) {
+    throw SingularMatrixError(
+        "sparse LU refactor: injected pivot collapse (fault harness)");
+  }
   const auto& aval = a.values();
   std::vector<double> x(n_, 0.0);
   std::size_t lpos = 0;

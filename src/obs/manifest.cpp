@@ -47,6 +47,8 @@ void RunManifest::to_json(JsonWriter& w) const {
   w.kv("threads", threads);
   w.kv("chunk", static_cast<unsigned long long>(chunk));
   w.kv("partition", partition);
+  if (!failure_policy.empty()) w.kv("failure_policy", failure_policy);
+  if (!censored_policy.empty()) w.kv("censored_policy", censored_policy);
   for (const auto& [k, v] : extra) w.kv(k, v);
   w.end_object();
 
@@ -56,10 +58,15 @@ void RunManifest::to_json(JsonWriter& w) const {
   w.kv("resumed", static_cast<unsigned long long>(resumed));
   w.kv("stop_reason", stop_reason);
   w.kv("elapsed_seconds", elapsed_seconds);
+  w.kv("failed", static_cast<unsigned long long>(failed));
+  w.kv("retried", static_cast<unsigned long long>(retried));
+  w.kv("recovered", static_cast<unsigned long long>(recovered));
+  w.kv("checkpoint_discarded", checkpoint_discarded);
   if (has_estimate) {
     w.key("estimate").begin_object();
     w.kv("passed", static_cast<unsigned long long>(passed));
-    w.kv("total", static_cast<unsigned long long>(completed));
+    w.kv("total", static_cast<unsigned long long>(estimate_total));
+    w.kv("censored", static_cast<unsigned long long>(censored));
     w.kv("yield", yield);
     w.kv("yield_lo", yield_lo);
     w.kv("yield_hi", yield_hi);
@@ -83,6 +90,27 @@ void RunManifest::to_json(JsonWriter& w) const {
     w.begin_object();
     w.kv("index", static_cast<unsigned long long>(f.index));
     w.kv("seed", static_cast<unsigned long long>(f.seed));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("failed_samples").begin_array();
+  for (const FailedSample& f : failed_samples) {
+    w.begin_object();
+    w.kv("index", static_cast<unsigned long long>(f.index));
+    w.kv("seed", static_cast<unsigned long long>(f.seed));
+    w.kv("kind", f.kind);
+    w.kv("attempts", f.attempts);
+    w.kv("reason", f.reason);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("worker_errors").begin_array();
+  for (const WorkerError& e : worker_errors) {
+    w.begin_object();
+    w.kv("worker", e.worker);
+    w.kv("message", e.message);
     w.end_object();
   }
   w.end_array();

@@ -43,6 +43,8 @@ struct RunManifest {
   unsigned threads = 0;            ///< resolved worker count
   std::size_t chunk = 0;
   std::string partition;
+  std::string failure_policy;   ///< "abort" | "skip" | "retry-then-skip"
+  std::string censored_policy;  ///< "treat-as-fail" | "exclude"
 
   // Outcome.
   std::size_t requested = 0;
@@ -50,10 +52,16 @@ struct RunManifest {
   std::size_t resumed = 0;
   std::string stop_reason;
   double elapsed_seconds = 0.0;
+  std::size_t failed = 0;     ///< censored samples among `completed`
+  std::size_t retried = 0;    ///< total retry attempts spent
+  std::size_t recovered = 0;  ///< samples that succeeded on a retry
+  bool checkpoint_discarded = false;  ///< a corrupt checkpoint was dropped
 
   // Yield estimate (yield runs only).
   bool has_estimate = false;
   std::size_t passed = 0;
+  std::size_t estimate_total = 0;  ///< estimate denominator (see censored)
+  std::size_t censored = 0;        ///< failed evaluations in the estimate
   double yield = 0.0;
   double yield_lo = 0.0;
   double yield_hi = 0.0;
@@ -71,6 +79,26 @@ struct RunManifest {
     std::uint64_t seed = 0;
   };
   std::vector<FailingSample> failing_samples;
+
+  /// Samples whose EVALUATION failed (censored), as opposed to samples
+  /// that evaluated fine and failed the spec (failing_samples above).
+  /// `seed` replays the sample in isolation; `kind` / `reason` say how it
+  /// died; `attempts` is how many evaluation attempts were spent on it.
+  struct FailedSample {
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+    std::string kind;  ///< "convergence" | "singular" | "non-finite" | "other"
+    int attempts = 0;
+    std::string reason;
+  };
+  std::vector<FailedSample> failed_samples;
+
+  /// Every worker exception of an aborted run (not just the rethrown one).
+  struct WorkerError {
+    unsigned worker = 0;
+    std::string message;
+  };
+  std::vector<WorkerError> worker_errors;
 
   /// Free-form (key, value) rows for run-specific context (bench flags,
   /// sample counts, ...). Emitted in insertion order.

@@ -28,13 +28,15 @@ double Histogram::bucket_lower_bound(int index) {
 }
 
 void Histogram::observe(double v) {
+  if (!std::isfinite(v)) {
+    nonfinite_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   int index = 0;
-  if (v > 0.0 && std::isfinite(v)) {
+  if (v > 0.0) {
     index = std::ilogb(v) + kBias;
     if (index < 0) index = 0;
     if (index >= kBuckets) index = kBuckets - 1;
-  } else if (std::isinf(v) && v > 0.0) {
-    index = kBuckets - 1;
   }
   buckets_[static_cast<std::size_t>(index)].fetch_add(
       1, std::memory_order_relaxed);
@@ -58,6 +60,7 @@ Histogram::Snapshot Histogram::snapshot() const {
     if (c != 0) s.buckets.emplace_back(bucket_lower_bound(i), c);
     s.count += c;
   }
+  s.nonfinite = nonfinite_.load(std::memory_order_relaxed);
   if (s.count > 0) {
     s.min = min_.load(std::memory_order_relaxed);
     s.max = max_.load(std::memory_order_relaxed);
@@ -67,6 +70,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  nonfinite_.store(0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
@@ -149,6 +153,7 @@ void MetricsSnapshot::to_json(JsonWriter& w) const {
   for (const auto& [name, h] : histograms) {
     w.key(name).begin_object();
     w.kv("count", static_cast<long long>(h.count));
+    w.kv("nonfinite", static_cast<long long>(h.nonfinite));
     w.kv("min", h.min);
     w.kv("max", h.max);
     w.key("buckets").begin_array();

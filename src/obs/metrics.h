@@ -86,11 +86,16 @@ class Gauge {
 /// in [2^(i-kBias), 2^(i-kBias+1)); zero/negative values land in bucket 0,
 /// values beyond the range saturate into the edge buckets. Bucket counts
 /// merge deterministically; min/max are tracked exactly.
+///
+/// NaN/Inf observations never enter a bucket (they used to land silently
+/// in the edge buckets and poison min/max): they are tallied in a separate
+/// `nonfinite` counter so a sick producer is visible in every snapshot.
 class Histogram {
  public:
   struct Snapshot {
-    std::int64_t count = 0;
-    double min = 0.0;  ///< meaningful when count > 0
+    std::int64_t count = 0;      ///< finite observations only
+    std::int64_t nonfinite = 0;  ///< rejected NaN/±Inf observations
+    double min = 0.0;            ///< meaningful when count > 0
     double max = 0.0;
     /// (bucket lower bound, count) for every non-empty bucket, ascending.
     std::vector<std::pair<double, std::int64_t>> buckets;
@@ -108,6 +113,7 @@ class Histogram {
   static constexpr int kBuckets = 128;  // exponents 2^-64 .. 2^63
   static constexpr int kBias = 64;
   std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> nonfinite_{0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };

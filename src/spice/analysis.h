@@ -54,10 +54,24 @@ struct NewtonOptions {
   int sparse_min_unknowns = 32;
 };
 
+/// Escalation rounds appended to the standard Newton -> gmin stepping ->
+/// source stepping sequence when everything in it fails. Round r (1-based)
+/// replays the whole sequence with reltol multiplied by reltol_relax^r
+/// (capped at reltol_cap) and the iteration budget multiplied by
+/// iter_boost^r. The rung order is FIXED — dc_recovery_ladder() names it —
+/// so a recovered operating point is reproducible for any thread count.
+struct DcRecoveryOptions {
+  int max_rounds = 0;        ///< 0 = disabled (exact legacy behaviour)
+  double reltol_relax = 10.0;
+  int iter_boost = 4;
+  double reltol_cap = 1e-3;  ///< never relax reltol beyond this
+};
+
 struct DcOptions {
   NewtonOptions newton;
   bool allow_gmin_stepping = true;
   bool allow_source_stepping = true;
+  DcRecoveryOptions recovery;
 };
 
 /// Result of a converged DC operating point.
@@ -68,6 +82,12 @@ class DcResult : public AnalysisResultBase {
   const Vector& x() const { return x_; }
   int iterations() const { return iters_; }
 
+  /// Index into dc_recovery_ladder(options) of the rung that produced
+  /// this solution: 0 = plain Newton, later entries are the fallbacks in
+  /// attempt order (disabled techniques are omitted from the ladder).
+  int recovery_rung() const { return recovery_rung_; }
+  void set_recovery_rung(int rung) { recovery_rung_ = rung; }
+
   double v(NodeId node) const {
     return node == kGround ? 0.0 : x_[static_cast<std::size_t>(node - 1)];
   }
@@ -75,13 +95,22 @@ class DcResult : public AnalysisResultBase {
  private:
   Vector x_;
   int iters_;
+  int recovery_rung_ = 0;
 };
 
 /// Solves the DC operating point. Tries plain Newton from `initial_guess`
-/// (zeros when empty), then gmin stepping, then source stepping. Throws
-/// ConvergenceError when everything fails.
+/// (zeros when empty), then gmin stepping, then source stepping, then —
+/// when options.recovery.max_rounds > 0 — the relaxed-tolerance escalation
+/// rounds of the recovery ladder. Throws ConvergenceError naming the rungs
+/// tried when everything fails.
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options = {},
                             const Vector& initial_guess = {});
+
+/// The exact rung sequence dc_operating_point attempts for `options`, in
+/// order ("newton", "gmin-stepping", "source-stepping", then one entry per
+/// relaxed round and technique). DcResult::recovery_rung() indexes into
+/// this list; disabled techniques are omitted.
+std::vector<std::string> dc_recovery_ladder(const DcOptions& options);
 
 /// Sweeps the DC value of `source` over `values`, reusing each solution as
 /// the next starting point. Returns one DcResult per value.
@@ -117,7 +146,8 @@ struct TransientOptions {
   /// SPICE "UIC". Needed to start oscillators.
   bool use_initial_conditions = false;
   std::map<NodeId, double> initial_conditions;
-  /// Maximum number of successive step halvings on non-convergence.
+  /// Maximum number of successive step halvings on non-convergence; the
+  /// analysis throws ConvergenceError once they are exhausted.
   int max_step_halvings = 8;
 };
 

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "spice/analysis.h"
+#include "testing/fault_injection.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -132,6 +133,8 @@ struct NewtonMetrics {
       obs::metrics().counter("lu.dense_fallbacks");
   obs::Counter& lu_pattern_builds =
       obs::metrics().counter("lu.pattern_builds");
+  obs::Counter& nonfinite_updates =
+      obs::metrics().counter("newton.nonfinite_updates");
   obs::Gauge& lu_fill_nnz = obs::metrics().gauge("lu.fill_nnz");
 };
 
@@ -155,6 +158,11 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
   const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
   x.resize(n, 0.0);
   const std::size_t nodes = static_cast<std::size_t>(circuit.node_count());
+
+  if (testing::fire(testing::FaultSite::kNewtonConverge)) {
+    nm.nonconverged.inc();
+    return {false, 0};
+  }
 
   SolverCache& cache = circuit.solver_cache();
   const bool use_sparse =
@@ -235,6 +243,24 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
       }
     }
 
+    // Quarantine poisoned updates: a NaN/Inf component would sail through
+    // the tolerance check below (NaN compares false) and hand back a
+    // "converged" garbage solution. Treat it as a failed solve instead.
+    bool update_finite = true;
+    for (const double v : x_new) {
+      if (!std::isfinite(v)) {
+        update_finite = false;
+        break;
+      }
+    }
+    if (!update_finite) {
+      nm.nonfinite_updates.inc();
+      cache.stats.newton_iterations += iter;
+      nm.iterations.inc(iter);
+      nm.nonconverged.inc();
+      return {false, iter};
+    }
+
     // Damp the voltage update and check convergence on the damped step.
     bool converged = true;
     double max_delta = 0.0;
@@ -287,43 +313,54 @@ std::vector<double> gmin_ladder(double gmin) {
 namespace {
 
 DcResult make_dc_result(Circuit& circuit, Vector x, int iterations,
-                        const SolverStats& before) {
+                        const SolverStats& before, int rung) {
   DcResult r(std::move(x), iterations);
   r.set_solver_stats(circuit.solver_cache().stats - before);
   r.set_outcome(true);
+  r.set_recovery_rung(rung);
   return r;
 }
 
-}  // namespace
+struct SequenceAttempt {
+  bool ok = false;
+  Vector x;
+  int iterations = 0;
+  int next_rung = 0;  ///< first rung index after this sequence
+  int rung = 0;       ///< rung that converged (valid when ok)
+};
 
-DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
-                            const Vector& initial_guess) {
-  obs::init_trace_from_env();
-  circuit.assemble();
-  const SolverStats before = circuit.solver_cache().stats;
+/// One pass of the Newton -> gmin stepping -> source stepping sequence
+/// with the given Newton controls. Rung numbering continues from
+/// `rung_base` in exactly the order dc_recovery_ladder() reports.
+SequenceAttempt try_dc_sequence(Circuit& circuit, const DcOptions& options,
+                                const NewtonOptions& newton,
+                                const Vector& initial_guess, int rung_base) {
+  SequenceAttempt att;
+  int rung = rung_base;
+
   Vector x = initial_guess;
   NewtonResult res =
       newton_solve(circuit, x, AnalysisMode::kDcOp, Integrator::kBackwardEuler,
-                   0.0, 0.0, 1.0, options.newton.gmin, options.newton);
+                   0.0, 0.0, 1.0, newton.gmin, newton);
   if (res.converged) {
-    return make_dc_result(circuit, std::move(x), res.iterations, before);
+    return {true, std::move(x), res.iterations, rung + 1, rung};
   }
+  ++rung;
 
   if (options.allow_gmin_stepping) {
     // Solve with a heavy diagonal conductance, then relax it rung by rung,
     // reusing each solution as the next starting point. The ladder ends
-    // exactly at options.newton.gmin, so the last rung IS the final solve.
+    // exactly at newton.gmin, so the last rung IS the final solve.
     const obs::TraceSpan ladder_span("dc.gmin_stepping");
     static obs::Counter& c_gmin_steps =
         obs::metrics().counter("newton.gmin_steps");
     Vector xg(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
     bool ok = true;
     int total_iters = 0;
-    for (const double g : gmin_ladder(options.newton.gmin)) {
+    for (const double g : gmin_ladder(newton.gmin)) {
       c_gmin_steps.inc();
       res = newton_solve(circuit, xg, AnalysisMode::kDcOp,
-                         Integrator::kBackwardEuler, 0.0, 0.0, 1.0, g,
-                         options.newton);
+                         Integrator::kBackwardEuler, 0.0, 0.0, 1.0, g, newton);
       total_iters += res.iterations;
       if (!res.converged) {
         ok = false;
@@ -331,8 +368,9 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
       }
     }
     if (ok) {
-      return make_dc_result(circuit, std::move(xg), total_iters, before);
+      return {true, std::move(xg), total_iters, rung + 1, rung};
     }
+    ++rung;
     log_debug("gmin stepping failed, trying source stepping");
   }
 
@@ -347,8 +385,7 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
       c_source_steps.inc();
       res = newton_solve(circuit, xs, AnalysisMode::kDcOp,
                          Integrator::kBackwardEuler, 0.0, 0.0,
-                         std::min(scale, 1.0), options.newton.gmin,
-                         options.newton);
+                         std::min(scale, 1.0), newton.gmin, newton);
       total_iters += res.iterations;
       if (!res.converged) {
         ok = false;
@@ -356,13 +393,93 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
       }
     }
     if (ok) {
-      return make_dc_result(circuit, std::move(xs), total_iters, before);
+      return {true, std::move(xs), total_iters, rung + 1, rung};
     }
+    ++rung;
   }
 
+  att.next_rung = rung;
+  return att;
+}
+
+/// Newton controls of escalation round `round` (0 = the caller's own).
+NewtonOptions escalated_newton(const DcOptions& options, int round) {
+  NewtonOptions newton = options.newton;
+  if (round <= 0) return newton;
+  const DcRecoveryOptions& rec = options.recovery;
+  double reltol = newton.reltol;
+  long long budget = newton.max_iterations;
+  for (int r = 0; r < round; ++r) {
+    reltol *= rec.reltol_relax;
+    budget *= std::max(1, rec.iter_boost);
+  }
+  // The cap never tightens a reltol that is already looser than it.
+  newton.reltol = std::min(reltol, std::max(rec.reltol_cap, newton.reltol));
+  newton.max_iterations =
+      static_cast<int>(std::min<long long>(budget, 1000000));
+  return newton;
+}
+
+}  // namespace
+
+std::vector<std::string> dc_recovery_ladder(const DcOptions& options) {
+  std::vector<std::string> ladder;
+  const auto append_sequence = [&](const std::string& suffix) {
+    ladder.push_back("newton" + suffix);
+    if (options.allow_gmin_stepping) {
+      ladder.push_back("gmin-stepping" + suffix);
+    }
+    if (options.allow_source_stepping) {
+      ladder.push_back("source-stepping" + suffix);
+    }
+  };
+  append_sequence("");
+  for (int round = 1; round <= options.recovery.max_rounds; ++round) {
+    const NewtonOptions newton = escalated_newton(options, round);
+    append_sequence("[relaxed r" + std::to_string(round) +
+                    " reltol=" + std::to_string(newton.reltol) +
+                    " iters=" + std::to_string(newton.max_iterations) + "]");
+  }
+  return ladder;
+}
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options,
+                            const Vector& initial_guess) {
+  obs::init_trace_from_env();
+  circuit.assemble();
+  const SolverStats before = circuit.solver_cache().stats;
+  static obs::Counter& c_recovery_rounds =
+      obs::metrics().counter("dc.recovery_rounds");
+
+  int rung_base = 0;
+  for (int round = 0; round <= std::max(0, options.recovery.max_rounds);
+       ++round) {
+    if (round > 0) {
+      c_recovery_rounds.inc();
+      obs::trace_instant("dc.recovery_round", "round",
+                         static_cast<double>(round));
+    }
+    const NewtonOptions newton = escalated_newton(options, round);
+    // Escalation rounds restart from zeros: the guess that fed the failed
+    // round is part of why it failed.
+    SequenceAttempt att =
+        try_dc_sequence(circuit, options, newton,
+                        round == 0 ? initial_guess : Vector{}, rung_base);
+    if (att.ok) {
+      return make_dc_result(circuit, std::move(att.x), att.iterations, before,
+                            att.rung);
+    }
+    rung_base = att.next_rung;
+  }
+
+  std::string tried;
+  for (const std::string& rung : dc_recovery_ladder(options)) {
+    if (!tried.empty()) tried += ", ";
+    tried += rung;
+  }
   throw ConvergenceError(
-      "DC operating point did not converge (Newton, gmin stepping and "
-      "source stepping all failed)");
+      "DC operating point did not converge; recovery ladder exhausted (" +
+      tried + ")");
 }
 
 std::vector<DcResult> dc_sweep(Circuit& circuit, VoltageSource& source,

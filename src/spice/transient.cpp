@@ -89,8 +89,13 @@ TransientResult transient_analysis(
     if (!res.converged) {
       ++halvings;
       c_rejected.inc();
-      RELSIM_REQUIRE(halvings <= options.max_step_halvings,
-                     "transient step failed to converge after max halvings");
+      if (halvings > options.max_step_halvings) {
+        throw ConvergenceError(
+            "transient step failed to converge after " +
+            std::to_string(options.max_step_halvings) +
+            " halvings at t=" + std::to_string(t) +
+            " (dt=" + std::to_string(dt) + ")");
+      }
       dt *= 0.5;
       continue;
     }

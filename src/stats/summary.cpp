@@ -91,4 +91,27 @@ ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
   return {phat, std::max(0.0, center - half), std::min(1.0, center + half)};
 }
 
+const char* to_string(CensoredPolicy policy) {
+  switch (policy) {
+    case CensoredPolicy::kTreatAsFail:
+      return "treat-as-fail";
+    case CensoredPolicy::kExclude:
+      return "exclude";
+  }
+  return "unknown";
+}
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   std::size_t censored, CensoredPolicy policy,
+                                   double z) {
+  RELSIM_REQUIRE(censored <= trials,
+                 "censored samples cannot exceed trials");
+  RELSIM_REQUIRE(successes <= trials - censored,
+                 "successes cannot exceed uncensored trials");
+  const std::size_t denom = policy == CensoredPolicy::kExclude
+                                ? trials - censored
+                                : trials;
+  return wilson_interval(successes, denom, z);
+}
+
 }  // namespace relsim

@@ -52,4 +52,27 @@ struct ProportionInterval {
 ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
                                    double z = 1.959963984540054);
 
+/// How censored samples (evaluations that FAILED rather than returned a
+/// pass/fail verdict — solver aborts, non-finite metrics) enter a yield
+/// estimate. The choice is the caller's: there is no neutral default that
+/// suits both "a crash is a dead die" and "a crash is missing data".
+enum class CensoredPolicy {
+  /// Censored samples count as failures: they stay in the denominator and
+  /// never in the numerator. Conservative — yield can only drop.
+  kTreatAsFail,
+  /// Censored samples are excluded from numerator AND denominator, as if
+  /// never drawn. Unbiased IF failures are independent of the outcome.
+  kExclude,
+};
+
+const char* to_string(CensoredPolicy policy);
+
+/// Wilson interval over `trials` draws of which `censored` produced no
+/// verdict, folding the censored draws in per `policy`. `successes` counts
+/// uncensored passes only; `censored <= trials`, and under kExclude at
+/// least one uncensored trial must remain.
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   std::size_t censored, CensoredPolicy policy,
+                                   double z = 1.959963984540054);
+
 }  // namespace relsim

@@ -1,0 +1,124 @@
+#include "testing/fault_injection.h"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <optional>
+
+namespace relsim::testing {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDenseLuFactor:
+      return "dense-lu-factor";
+    case FaultSite::kSparseLuFactor:
+      return "sparse-lu-factor";
+    case FaultSite::kSparseLuRefactor:
+      return "sparse-lu-refactor";
+    case FaultSite::kNewtonConverge:
+      return "newton-converge";
+    case FaultSite::kMcEvalThrowSingular:
+      return "mc-eval-throw-singular";
+    case FaultSite::kMcEvalThrowConvergence:
+      return "mc-eval-throw-convergence";
+    case FaultSite::kMcEvalNan:
+      return "mc-eval-nan";
+    case FaultSite::kCheckpointCorrupt:
+      return "checkpoint-corrupt";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+std::atomic<bool> g_any_armed{false};
+
+namespace {
+
+constexpr int kSiteCount = static_cast<int>(FaultSite::kSiteCount);
+
+struct SiteState {
+  std::optional<FaultRule> rule;
+  std::uint64_t occurrences = 0;  ///< fire() calls since the rule was armed
+  std::uint64_t fires = 0;
+};
+
+// One mutex guards all site state. Injection is a test-time facility: the
+// fast path never reaches here, and armed runs are tolerant of a lock.
+std::mutex g_mu;
+std::array<SiteState, kSiteCount> g_sites;
+
+thread_local McSampleContext t_sample;
+
+bool any_armed_locked() {
+  return std::any_of(g_sites.begin(), g_sites.end(),
+                     [](const SiteState& s) { return s.rule.has_value(); });
+}
+
+}  // namespace
+
+bool fire_slow(FaultSite site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  SiteState& s = g_sites[static_cast<std::size_t>(site)];
+  if (!s.rule.has_value()) return false;
+  const FaultRule& rule = *s.rule;
+  ++s.occurrences;
+
+  bool hit = rule.nth > 0 && s.occurrences >= rule.nth &&
+             s.occurrences < rule.nth + rule.count;
+
+  if (!hit && t_sample.active && t_sample.attempt < rule.max_attempt) {
+    const std::size_t i = t_sample.index;
+    if (rule.sample_modulus > 0 &&
+        i % rule.sample_modulus == rule.sample_remainder) {
+      hit = true;
+    } else {
+      hit = std::find(rule.samples.begin(), rule.samples.end(), i) !=
+            rule.samples.end();
+    }
+  }
+  if (hit) ++s.fires;
+  return hit;
+}
+
+}  // namespace detail
+
+void arm(FaultSite site, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(detail::g_mu);
+  detail::SiteState& s = detail::g_sites[static_cast<std::size_t>(site)];
+  s.rule = std::move(rule);
+  s.occurrences = 0;
+  s.fires = 0;
+  detail::g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm(FaultSite site) {
+  std::lock_guard<std::mutex> lock(detail::g_mu);
+  detail::g_sites[static_cast<std::size_t>(site)].rule.reset();
+  detail::g_any_armed.store(detail::any_armed_locked(),
+                            std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(detail::g_mu);
+  for (detail::SiteState& s : detail::g_sites) s.rule.reset();
+  detail::g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t fires(FaultSite site) {
+  std::lock_guard<std::mutex> lock(detail::g_mu);
+  return detail::g_sites[static_cast<std::size_t>(site)].fires;
+}
+
+const McSampleContext& current_mc_sample() { return detail::t_sample; }
+
+ScopedMcSample::ScopedMcSample(std::size_t index, int attempt)
+    : prev_(detail::t_sample) {
+  detail::t_sample = {index, attempt, true};
+}
+
+ScopedMcSample::~ScopedMcSample() { detail::t_sample = prev_; }
+
+}  // namespace relsim::testing

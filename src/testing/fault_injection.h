@@ -1,0 +1,136 @@
+// Deterministic fault-injection harness.
+//
+// The yield claims of the paper live in the distribution tails — exactly
+// the pathological variability draws most likely to make Newton diverge or
+// a Jacobian go singular. Fault tolerance code for those paths is
+// untestable without a way to MAKE them happen on demand, reproducibly.
+// This harness provides that: named injection points compiled permanently
+// into the solver and Monte-Carlo layers (linalg LU pivots, Newton
+// convergence, McSession sample evaluation, checkpoint serialization) that
+// fire according to rules armed by tests and benches.
+//
+// Design constraints, in order:
+//  1. Near-zero cost when disarmed. fire() is a single relaxed atomic load
+//     on the hot path (the same discipline as obs/trace.h), so injection
+//     points can live inside the Newton loop and the LU factorizations
+//     without a build-time switch.
+//  2. Deterministic for any worker count. A rule can be keyed on the
+//     MONTE-CARLO SAMPLE INDEX (published thread-locally by McSession
+//     around every evaluation): sample 4317 fails no matter which worker
+//     draws it, which is what makes chaos runs bit-reproducible across
+//     1/4/8 threads. Occurrence-keyed rules ("the Nth factorization")
+//     count per site and are deterministic for single-threaded runs.
+//  3. Tests clean up after themselves. FaultScope disarms everything on
+//     destruction; a stray armed rule cannot leak into the next test.
+//
+// The injector decides only WHETHER a site fires; each site implements its
+// own fault (throw SingularMatrixError, report non-convergence, poison a
+// value with NaN, flip a checkpoint byte).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace relsim::testing {
+
+/// Compiled-in injection points. Each value names one call site (or one
+/// family of call sites) in the production libraries.
+enum class FaultSite : int {
+  kDenseLuFactor = 0,       ///< linalg: dense LU pivot goes singular
+  kSparseLuFactor,          ///< linalg: sparse LU full factorization
+  kSparseLuRefactor,        ///< linalg: sparse LU numeric refactorization
+  kNewtonConverge,          ///< spice: newton_solve reports non-convergence
+  kMcEvalThrowSingular,     ///< McSession: eval throws SingularMatrixError
+  kMcEvalThrowConvergence,  ///< McSession: eval throws ConvergenceError
+  kMcEvalNan,               ///< McSession: eval result poisoned with NaN
+  kCheckpointCorrupt,       ///< McSession: one byte of the checkpoint flips
+  kSiteCount,
+};
+
+const char* to_string(FaultSite site);
+
+/// When an armed site fires. A rule may combine both triggers; the site
+/// fires when EITHER matches.
+struct FaultRule {
+  /// Occurrence trigger: fire on occurrences [nth, nth + count) of the
+  /// site, 1-based, counted from the moment the rule was armed. 0 disables
+  /// the trigger. Deterministic for single-threaded runs only.
+  std::uint64_t nth = 0;
+  std::uint64_t count = 1;
+
+  /// Sample trigger: fire whenever the calling thread is evaluating one of
+  /// these Monte-Carlo sample indices (see ScopedMcSample). Deterministic
+  /// for ANY worker count.
+  std::vector<std::size_t> samples;
+  /// Sample trigger, arithmetic form: fire when index % modulus ==
+  /// remainder. 0 disables.
+  std::uint64_t sample_modulus = 0;
+  std::uint64_t sample_remainder = 0;
+
+  /// Sample-triggered fires happen only while the eval attempt is below
+  /// this bound. max_attempt = 1 makes the first attempt fail and every
+  /// retry succeed — the kRetryThenSkip recovery scenario.
+  int max_attempt = std::numeric_limits<int>::max();
+};
+
+/// Arms `rule` on `site`, replacing any previous rule and resetting the
+/// site's occurrence counter.
+void arm(FaultSite site, FaultRule rule);
+
+void disarm(FaultSite site);
+void disarm_all();
+
+/// How many times `site` has fired since it was last armed.
+std::uint64_t fires(FaultSite site);
+
+namespace detail {
+extern std::atomic<bool> g_any_armed;
+bool fire_slow(FaultSite site);
+}  // namespace detail
+
+/// The injection-point check. Call exactly once per potential fault; a
+/// `true` return means the site must now fail in its own way.
+inline bool fire(FaultSite site) {
+  if (!detail::g_any_armed.load(std::memory_order_relaxed)) return false;
+  return detail::fire_slow(site);
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo sample context
+
+/// What the calling thread is currently evaluating. Published by McSession
+/// so sample-keyed rules can fire deep inside the solver stack.
+struct McSampleContext {
+  std::size_t index = 0;
+  int attempt = 0;    ///< 0 = first evaluation; >0 = retry-ladder rung
+  bool active = false;
+};
+
+const McSampleContext& current_mc_sample();
+
+/// RAII publisher: sets the thread-local sample context for the duration
+/// of one evaluation, restoring the previous context on destruction.
+class ScopedMcSample {
+ public:
+  ScopedMcSample(std::size_t index, int attempt);
+  ~ScopedMcSample();
+  ScopedMcSample(const ScopedMcSample&) = delete;
+  ScopedMcSample& operator=(const ScopedMcSample&) = delete;
+
+ private:
+  McSampleContext prev_;
+};
+
+/// RAII cleanup for tests: disarms every site on destruction.
+class FaultScope {
+ public:
+  FaultScope() = default;
+  ~FaultScope() { disarm_all(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace relsim::testing

@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace relsim {
+
+namespace {
+
+/// Reflected CRC-32 table for polynomial 0xEDB88320, built once.
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = build_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(kCrc32Init, data, size));
+}
+
+}  // namespace relsim

@@ -1,0 +1,32 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for artifact integrity checks.
+//
+// Monte-Carlo checkpoints are binary files that live across process kills;
+// a truncated or bit-flipped file must be DETECTED, never parsed as valid
+// sample data (variability/mc_session.cpp). The checksum is table-driven,
+// dependency-free, and byte-order independent (it hashes the serialized
+// byte stream, not in-memory structs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace relsim {
+
+/// Incremental CRC-32: feed `crc32_update` with successive byte ranges
+/// starting from `kCrc32Init`, then finalize with `crc32_final`.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size);
+
+inline std::uint32_t crc32_final(std::uint32_t state) { return ~state; }
+
+/// One-shot CRC-32 of a byte range.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace relsim

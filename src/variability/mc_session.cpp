@@ -1,16 +1,23 @@
 #include "variability/mc_session.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/fault_injection.h"
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -26,6 +33,36 @@ const char* to_string(McStopReason reason) {
       return "threshold-passed";
     case McStopReason::kThresholdFailed:
       return "threshold-failed";
+    case McStopReason::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+const char* to_string(McFailurePolicy policy) {
+  switch (policy) {
+    case McFailurePolicy::kAbort:
+      return "abort";
+    case McFailurePolicy::kSkip:
+      return "skip";
+    case McFailurePolicy::kRetryThenSkip:
+      return "retry-then-skip";
+  }
+  return "unknown";
+}
+
+const char* to_string(McFailureKind kind) {
+  switch (kind) {
+    case McFailureKind::kNone:
+      return "none";
+    case McFailureKind::kConvergence:
+      return "convergence";
+    case McFailureKind::kSingular:
+      return "singular";
+    case McFailureKind::kNonFinite:
+      return "non-finite";
+    case McFailureKind::kOther:
+      return "other";
   }
   return "unknown";
 }
@@ -62,7 +99,12 @@ namespace {
 // resume a metric run (the stored per-sample doubles mean different things).
 enum class RunKind : std::uint64_t { kYield = 0, kMetric = 1 };
 
-constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '1'};
+// Checkpoint format v2 ("RSMCKPT2"): magic, {seed, n, kind, count} header,
+// done bitmap, per-sample failure-status bytes, per-sample attempt counts,
+// per-sample values, and a trailing CRC-32 over everything before it. A v1
+// file (no CRC, no status/attempts) fails the magic check and is handled
+// as corruption, never silently read.
+constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '2'};
 
 struct Range {
   std::size_t lo = 0;
@@ -71,43 +113,94 @@ struct Range {
   std::size_t size() const { return hi - lo; }
 };
 
-void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void append_u64(std::string& buf, std::uint64_t v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool read_u64(std::istream& is, std::uint64_t& v) {
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return bool(is);
+std::uint64_t read_u64_at(const std::string& buf, std::size_t offset) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf.data() + offset, sizeof(v));
+  return v;
 }
 
-/// Loads a checkpoint into `done`/`values`; returns the restored sample
-/// count (0 when the file does not exist). Throws when the file exists but
-/// belongs to a different request.
+std::size_t checkpoint_image_size(std::size_t n) {
+  return sizeof(kCheckpointMagic) + 4 * sizeof(std::uint64_t) +
+         (n + 7) / 8 /* bitmap */ + n /* status */ + n /* attempts */ +
+         n * sizeof(double) + sizeof(std::uint32_t) /* CRC */;
+}
+
+/// Loads a checkpoint into `done`/`values`/`status`/`attempts`; returns
+/// the restored sample count (0 when the file does not exist). A file that
+/// fails its integrity check (CRC, magic, truncation, bitmap/count
+/// disagreement) throws under kThrow or is logged + dropped under
+/// kDiscardCorrupt (`discarded` reports which happened); a file that is
+/// INTACT but belongs to a different request always throws.
 std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
                             std::size_t n, RunKind kind,
+                            McCheckpointRecovery recovery,
                             std::vector<std::uint8_t>& done,
-                            std::vector<double>& values) {
+                            std::vector<double>& values,
+                            std::vector<std::uint8_t>& status,
+                            std::vector<std::uint8_t>& attempts,
+                            bool& discarded) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return 0;
-  char magic[8] = {};
-  is.read(magic, sizeof(magic));
-  std::uint64_t f_seed = 0, f_n = 0, f_kind = 0, f_count = 0;
-  const bool header_ok = bool(is) && read_u64(is, f_seed) &&
-                         read_u64(is, f_n) && read_u64(is, f_kind) &&
-                         read_u64(is, f_count);
-  RELSIM_REQUIRE(header_ok && std::memcmp(magic, kCheckpointMagic, 8) == 0,
-                 "unreadable Monte-Carlo checkpoint: " + path);
+  std::string buf((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+
+  static obs::Counter& c_discarded =
+      obs::metrics().counter("mc.checkpoint_discarded");
+  const auto corrupt = [&](const char* what) -> std::size_t {
+    if (recovery == McCheckpointRecovery::kDiscardCorrupt) {
+      log_warn("discarding corrupt Monte-Carlo checkpoint (", what,
+               "): ", path, " — restarting from zero samples");
+      c_discarded.inc();
+      discarded = true;
+      return 0;
+    }
+    throw Error(std::string("corrupt Monte-Carlo checkpoint (") + what +
+                "): " + path);
+  };
+
+  const std::size_t header_size =
+      sizeof(kCheckpointMagic) + 4 * sizeof(std::uint64_t);
+  if (buf.size() < header_size + sizeof(std::uint32_t)) {
+    return corrupt("truncated header");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (crc32(buf.data(), buf.size() - sizeof(stored_crc)) != stored_crc) {
+    return corrupt("CRC mismatch");
+  }
+  if (std::memcmp(buf.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    return corrupt("bad magic/version");
+  }
+  std::size_t off = sizeof(kCheckpointMagic);
+  const std::uint64_t f_seed = read_u64_at(buf, off);
+  const std::uint64_t f_n = read_u64_at(buf, off + 8);
+  const std::uint64_t f_kind = read_u64_at(buf, off + 16);
+  const std::uint64_t f_count = read_u64_at(buf, off + 24);
+  off += 32;
+  if (buf.size() != checkpoint_image_size(static_cast<std::size_t>(f_n))) {
+    return corrupt("size does not match header");
+  }
   RELSIM_REQUIRE(f_seed == seed && f_n == n &&
                      f_kind == static_cast<std::uint64_t>(kind),
                  "Monte-Carlo checkpoint does not match this request "
                  "(different seed, sample count or run kind): " + path);
-  std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
-  is.read(reinterpret_cast<char*>(bitmap.data()),
-          static_cast<std::streamsize>(bitmap.size()));
-  is.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  RELSIM_REQUIRE(bool(is),
-                 "truncated Monte-Carlo checkpoint: " + path);
+
+  const std::size_t bitmap_size = (n + 7) / 8;
+  const unsigned char* bitmap =
+      reinterpret_cast<const unsigned char*>(buf.data() + off);
+  off += bitmap_size;
+  std::memcpy(status.data(), buf.data() + off, n);
+  off += n;
+  std::memcpy(attempts.data(), buf.data() + off, n);
+  off += n;
+  std::memcpy(values.data(), buf.data() + off, n * sizeof(double));
+
   std::size_t restored = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (bitmap[i / 8] & (1u << (i % 8))) {
@@ -115,41 +208,69 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
       ++restored;
     }
   }
-  RELSIM_REQUIRE(restored == f_count,
-                 "corrupt Monte-Carlo checkpoint bitmap: " + path);
+  if (restored != f_count) {
+    std::fill(done.begin(), done.end(), 0);
+    std::fill(status.begin(), status.end(), 0);
+    std::fill(attempts.begin(), attempts.end(), 0);
+    return corrupt("bitmap disagrees with header count");
+  }
   return restored;
 }
 
-/// Atomically (tmp + rename) writes the done bitmap and values.
+/// Atomically (tmp + rename) writes the bitmap, per-sample failure state
+/// and values, CRC-protected.
 void save_checkpoint(const std::string& path, std::uint64_t seed,
                      std::size_t n, RunKind kind,
                      const std::vector<std::uint8_t>& done,
-                     const std::vector<double>& values) {
+                     const std::vector<double>& values,
+                     const std::vector<std::uint8_t>& status,
+                     const std::vector<std::uint8_t>& attempts) {
+  std::string buf;
+  buf.reserve(checkpoint_image_size(n));
+  buf.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  append_u64(buf, seed);
+  append_u64(buf, static_cast<std::uint64_t>(n));
+  append_u64(buf, static_cast<std::uint64_t>(kind));
+  std::uint64_t count = 0;
+  std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i]) {
+      bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      ++count;
+    }
+  }
+  append_u64(buf, count);
+  buf.append(reinterpret_cast<const char*>(bitmap.data()), bitmap.size());
+  buf.append(reinterpret_cast<const char*>(status.data()), n);
+  buf.append(reinterpret_cast<const char*>(attempts.data()), n);
+  buf.append(reinterpret_cast<const char*>(values.data()),
+             n * sizeof(double));
+  const std::uint32_t crc = crc32(buf.data(), buf.size());
+  buf.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
-    os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-    write_u64(os, seed);
-    write_u64(os, static_cast<std::uint64_t>(n));
-    write_u64(os, static_cast<std::uint64_t>(kind));
-    std::uint64_t count = 0;
-    std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (done[i]) {
-        bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-        ++count;
-      }
-    }
-    write_u64(os, count);
-    os.write(reinterpret_cast<const char*>(bitmap.data()),
-             static_cast<std::streamsize>(bitmap.size()));
-    os.write(reinterpret_cast<const char*>(values.data()),
-             static_cast<std::streamsize>(n * sizeof(double)));
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
   }
   RELSIM_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
                  "cannot move Monte-Carlo checkpoint into place: " + path);
+
+  if (testing::fire(testing::FaultSite::kCheckpointCorrupt)) {
+    // Chaos hook: flip one byte in the middle of the file the CRC covers.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (f) {
+      const std::streamoff pos =
+          static_cast<std::streamoff>(buf.size() / 2);
+      f.seekg(pos);
+      char byte = 0;
+      f.get(byte);
+      f.seekp(pos);
+      f.put(static_cast<char>(byte ^ 0x5A));
+    }
+  }
 }
 
 /// The shared run driver. `eval(rng, index)` returns the per-sample double
@@ -174,6 +295,12 @@ McResult run_session(const McRequest& req, RunKind kind,
       obs::metrics().counter("mc.early_stops");
   static obs::Counter& c_ckpt_writes =
       obs::metrics().counter("mc.checkpoint_writes");
+  static obs::Counter& c_failed =
+      obs::metrics().counter("mc.samples_failed");
+  static obs::Counter& c_retries =
+      obs::metrics().counter("mc.sample_retries");
+  static obs::Counter& c_recovered =
+      obs::metrics().counter("mc.samples_recovered");
   static obs::Histogram& h_ckpt_seconds =
       obs::metrics().histogram("mc.checkpoint_seconds");
   static obs::Gauge& g_busy =
@@ -214,16 +341,23 @@ McResult run_session(const McRequest& req, RunKind kind,
 
   // Per-sample state. `done` marks samples restored from the checkpoint
   // (read-only during the run); workers publish finished work at range
-  // granularity through `range_done`.
+  // granularity through `range_done`. `status` holds the McFailureKind of
+  // censored samples (0 = evaluated fine), `attempts` the evaluation
+  // attempts spent; both are written only by the worker owning the sample.
   std::vector<double> values(n, 0.0);
   std::vector<std::uint8_t> done(n, 0);
+  std::vector<std::uint8_t> status(n, 0);
+  std::vector<std::uint8_t> attempts(n, 0);
   std::size_t resumed = 0;
+  bool checkpoint_discarded = false;
   if (!req.checkpoint_path.empty()) {
-    resumed = load_checkpoint(req.checkpoint_path, req.seed, n, kind, done,
-                              values);
+    resumed = load_checkpoint(req.checkpoint_path, req.seed, n, kind,
+                              req.checkpoint_recovery, done, values, status,
+                              attempts, checkpoint_discarded);
     c_restored.inc(static_cast<std::int64_t>(resumed));
   }
   result.resumed = resumed;
+  result.run.checkpoint_discarded = checkpoint_discarded;
 
   std::vector<std::atomic<std::uint8_t>> range_done(range_count);
   std::atomic<std::size_t> cursor{0};
@@ -236,8 +370,10 @@ McResult run_session(const McRequest& req, RunKind kind,
   std::size_t committed_ranges = 0;
   std::size_t committed = 0;
   std::size_t passed = 0;
+  std::size_t failed_committed = 0;
   RunningStats metric_stats;
   std::vector<McFailingSample> failing;
+  std::vector<McFailedSample> failed_records;
   bool decided = false;
   McStopReason reason = McStopReason::kCompleted;
   // Snapshot at the decision point: the early-stopped result is exactly
@@ -245,9 +381,18 @@ McResult run_session(const McRequest& req, RunKind kind,
   // may retire a few more in-flight ranges before they observe `stop`.
   std::size_t decided_completed = 0;
   std::size_t decided_passed = 0;
+  std::size_t decided_failed = 0;
   RunningStats decided_stats;
   std::vector<McFailingSample> decided_failing;
+  std::vector<McFailedSample> decided_failed_records;
   std::size_t last_checkpoint = 0;
+  // Reasons of censored samples, keyed by index; written at evaluation
+  // time (any worker), read at commit time. Failures are expected to be
+  // rare, so a shared map beats an n-sized string array.
+  std::mutex reasons_mu;
+  std::map<std::size_t, std::string> reasons;
+  std::atomic<std::size_t> retried_total{0};
+  std::atomic<std::size_t> recovered_total{0};
   std::size_t last_progress = 0;
   const std::size_t progress_every =
       req.progress_every > 0 ? req.progress_every
@@ -266,7 +411,8 @@ McResult run_session(const McRequest& req, RunKind kind,
         }
       }
     }
-    save_checkpoint(req.checkpoint_path, req.seed, n, kind, snapshot, values);
+    save_checkpoint(req.checkpoint_path, req.seed, n, kind, snapshot, values,
+                    status, attempts);
     c_ckpt_writes.inc();
     h_ckpt_seconds.observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -281,8 +427,16 @@ McResult run_session(const McRequest& req, RunKind kind,
     c_stop_checks.inc();
     McStopReason fired = McStopReason::kCompleted;
     if (yield_kind) {
+      // Censored samples enter the decision exactly as they enter the
+      // final estimate. Under kExclude a fully-censored prefix carries no
+      // information: no decision until an uncensored sample commits.
+      if (req.censored == CensoredPolicy::kExclude &&
+          committed == failed_committed) {
+        return;
+      }
       const ProportionInterval iv =
-          wilson_interval(passed, committed, req.stopping.confidence_z);
+          wilson_interval(passed, committed, failed_committed, req.censored,
+                          req.stopping.confidence_z);
       const double half = 0.5 * (iv.hi - iv.lo);
       if (req.stopping.ci_half_width > 0.0 &&
           half <= req.stopping.ci_half_width) {
@@ -307,8 +461,10 @@ McResult run_session(const McRequest& req, RunKind kind,
     reason = fired;
     decided_completed = committed;
     decided_passed = passed;
+    decided_failed = failed_committed;
     decided_stats = metric_stats;
     decided_failing = failing;
+    decided_failed_records = failed_records;
     stop.store(true, std::memory_order_relaxed);
   };
 
@@ -321,6 +477,29 @@ McResult run_session(const McRequest& req, RunKind kind,
       const Range g = ranges[committed_ranges];
       for (std::size_t i = g.lo; i < g.hi; ++i) {
         const double v = values[i];
+        if (status[i] != 0) {
+          // Censored: the evaluation itself failed. Folded in per the
+          // censored policy; the record list is capped but the count
+          // is not.
+          ++failed_committed;
+          c_failed.inc();
+          if (failed_records.size() < req.keep_failed_samples) {
+            std::string why;
+            {
+              std::lock_guard<std::mutex> rlock(reasons_mu);
+              const auto it = reasons.find(i);
+              if (it != reasons.end()) why = it->second;
+            }
+            failed_records.push_back(
+                {i, derive_seed(req.seed, {static_cast<std::uint64_t>(i)}),
+                 static_cast<McFailureKind>(status[i]),
+                 static_cast<int>(attempts[i]), std::move(why)});
+          }
+          if (yield_kind && req.censored == CensoredPolicy::kTreatAsFail) {
+            metric_stats.add(0.0);
+          }
+          continue;
+        }
         if (yield_kind) {
           if (v != 0.0) {
             ++passed;
@@ -356,6 +535,84 @@ McResult run_session(const McRequest& req, RunKind kind,
     }
   };
 
+  // Evaluates sample i under the failure policy. Everything here is a
+  // function of the sample index alone (derived seed, attempt numbering,
+  // fault-rule matching via the published McSampleContext), so the outcome
+  // — value or censoring — is identical for ANY worker count.
+  const int max_attempts =
+      req.failure_policy == McFailurePolicy::kRetryThenSkip
+          ? 1 + std::max(0, req.max_retries)
+          : 1;
+  auto evaluate_sample = [&](std::size_t i) {
+    const std::uint64_t sample_seed =
+        derive_seed(req.seed, {static_cast<std::uint64_t>(i)});
+    for (int attempt = 0;; ++attempt) {
+      McFailureKind fail_kind = McFailureKind::kNone;
+      std::string why;
+      const testing::ScopedMcSample scope(i, attempt);
+      try {
+        if (testing::fire(testing::FaultSite::kMcEvalThrowSingular)) {
+          throw SingularMatrixError(
+              "injected: singular matrix during sample evaluation");
+        }
+        if (testing::fire(testing::FaultSite::kMcEvalThrowConvergence)) {
+          throw ConvergenceError(
+              "injected: sample evaluation did not converge");
+        }
+        Xoshiro256 rng(sample_seed);  // fresh stream on every attempt
+        double v = eval(rng, i);
+        if (testing::fire(testing::FaultSite::kMcEvalNan)) {
+          v = std::numeric_limits<double>::quiet_NaN();
+        }
+        if (std::isfinite(v) ||
+            req.failure_policy == McFailurePolicy::kAbort) {
+          // kAbort lets non-finite values flow through untouched: that is
+          // the legacy behaviour the policy exists to preserve.
+          values[i] = v;
+          attempts[i] = static_cast<std::uint8_t>(
+              std::min(attempt + 1, 255));
+          if (attempt > 0) {
+            c_recovered.inc();
+            recovered_total.fetch_add(1, std::memory_order_relaxed);
+          }
+          return;
+        }
+        fail_kind = McFailureKind::kNonFinite;
+        why = "evaluation returned a non-finite value";
+      } catch (const SingularMatrixError& e) {
+        if (req.failure_policy == McFailurePolicy::kAbort) throw;
+        fail_kind = McFailureKind::kSingular;
+        why = e.what();
+      } catch (const ConvergenceError& e) {
+        if (req.failure_policy == McFailurePolicy::kAbort) throw;
+        fail_kind = McFailureKind::kConvergence;
+        why = e.what();
+      } catch (const std::exception& e) {
+        if (req.failure_policy == McFailurePolicy::kAbort) throw;
+        fail_kind = McFailureKind::kOther;
+        why = e.what();
+      } catch (...) {
+        if (req.failure_policy == McFailurePolicy::kAbort) throw;
+        fail_kind = McFailureKind::kOther;
+        why = "unknown non-standard exception";
+      }
+      if (attempt + 1 < max_attempts) {
+        c_retries.inc();
+        retried_total.fetch_add(1, std::memory_order_relaxed);
+        obs::trace_instant("mc.sample_retry", "index",
+                           static_cast<double>(i));
+        continue;
+      }
+      status[i] = static_cast<std::uint8_t>(fail_kind);
+      attempts[i] = static_cast<std::uint8_t>(std::min(attempt + 1, 255));
+      values[i] = yield_kind ? 0.0
+                             : std::numeric_limits<double>::quiet_NaN();
+      std::lock_guard<std::mutex> rlock(reasons_mu);
+      reasons.emplace(i, std::move(why));
+      return;
+    }
+  };
+
   std::vector<McWorkerTelemetry> telemetry(workers);
   std::vector<std::exception_ptr> errors(workers);
 
@@ -388,9 +645,7 @@ McResult run_session(const McRequest& req, RunKind kind,
           if (!done[i]) {
             const obs::TraceSpan sample_span("mc.sample", "index",
                                              static_cast<double>(i));
-            Xoshiro256 rng(
-                derive_seed(req.seed, {static_cast<std::uint64_t>(i)}));
-            values[i] = eval(rng, i);
+            evaluate_sample(i);
             ++evaluated;
           }
           ++tel.samples;
@@ -428,23 +683,48 @@ McResult run_session(const McRequest& req, RunKind kind,
   // Persist whatever finished — on success, on early stop AND on failure,
   // so a killed run never redoes committed work.
   if (!req.checkpoint_path.empty()) snapshot_checkpoint();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  // EVERY worker exception lands in the telemetry (and so the manifest),
+  // not just the one that gets rethrown: a run that died on four workers
+  // at once used to report one error and lose the other three.
+  std::exception_ptr first_error;
+  for (unsigned w = 0; w < workers; ++w) {
+    if (!errors[w]) continue;
+    if (!first_error) first_error = errors[w];
+    try {
+      std::rethrow_exception(errors[w]);
+    } catch (const std::exception& e) {
+      result.run.worker_errors.push_back({w, e.what()});
+    } catch (...) {
+      result.run.worker_errors.push_back({w, "unknown non-standard exception"});
+    }
   }
 
-  const bool early = decided;
+  const bool early = decided && !first_error;
   result.completed = early ? decided_completed : committed;
-  result.run.stop_reason = early ? reason : McStopReason::kCompleted;
+  result.run.stop_reason = first_error
+                               ? McStopReason::kAborted
+                               : (early ? reason : McStopReason::kCompleted);
   result.run.failing_samples = early ? std::move(decided_failing)
                                      : std::move(failing);
+  result.run.failed_samples = early ? std::move(decided_failed_records)
+                                    : std::move(failed_records);
+  result.run.failed_total = early ? decided_failed : failed_committed;
+  result.run.retried_total = retried_total.load(std::memory_order_relaxed);
+  result.run.recovered_total =
+      recovered_total.load(std::memory_order_relaxed);
   result.metric = early ? decided_stats : metric_stats;
   const std::size_t final_passed = early ? decided_passed : passed;
+  const std::size_t final_failed = result.run.failed_total;
   if (yield_kind) {
     result.estimate.passed = final_passed;
-    result.estimate.total = result.completed;
-    if (result.completed > 0) {
-      result.estimate.interval =
-          wilson_interval(final_passed, result.completed);
+    result.estimate.censored = final_failed;
+    result.estimate.total = req.censored == CensoredPolicy::kExclude
+                                ? result.completed - final_failed
+                                : result.completed;
+    if (result.estimate.total > 0) {
+      result.estimate.interval = wilson_interval(
+          final_passed, result.completed, final_failed, req.censored);
     }
   }
   if (!yield_kind || req.keep_values) {
@@ -457,6 +737,8 @@ McResult run_session(const McRequest& req, RunKind kind,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
 
+  // The manifest is written even for an aborted run — that is when the
+  // worker_errors section matters most — BEFORE the rethrow below.
   if (!req.manifest_path.empty()) {
     mc_manifest(req, result).write(req.manifest_path);
   }
@@ -466,6 +748,7 @@ McResult run_session(const McRequest& req, RunKind kind,
       path != nullptr && *path != '\0') {
     obs::write_metrics_json(path);
   }
+  if (first_error) std::rethrow_exception(first_error);
   return result;
 }
 
@@ -481,14 +764,22 @@ obs::RunManifest mc_manifest(const McRequest& req, const McResult& result) {
   m.chunk = req.chunk;
   m.partition = req.partition == McPartition::kWorkStealing ? "work-stealing"
                                                             : "static-blocks";
+  m.failure_policy = to_string(req.failure_policy);
+  m.censored_policy = to_string(req.censored);
   m.requested = result.requested;
   m.completed = result.completed;
   m.resumed = result.resumed;
   m.stop_reason = to_string(result.stop_reason());
   m.elapsed_seconds = result.elapsed_seconds();
+  m.failed = result.run.failed_total;
+  m.retried = result.run.retried_total;
+  m.recovered = result.run.recovered_total;
+  m.checkpoint_discarded = result.run.checkpoint_discarded;
   if (result.estimate.total > 0) {
     m.has_estimate = true;
     m.passed = result.estimate.passed;
+    m.estimate_total = result.estimate.total;
+    m.censored = result.estimate.censored;
     m.yield = result.estimate.yield();
     m.yield_lo = result.estimate.interval.lo;
     m.yield_hi = result.estimate.interval.hi;
@@ -500,6 +791,15 @@ obs::RunManifest mc_manifest(const McRequest& req, const McResult& result) {
   m.failing_samples.reserve(result.failing_samples().size());
   for (const McFailingSample& f : result.failing_samples()) {
     m.failing_samples.push_back({f.index, f.seed});
+  }
+  m.failed_samples.reserve(result.failed_samples().size());
+  for (const McFailedSample& f : result.failed_samples()) {
+    m.failed_samples.push_back(
+        {f.index, f.seed, to_string(f.kind), f.attempts, f.reason});
+  }
+  m.worker_errors.reserve(result.run.worker_errors.size());
+  for (const McWorkerError& e : result.run.worker_errors) {
+    m.worker_errors.push_back({e.worker, e.message});
   }
   m.metrics = obs::metrics().snapshot();
   return m;

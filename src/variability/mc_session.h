@@ -41,7 +41,12 @@ namespace relsim {
 
 struct YieldEstimate {
   std::size_t passed = 0;
+  /// Denominator of the estimate. Under CensoredPolicy::kTreatAsFail this
+  /// includes the censored samples; under kExclude it does not.
   std::size_t total = 0;
+  /// Samples whose evaluation FAILED (no pass/fail verdict), folded into
+  /// the interval per the request's censored policy.
+  std::size_t censored = 0;
   ProportionInterval interval{0.0, 0.0, 0.0};
 
   double yield() const { return interval.estimate; }
@@ -81,9 +86,50 @@ enum class McStopReason {
   kCiTarget,         ///< confidence-interval half-width target reached
   kThresholdPassed,  ///< yield decided above the spec threshold
   kThresholdFailed,  ///< yield decided below the spec threshold
+  kAborted,          ///< a worker exception ended the run (kAbort policy)
 };
 
 const char* to_string(McStopReason reason);
+
+/// What to do when evaluating ONE sample throws (or, for metric runs,
+/// returns a non-finite value).
+enum class McFailurePolicy {
+  /// Stop the run and rethrow on the caller's thread — the exact legacy
+  /// behaviour, and the default. Committed progress is checkpointed and
+  /// (new) the manifest is still written with every worker error in it.
+  kAbort,
+  /// Record the failure (index, replay seed, kind, reason) and keep going;
+  /// the sample is carried as *censored* into the yield statistics.
+  kSkip,
+  /// Re-evaluate the sample up to McRequest::max_retries more times (fresh
+  /// RNG, same derived seed, attempt number published to the fault-injection
+  /// context and to the solver escalation hooks), then skip as above.
+  kRetryThenSkip,
+};
+
+const char* to_string(McFailurePolicy policy);
+
+/// Failure classification of a censored sample, derived from the exception
+/// type that ended its last evaluation attempt.
+enum class McFailureKind : std::uint8_t {
+  kNone = 0,
+  kConvergence = 1,  ///< relsim::ConvergenceError
+  kSingular = 2,     ///< relsim::SingularMatrixError
+  kNonFinite = 3,    ///< the evaluation returned NaN/±Inf
+  kOther = 4,        ///< any other std::exception (or unknown throw)
+};
+
+const char* to_string(McFailureKind kind);
+
+/// How a checkpoint that fails its integrity check (bad magic/version, CRC
+/// mismatch, truncation, bitmap/count disagreement) is handled on load.
+/// A checkpoint whose header does not match the request (different seed,
+/// sample count or run kind) always throws: that is a caller error, not
+/// data corruption.
+enum class McCheckpointRecovery {
+  kThrow,           ///< refuse to run (default)
+  kDiscardCorrupt,  ///< warn, delete nothing, restart from zero samples
+};
 
 struct McProgress {
   std::size_t completed = 0;  ///< committed samples so far
@@ -100,13 +146,30 @@ struct McRequest {
   std::size_t chunk = 32;  ///< samples per work-stealing chunk
   McPartition partition = McPartition::kWorkStealing;
   McStoppingRule stopping;
+  /// What to do when a sample evaluation throws. kAbort reproduces the
+  /// legacy stop-and-rethrow behaviour bit-for-bit; kSkip/kRetryThenSkip
+  /// censor the sample and keep the run alive. Surviving samples are
+  /// bit-identical across policies and worker counts.
+  McFailurePolicy failure_policy = McFailurePolicy::kAbort;
+  /// Extra evaluation attempts per sample under kRetryThenSkip.
+  int max_retries = 2;
+  /// How censored samples enter the yield estimate and the early-stopping
+  /// decisions (see stats/summary.h).
+  CensoredPolicy censored = CensoredPolicy::kTreatAsFail;
+  /// Full failure records (kind, attempts, reason) kept in McResult for
+  /// the first K censored samples in index order; the TOTAL count is
+  /// always reported in run.failed_total even when the list is capped.
+  std::size_t keep_failed_samples = 256;
   /// Non-empty enables checkpointing: progress is serialized here every
   /// `checkpoint_every` committed samples (atomically: tmp file + rename)
   /// and once more when the run ends or a worker throws. An existing file
   /// written for the same {seed, n, run kind} is loaded before the run and
-  /// its samples are not re-evaluated; a mismatched file throws.
+  /// its samples are not re-evaluated; a mismatched file throws. Integrity
+  /// is protected by a CRC-32 over the whole image; what happens when the
+  /// check fails is `checkpoint_recovery`'s call.
   std::string checkpoint_path;
   std::size_t checkpoint_every = 4096;
+  McCheckpointRecovery checkpoint_recovery = McCheckpointRecovery::kThrow;
   /// Seeds of the first K failing samples (index order) kept for replay.
   std::size_t keep_failing_seeds = 8;
   /// Retain the per-sample 0/1 outcomes of a yield run in McResult::values
@@ -129,6 +192,22 @@ struct McFailingSample {
   std::uint64_t seed = 0;
 };
 
+/// A censored sample: its evaluation failed (every attempt) under
+/// kSkip/kRetryThenSkip. `seed` replays it in isolation.
+struct McFailedSample {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  McFailureKind kind = McFailureKind::kNone;
+  int attempts = 0;     ///< evaluation attempts spent (>= 1)
+  std::string reason;   ///< what() of the last attempt's exception
+};
+
+/// One worker exception of an aborted run.
+struct McWorkerError {
+  unsigned worker = 0;
+  std::string message;
+};
+
 struct McWorkerTelemetry {
   unsigned worker = 0;
   std::size_t samples = 0;  ///< samples this worker evaluated or replayed
@@ -144,6 +223,15 @@ struct McRunTelemetry {
   std::string kind;      ///< "yield" | "metric"
   unsigned threads = 0;  ///< resolved worker count actually used
   std::vector<McFailingSample> failing_samples;
+  /// First keep_failed_samples censored samples, in index order.
+  std::vector<McFailedSample> failed_samples;
+  std::size_t failed_total = 0;     ///< ALL censored samples (list is capped)
+  std::size_t retried_total = 0;    ///< retry attempts spent (all samples)
+  std::size_t recovered_total = 0;  ///< samples that succeeded on a retry
+  /// All worker exceptions of an aborted run (kAbort), recorded in the
+  /// manifest before the first one is rethrown.
+  std::vector<McWorkerError> worker_errors;
+  bool checkpoint_discarded = false;  ///< a corrupt checkpoint was dropped
   std::vector<McWorkerTelemetry> workers;
   double elapsed_seconds = 0.0;
 };
@@ -156,6 +244,8 @@ struct McResult {
   RunningStats metric;
   /// Per-sample outcomes for samples [0, completed): metric values, or 0/1
   /// pass flags when McRequest::keep_values was set on a yield run.
+  /// Censored samples hold NaN in metric runs (JSON renders them null) and
+  /// 0 in yield runs; run.failed_samples says which indices those are.
   std::vector<double> values;
   std::size_t requested = 0;  ///< McRequest::n
   std::size_t completed = 0;  ///< samples covered by estimate/metric
@@ -167,6 +257,9 @@ struct McResult {
   McStopReason stop_reason() const { return run.stop_reason; }
   const std::vector<McFailingSample>& failing_samples() const {
     return run.failing_samples;
+  }
+  const std::vector<McFailedSample>& failed_samples() const {
+    return run.failed_samples;
   }
   const std::vector<McWorkerTelemetry>& workers() const {
     return run.workers;
@@ -186,10 +279,14 @@ using McMetric = std::function<double(Xoshiro256&, std::size_t)>;
 ///
 /// The evaluation function must be safe to call concurrently on DISTINCT
 /// sample indices (true for anything that builds its circuit per sample);
-/// it is never called twice for the same index within a run. Exceptions
-/// thrown by it stop the run, are rethrown on the caller's thread, and —
-/// when checkpointing is enabled — committed progress is saved first, so
-/// a crashed run resumes without redoing finished work.
+/// within one run it is only ever re-invoked for the same index by the
+/// kRetryThenSkip retry ladder. What an exception from it does is the
+/// failure policy's call: under kAbort (default) the run stops, progress
+/// is checkpointed, every worker error lands in the manifest and the first
+/// is rethrown on the caller's thread; under kSkip/kRetryThenSkip the
+/// sample is censored and the run continues — surviving-sample results are
+/// bit-identical to a run where the failed samples never existed, for any
+/// worker count.
 class McSession {
  public:
   explicit McSession(McRequest request) : request_(std::move(request)) {}

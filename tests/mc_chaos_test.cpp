@@ -1,0 +1,456 @@
+// Chaos contracts of the fault-tolerant Monte-Carlo layer
+// (variability/mc_session.h + testing/fault_injection.h):
+//  * a 1000-sample run with injected singular pivots, non-convergence,
+//    NaN metrics AND checkpoint corruption completes under kSkip /
+//    kRetryThenSkip, with surviving-sample values bit-identical across
+//    1/4/8 workers and to a fault-free run of the surviving indices;
+//  * failed samples carry index, replay seed, failure kind, attempt count
+//    and reason into McResult and the run manifest;
+//  * kRetryThenSkip recovers samples whose fault clears on a retry and
+//    reports the retry/recovery totals;
+//  * kAbort reproduces the legacy stop-and-rethrow behaviour, now with
+//    EVERY worker error recorded in the manifest before the rethrow;
+//  * censored samples enter the yield statistics per CensoredPolicy;
+//  * a truncated or bit-flipped checkpoint is detected via CRC-32 and
+//    either throws (kThrow) or restarts cleanly (kDiscardCorrupt) —
+//    never read as valid data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/summary.h"
+#include "testing/fault_injection.h"
+#include "util/error.h"
+#include "variability/mc_session.h"
+
+namespace relsim {
+namespace {
+
+using testing::FaultRule;
+using testing::FaultScope;
+using testing::FaultSite;
+
+McRequest chaos_request(std::uint64_t seed, std::size_t n, unsigned threads) {
+  McRequest req;
+  req.seed = seed;
+  req.n = n;
+  req.threads = threads;
+  req.chunk = 16;
+  return req;
+}
+
+double smooth_metric(Xoshiro256& rng, std::size_t) {
+  return 1.0 + 0.25 * rng.uniform01();
+}
+
+bool biased_pass(Xoshiro256& rng, std::size_t) {
+  return rng.uniform01() < 0.75;
+}
+
+/// Arms the three per-sample fault kinds on disjoint residue classes:
+/// singular on i % 13 == 3, non-convergence on i % 17 == 5, NaN on
+/// i % 19 == 7. `max_attempt` bounds the attempts that fail (INT_MAX =
+/// every attempt, 1 = only the first).
+void arm_sample_faults(int max_attempt) {
+  FaultRule singular;
+  singular.sample_modulus = 13;
+  singular.sample_remainder = 3;
+  singular.max_attempt = max_attempt;
+  testing::arm(FaultSite::kMcEvalThrowSingular, singular);
+
+  FaultRule nonconv;
+  nonconv.sample_modulus = 17;
+  nonconv.sample_remainder = 5;
+  nonconv.max_attempt = max_attempt;
+  testing::arm(FaultSite::kMcEvalThrowConvergence, nonconv);
+
+  FaultRule nan;
+  nan.sample_modulus = 19;
+  nan.sample_remainder = 7;
+  nan.max_attempt = max_attempt;
+  testing::arm(FaultSite::kMcEvalNan, nan);
+}
+
+std::set<std::size_t> expected_failed_indices(std::size_t n) {
+  std::set<std::size_t> failed;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 13 == 3 || i % 17 == 5 || i % 19 == 7) failed.insert(i);
+  }
+  return failed;
+}
+
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Element-wise equality where censored NaN entries compare equal (IEEE
+/// NaN != NaN would otherwise hide that two runs agree).
+void expect_same_values(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+    EXPECT_EQ(a[i], b[i]) << "sample " << i;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: 1000 samples, every fault kind, kSkip.
+
+TEST(McChaosTest, SkipSurvivesAllFaultKindsBitIdenticalAcrossWorkerCounts) {
+  const std::size_t n = 1000;
+  const std::set<std::size_t> expect_failed = expected_failed_indices(n);
+  ASSERT_FALSE(expect_failed.empty());
+
+  std::vector<McResult> results;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    FaultScope scope;
+    arm_sample_faults(std::numeric_limits<int>::max());
+    McRequest req = chaos_request(99, n, threads);
+    req.failure_policy = McFailurePolicy::kSkip;
+    results.push_back(McSession(req).run_metric(smooth_metric));
+  }
+
+  // Fault-free reference for the surviving values.
+  const McResult clean =
+      McSession(chaos_request(99, n, 4)).run_metric(smooth_metric);
+
+  for (const McResult& r : results) {
+    EXPECT_EQ(r.completed, n);
+    EXPECT_EQ(r.stop_reason(), McStopReason::kCompleted);
+    EXPECT_EQ(r.run.failed_total, expect_failed.size());
+    ASSERT_EQ(r.values.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (expect_failed.count(i)) {
+        EXPECT_TRUE(std::isnan(r.values[i])) << "sample " << i;
+      } else {
+        // Bit-identical to the fault-free evaluation of the same sample.
+        EXPECT_EQ(r.values[i], clean.values[i]) << "sample " << i;
+      }
+    }
+    // The failure records are index-ordered and carry replay seeds and
+    // classified kinds.
+    ASSERT_EQ(r.failed_samples().size(), expect_failed.size());
+    std::size_t k = 0;
+    for (const std::size_t i : expect_failed) {
+      const McFailedSample& f = r.failed_samples()[k++];
+      EXPECT_EQ(f.index, i);
+      EXPECT_EQ(f.seed, derive_seed(99, {static_cast<std::uint64_t>(i)}));
+      EXPECT_EQ(f.attempts, 1);
+      const McFailureKind want = i % 13 == 3 ? McFailureKind::kSingular
+                                 : i % 17 == 5 ? McFailureKind::kConvergence
+                                               : McFailureKind::kNonFinite;
+      EXPECT_EQ(f.kind, want) << "sample " << i;
+      EXPECT_FALSE(f.reason.empty());
+    }
+  }
+
+  // Every worker count produced the identical result.
+  for (std::size_t w = 1; w < results.size(); ++w) {
+    expect_same_values(results[w].values, results[0].values);
+    EXPECT_EQ(results[w].metric.count(), results[0].metric.count());
+    EXPECT_EQ(results[w].metric.mean(), results[0].metric.mean());
+    EXPECT_EQ(results[w].run.failed_total, results[0].run.failed_total);
+  }
+
+  // Censored samples never enter the metric moments.
+  EXPECT_EQ(results[0].metric.count(), n - expect_failed.size());
+}
+
+TEST(McChaosTest, RetryThenSkipRecoversTransientFaults) {
+  const std::size_t n = 1000;
+  const std::set<std::size_t> faulted = expected_failed_indices(n);
+
+  std::vector<McResult> results;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    FaultScope scope;
+    arm_sample_faults(/*max_attempt=*/1);  // only the first attempt fails
+    McRequest req = chaos_request(7, n, threads);
+    req.failure_policy = McFailurePolicy::kRetryThenSkip;
+    req.max_retries = 2;
+    results.push_back(McSession(req).run_metric(smooth_metric));
+  }
+  const McResult clean =
+      McSession(chaos_request(7, n, 4)).run_metric(smooth_metric);
+
+  for (const McResult& r : results) {
+    // Every fault was transient: the retry (fresh RNG, same derived seed)
+    // recovered every sample, so NOTHING is censored and the run equals
+    // the fault-free run bit for bit.
+    EXPECT_EQ(r.run.failed_total, 0u);
+    EXPECT_EQ(r.run.recovered_total, faulted.size());
+    EXPECT_EQ(r.run.retried_total, faulted.size());
+    EXPECT_EQ(r.values, clean.values);
+    EXPECT_EQ(r.metric.mean(), clean.metric.mean());
+  }
+}
+
+TEST(McChaosTest, RetryLadderExhaustionRecordsAttemptCount) {
+  FaultScope scope;
+  FaultRule rule;
+  rule.samples = {5};
+  testing::arm(FaultSite::kMcEvalThrowConvergence, rule);
+
+  McRequest req = chaos_request(3, 32, 2);
+  req.failure_policy = McFailurePolicy::kRetryThenSkip;
+  req.max_retries = 3;
+  const McResult r = McSession(req).run_metric(smooth_metric);
+
+  EXPECT_EQ(r.run.failed_total, 1u);
+  EXPECT_EQ(r.run.recovered_total, 0u);
+  EXPECT_EQ(r.run.retried_total, 3u);
+  ASSERT_EQ(r.failed_samples().size(), 1u);
+  EXPECT_EQ(r.failed_samples()[0].index, 5u);
+  EXPECT_EQ(r.failed_samples()[0].attempts, 4);  // 1 try + 3 retries
+  EXPECT_EQ(r.failed_samples()[0].kind, McFailureKind::kConvergence);
+}
+
+// ---------------------------------------------------------------------------
+// kAbort: the legacy behaviour, plus full error reporting.
+
+TEST(McChaosTest, AbortRethrowsAndRecordsWorkerErrorsInManifest) {
+  ScratchFile manifest("mc_chaos_abort.manifest.json");
+  FaultScope scope;
+  FaultRule rule;
+  rule.samples = {11};
+  testing::arm(FaultSite::kMcEvalThrowSingular, rule);
+
+  McRequest req = chaos_request(5, 256, 2);
+  req.manifest_path = manifest.path();
+  EXPECT_THROW(McSession(req).run_metric(smooth_metric),
+               SingularMatrixError);
+
+  const std::string doc = slurp(manifest.path());
+  EXPECT_NE(doc.find("\"stop_reason\": \"aborted\""), std::string::npos);
+  EXPECT_NE(doc.find("worker_errors"), std::string::npos);
+  EXPECT_NE(doc.find("injected: singular matrix"), std::string::npos);
+}
+
+TEST(McChaosTest, AbortIsBitIdenticalToLegacyOnFaultFreeRuns) {
+  // Default-policy runs with no armed faults must not change at all.
+  McRequest req = chaos_request(21, 500, 4);
+  req.keep_values = true;
+  const McResult a = McSession(req).run_yield(biased_pass);
+  EXPECT_EQ(a.run.failed_total, 0u);
+  EXPECT_EQ(a.run.retried_total, 0u);
+  EXPECT_EQ(a.estimate.censored, 0u);
+  EXPECT_EQ(a.estimate.total, a.completed);
+
+  req.failure_policy = McFailurePolicy::kSkip;
+  const McResult b = McSession(req).run_yield(biased_pass);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.estimate.passed, b.estimate.passed);
+  EXPECT_EQ(a.estimate.interval.lo, b.estimate.interval.lo);
+}
+
+// ---------------------------------------------------------------------------
+// Censored yield statistics.
+
+TEST(McChaosTest, CensoredPolicyShapesYieldDenominator) {
+  const std::size_t n = 400;
+  auto run_with = [&](CensoredPolicy policy) {
+    FaultScope scope;
+    FaultRule rule;
+    rule.sample_modulus = 10;
+    rule.sample_remainder = 1;  // 40 of 400 censored
+    testing::arm(FaultSite::kMcEvalThrowConvergence, rule);
+    McRequest req = chaos_request(77, n, 4);
+    req.failure_policy = McFailurePolicy::kSkip;
+    req.censored = policy;
+    return McSession(req).run_yield(biased_pass);
+  };
+
+  const McResult fail = run_with(CensoredPolicy::kTreatAsFail);
+  const McResult excl = run_with(CensoredPolicy::kExclude);
+
+  EXPECT_EQ(fail.estimate.censored, 40u);
+  EXPECT_EQ(excl.estimate.censored, 40u);
+  EXPECT_EQ(fail.estimate.passed, excl.estimate.passed);
+  EXPECT_EQ(fail.estimate.total, n);
+  EXPECT_EQ(excl.estimate.total, n - 40);
+  // The intervals match the censored wilson_interval overload exactly.
+  const ProportionInterval want_fail = wilson_interval(
+      fail.estimate.passed, n, 40, CensoredPolicy::kTreatAsFail);
+  const ProportionInterval want_excl = wilson_interval(
+      excl.estimate.passed, n, 40, CensoredPolicy::kExclude);
+  EXPECT_EQ(fail.estimate.interval.estimate, want_fail.estimate);
+  EXPECT_EQ(excl.estimate.interval.estimate, want_excl.estimate);
+  EXPECT_GT(excl.estimate.yield(), fail.estimate.yield());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint integrity.
+
+TEST(McChaosTest, CorruptedCheckpointIsDetectedAndHandledPerPolicy) {
+  ScratchFile ckpt("mc_chaos_corrupt.ckpt");
+  McRequest req = chaos_request(13, 300, 2);
+  req.checkpoint_path = ckpt.path();
+
+  {
+    // The fault site flips one byte of the image AFTER the (valid) file is
+    // written — a model of on-disk rot.
+    FaultScope scope;
+    FaultRule rule;
+    rule.nth = 1;
+    testing::arm(FaultSite::kCheckpointCorrupt, rule);
+    McSession(req).run_metric(smooth_metric);
+    EXPECT_EQ(testing::fires(FaultSite::kCheckpointCorrupt), 1u);
+  }
+
+  // kThrow (default): the CRC mismatch is an error, never valid data.
+  EXPECT_THROW(McSession(req).run_metric(smooth_metric), Error);
+
+  // kDiscardCorrupt: logged, dropped, restarted — and the restarted run
+  // equals a fresh one bit for bit.
+  req.checkpoint_recovery = McCheckpointRecovery::kDiscardCorrupt;
+  const McResult recovered = McSession(req).run_metric(smooth_metric);
+  EXPECT_EQ(recovered.resumed, 0u);
+  EXPECT_TRUE(recovered.run.checkpoint_discarded);
+
+  McRequest fresh = chaos_request(13, 300, 2);
+  const McResult clean = McSession(fresh).run_metric(smooth_metric);
+  EXPECT_EQ(recovered.values, clean.values);
+  EXPECT_EQ(recovered.metric.mean(), clean.metric.mean());
+}
+
+TEST(McChaosTest, TruncatedCheckpointIsDetected) {
+  ScratchFile ckpt("mc_chaos_truncated.ckpt");
+  McRequest req = chaos_request(17, 200, 2);
+  req.checkpoint_path = ckpt.path();
+  McSession(req).run_metric(smooth_metric);
+
+  // Truncate the file to half its size.
+  const std::string full = slurp(ckpt.path());
+  ASSERT_GT(full.size(), 16u);
+  {
+    std::ofstream os(ckpt.path(), std::ios::binary | std::ios::trunc);
+    os.write(full.data(), static_cast<std::streamsize>(full.size() / 2));
+  }
+  EXPECT_THROW(McSession(req).run_metric(smooth_metric), Error);
+
+  req.checkpoint_recovery = McCheckpointRecovery::kDiscardCorrupt;
+  const McResult r = McSession(req).run_metric(smooth_metric);
+  EXPECT_EQ(r.resumed, 0u);
+  EXPECT_TRUE(r.run.checkpoint_discarded);
+}
+
+TEST(McChaosTest, MismatchedCheckpointStillThrowsUnderDiscardCorrupt) {
+  // An INTACT checkpoint for a different request is a caller error, not
+  // corruption: kDiscardCorrupt must not silently swallow it.
+  ScratchFile ckpt("mc_chaos_mismatch.ckpt");
+  McRequest req = chaos_request(19, 100, 2);
+  req.checkpoint_path = ckpt.path();
+  McSession(req).run_metric(smooth_metric);
+
+  McRequest other = chaos_request(20, 100, 2);  // different seed
+  other.checkpoint_path = ckpt.path();
+  other.checkpoint_recovery = McCheckpointRecovery::kDiscardCorrupt;
+  EXPECT_THROW(McSession(other).run_metric(smooth_metric), Error);
+}
+
+TEST(McChaosTest, FailureStateSurvivesCheckpointResume) {
+  // Kill a chaos run partway (via early-stop-free two-phase trick: run
+  // once with a checkpoint, then resume with faults disarmed) and check
+  // that censored samples are NOT re-evaluated and keep their records.
+  ScratchFile ckpt("mc_chaos_resume.ckpt");
+  const std::size_t n = 500;
+  McRequest req = chaos_request(23, n, 2);
+  req.checkpoint_path = ckpt.path();
+  req.failure_policy = McFailurePolicy::kSkip;
+
+  McResult first;
+  {
+    FaultScope scope;
+    arm_sample_faults(std::numeric_limits<int>::max());
+    first = McSession(req).run_metric(smooth_metric);
+  }
+  ASSERT_GT(first.run.failed_total, 0u);
+
+  // Resume the finished run with NO faults armed: everything restores from
+  // the checkpoint, so the failure kinds/attempts must come from the file.
+  const McResult resumed = McSession(req).run_metric(smooth_metric);
+  EXPECT_EQ(resumed.resumed, n);
+  EXPECT_EQ(resumed.run.failed_total, first.run.failed_total);
+  ASSERT_EQ(resumed.failed_samples().size(), first.failed_samples().size());
+  for (std::size_t k = 0; k < resumed.failed_samples().size(); ++k) {
+    EXPECT_EQ(resumed.failed_samples()[k].index,
+              first.failed_samples()[k].index);
+    EXPECT_EQ(resumed.failed_samples()[k].kind,
+              first.failed_samples()[k].kind);
+    EXPECT_EQ(resumed.failed_samples()[k].attempts,
+              first.failed_samples()[k].attempts);
+  }
+  expect_same_values(resumed.values, first.values);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest plumbing.
+
+TEST(McChaosTest, ManifestCarriesFailedSamplesAndPolicies) {
+  ScratchFile manifest("mc_chaos_manifest.json");
+  FaultScope scope;
+  FaultRule rule;
+  rule.samples = {4, 9};
+  testing::arm(FaultSite::kMcEvalThrowSingular, rule);
+
+  McRequest req = chaos_request(31, 64, 2);
+  req.failure_policy = McFailurePolicy::kRetryThenSkip;
+  req.max_retries = 1;
+  req.manifest_path = manifest.path();
+  const McResult r = McSession(req).run_metric(smooth_metric);
+  EXPECT_EQ(r.run.failed_total, 2u);
+
+  const std::string doc = slurp(manifest.path());
+  EXPECT_NE(doc.find("\"failure_policy\": \"retry-then-skip\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"censored_policy\": \"treat-as-fail\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"failed\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"failed_samples\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\": \"singular\""), std::string::npos);
+  EXPECT_NE(doc.find("\"attempts\": 2"), std::string::npos);
+}
+
+TEST(McChaosTest, FailedRecordListIsCappedButTotalIsNot) {
+  FaultScope scope;
+  FaultRule rule;
+  rule.sample_modulus = 2;
+  rule.sample_remainder = 0;  // half of all samples fail
+  testing::arm(FaultSite::kMcEvalThrowConvergence, rule);
+
+  McRequest req = chaos_request(41, 200, 2);
+  req.failure_policy = McFailurePolicy::kSkip;
+  req.keep_failed_samples = 5;
+  const McResult r = McSession(req).run_metric(smooth_metric);
+  EXPECT_EQ(r.run.failed_total, 100u);
+  ASSERT_EQ(r.failed_samples().size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(r.failed_samples()[k].index, 2 * k);  // first five, in order
+  }
+}
+
+}  // namespace
+}  // namespace relsim

@@ -344,6 +344,33 @@ TEST(MetricsTest, HistogramTracksMinMaxAndBuckets) {
   EXPECT_EQ(total, 4);
 }
 
+TEST(MetricsTest, HistogramCountsNonFiniteSeparately) {
+  // NaN/Inf used to land silently in the edge buckets (and ±Inf poisoned
+  // min/max); now they are rejected into a dedicated counter.
+  obs::Histogram h;
+  h.observe(1.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(2.0);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2);
+  EXPECT_EQ(s.nonfinite, 3);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  h.reset();
+  EXPECT_EQ(h.snapshot().nonfinite, 0);
+}
+
+TEST(MetricsTest, HistogramNonFiniteCountReachesJson) {
+  obs::MetricsRegistry reg;
+  reg.histogram("h.sick").observe(std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  reg.snapshot().to_json(w);
+  EXPECT_NE(os.str().find("\"nonfinite\":1"), std::string::npos) << os.str();
+}
+
 TEST(MetricsTest, HistogramSnapshotIsOrderIndependent) {
   obs::Histogram a;
   obs::Histogram b;

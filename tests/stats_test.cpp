@@ -183,5 +183,37 @@ TEST(HistogramTest, DensitySumsToOneWithoutOverflow) {
   EXPECT_NEAR(sum, 1.0, 1e-12);
 }
 
+TEST(WilsonCensoredTest, TreatAsFailKeepsCensoredInDenominator) {
+  // 60 passes, 100 trials of which 20 censored: kTreatAsFail divides by
+  // 100 (censored count as fails), kExclude by 80.
+  const ProportionInterval fail =
+      wilson_interval(60, 100, 20, CensoredPolicy::kTreatAsFail);
+  const ProportionInterval excl =
+      wilson_interval(60, 100, 20, CensoredPolicy::kExclude);
+  EXPECT_DOUBLE_EQ(fail.estimate, 0.6);
+  EXPECT_DOUBLE_EQ(excl.estimate, 0.75);
+  EXPECT_LT(fail.hi, excl.hi);
+  // No censoring: both policies reduce to the plain interval.
+  const ProportionInterval plain = wilson_interval(60, 100);
+  const ProportionInterval none =
+      wilson_interval(60, 100, 0, CensoredPolicy::kExclude);
+  EXPECT_DOUBLE_EQ(none.lo, plain.lo);
+  EXPECT_DOUBLE_EQ(none.hi, plain.hi);
+}
+
+TEST(WilsonCensoredTest, RejectsImpossibleCounts) {
+  EXPECT_THROW(wilson_interval(10, 20, 21, CensoredPolicy::kTreatAsFail),
+               Error);
+  EXPECT_THROW(wilson_interval(15, 20, 10, CensoredPolicy::kTreatAsFail),
+               Error);  // successes > uncensored trials
+  EXPECT_THROW(wilson_interval(0, 20, 20, CensoredPolicy::kExclude),
+               Error);  // everything censored: no denominator left
+}
+
+TEST(WilsonCensoredTest, PolicyNamesRoundTrip) {
+  EXPECT_STREQ(to_string(CensoredPolicy::kTreatAsFail), "treat-as-fail");
+  EXPECT_STREQ(to_string(CensoredPolicy::kExclude), "exclude");
+}
+
 }  // namespace
 }  // namespace relsim

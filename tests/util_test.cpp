@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/mathx.h"
@@ -13,6 +14,33 @@
 
 namespace relsim {
 namespace {
+
+TEST(Crc32Test, KnownAnswerVector) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  const std::string data = "checkpoint integrity is not optional";
+  std::uint32_t state = kCrc32Init;
+  state = crc32_update(state, data.data(), 10);
+  state = crc32_update(state, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 7);
+  }
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  for (std::size_t byte : {std::size_t{0}, data.size() / 2, data.size() - 1}) {
+    std::string flipped = data;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x01);
+    EXPECT_NE(crc32(flipped.data(), flipped.size()), clean) << byte;
+  }
+}
 
 TEST(ErrorTest, RequireThrowsWithContext) {
   try {
