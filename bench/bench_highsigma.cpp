@@ -1,0 +1,329 @@
+// High-sigma yield bench (variability/sample_strategy.h + mc_session.h):
+// the acceptance scenario of the variance-reduction sampling subsystem on
+// a DAC-INL-style tail metric, run as shape checks.
+//
+// The metric is the worst-case INL of a binary-weighted DAC linearized as
+// y = 0.8 z0 + (0.6/sqrt(15)) (z1 + ... + z15) with zi iid standard
+// normals (unit total variance), and the "failure" is the tail event
+// y > tau. The exact tail probability Phi(-tau) gives every estimator a
+// ground truth to be checked against.
+//
+//  - importance sampling: a mean-shift proposal (shift tau/2 along the
+//    INL gradient) estimates the tail probability with >= 10x fewer
+//    samples than plain Monte-Carlo needs for the same CI half-width;
+//  - bit identity: the weighted run's estimate, interval and power sums
+//    are bit-identical across 1/4/8 workers and chunk sizes 8/64;
+//  - kill/resume: a run killed mid-flight by an injected exception resumes
+//    from its checkpoint to the bit-exact uninterrupted result (the
+//    likelihood-ratio weights ride in the RSMCKPT image);
+//  - stratified sampling: oversampling a rare u0-stratum tightens the
+//    post-stratified CI well below the plain Wilson CI at equal n;
+//  - quasi-MC: LHS and scrambled Sobol' cut the integration error of a
+//    smooth 8-dimensional mean far below the pseudo-random error.
+//
+// Flags: --smoke (tail p = 1e-3 and smaller n for CI),
+//        --mc-json PATH (dump the measured series as a flat JSON artifact),
+//        --manifest PATH (run manifest of the headline importance run).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "variability/mc_session.h"
+
+using namespace relsim;
+
+namespace {
+
+constexpr unsigned kInlDims = 16;  // z0 + 15 secondary mismatch terms
+constexpr double kPrimary = 0.8;
+const double kSecondary = 0.6 / std::sqrt(15.0);
+
+/// The linearized DAC INL metric: unit-variance weighted sum of the
+/// tracked normals, dominated by z0 (64% of the variance).
+double inl(McSamplePoint& p) {
+  double y = kPrimary * p.normal(0);
+  for (unsigned d = 1; d < kInlDims; ++d) y += kSecondary * p.normal(d);
+  return y;
+}
+
+/// Mean shift mu along the INL gradient (the unit vector of coefficients):
+/// E[y] under the proposal is mu. mu = tau/2 keeps the likelihood-ratio
+/// weights tame (full tilt mu = tau inflates the weight variance past the
+/// plain-MC one).
+std::vector<double> inl_shift(double mu) {
+  std::vector<double> s(kInlDims, mu * kSecondary);
+  s[0] = mu * kPrimary;
+  return s;
+}
+
+double half_width(const ProportionInterval& iv) {
+  return 0.5 * (iv.hi - iv.lo);
+}
+
+/// Plain-MC sample count that reaches half-width h on a proportion p at z.
+double plain_mc_equivalent(double p, double h, double z = 1.959963984540054) {
+  return z * z * p * (1.0 - p) / (h * h);
+}
+
+bool same_weighted(const McResult& a, const McResult& b) {
+  return a.completed == b.completed &&
+         a.estimate.interval.estimate == b.estimate.interval.estimate &&
+         a.estimate.interval.lo == b.estimate.interval.lo &&
+         a.estimate.interval.hi == b.estimate.interval.hi &&
+         a.weighted.sums.w == b.weighted.sums.w &&
+         a.weighted.sums.w2 == b.weighted.sums.w2 &&
+         a.weighted.sums.wx == b.weighted.sums.wx &&
+         a.weighted.ess == b.weighted.ess;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ShapeChecks checks;
+  bench::BenchJson json;
+  const bool smoke = bench::arg_present(argc, argv, "--smoke");
+  const std::string mc_json = bench::arg_value(argc, argv, "--mc-json");
+  const std::string manifest_path = bench::arg_value(argc, argv, "--manifest");
+
+  // Smoke: a 3.1-sigma tail (p = 1e-3); full: a 3.7-sigma tail (p = 1e-4).
+  const double p_tail = smoke ? 1e-3 : 1e-4;
+  const double tau = normal_quantile(1.0 - p_tail);
+  const double p_exact = normal_cdf(-tau);
+  const std::size_t n_is = smoke ? 2000 : 6000;
+  const std::size_t n_plain = smoke ? 100000 : 2000000;
+
+  const auto tail_event = [tau](McSamplePoint& p) { return inl(p) > tau; };
+
+  SampleStrategyConfig importance;
+  importance.kind = McSampleStrategy::kImportance;
+  importance.shift = inl_shift(0.5 * tau);
+
+  // --- importance sampling vs plain MC --------------------------------------
+  bench::banner("Importance sampling: P[INL > " + std::to_string(tau) +
+                "] (exact " + std::to_string(p_exact) + ")");
+
+  McRequest plain_req;
+  plain_req.seed = 2026;
+  plain_req.n = n_plain;
+  plain_req.threads = 4;
+  plain_req.run_label = "bench_highsigma.plain";
+  const McResult plain = McSession(plain_req).run_yield(tail_event);
+
+  McRequest is_req;
+  is_req.seed = 2026;
+  is_req.n = n_is;
+  is_req.threads = 4;
+  is_req.chunk = 16;
+  is_req.strategy = importance;
+  is_req.run_label = "bench_highsigma.importance";
+  is_req.manifest_path = manifest_path;
+  const McResult is = McSession(is_req).run_yield(tail_event);
+
+  const double h_is = half_width(is.estimate.interval);
+  const double h_plain = half_width(plain.estimate.interval);
+  const double n_equiv = plain_mc_equivalent(is.estimate.yield(), h_is);
+  const double reduction = n_equiv / static_cast<double>(n_is);
+
+  TablePrinter is_t({"estimator", "n", "estimate", "ci_half_width", "ess"});
+  is_t.set_precision(6);
+  is_t.add_row({std::string("plain MC"), static_cast<long long>(n_plain),
+                plain.estimate.yield(), h_plain,
+                static_cast<double>(n_plain)});
+  is_t.add_row({std::string("importance"), static_cast<long long>(n_is),
+                is.estimate.yield(), h_is, is.weighted.ess});
+  is_t.print(std::cout);
+  std::printf("plain-MC samples for the importance CI: %.0f (%.1fx fewer "
+              "with IS)\n",
+              n_equiv, reduction);
+
+  checks.check("importance estimate within 3 half-widths of the exact tail "
+               "probability",
+               std::abs(is.estimate.yield() - p_exact) <= 3.0 * h_is);
+  checks.check("plain-MC estimate within 3 half-widths of the exact tail "
+               "probability",
+               std::abs(plain.estimate.yield() - p_exact) <= 3.0 * h_plain);
+  checks.check("importance sampling needs >= 10x fewer samples than plain "
+               "MC at equal CI half-width",
+               reduction >= 10.0);
+  checks.check("ESS diagnostic is positive and below the sample count",
+               is.weighted.enabled && is.weighted.ess > 0.0 &&
+                   is.weighted.ess < static_cast<double>(n_is));
+  json.add("importance", {{"n", static_cast<double>(n_is)},
+                          {"estimate", is.estimate.yield()},
+                          {"ci_half_width", h_is},
+                          {"ess", is.weighted.ess},
+                          {"exact", p_exact},
+                          {"plain_equivalent_n", n_equiv},
+                          {"sample_reduction", reduction}});
+  json.add("plain", {{"n", static_cast<double>(n_plain)},
+                     {"estimate", plain.estimate.yield()},
+                     {"ci_half_width", h_plain}});
+
+  // --- bit identity across workers and chunk sizes --------------------------
+  bench::banner("Bit identity: importance run across 1/4/8 workers x chunk "
+                "8/64");
+  bool identical = true;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    for (std::size_t chunk : {std::size_t{8}, std::size_t{64}}) {
+      McRequest req = is_req;
+      req.threads = threads;
+      req.chunk = chunk;
+      req.manifest_path.clear();
+      req.run_label = "bench_highsigma.bits";
+      const McResult r = McSession(req).run_yield(tail_event);
+      const bool match = same_weighted(r, is);
+      identical = identical && match;
+      std::printf("  workers=%u chunk=%zu estimate=%.12g %s\n", threads,
+                  chunk, r.estimate.yield(), match ? "match" : "MISMATCH");
+    }
+  }
+  checks.check("weighted estimate, interval and power sums bit-identical "
+               "across 1/4/8 workers and chunk 8/64",
+               identical);
+  json.add("bit_identity", {{"identical", identical ? 1.0 : 0.0}});
+
+  // --- kill/resume mid-run --------------------------------------------------
+  bench::banner("Kill/resume: importance run killed mid-flight resumes from "
+                "its checkpoint to the bit-exact result");
+  const std::string ckpt = "bench_highsigma.ckpt";
+  std::remove(ckpt.c_str());
+  McRequest kr = is_req;
+  kr.manifest_path.clear();
+  kr.checkpoint_path = ckpt;
+  kr.checkpoint_every = 256;
+  kr.run_label = "bench_highsigma.resume";
+  const std::size_t kill_index = 3 * n_is / 4;
+  bool killed = false;
+  try {
+    McSession(kr).run_yield([&](McSamplePoint& p) {
+      if (p.index() == kill_index) {
+        throw Error("bench kill switch at sample " +
+                    std::to_string(kill_index));
+      }
+      return tail_event(p);
+    });
+  } catch (const Error&) {
+    killed = true;
+  }
+  const McResult resumed = McSession(kr).run_yield(tail_event);
+  std::remove(ckpt.c_str());
+  std::printf("  killed=%s resumed=%zu/%zu estimate=%.12g\n",
+              killed ? "yes" : "NO", resumed.resumed, n_is,
+              resumed.estimate.yield());
+  checks.check("kill switch aborted the first attempt", killed);
+  checks.check("second run resumed committed samples from the checkpoint",
+               resumed.resumed > 0 && resumed.resumed < n_is);
+  checks.check("resumed importance run is bit-identical to the "
+               "uninterrupted run (weights ride in the checkpoint)",
+               same_weighted(resumed, is));
+  json.add("resume", {{"resumed", static_cast<double>(resumed.resumed)},
+                      {"identical", same_weighted(resumed, is) ? 1.0 : 0.0}});
+
+  // --- stratified sampling --------------------------------------------------
+  bench::banner("Stratified sampling: oversampling the rare u0 stratum vs "
+                "plain MC at equal n");
+  // Failures live in the top 1% of u0 and half of those survive the second
+  // screen: p_fail = 0.005, yield 0.995.
+  const auto screened = [](McSamplePoint& p) {
+    const double u0 = p.uniform(0);
+    const double z = p.normal(1);
+    return !(u0 > 0.99 && z > 0.0);
+  };
+  const double strat_yield_exact = 1.0 - 0.01 * 0.5;
+  const std::size_t n_strat = smoke ? 20000 : 100000;
+
+  McRequest sp_req;
+  sp_req.seed = 77;
+  sp_req.n = n_strat;
+  sp_req.threads = 4;
+  sp_req.run_label = "bench_highsigma.strat_plain";
+  const McResult sp = McSession(sp_req).run_yield(screened);
+
+  McRequest st_req = sp_req;
+  st_req.strategy.kind = McSampleStrategy::kStratified;
+  st_req.strategy.strata = {{"bulk", 0.90, 0.3},
+                            {"shoulder", 0.09, 0.3},
+                            {"tail", 0.01, 0.4}};
+  st_req.run_label = "bench_highsigma.stratified";
+  const McResult st = McSession(st_req).run_yield(screened);
+
+  const double h_sp = half_width(sp.estimate.interval);
+  const double h_st = half_width(st.estimate.interval);
+  TablePrinter st_t({"stratum", "weight", "samples", "passed", "estimate"});
+  st_t.set_precision(4);
+  for (const McStratumResult& s : st.strata) {
+    st_t.add_row({s.label, s.weight, static_cast<long long>(s.samples),
+                  static_cast<long long>(s.passed), s.interval.estimate});
+  }
+  st_t.print(std::cout);
+  std::printf("plain Wilson half-width %.3g vs post-stratified %.3g "
+              "(%.1fx tighter)\n",
+              h_sp, h_st, h_sp / h_st);
+
+  checks.check("post-stratified estimate within 3 half-widths of the exact "
+               "yield",
+               std::abs(st.estimate.yield() - strat_yield_exact) <=
+                   3.0 * h_st);
+  checks.check("post-stratified CI at least 3x tighter than the plain "
+               "Wilson CI at equal n",
+               h_st > 0.0 && h_sp / h_st >= 3.0);
+  checks.check("every declared stratum received its sample share",
+               st.strata.size() == 3 && st.strata[0].samples > 0 &&
+                   st.strata[1].samples > 0 &&
+                   st.strata[2].samples >= n_strat / 3);
+  json.add("stratified", {{"n", static_cast<double>(n_strat)},
+                          {"plain_half_width", h_sp},
+                          {"strat_half_width", h_st},
+                          {"tightening", h_sp / h_st}});
+
+  // --- quasi-MC: LHS and Sobol' ---------------------------------------------
+  bench::banner("Quasi-MC: mean of sum(u0..u7) (exact 4.0), n = 4096");
+  const auto smooth = [](McSamplePoint& p) {
+    double s = 0.0;
+    for (unsigned d = 0; d < 8; ++d) s += p.uniform(d);
+    return s;
+  };
+  McRequest q_req;
+  q_req.seed = 11;
+  q_req.n = 4096;
+  q_req.threads = 4;
+  q_req.run_label = "bench_highsigma.qmc";
+  const double err_plain =
+      std::abs(McSession(q_req).run_metric(smooth).metric.mean() - 4.0);
+  McRequest lhs_req = q_req;
+  lhs_req.strategy.kind = McSampleStrategy::kLatinHypercube;
+  lhs_req.strategy.dimensions = 8;
+  const double err_lhs =
+      std::abs(McSession(lhs_req).run_metric(smooth).metric.mean() - 4.0);
+  McRequest sob_req = q_req;
+  sob_req.strategy.kind = McSampleStrategy::kSobol;
+  sob_req.strategy.dimensions = 8;
+  const double err_sobol =
+      std::abs(McSession(sob_req).run_metric(smooth).metric.mean() - 4.0);
+
+  TablePrinter q_t({"sampler", "abs_error"});
+  q_t.set_precision(8);
+  q_t.add_row({std::string("pseudo-random"), err_plain});
+  q_t.add_row({std::string("latin-hypercube"), err_lhs});
+  q_t.add_row({std::string("sobol"), err_sobol});
+  q_t.print(std::cout);
+
+  checks.check("LHS mean error below the pseudo-random error",
+               err_lhs < err_plain);
+  checks.check("Sobol mean error below the pseudo-random error",
+               err_sobol < err_plain);
+  json.add("qmc", {{"err_plain", err_plain},
+                   {"err_lhs", err_lhs},
+                   {"err_sobol", err_sobol}});
+
+  if (!mc_json.empty()) {
+    checks.check("high-sigma telemetry artifact written to " + mc_json,
+                 json.write(mc_json));
+  }
+  return checks.finish();
+}

@@ -49,6 +49,12 @@ void RunManifest::to_json(JsonWriter& w) const {
   w.kv("partition", partition);
   if (!failure_policy.empty()) w.kv("failure_policy", failure_policy);
   if (!censored_policy.empty()) w.kv("censored_policy", censored_policy);
+  if (!strategy.empty()) {
+    w.kv("strategy", strategy);
+    if (strategy_dimensions > 0) {
+      w.kv("strategy_dimensions", strategy_dimensions);
+    }
+  }
   for (const auto& [k, v] : extra) w.kv(k, v);
   w.end_object();
 
@@ -71,6 +77,32 @@ void RunManifest::to_json(JsonWriter& w) const {
     w.kv("yield_lo", yield_lo);
     w.kv("yield_hi", yield_hi);
     w.end_object();
+  }
+  if (has_weighted) {
+    w.key("weighted").begin_object();
+    w.kv("ess", ess);
+    w.kv("weight_sum", weight_sum);
+    w.kv("weight_sum_sq", weight_sum_sq);
+    w.kv("yield", weighted_yield);
+    w.kv("yield_lo", weighted_lo);
+    w.kv("yield_hi", weighted_hi);
+    w.end_object();
+  }
+  if (!strata.empty()) {
+    w.key("strata").begin_array();
+    for (const Stratum& s : strata) {
+      w.begin_object();
+      w.kv("label", s.label);
+      w.kv("weight", s.weight);
+      w.kv("samples", static_cast<unsigned long long>(s.samples));
+      w.kv("passed", static_cast<unsigned long long>(s.passed));
+      w.kv("censored", static_cast<unsigned long long>(s.censored));
+      w.kv("estimate", s.estimate);
+      w.kv("lo", s.lo);
+      w.kv("hi", s.hi);
+      w.end_object();
+    }
+    w.end_array();
   }
   w.end_object();
 

@@ -45,6 +45,10 @@ struct RunManifest {
   std::string partition;
   std::string failure_policy;   ///< "abort" | "skip" | "retry-then-skip"
   std::string censored_policy;  ///< "treat-as-fail" | "exclude"
+  /// Sampling strategy: "pseudo-random" | "latin-hypercube" | "sobol" |
+  /// "stratified" | "importance" (empty = not an McSession run).
+  std::string strategy;
+  unsigned strategy_dimensions = 0;  ///< tracked dims (LHS/Sobol)
 
   // Outcome.
   std::size_t requested = 0;
@@ -65,6 +69,28 @@ struct RunManifest {
   double yield = 0.0;
   double yield_lo = 0.0;
   double yield_hi = 0.0;
+
+  /// Importance-sampling runs: weighted-estimator diagnostics.
+  bool has_weighted = false;
+  double ess = 0.0;            ///< Kish effective sample size
+  double weight_sum = 0.0;     ///< sum of likelihood-ratio weights
+  double weight_sum_sq = 0.0;  ///< sum of squared weights
+  double weighted_yield = 0.0;
+  double weighted_lo = 0.0;
+  double weighted_hi = 0.0;
+
+  /// Stratified runs: per-stratum tallies + Wilson intervals.
+  struct Stratum {
+    std::string label;
+    double weight = 0.0;
+    std::size_t samples = 0;
+    std::size_t passed = 0;
+    std::size_t censored = 0;
+    double estimate = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  std::vector<Stratum> strata;
 
   struct Worker {
     unsigned worker = 0;

@@ -1,0 +1,136 @@
+#include "rng/lowdisc.h"
+
+#include <numeric>
+
+#include "rng/rng.h"
+#include "util/error.h"
+
+namespace relsim {
+namespace {
+
+// Stream tags keeping the scramble / permutation / jitter streams of one
+// base seed decorrelated from each other and from sample evaluation.
+constexpr std::uint64_t kSobolScrambleTag = 0x536f626f6c736372ull;  // "Sobolscr"
+constexpr std::uint64_t kLhsPermTag = 0x4c48537065726d30ull;        // "LHSperm0"
+constexpr std::uint64_t kLhsJitterTag = 0x4c48536a69747430ull;      // "LHSjitt0"
+
+// Primitive-polynomial degree s, coefficient word a, and initial direction
+// numbers m for Sobol dimensions 1..20 (dimension 0 is van der Corput).
+// First rows of the Joe-Kuo "new-joe-kuo-6" table.
+struct JoeKuoRow {
+  unsigned s;
+  std::uint32_t a;
+  std::uint32_t m[7];
+};
+
+constexpr JoeKuoRow kJoeKuo[kSobolMaxDimensions - 1] = {
+    {1, 0, {1}},
+    {2, 1, {1, 3}},
+    {3, 1, {1, 3, 1}},
+    {3, 2, {1, 1, 1}},
+    {4, 1, {1, 1, 3, 3}},
+    {4, 4, {1, 3, 5, 13}},
+    {5, 2, {1, 1, 5, 5, 17}},
+    {5, 4, {1, 1, 5, 5, 5}},
+    {5, 7, {1, 1, 7, 11, 19}},
+    {5, 11, {1, 1, 5, 1, 1}},
+    {5, 13, {1, 1, 1, 3, 11}},
+    {5, 14, {1, 3, 5, 5, 31}},
+    {6, 1, {1, 3, 3, 9, 7, 49}},
+    {6, 13, {1, 1, 1, 15, 21, 21}},
+    {6, 16, {1, 3, 1, 13, 27, 49}},
+    {6, 19, {1, 1, 1, 15, 7, 5}},
+    {6, 22, {1, 3, 1, 15, 13, 25}},
+    {6, 25, {1, 1, 5, 5, 19, 61}},
+    {7, 1, {1, 3, 7, 11, 23, 15, 103}},
+    {7, 4, {1, 3, 7, 13, 13, 21, 79}},
+};
+
+std::array<std::uint32_t, 32> direction_numbers(unsigned dim) {
+  std::array<std::uint32_t, 32> v{};
+  if (dim == 0) {
+    for (unsigned b = 0; b < 32; ++b) v[b] = 1u << (31 - b);
+    return v;
+  }
+  const JoeKuoRow& row = kJoeKuo[dim - 1];
+  for (unsigned b = 0; b < row.s && b < 32; ++b) {
+    v[b] = row.m[b] << (31 - b);
+  }
+  for (unsigned b = row.s; b < 32; ++b) {
+    v[b] = v[b - row.s] ^ (v[b - row.s] >> row.s);
+    for (unsigned k = 1; k < row.s; ++k) {
+      if ((row.a >> (row.s - 1 - k)) & 1u) v[b] ^= v[b - k];
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+SobolSequence::SobolSequence(unsigned dimensions,
+                             std::uint64_t scramble_seed) {
+  RELSIM_REQUIRE(dimensions >= 1, "Sobol sequence needs >= 1 dimension");
+  RELSIM_REQUIRE(dimensions <= kSobolMaxDimensions,
+                 "Sobol direction-number table covers 21 dimensions");
+  direction_.reserve(dimensions);
+  shift_.reserve(dimensions);
+  for (unsigned d = 0; d < dimensions; ++d) {
+    direction_.push_back(direction_numbers(d));
+    shift_.push_back(
+        scramble_seed == 0
+            ? 0u
+            : static_cast<std::uint32_t>(
+                  derive_seed(scramble_seed, {kSobolScrambleTag, d}) >> 32));
+  }
+}
+
+double SobolSequence::coordinate(std::uint64_t index, unsigned dim) const {
+  RELSIM_REQUIRE(dim < direction_.size(), "Sobol dimension out of range");
+  const auto& v = direction_[dim];
+  std::uint32_t x = 0;
+  std::uint32_t bits = static_cast<std::uint32_t>(index);
+  for (unsigned b = 0; bits != 0; ++b, bits >>= 1) {
+    if (bits & 1u) x ^= v[b];
+  }
+  x ^= shift_[dim];
+  // Half-ulp offset keeps the origin point (and every other) inside (0,1).
+  return (static_cast<double>(x) + 0.5) * 0x1p-32;
+}
+
+LatinHypercube::LatinHypercube(std::size_t n, unsigned dimensions,
+                               std::uint64_t seed)
+    : n_(n), seed_(seed) {
+  RELSIM_REQUIRE(n >= 1, "Latin hypercube needs >= 1 point");
+  RELSIM_REQUIRE(dimensions >= 1, "Latin hypercube needs >= 1 dimension");
+  perm_.reserve(dimensions);
+  for (unsigned d = 0; d < dimensions; ++d) {
+    std::vector<std::uint32_t> p(n);
+    std::iota(p.begin(), p.end(), 0u);
+    Xoshiro256 rng(derive_seed(seed, {kLhsPermTag, d}));
+    for (std::size_t i = n; i > 1; --i) {
+      const std::uint64_t j = rng.uniform_index(i);
+      std::swap(p[i - 1], p[j]);
+    }
+    perm_.push_back(std::move(p));
+  }
+}
+
+std::vector<double> LatinHypercube::point(std::size_t index) const {
+  RELSIM_REQUIRE(index < n_, "Latin hypercube point index out of range");
+  Xoshiro256 rng(derive_seed(seed_, {kLhsJitterTag, index}));
+  std::vector<double> coords(perm_.size());
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t d = 0; d < perm_.size(); ++d) {
+    coords[d] =
+        (static_cast<double>(perm_[d][index]) + rng.uniform01()) * inv_n;
+  }
+  return coords;
+}
+
+std::uint32_t LatinHypercube::stratum(std::size_t index, unsigned dim) const {
+  RELSIM_REQUIRE(index < n_, "Latin hypercube point index out of range");
+  RELSIM_REQUIRE(dim < perm_.size(), "Latin hypercube dimension out of range");
+  return perm_[dim][index];
+}
+
+}  // namespace relsim

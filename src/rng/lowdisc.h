@@ -1,0 +1,69 @@
+// Low-discrepancy and stratified point sets for quasi-Monte-Carlo sampling.
+//
+// Both generators share the framework's reproducibility contract: point i
+// is a pure function of (construction parameters, i), so any sample can be
+// regenerated in isolation by any worker in any order — the property the
+// McSession commit path relies on for bit-identical parallel runs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relsim {
+
+/// Dimensions covered by the built-in Joe-Kuo direction-number table.
+inline constexpr unsigned kSobolMaxDimensions = 21;
+
+/// Sobol' sequence, evaluated directly (non-Gray-code) from the binary
+/// digits of the point index, using the new-joe-kuo-6 initial direction
+/// numbers for the first kSobolMaxDimensions dimensions.
+///
+/// A non-zero `scramble_seed` applies an Owen-style random digital shift
+/// (per-dimension XOR word derived through derive_seed), decorrelating
+/// repeated runs while preserving the net's equidistribution. The raw
+/// point 0 is the origin in every dimension; coordinates are therefore
+/// returned as (x ^ shift + 1/2) * 2^-32, which keeps every value strictly
+/// inside (0, 1) — safe to push through an inverse CDF.
+class SobolSequence {
+ public:
+  explicit SobolSequence(unsigned dimensions, std::uint64_t scramble_seed = 0);
+
+  unsigned dimensions() const { return static_cast<unsigned>(direction_.size()); }
+
+  /// Coordinate `dim` of point `index`, in (0, 1).
+  double coordinate(std::uint64_t index, unsigned dim) const;
+
+ private:
+  std::vector<std::array<std::uint32_t, 32>> direction_;
+  std::vector<std::uint32_t> shift_;
+};
+
+/// Latin-hypercube point set: n points in [0, 1)^d where every dimension's
+/// coordinates occupy each of the n equal strata exactly once. Strata are
+/// assigned through an independent Fisher-Yates permutation per dimension
+/// (stream derive_seed(seed, {tag, dim})) and jittered inside the stratum
+/// from a per-point stream (derive_seed(seed, {tag, index})), so point i
+/// is independent of the order points are requested in.
+class LatinHypercube {
+ public:
+  LatinHypercube(std::size_t n, unsigned dimensions, std::uint64_t seed);
+
+  std::size_t size() const { return n_; }
+  unsigned dimensions() const { return static_cast<unsigned>(perm_.size()); }
+
+  /// All coordinates of point `index` (jitter drawn in dimension order).
+  std::vector<double> point(std::size_t index) const;
+
+  /// Stratum of point `index` in dimension `dim` — the Latin property is
+  /// that for fixed dim this is a bijection {0..n-1} -> {0..n-1}.
+  std::uint32_t stratum(std::size_t index, unsigned dim) const;
+
+ private:
+  std::size_t n_;
+  std::uint64_t seed_;
+  std::vector<std::vector<std::uint32_t>> perm_;  // [dim][index] -> stratum
+};
+
+}  // namespace relsim

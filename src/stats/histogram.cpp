@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "util/error.h"
@@ -16,6 +17,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) {
   ++total_;
+  if (std::isnan(x)) {
+    ++nonfinite_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -54,22 +59,59 @@ double Histogram::bin_center(std::size_t bin) const {
   return 0.5 * (bin_lo(bin) + bin_hi(bin));
 }
 
-double Histogram::density(std::size_t bin) const {
+double Histogram::mass(std::size_t bin) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::density(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return mass(bin) / width;
 }
 
 std::string Histogram::ascii(std::size_t max_width) const {
   std::size_t peak = 1;
   for (std::size_t c : counts_) peak = std::max(peak, c);
   std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(3);
+  os << "underflow (< " << lo_ << ")  " << underflow_ << '\n';
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     const std::size_t bar = counts_[b] * max_width / peak;
-    os.setf(std::ios::scientific);
-    os.precision(3);
     os << "[" << bin_lo(b) << ", " << bin_hi(b) << ")  ";
     os << std::string(bar, '#') << "  " << counts_[b] << '\n';
   }
+  os << "overflow (>= " << hi_ << ")  " << overflow_ << '\n';
+  if (nonfinite_ > 0) os << "nan  " << nonfinite_ << '\n';
+  return os.str();
+}
+
+namespace {
+
+// Shortest-ish round-trip double formatting for the hand-rolled JSON below
+// (the stats library sits below obs in the layering, so obs::JsonWriter is
+// off limits here).
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Histogram::json() const {
+  std::ostringstream os;
+  os << "{\"lo\":" << fmt_double(lo_) << ",\"hi\":" << fmt_double(hi_)
+     << ",\"total\":" << total_ << ",\"underflow\":" << underflow_
+     << ",\"overflow\":" << overflow_ << ",\"nonfinite\":" << nonfinite_
+     << ",\"bins\":[";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (b != 0) os << ',';
+    os << "{\"lo\":" << fmt_double(bin_lo(b))
+       << ",\"hi\":" << fmt_double(bin_hi(b)) << ",\"count\":" << counts_[b]
+       << ",\"density\":" << fmt_double(density(b)) << '}';
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -10,7 +10,10 @@ namespace relsim {
 class Histogram {
  public:
   /// Creates `bins` equal-width bins spanning [lo, hi). Values outside the
-  /// range are counted in underflow/overflow.
+  /// range are counted in underflow/overflow (±Inf included); NaN is
+  /// tallied in a separate nonfinite counter — it compares false against
+  /// both range edges and would otherwise index a bin through an undefined
+  /// float->integer cast.
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
@@ -20,16 +23,32 @@ class Histogram {
   std::size_t count(std::size_t bin) const;
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }
+  std::size_t nonfinite() const { return nonfinite_; }
+  /// All added samples, including under/overflow and NaN.
   std::size_t total() const { return total_; }
   double bin_lo(std::size_t bin) const;
   double bin_hi(std::size_t bin) const;
   double bin_center(std::size_t bin) const;
 
-  /// Fraction of all added samples (incl. under/overflow) in this bin.
+  /// Probability mass of this bin: count / total (under/overflow and NaN
+  /// stay in the denominator, so in-range masses sum to the in-range
+  /// fraction, not 1).
+  double mass(std::size_t bin) const;
+
+  /// Probability density per unit width: count / (total * bin_width), the
+  /// quantity a PDF estimate approximates. Integrating density over the
+  /// [lo, hi) range (sum of density * width) gives the in-range mass
+  /// fraction — out-of-range samples are real probability mass and are not
+  /// silently renormalized away.
   double density(std::size_t bin) const;
 
-  /// Renders an ASCII bar chart, one line per bin.
+  /// Renders an ASCII bar chart, one line per bin, followed by explicit
+  /// underflow/overflow (and, when present, NaN) rows.
   std::string ascii(std::size_t max_width = 50) const;
+
+  /// Renders the histogram as a JSON object with explicit underflow /
+  /// overflow / nonfinite fields and per-bin {lo, hi, count, density}.
+  std::string json() const;
 
  private:
   double lo_;
@@ -37,6 +56,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nonfinite_ = 0;
   std::size_t total_ = 0;
 };
 

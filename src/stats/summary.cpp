@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.h"
 
 namespace relsim {
 
 void RunningStats::add(double x) {
+  if (!std::isfinite(x)) {
+    ++nonfinite_;
+    return;
+  }
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -47,9 +52,12 @@ double RunningStats::mean_ci95_halfwidth() const {
 }
 
 void RunningStats::merge(const RunningStats& other) {
+  nonfinite_ += other.nonfinite_;
   if (other.count_ == 0) return;
   if (count_ == 0) {
+    const std::size_t nonfinite = nonfinite_;
     *this = other;
+    nonfinite_ = nonfinite;
     return;
   }
   const double n1 = static_cast<double>(count_);
@@ -63,18 +71,73 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+// Moves NaNs to the tail, sorts the non-NaN prefix, returns its length.
+// ±Inf order fine under operator<; only NaN breaks strict weak ordering.
+std::size_t sort_non_nan_prefix(std::vector<double>& values) {
+  const auto nan_begin = std::partition(
+      values.begin(), values.end(), [](double x) { return !std::isnan(x); });
+  std::sort(values.begin(), nan_begin);
+  return static_cast<std::size_t>(nan_begin - values.begin());
+}
+
+// Type-7 interpolated quantile over the first `n` sorted entries.
+double interpolate(const std::vector<double>& sorted, std::size_t n,
+                   double p) {
+  const double h = p * (static_cast<double>(n) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  // frac == 0 short-circuits before the difference: with an infinite
+  // neighbour, 0 * inf would poison an exact order statistic with NaN.
+  if (frac == 0.0) return sorted[lo];
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
 double quantile(std::vector<double> values, double p) {
   RELSIM_REQUIRE(!values.empty(), "quantile of empty sample");
   RELSIM_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p must be in [0,1]");
-  std::sort(values.begin(), values.end());
-  const double h = p * (static_cast<double>(values.size()) - 1.0);
-  const std::size_t lo = static_cast<std::size_t>(h);
-  if (lo + 1 >= values.size()) return values.back();
-  const double frac = h - static_cast<double>(lo);
-  return values[lo] + frac * (values[lo + 1] - values[lo]);
+  const std::size_t n = sort_non_nan_prefix(values);
+  RELSIM_REQUIRE(n > 0, "quantile needs at least one non-NaN sample");
+  return interpolate(values, n, p);
 }
 
 double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+CensoredQuantile quantile_censored(std::vector<double> values, double p,
+                                   CensoredPolicy policy) {
+  CensoredQuantile out;
+  if (values.empty() || !(p >= 0.0 && p <= 1.0)) return out;
+  const std::size_t n = sort_non_nan_prefix(values);
+  out.used = n;
+  out.censored = values.size() - n;
+  if (n == 0) return out;
+  if (policy == CensoredPolicy::kExclude || out.censored == 0) {
+    out.value = interpolate(values, n, p);
+    return out;
+  }
+  // kTreatAsFail: censored entries occupy the +inf tail of the order
+  // statistics. The quantile is finite only while both interpolation
+  // neighbours fall inside the non-NaN prefix.
+  const std::size_t total = values.size();
+  const double h = p * (static_cast<double>(total) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 < n) {
+    out.value = frac == 0.0
+                    ? values[lo]
+                    : values[lo] + frac * (values[lo + 1] - values[lo]);
+  } else if (lo + 1 == n && frac == 0.0) {
+    out.value = values[lo];
+  } else if (lo + 1 == n) {
+    // Interpolating between the last finite sample and a censored slot.
+    out.value = std::nullopt;
+  }
+  return out;
+}
 
 ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
                                    double z) {
@@ -112,6 +175,146 @@ ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
                                 ? trials - censored
                                 : trials;
   return wilson_interval(successes, denom, z);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / 1.4142135623730951);
+}
+
+double normal_quantile(double p) {
+  RELSIM_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile needs p in (0,1)");
+  // Acklam's rational approximation: central region uses a degree-5/5
+  // rational in (p - 1/2), the tails the same form in sqrt(-2 ln p).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - kLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+void WeightedSums::add(double weight, double x) {
+  RELSIM_REQUIRE(weight >= 0.0 && std::isfinite(weight),
+                 "importance weight must be finite and non-negative");
+  w += weight;
+  w2 += weight * weight;
+  wx += weight * x;
+  w2x += weight * weight * x;
+  w2x2 += weight * weight * x * x;
+  ++count;
+}
+
+void WeightedSums::merge(const WeightedSums& other) {
+  w += other.w;
+  w2 += other.w2;
+  wx += other.wx;
+  w2x += other.w2x;
+  w2x2 += other.w2x2;
+  count += other.count;
+}
+
+double WeightedSums::mean() const {
+  RELSIM_REQUIRE(w > 0.0, "weighted mean needs positive total weight");
+  return wx / w;
+}
+
+double WeightedSums::ess() const {
+  if (w2 <= 0.0) return 0.0;
+  return w * w / w2;
+}
+
+double WeightedSums::mean_variance() const {
+  const double m = mean();
+  // sum w_i^2 (x_i - m)^2 expanded in the stored power sums.
+  const double num = w2x2 - 2.0 * m * w2x + m * m * w2;
+  return std::max(0.0, num) / (w * w);
+}
+
+double WeightedSums::mean_unnormalized() const {
+  RELSIM_REQUIRE(count > 0, "weighted estimate of empty sample");
+  return wx / static_cast<double>(count);
+}
+
+double WeightedSums::mean_unnormalized_variance() const {
+  RELSIM_REQUIRE(count > 0, "weighted estimate of empty sample");
+  const double n = static_cast<double>(count);
+  const double m = wx / n;
+  // Var of (1/n) sum w_i x_i: sample second moment of w x minus mean^2.
+  const double second = w2x2 / n;
+  return std::max(0.0, second - m * m) / n;
+}
+
+ProportionInterval self_normalized_interval(const WeightedSums& sums,
+                                            double z) {
+  RELSIM_REQUIRE(z > 0.0, "interval needs a positive z-score");
+  const double m = sums.mean();
+  const double half = z * std::sqrt(sums.mean_variance());
+  return {m, std::max(0.0, m - half), std::min(1.0, m + half)};
+}
+
+ProportionInterval unnormalized_interval(const WeightedSums& sums, double z) {
+  RELSIM_REQUIRE(z > 0.0, "interval needs a positive z-score");
+  const double m = sums.mean_unnormalized();
+  const double half = z * std::sqrt(sums.mean_unnormalized_variance());
+  return {m, std::max(0.0, m - half), std::min(1.0, m + half)};
+}
+
+ProportionInterval post_stratified_interval(
+    const std::vector<StratumCount>& strata, CensoredPolicy policy,
+    double z) {
+  RELSIM_REQUIRE(!strata.empty(), "post-stratified interval needs strata");
+  RELSIM_REQUIRE(z > 0.0, "interval needs a positive z-score");
+  double estimate = 0.0;
+  double var = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t k = 0; k < strata.size(); ++k) {
+    const StratumCount& s = strata[k];
+    RELSIM_REQUIRE(s.weight > 0.0, "stratum weight must be positive");
+    RELSIM_REQUIRE(s.censored <= s.total,
+                   "stratum censored count cannot exceed its total");
+    RELSIM_REQUIRE(s.passed <= s.total - s.censored,
+                   "stratum passes cannot exceed uncensored samples");
+    const std::size_t denom = policy == CensoredPolicy::kExclude
+                                  ? s.total - s.censored
+                                  : s.total;
+    RELSIM_REQUIRE(denom > 0,
+                   "post-stratified estimate undefined: stratum has no "
+                   "usable samples under the censoring policy");
+    const double nk = static_cast<double>(denom);
+    const double pk = static_cast<double>(s.passed) / nk;
+    estimate += s.weight * pk;
+    var += s.weight * s.weight * pk * (1.0 - pk) / nk;
+    weight_sum += s.weight;
+  }
+  RELSIM_REQUIRE(std::abs(weight_sum - 1.0) < 1e-6,
+                 "stratum weights must sum to 1");
+  const double half = z * std::sqrt(var);
+  return {estimate, std::max(0.0, estimate - half),
+          std::min(1.0, estimate + half)};
 }
 
 }  // namespace relsim

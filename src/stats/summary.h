@@ -1,17 +1,25 @@
-// Streaming summary statistics and quantiles.
+// Streaming summary statistics, quantiles, and yield-interval estimators.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace relsim {
 
 /// Numerically stable (Welford) streaming mean/variance with min/max.
+///
+/// Non-finite observations (NaN/±Inf) never enter the moments or min/max —
+/// one NaN used to poison the mean and freeze min/max for the rest of the
+/// stream. They are tallied in a separate `nonfinite` counter instead, the
+/// same contract obs::Histogram uses, so a sick producer stays visible.
 class RunningStats {
  public:
   void add(double x);
 
   std::size_t count() const { return count_; }
+  /// Non-finite observations rejected by add(); not part of count().
+  std::size_t nonfinite() const { return nonfinite_; }
   double mean() const;
   /// Unbiased sample variance (n-1 denominator); requires count >= 2.
   double variance() const;
@@ -28,29 +36,12 @@ class RunningStats {
 
  private:
   std::size_t count_ = 0;
+  std::size_t nonfinite_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };
-
-/// Quantile of a sample using linear interpolation between order statistics
-/// (type-7, the numpy default). `p` in [0,1]. Sorts a copy.
-double quantile(std::vector<double> values, double p);
-
-/// Convenience: median.
-double median(std::vector<double> values);
-
-/// Wilson score interval for a binomial proportion: returns {lo, hi} for
-/// `successes` out of `trials` at the confidence of z-score `z` (default
-/// ~95%). Used for yield estimates and their early-stopping decisions.
-struct ProportionInterval {
-  double estimate;
-  double lo;
-  double hi;
-};
-ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
-                                   double z = 1.959963984540054);
 
 /// How censored samples (evaluations that FAILED rather than returned a
 /// pass/fail verdict — solver aborts, non-finite metrics) enter a yield
@@ -67,6 +58,46 @@ enum class CensoredPolicy {
 
 const char* to_string(CensoredPolicy policy);
 
+/// Quantile of a sample using linear interpolation between order statistics
+/// (type-7, the numpy default). `p` in [0,1]. Sorts a copy.
+///
+/// NaN entries (censored-sample slots) are partitioned out before the sort
+/// — sorting NaNs violates strict weak ordering and is undefined behavior —
+/// and ignored (CensoredPolicy::kExclude semantics). At least one non-NaN
+/// sample must remain. ±Inf are legitimate, sortable values and are kept.
+double quantile(std::vector<double> values, double p);
+
+/// Convenience: median.
+double median(std::vector<double> values);
+
+/// Quantile with explicit censoring accounting. Never throws: an empty or
+/// all-NaN sample, or `p` outside [0,1], reports value == nullopt.
+///
+/// Under kExclude the quantile is taken over the non-NaN entries alone.
+/// Under kTreatAsFail each NaN counts as a sample at the FAILING extreme
+/// (+inf — conservative for error-magnitude metrics, where larger is
+/// worse); a quantile that lands in that censored tail has no finite value
+/// and reports nullopt.
+struct CensoredQuantile {
+  std::optional<double> value;
+  std::size_t used = 0;      ///< non-NaN samples the estimate is built on
+  std::size_t censored = 0;  ///< NaN slots partitioned out of the sort
+};
+CensoredQuantile quantile_censored(
+    std::vector<double> values, double p,
+    CensoredPolicy policy = CensoredPolicy::kExclude);
+
+/// Wilson score interval for a binomial proportion: returns {lo, hi} for
+/// `successes` out of `trials` at the confidence of z-score `z` (default
+/// ~95%). Used for yield estimates and their early-stopping decisions.
+struct ProportionInterval {
+  double estimate;
+  double lo;
+  double hi;
+};
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double z = 1.959963984540054);
+
 /// Wilson interval over `trials` draws of which `censored` produced no
 /// verdict, folding the censored draws in per `policy`. `successes` counts
 /// uncensored passes only; `censored <= trials`, and under kExclude at
@@ -74,5 +105,71 @@ const char* to_string(CensoredPolicy policy);
 ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
                                    std::size_t censored, CensoredPolicy policy,
                                    double z = 1.959963984540054);
+
+/// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+
+/// Standard normal quantile Phi^-1(p), p in (0,1). Acklam's rational
+/// approximation (|rel err| < 1.2e-9) — pure arithmetic, no libm special
+/// functions, so the result is bit-identical across platforms and safe to
+/// use inside reproducible sampling paths (QMC point -> normal mapping).
+double normal_quantile(double p);
+
+/// Running sums of an importance-sampled (weighted) sample: weights w_i
+/// and values x_i accumulate the five power sums the self-normalized
+/// estimator and its delta-method variance need. For yield runs x_i is the
+/// 0/1 pass indicator. Deterministic given the insertion order.
+struct WeightedSums {
+  double w = 0.0;     ///< sum w_i
+  double w2 = 0.0;    ///< sum w_i^2
+  double wx = 0.0;    ///< sum w_i x_i
+  double w2x = 0.0;   ///< sum w_i^2 x_i
+  double w2x2 = 0.0;  ///< sum w_i^2 x_i^2
+  std::size_t count = 0;
+
+  void add(double weight, double x);
+  void merge(const WeightedSums& other);
+
+  /// Self-normalized estimate sum(w x)/sum(w); requires w > 0.
+  double mean() const;
+  /// Kish effective sample size (sum w)^2 / sum w^2; 0 when empty.
+  double ess() const;
+  /// Delta-method variance of mean(): sum w_i^2 (x_i - mean)^2 / (sum w)^2.
+  double mean_variance() const;
+  /// Unbiased (unnormalized) estimate sum(w x)/count — the classic
+  /// importance-sampling estimator; requires count > 0.
+  double mean_unnormalized() const;
+  /// Variance of mean_unnormalized(): sample variance of w_i x_i over n.
+  double mean_unnormalized_variance() const;
+};
+
+/// Self-normalized importance-sampling CI for a proportion (0/1 values):
+/// mean +- z*sqrt(mean_variance), clamped to [0,1]. Requires sum w > 0.
+ProportionInterval self_normalized_interval(const WeightedSums& sums,
+                                            double z = 1.959963984540054);
+
+/// CI for the unbiased (unnormalized) importance-sampling proportion
+/// estimate, clamped to [0,1]. Requires count > 0.
+ProportionInterval unnormalized_interval(const WeightedSums& sums,
+                                         double z = 1.959963984540054);
+
+/// One stratum's tallies for a post-stratified yield estimate: `weight` is
+/// the stratum's probability mass W_k (sum to 1 across strata), `total`
+/// counts every committed sample of the stratum including `censored` ones,
+/// `passed` the uncensored passes.
+struct StratumCount {
+  double weight = 0.0;
+  std::size_t passed = 0;
+  std::size_t total = 0;
+  std::size_t censored = 0;
+};
+
+/// Post-stratified yield estimate Y = sum_k W_k p_k with a normal-
+/// approximation interval from var = sum_k W_k^2 p_k(1-p_k)/n_k, censoring
+/// folded into each stratum per `policy`. Every stratum must keep a
+/// positive denominator under the policy.
+ProportionInterval post_stratified_interval(
+    const std::vector<StratumCount>& strata, CensoredPolicy policy,
+    double z = 1.959963984540054);
 
 }  // namespace relsim

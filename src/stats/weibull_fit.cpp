@@ -57,31 +57,97 @@ WeibullEstimate fit_weibull_mle(const std::vector<double>& times) {
   }
   const double n = static_cast<double>(times.size());
   double mean_lt = 0.0;
-  for (double v : lt) mean_lt += v;
+  double max_lt = lt.front();
+  for (double v : lt) {
+    mean_lt += v;
+    max_lt = std::max(max_lt, v);
+  }
   mean_lt /= n;
 
-  // Solve g(k) = sum(t^k ln t)/sum(t^k) - 1/k - mean(ln t) = 0 by Newton.
-  double k = 1.0;
-  for (int iter = 0; iter < 200; ++iter) {
+  // Profile-likelihood shape equation
+  //   g(k) = sum(t^k ln t)/sum(t^k) - 1/k - mean(ln t) = 0.
+  // g is strictly increasing, g(0+) = -inf and g(inf) = max(ln t) -
+  // mean(ln t) >= 0, so a root exists iff the sample is non-degenerate.
+  // Powers are evaluated as exp(k (ln t - max ln t)) so s0 stays in (0, n]
+  // for any k — the naive pow(t, k) overflows long before the bracket caps.
+  struct GEval {
+    double g;
+    double dg;
+    double s0;
+  };
+  const auto eval = [&](double k) {
     double s0 = 0.0, s1 = 0.0, s2 = 0.0;
-    for (std::size_t i = 0; i < times.size(); ++i) {
-      const double tk = std::pow(times[i], k);
+    for (std::size_t i = 0; i < lt.size(); ++i) {
+      const double tk = std::exp(k * (lt[i] - max_lt));
       s0 += tk;
       s1 += tk * lt[i];
       s2 += tk * lt[i] * lt[i];
     }
-    const double g = s1 / s0 - 1.0 / k - mean_lt;
-    const double dg = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
-    const double step = g / dg;
-    k -= step;
-    RELSIM_REQUIRE(k > 0.0, "Weibull MLE shape became non-positive");
-    if (std::abs(step) < 1e-12 * std::max(1.0, std::abs(k))) {
-      double s = 0.0;
-      for (double t : times) s += std::pow(t, k);
+    GEval e;
+    e.g = s1 / s0 - 1.0 / k - mean_lt;
+    e.dg = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+    e.s0 = s0;
+    return e;
+  };
+
+  // Bracket the root by doubling/halving from k = 1.
+  double k_lo = 1.0, k_hi = 1.0;
+  if (eval(1.0).g < 0.0) {
+    bool bracketed = false;
+    while (k_hi < 1e15) {
+      k_hi *= 2.0;
+      if (eval(k_hi).g >= 0.0) {
+        k_lo = k_hi / 2.0;
+        bracketed = true;
+        break;
+      }
+    }
+    if (!bracketed) {
+      throw ConvergenceError(
+          "Weibull MLE: sample is (near-)degenerate — no finite shape "
+          "maximizes the likelihood");
+    }
+  } else {
+    while (eval(k_lo).g >= 0.0) {
+      k_hi = k_lo;
+      k_lo *= 0.5;
+      RELSIM_REQUIRE(k_lo > 1e-300, "Weibull MLE bracket collapsed");
+    }
+  }
+
+  // Damped Newton inside the bracket; any step leaving it (or a sick
+  // derivative) falls back to bisection, so k stays positive throughout.
+  double k = 0.5 * (k_lo + k_hi);
+  GEval e = eval(k);
+  for (int iter = 0; iter < 200; ++iter) {
+    (e.g < 0.0 ? k_lo : k_hi) = k;
+    double next = k - e.g / e.dg;
+    if (!std::isfinite(next) || next <= k_lo || next >= k_hi) {
+      next = 0.5 * (k_lo + k_hi);
+    }
+    const double step = next - k;
+    k = next;
+    e = eval(k);
+    if (std::abs(step) < 1e-12 * std::max(1.0, k) ||
+        k_hi - k_lo < 1e-12 * k) {
       WeibullEstimate est;
       est.shape = k;
-      est.scale = std::pow(s / n, 1.0 / k);
-      est.r_squared = 1.0;
+      // sum t^k = exp(k max_lt) * s0, so eta = exp(max_lt) (s0/n)^(1/k).
+      est.scale = std::exp(max_lt) * std::pow(e.s0 / n, 1.0 / k);
+      // Real goodness-of-fit: r^2 of the Weibull-plot points against the
+      // MLE line y = k (ln t - ln eta).
+      const auto points = weibull_plot(times);
+      const double ln_eta = std::log(est.scale);
+      double mean_y = 0.0;
+      for (const auto& p : points) mean_y += p.weibull_y;
+      mean_y /= static_cast<double>(points.size());
+      double ss_res = 0.0, ss_tot = 0.0;
+      for (const auto& p : points) {
+        const double fit_y = k * (p.ln_time - ln_eta);
+        ss_res += (p.weibull_y - fit_y) * (p.weibull_y - fit_y);
+        ss_tot += (p.weibull_y - mean_y) * (p.weibull_y - mean_y);
+      }
+      est.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
       return est;
     }
   }

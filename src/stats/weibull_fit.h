@@ -14,7 +14,11 @@ namespace relsim {
 struct WeibullEstimate {
   double shape = 0.0;  ///< beta (the "Weibull slope")
   double scale = 0.0;  ///< eta (63.2% life)
-  /// r^2 of the rank-regression line (1.0 for the MLE estimator).
+  /// Coefficient of determination of the Weibull-plot points against the
+  /// fitted line. For rank regression this is the regression r^2; for the
+  /// MLE it is computed a posteriori against the MLE line (a real
+  /// goodness-of-fit — it can be < the rank-regression value, and negative
+  /// for a sample that is not Weibull at all).
   double r_squared = 0.0;
 };
 
@@ -33,7 +37,11 @@ std::vector<WeibullPlotPoint> weibull_plot(std::vector<double> times);
 WeibullEstimate fit_weibull_rank_regression(std::vector<double> times);
 
 /// Maximum-likelihood estimate. Requires >= 3 strictly positive samples.
-/// Throws ConvergenceError if the Newton iteration does not converge.
+/// The shape equation is solved by bracketing the (strictly increasing)
+/// profile-likelihood root and running damped Newton steps clipped into the
+/// bracket, with bisection as the fallback — the iteration cannot overshoot
+/// into k <= 0. Throws ConvergenceError only for (near-)degenerate samples
+/// where no finite shape maximizes the likelihood (all times equal).
 WeibullEstimate fit_weibull_mle(const std::vector<double>& times);
 
 }  // namespace relsim

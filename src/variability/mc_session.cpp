@@ -99,12 +99,17 @@ namespace {
 // resume a metric run (the stored per-sample doubles mean different things).
 enum class RunKind : std::uint64_t { kYield = 0, kMetric = 1 };
 
-// Checkpoint format v2 ("RSMCKPT2"): magic, {seed, n, kind, count} header,
-// done bitmap, per-sample failure-status bytes, per-sample attempt counts,
-// per-sample values, and a trailing CRC-32 over everything before it. A v1
-// file (no CRC, no status/attempts) fails the magic check and is handled
-// as corruption, never silently read.
-constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '2'};
+// Checkpoint format v3 ("RSMCKPT3"): magic, {seed, n, kind, count,
+// strategy kind, strategy digest, flags} header, done bitmap, per-sample
+// failure-status bytes, per-sample attempt counts, per-sample values, the
+// per-sample importance weights when flags bit 0 is set, and a trailing
+// CRC-32 over everything before it. The strategy identity in the header
+// means a checkpoint can never silently resume under a different sampler
+// (that throws as a caller error, like a seed mismatch). A v1/v2 file
+// fails the magic check and is handled as corruption, never silently read.
+constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '3'};
+constexpr std::uint64_t kCheckpointHasWeights = 1;
+constexpr std::size_t kCheckpointHeaderWords = 7;
 
 struct Range {
   std::size_t lo = 0;
@@ -123,10 +128,12 @@ std::uint64_t read_u64_at(const std::string& buf, std::size_t offset) {
   return v;
 }
 
-std::size_t checkpoint_image_size(std::size_t n) {
-  return sizeof(kCheckpointMagic) + 4 * sizeof(std::uint64_t) +
+std::size_t checkpoint_image_size(std::size_t n, bool has_weights) {
+  return sizeof(kCheckpointMagic) +
+         kCheckpointHeaderWords * sizeof(std::uint64_t) +
          (n + 7) / 8 /* bitmap */ + n /* status */ + n /* attempts */ +
-         n * sizeof(double) + sizeof(std::uint32_t) /* CRC */;
+         n * sizeof(double) + (has_weights ? n * sizeof(double) : 0) +
+         sizeof(std::uint32_t) /* CRC */;
 }
 
 /// Loads a checkpoint into `done`/`values`/`status`/`attempts`; returns
@@ -137,9 +144,11 @@ std::size_t checkpoint_image_size(std::size_t n) {
 /// INTACT but belongs to a different request always throws.
 std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
                             std::size_t n, RunKind kind,
+                            const SampleStrategyConfig& strategy,
                             McCheckpointRecovery recovery,
                             std::vector<std::uint8_t>& done,
                             std::vector<double>& values,
+                            std::vector<double>& weights,
                             std::vector<std::uint8_t>& status,
                             std::vector<std::uint8_t>& attempts,
                             bool& discarded) {
@@ -163,7 +172,7 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
   };
 
   const std::size_t header_size =
-      sizeof(kCheckpointMagic) + 4 * sizeof(std::uint64_t);
+      sizeof(kCheckpointMagic) + kCheckpointHeaderWords * sizeof(std::uint64_t);
   if (buf.size() < header_size + sizeof(std::uint32_t)) {
     return corrupt("truncated header");
   }
@@ -182,14 +191,27 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
   const std::uint64_t f_n = read_u64_at(buf, off + 8);
   const std::uint64_t f_kind = read_u64_at(buf, off + 16);
   const std::uint64_t f_count = read_u64_at(buf, off + 24);
-  off += 32;
-  if (buf.size() != checkpoint_image_size(static_cast<std::size_t>(f_n))) {
+  const std::uint64_t f_strategy = read_u64_at(buf, off + 32);
+  const std::uint64_t f_digest = read_u64_at(buf, off + 40);
+  const std::uint64_t f_flags = read_u64_at(buf, off + 48);
+  off += kCheckpointHeaderWords * sizeof(std::uint64_t);
+  const bool has_weights = (f_flags & kCheckpointHasWeights) != 0;
+  if (buf.size() !=
+      checkpoint_image_size(static_cast<std::size_t>(f_n), has_weights)) {
     return corrupt("size does not match header");
   }
   RELSIM_REQUIRE(f_seed == seed && f_n == n &&
                      f_kind == static_cast<std::uint64_t>(kind),
                  "Monte-Carlo checkpoint does not match this request "
                  "(different seed, sample count or run kind): " + path);
+  RELSIM_REQUIRE(
+      f_strategy == static_cast<std::uint64_t>(strategy.kind) &&
+          f_digest == strategy.digest(),
+      "Monte-Carlo checkpoint was written under a different sampling "
+      "strategy (kind or parameters): " + path);
+  RELSIM_REQUIRE(has_weights == !weights.empty(),
+                 "Monte-Carlo checkpoint weight section disagrees with the "
+                 "strategy: " + path);
 
   const std::size_t bitmap_size = (n + 7) / 8;
   const unsigned char* bitmap =
@@ -200,6 +222,10 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
   std::memcpy(attempts.data(), buf.data() + off, n);
   off += n;
   std::memcpy(values.data(), buf.data() + off, n * sizeof(double));
+  off += n * sizeof(double);
+  if (has_weights) {
+    std::memcpy(weights.data(), buf.data() + off, n * sizeof(double));
+  }
 
   std::size_t restored = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -212,6 +238,7 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
     std::fill(done.begin(), done.end(), 0);
     std::fill(status.begin(), status.end(), 0);
     std::fill(attempts.begin(), attempts.end(), 0);
+    std::fill(weights.begin(), weights.end(), 0.0);
     return corrupt("bitmap disagrees with header count");
   }
   return restored;
@@ -221,12 +248,15 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
 /// and values, CRC-protected.
 void save_checkpoint(const std::string& path, std::uint64_t seed,
                      std::size_t n, RunKind kind,
+                     const SampleStrategyConfig& strategy,
                      const std::vector<std::uint8_t>& done,
                      const std::vector<double>& values,
+                     const std::vector<double>& weights,
                      const std::vector<std::uint8_t>& status,
                      const std::vector<std::uint8_t>& attempts) {
+  const bool has_weights = !weights.empty();
   std::string buf;
-  buf.reserve(checkpoint_image_size(n));
+  buf.reserve(checkpoint_image_size(n, has_weights));
   buf.append(kCheckpointMagic, sizeof(kCheckpointMagic));
   append_u64(buf, seed);
   append_u64(buf, static_cast<std::uint64_t>(n));
@@ -240,11 +270,18 @@ void save_checkpoint(const std::string& path, std::uint64_t seed,
     }
   }
   append_u64(buf, count);
+  append_u64(buf, static_cast<std::uint64_t>(strategy.kind));
+  append_u64(buf, strategy.digest());
+  append_u64(buf, has_weights ? kCheckpointHasWeights : 0);
   buf.append(reinterpret_cast<const char*>(bitmap.data()), bitmap.size());
   buf.append(reinterpret_cast<const char*>(status.data()), n);
   buf.append(reinterpret_cast<const char*>(attempts.data()), n);
   buf.append(reinterpret_cast<const char*>(values.data()),
              n * sizeof(double));
+  if (has_weights) {
+    buf.append(reinterpret_cast<const char*>(weights.data()),
+               n * sizeof(double));
+  }
   const std::uint32_t crc = crc32(buf.data(), buf.size());
   buf.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
 
@@ -273,11 +310,12 @@ void save_checkpoint(const std::string& path, std::uint64_t seed,
   }
 }
 
-/// The shared run driver. `eval(rng, index)` returns the per-sample double
-/// (metric value, or 0/1 for yield runs).
+/// The shared run driver. `eval(point)` returns the per-sample double
+/// (metric value, or 0/1 for yield runs); legacy (rng, index) callbacks
+/// are wrapped by the McSession entry points and read the plain stream
+/// through the point view, which is bit-compatible with PR-2.
 McResult run_session(const McRequest& req, RunKind kind,
-                     const std::function<double(Xoshiro256&, std::size_t)>&
-                         eval) {
+                     const std::function<double(McSamplePoint&)>& eval) {
   obs::init_trace_from_env();
   // Work counters (deterministic: identical for any thread count/chunk
   // size on a full run of the same request — see obs/metrics.h). Timing
@@ -309,12 +347,27 @@ McResult run_session(const McRequest& req, RunKind kind,
   const auto t_start = std::chrono::steady_clock::now();
   const std::size_t n = req.n;
   const bool yield_kind = kind == RunKind::kYield;
+  RELSIM_REQUIRE(yield_kind || (req.strategy.kind !=
+                                    McSampleStrategy::kStratified &&
+                                req.strategy.kind !=
+                                    McSampleStrategy::kImportance),
+                 "stratified/importance strategies are yield-run only "
+                 "(their estimators are proportion estimators)");
 
   McResult result;
   result.requested = n;
   result.run.kind = yield_kind ? "yield" : "metric";
   if (n == 0) return result;
   c_runs.inc();
+  obs::metrics()
+      .counter(std::string("mc.strategy.") + to_string(req.strategy.kind))
+      .inc();
+
+  // Validates the config (including the per-stratum allocation) and owns
+  // the point set; shared read-only by every worker.
+  const StrategyDriver driver(req.strategy, req.seed, n);
+  const bool weighted = driver.weighted();
+  const bool stratified = driver.stratified();
 
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
       resolve_threads(req.threads), n));
@@ -345,6 +398,9 @@ McResult run_session(const McRequest& req, RunKind kind,
   // censored samples (0 = evaluated fine), `attempts` the evaluation
   // attempts spent; both are written only by the worker owning the sample.
   std::vector<double> values(n, 0.0);
+  // Per-sample likelihood-ratio weights (importance strategy only; empty
+  // otherwise — the empty/non-empty state doubles as the checkpoint flag).
+  std::vector<double> weights(weighted ? n : 0, 0.0);
   std::vector<std::uint8_t> done(n, 0);
   std::vector<std::uint8_t> status(n, 0);
   std::vector<std::uint8_t> attempts(n, 0);
@@ -352,8 +408,9 @@ McResult run_session(const McRequest& req, RunKind kind,
   bool checkpoint_discarded = false;
   if (!req.checkpoint_path.empty()) {
     resumed = load_checkpoint(req.checkpoint_path, req.seed, n, kind,
-                              req.checkpoint_recovery, done, values, status,
-                              attempts, checkpoint_discarded);
+                              req.strategy, req.checkpoint_recovery, done,
+                              values, weights, status, attempts,
+                              checkpoint_discarded);
     c_restored.inc(static_cast<std::int64_t>(resumed));
   }
   result.resumed = resumed;
@@ -372,6 +429,13 @@ McResult run_session(const McRequest& req, RunKind kind,
   std::size_t passed = 0;
   std::size_t failed_committed = 0;
   RunningStats metric_stats;
+  // Strategy accumulators, fed in the same index-ordered commit pass as
+  // the plain tallies — so they inherit bit-identity across worker counts.
+  WeightedSums wsums;
+  std::vector<StratumCount> strata_tally(driver.stratum_count());
+  for (std::size_t k = 0; k < strata_tally.size(); ++k) {
+    strata_tally[k].weight = req.strategy.strata[k].weight;
+  }
   std::vector<McFailingSample> failing;
   std::vector<McFailedSample> failed_records;
   bool decided = false;
@@ -383,6 +447,8 @@ McResult run_session(const McRequest& req, RunKind kind,
   std::size_t decided_passed = 0;
   std::size_t decided_failed = 0;
   RunningStats decided_stats;
+  WeightedSums decided_wsums;
+  std::vector<StratumCount> decided_strata;
   std::vector<McFailingSample> decided_failing;
   std::vector<McFailedSample> decided_failed_records;
   std::size_t last_checkpoint = 0;
@@ -411,8 +477,8 @@ McResult run_session(const McRequest& req, RunKind kind,
         }
       }
     }
-    save_checkpoint(req.checkpoint_path, req.seed, n, kind, snapshot, values,
-                    status, attempts);
+    save_checkpoint(req.checkpoint_path, req.seed, n, kind, req.strategy,
+                    snapshot, values, weights, status, attempts);
     c_ckpt_writes.inc();
     h_ckpt_seconds.observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -434,9 +500,29 @@ McResult run_session(const McRequest& req, RunKind kind,
           committed == failed_committed) {
         return;
       }
-      const ProportionInterval iv =
-          wilson_interval(passed, committed, failed_committed, req.censored,
-                          req.stopping.confidence_z);
+      // The decision interval matches the strategy's estimator: the
+      // self-normalized CI for importance runs, the post-stratified CI for
+      // stratified runs (only once every stratum has a usable denominator
+      // — a missing stratum means the prefix cannot bound the estimate),
+      // pooled Wilson otherwise. LHS/Sobol use pooled Wilson too, which
+      // IGNORES their variance reduction: a conservative, valid bound.
+      ProportionInterval iv{0.0, 0.0, 0.0};
+      if (weighted) {
+        if (wsums.w <= 0.0) return;
+        iv = self_normalized_interval(wsums, req.stopping.confidence_z);
+      } else if (stratified) {
+        for (const StratumCount& s : strata_tally) {
+          const std::size_t denom = req.censored == CensoredPolicy::kExclude
+                                        ? s.total - s.censored
+                                        : s.total;
+          if (denom == 0) return;
+        }
+        iv = post_stratified_interval(strata_tally, req.censored,
+                                      req.stopping.confidence_z);
+      } else {
+        iv = wilson_interval(passed, committed, failed_committed,
+                             req.censored, req.stopping.confidence_z);
+      }
       const double half = 0.5 * (iv.hi - iv.lo);
       if (req.stopping.ci_half_width > 0.0 &&
           half <= req.stopping.ci_half_width) {
@@ -463,6 +549,8 @@ McResult run_session(const McRequest& req, RunKind kind,
     decided_passed = passed;
     decided_failed = failed_committed;
     decided_stats = metric_stats;
+    decided_wsums = wsums;
+    decided_strata = strata_tally;
     decided_failing = failing;
     decided_failed_records = failed_records;
     stop.store(true, std::memory_order_relaxed);
@@ -497,6 +585,16 @@ McResult run_session(const McRequest& req, RunKind kind,
           }
           if (yield_kind && req.censored == CensoredPolicy::kTreatAsFail) {
             metric_stats.add(0.0);
+            // A censored sample never produced its likelihood ratio, so
+            // treat-as-fail carries it at unit weight with a 0 indicator
+            // (conservative: it can only pull the weighted yield down);
+            // kExclude drops it from the weighted sums entirely.
+            if (weighted) wsums.add(1.0, 0.0);
+          }
+          if (stratified) {
+            StratumCount& s = strata_tally[driver.stratum_of(i)];
+            ++s.total;
+            ++s.censored;
           }
           continue;
         }
@@ -506,6 +604,12 @@ McResult run_session(const McRequest& req, RunKind kind,
           } else if (failing.size() < req.keep_failing_seeds) {
             failing.push_back(
                 {i, derive_seed(req.seed, {static_cast<std::uint64_t>(i)})});
+          }
+          if (weighted) wsums.add(weights[i], v != 0.0 ? 1.0 : 0.0);
+          if (stratified) {
+            StratumCount& s = strata_tally[driver.stratum_of(i)];
+            ++s.total;
+            if (v != 0.0) ++s.passed;
           }
         }
         metric_stats.add(v);
@@ -544,8 +648,6 @@ McResult run_session(const McRequest& req, RunKind kind,
           ? 1 + std::max(0, req.max_retries)
           : 1;
   auto evaluate_sample = [&](std::size_t i) {
-    const std::uint64_t sample_seed =
-        derive_seed(req.seed, {static_cast<std::uint64_t>(i)});
     for (int attempt = 0;; ++attempt) {
       McFailureKind fail_kind = McFailureKind::kNone;
       std::string why;
@@ -559,8 +661,10 @@ McResult run_session(const McRequest& req, RunKind kind,
           throw ConvergenceError(
               "injected: sample evaluation did not converge");
         }
-        Xoshiro256 rng(sample_seed);  // fresh stream on every attempt
-        double v = eval(rng, i);
+        // Fresh point (and so fresh streams + unit weight) on every
+        // attempt: the outcome is a function of the index alone.
+        McSamplePoint point(driver, i);
+        double v = eval(point);
         if (testing::fire(testing::FaultSite::kMcEvalNan)) {
           v = std::numeric_limits<double>::quiet_NaN();
         }
@@ -569,6 +673,7 @@ McResult run_session(const McRequest& req, RunKind kind,
           // kAbort lets non-finite values flow through untouched: that is
           // the legacy behaviour the policy exists to preserve.
           values[i] = v;
+          if (weighted) weights[i] = point.weight();
           attempts[i] = static_cast<std::uint8_t>(
               std::min(attempt + 1, 255));
           if (attempt > 0) {
@@ -726,6 +831,66 @@ McResult run_session(const McRequest& req, RunKind kind,
       result.estimate.interval = wilson_interval(
           final_passed, result.completed, final_failed, req.censored);
     }
+    if (weighted) {
+      const WeightedSums& final_wsums = early ? decided_wsums : wsums;
+      result.weighted.enabled = true;
+      result.weighted.sums = final_wsums;
+      result.weighted.ess = final_wsums.ess();
+      if (final_wsums.w > 0.0) {
+        result.weighted.interval = self_normalized_interval(final_wsums);
+        // The weighted estimator IS the run's yield estimate; the raw
+        // counts above stay available for diagnostics.
+        result.estimate.interval = result.weighted.interval;
+      }
+      static obs::Gauge& g_ess = obs::metrics().gauge("mc.ess");
+      g_ess.set(result.weighted.ess);
+    }
+    if (stratified) {
+      const std::vector<StratumCount>& final_strata =
+          early ? decided_strata : strata_tally;
+      bool all_usable = true;
+      result.strata.reserve(final_strata.size());
+      for (std::size_t k = 0; k < final_strata.size(); ++k) {
+        const StratumCount& s = final_strata[k];
+        McStratumResult row;
+        row.index = static_cast<unsigned>(k);
+        row.label = req.strategy.strata[k].label;
+        row.weight = s.weight;
+        row.samples = s.total;
+        row.passed = s.passed;
+        row.censored = s.censored;
+        const std::size_t denom = req.censored == CensoredPolicy::kExclude
+                                      ? s.total - s.censored
+                                      : s.total;
+        if (denom > 0) {
+          row.interval =
+              wilson_interval(s.passed, s.total, s.censored, req.censored);
+        } else {
+          all_usable = false;
+        }
+        result.strata.push_back(std::move(row));
+        // Deterministic per-stratum work counters (final committed
+        // tallies, not scheduling artifacts).
+        const std::string prefix = "mc.stratum." + std::to_string(k);
+        obs::metrics().counter(prefix + ".samples").inc(
+            static_cast<std::int64_t>(s.total));
+        obs::metrics().counter(prefix + ".passed").inc(
+            static_cast<std::int64_t>(s.passed));
+        obs::metrics().counter(prefix + ".censored").inc(
+            static_cast<std::int64_t>(s.censored));
+      }
+      if (all_usable) {
+        result.estimate.interval =
+            post_stratified_interval(final_strata, req.censored);
+      } else {
+        // An (early-stopped or heavily censored) run can leave a stratum
+        // with no usable samples; the pooled Wilson interval above is then
+        // the best defined answer — keep it and say so.
+        log_warn("stratified run has a stratum with no usable samples; "
+                 "reporting the pooled Wilson interval instead of the "
+                 "post-stratified estimate");
+      }
+    }
   }
   if (!yield_kind || req.keep_values) {
     values.resize(result.completed);
@@ -766,6 +931,8 @@ obs::RunManifest mc_manifest(const McRequest& req, const McResult& result) {
                                                             : "static-blocks";
   m.failure_policy = to_string(req.failure_policy);
   m.censored_policy = to_string(req.censored);
+  m.strategy = to_string(req.strategy.kind);
+  m.strategy_dimensions = req.strategy.dimensions;
   m.requested = result.requested;
   m.completed = result.completed;
   m.resumed = result.resumed;
@@ -783,6 +950,20 @@ obs::RunManifest mc_manifest(const McRequest& req, const McResult& result) {
     m.yield = result.estimate.yield();
     m.yield_lo = result.estimate.interval.lo;
     m.yield_hi = result.estimate.interval.hi;
+  }
+  if (result.weighted.enabled) {
+    m.has_weighted = true;
+    m.ess = result.weighted.ess;
+    m.weight_sum = result.weighted.sums.w;
+    m.weight_sum_sq = result.weighted.sums.w2;
+    m.weighted_yield = result.weighted.interval.estimate;
+    m.weighted_lo = result.weighted.interval.lo;
+    m.weighted_hi = result.weighted.interval.hi;
+  }
+  m.strata.reserve(result.strata.size());
+  for (const McStratumResult& s : result.strata) {
+    m.strata.push_back({s.label, s.weight, s.samples, s.passed, s.censored,
+                        s.interval.estimate, s.interval.lo, s.interval.hi});
   }
   m.workers.reserve(result.workers().size());
   for (const McWorkerTelemetry& w : result.workers()) {
@@ -807,18 +988,29 @@ obs::RunManifest mc_manifest(const McRequest& req, const McResult& result) {
 
 McResult McSession::run_yield(const McPredicate& pass) const {
   RELSIM_REQUIRE(bool(pass), "McSession::run_yield needs a predicate");
-  return run_session(request_, RunKind::kYield,
-                     [&pass](Xoshiro256& rng, std::size_t i) {
-                       return pass(rng, i) ? 1.0 : 0.0;
-                     });
+  return run_session(request_, RunKind::kYield, [&pass](McSamplePoint& p) {
+    return pass(p.rng(), p.index()) ? 1.0 : 0.0;
+  });
+}
+
+McResult McSession::run_yield(const McPointPredicate& pass) const {
+  RELSIM_REQUIRE(bool(pass), "McSession::run_yield needs a predicate");
+  return run_session(request_, RunKind::kYield, [&pass](McSamplePoint& p) {
+    return pass(p) ? 1.0 : 0.0;
+  });
 }
 
 McResult McSession::run_metric(const McMetric& metric) const {
   RELSIM_REQUIRE(bool(metric), "McSession::run_metric needs a metric");
+  return run_session(request_, RunKind::kMetric, [&metric](McSamplePoint& p) {
+    return metric(p.rng(), p.index());
+  });
+}
+
+McResult McSession::run_metric(const McPointMetric& metric) const {
+  RELSIM_REQUIRE(bool(metric), "McSession::run_metric needs a metric");
   return run_session(request_, RunKind::kMetric,
-                     [&metric](Xoshiro256& rng, std::size_t i) {
-                       return metric(rng, i);
-                     });
+                     [&metric](McSamplePoint& p) { return metric(p); });
 }
 
 }  // namespace relsim

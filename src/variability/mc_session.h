@@ -36,6 +36,7 @@
 #include "obs/manifest.h"
 #include "rng/rng.h"
 #include "stats/summary.h"
+#include "variability/sample_strategy.h"
 
 namespace relsim {
 
@@ -47,6 +48,9 @@ struct YieldEstimate {
   /// Samples whose evaluation FAILED (no pass/fail verdict), folded into
   /// the interval per the request's censored policy.
   std::size_t censored = 0;
+  /// Wilson interval for plain/LHS/Sobol runs; the self-normalized
+  /// weighted interval for importance runs; the post-stratified interval
+  /// for stratified runs. passed/total always stay raw counts.
   ProportionInterval interval{0.0, 0.0, 0.0};
 
   double yield() const { return interval.estimate; }
@@ -146,6 +150,14 @@ struct McRequest {
   std::size_t chunk = 32;  ///< samples per work-stealing chunk
   McPartition partition = McPartition::kWorkStealing;
   McStoppingRule stopping;
+  /// Variance-reduction sampling strategy (default: plain pseudo-random,
+  /// the exact PR-2 draw stream). Strategies only change how per-sample
+  /// inputs are produced — scheduling, commit order and all determinism
+  /// invariants are untouched. kStratified / kImportance are yield-run
+  /// strategies (their estimators are proportion estimators); kImportance
+  /// feeds its self-normalized CI to the early-stopping rule, kStratified
+  /// its post-stratified CI. See sample_strategy.h.
+  SampleStrategyConfig strategy;
   /// What to do when a sample evaluation throws. kAbort reproduces the
   /// legacy stop-and-rethrow behaviour bit-for-bit; kSkip/kRetryThenSkip
   /// censor the sample and keep the run alive. Surviving samples are
@@ -163,8 +175,9 @@ struct McRequest {
   /// Non-empty enables checkpointing: progress is serialized here every
   /// `checkpoint_every` committed samples (atomically: tmp file + rename)
   /// and once more when the run ends or a worker throws. An existing file
-  /// written for the same {seed, n, run kind} is loaded before the run and
-  /// its samples are not re-evaluated; a mismatched file throws. Integrity
+  /// written for the same {seed, n, run kind, sampling strategy} is loaded
+  /// before the run and its samples are not re-evaluated; a mismatched
+  /// file (including a strategy mismatch) throws. Integrity
   /// is protected by a CRC-32 over the whole image; what happens when the
   /// check fails is `checkpoint_recovery`'s call.
   std::string checkpoint_path;
@@ -236,10 +249,42 @@ struct McRunTelemetry {
   double elapsed_seconds = 0.0;
 };
 
+/// Per-stratum outcome of a stratified yield run (committed prefix).
+struct McStratumResult {
+  unsigned index = 0;
+  std::string label;
+  double weight = 0.0;        ///< declared probability mass W_k
+  std::size_t samples = 0;    ///< committed samples allocated to the stratum
+  std::size_t passed = 0;     ///< uncensored passes
+  std::size_t censored = 0;   ///< censored samples in the stratum
+  /// Per-stratum Wilson interval (censoring folded in per the request's
+  /// policy); {0,0,0} when the stratum has no usable denominator.
+  ProportionInterval interval{0.0, 0.0, 0.0};
+};
+
+/// Weighted-estimator state of an importance-sampling yield run.
+struct McWeightedEstimate {
+  bool enabled = false;
+  /// Committed-prefix power sums of (weight, pass indicator).
+  WeightedSums sums;
+  /// Kish effective sample size (sums.ess()); a small ESS relative to the
+  /// sample count means the proposal shift is too aggressive and the CI
+  /// below is not trustworthy.
+  double ess = 0.0;
+  /// Self-normalized estimate with its delta-method CI (also surfaced as
+  /// McResult::estimate.interval).
+  ProportionInterval interval{0.0, 0.0, 0.0};
+};
+
 struct McResult {
   /// Pass/fail summary over the completed prefix (yield runs; metric runs
   /// leave total == 0).
   YieldEstimate estimate;
+  /// Stratified yield runs: per-stratum tallies and Wilson intervals, in
+  /// declaration order. Empty for every other strategy.
+  std::vector<McStratumResult> strata;
+  /// Importance yield runs: weighted estimator + ESS diagnostics.
+  McWeightedEstimate weighted;
   /// Streaming metric moments over the completed prefix (metric runs).
   RunningStats metric;
   /// Per-sample outcomes for samples [0, completed): metric values, or 0/1
@@ -274,6 +319,10 @@ obs::RunManifest mc_manifest(const McRequest& req, const McResult& result);
 
 using McPredicate = std::function<bool(Xoshiro256&, std::size_t)>;
 using McMetric = std::function<double(Xoshiro256&, std::size_t)>;
+/// Strategy-aware callbacks: the point view exposes the strategy's tracked
+/// inputs (uniform/normal per dimension) plus the plain sample stream.
+using McPointPredicate = std::function<bool(McSamplePoint&)>;
+using McPointMetric = std::function<double(McSamplePoint&)>;
 
 /// One Monte-Carlo run, configured by an McRequest.
 ///
@@ -300,10 +349,22 @@ class McSession {
   }
 
   /// Pass/fail run: McResult::estimate carries the Wilson yield estimate.
+  /// A legacy (rng, index) predicate receives the plain sample stream and
+  /// is bit-compatible with PR-2 regardless of the configured strategy
+  /// (tracked inputs it never asks for are simply not drawn).
   McResult run_yield(const McPredicate& pass) const;
+
+  /// Strategy-aware pass/fail run: the predicate draws its random inputs
+  /// through the McSamplePoint view, so LHS/Sobol/stratified/importance
+  /// inputs reach the model. Required for any strategy to actually bite.
+  McResult run_yield(const McPointPredicate& pass) const;
 
   /// Metric run: McResult::metric and McResult::values carry the samples.
   McResult run_metric(const McMetric& metric) const;
+
+  /// Strategy-aware metric run (kPseudoRandom / kLatinHypercube / kSobol;
+  /// the stratified and importance estimators are yield-only).
+  McResult run_metric(const McPointMetric& metric) const;
 
  private:
   McRequest request_;

@@ -1,0 +1,274 @@
+#include "variability/sample_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "rng/distributions.h"
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace relsim {
+namespace {
+
+// Stream tag for the stratified jitter of tracked input 0 (decorrelated
+// from the plain sample stream derive_seed(seed, {index})).
+constexpr std::uint64_t kStratJitterTag = 0x53747261744a6974ull;  // "StratJit"
+
+constexpr double kGoldenFrac = 0.6180339887498949;  // 1/phi
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void append_bits(std::string& buf, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  buf.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+}  // namespace
+
+const char* to_string(McSampleStrategy strategy) {
+  switch (strategy) {
+    case McSampleStrategy::kPseudoRandom:
+      return "pseudo-random";
+    case McSampleStrategy::kLatinHypercube:
+      return "latin-hypercube";
+    case McSampleStrategy::kSobol:
+      return "sobol";
+    case McSampleStrategy::kStratified:
+      return "stratified";
+    case McSampleStrategy::kImportance:
+      return "importance";
+  }
+  return "unknown";
+}
+
+void SampleStrategyConfig::validate(std::size_t n) const {
+  switch (kind) {
+    case McSampleStrategy::kPseudoRandom:
+      return;
+    case McSampleStrategy::kLatinHypercube:
+      RELSIM_REQUIRE(dimensions >= 1,
+                     "latin-hypercube strategy needs dimensions >= 1");
+      RELSIM_REQUIRE(strata.empty() && shift.empty(),
+                     "latin-hypercube strategy takes no strata/shift");
+      return;
+    case McSampleStrategy::kSobol:
+      RELSIM_REQUIRE(dimensions >= 1, "sobol strategy needs dimensions >= 1");
+      RELSIM_REQUIRE(dimensions <= kSobolMaxDimensions,
+                     "sobol strategy supports at most 21 dimensions");
+      RELSIM_REQUIRE(strata.empty() && shift.empty(),
+                     "sobol strategy takes no strata/shift");
+      return;
+    case McSampleStrategy::kStratified: {
+      RELSIM_REQUIRE(strata.size() >= 2,
+                     "stratified strategy needs >= 2 strata");
+      RELSIM_REQUIRE(strata.size() <= 255,
+                     "stratified strategy supports at most 255 strata");
+      RELSIM_REQUIRE(n >= strata.size(),
+                     "stratified strategy needs at least one sample per "
+                     "stratum");
+      RELSIM_REQUIRE(shift.empty(), "stratified strategy takes no shift");
+      double weight_sum = 0.0;
+      for (const McStratum& s : strata) {
+        RELSIM_REQUIRE(std::isfinite(s.weight) && s.weight > 0.0,
+                       "stratum weight must be positive");
+        RELSIM_REQUIRE(s.sample_share < 0.0 ||
+                           (std::isfinite(s.sample_share) &&
+                            s.sample_share > 0.0),
+                       "stratum sample_share must be positive (or < 0 for "
+                       "weight-proportional)");
+        weight_sum += s.weight;
+      }
+      RELSIM_REQUIRE(std::abs(weight_sum - 1.0) < 1e-6,
+                     "stratum weights must sum to 1");
+      return;
+    }
+    case McSampleStrategy::kImportance:
+      RELSIM_REQUIRE(!shift.empty(),
+                     "importance strategy needs a non-empty mean shift");
+      for (double s : shift) {
+        RELSIM_REQUIRE(std::isfinite(s),
+                       "importance shift components must be finite");
+      }
+      RELSIM_REQUIRE(strata.empty(), "importance strategy takes no strata");
+      return;
+  }
+  throw Error("unknown sample strategy kind");
+}
+
+std::uint64_t SampleStrategyConfig::digest() const {
+  std::string buf;
+  buf.push_back(static_cast<char>(kind));
+  buf.append(reinterpret_cast<const char*>(&dimensions), sizeof(dimensions));
+  buf.push_back(scramble ? 1 : 0);
+  const std::uint64_t counts[2] = {strata.size(), shift.size()};
+  buf.append(reinterpret_cast<const char*>(counts), sizeof(counts));
+  for (const McStratum& s : strata) {
+    buf.append(s.label);
+    buf.push_back('\0');
+    append_bits(buf, s.weight);
+    append_bits(buf, s.sample_share);
+  }
+  for (double s : shift) append_bits(buf, s);
+  return fnv1a(buf);
+}
+
+StrategyDriver::StrategyDriver(const SampleStrategyConfig& config,
+                               std::uint64_t seed, std::size_t n)
+    : config_(config), seed_(seed), n_(n) {
+  config_.validate(n);
+  switch (config_.kind) {
+    case McSampleStrategy::kPseudoRandom:
+    case McSampleStrategy::kImportance:
+      return;
+    case McSampleStrategy::kLatinHypercube:
+      lhs_.emplace_back(n, config_.dimensions, seed);
+      return;
+    case McSampleStrategy::kSobol:
+      sobol_.emplace_back(config_.dimensions,
+                          config_.scramble ? seed : std::uint64_t{0});
+      return;
+    case McSampleStrategy::kStratified:
+      break;
+  }
+
+  // Allocation shares (normalized; default: proportional to weight) and
+  // cumulative probability bounds.
+  const std::size_t k_count = config_.strata.size();
+  std::vector<double> share_cum(k_count);
+  double share_sum = 0.0;
+  for (const McStratum& s : config_.strata) {
+    share_sum += s.sample_share < 0.0 ? s.weight : s.sample_share;
+  }
+  double share_acc = 0.0;
+  double weight_acc = 0.0;
+  weight_cum_.resize(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const McStratum& s = config_.strata[k];
+    share_acc += (s.sample_share < 0.0 ? s.weight : s.sample_share) /
+                 share_sum;
+    weight_acc += s.weight;
+    share_cum[k] = share_acc;
+    weight_cum_[k] = weight_acc;
+  }
+  share_cum.back() = 1.0;
+  weight_cum_.back() = 1.0;
+
+  // Deterministic interleaved allocation: sweep the golden-ratio sequence
+  // frac((i+1)/phi) — equidistributed, so each stratum's running count
+  // tracks its share at every prefix length — and map it through the
+  // cumulative share intervals. A purely index-arithmetic scheme keeps the
+  // assignment identical for any worker count and any committed prefix.
+  stratum_of_.resize(n);
+  stratum_counts_.assign(k_count, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = std::fmod(static_cast<double>(i + 1) * kGoldenFrac, 1.0);
+    const auto it = std::upper_bound(share_cum.begin(), share_cum.end(), u);
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(it - share_cum.begin()), k_count - 1);
+    stratum_of_[i] = static_cast<std::uint8_t>(k);
+    ++stratum_counts_[k];
+  }
+  for (std::size_t k = 0; k < k_count; ++k) {
+    RELSIM_REQUIRE(
+        stratum_counts_[k] > 0,
+        "stratum \"" + config_.strata[k].label + "\" receives no samples at n=" +
+            std::to_string(n) + "; increase n or its sample_share");
+  }
+}
+
+unsigned StrategyDriver::stratum_of(std::size_t index) const {
+  RELSIM_REQUIRE(index < n_, "sample index out of range");
+  return stratified() ? stratum_of_[index] : 0;
+}
+
+std::size_t StrategyDriver::stratum_samples(unsigned k) const {
+  RELSIM_REQUIRE(k < stratum_counts_.size(), "stratum index out of range");
+  return stratum_counts_[k];
+}
+
+void StrategyDriver::stratum_bounds(unsigned k, double& lo, double& hi) const {
+  RELSIM_REQUIRE(k < weight_cum_.size(), "stratum index out of range");
+  lo = k == 0 ? 0.0 : weight_cum_[k - 1];
+  hi = weight_cum_[k];
+}
+
+McSamplePoint::McSamplePoint(const StrategyDriver& driver, std::size_t index)
+    : driver_(&driver),
+      index_(index),
+      rng_(derive_seed(driver.seed(), {static_cast<std::uint64_t>(index)})) {
+  if (driver.stratified()) stratum_ = driver.stratum_of(index);
+}
+
+double McSamplePoint::tracked_uniform(unsigned dim) {
+  switch (driver_->config_.kind) {
+    case McSampleStrategy::kSobol:
+      return driver_->sobol_[0].coordinate(index_, dim);
+    case McSampleStrategy::kLatinHypercube:
+      if (!lhs_ready_) {
+        // All tracked coordinates materialize together from the per-point
+        // jitter stream, so the values are independent of the order (and
+        // subset) of dimensions the callback happens to request.
+        lhs_coords_ = driver_->lhs_[0].point(index_);
+        lhs_ready_ = true;
+      }
+      return lhs_coords_[dim];
+    case McSampleStrategy::kStratified: {
+      double lo = 0.0, hi = 1.0;
+      driver_->stratum_bounds(stratum_, lo, hi);
+      Xoshiro256 jitter(
+          derive_seed(driver_->seed(), {kStratJitterTag, index_}));
+      return lo + jitter.uniform01() * (hi - lo);
+    }
+    case McSampleStrategy::kPseudoRandom:
+    case McSampleStrategy::kImportance:
+      break;
+  }
+  return rng_.uniform01();
+}
+
+double McSamplePoint::uniform(unsigned dim) {
+  const SampleStrategyConfig& cfg = driver_->config_;
+  const bool tracked =
+      ((cfg.kind == McSampleStrategy::kLatinHypercube ||
+        cfg.kind == McSampleStrategy::kSobol) &&
+       dim < cfg.dimensions) ||
+      (cfg.kind == McSampleStrategy::kStratified && dim == 0);
+  if (tracked) return tracked_uniform(dim);
+  return rng_.uniform01();
+}
+
+double McSamplePoint::normal(unsigned dim) {
+  const SampleStrategyConfig& cfg = driver_->config_;
+  if (cfg.kind == McSampleStrategy::kImportance) {
+    NormalDistribution standard(0.0, 1.0);
+    const double z = standard(rng_);
+    if (dim < cfg.shift.size() && cfg.shift[dim] != 0.0) {
+      // Draw from the shifted proposal N(mu, 1) and fold the likelihood
+      // ratio p(x)/q(x) = exp(-mu x + mu^2/2) into the sample weight.
+      const double mu = cfg.shift[dim];
+      const double x = z + mu;
+      weight_ *= std::exp(-mu * x + 0.5 * mu * mu);
+      return x;
+    }
+    return z;
+  }
+  const bool tracked =
+      ((cfg.kind == McSampleStrategy::kLatinHypercube ||
+        cfg.kind == McSampleStrategy::kSobol) &&
+       dim < cfg.dimensions) ||
+      (cfg.kind == McSampleStrategy::kStratified && dim == 0);
+  if (tracked) return normal_quantile(tracked_uniform(dim));
+  NormalDistribution standard(0.0, 1.0);
+  return standard(rng_);
+}
+
+}  // namespace relsim

@@ -1,0 +1,183 @@
+// Variance-reduction sampling strategies for McSession.
+//
+// A strategy changes HOW the per-sample random inputs are produced, never
+// how samples are scheduled or committed, so every McSession invariant is
+// preserved: sample i's inputs are a pure function of (request seed, i,
+// strategy config), results are bit-identical for any worker count / chunk
+// size / partition, early-stopped runs are exact prefixes, and checkpoints
+// resume to the uninterrupted result (the strategy's identity rides in the
+// RSMCKPT header so a checkpoint cannot silently resume under a different
+// sampler).
+//
+// Strategies:
+//  * kPseudoRandom   — the PR-2 behaviour: every draw comes from the plain
+//                      per-sample xoshiro stream. The zero config.
+//  * kLatinHypercube — the first `dimensions` tracked inputs form an
+//                      n-point Latin hypercube (each dimension stratified
+//                      into n equal slices, one sample per slice).
+//  * kSobol          — the tracked inputs follow a digitally-shifted Sobol'
+//                      low-discrepancy net.
+//  * kStratified     — tracked input 0 is stratified over user-declared
+//                      strata of [0,1) with per-stratum sample shares; the
+//                      run reports a post-stratified yield estimate and
+//                      per-stratum Wilson intervals.
+//  * kImportance     — mean-shift importance sampling for tail yield: the
+//                      first shift.size() normal() draws are shifted, the
+//                      likelihood ratio is accumulated into the sample
+//                      weight, and the run reports a self-normalized
+//                      weighted yield estimate with an ESS diagnostic.
+//
+// The evaluation callback reaches the strategy through McSamplePoint:
+// `uniform(d)` / `normal(d)` return tracked input d, anything past the
+// tracked inputs (and `rng()` itself) falls through to the plain sample
+// stream. Each tracked input should be consumed once, as either uniform or
+// normal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rng/lowdisc.h"
+#include "rng/rng.h"
+
+namespace relsim {
+
+enum class McSampleStrategy : std::uint8_t {
+  kPseudoRandom = 0,
+  kLatinHypercube = 1,
+  kSobol = 2,
+  kStratified = 3,
+  kImportance = 4,
+};
+
+const char* to_string(McSampleStrategy strategy);
+
+/// One user-declared stratum of tracked input 0 (a slice of [0,1) in
+/// probability space). Weights are the true probability masses W_k and
+/// must sum to 1; `sample_share` is the fraction of the run's samples to
+/// spend in the stratum (< 0: proportional to weight). Oversampling a rare
+/// stratum does not bias the estimate — the post-stratified estimator
+/// reweights by W_k — it only shrinks that stratum's variance term.
+struct McStratum {
+  std::string label;
+  double weight = 0.0;
+  double sample_share = -1.0;
+};
+
+/// Strategy selection + parameters, carried on McRequest. Value-semantic
+/// and cheap to copy; the per-run machinery lives in StrategyDriver.
+struct SampleStrategyConfig {
+  McSampleStrategy kind = McSampleStrategy::kPseudoRandom;
+  /// Tracked input count for kLatinHypercube / kSobol (Sobol is capped at
+  /// kSobolMaxDimensions). Ignored by the other strategies.
+  unsigned dimensions = 0;
+  /// kSobol: apply the random digital shift derived from the run seed
+  /// (recommended; the raw net is identical for every seed).
+  bool scramble = true;
+  /// kStratified: the strata of tracked input 0, in [0,1) order.
+  std::vector<McStratum> strata;
+  /// kImportance: mean shift applied to normal() draws 0..shift.size()-1.
+  std::vector<double> shift;
+
+  bool is_plain() const { return kind == McSampleStrategy::kPseudoRandom; }
+
+  /// Validates the config against a run of `n` samples; throws Error with
+  /// a message naming the offending field.
+  void validate(std::size_t n) const;
+
+  /// Stable 64-bit identity of the full config (kind + every parameter),
+  /// stored in checkpoints so resume-under-a-different-strategy is caught.
+  std::uint64_t digest() const;
+};
+
+class StrategyDriver;
+
+/// The per-sample view handed to evaluation callbacks. Construction is a
+/// pure function of (driver, index): any worker, any attempt, any order
+/// produces the same inputs. One instance per evaluation attempt — the
+/// likelihood-ratio weight restarts at 1 with each attempt.
+class McSamplePoint {
+ public:
+  McSamplePoint(const StrategyDriver& driver, std::size_t index);
+
+  std::size_t index() const { return index_; }
+
+  /// The plain per-sample stream Xoshiro256(derive_seed(seed, {index})) —
+  /// exactly what legacy (rng, index) callbacks receive. Draws consumed
+  /// through uniform()/normal() beyond the tracked inputs come from here.
+  Xoshiro256& rng() { return rng_; }
+
+  /// Tracked input `dim` as a uniform in (0,1); untracked dims fall
+  /// through to rng().uniform01().
+  double uniform(unsigned dim);
+
+  /// Tracked input `dim` as a standard normal (inverse-CDF transformed
+  /// for LHS/Sobol/stratified inputs; mean-shifted with the likelihood
+  /// ratio folded into weight() for kImportance). Untracked dims are plain
+  /// polar-method draws from rng().
+  double normal(unsigned dim);
+
+  /// Likelihood-ratio weight accumulated by the importance-shifted draws
+  /// so far (1 for every other strategy).
+  double weight() const { return weight_; }
+
+  /// Stratum of this sample (kStratified; 0 otherwise).
+  unsigned stratum() const { return stratum_; }
+
+ private:
+  const StrategyDriver* driver_;
+  std::size_t index_;
+  Xoshiro256 rng_;
+  double weight_ = 1.0;
+  unsigned stratum_ = 0;
+  bool lhs_ready_ = false;
+  std::vector<double> lhs_coords_;
+
+  double tracked_uniform(unsigned dim);
+};
+
+/// Run-scoped strategy state, built once by McSession from the validated
+/// config: the point set, the stratum allocation table, and the stratum
+/// bookkeeping the result assembly needs. Immutable during the run and
+/// safe to share across workers.
+class StrategyDriver {
+ public:
+  /// Validates `config` (including that every stratum receives at least
+  /// one of the `n` samples) and precomputes the per-index allocation.
+  StrategyDriver(const SampleStrategyConfig& config, std::uint64_t seed,
+                 std::size_t n);
+
+  const SampleStrategyConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t n() const { return n_; }
+
+  bool weighted() const {
+    return config_.kind == McSampleStrategy::kImportance;
+  }
+  bool stratified() const {
+    return config_.kind == McSampleStrategy::kStratified;
+  }
+
+  std::size_t stratum_count() const { return config_.strata.size(); }
+  unsigned stratum_of(std::size_t index) const;
+  /// Samples allocated to stratum k over the full run of n.
+  std::size_t stratum_samples(unsigned k) const;
+  /// [lo, hi) of stratum k in probability space (cumulative weights).
+  void stratum_bounds(unsigned k, double& lo, double& hi) const;
+
+ private:
+  friend class McSamplePoint;
+
+  SampleStrategyConfig config_;
+  std::uint64_t seed_ = 0;
+  std::size_t n_ = 0;
+  std::vector<std::uint8_t> stratum_of_;     // [index] -> stratum
+  std::vector<std::size_t> stratum_counts_;  // [stratum] -> samples
+  std::vector<double> weight_cum_;           // cumulative stratum weights
+  std::vector<SobolSequence> sobol_;         // 0 or 1 entries
+  std::vector<LatinHypercube> lhs_;          // 0 or 1 entries
+};
+
+}  // namespace relsim

@@ -1,0 +1,381 @@
+// Variance-reduction sampling contracts (sample_strategy.h, rng/lowdisc.h
+// and their McSession integration):
+//  * every strategy keeps the bit-identity invariant: any worker count,
+//    chunk size or partition produces the same estimate, interval and
+//    per-sample values;
+//  * the low-discrepancy point sets hold their defining properties (LHS
+//    stratifies every dimension exactly, Sobol' is dyadically balanced);
+//  * a zero mean-shift importance run degenerates to the plain run;
+//  * checkpoints carry the strategy identity (and the likelihood-ratio
+//    weights) — resuming under a different strategy is refused, and a
+//    killed importance run resumes to the bit-exact result;
+//  * stratified/importance are yield-run strategies and reject metric runs;
+//  * censored weighted samples follow the requested CensoredPolicy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rng/lowdisc.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "variability/mc_session.h"
+
+namespace relsim {
+namespace {
+
+McRequest base_request(std::uint64_t seed, std::size_t n) {
+  McRequest req;
+  req.seed = seed;
+  req.n = n;
+  req.threads = 2;
+  req.chunk = 16;
+  return req;
+}
+
+/// Scratch checkpoint path, removed on destruction.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A 2-D tail event whose inputs go through the tracked dims.
+bool tail_event(McSamplePoint& p) {
+  return 0.8 * p.normal(0) + 0.6 * p.normal(1) > 2.0;
+}
+
+SampleStrategyConfig lhs_config(unsigned dims) {
+  SampleStrategyConfig c;
+  c.kind = McSampleStrategy::kLatinHypercube;
+  c.dimensions = dims;
+  return c;
+}
+
+SampleStrategyConfig sobol_config(unsigned dims) {
+  SampleStrategyConfig c;
+  c.kind = McSampleStrategy::kSobol;
+  c.dimensions = dims;
+  return c;
+}
+
+SampleStrategyConfig stratified_config() {
+  SampleStrategyConfig c;
+  c.kind = McSampleStrategy::kStratified;
+  c.strata = {{"bulk", 0.9, 0.5}, {"tail", 0.1, 0.5}};
+  return c;
+}
+
+SampleStrategyConfig importance_config(std::vector<double> shift) {
+  SampleStrategyConfig c;
+  c.kind = McSampleStrategy::kImportance;
+  c.shift = std::move(shift);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Low-discrepancy point sets
+
+TEST(LatinHypercubeTest, EveryDimensionIsStratifiedExactlyOnce) {
+  const std::size_t n = 32;
+  const LatinHypercube lhs(n, 3, 42);
+  for (unsigned d = 0; d < 3; ++d) {
+    std::vector<int> hits(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = lhs.point(i)[d];
+      ASSERT_GE(x, 0.0);
+      ASSERT_LT(x, 1.0);
+      const auto slice = static_cast<std::size_t>(x * n);
+      EXPECT_EQ(slice, lhs.stratum(i, d));
+      ++hits[slice];
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ(hits[s], 1) << "dim=" << d << " slice=" << s;
+    }
+  }
+}
+
+TEST(LatinHypercubeTest, PointsAreAPureFunctionOfIndex) {
+  const LatinHypercube a(64, 2, 7), b(64, 2, 7), other(64, 2, 8);
+  EXPECT_EQ(a.point(5), b.point(5));
+  EXPECT_EQ(a.point(63), b.point(63));
+  bool differs = false;
+  for (std::size_t i = 0; i < 64 && !differs; ++i) {
+    differs = a.point(i) != other.point(i);
+  }
+  EXPECT_TRUE(differs) << "seed must reshuffle the hypercube";
+}
+
+TEST(SobolTest, DyadicIntervalsAreBalanced) {
+  // The first 2^k points form a (t,k)-net in base 2: every dyadic interval
+  // of width 2^-m holds exactly 2^(k-m) points — and a digital shift maps
+  // dyadic intervals onto dyadic intervals, so the scrambled net keeps the
+  // property.
+  for (std::uint64_t scramble : {std::uint64_t{0}, std::uint64_t{99}}) {
+    const SobolSequence sobol(4, scramble);
+    for (unsigned d = 0; d < 4; ++d) {
+      std::vector<int> hits(8, 0);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        const double x = sobol.coordinate(i, d);
+        ASSERT_GT(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        ++hits[static_cast<std::size_t>(x * 8.0)];
+      }
+      for (int h : hits) {
+        EXPECT_EQ(h, 8) << "dim=" << d << " scramble=" << scramble;
+      }
+    }
+  }
+}
+
+TEST(SobolTest, ScrambleSeedChangesThePointsDeterministically) {
+  const SobolSequence a(2, 5), b(2, 5), c(2, 6);
+  EXPECT_EQ(a.coordinate(17, 1), b.coordinate(17, 1));
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 32 && !differs; ++i) {
+    differs = a.coordinate(i, 0) != c.coordinate(i, 0);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Strategy configuration
+
+TEST(SampleStrategyTest, ValidateCatchesBadConfigs) {
+  EXPECT_THROW(lhs_config(0).validate(100), Error);
+  EXPECT_THROW(sobol_config(kSobolMaxDimensions + 1).validate(100), Error);
+  EXPECT_THROW(importance_config({}).validate(100), Error);
+  EXPECT_THROW(importance_config({1.0, std::nan("")}).validate(100), Error);
+
+  SampleStrategyConfig bad_weights = stratified_config();
+  bad_weights.strata[1].weight = 0.2;  // weights no longer sum to 1
+  EXPECT_THROW(bad_weights.validate(100), Error);
+  SampleStrategyConfig one_stratum;
+  one_stratum.kind = McSampleStrategy::kStratified;
+  one_stratum.strata = {{"all", 1.0, -1.0}};
+  EXPECT_THROW(one_stratum.validate(100), Error);
+
+  EXPECT_NO_THROW(lhs_config(8).validate(100));
+  EXPECT_NO_THROW(stratified_config().validate(100));
+  EXPECT_NO_THROW(importance_config({0.5}).validate(100));
+}
+
+TEST(SampleStrategyTest, DigestSeparatesConfigs) {
+  EXPECT_EQ(lhs_config(4).digest(), lhs_config(4).digest());
+  EXPECT_NE(lhs_config(4).digest(), lhs_config(5).digest());
+  EXPECT_NE(lhs_config(4).digest(), sobol_config(4).digest());
+  EXPECT_NE(importance_config({1.0}).digest(),
+            importance_config({1.5}).digest());
+  SampleStrategyConfig renamed = stratified_config();
+  renamed.strata[0].label = "renamed";
+  EXPECT_NE(stratified_config().digest(), renamed.digest());
+}
+
+// ---------------------------------------------------------------------------
+// McSession integration: bit identity
+
+TEST(SamplingSessionTest, EveryStrategyIsBitIdenticalAcrossScheduling) {
+  const std::vector<SampleStrategyConfig> configs{
+      lhs_config(2), sobol_config(2), stratified_config(),
+      importance_config({1.0, 0.75})};
+  for (const SampleStrategyConfig& config : configs) {
+    McRequest ref_req = base_request(303, 600);
+    ref_req.strategy = config;
+    ref_req.keep_values = true;
+    const McResult ref = McSession(ref_req).run_yield(tail_event);
+
+    struct Shape {
+      unsigned threads;
+      std::size_t chunk;
+      McPartition partition;
+    };
+    for (const Shape& s :
+         {Shape{1, 16, McPartition::kWorkStealing},
+          Shape{4, 8, McPartition::kWorkStealing},
+          Shape{8, 64, McPartition::kStaticBlocks}}) {
+      McRequest req = ref_req;
+      req.threads = s.threads;
+      req.chunk = s.chunk;
+      req.partition = s.partition;
+      const McResult r = McSession(req).run_yield(tail_event);
+      const char* name = to_string(config.kind);
+      EXPECT_EQ(r.values, ref.values) << name << " threads=" << s.threads;
+      EXPECT_EQ(r.estimate.passed, ref.estimate.passed) << name;
+      EXPECT_EQ(r.estimate.interval.lo, ref.estimate.interval.lo) << name;
+      EXPECT_EQ(r.estimate.interval.hi, ref.estimate.interval.hi) << name;
+      EXPECT_EQ(r.weighted.sums.w, ref.weighted.sums.w) << name;
+      EXPECT_EQ(r.weighted.sums.wx, ref.weighted.sums.wx) << name;
+    }
+  }
+}
+
+TEST(SamplingSessionTest, ZeroShiftImportanceDegeneratesToPlain) {
+  McRequest plain_req = base_request(11, 400);
+  plain_req.keep_values = true;
+  const McResult plain = McSession(plain_req).run_yield(tail_event);
+
+  McRequest is_req = plain_req;
+  is_req.strategy = importance_config({0.0, 0.0});
+  const McResult is = McSession(is_req).run_yield(tail_event);
+
+  EXPECT_EQ(is.values, plain.values);
+  EXPECT_EQ(is.estimate.passed, plain.estimate.passed);
+  ASSERT_TRUE(is.weighted.enabled);
+  EXPECT_DOUBLE_EQ(is.weighted.sums.w, static_cast<double>(is.completed));
+  EXPECT_DOUBLE_EQ(is.weighted.ess, static_cast<double>(is.completed));
+  // All weights are 1, so the self-normalized estimate is the raw ratio
+  // (the intervals differ: delta-method vs Wilson).
+  EXPECT_DOUBLE_EQ(is.estimate.interval.estimate,
+                   plain.estimate.interval.estimate);
+}
+
+TEST(SamplingSessionTest, LegacyAndPointCallbacksSeeTheSameStream) {
+  McRequest req = base_request(21, 500);
+  req.keep_values = true;
+  const McResult legacy = McSession(req).run_yield(
+      [](Xoshiro256& rng, std::size_t) { return rng.uniform01() < 0.8; });
+  const McResult point = McSession(req).run_yield(
+      [](McSamplePoint& p) { return p.rng().uniform01() < 0.8; });
+  EXPECT_EQ(legacy.values, point.values);
+  EXPECT_EQ(legacy.estimate.passed, point.estimate.passed);
+}
+
+// ---------------------------------------------------------------------------
+// Stratified runs
+
+TEST(SamplingSessionTest, StratifiedRunReportsPerStratumTallies) {
+  McRequest req = base_request(55, 1000);
+  req.strategy = stratified_config();  // tail share 0.5 vs weight 0.1
+  const McResult r = McSession(req).run_yield([](McSamplePoint& p) {
+    return p.uniform(0) < 0.95;  // fails only in the tail stratum
+  });
+
+  ASSERT_EQ(r.strata.size(), 2u);
+  EXPECT_EQ(r.strata[0].label, "bulk");
+  EXPECT_EQ(r.strata[1].label, "tail");
+  EXPECT_EQ(r.strata[0].samples + r.strata[1].samples, r.completed);
+  // The tail got its oversampled 50% share despite its 10% weight.
+  EXPECT_NEAR(static_cast<double>(r.strata[1].samples), 500.0, 1.0);
+  // Bulk (u0 in [0, 0.9)) always passes; the tail p-hat is around 0.5.
+  EXPECT_EQ(r.strata[0].passed, r.strata[0].samples);
+  EXPECT_GT(r.strata[1].passed, 0u);
+  EXPECT_LT(r.strata[1].passed, r.strata[1].samples);
+
+  // The reported interval is exactly the post-stratified combination of
+  // the per-stratum tallies.
+  std::vector<StratumCount> counts;
+  for (const McStratumResult& s : r.strata) {
+    counts.push_back({s.weight, s.passed, s.samples, s.censored});
+  }
+  const auto expected =
+      post_stratified_interval(counts, CensoredPolicy::kTreatAsFail);
+  EXPECT_DOUBLE_EQ(r.estimate.interval.estimate, expected.estimate);
+  EXPECT_DOUBLE_EQ(r.estimate.interval.lo, expected.lo);
+  EXPECT_DOUBLE_EQ(r.estimate.interval.hi, expected.hi);
+}
+
+TEST(SamplingSessionTest, YieldOnlyStrategiesRejectMetricRuns) {
+  McRequest strat = base_request(1, 100);
+  strat.strategy = stratified_config();
+  EXPECT_THROW(McSession(strat).run_metric(
+                   [](McSamplePoint& p) { return p.uniform(0); }),
+               Error);
+  McRequest is = base_request(1, 100);
+  is.strategy = importance_config({1.0});
+  EXPECT_THROW(
+      McSession(is).run_metric([](McSamplePoint& p) { return p.normal(0); }),
+      Error);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+
+TEST(SamplingSessionTest, CheckpointRefusesAStrategyMismatch) {
+  ScratchFile ckpt("sampling_strategy_mismatch.ckpt");
+  McRequest req = base_request(77, 300);
+  req.strategy = lhs_config(2);
+  req.checkpoint_path = ckpt.path();
+  McSession(req).run_yield(tail_event);
+
+  McRequest sobol_req = req;
+  sobol_req.strategy = sobol_config(2);
+  EXPECT_THROW(McSession(sobol_req).run_yield(tail_event), Error);
+
+  McRequest plain_req = req;
+  plain_req.strategy = SampleStrategyConfig{};
+  EXPECT_THROW(McSession(plain_req).run_yield(tail_event), Error);
+}
+
+TEST(SamplingSessionTest, KilledImportanceRunResumesBitExactly) {
+  McRequest req = base_request(88, 800);
+  req.strategy = importance_config({1.2, 0.9});
+  const McResult uninterrupted = McSession(req).run_yield(tail_event);
+
+  ScratchFile ckpt("sampling_importance_resume.ckpt");
+  McRequest kr = req;
+  kr.checkpoint_path = ckpt.path();
+  kr.checkpoint_every = 64;
+  bool killed = false;
+  try {
+    McSession(kr).run_yield([](McSamplePoint& p) {
+      if (p.index() == 600) throw Error("injected kill");
+      return tail_event(p);
+    });
+  } catch (const Error&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed);
+
+  const McResult resumed = McSession(kr).run_yield(tail_event);
+  EXPECT_GT(resumed.resumed, 0u);
+  EXPECT_LT(resumed.resumed, req.n);
+  EXPECT_EQ(resumed.completed, uninterrupted.completed);
+  // The likelihood-ratio weights were restored from the checkpoint: the
+  // weighted power sums and the interval agree bit for bit.
+  EXPECT_EQ(resumed.weighted.sums.w, uninterrupted.weighted.sums.w);
+  EXPECT_EQ(resumed.weighted.sums.w2, uninterrupted.weighted.sums.w2);
+  EXPECT_EQ(resumed.weighted.sums.wx, uninterrupted.weighted.sums.wx);
+  EXPECT_EQ(resumed.weighted.ess, uninterrupted.weighted.ess);
+  EXPECT_EQ(resumed.estimate.interval.lo, uninterrupted.estimate.interval.lo);
+  EXPECT_EQ(resumed.estimate.interval.hi, uninterrupted.estimate.interval.hi);
+}
+
+// ---------------------------------------------------------------------------
+// Censoring x weights
+
+TEST(SamplingSessionTest, CensoredWeightedSamplesFollowThePolicy) {
+  const auto throwing = [](McSamplePoint& p) -> bool {
+    if (p.index() % 97 == 3) throw Error("solver died");
+    return tail_event(p);
+  };
+  McRequest req = base_request(5, 400);
+  req.strategy = importance_config({1.0, 0.5});
+  req.failure_policy = McFailurePolicy::kSkip;
+
+  req.censored = CensoredPolicy::kTreatAsFail;
+  const McResult fail = McSession(req).run_yield(throwing);
+  ASSERT_GT(fail.estimate.censored, 0u);
+  // kTreatAsFail folds each censored sample in at unit weight with a 0
+  // indicator: every completed sample contributes to the sums.
+  EXPECT_EQ(fail.weighted.sums.count, fail.completed);
+
+  req.censored = CensoredPolicy::kExclude;
+  const McResult excl = McSession(req).run_yield(throwing);
+  EXPECT_EQ(excl.weighted.sums.count,
+            excl.completed - excl.estimate.censored);
+  // Dropping zero-indicator unit weights can only raise the estimate.
+  EXPECT_GE(excl.estimate.interval.estimate,
+            fail.estimate.interval.estimate);
+}
+
+}  // namespace
+}  // namespace relsim

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "rng/distributions.h"
 #include "stats/histogram.h"
@@ -175,12 +176,53 @@ TEST(HistogramTest, BinningAndOverflow) {
   EXPECT_EQ(h.total(), 5u);
 }
 
-TEST(HistogramTest, DensitySumsToOneWithoutOverflow) {
+TEST(HistogramTest, DensityIntegratesToOneWithoutOverflow) {
   Histogram h(0.0, 1.0, 4);
   for (double x = 0.05; x < 1.0; x += 0.1) h.add(x);
-  double sum = 0.0;
-  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.density(b);
-  EXPECT_NEAR(sum, 1.0, 1e-12);
+  const double width = 0.25;
+  double integral = 0.0, mass = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    integral += h.density(b) * width;
+    mass += h.mass(b);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, DensityIsPerUnitWidthAndKeepsOverflowMass) {
+  // 8 in-range + 2 overflow samples over [0,2) with 2 bins of width 1:
+  // density must be count/(total*width), integrating to the in-range
+  // fraction 0.8 — the old implementation returned probability mass and
+  // "integrated" to 0.8/width.
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 6; ++i) h.add(0.5);
+  h.add(1.5);
+  h.add(1.5);
+  h.add(5.0);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.6);
+  EXPECT_DOUBLE_EQ(h.density(1), 0.2);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.6);
+  EXPECT_NEAR(h.density(0) * 1.0 + h.density(1) * 1.0, 0.8, 1e-12);
+}
+
+TEST(HistogramTest, RenderersLabelUnderOverflowAndNan) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-1.0);
+  h.add(0.25);
+  h.add(2.0);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.nonfinite(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find("underflow"), std::string::npos);
+  EXPECT_NE(art.find("overflow"), std::string::npos);
+  EXPECT_NE(art.find("nan"), std::string::npos);
+  const std::string js = h.json();
+  EXPECT_NE(js.find("\"underflow\":1"), std::string::npos);
+  EXPECT_NE(js.find("\"overflow\":1"), std::string::npos);
+  EXPECT_NE(js.find("\"nonfinite\":1"), std::string::npos);
+  EXPECT_NE(js.find("\"bins\":["), std::string::npos);
 }
 
 TEST(WilsonCensoredTest, TreatAsFailKeepsCensoredInDenominator) {
@@ -213,6 +255,225 @@ TEST(WilsonCensoredTest, RejectsImpossibleCounts) {
 TEST(WilsonCensoredTest, PolicyNamesRoundTrip) {
   EXPECT_STREQ(to_string(CensoredPolicy::kTreatAsFail), "treat-as-fail");
   EXPECT_STREQ(to_string(CensoredPolicy::kExclude), "exclude");
+}
+
+// ---------------------------------------------------------------------------
+// NaN-safe quantiles (regression: NaN entries used to enter std::sort,
+// which is undefined behavior — NaN breaks strict weak ordering).
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(QuantileTest, NanEntriesArePartitionedOutNotSorted) {
+  std::vector<double> v{kNan, 5.0, 1.0, kNan, 3.0, 2.0, 4.0, kNan};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, AllNanThrows) {
+  EXPECT_THROW(quantile({kNan, kNan}, 0.5), Error);
+  EXPECT_THROW(median({kNan}), Error);
+}
+
+TEST(QuantileTest, InfinitiesAreLegitimateSortableValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> v{-inf, 0.0, inf};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), inf);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), -inf);
+}
+
+TEST(CensoredQuantileTest, ExcludeReportsTheCensoredCount) {
+  const auto q =
+      quantile_censored({kNan, 1.0, 2.0, 3.0, kNan}, 0.5,
+                        CensoredPolicy::kExclude);
+  ASSERT_TRUE(q.value.has_value());
+  EXPECT_DOUBLE_EQ(*q.value, 2.0);
+  EXPECT_EQ(q.used, 3u);
+  EXPECT_EQ(q.censored, 2u);
+}
+
+TEST(CensoredQuantileTest, TreatAsFailPlacesNanAtTheFailingExtreme) {
+  // Order statistics under kTreatAsFail: [1, 2, 3, +censored, +censored].
+  const std::vector<double> v{kNan, 1.0, 2.0, 3.0, kNan};
+  const auto mid =
+      quantile_censored(v, 0.5, CensoredPolicy::kTreatAsFail);
+  ASSERT_TRUE(mid.value.has_value());
+  EXPECT_DOUBLE_EQ(*mid.value, 3.0);  // h = 0.5 * 4 lands on the 3rd stat
+  // p = 0.9 lands inside the censored tail: no finite value to report.
+  const auto tail =
+      quantile_censored(v, 0.9, CensoredPolicy::kTreatAsFail);
+  EXPECT_FALSE(tail.value.has_value());
+  EXPECT_EQ(tail.used, 3u);
+  EXPECT_EQ(tail.censored, 2u);
+}
+
+TEST(CensoredQuantileTest, NeverThrowsOnDegenerateInput) {
+  EXPECT_FALSE(quantile_censored({}, 0.5).value.has_value());
+  const auto all_nan = quantile_censored({kNan, kNan}, 0.5);
+  EXPECT_FALSE(all_nan.value.has_value());
+  EXPECT_EQ(all_nan.censored, 2u);
+  EXPECT_FALSE(quantile_censored({1.0}, -0.1).value.has_value());
+  EXPECT_FALSE(quantile_censored({1.0}, 1.1).value.has_value());
+}
+
+TEST(RunningStatsTest, NonFiniteInputsAreCountedNotAccumulated) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(kNan);
+  s.add(std::numeric_limits<double>::infinity());
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.nonfinite(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+
+  RunningStats other;
+  other.add(kNan);
+  s.merge(other);
+  EXPECT_EQ(s.nonfinite(), 3u);
+  EXPECT_EQ(s.count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Weibull MLE (regression: r_squared was fabricated as 1.0, and the
+// undamped Newton iteration overshot to negative shape on skewed samples).
+
+TEST(WeibullFitTest, MleReportsRealGoodnessOfFit) {
+  Xoshiro256 rng(17);
+  const WeibullDistribution w(2.0, 5.0);
+  std::vector<double> times;
+  for (int i = 0; i < 500; ++i) times.push_back(w(rng));
+  const auto est = fit_weibull_mle(times);
+  EXPECT_GT(est.r_squared, 0.9);  // a real fit, but never fabricated...
+  EXPECT_LT(est.r_squared, 1.0);  // ...perfection on a finite sample
+}
+
+TEST(WeibullFitTest, GoodnessOfFitDropsForNonWeibullData) {
+  Xoshiro256 rng(19);
+  const WeibullDistribution w(1.5, 2.0);
+  std::vector<double> clean, bimodal;
+  for (int i = 0; i < 400; ++i) {
+    clean.push_back(w(rng));
+    // Two tight clusters four decades apart: no Weibull line fits this.
+    bimodal.push_back((i % 2 == 0 ? 1e-2 : 1e2) *
+                      (1.0 + 0.01 * rng.uniform01()));
+  }
+  const auto good = fit_weibull_mle(clean);
+  const auto bad = fit_weibull_mle(bimodal);
+  EXPECT_LT(bad.r_squared, good.r_squared);
+  EXPECT_LT(bad.r_squared, 0.9);
+}
+
+TEST(WeibullFitTest, DegenerateSampleThrowsInsteadOfDiverging) {
+  EXPECT_THROW(fit_weibull_mle({3.0, 3.0, 3.0, 3.0}), ConvergenceError);
+}
+
+TEST(WeibullFitTest, SkewedSampleConvergesUnderDamping) {
+  // Heavy-tailed shape 0.3 spans many decades; the undamped update used
+  // to overshoot into negative k here.
+  Xoshiro256 rng(23);
+  const WeibullDistribution w(0.3, 1000.0);
+  std::vector<double> times;
+  for (int i = 0; i < 800; ++i) times.push_back(w(rng));
+  const auto est = fit_weibull_mle(times);
+  EXPECT_NEAR(est.shape / 0.3, 1.0, 0.2);
+  EXPECT_GT(est.scale, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted (importance-sampling) estimator golden values.
+
+TEST(WeightedSumsTest, GoldenPowerSums) {
+  WeightedSums s;
+  s.add(2.0, 1.0);
+  s.add(1.0, 0.0);
+  s.add(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.w, 4.0);
+  EXPECT_DOUBLE_EQ(s.w2, 6.0);
+  EXPECT_DOUBLE_EQ(s.wx, 3.0);
+  EXPECT_DOUBLE_EQ(s.w2x, 5.0);
+  EXPECT_DOUBLE_EQ(s.w2x2, 5.0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.75);
+  EXPECT_DOUBLE_EQ(s.ess(), 16.0 / 6.0);
+  // sum w_i^2 (x_i - 0.75)^2 = 4*(0.25)^2 + 1*(0.75)^2 + 1*(0.25)^2
+  EXPECT_DOUBLE_EQ(s.mean_variance(), 0.875 / 16.0);
+}
+
+TEST(WeightedSumsTest, MergeEqualsCombined) {
+  WeightedSums a, b, all;
+  for (int i = 0; i < 40; ++i) {
+    const double w = 0.5 + 0.1 * (i % 7);
+    const double x = (i % 3 == 0) ? 1.0 : 0.0;
+    all.add(w, x);
+    (i % 2 == 0 ? a : b).add(w, x);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.w, all.w);
+  EXPECT_DOUBLE_EQ(a.w2, all.w2);
+  EXPECT_DOUBLE_EQ(a.wx, all.wx);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+}
+
+TEST(WeightedSumsTest, RejectsBadWeights) {
+  WeightedSums s;
+  EXPECT_THROW(s.add(-1.0, 0.0), Error);
+  EXPECT_THROW(s.add(kNan, 0.0), Error);
+}
+
+TEST(SelfNormalizedIntervalTest, GoldenInterval) {
+  WeightedSums s;
+  s.add(2.0, 1.0);
+  s.add(1.0, 0.0);
+  s.add(1.0, 1.0);
+  const auto iv = self_normalized_interval(s);
+  EXPECT_DOUBLE_EQ(iv.estimate, 0.75);
+  const double half = 1.959963984540054 * std::sqrt(0.875 / 16.0);
+  EXPECT_NEAR(iv.lo, std::max(0.0, 0.75 - half), 1e-12);
+  EXPECT_NEAR(iv.hi, std::min(1.0, 0.75 + half), 1e-12);
+  EXPECT_GE(iv.lo, 0.0);
+  EXPECT_LE(iv.hi, 1.0);
+}
+
+TEST(PostStratifiedTest, GoldenTwoStrata) {
+  // W = {0.9, 0.1}, p-hat = {0.9, 0.5}: estimate 0.86, variance
+  // 0.81*0.09/100 + 0.01*0.25/100 = 7.54e-4.
+  const std::vector<StratumCount> strata{{0.9, 90, 100, 0},
+                                         {0.1, 50, 100, 0}};
+  const auto iv =
+      post_stratified_interval(strata, CensoredPolicy::kTreatAsFail);
+  EXPECT_DOUBLE_EQ(iv.estimate, 0.86);
+  const double half = 1.959963984540054 * std::sqrt(7.54e-4);
+  EXPECT_NEAR(iv.hi - iv.lo, 2.0 * half, 1e-12);
+}
+
+TEST(PostStratifiedTest, CensoringFollowsPolicy) {
+  // 10 of stratum 0's 100 draws are censored: kTreatAsFail keeps them in
+  // the denominator (p-hat 0.8), kExclude drops them (p-hat 80/90).
+  const std::vector<StratumCount> strata{{0.5, 80, 100, 10},
+                                         {0.5, 50, 100, 0}};
+  const auto fail =
+      post_stratified_interval(strata, CensoredPolicy::kTreatAsFail);
+  const auto excl =
+      post_stratified_interval(strata, CensoredPolicy::kExclude);
+  EXPECT_DOUBLE_EQ(fail.estimate, 0.5 * 0.8 + 0.25);
+  EXPECT_DOUBLE_EQ(excl.estimate, 0.5 * (80.0 / 90.0) + 0.25);
+}
+
+TEST(NormalQuantileTest, RoundTripsTheCdf) {
+  EXPECT_DOUBLE_EQ(normal_quantile(0.5), 0.0);
+  for (double p : {1e-6, 1e-4, 1e-3, 0.025, 0.31, 0.5, 0.69, 0.975,
+                   1.0 - 1e-4}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8 * p + 1e-12)
+        << "p=" << p;
+  }
+  EXPECT_NEAR(normal_quantile(1.0 - 1e-3), 3.0902323061678132, 1e-7);
+  EXPECT_THROW(normal_quantile(0.0), Error);
+  EXPECT_THROW(normal_quantile(1.0), Error);
 }
 
 }  // namespace
