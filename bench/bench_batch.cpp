@@ -1,0 +1,198 @@
+// Batched cross-sample evaluation bench (spice/compiled_circuit.h).
+//
+// Measures what compiling the topology buys a Monte-Carlo yield run:
+//
+//   rebuild    — the classic path: per sample, build the circuit, capture
+//                the stamp pattern, symbolic-factorize, Newton-solve;
+//   compiled   — shared pattern + symbolic LU, value-only restamping,
+//                scalar device kernel;
+//   compiled+simd — same, MOSFET lanes evaluated by the dispatched
+//                (AVX2 where available) batched kernel.
+//
+// Vehicles: the paper's 1:1 current mirror (small; dense-solver regime on
+// the classic path) and a 16-output mirror bank (~70 unknowns; sparse
+// regime, where the per-sample symbolic cost dominates). The headline
+// claim checked: compiled throughput >= 5x rebuild on the bank.
+//
+// Flags: --smoke (shrink sample counts for CI),
+//        --batch-json PATH (dump measured throughput as a JSON artifact).
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "core/reliability_sim.h"
+#include "spice/analysis.h"
+#include "spice/compiled_circuit.h"
+#include "tech/tech.h"
+#include "util/table.h"
+
+using namespace relsim;
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+namespace {
+
+constexpr double kIRef = 50e-6;
+
+/// 1:1 NMOS current mirror with `outputs` mirrored branches. outputs=1 is
+/// the paper's running example; outputs=16 pushes the unknown count into
+/// the sparse-solver regime (~70 unknowns).
+std::unique_ptr<Circuit> mirror_bank(const TechNode& tech, int outputs) {
+  auto c = std::make_unique<Circuit>();
+  const NodeId vdd = c->node("vdd");
+  const NodeId ref = c->node("ref");
+  c->add_vsource("VDD", vdd, kGround, tech.vdd);
+  c->add_isource("IREF", vdd, ref, kIRef);
+  const auto p = spice::make_mos_params(tech, 1.0, 0.1, false);
+  c->add_mosfet("M1", ref, ref, kGround, kGround, p);
+  for (int k = 0; k < outputs; ++k) {
+    const std::string id = std::to_string(k);
+    const NodeId out = c->node("out" + id);
+    const NodeId meas = c->node("meas" + id);
+    c->add_mosfet("M2_" + id, out, ref, kGround, kGround, p);
+    c->add_vsource("VB_" + id, meas, kGround, 0.5 * tech.vdd);
+    c->add_vsource("VMEAS_" + id, meas, out, 0.0);
+  }
+  return c;
+}
+
+/// Spec: every mirrored branch within +/-tol of IREF. The single mirror
+/// uses the paper's 5%; the 16-output bank takes the worst of 16 draws, so
+/// 15% keeps its yield away from 0 (a degenerate pass/fail tells the bench
+/// nothing about path agreement).
+bool bank_spec(const Circuit& c, const Vector& x, int outputs, double tol) {
+  for (int k = 0; k < outputs; ++k) {
+    const double i_out =
+        c.device_as<spice::VoltageSource>("VMEAS_" + std::to_string(k))
+            .current(x);
+    if (std::abs(i_out - kIRef) > tol * kIRef) return false;
+  }
+  return true;
+}
+
+struct Measured {
+  double seconds = 0.0;
+  std::size_t passed = 0;
+  std::size_t total = 0;
+  double per_s() const { return seconds > 0.0 ? total / seconds : 0.0; }
+};
+
+/// Best-of-2: the runs are deterministic, so the faster repetition is the
+/// better estimate of the path's cost (scheduler noise only ever adds time).
+template <typename F>
+Measured timed(F run) {
+  Measured m;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const McResult r = run();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (rep == 0 || s < m.seconds) m.seconds = s;
+    m.passed = r.estimate.passed;
+    m.total = r.estimate.total;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ShapeChecks checks;
+  bench::BenchJson json;
+  const bool smoke = bench::arg_present(argc, argv, "--smoke");
+  const std::string json_path = bench::arg_value(argc, argv, "--batch-json");
+
+  const auto& tech = tech_65nm();
+  ReliabilityConfig cfg;
+  cfg.tech = &tech;
+  cfg.seed = 97;
+  const ReliabilitySimulator sim(cfg);
+
+  struct Vehicle {
+    const char* name;
+    int outputs;
+    std::size_t n;
+    double spec_tol;
+  };
+  const Vehicle vehicles[] = {
+      {"mirror", 1, smoke ? 400u : 4000u, 0.05},
+      // Smoke keeps enough bank samples to amortise the one-off compile
+      // (nominal solve + workspace setup), or the 5x check is meaningless.
+      {"mirror_bank16", 16, smoke ? 240u : 600u, 0.15},
+  };
+
+  for (const Vehicle& v : vehicles) {
+    bench::banner(std::string("batched MC yield: ") + v.name + " (" +
+                  std::to_string(v.n) + " samples)");
+    const auto factory = [&] { return mirror_bank(tech, v.outputs); };
+    const auto spec = [&](const Circuit& c, const Vector& x) {
+      return bank_spec(c, x, v.outputs, v.spec_tol);
+    };
+    McRequest req;
+    req.n = v.n;
+    req.threads = 1;  // isolate per-sample cost from scheduling
+
+    const Measured rebuild = timed([&] {
+      return sim.run_yield(
+          factory,
+          [&](Circuit& c) {
+            const auto r = spice::dc_operating_point(c);
+            return bank_spec(c, r.x(), v.outputs, v.spec_tol);
+          },
+          req);
+    });
+
+    spice::CompiledCircuit::Options scalar_opts;
+    scalar_opts.simd_level = simd::SimdLevel::kScalar;
+    const Measured scalar = timed(
+        [&] { return sim.run_yield_batched(factory, spec, req, scalar_opts); });
+
+    spice::CompiledCircuit::Options simd_opts;
+    const Measured simd = timed(
+        [&] { return sim.run_yield_batched(factory, spec, req, simd_opts); });
+
+    TablePrinter t({"path", "samples_per_s", "speedup", "passed"});
+    const auto row = [&](const char* path, const Measured& m) {
+      t.add_row({std::string(path), m.per_s(), m.per_s() / rebuild.per_s(),
+                 std::to_string(m.passed) + "/" + std::to_string(m.total)});
+    };
+    row("rebuild", rebuild);
+    row("compiled", scalar);
+    row("compiled+simd", simd);
+    t.print(std::cout);
+
+    checks.check(std::string(v.name) + ": batched yield equals classic yield",
+                 scalar.passed == rebuild.passed &&
+                     simd.passed == rebuild.passed &&
+                     scalar.total == rebuild.total);
+    if (v.outputs > 1) {
+      // The acceptance headline: compiling the topology (shared symbolic
+      // LU + slot restamping) must be worth >= 5x in the sparse regime.
+      checks.check(std::string(v.name) + ": compiled >= 5x rebuild",
+                   scalar.per_s() >= 5.0 * rebuild.per_s());
+    } else {
+      checks.check(std::string(v.name) + ": compiled beats rebuild",
+                   scalar.per_s() > rebuild.per_s());
+    }
+
+    json.add(std::string("batch_") + v.name + "_rebuild",
+             {{"samples_per_s", rebuild.per_s()}, {"n", double(v.n)}});
+    json.add(std::string("batch_") + v.name + "_compiled",
+             {{"samples_per_s", scalar.per_s()},
+              {"speedup", scalar.per_s() / rebuild.per_s()}});
+    json.add(std::string("batch_") + v.name + "_compiled_simd",
+             {{"samples_per_s", simd.per_s()},
+              {"speedup", simd.per_s() / rebuild.per_s()},
+              {"simd_level", double(static_cast<int>(simd::active_simd_level()))}});
+  }
+
+  if (!json_path.empty() && !json.write(json_path)) {
+    std::cerr << "failed to write " << json_path << '\n';
+    return 1;
+  }
+  return checks.finish();
+}

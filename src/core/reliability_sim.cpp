@@ -82,6 +82,83 @@ McResult ReliabilitySimulator::run_yield(const CircuitFactory& factory,
   });
 }
 
+McResult ReliabilitySimulator::run_yield_batched(
+    const CircuitFactory& factory, const CompiledSpecPredicate& pass,
+    McRequest req, spice::CompiledCircuit::Options options,
+    spice::SolverStats* stats_out) const {
+  RELSIM_REQUIRE(bool(factory), "run_yield_batched needs a circuit factory");
+  RELSIM_REQUIRE(bool(pass), "run_yield_batched needs a spec predicate");
+  req.seed = config_.seed;
+  if (req.run_label.empty()) req.run_label = "reliability.yield_batched";
+  // A lockstep solve never spans scheduler ranges, so wider lanes than the
+  // chunk size would just sit idle.
+  options.max_lanes = std::max<std::size_t>(
+      1, std::min(options.max_lanes, std::max<std::size_t>(1, req.chunk)));
+
+  spice::CompiledCircuit compiled(factory(), options);
+
+  // Per-MOSFET samplers hoisted out of the sample loop — built in
+  // circuit.mosfets() order, the exact draw order of
+  // apply_process_variation, so sample i sees the identical mismatch.
+  std::vector<MismatchSampler> samplers;
+  for (const spice::Mosfet* m : compiled.circuit().mosfets()) {
+    samplers.emplace_back(pelgrom_, m->params().w_um, m->params().l_um);
+  }
+
+  // One private workspace per scheduler worker (same worker-count rule as
+  // the session, so every span.worker has a workspace).
+  const std::size_t worker_count = std::min<std::size_t>(
+      resolve_threads(req.threads), std::max<std::size_t>(req.n, 1));
+  std::vector<std::unique_ptr<spice::CompiledCircuit::Workspace>> workspaces;
+  workspaces.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    workspaces.push_back(compiled.make_workspace(factory()));
+  }
+
+  const std::uint64_t seed = config_.seed;
+  const McBatchEval batch = [&](const McBatchSpan& span) {
+    auto& ws = *workspaces[span.worker];
+    for (std::size_t lo = span.lo; lo < span.hi;) {
+      const std::size_t lanes = std::min(ws.max_lanes(), span.hi - lo);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        Xoshiro256 rng(derive_seed(seed, {lo + lane}));
+        for (std::size_t m = 0; m < samplers.size(); ++m) {
+          const MismatchSample s = samplers[m].sample_single(rng);
+          ws.set_lane_variation(lane, m, {s.dvt, s.dbeta_rel});
+        }
+      }
+      ws.solve_dc(lanes);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        span.values[lo - span.lo + lane] =
+            pass(ws.circuit(), ws.lane_solution(lane)) ? 1.0 : 0.0;
+      }
+      lo += lanes;
+    }
+  };
+
+  // Classic per-sample fallback for spans the batched evaluator throws on:
+  // same mismatch stream, same spec, classic solver configuration.
+  const McPredicate scalar = [&](Xoshiro256& rng, std::size_t) {
+    auto circuit = factory();
+    apply_process_variation(*circuit, rng);
+    spice::DcOptions dc;
+    dc.newton = options.newton;
+    dc.allow_gmin_stepping = options.allow_gmin_stepping;
+    dc.allow_source_stepping = options.allow_source_stepping;
+    const spice::DcResult r = spice::dc_operating_point(*circuit, dc);
+    return pass(*circuit, r.x());
+  };
+
+  const McSession session(std::move(req));
+  McResult result = session.run_yield_batch(batch, scalar);
+  if (stats_out != nullptr) {
+    spice::SolverStats total = compiled.compile_stats();
+    for (const auto& ws : workspaces) total = total + ws->stats();
+    *stats_out = total;
+  }
+  return result;
+}
+
 McResult ReliabilitySimulator::run_lifetime_yield(
     const CircuitFactory& factory, const SpecPredicate& pass, McRequest req,
     const aging::StressRunner& runner) const {

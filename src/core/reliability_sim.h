@@ -21,6 +21,7 @@
 
 #include "aging/engine.h"
 #include "spice/circuit.h"
+#include "spice/compiled_circuit.h"
 #include "tech/tech.h"
 #include "variability/corners.h"
 #include "variability/mc_session.h"
@@ -48,6 +49,13 @@ using SpecPredicate = std::function<bool(spice::Circuit&)>;
 
 /// Scalar metric on a circuit.
 using CircuitMetric = std::function<double(spice::Circuit&)>;
+
+/// Spec predicate for the batched yield path: checks a solved DC solution
+/// vector. The circuit reference is for node lookup and topology only —
+/// it is a shared workspace copy whose MOSFET variation state is NOT this
+/// sample's (use the solution vector, not device state).
+using CompiledSpecPredicate =
+    std::function<bool(const spice::Circuit&, const Vector&)>;
 
 class ReliabilitySimulator {
  public:
@@ -77,6 +85,23 @@ class ReliabilitySimulator {
   /// ignored), so results line up with the serial facade below.
   McResult run_yield(const CircuitFactory& factory, const SpecPredicate& pass,
                      McRequest req) const;
+
+  /// Time-zero yield through the batched cross-sample evaluator: the
+  /// circuit topology is compiled ONCE (stamp pattern + symbolic LU +
+  /// stamp-slot tables), each worker applies Pelgrom samples by value-only
+  /// restamping and solves K lanes in lockstep through the SIMD device
+  /// kernels. Sample i draws the same mismatch stream as run_yield, so the
+  /// pass/fail outcome matches the classic path up to Newton tolerance
+  /// (operating points agree to the solver tolerances, not bitwise).
+  /// Restricted to the pseudo-random strategy; samples whose batch fails
+  /// fall back to the classic per-sample path automatically. When
+  /// `stats_out` is non-null it receives compile + all per-worker solver
+  /// stats (for a single topology: pattern_builds == 1 and
+  /// sparse_symbolic_factorizations == 1 unless samples went singular).
+  McResult run_yield_batched(const CircuitFactory& factory,
+                             const CompiledSpecPredicate& pass, McRequest req,
+                             spice::CompiledCircuit::Options options = {},
+                             spice::SolverStats* stats_out = nullptr) const;
 
   /// End-of-life yield: variation + full mission aging before the check.
   McResult run_lifetime_yield(const CircuitFactory& factory,

@@ -200,7 +200,8 @@ void SparseLuFactorization::refactor(const SparseMatrix& a) {
         "sparse LU refactor: injected pivot collapse (fault harness)");
   }
   const auto& aval = a.values();
-  std::vector<double> x(n_, 0.0);
+  work_x_.assign(n_, 0.0);
+  std::vector<double>& x = work_x_;
   std::size_t lpos = 0;
   std::size_t upos = 0;
   for (std::size_t j = 0; j < n_; ++j) {
@@ -241,7 +242,8 @@ void SparseLuFactorization::refactor(const SparseMatrix& a) {
 
 void SparseLuFactorization::solve_into(const Vector& b, Vector& x) const {
   RELSIM_REQUIRE(b.size() == n_, "sparse LU solve: rhs size mismatch");
-  Vector y(n_);
+  work_y_.resize(n_);
+  Vector& y = work_y_;
   for (std::size_t k = 0; k < n_; ++k) {
     y[k] = b[static_cast<std::size_t>(p_[k])];
   }
@@ -265,7 +267,24 @@ void SparseLuFactorization::solve_into(const Vector& b, Vector& x) const {
           uval_[static_cast<std::size_t>(q)] * xj;
     }
   }
-  x = std::move(y);
+  x.assign(y.begin(), y.end());
+}
+
+void SparseLuFactorization::save_values(NumericValues& out) const {
+  out.lval = lval_;
+  out.uval = uval_;
+  out.udiag = udiag_;
+}
+
+bool SparseLuFactorization::load_values(const NumericValues& in) {
+  if (in.lval.size() != lval_.size() || in.uval.size() != uval_.size() ||
+      in.udiag.size() != udiag_.size()) {
+    return false;
+  }
+  lval_ = in.lval;
+  uval_ = in.uval;
+  udiag_ = in.udiag;
+  return true;
 }
 
 Vector SparseLuFactorization::solve(const Vector& b) const {

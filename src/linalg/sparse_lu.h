@@ -40,6 +40,18 @@ class SparseLuFactorization {
   Vector solve(const Vector& b) const;
   void solve_into(const Vector& b, Vector& x) const;
 
+  /// Snapshot of the numeric factors (L/U values) under the current
+  /// symbolic structure. Lets a caller interleave factorizations of several
+  /// same-structure matrices through one SparseLuFactorization: refactor(),
+  /// save_values(), later load_values() + solve_into() — without paying a
+  /// new refactor. load_values() returns false (and changes nothing) if the
+  /// snapshot was taken under a different symbolic structure.
+  struct NumericValues {
+    std::vector<double> lval, uval, udiag;
+  };
+  void save_values(NumericValues& out) const;
+  bool load_values(const NumericValues& in);
+
   /// det(A); sign accounts for the row permutation.
   double determinant() const;
 
@@ -76,6 +88,11 @@ class SparseLuFactorization {
   std::vector<int> topo_ptr_, topo_row_;
 
   std::vector<double> row_scale_;  ///< scaled-pivoting row norms
+
+  // Dense work vectors reused across refactor()/solve_into() calls so the
+  // per-Newton-iteration hot path never allocates.
+  std::vector<double> work_x_;
+  mutable Vector work_y_;
 };
 
 }  // namespace relsim

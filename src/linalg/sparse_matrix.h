@@ -78,6 +78,17 @@ class SparseMatrix {
   const std::vector<int>& col_ind() const { return col_ind_; }
   const std::vector<double>& values() const { return values_; }
 
+  /// Index into values() of (row, col), or -1 when the position is not in
+  /// the structure. Callers that restamp the same positions every iteration
+  /// (batched Monte-Carlo) resolve slots once and write through
+  /// values_data() instead of paying add_at's search per write.
+  int value_index(std::size_t row, std::size_t col) const {
+    return find(row, col);
+  }
+
+  /// Mutable raw value array for precomputed-slot writes.
+  double* values_data() { return values_.data(); }
+
  private:
   /// Index into values_ of (row, col), or -1 when absent.
   int find(std::size_t row, std::size_t col) const;

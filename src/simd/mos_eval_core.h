@@ -1,0 +1,144 @@
+// Scalar core of the level-1 MOSFET evaluation.
+//
+// Single source of truth for the device math: spice::Mosfet::evaluate (the
+// golden oracle every equivalence test compares against) and the batched
+// lane kernels (mos_kernel.h) both call this exact function, so the scalar
+// kernel is bit-identical to the oracle by construction and the AVX2 kernel
+// only has to match ONE reference formulation.
+//
+// The caller pre-computes the per-sample effective parameters in the same
+// expression order Mosfet::evaluate always used:
+//
+//   vt_base = s*(vt0 + dvt_mismatch) + vt_tc*(T - Tnom) + dvt_aging
+//   beta    = beta0 * (1 + dbeta_rel) * beta_factor * (T/Tnom)^mob_exp
+//   lambda  = lambda0 * lambda_factor
+//
+// so a batched lane fed the same sample as a per-sample Circuit produces
+// the same bits through the scalar dispatch.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.h"
+
+namespace relsim::simd {
+
+/// Smoothing voltage of the forward-body-bias clamp. The hard clamp
+/// (vbs_c = min(vbs_e, 0.9*phi)) made gmb jump from a finite value to zero
+/// exactly at the clamp edge, which broke the C0 contract the Newton
+/// jacobian relies on. The softplus-smoothed clamp below is C1; for
+/// vbs_e < 0.9*phi - 40*kVbsClampSmoothV the smoothed path is taken over
+/// by an exact branch, so every reverse/weak-forward bias point is
+/// bit-identical to the historic hard clamp.
+inline constexpr double kVbsClampSmoothV = 0.01;
+
+/// Per-device invariants of the evaluation (identical across samples).
+struct MosDeviceConsts {
+  double type_sign = 1.0;  ///< +1 NMOS, -1 PMOS
+  double gamma = 0.0;      ///< body effect, sqrt(V)
+  double phi = 0.85;       ///< surface potential, V
+  double ss_v = 0.078;     ///< overdrive smoothing voltage, V
+};
+
+struct MosEvalResult {
+  double id = 0.0;   ///< current into the actual drain, A
+  double gm = 0.0;   ///< d id / d vg (actual frame)
+  double gds = 0.0;  ///< d id / d vd
+  double gmb = 0.0;  ///< d id / d vb
+  double vov = 0.0;  ///< smoothed overdrive, equivalent-NMOS frame
+  double vt_eff = 0.0;
+  bool saturated = false;
+  bool reversed = false;
+};
+
+/// One device evaluation at explicit terminal voltages with fully-formed
+/// per-sample parameters. See the file comment for the vt_base/beta/lambda
+/// conventions.
+inline MosEvalResult mos_eval_core(const MosDeviceConsts& c, double vt_base,
+                                   double beta, double lambda, double vd,
+                                   double vg, double vs, double vb) {
+  const double s = c.type_sign;
+
+  // Map to the equivalent-NMOS frame.
+  double vde = s * vd, vge = s * vg, vse = s * vs, vbe = s * vb;
+  const bool reversed = vde < vse;
+  if (reversed) std::swap(vde, vse);
+
+  const double vgs_e = vge - vse;
+  const double vds_e = vde - vse;  // >= 0 by construction
+  const double vbs_e = vbe - vse;
+
+  // Threshold in the equivalent frame (positive) with the body effect. The
+  // forward-bias side of the sqrt saturates at 0.9*phi through a smoothed
+  // clamp so the derivative fades continuously instead of jumping to zero.
+  const double phi = c.phi;
+  double dvt_dvbs = 0.0;
+  double body = 0.0;
+  if (c.gamma > 0.0) {
+    const double vbs_max = 0.9 * phi;
+    const double y = vbs_max - vbs_e;  // distance below the clamp edge
+    if (y > 40.0 * kVbsClampSmoothV) {
+      // Far from the clamp: the smoothing term underflows, take the exact
+      // legacy expressions (bit-identical to the historic hard clamp).
+      const double root = std::sqrt(phi - vbs_e);
+      body = c.gamma * (root - std::sqrt(phi));
+      dvt_dvbs = -c.gamma / (2.0 * root);
+    } else {
+      const double gap = softplus(y, kVbsClampSmoothV);
+      const double vbs_c = vbs_max - gap;  // <= vbs_max, -> vbs_e far below
+      const double root = std::sqrt(phi - vbs_c);
+      body = c.gamma * (root - std::sqrt(phi));
+      dvt_dvbs =
+          -c.gamma / (2.0 * root) * softplus_deriv(y, kVbsClampSmoothV);
+    }
+  }
+  const double vt_eff = vt_base + body;
+
+  // Smoothed overdrive: strong inversion for vgs >> vt, exponential-like
+  // tail below threshold; C1 everywhere.
+  const double vov = softplus(vgs_e - vt_eff, c.ss_v);
+  const double dvov_dvgs = softplus_deriv(vgs_e - vt_eff, c.ss_v);
+  const double dvov_dvbs = -dvov_dvgs * dvt_dvbs;
+
+  double i = 0.0, gm_e = 0.0, gds_e = 0.0;
+  const bool saturated = vds_e >= vov;
+  if (saturated) {
+    const double clm = 1.0 + lambda * vds_e;
+    i = 0.5 * beta * vov * vov * clm;
+    gm_e = beta * vov * clm * dvov_dvgs;
+    gds_e = 0.5 * beta * vov * vov * lambda;
+  } else {
+    const double clm = 1.0 + lambda * vds_e;
+    const double q = vov * vds_e - 0.5 * vds_e * vds_e;
+    i = beta * q * clm;
+    gm_e = beta * vds_e * clm * dvov_dvgs;
+    gds_e = beta * ((vov - vds_e) * clm + q * lambda);
+  }
+  const double gmb_e = saturated
+                           ? beta * vov * (1.0 + lambda * vds_e) * dvov_dvbs
+                           : beta * vds_e * (1.0 + lambda * vds_e) * dvov_dvbs;
+
+  // Map back to the actual terminal frame: I_D = s * sr * i_eq with
+  // sr = -1 when the drain/source roles were swapped; the published
+  // gm/gds/gmb are actual-frame partials of I_D.
+  MosEvalResult r;
+  const double sr = reversed ? -1.0 : 1.0;
+  r.id = s * sr * i;
+  if (reversed) {
+    r.gm = -gm_e;
+    r.gds = gm_e + gds_e + gmb_e;
+    r.gmb = -gmb_e;
+  } else {
+    r.gm = gm_e;
+    r.gds = gds_e;
+    r.gmb = gmb_e;
+  }
+  r.vov = vov;
+  r.vt_eff = vt_eff;
+  r.saturated = saturated;
+  r.reversed = reversed;
+  return r;
+}
+
+}  // namespace relsim::simd

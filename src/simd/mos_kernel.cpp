@@ -1,0 +1,92 @@
+#include "simd/mos_kernel.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/log.h"
+
+namespace relsim::simd {
+
+const char* to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool cpu_supports_avx2() {
+#if RELSIM_SIMD_HAVE_AVX2 && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdLevel resolve_simd_level(const char* override_value) {
+  const bool avx2_ok = cpu_supports_avx2();
+  if (override_value != nullptr && *override_value != '\0') {
+    if (std::strcmp(override_value, "scalar") == 0) return SimdLevel::kScalar;
+    if (std::strcmp(override_value, "avx2") == 0) {
+      if (avx2_ok) return SimdLevel::kAvx2;
+      static std::once_flag warned;
+      std::call_once(warned, [] {
+        log_warn("RELSIM_SIMD=avx2 requested but the CPU (or this build) "
+                 "does not support AVX2+FMA; using the scalar kernel");
+      });
+      return SimdLevel::kScalar;
+    }
+    if (std::strcmp(override_value, "auto") != 0) {
+      static std::once_flag warned;
+      std::call_once(warned, [override_value] {
+        log_warn("ignoring unknown RELSIM_SIMD value \"", override_value,
+                 "\" (expected scalar|avx2|auto)");
+      });
+    }
+  }
+  return avx2_ok ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+}
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level = resolve_simd_level(std::getenv("RELSIM_SIMD"));
+  return level;
+}
+
+void mos_eval_lanes_scalar(const MosDeviceConsts& c, const MosLaneView& v,
+                           std::size_t count) {
+  for (std::size_t l = 0; l < count; ++l) {
+    const MosEvalResult r =
+        mos_eval_core(c, v.vt_base[l], v.beta[l], v.lambda[l], v.vd[l],
+                      v.vg[l], v.vs[l], v.vb[l]);
+    v.id[l] = r.id;
+    v.gm[l] = r.gm;
+    v.gds[l] = r.gds;
+    v.gmb[l] = r.gmb;
+  }
+}
+
+#if !RELSIM_SIMD_HAVE_AVX2
+void mos_eval_lanes_avx2(const MosDeviceConsts& c, const MosLaneView& v,
+                         std::size_t count) {
+  mos_eval_lanes_scalar(c, v, count);
+}
+#endif
+
+void mos_eval_lanes_at(SimdLevel level, const MosDeviceConsts& c,
+                       const MosLaneView& v, std::size_t count) {
+  if (level == SimdLevel::kAvx2) {
+    mos_eval_lanes_avx2(c, v, count);
+  } else {
+    mos_eval_lanes_scalar(c, v, count);
+  }
+}
+
+void mos_eval_lanes(const MosDeviceConsts& c, const MosLaneView& v,
+                    std::size_t count) {
+  mos_eval_lanes_at(active_simd_level(), c, v, count);
+}
+
+}  // namespace relsim::simd

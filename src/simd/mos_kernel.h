@@ -1,0 +1,81 @@
+// Batched (lane-parallel) MOSFET evaluation kernels with runtime dispatch.
+//
+// The batched Monte-Carlo path evaluates the SAME device at K samples'
+// terminal voltages and per-sample parameters in lockstep. The work is
+// embarrassingly lane-parallel, so it vectorizes: the AVX2+FMA kernel
+// processes 4 lanes per instruction, with a scalar kernel as both the
+// fallback and the golden reference (it calls mos_eval_core, the exact
+// function spice::Mosfet::evaluate uses — bit-identical by construction).
+//
+// Dispatch policy: active_simd_level() picks AVX2 when the CPU supports
+// it, overridable with RELSIM_SIMD=scalar|avx2|auto. Every lane result is
+// independent of its neighbours (element-wise ops only, no horizontal
+// reductions), so a K-lane batch and K single-lane calls produce the same
+// bits at either level — which keeps batched MC runs deterministic across
+// chunk fallbacks and worker counts.
+#pragma once
+
+#include <cstddef>
+
+#include "simd/mos_eval_core.h"
+
+namespace relsim::simd {
+
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+const char* to_string(SimdLevel level);
+
+/// True when the CPU can run the AVX2+FMA kernel.
+bool cpu_supports_avx2();
+
+/// Resolves a RELSIM_SIMD-style override ("scalar", "avx2", "auto",
+/// null/empty = auto). Auto picks the best supported level; an explicit
+/// "avx2" on a CPU without it warns and falls back to scalar; an unknown
+/// value warns and resolves as auto.
+SimdLevel resolve_simd_level(const char* override_value);
+
+/// Process-wide dispatch decision: resolve_simd_level(getenv("RELSIM_SIMD")),
+/// computed once on first use.
+SimdLevel active_simd_level();
+
+/// One device's lane arrays, all of length `count` (no alignment
+/// requirement). Inputs: per-lane terminal voltages and effective
+/// per-sample parameters (see mos_eval_core.h for the vt_base/beta/lambda
+/// conventions). Outputs: actual-frame id/gm/gds/gmb per lane.
+struct MosLaneView {
+  const double* vd = nullptr;
+  const double* vg = nullptr;
+  const double* vs = nullptr;
+  const double* vb = nullptr;
+  const double* vt_base = nullptr;
+  const double* beta = nullptr;
+  const double* lambda = nullptr;
+  double* id = nullptr;
+  double* gm = nullptr;
+  double* gds = nullptr;
+  double* gmb = nullptr;
+};
+
+/// Scalar reference kernel: mos_eval_core per lane.
+void mos_eval_lanes_scalar(const MosDeviceConsts& c, const MosLaneView& v,
+                           std::size_t count);
+
+/// AVX2+FMA kernel (4 lanes per op, scalar tail). Call only when
+/// cpu_supports_avx2(); without AVX2 support compiled in, it forwards to
+/// the scalar kernel.
+void mos_eval_lanes_avx2(const MosDeviceConsts& c, const MosLaneView& v,
+                         std::size_t count);
+
+/// Kernel at an explicit level (equivalence tests and benches compare
+/// levels side by side within one process).
+void mos_eval_lanes_at(SimdLevel level, const MosDeviceConsts& c,
+                       const MosLaneView& v, std::size_t count);
+
+/// Runtime-dispatched kernel: mos_eval_lanes_at(active_simd_level(), ...).
+void mos_eval_lanes(const MosDeviceConsts& c, const MosLaneView& v,
+                    std::size_t count);
+
+}  // namespace relsim::simd

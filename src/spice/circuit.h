@@ -70,6 +70,14 @@ class Circuit {
     }
     return *typed;
   }
+  template <typename T>
+  const T& device_as(const std::string& name) const {
+    const T* typed = dynamic_cast<const T*>(&device(name));
+    if (typed == nullptr) {
+      throw Error("device '" + name + "' has unexpected type");
+    }
+    return *typed;
+  }
 
   const std::vector<std::unique_ptr<Device>>& devices() const {
     return devices_;

@@ -1,0 +1,537 @@
+#include "spice/compiled_circuit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "linalg/lu.h"
+#include "util/error.h"
+
+namespace relsim::spice {
+
+namespace {
+
+/// values() slot of (row, col), or -1 when either index is ground. A pair
+/// of live indices missing from the structure is a compile bug — the
+/// pattern was captured from the very stamps being resolved.
+int resolve_slot(const SparseMatrix& m, int row, int col) {
+  if (row < 0 || col < 0) return -1;
+  const int slot = m.value_index(static_cast<std::size_t>(row),
+                                 static_cast<std::size_t>(col));
+  RELSIM_REQUIRE(slot >= 0,
+                 "compiled circuit: stamp position missing from the "
+                 "captured structure");
+  return slot;
+}
+
+void resolve_conductance_quad(const SparseMatrix& m, NodeId a, NodeId b,
+                              int out[4]) {
+  const int ia = StampArgs::unknown_of(a);
+  const int ib = StampArgs::unknown_of(b);
+  out[0] = resolve_slot(m, ia, ia);
+  out[1] = resolve_slot(m, ib, ib);
+  out[2] = resolve_slot(m, ia, ib);
+  out[3] = resolve_slot(m, ib, ia);
+}
+
+}  // namespace
+
+CompiledCircuit::CompiledCircuit(std::unique_ptr<Circuit> circuit)
+    : CompiledCircuit(std::move(circuit), Options()) {}
+
+CompiledCircuit::CompiledCircuit(std::unique_ptr<Circuit> circuit,
+                                 Options options)
+    : options_(options), circuit_(std::move(circuit)),
+      simd_level_(options.simd_level) {
+  RELSIM_REQUIRE(circuit_ != nullptr, "CompiledCircuit needs a circuit");
+  RELSIM_REQUIRE(options_.max_lanes >= 1,
+                 "CompiledCircuit: max_lanes must be >= 1");
+  circuit_->assemble();
+  n_ = static_cast<std::size_t>(circuit_->unknown_count());
+  nodes_ = static_cast<std::size_t>(circuit_->node_count());
+
+  // Nominal DC solve with the sparse path forced regardless of size: this
+  // is the single pattern capture + symbolic factorization every workspace
+  // shares, and its solution is the warm start for every lane.
+  DcOptions dc;
+  dc.newton = options_.newton;
+  dc.newton.sparse_min_unknowns = 1;
+  dc.allow_gmin_stepping = options_.allow_gmin_stepping;
+  dc.allow_source_stepping = options_.allow_source_stepping;
+  SolverCache& cache = circuit_->solver_cache();
+  const SolverStats before = cache.stats;
+  x_nom_ = dc_operating_point(*circuit_, dc).x();
+  if (cache.lu == nullptr) {
+    // The nominal solve ended on the dense rescue path. Re-run one Newton
+    // pass from the solution so the cache holds a live sparse LU to copy.
+    Vector x = x_nom_;
+    newton_solve(*circuit_, x, AnalysisMode::kDcOp, Integrator::kBackwardEuler,
+                 0.0, 0.0, 1.0, dc.newton.gmin, dc.newton);
+  }
+  RELSIM_REQUIRE(cache.lu != nullptr,
+                 "compiled circuit: nominal solve left no sparse LU");
+  compile_stats_ = cache.stats - before;
+  matrix_master_ = cache.matrix;
+  lu_master_ = std::make_unique<SparseLuFactorization>(*cache.lu);
+
+  diag_.resize(nodes_);
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    diag_[i] = resolve_slot(matrix_master_, static_cast<int>(i),
+                            static_cast<int>(i));
+  }
+
+  for (Mosfet* m : circuit_->mosfets()) {
+    MosSlots s;
+    s.d = m->drain();
+    s.g = m->gate();
+    s.s = m->source();
+    s.b = m->bulk();
+    s.consts = m->eval_consts();
+    const int rd = StampArgs::unknown_of(s.d);
+    const int rs = StampArgs::unknown_of(s.s);
+    const int cols[4] = {StampArgs::unknown_of(s.g), StampArgs::unknown_of(s.d),
+                         StampArgs::unknown_of(s.s),
+                         StampArgs::unknown_of(s.b)};
+    for (int c = 0; c < 4; ++c) {
+      s.jac[c] = resolve_slot(matrix_master_, rd, cols[c]);
+      s.jac[4 + c] = resolve_slot(matrix_master_, rs, cols[c]);
+    }
+    // Leak paths exist in the captured pattern only when the master device
+    // had them at compile time; workspaces are checked for parity.
+    s.has_leak_gs = m->degradation().g_leak_gs > 0.0;
+    s.has_leak_gd = m->degradation().g_leak_gd > 0.0;
+    if (s.has_leak_gs) resolve_conductance_quad(matrix_master_, s.g, s.s,
+                                                s.leak_gs);
+    if (s.has_leak_gd) resolve_conductance_quad(matrix_master_, s.g, s.d,
+                                                s.leak_gd);
+    mos_.push_back(s);
+  }
+}
+
+std::unique_ptr<CompiledCircuit::Workspace> CompiledCircuit::make_workspace(
+    std::unique_ptr<Circuit> own) const {
+  return std::make_unique<Workspace>(*this, std::move(own));
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+
+CompiledCircuit::Workspace::Workspace(const CompiledCircuit& compiled,
+                                      std::unique_ptr<Circuit> own)
+    : compiled_(compiled), circuit_(std::move(own)) {
+  RELSIM_REQUIRE(circuit_ != nullptr, "Workspace needs a circuit");
+  circuit_->assemble();
+  RELSIM_REQUIRE(
+      static_cast<std::size_t>(circuit_->unknown_count()) == compiled_.n_,
+      "workspace circuit does not match the compiled master (unknown count)");
+
+  mosfets_ = circuit_->mosfets();
+  RELSIM_REQUIRE(mosfets_.size() == compiled_.mos_.size(),
+                 "workspace circuit does not match the compiled master "
+                 "(MOSFET count)");
+  for (std::size_t m = 0; m < mosfets_.size(); ++m) {
+    const MosSlots& s = compiled_.mos_[m];
+    RELSIM_REQUIRE(mosfets_[m]->drain() == s.d && mosfets_[m]->gate() == s.g &&
+                       mosfets_[m]->source() == s.s &&
+                       mosfets_[m]->bulk() == s.b,
+                   "workspace circuit does not match the compiled master "
+                   "(MOSFET nodes)");
+    RELSIM_REQUIRE(
+        (mosfets_[m]->degradation().g_leak_gs > 0.0) == s.has_leak_gs &&
+            (mosfets_[m]->degradation().g_leak_gd > 0.0) == s.has_leak_gd,
+        "workspace circuit does not match the compiled master (gate-leak "
+        "state; compile the master with the same degradation applied)");
+  }
+  affine_others_ = true;
+  for (const auto& d : circuit_->devices()) {
+    if (dynamic_cast<Mosfet*>(d.get()) != nullptr) continue;
+    other_devices_.push_back(d.get());
+    // Whitelist of devices whose DC stamp does not depend on the iterate;
+    // anything else (diodes, user devices) forces per-lane restamping.
+    if (dynamic_cast<Resistor*>(d.get()) == nullptr &&
+        dynamic_cast<Capacitor*>(d.get()) == nullptr &&
+        dynamic_cast<Inductor*>(d.get()) == nullptr &&
+        dynamic_cast<VoltageSource*>(d.get()) == nullptr &&
+        dynamic_cast<CurrentSource*>(d.get()) == nullptr &&
+        dynamic_cast<Vcvs*>(d.get()) == nullptr) {
+      affine_others_ = false;
+    }
+  }
+
+  matrix_ = compiled_.matrix_master_;
+  // Copy-constructing the factorization clones the master's symbolic
+  // structure (pivot order, fill pattern); only numeric refactorizations
+  // happen per sample.
+  lu_ = std::make_unique<SparseLuFactorization>(*compiled_.lu_master_);
+  rhs_.assign(compiled_.n_, 0.0);
+  x_.assign(max_lanes(), Vector(compiled_.n_, 0.0));
+
+  const std::size_t cells = mosfets_.size() * max_lanes();
+  vd_.assign(cells, 0.0);
+  vg_.assign(cells, 0.0);
+  vs_.assign(cells, 0.0);
+  vb_.assign(cells, 0.0);
+  vt_base_.assign(cells, 0.0);
+  beta_.assign(cells, 0.0);
+  lambda_.assign(cells, 0.0);
+  id_.assign(cells, 0.0);
+  gm_.assign(cells, 0.0);
+  gds_.assign(cells, 0.0);
+  gmb_.assign(cells, 0.0);
+  fgm_.assign(cells, 0.0);
+  fgds_.assign(cells, 0.0);
+  fgmb_.assign(cells, 0.0);
+  chord_.resize(max_lanes());
+  // Nominal model inputs for every lane, so lanes never carry stale data
+  // from a previous, wider batch.
+  for (std::size_t m = 0; m < mosfets_.size(); ++m) {
+    for (std::size_t lane = 0; lane < max_lanes(); ++lane) {
+      set_lane_variation(lane, m, mosfets_[m]->variation());
+    }
+  }
+}
+
+void CompiledCircuit::Workspace::set_lane_variation(std::size_t lane,
+                                                    std::size_t mos_index,
+                                                    const MosVariation& v) {
+  Mosfet& m = *mosfets_[mos_index];
+  m.set_variation(v);
+  // Snapshot through the device's own eval_* helpers: identical expression
+  // order to the scalar path, so scalar-kernel lanes are bit-identical to
+  // Mosfet::evaluate on the varied device.
+  const std::size_t off = idx(mos_index, lane);
+  vt_base_[off] = m.eval_vt_base();
+  beta_[off] = m.eval_beta();
+  lambda_[off] = m.eval_lambda();
+}
+
+void CompiledCircuit::Workspace::eval_mosfets(std::size_t lanes) {
+  const std::size_t L = max_lanes();
+  for (std::size_t m = 0; m < mosfets_.size(); ++m) {
+    const MosSlots& s = compiled_.mos_[m];
+    const std::size_t base = m * L;
+    const auto v = [](const Vector& x, NodeId node) {
+      return node > 0 ? x[static_cast<std::size_t>(node - 1)] : 0.0;
+    };
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const Vector& x = x_[lane];
+      vd_[base + lane] = v(x, s.d);
+      vg_[base + lane] = v(x, s.g);
+      vs_[base + lane] = v(x, s.s);
+      vb_[base + lane] = v(x, s.b);
+    }
+    simd::MosLaneView view;
+    view.vd = vd_.data() + base;
+    view.vg = vg_.data() + base;
+    view.vs = vs_.data() + base;
+    view.vb = vb_.data() + base;
+    view.vt_base = vt_base_.data() + base;
+    view.beta = beta_.data() + base;
+    view.lambda = lambda_.data() + base;
+    view.id = id_.data() + base;
+    view.gm = gm_.data() + base;
+    view.gds = gds_.data() + base;
+    view.gmb = gmb_.data() + base;
+    simd::mos_eval_lanes_at(compiled_.simd_level(), s.consts, view, lanes);
+  }
+}
+
+void CompiledCircuit::Workspace::build_affine_base(double gmin,
+                                                   double source_scale) {
+  matrix_.zero_values();
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  StampArgs args(matrix_, rhs_, x_[0], AnalysisMode::kDcOp,
+                 Integrator::kBackwardEuler, 0.0, 0.0, source_scale);
+  for (Device* d : other_devices_) d->stamp(args);
+  RELSIM_REQUIRE(args.missed.empty(),
+                 "compiled circuit: a device stamped outside the compiled "
+                 "structure (topology changed after compile?)");
+  double* vals = matrix_.values_data();
+  for (std::size_t i = 0; i < compiled_.nodes_; ++i) {
+    vals[compiled_.diag_[i]] += gmin;
+  }
+  base_values_.assign(matrix_.values().begin(), matrix_.values().end());
+  base_rhs_ = rhs_;
+}
+
+void CompiledCircuit::Workspace::assemble_lane(std::size_t lane, double gmin,
+                                               double source_scale) {
+  if (affine_others_) {
+    std::copy(base_values_.begin(), base_values_.end(), matrix_.values_data());
+    std::copy(base_rhs_.begin(), base_rhs_.end(), rhs_.begin());
+  } else {
+    matrix_.zero_values();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    StampArgs args(matrix_, rhs_, x_[lane], AnalysisMode::kDcOp,
+                   Integrator::kBackwardEuler, 0.0, 0.0, source_scale);
+    for (Device* d : other_devices_) d->stamp(args);
+    RELSIM_REQUIRE(args.missed.empty(),
+                   "compiled circuit: a device stamped outside the compiled "
+                   "structure (topology changed after compile?)");
+  }
+
+  double* vals = matrix_.values_data();
+  const std::size_t L = max_lanes();
+  for (std::size_t m = 0; m < mosfets_.size(); ++m) {
+    const MosSlots& s = compiled_.mos_[m];
+    const std::size_t off = m * L + lane;
+    const double gm = gm_[off], gds = gds_[off], gmb = gmb_[off];
+    const double gss = -(gm + gds + gmb);
+    const double entries[4] = {gm, gds, gss, gmb};
+    for (int c = 0; c < 4; ++c) {
+      if (s.jac[c] >= 0) vals[s.jac[c]] += entries[c];
+      if (s.jac[4 + c] >= 0) vals[s.jac[4 + c]] -= entries[c];
+    }
+    // Newton companion current I_D(v*) - J*v*, flowing drain -> source.
+    const double linear =
+        gm * vg_[off] + gds * vd_[off] + gss * vs_[off] + gmb * vb_[off];
+    const double icomp = id_[off] - linear;
+    const int rd = StampArgs::unknown_of(s.d);
+    const int rs = StampArgs::unknown_of(s.s);
+    if (rd >= 0) rhs_[static_cast<std::size_t>(rd)] -= icomp;
+    if (rs >= 0) rhs_[static_cast<std::size_t>(rs)] += icomp;
+
+    const MosDegradation& deg = mosfets_[m]->degradation();
+    if (s.has_leak_gs) {
+      const double g = deg.g_leak_gs;
+      if (s.leak_gs[0] >= 0) vals[s.leak_gs[0]] += g;
+      if (s.leak_gs[1] >= 0) vals[s.leak_gs[1]] += g;
+      if (s.leak_gs[2] >= 0) vals[s.leak_gs[2]] -= g;
+      if (s.leak_gs[3] >= 0) vals[s.leak_gs[3]] -= g;
+    }
+    if (s.has_leak_gd) {
+      const double g = deg.g_leak_gd;
+      if (s.leak_gd[0] >= 0) vals[s.leak_gd[0]] += g;
+      if (s.leak_gd[1] >= 0) vals[s.leak_gd[1]] += g;
+      if (s.leak_gd[2] >= 0) vals[s.leak_gd[2]] -= g;
+      if (s.leak_gd[3] >= 0) vals[s.leak_gd[3]] -= g;
+    }
+  }
+
+  // gmin is folded into the affine base; stamp it here only on the
+  // per-lane path.
+  if (!affine_others_) {
+    for (std::size_t i = 0; i < compiled_.nodes_; ++i) {
+      vals[compiled_.diag_[i]] += gmin;
+    }
+  }
+}
+
+bool CompiledCircuit::Workspace::solve_assembled(Vector& x_new) {
+  last_solve_sparse_ = false;
+  try {
+    try {
+      lu_->refactor(matrix_);
+      ++stats_.sparse_numeric_refactorizations;
+    } catch (const SingularMatrixError&) {
+      // Pivot order from the nominal point went singular for this sample;
+      // a fresh symbolic analysis at the current values may still work.
+      // The new structure invalidates every lane's chord snapshot.
+      lu_ = std::make_unique<SparseLuFactorization>(matrix_);
+      ++lu_generation_;
+      ++stats_.sparse_symbolic_factorizations;
+    }
+    lu_->solve_into(rhs_, x_new);
+    last_solve_sparse_ = true;
+    return true;
+  } catch (const SingularMatrixError&) {
+    ++stats_.dense_fallbacks;
+    try {
+      Matrix jac = matrix_.to_dense();
+      LuFactorization lu(jac);
+      lu.solve_into(rhs_, x_new);
+      ++stats_.dense_factorizations;
+      return true;
+    } catch (const SingularMatrixError&) {
+      return false;
+    }
+  }
+}
+
+void CompiledCircuit::Workspace::newton_lanes(std::size_t lanes,
+                                              std::vector<std::uint8_t>& active,
+                                              std::vector<std::uint8_t>& ok,
+                                              double gmin, double source_scale,
+                                              bool allow_chord) {
+  const NewtonOptions& options = compiled_.options_.newton;
+  const std::size_t n = compiled_.n_;
+  const std::size_t nodes = compiled_.nodes_;
+  const std::size_t L = max_lanes();
+  Vector x_new(n, 0.0);
+  if (affine_others_) build_affine_base(gmin, source_scale);
+  // Chord steps piggyback on the affine base (rhs-only assembly); without
+  // it every iteration is a full one. A refreshed jacobian every few steps
+  // keeps the linear chord rate from stalling on far-from-nominal samples.
+  const bool chord = allow_chord && affine_others_;
+  constexpr int kMaxChordSteps = 4;
+  for (std::size_t lane = 0; lane < lanes; ++lane) chord_[lane].valid = false;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    bool any = false;
+    for (std::size_t lane = 0; lane < lanes; ++lane) any |= active[lane] != 0;
+    if (!any) break;
+
+    // Model evaluation for ALL lanes in lockstep (inactive lanes ride
+    // along: lane results are element-wise, so this only costs the flops).
+    eval_mosfets(lanes);
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (!active[lane]) continue;
+      ++stats_.newton_iterations;
+      LaneChord& ch = chord_[lane];
+      bool solved = false;
+      bool full = !chord || !ch.valid || ch.steps >= kMaxChordSteps;
+      if (!full && (ch.generation != lu_generation_ ||
+                    !lu_->load_values(ch.lu))) {
+        ch.valid = false;  // snapshot predates a symbolic rebuild
+        full = true;
+      }
+      if (!full) {
+        // Chord step: the frozen jacobian J~ from this lane's last
+        // refactorization, with the companion rhs built AGAINST J~ —
+        // b = J~ x_k - F(x_k) — so the fixed point is still the exact
+        // circuit solution. Linear devices cancel out of b entirely
+        // (J~ and F agree on them), leaving sources + the MOSFET
+        // companions with frozen conductances and current currents.
+        std::copy(base_rhs_.begin(), base_rhs_.end(), rhs_.begin());
+        for (std::size_t m = 0; m < mosfets_.size(); ++m) {
+          const MosSlots& s = compiled_.mos_[m];
+          const std::size_t off = m * L + lane;
+          const double gm = fgm_[off], gds = fgds_[off], gmb = fgmb_[off];
+          const double gss = -(gm + gds + gmb);
+          const double linear =
+              gm * vg_[off] + gds * vd_[off] + gss * vs_[off] + gmb * vb_[off];
+          const double icomp = id_[off] - linear;
+          const int rd = StampArgs::unknown_of(s.d);
+          const int rs = StampArgs::unknown_of(s.s);
+          if (rd >= 0) rhs_[static_cast<std::size_t>(rd)] -= icomp;
+          if (rs >= 0) rhs_[static_cast<std::size_t>(rs)] += icomp;
+        }
+        lu_->solve_into(rhs_, x_new);
+        ++ch.steps;
+        solved = true;
+      } else {
+        assemble_lane(lane, gmin, source_scale);
+        solved = solve_assembled(x_new);
+        if (chord && solved && last_solve_sparse_) {
+          lu_->save_values(ch.lu);
+          for (std::size_t m = 0; m < mosfets_.size(); ++m) {
+            const std::size_t off = m * L + lane;
+            fgm_[off] = gm_[off];
+            fgds_[off] = gds_[off];
+            fgmb_[off] = gmb_[off];
+          }
+          ch.valid = true;
+          ch.steps = 0;
+          ch.generation = lu_generation_;
+        } else {
+          ch.valid = false;
+        }
+      }
+      if (!solved) {
+        active[lane] = 0;  // singular even densely: lane goes to rescue
+        continue;
+      }
+      bool finite = true;
+      for (const double v : x_new) {
+        if (!std::isfinite(v)) {
+          finite = false;
+          break;
+        }
+      }
+      if (!finite) {
+        active[lane] = 0;
+        continue;
+      }
+      // Damped update + convergence check, matching newton_solve exactly.
+      Vector& x = x_[lane];
+      bool converged = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        double delta = x_new[i] - x[i];
+        const bool is_voltage = i < nodes;
+        if (is_voltage && std::abs(delta) > options.max_step_v) {
+          delta = std::copysign(options.max_step_v, delta);
+          converged = false;
+        }
+        const double tol =
+            (is_voltage ? options.v_abstol : options.i_abstol) +
+            options.reltol * std::max(std::abs(x[i]), std::abs(x[i] + delta));
+        if (std::abs(delta) > tol) converged = false;
+        x[i] += delta;
+      }
+      if (converged) {
+        ok[lane] = 1;
+        active[lane] = 0;
+      }
+    }
+  }
+  // Lanes still active ran out of iterations.
+  std::fill(active.begin(), active.begin() + static_cast<long>(lanes), 0);
+}
+
+void CompiledCircuit::Workspace::rescue_lane(std::size_t lanes,
+                                             std::size_t lane,
+                                             std::vector<std::uint8_t>& active,
+                                             std::vector<std::uint8_t>& ok) {
+  const Options& opts = compiled_.options_;
+  auto run = [&](double gmin, double source_scale) {
+    std::fill(active.begin(), active.begin() + static_cast<long>(lanes), 0);
+    active[lane] = 1;
+    ok[lane] = 0;
+    // No chord during rescue: far from the solution the frozen jacobian
+    // converges too slowly to be worth the bookkeeping.
+    newton_lanes(lanes, active, ok, gmin, source_scale, /*allow_chord=*/false);
+    return ok[lane] != 0;
+  };
+
+  // Mirror of try_dc_sequence, restricted to this lane: fresh start, then
+  // gmin stepping, then source stepping — each from zeros.
+  std::fill(x_[lane].begin(), x_[lane].end(), 0.0);
+  if (run(opts.newton.gmin, 1.0)) return;
+
+  if (opts.allow_gmin_stepping) {
+    std::fill(x_[lane].begin(), x_[lane].end(), 0.0);
+    bool laddered = true;
+    for (const double g : gmin_ladder(opts.newton.gmin)) {
+      if (!run(g, 1.0)) {
+        laddered = false;
+        break;
+      }
+    }
+    if (laddered) return;
+  }
+
+  if (opts.allow_source_stepping) {
+    std::fill(x_[lane].begin(), x_[lane].end(), 0.0);
+    bool stepped = true;
+    for (double scale = 0.05; scale <= 1.0 + 1e-12; scale += 0.05) {
+      if (!run(opts.newton.gmin, std::min(scale, 1.0))) {
+        stepped = false;
+        break;
+      }
+    }
+    if (stepped) return;
+  }
+
+  throw ConvergenceError(
+      "compiled batched DC solve: lane " + std::to_string(lane) +
+      " did not converge (recovery ladder exhausted)");
+}
+
+void CompiledCircuit::Workspace::solve_dc(std::size_t lanes) {
+  RELSIM_REQUIRE(lanes >= 1 && lanes <= max_lanes(),
+                 "Workspace::solve_dc: lane count out of range");
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    x_[lane] = compiled_.x_nom_;
+  }
+  std::vector<std::uint8_t> active(lanes, 1);
+  std::vector<std::uint8_t> ok(lanes, 0);
+  newton_lanes(lanes, active, ok, compiled_.options_.newton.gmin, 1.0,
+               /*allow_chord=*/true);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    if (!ok[lane]) rescue_lane(lanes, lane, active, ok);
+  }
+}
+
+}  // namespace relsim::spice

@@ -1,0 +1,200 @@
+// Compiled circuit: batched cross-sample DC evaluation.
+//
+// Monte-Carlo yield runs solve the SAME topology thousands of times with
+// only device parameter values changing (Pelgrom mismatch, aging state).
+// The classic per-sample path rebuilds everything from scratch: construct
+// the circuit, capture the stamp pattern, run the sparse LU's symbolic
+// analysis, then Newton-iterate. Pattern and symbolic analysis depend on
+// topology alone, so across samples that work is pure waste.
+//
+// CompiledCircuit does the topology-dependent work ONCE:
+//   - a nominal DC solve on the master circuit captures the stamp pattern
+//     and the sparse LU's symbolic structure (and yields a warm-start
+//     point every sample's Newton begins from);
+//   - every MOSFET's jacobian/rhs positions are resolved to value-array
+//     slots, so a sample is applied by value-only restamping — no
+//     structure search per write;
+//   - per-device model inputs (vt_base/beta/lambda with the sampled
+//     mismatch folded in) live in flat SoA tables, feeding the batched
+//     SIMD kernels in src/simd/ which evaluate K samples in lockstep.
+//
+// Workers hold a private Workspace (own Circuit copy, matrix values, rhs,
+// per-lane iterates) and share the compiled structure read-only, so a
+// sample costs one numeric refactorization instead of a full rebuild.
+// Lane results are element-wise (batch-width independent), which keeps
+// batched MC results independent of how samples were grouped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "linalg/sparse_lu.h"
+#include "linalg/sparse_matrix.h"
+#include "simd/mos_kernel.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+
+namespace relsim::spice {
+
+class CompiledCircuit {
+ public:
+  struct Options {
+    NewtonOptions newton;  ///< sparse_min_unknowns is ignored: always sparse
+    bool allow_gmin_stepping = true;    ///< per-lane rescue ladder
+    bool allow_source_stepping = true;  ///< per-lane rescue ladder
+    std::size_t max_lanes = 64;         ///< samples per lockstep solve
+    /// Device-kernel dispatch; defaults to the RELSIM_SIMD-resolved level.
+    simd::SimdLevel simd_level = simd::active_simd_level();
+  };
+
+  /// Compiles `circuit` (takes ownership): runs the nominal DC solve that
+  /// captures the pattern + symbolic LU, and resolves every MOSFET stamp
+  /// position to a value slot. Throws ConvergenceError if even the nominal
+  /// circuit has no DC solution.
+  explicit CompiledCircuit(std::unique_ptr<Circuit> circuit);
+  CompiledCircuit(std::unique_ptr<Circuit> circuit, Options options);
+
+  Circuit& circuit() { return *circuit_; }
+  const Circuit& circuit() const { return *circuit_; }
+  const Options& options() const { return options_; }
+
+  std::size_t unknown_count() const { return n_; }
+  std::size_t mosfet_count() const { return mos_.size(); }
+
+  /// Nominal (zero-mismatch) solution; every lane warm-starts from it.
+  const Vector& nominal_solution() const { return x_nom_; }
+
+  /// Stats spent compiling — for a batched run, pattern_builds and
+  /// sparse_symbolic_factorizations should come from here alone.
+  const SolverStats& compile_stats() const { return compile_stats_; }
+
+  simd::SimdLevel simd_level() const { return simd_level_; }
+  void set_simd_level(simd::SimdLevel level) { simd_level_ = level; }
+
+  /// Per-MOSFET stamp slots and model constants, resolved at compile time.
+  struct MosSlots {
+    NodeId d = 0, g = 0, s = 0, b = 0;
+    simd::MosDeviceConsts consts;
+    /// values() slots of the 8 channel jacobian entries, in stamp order:
+    /// (rd,cg) (rd,cd) (rd,cs) (rd,cb) (rs,cg) (rs,cd) (rs,cs) (rs,cb).
+    /// -1 where the row or column is ground.
+    int jac[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    /// Gate-leak conductance quadruples (g,s) and (g,d): (ia,ia) (ib,ib)
+    /// (ia,ib) (ib,ia). Resolved only when the master device had the leak.
+    int leak_gs[4] = {-1, -1, -1, -1};
+    int leak_gd[4] = {-1, -1, -1, -1};
+    bool has_leak_gs = false;
+    bool has_leak_gd = false;
+  };
+
+  /// Per-worker private state: an owned Circuit copy (for the thread-safe
+  /// non-MOSFET stamps and spec evaluation), matrix values + LU sharing the
+  /// master's symbolic structure, and per-lane SoA parameter/result tables.
+  class Workspace {
+   public:
+    Workspace(const CompiledCircuit& compiled, std::unique_ptr<Circuit> own);
+
+    std::size_t max_lanes() const { return compiled_.options().max_lanes; }
+    Circuit& circuit() { return *circuit_; }
+    const Circuit& circuit() const { return *circuit_; }
+
+    /// Applies one sample's mismatch to (lane, mosfet): updates the
+    /// workspace device and snapshots its model inputs into the SoA
+    /// tables in the exact arithmetic Mosfet::evaluate uses.
+    void set_lane_variation(std::size_t lane, std::size_t mos_index,
+                            const MosVariation& v);
+
+    /// Solves the DC operating point of lanes [0, lanes) in lockstep,
+    /// warm-started from the nominal solution. Lanes that fall out of the
+    /// shared Newton are rescued individually (fresh start, then gmin and
+    /// source stepping as enabled). Throws ConvergenceError if any lane
+    /// still fails.
+    void solve_dc(std::size_t lanes);
+
+    const Vector& lane_solution(std::size_t lane) const { return x_[lane]; }
+
+    /// Cumulative solver work done by this workspace (numeric refactors,
+    /// newton iterations, rescue fallbacks). No pattern builds: those
+    /// happened at compile time.
+    const SolverStats& stats() const { return stats_; }
+
+   private:
+    std::size_t idx(std::size_t mos_index, std::size_t lane) const {
+      return mos_index * max_lanes() + lane;
+    }
+    void eval_mosfets(std::size_t lanes);
+    void build_affine_base(double gmin, double source_scale);
+    void assemble_lane(std::size_t lane, double gmin, double source_scale);
+    bool solve_assembled(Vector& x_new);
+    /// One Newton run over the active lanes; sets ok[] per converged lane.
+    /// With allow_chord, iterations after a lane's refactorization reuse
+    /// that lane's LU (chord/frozen-jacobian steps) until a refresh.
+    void newton_lanes(std::size_t lanes, std::vector<std::uint8_t>& active,
+                      std::vector<std::uint8_t>& ok, double gmin,
+                      double source_scale, bool allow_chord);
+    void rescue_lane(std::size_t lanes, std::size_t lane,
+                     std::vector<std::uint8_t>& active,
+                     std::vector<std::uint8_t>& ok);
+
+    const CompiledCircuit& compiled_;
+    std::unique_ptr<Circuit> circuit_;
+    std::vector<Device*> other_devices_;  ///< non-MOSFET, stamped generically
+    /// True when every non-MOSFET device's DC stamp is independent of the
+    /// iterate (R/L/C/sources): their stamp + the gmin diagonal is then
+    /// built once per Newton run and copied per lane instead of restamped.
+    bool affine_others_ = false;
+    std::vector<double> base_values_;
+    Vector base_rhs_;
+    /// Chord-Newton state. A full iteration factorizes the lane's jacobian
+    /// and snapshots the LU values plus the gm/gds/gmb they came from; the
+    /// next few iterations reuse them (rhs-only assembly + triangular
+    /// solves, no refactorization). The frozen-jacobian fixed point is the
+    /// exact circuit solution, so only the convergence RATE changes —
+    /// accepted solutions still meet the same tolerances.
+    struct LaneChord {
+      SparseLuFactorization::NumericValues lu;
+      bool valid = false;
+      int steps = 0;  ///< chord steps since the last full refactorization
+      std::uint64_t generation = 0;  ///< lu_generation_ at snapshot time
+    };
+    std::vector<LaneChord> chord_;
+    std::vector<double> fgm_, fgds_, fgmb_;  ///< frozen jacobian SoA
+    bool last_solve_sparse_ = false;  ///< solve_assembled took the LU path
+    /// Bumped whenever lu_ is rebuilt with a fresh symbolic structure; a
+    /// chord snapshot from an older generation must never be loaded (its
+    /// values are laid out for a different fill pattern).
+    std::uint64_t lu_generation_ = 0;
+    std::vector<Mosfet*> mosfets_;
+    SparseMatrix matrix_;
+    std::unique_ptr<SparseLuFactorization> lu_;  ///< master symbolic, copied
+    Vector rhs_;
+    std::vector<Vector> x_;  ///< per-lane Newton iterate
+    // Flat [mosfet * max_lanes] SoA tables feeding the SIMD kernels.
+    std::vector<double> vd_, vg_, vs_, vb_;
+    std::vector<double> vt_base_, beta_, lambda_;
+    std::vector<double> id_, gm_, gds_, gmb_;
+    SolverStats stats_;
+  };
+
+  /// Builds a worker-private workspace around `own`, a circuit produced by
+  /// the same factory as the master (verified: same unknown count, same
+  /// MOSFET nodes/leak state).
+  std::unique_ptr<Workspace> make_workspace(std::unique_ptr<Circuit> own) const;
+
+ private:
+  Options options_;
+  std::unique_ptr<Circuit> circuit_;
+  std::size_t n_ = 0;      ///< unknowns
+  std::size_t nodes_ = 0;  ///< voltage unknowns (damping applies to these)
+  Vector x_nom_;
+  std::unique_ptr<SparseLuFactorization> lu_master_;
+  SparseMatrix matrix_master_;  ///< structure template for workspaces
+  SolverStats compile_stats_;
+  std::vector<MosSlots> mos_;
+  std::vector<int> diag_; ///< values() slot of (i,i) per node row, for gmin
+  simd::SimdLevel simd_level_;
+};
+
+}  // namespace relsim::spice

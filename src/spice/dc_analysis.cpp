@@ -181,7 +181,13 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, AnalysisMode mode,
     if (use_sparse) {
       assemble_sparse(circuit, cache, rhs, x, mode, integrator, time, dt,
                       source_scale);
-      for (std::size_t i = 0; i < nodes; ++i) cache.matrix.add_at(i, i, gmin);
+      for (std::size_t i = 0; i < nodes; ++i) {
+        // Structurally guaranteed by add_diagonal() in the pattern capture;
+        // a miss here means the cached structure is corrupt — fail loudly
+        // rather than silently dropping the floating-node guard.
+        RELSIM_REQUIRE(cache.matrix.add_at(i, i, gmin),
+                       "gmin diagonal stamp outside the cached structure");
+      }
       try {
         if (cache.lu == nullptr) {
           const obs::TraceSpan lu_span("lu.factor");

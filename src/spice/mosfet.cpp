@@ -60,95 +60,51 @@ double Mosfet::vt_effective_signed() const {
   return params_.vt0 + variation_.dvt + type_sign * degradation_.dvt;
 }
 
+simd::MosDeviceConsts Mosfet::eval_consts() const {
+  simd::MosDeviceConsts c;
+  c.type_sign = params_.is_pmos ? -1.0 : 1.0;
+  c.gamma = params_.gamma;
+  c.phi = params_.phi;
+  c.ss_v = params_.ss_v;
+  return c;
+}
+
+double Mosfet::eval_vt_base() const {
+  const double s = params_.is_pmos ? -1.0 : 1.0;
+  const double dtemp = params_.temp_k - params_.tnom_k;
+  return s * (params_.vt0 + variation_.dvt) + params_.vt_tc_v_per_k * dtemp +
+         degradation_.dvt;
+}
+
+double Mosfet::eval_beta() const {
+  return params_.beta() * (1.0 + variation_.dbeta_rel) *
+         degradation_.beta_factor *
+         std::pow(params_.temp_k / params_.tnom_k, params_.mobility_exp);
+}
+
+double Mosfet::eval_lambda() const {
+  return params_.lambda * degradation_.lambda_factor;
+}
+
 MosOperatingPoint Mosfet::evaluate(double vd, double vg, double vs,
                                    double vb) const {
-  const double s = params_.is_pmos ? -1.0 : 1.0;
-
-  // Map to the equivalent-NMOS frame.
-  double vde = s * vd, vge = s * vg, vse = s * vs, vbe = s * vb;
-  const bool reversed = vde < vse;
-  if (reversed) std::swap(vde, vse);
-
-  const double vgs_e = vge - vse;
-  const double vds_e = vde - vse;  // >= 0 by construction
-  const double vbs_e = vbe - vse;
-
-  // Threshold in the equivalent frame (positive), with the temperature
-  // coefficient and body effect. The forward-bias side of the sqrt is
-  // clamped; the derivative is zeroed in the clamped region to stay
-  // consistent.
-  const double dtemp = params_.temp_k - params_.tnom_k;
-  const double vt_base = s * (params_.vt0 + variation_.dvt) +
-                         params_.vt_tc_v_per_k * dtemp + degradation_.dvt;
-  const double phi = params_.phi;
-  double vbs_c = vbs_e;
-  double dvt_dvbs = 0.0;
-  const double vbs_max = 0.9 * phi;
-  double body = 0.0;
-  if (params_.gamma > 0.0) {
-    if (vbs_c > vbs_max) vbs_c = vbs_max;
-    const double root = std::sqrt(phi - vbs_c);
-    body = params_.gamma * (root - std::sqrt(phi));
-    if (vbs_e <= vbs_max) dvt_dvbs = -params_.gamma / (2.0 * root);
-  }
-  const double vt_eff = vt_base + body;
-
-  // Smoothed overdrive: strong inversion for vgs >> vt, exponential-like
-  // tail below threshold; C1 everywhere.
-  const double vov = softplus(vgs_e - vt_eff, params_.ss_v);
-  const double dvov_dvgs = softplus_deriv(vgs_e - vt_eff, params_.ss_v);
-  const double dvov_dvbs = -dvov_dvgs * dvt_dvbs;
-
-  const double beta = params_.beta() * (1.0 + variation_.dbeta_rel) *
-                      degradation_.beta_factor *
-                      std::pow(params_.temp_k / params_.tnom_k,
-                               params_.mobility_exp);
-  const double lambda = params_.lambda * degradation_.lambda_factor;
-
-  double i = 0.0, gm_e = 0.0, gds_e = 0.0;
-  const bool saturated = vds_e >= vov;
-  if (saturated) {
-    const double clm = 1.0 + lambda * vds_e;
-    i = 0.5 * beta * vov * vov * clm;
-    gm_e = beta * vov * clm * dvov_dvgs;
-    gds_e = 0.5 * beta * vov * vov * lambda;
-  } else {
-    const double clm = 1.0 + lambda * vds_e;
-    const double q = vov * vds_e - 0.5 * vds_e * vds_e;
-    i = beta * q * clm;
-    gm_e = beta * vds_e * clm * dvov_dvgs;
-    gds_e = beta * ((vov - vds_e) * clm + q * lambda);
-  }
-  const double gmb_e = saturated
-                           ? beta * vov * (1.0 + lambda * vds_e) * dvov_dvbs
-                           : beta * vds_e * (1.0 + lambda * vds_e) * dvov_dvbs;
-
-  // Map the current and conductances back to the actual terminal frame:
-  // I_D (into the actual drain) = s * sr * i_eq with sr = -1 when the
-  // drain/source roles were swapped. The type sign s cancels out of every
-  // conductance (s^2 = 1); the swap does not, because the equivalent-frame
-  // voltages are referenced to the equivalent source (= actual drain when
-  // reversed). The published gm/gds/gmb are actual-frame partials of I_D
-  // with respect to v_gate / v_drain / v_bulk.
+  // The device math lives in simd::mos_eval_core, shared verbatim with the
+  // batched lane kernels so this per-device path stays their golden oracle.
+  const simd::MosEvalResult r =
+      simd::mos_eval_core(eval_consts(), eval_vt_base(), eval_beta(),
+                          eval_lambda(), vd, vg, vs, vb);
   MosOperatingPoint op;
-  const double sr = reversed ? -1.0 : 1.0;
-  op.id = s * sr * i;
-  if (reversed) {
-    op.gm = -gm_e;
-    op.gds = gm_e + gds_e + gmb_e;
-    op.gmb = -gmb_e;
-  } else {
-    op.gm = gm_e;
-    op.gds = gds_e;
-    op.gmb = gmb_e;
-  }
+  op.id = r.id;
+  op.gm = r.gm;
+  op.gds = r.gds;
+  op.gmb = r.gmb;
   op.vgs = vg - vs;
   op.vds = vd - vs;
   op.vbs = vb - vs;
-  op.vov = vov;
-  op.vt_eff = vt_eff;
-  op.saturated = saturated;
-  op.reversed = reversed;
+  op.vov = r.vov;
+  op.vt_eff = r.vt_eff;
+  op.saturated = r.saturated;
+  op.reversed = r.reversed;
   return op;
 }
 

@@ -16,6 +16,7 @@
 // with and without a populated MosDegradation.
 #pragma once
 
+#include "simd/mos_eval_core.h"
 #include "spice/device.h"
 #include "spice/stress.h"
 #include "tech/tech.h"
@@ -104,6 +105,14 @@ class Mosfet final : public Device {
 
   /// Full model evaluation at explicit terminal voltages.
   MosOperatingPoint evaluate(double vd, double vg, double vs, double vb) const;
+
+  // Inputs for simd::mos_eval_core in the exact form evaluate() uses them;
+  // the batched path snapshots these per sample so its lanes reproduce the
+  // per-device evaluation (bit-identically under the scalar kernel).
+  simd::MosDeviceConsts eval_consts() const;
+  double eval_vt_base() const;  ///< frame threshold incl. mismatch/TC/aging
+  double eval_beta() const;     ///< beta incl. mismatch/aging/temperature
+  double eval_lambda() const;   ///< CLM incl. aging
 
   /// Model evaluation at a solution vector.
   MosOperatingPoint operating_point(const Vector& x) const;

@@ -28,6 +28,21 @@ struct SolverStats {
   long newton_iterations = 0;
 };
 
+inline SolverStats operator+(const SolverStats& a, const SolverStats& b) {
+  SolverStats s;
+  s.dense_factorizations = a.dense_factorizations + b.dense_factorizations;
+  s.sparse_symbolic_factorizations =
+      a.sparse_symbolic_factorizations + b.sparse_symbolic_factorizations;
+  s.sparse_numeric_refactorizations =
+      a.sparse_numeric_refactorizations + b.sparse_numeric_refactorizations;
+  s.pattern_builds = a.pattern_builds + b.pattern_builds;
+  s.dense_fallbacks = a.dense_fallbacks + b.dense_fallbacks;
+  s.complex_factorizations =
+      a.complex_factorizations + b.complex_factorizations;
+  s.newton_iterations = a.newton_iterations + b.newton_iterations;
+  return s;
+}
+
 inline SolverStats operator-(const SolverStats& a, const SolverStats& b) {
   SolverStats d;
   d.dense_factorizations = a.dense_factorizations - b.dense_factorizations;
@@ -56,6 +71,11 @@ class SolverCache {
   void invalidate_structure() {
     pattern_valid = false;
     pattern_n = 0;
+    // The recorded positions must go too: the next capture pass appends to
+    // `pattern`, so stale entries would otherwise accumulate across
+    // topology changes (wasted fill-in, and wrong structure entirely if a
+    // branch-current index is reassigned to a different device).
+    pattern.clear();
     lu.reset();
   }
 };

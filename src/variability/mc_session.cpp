@@ -315,7 +315,8 @@ void save_checkpoint(const std::string& path, std::uint64_t seed,
 /// are wrapped by the McSession entry points and read the plain stream
 /// through the point view, which is bit-compatible with PR-2.
 McResult run_session(const McRequest& req, RunKind kind,
-                     const std::function<double(McSamplePoint&)>& eval) {
+                     const std::function<double(McSamplePoint&)>& eval,
+                     const McBatchEval* batch = nullptr) {
   obs::init_trace_from_env();
   // Work counters (deterministic: identical for any thread count/chunk
   // size on a full run of the same request — see obs/metrics.h). Timing
@@ -323,6 +324,8 @@ McResult run_session(const McRequest& req, RunKind kind,
   static obs::Counter& c_runs = obs::metrics().counter("mc.runs");
   static obs::Counter& c_evaluated =
       obs::metrics().counter("mc.samples_evaluated");
+  static obs::Counter& c_batched =
+      obs::metrics().counter("mc.samples_batched");
   static obs::Counter& c_restored =
       obs::metrics().counter("mc.samples_restored");
   static obs::Counter& c_chunks = obs::metrics().counter("mc.chunks_retired");
@@ -742,18 +745,59 @@ McResult run_session(const McRequest& req, RunKind kind,
                                         static_cast<double>(g.lo), "n",
                                         static_cast<double>(g.size()));
         std::int64_t evaluated = 0;
-        for (std::size_t i = g.lo; i < g.hi; ++i) {
-          if (stop.load(std::memory_order_relaxed)) {
-            interrupted = true;  // range unfinished: do NOT retire it
-            break;
+        // Batched fast path: hand the whole range to the evaluator when no
+        // sample in it was already restored. Any exception or non-finite
+        // result drops the range back to the per-sample path below (which
+        // overwrites values[] unconditionally), so batched evaluators can
+        // throw on a hard sample without losing the range. Note the
+        // per-sample fault-injection sites are NOT visited on this path.
+        bool range_batched = false;
+        if (batch != nullptr) {
+          bool all_fresh = true;
+          for (std::size_t i = g.lo; i < g.hi; ++i) {
+            if (done[i]) {
+              all_fresh = false;
+              break;
+            }
           }
-          if (!done[i]) {
-            const obs::TraceSpan sample_span("mc.sample", "index",
-                                             static_cast<double>(i));
-            evaluate_sample(i);
-            ++evaluated;
+          if (all_fresh) {
+            const obs::TraceSpan batch_span("mc.batch", "lo",
+                                            static_cast<double>(g.lo), "n",
+                                            static_cast<double>(g.size()));
+            try {
+              (*batch)({w, g.lo, g.hi, values.data() + g.lo});
+              range_batched = true;
+              for (std::size_t i = g.lo; i < g.hi; ++i) {
+                if (!std::isfinite(values[i])) {
+                  range_batched = false;
+                  break;
+                }
+              }
+            } catch (...) {
+              range_batched = false;
+            }
+            if (range_batched) {
+              for (std::size_t i = g.lo; i < g.hi; ++i) attempts[i] = 1;
+              evaluated = static_cast<std::int64_t>(g.size());
+              tel.samples += static_cast<std::int64_t>(g.size());
+              c_batched.inc(evaluated);
+            }
           }
-          ++tel.samples;
+        }
+        if (!range_batched) {
+          for (std::size_t i = g.lo; i < g.hi; ++i) {
+            if (stop.load(std::memory_order_relaxed)) {
+              interrupted = true;  // range unfinished: do NOT retire it
+              break;
+            }
+            if (!done[i]) {
+              const obs::TraceSpan sample_span("mc.sample", "index",
+                                               static_cast<double>(i));
+              evaluate_sample(i);
+              ++evaluated;
+            }
+            ++tel.samples;
+          }
         }
         c_evaluated.inc(evaluated);
         if (interrupted) break;
@@ -998,6 +1042,25 @@ McResult McSession::run_yield(const McPointPredicate& pass) const {
   return run_session(request_, RunKind::kYield, [&pass](McSamplePoint& p) {
     return pass(p) ? 1.0 : 0.0;
   });
+}
+
+McResult McSession::run_yield_batch(const McBatchEval& batch,
+                                    const McPredicate& scalar) const {
+  RELSIM_REQUIRE(bool(batch),
+                 "McSession::run_yield_batch needs a batched evaluator");
+  RELSIM_REQUIRE(bool(scalar),
+                 "McSession::run_yield_batch needs a scalar fallback");
+  // Batched evaluators derive their own per-index streams; the tracked
+  // inputs of the variance-reduction strategies would be silently ignored.
+  RELSIM_REQUIRE(
+      request_.strategy.kind == McSampleStrategy::kPseudoRandom,
+      "McSession::run_yield_batch supports only the pseudo-random strategy");
+  return run_session(
+      request_, RunKind::kYield,
+      [&scalar](McSamplePoint& p) {
+        return scalar(p.rng(), p.index()) ? 1.0 : 0.0;
+      },
+      &batch);
 }
 
 McResult McSession::run_metric(const McMetric& metric) const {

@@ -324,6 +324,23 @@ using McMetric = std::function<double(Xoshiro256&, std::size_t)>;
 using McPointPredicate = std::function<bool(McSamplePoint&)>;
 using McPointMetric = std::function<double(McSamplePoint&)>;
 
+/// One contiguous index range handed to a batched evaluator: samples
+/// [lo, hi), with values[i - lo] to fill per sample (0/1 for yield runs).
+/// `worker` identifies the calling worker so the evaluator can use
+/// worker-private state (e.g. a CompiledCircuit workspace) without locks.
+struct McBatchSpan {
+  unsigned worker = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  double* values = nullptr;
+};
+
+/// Batched evaluator: fills every value in the span, or throws to make the
+/// scheduler fall back to the per-sample path for that span. Results MUST
+/// be a pure function of the sample index (not of the span grouping), or
+/// determinism across thread counts is lost.
+using McBatchEval = std::function<void(const McBatchSpan&)>;
+
 /// One Monte-Carlo run, configured by an McRequest.
 ///
 /// The evaluation function must be safe to call concurrently on DISTINCT
@@ -358,6 +375,16 @@ class McSession {
   /// through the McSamplePoint view, so LHS/Sobol/stratified/importance
   /// inputs reach the model. Required for any strategy to actually bite.
   McResult run_yield(const McPointPredicate& pass) const;
+
+  /// Batched pass/fail run: whole chunks go to `batch` (one call per work
+  /// range); `scalar` is the per-sample fallback used for ranges the
+  /// batched evaluator throws on, for retried samples, and for any range
+  /// partially restored from a checkpoint. Restricted to the kPseudoRandom
+  /// strategy: batched evaluators draw their own per-index streams and
+  /// cannot see strategy-tracked inputs. Results are identical to
+  /// run_yield(scalar) as long as batch and scalar agree per index.
+  McResult run_yield_batch(const McBatchEval& batch,
+                           const McPredicate& scalar) const;
 
   /// Metric run: McResult::metric and McResult::values carry the samples.
   McResult run_metric(const McMetric& metric) const;

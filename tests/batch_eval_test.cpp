@@ -1,0 +1,187 @@
+// Batched cross-sample evaluation tests.
+//
+// The contract under test: run_yield_batched draws the SAME per-sample
+// mismatch stream as run_yield and solves the same circuits, so the
+// pass/fail outcome per sample is identical (operating points agree to
+// Newton tolerance, which a sane spec margin dwarfs); results are
+// independent of thread count and batch grouping; and the whole run does
+// exactly one pattern capture and one symbolic factorization — that IS
+// the speedup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/reliability_sim.h"
+#include "spice/analysis.h"
+#include "spice/compiled_circuit.h"
+#include "tech/tech.h"
+#include "util/error.h"
+#include "variability/sampler.h"
+
+namespace relsim {
+namespace {
+
+using spice::Circuit;
+using spice::kGround;
+using spice::NodeId;
+
+constexpr double kIRef = 50e-6;
+
+ReliabilityConfig config_for(const TechNode& tech) {
+  ReliabilityConfig cfg;
+  cfg.tech = &tech;
+  cfg.seed = 41;
+  return cfg;
+}
+
+/// The paper's running example: a 1:1 NMOS current mirror whose output
+/// accuracy is the spec.
+std::unique_ptr<Circuit> mirror_factory(const TechNode& tech) {
+  auto c = std::make_unique<Circuit>();
+  const NodeId vdd = c->node("vdd");
+  const NodeId ref = c->node("ref");
+  const NodeId meas = c->node("meas");
+  const NodeId out = c->node("out");
+  c->add_vsource("VDD", vdd, kGround, tech.vdd);
+  c->add_isource("IREF", vdd, ref, kIRef);
+  const auto p = spice::make_mos_params(tech, 1.0, 0.1, false);
+  c->add_mosfet("M1", ref, ref, kGround, kGround, p);
+  c->add_mosfet("M2", out, ref, kGround, kGround, p);
+  c->add_vsource("VB", meas, kGround, 0.5 * tech.vdd);
+  c->add_vsource("VMEAS", meas, out, 0.0);
+  return c;
+}
+
+double mirror_error(const Circuit& c, const Vector& x) {
+  const double i_out = c.device_as<spice::VoltageSource>("VMEAS").current(x);
+  return std::abs(i_out - kIRef) / kIRef;
+}
+
+bool mirror_spec(const Circuit& c, const Vector& x) {
+  return mirror_error(c, x) < 0.05;
+}
+
+TEST(BatchEval, WorkspaceLanesMatchPerSampleSolves) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+
+  spice::CompiledCircuit compiled(mirror_factory(tech));
+  auto ws = compiled.make_workspace(mirror_factory(tech));
+
+  // Apply the production mismatch stream of samples [0, lanes) to the
+  // workspace lanes...
+  const std::size_t lanes = 16;
+  std::vector<MismatchSampler> samplers;
+  for (const spice::Mosfet* m : compiled.circuit().mosfets()) {
+    samplers.emplace_back(sim.pelgrom(), m->params().w_um, m->params().l_um);
+  }
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    Xoshiro256 rng(derive_seed(sim.config().seed, {lane}));
+    for (std::size_t m = 0; m < samplers.size(); ++m) {
+      const MismatchSample s = samplers[m].sample_single(rng);
+      ws->set_lane_variation(lane, m, {s.dvt, s.dbeta_rel});
+    }
+  }
+  ws->solve_dc(lanes);
+
+  // ...and compare every lane against the classic per-sample path.
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    auto circuit = mirror_factory(tech);
+    Xoshiro256 rng(derive_seed(sim.config().seed, {lane}));
+    sim.apply_process_variation(*circuit, rng);
+    const spice::DcResult r = spice::dc_operating_point(*circuit);
+    const Vector& xb = ws->lane_solution(lane);
+    ASSERT_EQ(xb.size(), r.x().size());
+    for (std::size_t i = 0; i < xb.size(); ++i) {
+      EXPECT_NEAR(xb[i], r.x()[i], 1e-6) << "lane " << lane << " unknown "
+                                         << i;
+    }
+    EXPECT_EQ(mirror_spec(ws->circuit(), xb), mirror_spec(*circuit, r.x()))
+        << "lane " << lane;
+  }
+}
+
+TEST(BatchEval, BatchedYieldMatchesClassicRun) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+  const auto factory = [&] { return mirror_factory(tech); };
+
+  McRequest req;
+  req.n = 400;
+  req.threads = 1;
+
+  const McResult classic = sim.run_yield(
+      factory,
+      [](Circuit& c) {
+        const auto r = spice::dc_operating_point(c);
+        return mirror_spec(c, r.x());
+      },
+      req);
+  const McResult batched = sim.run_yield_batched(factory, mirror_spec, req);
+
+  EXPECT_EQ(classic.estimate.total, batched.estimate.total);
+  EXPECT_EQ(classic.estimate.passed, batched.estimate.passed);
+  // The spread must actually bite: an all-pass run would make this test
+  // vacuous.
+  EXPECT_GT(batched.estimate.passed, 0u);
+  EXPECT_LT(batched.estimate.passed, batched.estimate.total);
+}
+
+TEST(BatchEval, BatchedResultsIndependentOfThreadsAndChunk) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+  const auto factory = [&] { return mirror_factory(tech); };
+
+  McRequest base;
+  base.n = 300;
+
+  McRequest a = base;
+  a.threads = 1;
+  a.chunk = 32;
+  McRequest b = base;
+  b.threads = 4;
+  b.chunk = 7;  // ragged batches: lanes must not see their neighbours
+  const McResult ra = sim.run_yield_batched(factory, mirror_spec, a);
+  const McResult rb = sim.run_yield_batched(factory, mirror_spec, b);
+  EXPECT_EQ(ra.estimate.total, rb.estimate.total);
+  EXPECT_EQ(ra.estimate.passed, rb.estimate.passed);
+}
+
+TEST(BatchEval, SharesOneSymbolicFactorizationAcrossAllSamples) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+  const auto factory = [&] { return mirror_factory(tech); };
+
+  McRequest req;
+  req.n = 1000;
+  req.threads = 2;
+
+  spice::SolverStats stats;
+  const McResult result =
+      sim.run_yield_batched(factory, mirror_spec, req, {}, &stats);
+  EXPECT_EQ(result.completed, 1000u);
+
+  // The whole point of compiling: topology work happens once, every sample
+  // after that is a numeric-only refactorization.
+  EXPECT_EQ(stats.pattern_builds, 1);
+  EXPECT_EQ(stats.sparse_symbolic_factorizations, 1);
+  EXPECT_GE(stats.sparse_numeric_refactorizations, 1000);
+  EXPECT_EQ(stats.dense_fallbacks, 0);
+}
+
+TEST(BatchEval, BatchRunRejectsVarianceReductionStrategies) {
+  McRequest req;
+  req.n = 8;
+  req.strategy.kind = McSampleStrategy::kLatinHypercube;
+  req.strategy.dimensions = 2;
+  const McSession session(req);
+  EXPECT_THROW(session.run_yield_batch([](const McBatchSpan&) {},
+                                       [](Xoshiro256&, std::size_t) {
+                                         return true;
+                                       }),
+               Error);
+}
+
+}  // namespace
+}  // namespace relsim

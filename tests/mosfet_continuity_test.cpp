@@ -1,0 +1,138 @@
+// MOSFET model smoothness tests.
+//
+// Newton convergence lives and dies on the model being C0 in its published
+// derivatives: a kink in gm/gds/gmb makes the iteration limit-cycle across
+// the kink instead of converging. The level-1 model here smooths every
+// regional handoff (softplus overdrive, smoothed forward-bias clamp), so
+// these tests hold it to that: the derivatives must match finite
+// differences of I_D everywhere — INCLUDING the saturation/triode handoff
+// (vds_e == vov), the subthreshold tail, the drain/source reversal point
+// and the body-bias clamp edge — and fine scans across each boundary must
+// show no jumps in id/gm/gds/gmb.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "spice/mosfet.h"
+
+namespace relsim::spice {
+namespace {
+
+MosParams nmos_params() {
+  MosParams p;
+  p.vt0 = 0.4;
+  p.kp = 400e-6;
+  p.lambda = 0.12;
+  p.gamma = 0.45;
+  p.phi = 0.85;  // clamp edge at vbs = 0.9*phi = 0.765
+  return p;
+}
+
+/// Central-difference check of all three published partials at one bias.
+void expect_derivatives_match(const Mosfet& m, double vd, double vg,
+                              double vb, const char* where) {
+  const double h = 1e-6;
+  const MosOperatingPoint op = m.evaluate(vd, vg, 0.0, vb);
+  const double fd_gm =
+      (m.evaluate(vd, vg + h, 0.0, vb).id - m.evaluate(vd, vg - h, 0.0, vb).id)
+      / (2 * h);
+  const double fd_gds =
+      (m.evaluate(vd + h, vg, 0.0, vb).id - m.evaluate(vd - h, vg, 0.0, vb).id)
+      / (2 * h);
+  const double fd_gmb =
+      (m.evaluate(vd, vg, 0.0, vb + h).id - m.evaluate(vd, vg, 0.0, vb - h).id)
+      / (2 * h);
+  const double tol = 2e-3;
+  const double floor = 1e-9;
+  EXPECT_LT(std::abs(op.gm - fd_gm),
+            tol * std::max(std::abs(fd_gm), floor))
+      << where << " vd=" << vd << " vg=" << vg << " vb=" << vb;
+  EXPECT_LT(std::abs(op.gds - fd_gds),
+            tol * std::max(std::abs(fd_gds), floor))
+      << where << " vd=" << vd << " vg=" << vg << " vb=" << vb;
+  EXPECT_LT(std::abs(op.gmb - fd_gmb),
+            tol * std::max(std::abs(fd_gmb), floor))
+      << where << " vd=" << vd << " vg=" << vg << " vb=" << vb;
+}
+
+TEST(MosfetContinuity, DerivativesMatchFiniteDifferences) {
+  const Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  // Subthreshold, near-VT, strong inversion; triode, handoff, saturation;
+  // reverse and forward body bias including the clamp neighbourhood.
+  const std::vector<double> vgs = {0.15, 0.39, 0.41, 0.8};
+  const std::vector<double> vds = {0.05, 0.3, 0.42, 1.0};
+  const std::vector<double> vbs = {-0.8, 0.0, 0.70, 0.76, 0.77, 0.8};
+  for (double g : vgs) {
+    for (double d : vds) {
+      for (double b : vbs) {
+        expect_derivatives_match(m, d, g, b, "grid");
+      }
+    }
+  }
+  // Drain/source reversal neighbourhood (vds through 0).
+  for (double d : {-0.02, -0.001, 0.001, 0.02}) {
+    expect_derivatives_match(m, d, 0.8, 0.0, "reversal");
+  }
+}
+
+/// Scans `f(t)` over [lo, hi] and asserts adjacent samples never jump by
+/// more than 1% of the scan's peak magnitude. A smooth curve moves a tiny
+/// fraction of its range per 4000th of the interval; a clamp or regional
+/// kink (e.g. gmb snapping to zero at a hard vbs clamp) jumps by O(peak)
+/// in one step. Scaling to the peak (not the local value) keeps zero
+/// crossings from tripping the check.
+template <typename F>
+void expect_c0(F f, double lo, double hi, const char* what) {
+  const int steps = 4000;
+  const double dx = (hi - lo) / steps;
+  std::vector<double> y(steps + 1);
+  double peak = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    y[i] = f(lo + i * dx);
+    peak = std::max(peak, std::abs(y[i]));
+  }
+  const double tol = 1e-2 * std::max(peak, 1e-12);
+  for (int i = 1; i <= steps; ++i) {
+    EXPECT_LT(std::abs(y[i] - y[i - 1]), tol)
+        << what << " jump at x=" << lo + i * dx;
+  }
+}
+
+TEST(MosfetContinuity, NoJumpsAcrossSaturationHandoff) {
+  const Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  // vgs = 0.8 puts vov ~ 0.4: the scan crosses triode -> saturation.
+  auto at = [&](double vds) { return m.evaluate(vds, 0.8, 0.0, 0.0); };
+  expect_c0([&](double v) { return at(v).id; }, 0.1, 0.9, "id");
+  expect_c0([&](double v) { return at(v).gm; }, 0.1, 0.9, "gm");
+  expect_c0([&](double v) { return at(v).gds; }, 0.1, 0.9, "gds");
+  expect_c0([&](double v) { return at(v).gmb; }, 0.1, 0.9, "gmb");
+}
+
+TEST(MosfetContinuity, NoJumpsAcrossBodyBiasClamp) {
+  const Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  // The scan crosses the forward-bias clamp edge vbs = 0.9*phi = 0.765,
+  // where a hard clamp would snap gmb to zero discontinuously.
+  auto at = [&](double vbs) { return m.evaluate(0.6, 0.8, 0.0, vbs); };
+  expect_c0([&](double v) { return at(v).id; }, 0.5, 0.9, "id");
+  expect_c0([&](double v) { return at(v).gm; }, 0.5, 0.9, "gm");
+  expect_c0([&](double v) { return at(v).gds; }, 0.5, 0.9, "gds");
+  expect_c0([&](double v) { return at(v).gmb; }, 0.5, 0.9, "gmb");
+}
+
+TEST(MosfetContinuity, NoJumpsAcrossSubthresholdAndReversal) {
+  const Mosfet m("M1", 1, 2, 3, 4, nmos_params());
+  // Gate sweep through VT at fixed drain bias (subthreshold handoff).
+  auto vg_at = [&](double vgs) { return m.evaluate(0.5, vgs, 0.0, 0.0); };
+  expect_c0([&](double v) { return vg_at(v).id; }, 0.0, 0.9, "id(vgs)");
+  expect_c0([&](double v) { return vg_at(v).gm; }, 0.0, 0.9, "gm(vgs)");
+  // Drain sweep through 0 (source/drain role swap).
+  auto vd_at = [&](double vds) { return m.evaluate(vds, 0.8, 0.0, 0.0); };
+  expect_c0([&](double v) { return vd_at(v).id; }, -0.3, 0.3, "id(vds)");
+  expect_c0([&](double v) { return vd_at(v).gm; }, -0.3, 0.3, "gm(vds)");
+  expect_c0([&](double v) { return vd_at(v).gds; }, -0.3, 0.3, "gds(vds)");
+  expect_c0([&](double v) { return vd_at(v).gmb; }, -0.3, 0.3, "gmb(vds)");
+}
+
+}  // namespace
+}  // namespace relsim::spice

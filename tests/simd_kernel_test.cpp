@@ -1,0 +1,199 @@
+// Batched MOSFET kernel equivalence tests.
+//
+// The scalar lane kernel must match Mosfet::evaluate BITWISE (both call
+// simd::mos_eval_core, so any divergence means the shared core has been
+// forked). The AVX2 kernel is held to a relative tolerance instead — its
+// vector exp/log1p and FMA contraction legitimately differ in the last
+// bits — and must be invariant to batch width so batched MC results never
+// depend on how samples were grouped into vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "simd/mos_kernel.h"
+#include "spice/mosfet.h"
+
+namespace relsim {
+namespace {
+
+struct LaneData {
+  std::vector<double> vd, vg, vs, vb, vt_base, beta, lambda;
+  std::vector<double> id, gm, gds, gmb;
+
+  explicit LaneData(std::size_t n)
+      : vd(n), vg(n), vs(n), vb(n), vt_base(n), beta(n), lambda(n),
+        id(n), gm(n), gds(n), gmb(n) {}
+
+  std::size_t size() const { return vd.size(); }
+
+  simd::MosLaneView view() {
+    simd::MosLaneView v;
+    v.vd = vd.data();
+    v.vg = vg.data();
+    v.vs = vs.data();
+    v.vb = vb.data();
+    v.vt_base = vt_base.data();
+    v.beta = beta.data();
+    v.lambda = lambda.data();
+    v.id = id.data();
+    v.gm = gm.data();
+    v.gds = gds.data();
+    v.gmb = gmb.data();
+    return v;
+  }
+};
+
+spice::MosParams device_params(bool pmos, double gamma) {
+  spice::MosParams p;
+  p.is_pmos = pmos;
+  p.vt0 = pmos ? -0.4 : 0.4;
+  p.kp = pmos ? 150e-6 : 400e-6;
+  p.lambda = 0.12;
+  p.gamma = gamma;
+  p.phi = 0.85;
+  return p;
+}
+
+/// A bias grid that exercises every branch: cutoff, triode, saturation,
+/// drain/source reversal, reverse body bias, and the forward-bias clamp
+/// region around vbs = 0.9*phi (where the smoothing engages).
+LaneData bias_grid(const spice::Mosfet& m) {
+  const double s = m.params().is_pmos ? -1.0 : 1.0;
+  std::vector<double> vgs = {-0.2, 0.0, 0.3, 0.45, 0.9, 1.8};
+  std::vector<double> vds = {-1.2, -0.05, 0.0, 0.02, 0.4, 1.5};
+  std::vector<double> vbs = {-1.5, -0.3, 0.0, 0.36, 0.76, 0.765, 0.8, 1.2};
+  LaneData lanes(vgs.size() * vds.size() * vbs.size());
+  std::size_t l = 0;
+  for (double g : vgs) {
+    for (double d : vds) {
+      for (double b : vbs) {
+        lanes.vs[l] = 0.0;
+        lanes.vg[l] = s * g;
+        lanes.vd[l] = s * d;
+        lanes.vb[l] = s * b;
+        lanes.vt_base[l] = m.eval_vt_base();
+        lanes.beta[l] = m.eval_beta();
+        lanes.lambda[l] = m.eval_lambda();
+        ++l;
+      }
+    }
+  }
+  return lanes;
+}
+
+TEST(SimdKernel, ScalarKernelBitIdenticalToMosfetEvaluate) {
+  for (bool pmos : {false, true}) {
+    for (double gamma : {0.0, 0.45}) {
+      spice::Mosfet m("M1", 1, 2, 3, 4, device_params(pmos, gamma));
+      m.set_variation({0.013, -0.021});
+      spice::MosDegradation deg;
+      deg.dvt = 0.024;
+      deg.beta_factor = 0.93;
+      deg.lambda_factor = 1.1;
+      m.set_degradation(deg);
+
+      LaneData lanes = bias_grid(m);
+      simd::mos_eval_lanes_scalar(m.eval_consts(), lanes.view(), lanes.size());
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        const spice::MosOperatingPoint op =
+            m.evaluate(lanes.vd[l], lanes.vg[l], lanes.vs[l], lanes.vb[l]);
+        EXPECT_EQ(op.id, lanes.id[l]) << "lane " << l;
+        EXPECT_EQ(op.gm, lanes.gm[l]) << "lane " << l;
+        EXPECT_EQ(op.gds, lanes.gds[l]) << "lane " << l;
+        EXPECT_EQ(op.gmb, lanes.gmb[l]) << "lane " << l;
+      }
+    }
+  }
+}
+
+double rel_err(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-18});
+  return std::abs(a - b) / scale;
+}
+
+TEST(SimdKernel, Avx2MatchesScalarWithinTolerance) {
+  if (!simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "CPU without AVX2+FMA";
+  }
+  std::mt19937_64 rng(20260807);
+  std::uniform_real_distribution<double> volt(-2.0, 2.0);
+  std::uniform_real_distribution<double> dvt(-0.06, 0.06);
+  std::uniform_real_distribution<double> dbeta(-0.15, 0.15);
+
+  for (bool pmos : {false, true}) {
+    for (double gamma : {0.0, 0.45}) {
+      spice::Mosfet m("M1", 1, 2, 3, 4, device_params(pmos, gamma));
+      const std::size_t n = 4099;  // odd: forces a padded tail
+      LaneData lanes(n);
+      for (std::size_t l = 0; l < n; ++l) {
+        lanes.vd[l] = volt(rng);
+        lanes.vg[l] = volt(rng);
+        lanes.vs[l] = volt(rng);
+        lanes.vb[l] = volt(rng);
+        lanes.vt_base[l] = m.eval_vt_base() + dvt(rng);
+        lanes.beta[l] = m.eval_beta() * (1.0 + dbeta(rng));
+        lanes.lambda[l] = m.eval_lambda();
+      }
+      LaneData ref = lanes;
+      simd::mos_eval_lanes_at(simd::SimdLevel::kScalar, m.eval_consts(),
+                              ref.view(), n);
+      simd::mos_eval_lanes_at(simd::SimdLevel::kAvx2, m.eval_consts(),
+                              lanes.view(), n);
+      double worst = 0.0;
+      for (std::size_t l = 0; l < n; ++l) {
+        worst = std::max(worst, rel_err(ref.id[l], lanes.id[l]));
+        worst = std::max(worst, rel_err(ref.gm[l], lanes.gm[l]));
+        worst = std::max(worst, rel_err(ref.gds[l], lanes.gds[l]));
+        worst = std::max(worst, rel_err(ref.gmb[l], lanes.gmb[l]));
+      }
+      EXPECT_LT(worst, 1e-12) << (pmos ? "pmos" : "nmos") << " gamma=" << gamma;
+    }
+  }
+}
+
+TEST(SimdKernel, Avx2ResultsIndependentOfBatchWidth) {
+  if (!simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "CPU without AVX2+FMA";
+  }
+  spice::Mosfet m("M1", 1, 2, 3, 4, device_params(false, 0.45));
+  LaneData lanes = bias_grid(m);
+  LaneData whole = lanes;
+  simd::mos_eval_lanes_at(simd::SimdLevel::kAvx2, m.eval_consts(),
+                          whole.view(), whole.size());
+  // One lane at a time: every lane goes through the padded-tail path.
+  LaneData single = lanes;
+  for (std::size_t l = 0; l < single.size(); ++l) {
+    simd::MosLaneView v = single.view();
+    v.vd += l; v.vg += l; v.vs += l; v.vb += l;
+    v.vt_base += l; v.beta += l; v.lambda += l;
+    v.id += l; v.gm += l; v.gds += l; v.gmb += l;
+    simd::mos_eval_lanes_at(simd::SimdLevel::kAvx2, m.eval_consts(), v, 1);
+  }
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    EXPECT_EQ(whole.id[l], single.id[l]) << "lane " << l;
+    EXPECT_EQ(whole.gm[l], single.gm[l]) << "lane " << l;
+    EXPECT_EQ(whole.gds[l], single.gds[l]) << "lane " << l;
+    EXPECT_EQ(whole.gmb[l], single.gmb[l]) << "lane " << l;
+  }
+}
+
+TEST(SimdKernel, ResolveSimdLevelHonorsOverrides) {
+  const simd::SimdLevel best = simd::cpu_supports_avx2()
+                                   ? simd::SimdLevel::kAvx2
+                                   : simd::SimdLevel::kScalar;
+  EXPECT_EQ(simd::resolve_simd_level("scalar"), simd::SimdLevel::kScalar);
+  EXPECT_EQ(simd::resolve_simd_level("auto"), best);
+  EXPECT_EQ(simd::resolve_simd_level(nullptr), best);
+  EXPECT_EQ(simd::resolve_simd_level(""), best);
+  EXPECT_EQ(simd::resolve_simd_level("bogus"), best);
+  if (simd::cpu_supports_avx2()) {
+    EXPECT_EQ(simd::resolve_simd_level("avx2"), simd::SimdLevel::kAvx2);
+  } else {
+    EXPECT_EQ(simd::resolve_simd_level("avx2"), simd::SimdLevel::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace relsim

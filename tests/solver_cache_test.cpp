@@ -1,0 +1,175 @@
+// Solver-cache lifecycle regression tests.
+//
+// Two bugs motivated these:
+//  1. invalidate_structure() used to keep the recorded pattern entries, so
+//     the capture pass after a topology change APPENDED to stale positions
+//     — wasted fill-in at best, wrong structure at worst (branch-current
+//     indices shift when a node is added, so old entries point at other
+//     devices' rows).
+//  2. A device whose stamp footprint grows MID-RUN without a topology
+//     change (post-breakdown gate leakage switching on between transient
+//     runs) stamps outside the frozen pattern; the assembly must grow the
+//     pattern and keep going, not corrupt the matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+
+namespace relsim::spice {
+namespace {
+
+TEST(SolverCache, InvalidateDropsRecordedPattern) {
+  SolverCache cache;
+  cache.pattern.add(0, 0);
+  cache.pattern.add(1, 2);
+  cache.pattern_valid = true;
+  cache.pattern_n = 3;
+  cache.invalidate_structure();
+  EXPECT_FALSE(cache.pattern_valid);
+  EXPECT_EQ(cache.pattern.entry_count(), 0u);
+}
+
+/// Shared builder so the staged and the fresh circuit agree exactly.
+void add_base(Circuit& c, const TechNode& tech) {
+  const NodeId vdd = c.node("vdd");
+  const NodeId n1 = c.node("n1");
+  const NodeId n2 = c.node("n2");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_resistor("R1", vdd, n1, 10e3);
+  c.add_resistor("R2", n1, n2, 10e3);
+  c.add_resistor("R3", n2, kGround, 10e3);
+  c.add_mosfet("M1", out, n1, kGround, kGround,
+               make_mos_params(tech, 1.0, 0.1, false));
+  c.add_resistor("RL", vdd, out, 20e3);
+}
+
+void add_extra(Circuit& c, const TechNode& tech) {
+  // A NEW node shifts every branch-current index, and the inductor adds a
+  // branch of its own: stale pattern entries from the base topology would
+  // land on rows that now belong to something else.
+  const NodeId mid = c.node("mid");
+  c.add_resistor("R4", c.find_node("out"), mid, 5e3);
+  c.add_inductor("L1", mid, kGround, 1e-6);
+  c.add_mosfet("M2", mid, c.find_node("n2"), kGround, kGround,
+               make_mos_params(tech, 2.0, 0.1, false));
+}
+
+TEST(SolverCache, RebuildAfterInvalidateMatchesFreshBuild) {
+  const auto& tech = tech_65nm();
+  DcOptions dc;
+  dc.newton.sparse_min_unknowns = 1;  // force the sparse path at any size
+
+  // Staged: solve, grow the circuit (invalidates), solve again.
+  Circuit staged;
+  add_base(staged, tech);
+  dc_operating_point(staged, dc);
+  const std::size_t base_nnz = staged.solver_cache().matrix.nnz();
+  add_extra(staged, tech);
+  const DcResult r_staged = dc_operating_point(staged, dc);
+
+  // Fresh: identical final topology, built and solved once.
+  Circuit fresh;
+  add_base(fresh, tech);
+  add_extra(fresh, tech);
+  const DcResult r_fresh = dc_operating_point(fresh, dc);
+
+  // The rebuilt structure must be EXACTLY the fresh structure — no stale
+  // entries surviving the invalidate.
+  EXPECT_EQ(staged.solver_cache().matrix.nnz(),
+            fresh.solver_cache().matrix.nnz());
+  EXPECT_EQ(staged.solver_cache().pattern_n,
+            fresh.solver_cache().pattern_n);
+  EXPECT_GT(staged.solver_cache().matrix.nnz(), base_nnz);
+  ASSERT_EQ(r_staged.x().size(), r_fresh.x().size());
+  for (std::size_t i = 0; i < r_staged.x().size(); ++i) {
+    EXPECT_NEAR(r_staged.x()[i], r_fresh.x()[i], 1e-9) << "unknown " << i;
+  }
+}
+
+TEST(SolverCache, NewtonGrowsIncompleteFrozenPattern) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  add_base(c, tech);
+  c.assemble();
+  const std::size_t n = static_cast<std::size_t>(c.unknown_count());
+
+  // Hand the solver a frozen pattern that is missing every off-diagonal
+  // coupling — the worst case of "a stamp lands outside the structure
+  // mid-run". The assembly must grow the pattern and still converge to the
+  // true solution, not corrupt the matrix or loop.
+  SolverCache& cache = c.solver_cache();
+  cache.invalidate_structure();
+  cache.pattern.add_diagonal(n);
+  cache.matrix = SparseMatrix(n, cache.pattern);
+  cache.pattern_valid = true;
+  cache.pattern_n = n;
+
+  NewtonOptions newton;
+  newton.sparse_min_unknowns = 1;
+  Vector x(n, 0.0);
+  const long builds_before = cache.stats.pattern_builds;
+  const NewtonResult res =
+      newton_solve(c, x, AnalysisMode::kDcOp, Integrator::kBackwardEuler, 0.0,
+                   0.0, 1.0, newton.gmin, newton);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(cache.stats.pattern_builds, builds_before);
+
+  Circuit fresh;
+  add_base(fresh, tech);
+  DcOptions dc;
+  dc.newton.sparse_min_unknowns = 1;
+  const DcResult r = dc_operating_point(fresh, dc);
+  ASSERT_EQ(x.size(), r.x().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], r.x()[i], 1e-9) << "unknown " << i;
+  }
+}
+
+TEST(SolverCache, TransientSolvesPostBreakdownLeakOnFrozenPattern) {
+  const auto& tech = tech_65nm();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId gate = c.node("gate");
+  const NodeId drain = c.node("drain");
+  c.add_vsource("VDD", vdd, kGround, tech.vdd);
+  c.add_vsource("VIN", in, kGround, tech.vdd);
+  c.add_resistor("RG", in, gate, 1e6);
+  c.add_resistor("RD", vdd, drain, 10e3);
+  c.add_mosfet("M1", drain, gate, kGround, kGround,
+               make_mos_params(tech, 1.0, 0.1, false));
+
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.t_stop = 50e-9;
+  opt.newton.sparse_min_unknowns = 1;
+
+  // Fresh device: the gate floats behind RG at the full input voltage, and
+  // this run freezes the pattern WITHOUT any gate-row leak entries.
+  const auto fresh = transient_analysis(c, opt, {gate});
+  EXPECT_NEAR(fresh.node(gate).back(), tech.vdd, 0.05);
+
+  // Oxide breakdown mid-life: the leak stamps the GATE row, which the DC
+  // channel stamp never touches. The capture pass records the union of the
+  // DC and transient footprints (the gate-cap stamps cover those rows), so
+  // the leak must assemble on the frozen pattern with NO rebuild — and the
+  // leak must visibly load the gate (RG/leak divider). A miss here would
+  // either grow the pattern (builds increase) or fail loudly; both would
+  // flag a capture-pass regression.
+  const long builds_before = c.solver_cache().stats.pattern_builds;
+  MosDegradation bd;
+  bd.g_leak_gs = 1e-5;  // 100 kOhm against RG = 1 MOhm
+  c.device_as<Mosfet>("M1").set_degradation(bd);
+  const auto degraded = transient_analysis(c, opt, {gate});
+  EXPECT_EQ(c.solver_cache().stats.pattern_builds, builds_before);
+  EXPECT_LT(degraded.node(gate).back(), 0.25 * tech.vdd);
+  EXPECT_NEAR(degraded.node(gate).back(), tech.vdd * (0.1 / 1.1), 0.02);
+}
+
+}  // namespace
+}  // namespace relsim::spice
