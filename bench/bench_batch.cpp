@@ -146,14 +146,18 @@ int main(int argc, char** argv) {
           req);
     });
 
-    spice::CompiledCircuit::Options scalar_opts;
-    scalar_opts.simd_level = simd::SimdLevel::kScalar;
-    const Measured scalar = timed(
-        [&] { return sim.run_yield_batched(factory, spec, req, scalar_opts); });
+    YieldSpec batched_spec;
+    batched_spec.factory = factory;
+    batched_spec.solution_pass = spec;
+    batched_spec.compile.simd_level = simd::SimdLevel::kScalar;
+    McRequest batched_req = req;
+    batched_req.eval_mode = McEvalMode::kBatched;
+    const Measured scalar =
+        timed([&] { return sim.run_yield(batched_spec, batched_req); });
 
-    spice::CompiledCircuit::Options simd_opts;
-    const Measured simd = timed(
-        [&] { return sim.run_yield_batched(factory, spec, req, simd_opts); });
+    batched_spec.compile = {};
+    const Measured simd =
+        timed([&] { return sim.run_yield(batched_spec, batched_req); });
 
     TablePrinter t({"path", "samples_per_s", "speedup", "passed"});
     const auto row = [&](const char* path, const Measured& m) {

@@ -1,0 +1,242 @@
+// Service throughput bench: sustained jobs/sec and latency percentiles of
+// relsimd's core under synthetic many-client load, plus the compiled-
+// circuit cache's reuse guarantee (one pattern build per unique netlist,
+// no matter how many jobs share it).
+//
+// Runs an in-process Server on a scratch Unix socket and drives it with
+// real Client connections, so everything from frame parsing to the
+// fair-share queue to McSession is on the measured path.
+//
+// Flags: --smoke (shrink load for CI),
+//        --clients N --jobs M (override the load shape),
+//        --service-json PATH (dump the measured numbers as an artifact).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "util/table.h"
+
+namespace relsim {
+namespace {
+
+using service::Client;
+using service::JobKind;
+using service::JobSpec;
+using service::Server;
+using service::ServerOptions;
+
+constexpr const char* kDividerA = R"(mos divider A
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+
+constexpr const char* kDividerB = R"(mos divider B
+.tech 65nm
+VDD vdd 0 1.1
+VB g 0 0.6
+M1 d g 0 0 nmos W=0.2u L=0.06u
+RD vdd d 5k
+)";
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+/// Lower-bound percentile out of a log-bucketed histogram snapshot: the
+/// daemon-side view of the same latency the clients observe.
+double histogram_percentile(const obs::Histogram::Snapshot& snap, double p) {
+  if (snap.count <= 0) return 0.0;
+  const auto target =
+      static_cast<std::int64_t>(p * static_cast<double>(snap.count));
+  std::int64_t seen = 0;
+  for (const auto& [lower, count] : snap.buckets) {
+    seen += count;
+    if (seen > target) return lower;
+  }
+  return snap.max;
+}
+
+struct LoadResult {
+  std::size_t done = 0;
+  std::size_t submitted = 0;
+  double wall_seconds = 0.0;
+  double p50 = 0.0, p99 = 0.0;  // client-observed submit->wait latency
+};
+
+/// `clients` threads, each its own connection, each submitting `jobs`
+/// copies of `base` (seed varied) and waiting for every result.
+LoadResult drive(const std::string& socket_path, const JobSpec& base,
+                 int clients, int jobs) {
+  std::mutex mu;
+  std::vector<double> latencies;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client = Client::connect_unix(socket_path);
+      const std::string tenant = "tenant" + std::to_string(c);
+      for (int j = 0; j < jobs; ++j) {
+        JobSpec spec = base;
+        spec.seed = base.seed + static_cast<std::uint64_t>(c * jobs + j);
+        const auto s0 = std::chrono::steady_clock::now();
+        const std::uint64_t id = client.submit(tenant, 0, spec);
+        const bool ok = client.wait(id).get_string("state", "") == "done";
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - s0;
+        std::lock_guard<std::mutex> lock(mu);
+        if (ok) latencies.push_back(dt.count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadResult r;
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.submitted = static_cast<std::size_t>(clients) * jobs;
+  std::sort(latencies.begin(), latencies.end());
+  r.done = latencies.size();
+  r.p50 = percentile(latencies, 0.50);
+  r.p99 = percentile(latencies, 0.99);
+  return r;
+}
+
+}  // namespace
+}  // namespace relsim
+
+int main(int argc, char** argv) {
+  using namespace relsim;
+  bench::ShapeChecks checks;
+  bench::BenchJson json;
+  const bool smoke = bench::arg_present(argc, argv, "--smoke");
+  const std::string json_path = bench::arg_value(argc, argv, "--service-json");
+  const int clients =
+      static_cast<int>(bench::arg_long(argc, argv, "--clients", 8));
+  const int jobs = static_cast<int>(
+      bench::arg_long(argc, argv, "--jobs", smoke ? 8 : 64));
+
+  ServerOptions options;
+  options.socket_path =
+      "/tmp/bench_service_" + std::to_string(::getpid()) + ".sock";
+  options.executors = 4;
+  Server server(std::move(options));
+  server.start();
+  const std::string socket_path = server.options().socket_path;
+
+  // -- Synthetic load: queue/protocol/schedule overhead, no solver cost --
+  bench::banner("synthetic many-client load");
+  JobSpec synthetic;
+  synthetic.kind = JobKind::kSynthetic;
+  synthetic.n = smoke ? 512 : 4096;
+  synthetic.seed = 7;
+  const LoadResult syn = drive(socket_path, synthetic, clients, jobs);
+  const double syn_rate =
+      syn.wall_seconds > 0 ? static_cast<double>(syn.done) / syn.wall_seconds
+                           : 0.0;
+  {
+    TablePrinter t({"clients", "jobs", "wall_s", "jobs_per_s", "p50_ms",
+                    "p99_ms"});
+    t.add_row({static_cast<long long>(clients),
+               static_cast<long long>(syn.submitted), syn.wall_seconds,
+               syn_rate, 1e3 * syn.p50, 1e3 * syn.p99});
+    t.print(std::cout);
+  }
+  checks.check("every synthetic job completes", syn.done == syn.submitted);
+  checks.check("sustained throughput is positive", syn_rate > 0.0);
+  checks.check("p50 <= p99 (sane latency distribution)", syn.p50 <= syn.p99);
+  json.add("service_synthetic",
+           {{"clients", double(clients)},
+            {"jobs", double(syn.submitted)},
+            {"jobs_per_sec", syn_rate},
+            {"latency_p50_seconds", syn.p50},
+            {"latency_p99_seconds", syn.p99}});
+
+  // -- dc_yield load over TWO unique netlists: compile-once reuse --------
+  bench::banner("dc_yield load, 2 unique netlists");
+  JobSpec yield_a;
+  yield_a.kind = JobKind::kDcYield;
+  yield_a.netlist = kDividerA;
+  yield_a.constraints.push_back({"d", 0.55, 0.75});
+  yield_a.n = smoke ? 256 : 2048;
+  yield_a.seed = 11;
+  JobSpec yield_b = yield_a;
+  yield_b.netlist = kDividerB;
+  yield_b.constraints = {{"d", 0.35, 0.75}};
+  yield_b.seed = 13;
+
+  const int yield_jobs = smoke ? 4 : 16;
+  LoadResult ya, yb;
+  {
+    std::thread ta([&] { ya = drive(socket_path, yield_a, 2, yield_jobs); });
+    std::thread tb([&] { yb = drive(socket_path, yield_b, 2, yield_jobs); });
+    ta.join();
+    tb.join();
+  }
+  const std::size_t yield_done = ya.done + yb.done;
+  const std::size_t yield_submitted = ya.submitted + yb.submitted;
+  const auto builds_a =
+      server.cache().get(kDividerA).compiled->compile_stats().pattern_builds;
+  const auto builds_b =
+      server.cache().get(kDividerB).compiled->compile_stats().pattern_builds;
+  {
+    TablePrinter t({"netlist", "jobs", "pattern_builds"});
+    t.add_row({std::string("A"), static_cast<long long>(ya.submitted),
+               static_cast<long long>(builds_a)});
+    t.add_row({std::string("B"), static_cast<long long>(yb.submitted),
+               static_cast<long long>(builds_b)});
+    t.print(std::cout);
+  }
+  checks.check("every dc_yield job completes", yield_done == yield_submitted);
+  checks.check("netlist A compiled exactly once across all its jobs",
+               builds_a == 1);
+  checks.check("netlist B compiled exactly once across all its jobs",
+               builds_b == 1);
+
+  // Daemon-side latency histogram (covers both phases).
+  const obs::Histogram::Snapshot job_hist =
+      obs::metrics().histogram("service.job_seconds").snapshot();
+  std::cout << "\nservice.job_seconds: count=" << job_hist.count
+            << "  p50>=" << histogram_percentile(job_hist, 0.50)
+            << "s  p99>=" << histogram_percentile(job_hist, 0.99) << "s\n";
+  checks.check("daemon observed every finished job in service.job_seconds",
+               static_cast<std::size_t>(job_hist.count) >=
+                   syn.done + yield_done);
+
+  json.add("service_dc_yield_cache",
+           {{"jobs", double(yield_submitted)},
+            {"unique_netlists", 2.0},
+            {"pattern_builds_a", double(builds_a)},
+            {"pattern_builds_b", double(builds_b)},
+            {"cache_hits", double(server.cache().hits())},
+            {"cache_misses", double(server.cache().misses())},
+            {"job_seconds_p50", histogram_percentile(job_hist, 0.50)},
+            {"job_seconds_p99", histogram_percentile(job_hist, 0.99)}});
+
+  server.stop();
+
+  if (!json_path.empty() && !json.write(json_path)) {
+    std::cerr << "failed to write " << json_path << '\n';
+    return 1;
+  }
+  return checks.finish();
+}

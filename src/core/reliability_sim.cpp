@@ -72,30 +72,72 @@ aging::AgingReport ReliabilitySimulator::age(
 McResult ReliabilitySimulator::run_yield(const CircuitFactory& factory,
                                          const SpecPredicate& pass,
                                          McRequest req) const {
-  req.seed = config_.seed;
-  if (req.run_label.empty()) req.run_label = "reliability.yield";
-  const McSession session(std::move(req));
-  return session.run_yield([&](Xoshiro256& rng, std::size_t) {
-    auto circuit = factory();
-    apply_process_variation(*circuit, rng);
-    return pass(*circuit);
-  });
+  YieldSpec spec;
+  spec.factory = factory;
+  spec.pass = pass;
+  return run_yield(spec, std::move(req));
 }
 
-McResult ReliabilitySimulator::run_yield_batched(
-    const CircuitFactory& factory, const CompiledSpecPredicate& pass,
-    McRequest req, spice::CompiledCircuit::Options options,
-    spice::SolverStats* stats_out) const {
-  RELSIM_REQUIRE(bool(factory), "run_yield_batched needs a circuit factory");
-  RELSIM_REQUIRE(bool(pass), "run_yield_batched needs a spec predicate");
+McResult ReliabilitySimulator::run_yield(const YieldSpec& spec,
+                                         McRequest req) const {
+  RELSIM_REQUIRE(bool(spec.factory), "run_yield needs a circuit factory");
+  RELSIM_REQUIRE(bool(spec.pass) || bool(spec.solution_pass),
+                 "run_yield needs a spec predicate (pass or solution_pass)");
   req.seed = config_.seed;
-  if (req.run_label.empty()) req.run_label = "reliability.yield_batched";
+  if (req.run_label.empty()) req.run_label = "reliability.yield";
+
+  bool batched = false;
+  switch (req.eval_mode) {
+    case McEvalMode::kPerSample:
+      break;
+    case McEvalMode::kBatched:
+      RELSIM_REQUIRE(bool(spec.solution_pass),
+                     "eval_mode=batched needs a DC-solution predicate "
+                     "(YieldSpec::solution_pass)");
+      RELSIM_REQUIRE(
+          req.strategy.is_plain(),
+          "eval_mode=batched supports only the pseudo-random strategy");
+      batched = true;
+      break;
+    case McEvalMode::kAuto:
+      batched = bool(spec.solution_pass) && req.strategy.is_plain();
+      break;
+  }
+
+  // The classic solver configuration shared by every non-lockstep solve in
+  // this run: the pure per-sample path and the batched path's fallback.
+  spice::DcOptions dc;
+  dc.newton = spec.compile.newton;
+  dc.allow_gmin_stepping = spec.compile.allow_gmin_stepping;
+  dc.allow_source_stepping = spec.compile.allow_source_stepping;
+
+  if (!batched) {
+    const McSession session(std::move(req));
+    if (spec.pass) {
+      return session.run_yield([&](Xoshiro256& rng, std::size_t) {
+        auto circuit = spec.factory();
+        apply_process_variation(*circuit, rng);
+        return spec.pass(*circuit);
+      });
+    }
+    // Only a solution predicate was supplied: classic build-vary-solve
+    // around it, so a batch-capable spec still runs under any strategy.
+    return session.run_yield([&](Xoshiro256& rng, std::size_t) {
+      auto circuit = spec.factory();
+      apply_process_variation(*circuit, rng);
+      const spice::DcResult r = spice::dc_operating_point(*circuit, dc);
+      return spec.solution_pass(*circuit, r.x());
+    });
+  }
+
+  // Batched path: compile the topology once, solve lanes in lockstep.
   // A lockstep solve never spans scheduler ranges, so wider lanes than the
   // chunk size would just sit idle.
+  spice::CompiledCircuit::Options options = spec.compile;
   options.max_lanes = std::max<std::size_t>(
       1, std::min(options.max_lanes, std::max<std::size_t>(1, req.chunk)));
 
-  spice::CompiledCircuit compiled(factory(), options);
+  spice::CompiledCircuit compiled(spec.factory(), options);
 
   // Per-MOSFET samplers hoisted out of the sample loop — built in
   // circuit.mosfets() order, the exact draw order of
@@ -108,11 +150,12 @@ McResult ReliabilitySimulator::run_yield_batched(
   // One private workspace per scheduler worker (same worker-count rule as
   // the session, so every span.worker has a workspace).
   const std::size_t worker_count = std::min<std::size_t>(
-      resolve_threads(req.threads), std::max<std::size_t>(req.n, 1));
+      resolve_threads(req.threads, req.thread_budget),
+      std::max<std::size_t>(req.n, 1));
   std::vector<std::unique_ptr<spice::CompiledCircuit::Workspace>> workspaces;
   workspaces.reserve(worker_count);
   for (std::size_t w = 0; w < worker_count; ++w) {
-    workspaces.push_back(compiled.make_workspace(factory()));
+    workspaces.push_back(compiled.make_workspace(spec.factory()));
   }
 
   const std::uint64_t seed = config_.seed;
@@ -130,7 +173,8 @@ McResult ReliabilitySimulator::run_yield_batched(
       ws.solve_dc(lanes);
       for (std::size_t lane = 0; lane < lanes; ++lane) {
         span.values[lo - span.lo + lane] =
-            pass(ws.circuit(), ws.lane_solution(lane)) ? 1.0 : 0.0;
+            spec.solution_pass(ws.circuit(), ws.lane_solution(lane)) ? 1.0
+                                                                     : 0.0;
       }
       lo += lanes;
     }
@@ -139,24 +183,34 @@ McResult ReliabilitySimulator::run_yield_batched(
   // Classic per-sample fallback for spans the batched evaluator throws on:
   // same mismatch stream, same spec, classic solver configuration.
   const McPredicate scalar = [&](Xoshiro256& rng, std::size_t) {
-    auto circuit = factory();
+    auto circuit = spec.factory();
     apply_process_variation(*circuit, rng);
-    spice::DcOptions dc;
-    dc.newton = options.newton;
-    dc.allow_gmin_stepping = options.allow_gmin_stepping;
-    dc.allow_source_stepping = options.allow_source_stepping;
     const spice::DcResult r = spice::dc_operating_point(*circuit, dc);
-    return pass(*circuit, r.x());
+    return spec.solution_pass(*circuit, r.x());
   };
 
   const McSession session(std::move(req));
   McResult result = session.run_yield_batch(batch, scalar);
-  if (stats_out != nullptr) {
+  if (spec.stats_out != nullptr) {
     spice::SolverStats total = compiled.compile_stats();
     for (const auto& ws : workspaces) total = total + ws->stats();
-    *stats_out = total;
+    *spec.stats_out = total;
   }
   return result;
+}
+
+McResult ReliabilitySimulator::run_yield_batched(
+    const CircuitFactory& factory, const CompiledSpecPredicate& pass,
+    McRequest req, spice::CompiledCircuit::Options options,
+    spice::SolverStats* stats_out) const {
+  if (req.run_label.empty()) req.run_label = "reliability.yield_batched";
+  req.eval_mode = McEvalMode::kBatched;
+  YieldSpec spec;
+  spec.factory = factory;
+  spec.solution_pass = pass;
+  spec.compile = options;
+  spec.stats_out = stats_out;
+  return run_yield(spec, std::move(req));
 }
 
 McResult ReliabilitySimulator::run_lifetime_yield(

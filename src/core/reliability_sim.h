@@ -57,6 +57,34 @@ using CircuitMetric = std::function<double(spice::Circuit&)>;
 using CompiledSpecPredicate =
     std::function<bool(const spice::Circuit&, const Vector&)>;
 
+/// Declarative description of a time-zero yield run for the unified
+/// run_yield entry point. Supply at least one predicate:
+///
+///   * `pass` (circuit predicate) keeps the run per-sample capable;
+///   * `solution_pass` (DC-solution predicate) makes it batched capable —
+///     the topology is compiled once and lanes solved in lockstep.
+///
+/// `McRequest::eval_mode` then picks the path: kAuto takes batched when
+/// `solution_pass` is set and the strategy is plain pseudo-random, else
+/// per-sample (via `pass` when given, otherwise a classic build-vary-solve
+/// around `solution_pass`); kPerSample / kBatched force one path, kBatched
+/// throwing when the run is not batch-eligible. Sample i draws the same
+/// mismatch stream on both paths, so yields agree to Newton tolerance.
+struct YieldSpec {
+  CircuitFactory factory;  ///< required
+  /// Pass/fail on the varied circuit (per-sample path). Optional when
+  /// `solution_pass` is given — then the per-sample path DC-solves and
+  /// delegates to it.
+  SpecPredicate pass;
+  /// Pass/fail on a solved DC solution vector; enables the batched path.
+  CompiledSpecPredicate solution_pass;
+  /// Compile options for the batched path (lanes, SIMD level, Newton).
+  spice::CompiledCircuit::Options compile = {};
+  /// When non-null and the batched path ran, receives compile + per-worker
+  /// solver stats (pattern_builds == 1 per compile of one topology).
+  spice::SolverStats* stats_out = nullptr;
+};
+
 class ReliabilitySimulator {
  public:
   explicit ReliabilitySimulator(const ReliabilityConfig& config);
@@ -86,18 +114,21 @@ class ReliabilitySimulator {
   McResult run_yield(const CircuitFactory& factory, const SpecPredicate& pass,
                      McRequest req) const;
 
-  /// Time-zero yield through the batched cross-sample evaluator: the
-  /// circuit topology is compiled ONCE (stamp pattern + symbolic LU +
-  /// stamp-slot tables), each worker applies Pelgrom samples by value-only
-  /// restamping and solves K lanes in lockstep through the SIMD device
-  /// kernels. Sample i draws the same mismatch stream as run_yield, so the
-  /// pass/fail outcome matches the classic path up to Newton tolerance
-  /// (operating points agree to the solver tolerances, not bitwise).
-  /// Restricted to the pseudo-random strategy; samples whose batch fails
-  /// fall back to the classic per-sample path automatically. When
-  /// `stats_out` is non-null it receives compile + all per-worker solver
-  /// stats (for a single topology: pattern_builds == 1 and
-  /// sparse_symbolic_factorizations == 1 unless samples went singular).
+  /// Unified yield entry point: one declarative spec, path selection by
+  /// `req.eval_mode` (see YieldSpec). This is THE yield API; the
+  /// two-predicate overload above is a convenience wrapper for the
+  /// per-sample-only case, and run_yield_batched below is a deprecated
+  /// forwarder onto this.
+  McResult run_yield(const YieldSpec& spec, McRequest req) const;
+
+  /// Former batched cross-sample entry point (topology compiled once,
+  /// lanes solved in lockstep through the SIMD device kernels). Now a thin
+  /// forwarder: equivalent to run_yield(YieldSpec{...}, req) with
+  /// eval_mode = kBatched.
+  [[deprecated(
+      "use run_yield(YieldSpec{.factory, .solution_pass, ...}, req) with "
+      "req.eval_mode = McEvalMode::kBatched (or kAuto); this forwarder is "
+      "scheduled for removal two PRs after the montecarlo.h shims")]]
   McResult run_yield_batched(const CircuitFactory& factory,
                              const CompiledSpecPredicate& pass, McRequest req,
                              spice::CompiledCircuit::Options options = {},

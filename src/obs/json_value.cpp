@@ -1,0 +1,370 @@
+#include "obs/json_value.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace relsim::obs {
+
+namespace {
+
+std::string kind_mismatch(const char* want, JsonValue::Kind got) {
+  return std::string("JSON type mismatch: wanted ") + want + ", value is " +
+         to_string(got);
+}
+
+}  // namespace
+
+const char* to_string(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kUInt: return "uint";
+    case JsonValue::Kind::kInt: return "int";
+    case JsonValue::Kind::kDouble: return "double";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+/// Single-pass recursive-descent parser over the input view. Depth is
+/// bounded so a hostile frame of 100k '[' cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonParseError("JSON parse error at byte " + std::to_string(pos_) +
+                         ": " + why);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail(std::string("expected '") + std::string(word) + "'");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't': {
+        expect_literal("true");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        expect_literal("false");
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = false;
+        return v;
+      }
+      case 'n': {
+        expect_literal("null");
+        return JsonValue();
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    take();  // '{'
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (take() != ':') fail("expected ':' after object key");
+      // Last duplicate wins, matching common parser behaviour.
+      v.object_[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    take();  // '['
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    take();  // '"'
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(parse_hex4(), out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    return code;
+  }
+
+  void append_utf8(unsigned code, std::string& out) {
+    // Surrogate pairs: a high surrogate must be followed by \uDC00-\uDFFF.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (take() != '\\' || take() != 'u') fail("unpaired UTF-16 surrogate");
+      const unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("stray low surrogate");
+    }
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    bool integral = true;
+    if (eof() || peek() < '0' || peek() > '9') fail("invalid number");
+    while (!eof()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    JsonValue v;
+    errno = 0;
+    if (integral) {
+      // Exact integer path first — doubles lose seeds above 2^53.
+      char* end = nullptr;
+      if (token[0] == '-') {
+        const long long parsed = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          v.kind_ = JsonValue::Kind::kInt;
+          v.i64_ = parsed;
+          v.double_ = static_cast<double>(parsed);
+          return v;
+        }
+      } else {
+        const unsigned long long parsed =
+            std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          v.kind_ = JsonValue::Kind::kUInt;
+          v.u64_ = parsed;
+          v.double_ = static_cast<double>(parsed);
+          return v;
+        }
+      }
+      errno = 0;  // out-of-range integer: fall through to double
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      fail("invalid number '" + token + "'");
+    }
+    v.kind_ = JsonValue::Kind::kDouble;
+    v.double_ = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw JsonParseError(kind_mismatch("bool", kind_));
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (!is_number()) throw JsonParseError(kind_mismatch("number", kind_));
+  return double_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ == Kind::kUInt) return u64_;
+  if (kind_ == Kind::kInt && i64_ >= 0) {
+    return static_cast<std::uint64_t>(i64_);
+  }
+  if (kind_ == Kind::kDouble && double_ >= 0.0 &&
+      double_ <= 9007199254740992.0 &&  // 2^53: exact in double
+      double_ == std::floor(double_)) {
+    return static_cast<std::uint64_t>(double_);
+  }
+  throw JsonParseError(kind_mismatch("uint64", kind_));
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (kind_ == Kind::kInt) return i64_;
+  if (kind_ == Kind::kUInt &&
+      u64_ <= static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())) {
+    return static_cast<std::int64_t>(u64_);
+  }
+  if (kind_ == Kind::kDouble && std::abs(double_) <= 9007199254740992.0 &&
+      double_ == std::floor(double_)) {
+    return static_cast<std::int64_t>(double_);
+  }
+  throw JsonParseError(kind_mismatch("int64", kind_));
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) {
+    throw JsonParseError(kind_mismatch("string", kind_));
+  }
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) {
+    throw JsonParseError(kind_mismatch("array", kind_));
+  }
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) {
+    throw JsonParseError(kind_mismatch("object", kind_));
+  }
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+double JsonValue::get_double(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_double();
+}
+
+std::uint64_t JsonValue::get_u64(std::string_view key,
+                                 std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_u64();
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+}  // namespace relsim::obs

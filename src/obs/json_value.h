@@ -1,0 +1,101 @@
+// Recursive-descent JSON reader — the inbound half of the obs JSON story
+// (json_writer.h is the outbound half). Built for the service protocol's
+// line-delimited frames: strict (a frame is one complete value, trailing
+// garbage is an error), allocation-light, and integer-exact.
+//
+// Integer exactness matters here: RNG seeds are full-range uint64 values,
+// and a parser that round-trips numbers through double silently corrupts
+// any seed above 2^53 — which would break the daemon's bit-identity
+// guarantee. Integral tokens are therefore stored as int64/uint64 and only
+// converted on an explicit as_double().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace relsim::obs {
+
+/// Thrown on malformed input; what() carries the byte offset and cause,
+/// so protocol error replies can echo a useful diagnostic.
+class JsonParseError : public Error {
+ public:
+  explicit JsonParseError(const std::string& what) : Error(what) {}
+};
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kUInt,    ///< non-negative integral token, exact in uint64
+    kInt,     ///< negative integral token, exact in int64
+    kDouble,  ///< fractional/exponent token (or integral overflowing 64 bit)
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<JsonValue>;
+  /// std::map, not unordered: deterministic iteration keeps error messages
+  /// and round-trip dumps stable. Protocol objects are tiny.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  /// Parses exactly one JSON value spanning the whole input (leading and
+  /// trailing whitespace allowed, anything else throws JsonParseError).
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kUInt || kind_ == Kind::kInt ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors throw JsonParseError on a kind mismatch (and on
+  /// lossy/ negative conversions for the integer forms).
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or when this is not an
+  /// object. The get_* forms return `fallback` when the member is absent
+  /// but still throw when it is present with the wrong type — a typo'd
+  /// value should fail loudly, not silently default.
+  const JsonValue* find(std::string_view key) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  std::uint64_t get_u64(std::string_view key, std::uint64_t fallback) const;
+  std::string get_string(std::string_view key,
+                         const std::string& fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t u64_ = 0;
+  std::int64_t i64_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+const char* to_string(JsonValue::Kind kind);
+
+}  // namespace relsim::obs

@@ -1,0 +1,126 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <sstream>
+#include <utility>
+
+#include "obs/json_writer.h"
+#include "service/protocol.h"
+#include "service/socket_io.h"
+#include "util/error.h"
+
+namespace relsim::service {
+
+Client Client::connect_unix(const std::string& socket_path) {
+  return Client(service::connect_unix(socket_path));
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  return Client(service::connect_tcp(host, port));
+}
+
+Client::Client(int fd) : fd_(fd) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      read_buf_(std::move(other.read_buf_)),
+      last_reply_(std::move(other.last_reply_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    read_buf_ = std::move(other.read_buf_);
+    last_reply_ = std::move(other.last_reply_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+obs::JsonValue Client::call(const std::string& frame) {
+  RELSIM_REQUIRE(fd_ >= 0, "client is not connected");
+  if (!write_all(fd_, frame) || !write_all(fd_, "\n")) {
+    throw Error("service connection lost while sending request");
+  }
+  // Buffered newline framing; the buffer carries over between calls in
+  // case the kernel delivers more than one reply's worth of bytes.
+  for (;;) {
+    const std::size_t nl = read_buf_.find('\n');
+    if (nl != std::string::npos) {
+      last_reply_ = read_buf_.substr(0, nl);
+      read_buf_.erase(0, nl + 1);
+      obs::JsonValue reply = obs::JsonValue::parse(last_reply_);
+      if (!reply.get_bool("ok", false)) {
+        throw Error("service error: " +
+                    reply.get_string("error", "unknown error"));
+      }
+      return reply;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw Error("service connection lost while awaiting reply");
+    read_buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::uint64_t Client::submit(const std::string& tenant, int priority,
+                             const JobSpec& spec) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("op", "submit");
+  w.kv("tenant", tenant);
+  w.kv("priority", priority);
+  w.key("job");
+  write_job_spec(w, spec);
+  w.end_object();
+  w.complete();
+  const obs::JsonValue reply = call(os.str());
+  return reply.get_u64("job_id", 0);
+}
+
+namespace {
+
+std::string job_frame(const char* op, std::uint64_t job_id) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("op", op);
+  w.kv("job_id", static_cast<unsigned long long>(job_id));
+  w.end_object();
+  w.complete();
+  return os.str();
+}
+
+}  // namespace
+
+obs::JsonValue Client::wait(std::uint64_t job_id) {
+  return call(job_frame("wait", job_id));
+}
+
+obs::JsonValue Client::status(std::uint64_t job_id) {
+  return call(job_frame("status", job_id));
+}
+
+obs::JsonValue Client::result(std::uint64_t job_id) {
+  return call(job_frame("result", job_id));
+}
+
+obs::JsonValue Client::cancel(std::uint64_t job_id) {
+  return call(job_frame("cancel", job_id));
+}
+
+obs::JsonValue Client::metrics() { return call(R"({"op":"metrics"})"); }
+
+void Client::ping() { call(R"({"op":"ping"})"); }
+
+void Client::shutdown() { call(R"({"op":"shutdown"})"); }
+
+}  // namespace relsim::service

@@ -1,0 +1,62 @@
+// Blocking client for the relsim service protocol.
+//
+// One Client == one connection == one outstanding request at a time (the
+// protocol is strictly request/reply per frame). Spawn several Clients for
+// concurrent traffic — relsim-cli's `drive` subcommand and bench_service
+// both do exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json_value.h"
+#include "service/job.h"
+
+namespace relsim::service {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& socket_path);
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();  ///< closes the connection
+
+  /// Sends one raw frame (newline appended) and parses the reply. Throws
+  /// Error on transport failure or when the reply has "ok":false (the
+  /// server's "error" string becomes the exception message). Use this for
+  /// ops without a convenience wrapper or for deliberately malformed
+  /// frames in tests.
+  obs::JsonValue call(const std::string& frame);
+
+  /// Raw text of the last reply frame (before parsing) — handy for tools
+  /// that print server replies verbatim.
+  const std::string& last_reply() const { return last_reply_; }
+
+  /// Submits a job; returns the server-assigned job id.
+  std::uint64_t submit(const std::string& tenant, int priority,
+                       const JobSpec& spec);
+
+  /// Blocks until the job reaches a terminal state; returns the full
+  /// reply ("state", and "result" for finished jobs).
+  obs::JsonValue wait(std::uint64_t job_id);
+
+  obs::JsonValue status(std::uint64_t job_id);
+  obs::JsonValue result(std::uint64_t job_id);  ///< throws if still running
+  obs::JsonValue cancel(std::uint64_t job_id);
+  obs::JsonValue metrics();
+  void ping();
+  void shutdown();  ///< asks the daemon to latch its shutdown flag
+
+ private:
+  explicit Client(int fd);
+
+  int fd_ = -1;
+  std::string read_buf_;  ///< carry-over between frames
+  std::string last_reply_;
+};
+
+}  // namespace relsim::service

@@ -1,0 +1,65 @@
+// Compiled-circuit cache: content-hash keyed, LRU, thread-safe.
+//
+// The daemon's reuse story (DESIGN.md "Service architecture"): thousands
+// of jobs share a handful of topologies, and everything topology-dependent
+// — parse, stamp-pattern capture, symbolic LU — is paid once per UNIQUE
+// netlist, then served to every job as a shared immutable CompiledCircuit.
+// Keying is by FNV-1a of the exact netlist text (whitespace included): a
+// client cannot poison another tenant's entry by reusing a name, and any
+// edit misses. Hash collisions are resolved by comparing the stored text.
+//
+// Entries are shared_ptr<const CompiledCircuit>; eviction never invalidates
+// a running job, it only drops the cache's own reference.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "spice/compiled_circuit.h"
+#include "tech/tech.h"
+
+namespace relsim::service {
+
+class CompiledCircuitCache {
+ public:
+  /// `capacity` = max distinct netlists kept (>= 1).
+  explicit CompiledCircuitCache(std::size_t capacity = 16);
+
+  struct Entry {
+    std::shared_ptr<const spice::CompiledCircuit> compiled;
+    const TechNode* tech = nullptr;  ///< netlist .tech card, or tech_65nm()
+    std::uint64_t key = 0;           ///< content hash (manifest/bench id)
+  };
+
+  /// Returns the compiled circuit for the netlist text, compiling on miss
+  /// (under the cache lock: concurrent same-netlist requests compile once).
+  /// Throws NetlistError / ConvergenceError like the underlying compile.
+  Entry get(const std::string& netlist_text,
+            const spice::CompiledCircuit::Options& options = {});
+
+  /// Content hash used as the cache key.
+  static std::uint64_t key_of(const std::string& netlist_text);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  struct Slot {
+    std::string text;  ///< full key text (collision guard)
+    Entry entry;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Slot> lru_;  ///< front = most recently used
+  std::unordered_multimap<std::uint64_t, std::list<Slot>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace relsim::service

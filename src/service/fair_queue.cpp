@@ -1,0 +1,100 @@
+#include "service/fair_queue.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace relsim::service {
+
+namespace {
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("service.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+bool FairShareQueue::push(std::shared_ptr<Job> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    Tenant& t = tenants_[job->tenant];
+    t.pending.emplace(std::make_pair(-job->priority, job->seq), job);
+    ++depth_;
+    queue_depth_gauge().set(static_cast<double>(depth_));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<Job> FairShareQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return depth_ > 0 || shutdown_; });
+  if (depth_ == 0) return nullptr;  // shutdown with empty backlog
+
+  // Least-virtual-work tenant among those with pending jobs; name order
+  // breaks ties (map iteration is already name-ordered).
+  Tenant* best = nullptr;
+  std::uint64_t best_work = std::numeric_limits<std::uint64_t>::max();
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant.pending.empty()) continue;
+    if (tenant.virtual_work < best_work) {
+      best = &tenant;
+      best_work = tenant.virtual_work;
+    }
+  }
+  auto it = best->pending.begin();
+  std::shared_ptr<Job> job = it->second;
+  best->pending.erase(it);
+  best->virtual_work += std::max<std::uint64_t>(job->spec.n, 1);
+  --depth_;
+  queue_depth_gauge().set(static_cast<double>(depth_));
+  return job;
+}
+
+std::shared_ptr<Job> FairShareQueue::remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, tenant] : tenants_) {
+    for (auto it = tenant.pending.begin(); it != tenant.pending.end(); ++it) {
+      if (it->second->id != id) continue;
+      std::shared_ptr<Job> job = it->second;
+      tenant.pending.erase(it);
+      --depth_;
+      queue_depth_gauge().set(static_cast<double>(depth_));
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Job>> FairShareQueue::shutdown() {
+  std::vector<std::shared_ptr<Job>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [name, tenant] : tenants_) {
+      for (auto& [key, job] : tenant.pending) orphaned.push_back(job);
+      tenant.pending.clear();
+    }
+    depth_ = 0;
+    queue_depth_gauge().set(0.0);
+  }
+  cv_.notify_all();
+  return orphaned;
+}
+
+std::size_t FairShareQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+std::uint64_t FairShareQueue::tenant_virtual_work(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.virtual_work;
+}
+
+}  // namespace relsim::service

@@ -1,0 +1,67 @@
+// Fair-share job queue of the relsim service.
+//
+// Policy (documented in DESIGN.md "Service architecture"): every tenant
+// accumulates virtual work — the sample counts of the jobs it has been
+// granted. pop() always serves the eligible tenant with the LEAST virtual
+// work, so a tenant queueing thousands of samples cannot starve one
+// submitting small jobs; within a tenant, higher `priority` first, then
+// submit order. Ties on virtual work break by tenant name so the schedule
+// is deterministic for tests.
+//
+// The queue is a rendezvous, not an executor: executor threads block in
+// pop() and the server owns their lifetime. shutdown() wakes everyone and
+// makes pop() return nullptr forever after the backlog is drained-or-
+// dropped (pending jobs are returned so the server can fail them).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace relsim::service {
+
+class FairShareQueue {
+ public:
+  /// Enqueues a job (state stays kQueued; the server transitions it).
+  /// Returns false when the queue is shut down.
+  bool push(std::shared_ptr<Job> job);
+
+  /// Blocks until a job is available or shutdown; nullptr on shutdown.
+  /// The popped job's cost (spec.n, min 1) is charged to its tenant.
+  std::shared_ptr<Job> pop();
+
+  /// Removes a queued job by id (cancellation before it ran). Returns the
+  /// job when it was still queued, nullptr when already popped/unknown.
+  std::shared_ptr<Job> remove(std::uint64_t id);
+
+  /// Wakes all waiters; subsequent pop() returns nullptr. Returns every
+  /// job still queued, in no particular order.
+  std::vector<std::shared_ptr<Job>> shutdown();
+
+  std::size_t depth() const;
+
+  /// Virtual work charged to `tenant` so far (test/diagnostic hook).
+  std::uint64_t tenant_virtual_work(const std::string& tenant) const;
+
+ private:
+  struct Tenant {
+    std::uint64_t virtual_work = 0;
+    /// Ordered run queue: highest priority first, then submit order.
+    /// Key: (-priority, seq).
+    std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> pending;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Tenant> tenants_;
+  std::size_t depth_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace relsim::service

@@ -1,0 +1,95 @@
+// Job model of the relsim service: what a client submits (JobSpec), and
+// the server-side record tracking it from queue to result (Job).
+//
+// A JobSpec is deliberately McRequest-shaped: everything the scheduler
+// honours (sample count, threads, budget, chunking, eval mode, checkpoint,
+// manifest) maps 1:1 onto McRequest fields, so a job run through the
+// daemon is the SAME run as the McRequest run directly — the round-trip
+// bit-identity test in service_server_test.cpp holds the two paths equal.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "variability/mc_session.h"
+
+namespace relsim::service {
+
+/// One DC spec constraint of a dc_yield job: the solved voltage of `node`
+/// must land in [lo, hi]. A sample passes when every constraint holds.
+struct NodeConstraint {
+  std::string node;
+  double lo = -1e300;
+  double hi = 1e300;
+};
+
+enum class JobKind : std::uint8_t {
+  /// Netlist-driven Monte-Carlo DC yield: parse, Pelgrom-vary, solve,
+  /// check NodeConstraints. Batched-eligible via the compiled-circuit
+  /// cache.
+  kDcYield = 0,
+  /// Circuit-free Bernoulli yield (pass_prob against the per-sample RNG):
+  /// exercises the full queue/schedule/result pipeline at negligible CPU
+  /// cost. This is what the many-client smoke and bench_service submit.
+  kSynthetic = 1,
+};
+
+const char* to_string(JobKind kind);
+
+/// Client-supplied description of one yield run.
+struct JobSpec {
+  JobKind kind = JobKind::kDcYield;
+  std::string netlist;                     ///< dc_yield: SPICE card text
+  std::vector<NodeConstraint> constraints; ///< dc_yield: pass criteria
+  double pass_prob = 0.5;                  ///< synthetic: Bernoulli p
+  std::uint64_t seed = 0xC0FFEE;
+  std::size_t n = 0;
+  unsigned threads = 0;        ///< 0 = resolve_threads auto
+  unsigned thread_budget = 0;  ///< per-job cap (McRequest::thread_budget)
+  std::size_t chunk = 32;
+  McEvalMode eval_mode = McEvalMode::kAuto;
+  bool keep_values = false;
+  std::string checkpoint_path;        ///< non-empty: resumable job
+  std::size_t checkpoint_every = 4096;
+  std::string manifest_path;          ///< non-empty: audit manifest
+  std::string label;                  ///< run_label override (manifest/trace)
+};
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       ///< completed (or stopped early by its stopping rule)
+  kCancelled = 3,  ///< cancel token truncated the run; result + checkpoint kept
+  kFailed = 4,     ///< evaluation threw; `error` carries what()
+};
+
+const char* to_string(JobState state);
+
+/// Server-side job record. Lifetime: created at submit, kept in the
+/// server's job table until shutdown so results stay retrievable after
+/// the submitting client disconnects.
+struct Job {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 0;        ///< higher runs first within a tenant
+  std::uint64_t seq = 0;   ///< global submit order (FIFO tie-break)
+  JobSpec spec;
+
+  /// Set by the cancel op; polled by McSession via McRequest::cancel.
+  std::atomic<bool> cancel_requested{false};
+
+  // State below is guarded by `mu`; `cv` signals every transition.
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  McResult result;    ///< valid in kDone / kCancelled
+  std::string error;  ///< valid in kFailed
+  double queue_seconds = 0.0;  ///< submit -> execution start
+  double run_seconds = 0.0;    ///< execution start -> finish
+};
+
+}  // namespace relsim::service

@@ -1,0 +1,124 @@
+#include "service/protocol.h"
+
+#include "util/crc32.h"
+#include "util/error.h"
+
+namespace relsim::service {
+
+McEvalMode parse_eval_mode(const std::string& text) {
+  if (text == "auto") return McEvalMode::kAuto;
+  if (text == "per-sample") return McEvalMode::kPerSample;
+  if (text == "batched") return McEvalMode::kBatched;
+  throw Error("unknown eval_mode '" + text +
+              "' (expected auto | per-sample | batched)");
+}
+
+JobKind parse_job_kind(const std::string& text) {
+  if (text == "dc_yield") return JobKind::kDcYield;
+  if (text == "synthetic") return JobKind::kSynthetic;
+  throw Error("unknown job kind '" + text +
+              "' (expected dc_yield | synthetic)");
+}
+
+JobSpec parse_job_spec(const obs::JsonValue& v) {
+  RELSIM_REQUIRE(v.is_object(), "job must be a JSON object");
+  JobSpec spec;
+  spec.kind = parse_job_kind(v.get_string("kind", "dc_yield"));
+  spec.netlist = v.get_string("netlist", "");
+  spec.pass_prob = v.get_double("pass_prob", spec.pass_prob);
+  spec.seed = v.get_u64("seed", spec.seed);
+  spec.n = static_cast<std::size_t>(v.get_u64("n", 0));
+  spec.threads = static_cast<unsigned>(v.get_u64("threads", 0));
+  spec.thread_budget =
+      static_cast<unsigned>(v.get_u64("thread_budget", 0));
+  spec.chunk = static_cast<std::size_t>(v.get_u64("chunk", spec.chunk));
+  spec.eval_mode = parse_eval_mode(v.get_string("eval_mode", "auto"));
+  spec.keep_values = v.get_bool("keep_values", false);
+  spec.checkpoint_path = v.get_string("checkpoint", "");
+  spec.checkpoint_every = static_cast<std::size_t>(
+      v.get_u64("checkpoint_every", spec.checkpoint_every));
+  spec.manifest_path = v.get_string("manifest", "");
+  spec.label = v.get_string("label", "");
+  if (const obs::JsonValue* cs = v.find("constraints")) {
+    for (const obs::JsonValue& c : cs->as_array()) {
+      NodeConstraint nc;
+      nc.node = c.get_string("node", "");
+      RELSIM_REQUIRE(!nc.node.empty(), "constraint needs a node name");
+      nc.lo = c.get_double("lo", nc.lo);
+      nc.hi = c.get_double("hi", nc.hi);
+      spec.constraints.push_back(std::move(nc));
+    }
+  }
+  RELSIM_REQUIRE(spec.n > 0, "job needs a sample count (n > 0)");
+  if (spec.kind == JobKind::kDcYield) {
+    RELSIM_REQUIRE(!spec.netlist.empty(), "dc_yield job needs a netlist");
+    RELSIM_REQUIRE(!spec.constraints.empty(),
+                   "dc_yield job needs at least one node constraint");
+  }
+  return spec;
+}
+
+void write_job_spec(obs::JsonWriter& w, const JobSpec& spec) {
+  w.begin_object();
+  w.kv("kind", to_string(spec.kind));
+  if (!spec.netlist.empty()) w.kv("netlist", spec.netlist);
+  if (!spec.constraints.empty()) {
+    w.key("constraints").begin_array();
+    for (const NodeConstraint& c : spec.constraints) {
+      w.begin_object();
+      w.kv("node", c.node);
+      w.kv("lo", c.lo);
+      w.kv("hi", c.hi);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (spec.kind == JobKind::kSynthetic) w.kv("pass_prob", spec.pass_prob);
+  w.kv("seed", static_cast<unsigned long long>(spec.seed));
+  w.kv("n", static_cast<unsigned long long>(spec.n));
+  w.kv("threads", spec.threads);
+  w.kv("thread_budget", spec.thread_budget);
+  w.kv("chunk", static_cast<unsigned long long>(spec.chunk));
+  w.kv("eval_mode", to_string(spec.eval_mode));
+  w.kv("keep_values", spec.keep_values);
+  if (!spec.checkpoint_path.empty()) {
+    w.kv("checkpoint", spec.checkpoint_path);
+    w.kv("checkpoint_every",
+         static_cast<unsigned long long>(spec.checkpoint_every));
+  }
+  if (!spec.manifest_path.empty()) w.kv("manifest", spec.manifest_path);
+  if (!spec.label.empty()) w.kv("label", spec.label);
+  w.end_object();
+}
+
+std::uint32_t values_crc32(const McResult& result) {
+  if (result.values.empty()) return 0;
+  return crc32(result.values.data(),
+               result.values.size() * sizeof(double));
+}
+
+void write_result(obs::JsonWriter& w, const McResult& result) {
+  w.begin_object();
+  w.kv("requested", static_cast<unsigned long long>(result.requested));
+  w.kv("completed", static_cast<unsigned long long>(result.completed));
+  w.kv("resumed", static_cast<unsigned long long>(result.resumed));
+  w.kv("passed", static_cast<unsigned long long>(result.estimate.passed));
+  w.kv("total", static_cast<unsigned long long>(result.estimate.total));
+  w.kv("yield", result.estimate.interval.estimate);
+  w.kv("yield_lo", result.estimate.interval.lo);
+  w.kv("yield_hi", result.estimate.interval.hi);
+  w.kv("stop_reason", to_string(result.run.stop_reason));
+  w.kv("threads", result.run.threads);
+  w.kv("failed_total",
+       static_cast<unsigned long long>(result.run.failed_total));
+  w.kv("elapsed_seconds", result.run.elapsed_seconds);
+  if (!result.values.empty()) {
+    w.kv("values_crc32",
+         static_cast<unsigned long long>(values_crc32(result)));
+    w.kv("values_count",
+         static_cast<unsigned long long>(result.values.size()));
+  }
+  w.end_object();
+}
+
+}  // namespace relsim::service

@@ -1,0 +1,52 @@
+// Wire protocol of the relsim service: line-delimited JSON frames.
+//
+// Every frame is ONE JSON object on ONE line, terminated by '\n' (the
+// payload never contains a raw newline — JsonWriter escapes them). Client
+// requests carry an "op"; server replies always carry "ok" plus either the
+// op's payload or an "error" string. Documented frame-by-frame in
+// DESIGN.md "Service architecture".
+//
+//   {"op":"ping"}
+//   {"op":"submit","tenant":"t0","priority":0,"job":{...JobSpec...}}
+//   {"op":"status","job_id":7}
+//   {"op":"wait","job_id":7}          <- blocks until the job finishes
+//   {"op":"result","job_id":7}        <- error when still running
+//   {"op":"cancel","job_id":7}
+//   {"op":"metrics"}
+//   {"op":"shutdown"}
+//
+// This header is the single source of truth for JobSpec <-> JSON and
+// McResult -> JSON; the server, the client library and the tests all go
+// through it, so a field added here is wired end to end.
+#pragma once
+
+#include <string>
+
+#include "obs/json_value.h"
+#include "obs/json_writer.h"
+#include "service/job.h"
+
+namespace relsim::service {
+
+/// Parses the "job" object of a submit frame. Unknown fields are ignored
+/// (forward compatibility); wrong-typed or out-of-range fields throw
+/// JsonParseError / Error with a client-presentable message.
+JobSpec parse_job_spec(const obs::JsonValue& v);
+
+/// Serializes a JobSpec as the "job" object (inverse of parse_job_spec).
+void write_job_spec(obs::JsonWriter& w, const JobSpec& spec);
+
+/// Serializes the reply payload of a finished run: counts, Wilson
+/// estimate, stop reason, telemetry, and a CRC-32 over the per-sample
+/// values bytes when they were kept (the cheap bit-identity witness:
+/// doubles survive JsonWriter's shortest-round-trip formatting, and the
+/// CRC proves the full value stream without shipping it).
+void write_result(obs::JsonWriter& w, const McResult& result);
+
+/// CRC-32 over the raw bytes of result.values (0 when empty).
+std::uint32_t values_crc32(const McResult& result);
+
+McEvalMode parse_eval_mode(const std::string& text);
+JobKind parse_job_kind(const std::string& text);
+
+}  // namespace relsim::service

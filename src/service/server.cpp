@@ -1,0 +1,418 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "obs/json_value.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "service/socket_io.h"
+#include "service/workload.h"
+#include "util/error.h"
+
+namespace relsim::service {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter& submitted = obs::metrics().counter("service.jobs_submitted");
+  obs::Counter& completed = obs::metrics().counter("service.jobs_completed");
+  obs::Counter& failed = obs::metrics().counter("service.jobs_failed");
+  obs::Counter& cancelled = obs::metrics().counter("service.jobs_cancelled");
+  obs::Counter& frames = obs::metrics().counter("service.frames");
+  obs::Counter& bad_frames = obs::metrics().counter("service.bad_frames");
+  obs::Counter& connections = obs::metrics().counter("service.connections");
+  obs::Histogram& queue_seconds =
+      obs::metrics().histogram("service.queue_seconds");
+  obs::Histogram& job_seconds =
+      obs::metrics().histogram("service.job_seconds");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string error_frame(const std::string& op, const std::string& message) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("ok", false);
+  if (!op.empty()) w.kv("op", op);
+  w.kv("error", message);
+  w.end_object();
+  return os.str();
+}
+
+/// Writes the shared prefix of a job-status payload (state + timings).
+void write_job_status(obs::JsonWriter& w, const std::shared_ptr<Job>& job) {
+  // Caller holds job->mu.
+  w.kv("job_id", static_cast<unsigned long long>(job->id));
+  w.kv("tenant", job->tenant);
+  w.kv("state", to_string(job->state));
+  if (job->state == JobState::kFailed) w.kv("job_error", job->error);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  RELSIM_REQUIRE(!options_.socket_path.empty(),
+                 "Server needs a unix socket path");
+  RELSIM_REQUIRE(options_.executors >= 1, "Server needs >= 1 executor");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  RELSIM_REQUIRE(!running_.load(), "Server already started");
+  unix_fd_ = listen_unix(options_.socket_path);
+  if (options_.tcp_port >= 0) {
+    tcp_fd_ = listen_tcp(options_.tcp_port, &tcp_port_);
+  }
+  if (::pipe(wake_pipe_) != 0) throw Error("pipe() failed");
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  executors_.reserve(options_.executors);
+  for (unsigned e = 0; e < options_.executors; ++e) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+
+  // Unblock the accept loop first: no new connections or submissions.
+  (void)!::write(wake_pipe_[1], "x", 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Resolve every job BEFORE joining connection threads: a connection
+  // blocked in the "wait" op only wakes when its job reaches a terminal
+  // state, so jobs must terminate first or the join below would deadlock.
+  for (const std::shared_ptr<Job>& job : queue_.shutdown()) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = JobState::kFailed;
+    job->error = "server shutting down";
+    job->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& [id, job] : jobs_) {
+      job->cancel_requested.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Connection threads exit on read failure; join outside the lock (they
+  // take conn_mu_ to deregister their fd).
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (connections_.empty()) break;
+      t = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (t.joinable()) t.join();
+  }
+
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  unix_fd_ = tcp_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+
+  // Wake anything parked in wait_shutdown_requested().
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  shutdown_cv_.notify_all();
+}
+
+void Server::wait_shutdown_requested() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested(); });
+}
+
+std::shared_ptr<Job> Server::find_job(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+void Server::accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd fds[3];
+    nfds_t count = 0;
+    fds[count++] = {wake_pipe_[0], POLLIN, 0};
+    fds[count++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[count++] = {tcp_fd_, POLLIN, 0};
+    if (::poll(fds, count, -1) < 0) continue;
+    if (fds[0].revents != 0) return;  // stop() woke us
+    for (nfds_t i = 1; i < count; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client < 0) continue;
+      service_metrics().connections.inc();
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (!running_.load(std::memory_order_relaxed)) {
+        ::close(client);
+        return;
+      }
+      connection_fds_.push_back(client);
+      connections_.emplace_back([this, client] { connection_loop(client); });
+    }
+  }
+}
+
+void Server::connection_loop(int fd) {
+  LineReader reader(fd);
+  std::string line;
+  while (reader.read_line(line)) {
+    if (line.empty()) continue;  // blank keep-alive lines are fine
+    const std::string reply = handle_frame(line);
+    if (!write_all(fd, reply) || !write_all(fd, "\n")) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+      connection_fds_.end());
+  // The std::thread object stays in connections_ for stop() to join.
+}
+
+std::string Server::handle_frame(const std::string& line) {
+  service_metrics().frames.inc();
+  std::string op;
+  try {
+    const obs::JsonValue v = obs::JsonValue::parse(line);
+    RELSIM_REQUIRE(v.is_object(), "request frame must be a JSON object");
+    op = v.get_string("op", "");
+    RELSIM_REQUIRE(!op.empty(), "request frame needs an \"op\"");
+
+    std::ostringstream os;
+    obs::JsonWriter w(os, 0);
+
+    if (op == "ping") {
+      w.begin_object();
+      w.kv("ok", true);
+      w.kv("op", op);
+      w.end_object();
+      return os.str();
+    }
+
+    if (op == "submit") {
+      const obs::JsonValue* job_v = v.find("job");
+      RELSIM_REQUIRE(job_v != nullptr, "submit needs a \"job\" object");
+      JobSpec spec = parse_job_spec(*job_v);
+      const std::string tenant = v.get_string("tenant", "default");
+      const int priority =
+          static_cast<int>(v.find("priority") != nullptr
+                               ? v.find("priority")->as_i64()
+                               : 0);
+      const std::shared_ptr<Job> job = submit(tenant, priority,
+                                              std::move(spec));
+      w.begin_object();
+      w.kv("ok", true);
+      w.kv("op", op);
+      w.kv("job_id", static_cast<unsigned long long>(job->id));
+      w.end_object();
+      return os.str();
+    }
+
+    if (op == "status" || op == "wait" || op == "result" || op == "cancel") {
+      const obs::JsonValue* id_v = v.find("job_id");
+      RELSIM_REQUIRE(id_v != nullptr, "missing \"job_id\"");
+      const std::uint64_t id = id_v->as_u64();
+      const std::shared_ptr<Job> job = find_job(id);
+      if (job == nullptr) {
+        return error_frame(op, "unknown job id " + std::to_string(id));
+      }
+
+      if (op == "cancel") {
+        job->cancel_requested.store(true, std::memory_order_relaxed);
+        // Still queued? Pull it out and resolve it as cancelled now.
+        if (queue_.remove(id) != nullptr) {
+          std::lock_guard<std::mutex> lock(job->mu);
+          job->state = JobState::kCancelled;
+          job->queue_seconds = now_seconds() - job->queue_seconds;
+          job->cv.notify_all();
+          service_metrics().cancelled.inc();
+        }
+        w.begin_object();
+        w.kv("ok", true);
+        w.kv("op", op);
+        w.kv("job_id", static_cast<unsigned long long>(id));
+        w.end_object();
+        return os.str();
+      }
+
+      std::unique_lock<std::mutex> lock(job->mu);
+      if (op == "wait") {
+        job->cv.wait(lock, [&job] {
+          return job->state != JobState::kQueued &&
+                 job->state != JobState::kRunning;
+        });
+      }
+      const bool finished = job->state != JobState::kQueued &&
+                            job->state != JobState::kRunning;
+      if (op == "result" && !finished) {
+        return error_frame(op, "job " + std::to_string(id) +
+                                   " still " + to_string(job->state));
+      }
+      w.begin_object();
+      w.kv("ok", true);
+      w.kv("op", op);
+      write_job_status(w, job);
+      if (finished && job->state != JobState::kFailed &&
+          (op == "wait" || op == "result" || op == "status")) {
+        w.kv("queue_seconds", job->queue_seconds);
+        w.kv("run_seconds", job->run_seconds);
+        w.key("result");
+        write_result(w, job->result);
+      }
+      w.end_object();
+      return os.str();
+    }
+
+    if (op == "metrics") {
+      w.begin_object();
+      w.kv("ok", true);
+      w.kv("op", op);
+      w.kv("queue_depth",
+           static_cast<unsigned long long>(queue_.depth()));
+      w.kv("jobs_submitted", service_metrics().submitted.value());
+      w.kv("jobs_completed", service_metrics().completed.value());
+      w.kv("jobs_failed", service_metrics().failed.value());
+      w.kv("jobs_cancelled", service_metrics().cancelled.value());
+      w.kv("cache_hits", static_cast<long long>(cache_.hits()));
+      w.kv("cache_misses", static_cast<long long>(cache_.misses()));
+      w.kv("cache_entries", static_cast<unsigned long long>(cache_.size()));
+      w.end_object();
+      return os.str();
+    }
+
+    if (op == "shutdown") {
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        shutdown_requested_.store(true, std::memory_order_relaxed);
+      }
+      shutdown_cv_.notify_all();
+      w.begin_object();
+      w.kv("ok", true);
+      w.kv("op", op);
+      w.end_object();
+      return os.str();
+    }
+
+    return error_frame(op, "unknown op '" + op + "'");
+  } catch (const std::exception& e) {
+    service_metrics().bad_frames.inc();
+    return error_frame(op, e.what());
+  }
+}
+
+std::shared_ptr<Job> Server::submit(const std::string& tenant, int priority,
+                                    JobSpec spec) {
+  auto job = std::make_shared<Job>();
+  job->tenant = tenant;
+  job->priority = priority;
+  job->spec = std::move(spec);
+  job->queue_seconds = now_seconds();  // holds submit time until popped
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job->id = next_job_id_++;
+    job->seq = next_seq_++;
+    jobs_.emplace(job->id, job);
+  }
+  service_metrics().submitted.inc();
+  if (!queue_.push(job)) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = JobState::kFailed;
+    job->error = "server shutting down";
+  }
+  return job;
+}
+
+void Server::executor_loop() {
+  for (;;) {
+    const std::shared_ptr<Job> job = queue_.pop();
+    if (job == nullptr) return;  // queue shut down
+    execute(job);
+  }
+}
+
+void Server::execute(const std::shared_ptr<Job>& job) {
+  const double start = now_seconds();
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    job->state = JobState::kRunning;
+    job->queue_seconds = start - job->queue_seconds;
+    job->cv.notify_all();
+  }
+  service_metrics().queue_seconds.observe(job->queue_seconds);
+
+  // Apply the server-wide per-job thread ceiling on top of the job's own.
+  JobSpec spec = job->spec;
+  if (options_.max_job_threads > 0) {
+    spec.thread_budget = spec.thread_budget > 0
+                             ? std::min(spec.thread_budget,
+                                        options_.max_job_threads)
+                             : options_.max_job_threads;
+  }
+
+  McResult result;
+  std::string error;
+  try {
+    const std::shared_ptr<Job> token = job;
+    result = run_job(spec, &cache_, [token] {
+      return token->cancel_requested.load(std::memory_order_relaxed);
+    });
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown non-standard exception";
+  }
+
+  const double elapsed = now_seconds() - start;
+  service_metrics().job_seconds.observe(elapsed);
+  std::lock_guard<std::mutex> lock(job->mu);
+  job->run_seconds = elapsed;
+  if (!error.empty()) {
+    job->state = JobState::kFailed;
+    job->error = error;
+    service_metrics().failed.inc();
+  } else if (result.run.stop_reason == McStopReason::kCancelled) {
+    job->state = JobState::kCancelled;
+    job->result = std::move(result);
+    service_metrics().cancelled.inc();
+  } else {
+    job->state = JobState::kDone;
+    job->result = std::move(result);
+    service_metrics().completed.inc();
+  }
+  job->cv.notify_all();
+}
+
+}  // namespace relsim::service

@@ -1,0 +1,118 @@
+// The relsim yield-analysis daemon core.
+//
+// Thread model:
+//   * one accept thread (poll over the Unix + optional TCP listeners and a
+//     self-pipe used to interrupt it);
+//   * one connection thread per client, reading newline-framed JSON
+//     requests and writing one reply frame per request ("wait" blocks the
+//     connection thread on the job's condition variable — other clients
+//     are unaffected);
+//   * `executors` executor threads popping the fair-share queue and
+//     running jobs through service::run_job (McSession underneath).
+//
+// Jobs outlive their submitting connection: a client may disconnect
+// mid-run and any client may fetch the result later by job id. The job
+// table is kept until the server stops.
+//
+// Shutdown discipline: the "shutdown" op only LATCHES a flag (and wakes
+// wait_shutdown_requested()); the owning thread — relsimd's main, or the
+// test body — then calls stop(). stop() never runs on a connection
+// thread, so joining the connection pool cannot deadlock on self-join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/compiled_cache.h"
+#include "service/fair_queue.h"
+#include "service/job.h"
+
+namespace relsim::service {
+
+struct ServerOptions {
+  std::string socket_path;  ///< required: Unix-domain listen path
+  int tcp_port = -1;        ///< -1 = no TCP; 0 = ephemeral loopback port
+  unsigned executors = 2;   ///< concurrent jobs
+  std::size_t cache_capacity = 16;  ///< distinct compiled netlists kept
+  /// Hard per-job worker cap applied on top of each job's own
+  /// thread_budget (0 = none): multi-tenant deployments set this so no
+  /// request can monopolize the host.
+  unsigned max_job_threads = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds listeners and launches the accept + executor threads.
+  void start();
+
+  /// Stops accepting, fails queued jobs, cancels running jobs, joins all
+  /// threads, removes the socket file. Idempotent. Must not be called
+  /// from a connection thread (the "shutdown" op latches a flag instead).
+  void stop();
+
+  const ServerOptions& options() const { return options_; }
+  int tcp_port() const { return tcp_port_; }  ///< resolved ephemeral port
+
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+  /// Blocks until a client sends the "shutdown" op (or stop() is called).
+  void wait_shutdown_requested();
+
+  CompiledCircuitCache& cache() { return cache_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  std::shared_ptr<Job> find_job(std::uint64_t id);
+
+  /// Handles one request frame and returns the reply frame (no trailing
+  /// newline). Public so protocol tests can drive the dispatcher without
+  /// sockets; never throws — protocol errors become {"ok":false,...}.
+  std::string handle_frame(const std::string& line);
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  void executor_loop();
+  void execute(const std::shared_ptr<Job>& job);
+  std::shared_ptr<Job> submit(const std::string& tenant, int priority,
+                              JobSpec spec);
+
+  ServerOptions options_;
+  CompiledCircuitCache cache_;
+  FairShareQueue queue_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::vector<std::thread> executors_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+
+  std::mutex jobs_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace relsim::service

@@ -1,0 +1,44 @@
+// POSIX socket plumbing for the service: listeners, connectors, and
+// newline-framed I/O. Kept deliberately thin — everything protocol-shaped
+// lives in protocol.h, everything policy-shaped in server.h.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace relsim::service {
+
+/// Binds + listens on a Unix-domain stream socket, replacing any stale
+/// socket file. Throws Error on failure (path too long for sockaddr_un,
+/// bind/listen errno). Returns the listening fd.
+int listen_unix(const std::string& path);
+
+/// Binds + listens on 127.0.0.1:`port` (port 0 = ephemeral). Returns the
+/// listening fd; `*bound_port` receives the actual port.
+int listen_tcp(int port, int* bound_port);
+
+int connect_unix(const std::string& path);
+int connect_tcp(const std::string& host, int port);
+
+/// Writes the whole buffer (retrying partial writes / EINTR). False on a
+/// closed or failed peer. SIGPIPE is avoided via MSG_NOSIGNAL.
+bool write_all(int fd, std::string_view data);
+
+/// Buffered newline framing over a blocking fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads one '\n'-terminated frame into `out` (terminator stripped).
+  /// Returns false on EOF or error. A final unterminated fragment at EOF
+  /// is returned as a frame — the protocol layer decides if a truncated
+  /// frame is an error (it is).
+  bool read_line(std::string& out);
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace relsim::service

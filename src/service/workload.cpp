@@ -1,0 +1,208 @@
+#include "service/workload.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "spice/analysis.h"
+#include "spice/netlist_parser.h"
+#include "util/error.h"
+#include "variability/pelgrom.h"
+#include "variability/sampler.h"
+
+namespace relsim::service {
+
+namespace {
+
+/// Per-sample Pelgrom application in circuit.mosfets() order — the same
+/// draw discipline as ReliabilitySimulator::apply_process_variation, and
+/// the same order the batched lanes below consume, so the two paths see
+/// identical mismatch for sample i.
+void apply_variation(spice::Circuit& circuit, const PelgromModel& pelgrom,
+                     Xoshiro256& rng) {
+  for (spice::Mosfet* m : circuit.mosfets()) {
+    const MismatchSampler sampler(pelgrom, m->params().w_um,
+                                  m->params().l_um);
+    const MismatchSample sample = sampler.sample_single(rng);
+    m->set_variation({sample.dvt, sample.dbeta_rel});
+  }
+}
+
+struct ParsedJob {
+  std::unique_ptr<spice::Circuit> circuit;
+  const TechNode* tech = nullptr;
+};
+
+ParsedJob parse_job_netlist(const JobSpec& spec) {
+  spice::ParsedNetlist parsed = spice::parse_netlist(spec.netlist);
+  ParsedJob out;
+  out.circuit = std::move(parsed.circuit);
+  out.tech = parsed.tech != nullptr ? parsed.tech : &tech_65nm();
+  return out;
+}
+
+McResult run_synthetic(const JobSpec& spec, McRequest req) {
+  const double p = spec.pass_prob;
+  const McSession session(std::move(req));
+  return session.run_yield(
+      [p](Xoshiro256& rng, std::size_t) { return rng.uniform01() < p; });
+}
+
+McResult run_dc_yield(const JobSpec& spec, CompiledCircuitCache* cache,
+                      McRequest req) {
+  RELSIM_REQUIRE(!spec.netlist.empty(), "dc_yield job needs a netlist");
+  RELSIM_REQUIRE(!spec.constraints.empty(),
+                 "dc_yield job needs at least one node constraint");
+
+  const bool batched = req.eval_mode != McEvalMode::kPerSample;
+
+  if (!batched) {
+    // Classic build-vary-solve per sample: parse cost every sample, kept
+    // for eval-mode parity checks and netlists the compiler rejects.
+    const ParsedJob probe = parse_job_netlist(spec);
+    const PelgromModel pelgrom(PelgromParams::from_tech(*probe.tech));
+    const std::vector<NodeConstraint>& constraints = spec.constraints;
+    const McSession session(std::move(req));
+    return session.run_yield([&](Xoshiro256& rng, std::size_t) {
+      ParsedJob sample = parse_job_netlist(spec);
+      apply_variation(*sample.circuit, pelgrom, rng);
+      const spice::DcResult r = spice::dc_operating_point(*sample.circuit);
+      return constraints_pass(*sample.circuit, r.x(), constraints);
+    });
+  }
+
+  // Batched path: compiled structure from the cache (daemon) or compiled
+  // privately (direct run) — identical numerics either way.
+  CompiledCircuitCache::Entry entry;
+  if (cache != nullptr) {
+    entry = cache->get(spec.netlist);
+  } else {
+    ParsedJob parsed = parse_job_netlist(spec);
+    entry.tech = parsed.tech;
+    entry.key = CompiledCircuitCache::key_of(spec.netlist);
+    entry.compiled = std::make_shared<const spice::CompiledCircuit>(
+        std::move(parsed.circuit));
+  }
+  const spice::CompiledCircuit& compiled = *entry.compiled;
+  const PelgromModel pelgrom(PelgromParams::from_tech(*entry.tech));
+
+  // Per-MOSFET samplers hoisted once, in mosfets() order (see
+  // apply_variation). Enumerated from a fresh parse: mosfets() is a
+  // non-const accessor and the compiled template circuit is shared.
+  std::vector<MismatchSampler> samplers;
+  {
+    const ParsedJob probe = parse_job_netlist(spec);
+    for (spice::Mosfet* m : probe.circuit->mosfets()) {
+      samplers.emplace_back(pelgrom, m->params().w_um, m->params().l_um);
+    }
+  }
+
+  const std::size_t worker_count = std::min<std::size_t>(
+      resolve_threads(req.threads, req.thread_budget),
+      std::max<std::size_t>(req.n, 1));
+  std::vector<std::unique_ptr<spice::CompiledCircuit::Workspace>> workspaces;
+  workspaces.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    workspaces.push_back(
+        compiled.make_workspace(parse_job_netlist(spec).circuit));
+  }
+
+  const std::uint64_t seed = req.seed;
+  const std::vector<NodeConstraint>& constraints = spec.constraints;
+  const McBatchEval batch = [&](const McBatchSpan& span) {
+    auto& ws = *workspaces[span.worker];
+    for (std::size_t lo = span.lo; lo < span.hi;) {
+      const std::size_t lanes = std::min(ws.max_lanes(), span.hi - lo);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        Xoshiro256 rng(derive_seed(seed, {lo + lane}));
+        for (std::size_t m = 0; m < samplers.size(); ++m) {
+          const MismatchSample s = samplers[m].sample_single(rng);
+          ws.set_lane_variation(lane, m, {s.dvt, s.dbeta_rel});
+        }
+      }
+      ws.solve_dc(lanes);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        span.values[lo - span.lo + lane] =
+            constraints_pass(ws.circuit(), ws.lane_solution(lane),
+                             constraints)
+                ? 1.0
+                : 0.0;
+      }
+      lo += lanes;
+    }
+  };
+  const McPredicate scalar = [&](Xoshiro256& rng, std::size_t) {
+    ParsedJob sample = parse_job_netlist(spec);
+    apply_variation(*sample.circuit, pelgrom, rng);
+    const spice::DcResult r = spice::dc_operating_point(*sample.circuit);
+    return constraints_pass(*sample.circuit, r.x(), constraints);
+  };
+
+  const McSession session(std::move(req));
+  return session.run_yield_batch(batch, scalar);
+}
+
+}  // namespace
+
+McRequest request_for(const JobSpec& spec) {
+  McRequest req;
+  req.seed = spec.seed;
+  req.n = spec.n;
+  req.threads = spec.threads;
+  req.thread_budget = spec.thread_budget;
+  req.chunk = spec.chunk;
+  req.eval_mode = spec.eval_mode;
+  req.keep_values = spec.keep_values;
+  req.checkpoint_path = spec.checkpoint_path;
+  req.checkpoint_every = spec.checkpoint_every;
+  req.manifest_path = spec.manifest_path;
+  req.run_label = !spec.label.empty()
+                      ? spec.label
+                      : std::string("service.") + to_string(spec.kind);
+  return req;
+}
+
+McResult run_job(const JobSpec& spec, CompiledCircuitCache* cache,
+                 std::function<bool()> cancel) {
+  RELSIM_REQUIRE(spec.n > 0, "job needs a sample count (n > 0)");
+  McRequest req = request_for(spec);
+  req.cancel = std::move(cancel);
+  switch (spec.kind) {
+    case JobKind::kSynthetic: return run_synthetic(spec, std::move(req));
+    case JobKind::kDcYield: return run_dc_yield(spec, cache, std::move(req));
+  }
+  throw Error("unknown job kind");
+}
+
+bool constraints_pass(const spice::Circuit& circuit, const Vector& x,
+                      const std::vector<NodeConstraint>& constraints) {
+  for (const NodeConstraint& c : constraints) {
+    const spice::NodeId node = circuit.find_node(c.node);
+    const double v = node == spice::kGround
+                         ? 0.0
+                         : x[static_cast<std::size_t>(node) - 1];
+    if (v < c.lo || v > c.hi) return false;
+  }
+  return true;
+}
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kDcYield: return "dc_yield";
+    case JobKind::kSynthetic: return "synthetic";
+  }
+  return "?";
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace relsim::service

@@ -1,0 +1,37 @@
+// JobSpec -> Monte-Carlo run. The ONE translation used by the daemon's
+// executors AND by callers running a spec directly through McSession —
+// sharing it is what makes the round-trip bit-identity guarantee (daemon
+// result == direct result for the same spec) a property of the code
+// rather than of two implementations agreeing by luck.
+#pragma once
+
+#include <functional>
+
+#include "service/compiled_cache.h"
+#include "service/job.h"
+
+namespace relsim::service {
+
+/// Builds the McRequest a JobSpec describes (seed, n, threads, budget,
+/// chunk, eval mode, checkpoint, manifest, label). The cancel token is NOT
+/// installed here — the daemon wires the job's flag, direct runs usually
+/// leave it empty.
+McRequest request_for(const JobSpec& spec);
+
+/// Runs the job to completion on the calling thread and returns its
+/// McResult (throws what the evaluation throws, e.g. NetlistError on a
+/// bad netlist or ConvergenceError under kAbort).
+///
+/// `cache` may be null: the topology is then compiled privately, which
+/// changes compile-time cost only — results are identical because the
+/// compiled structure is a pure function of the netlist text.
+/// `cancel` (optional) is installed as McRequest::cancel.
+McResult run_job(const JobSpec& spec, CompiledCircuitCache* cache,
+                 std::function<bool()> cancel = {});
+
+/// Evaluates a dc_yield pass/fail decision on a solved DC solution:
+/// every constraint's node voltage within [lo, hi]. Exposed for tests.
+bool constraints_pass(const spice::Circuit& circuit, const Vector& x,
+                      const std::vector<NodeConstraint>& constraints);
+
+}  // namespace relsim::service

@@ -1,0 +1,35 @@
+// FNV-1a 64-bit content hashing.
+//
+// The service layer keys its compiled-circuit cache by netlist CONTENT,
+// not by client-supplied names: two tenants submitting the same topology
+// must share one compile, and a one-character edit must miss. FNV-1a is
+// dependency-free, stable across platforms/runs (unlike std::hash), and
+// good enough for a cache keyed by kilobyte-sized text — collisions are
+// astronomically unlikely at daemon scale and at worst cost a wrong cache
+// hit on adversarial input, which the cache guards by storing the full
+// key text alongside the hash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace relsim {
+
+inline constexpr std::uint64_t kFnv1a64Init = 0xCBF29CE484222325ull;
+
+constexpr std::uint64_t fnv1a64_update(std::uint64_t state,
+                                       std::string_view bytes) {
+  for (const char c : bytes) {
+    state ^= static_cast<std::uint8_t>(c);
+    state *= 0x00000100000001B3ull;
+  }
+  return state;
+}
+
+/// One-shot FNV-1a 64 of a byte string.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) {
+  return fnv1a64_update(kFnv1a64Init, bytes);
+}
+
+}  // namespace relsim

@@ -35,6 +35,20 @@ const char* to_string(McStopReason reason) {
       return "threshold-failed";
     case McStopReason::kAborted:
       return "aborted";
+    case McStopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+const char* to_string(McEvalMode mode) {
+  switch (mode) {
+    case McEvalMode::kAuto:
+      return "auto";
+    case McEvalMode::kPerSample:
+      return "per-sample";
+    case McEvalMode::kBatched:
+      return "batched";
   }
   return "unknown";
 }
@@ -67,13 +81,18 @@ const char* to_string(McFailureKind kind) {
   return "unknown";
 }
 
-unsigned resolve_threads(unsigned requested) {
-  if (requested > 0) return requested;
+unsigned resolve_threads(unsigned requested, unsigned budget_cap) {
+  const auto capped = [budget_cap](unsigned resolved) {
+    return budget_cap > 0 ? std::min(resolved, budget_cap) : resolved;
+  };
+  if (requested > 0) return capped(requested);
+  // Deliberately re-read on every call (not cached once per process): a
+  // daemon resolves per job, so env/budget changes apply without restart.
   if (const char* env = std::getenv("RELSIM_THREADS"); env != nullptr) {
     char* end = nullptr;
     const unsigned long parsed = std::strtoul(env, &end, 10);
     if (end != env && *end == '\0' && parsed > 0 && parsed <= 4096) {
-      return static_cast<unsigned>(parsed);
+      return capped(static_cast<unsigned>(parsed));
     }
     static std::once_flag warned_env;
     std::call_once(warned_env, [env] {
@@ -88,9 +107,9 @@ unsigned resolve_threads(unsigned requested) {
       log_warn("hardware_concurrency() reported 0; falling back to 4 worker "
                "threads (set RELSIM_THREADS to override)");
     });
-    return 4;
+    return capped(4);
   }
-  return hw;
+  return capped(hw);
 }
 
 namespace {
@@ -373,7 +392,7 @@ McResult run_session(const McRequest& req, RunKind kind,
   const bool stratified = driver.stratified();
 
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-      resolve_threads(req.threads), n));
+      resolve_threads(req.threads, req.thread_budget), n));
   result.run.threads = workers;
   obs::TraceSpan run_span("mc.run", "n", static_cast<double>(n), "workers",
                           static_cast<double>(workers));
@@ -422,6 +441,23 @@ McResult run_session(const McRequest& req, RunKind kind,
   std::vector<std::atomic<std::uint8_t>> range_done(range_count);
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> stop{false};
+  // Cooperative cancellation: any worker observing the token latches the
+  // flag and raises `stop`, so in-flight ranges are abandoned mid-chunk
+  // (unretired — the committed prefix stays exact) and the run winds down
+  // through the normal early-stop machinery.
+  std::atomic<bool> cancelled{false};
+  static obs::Counter& c_cancelled = obs::metrics().counter("mc.cancelled");
+  auto poll_cancel = [&req, &cancelled, &stop]() {
+    if (!req.cancel) return false;
+    if (cancelled.load(std::memory_order_relaxed)) return true;
+    if (!req.cancel()) return false;
+    if (!cancelled.exchange(true, std::memory_order_relaxed)) {
+      c_cancelled.inc();
+      obs::trace_instant("mc.cancelled");
+    }
+    stop.store(true, std::memory_order_relaxed);
+    return true;
+  };
 
   // Commit state, guarded by `mu`: a contiguous prefix of retired ranges is
   // folded into the accumulators in sample-index order, which makes every
@@ -739,7 +775,7 @@ McResult run_session(const McRequest& req, RunKind kind,
           r = cursor.fetch_add(1, std::memory_order_relaxed);
           if (r >= range_count) break;
         }
-        if (stop.load(std::memory_order_relaxed)) break;
+        if (poll_cancel() || stop.load(std::memory_order_relaxed)) break;
         const Range g = ranges[r];
         const obs::TraceSpan chunk_span("mc.chunk", "lo",
                                         static_cast<double>(g.lo), "n",
@@ -752,7 +788,7 @@ McResult run_session(const McRequest& req, RunKind kind,
         // throw on a hard sample without losing the range. Note the
         // per-sample fault-injection sites are NOT visited on this path.
         bool range_batched = false;
-        if (batch != nullptr) {
+        if (batch != nullptr && !poll_cancel()) {
           bool all_fresh = true;
           for (std::size_t i = g.lo; i < g.hi; ++i) {
             if (done[i]) {
@@ -786,7 +822,7 @@ McResult run_session(const McRequest& req, RunKind kind,
         }
         if (!range_batched) {
           for (std::size_t i = g.lo; i < g.hi; ++i) {
-            if (stop.load(std::memory_order_relaxed)) {
+            if (poll_cancel() || stop.load(std::memory_order_relaxed)) {
               interrupted = true;  // range unfinished: do NOT retire it
               break;
             }
@@ -851,9 +887,16 @@ McResult run_session(const McRequest& req, RunKind kind,
 
   const bool early = decided && !first_error;
   result.completed = early ? decided_completed : committed;
-  result.run.stop_reason = first_error
-                               ? McStopReason::kAborted
-                               : (early ? reason : McStopReason::kCompleted);
+  // Priority: a worker error trumps everything; an early-stop rule that
+  // fired before the cancel trumps the token; kCancelled only when the
+  // token actually truncated the run (a cancel that lands after the last
+  // sample committed is indistinguishable from completion, and reports so).
+  result.run.stop_reason = first_error ? McStopReason::kAborted
+                          : early      ? reason
+                          : (cancelled.load(std::memory_order_relaxed) &&
+                             result.completed < n)
+                              ? McStopReason::kCancelled
+                              : McStopReason::kCompleted;
   result.run.failing_samples = early ? std::move(decided_failing)
                                      : std::move(failing);
   result.run.failed_samples = early ? std::move(decided_failed_records)

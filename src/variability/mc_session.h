@@ -59,7 +59,11 @@ struct YieldEstimate {
 /// Resolves a requested worker count: `requested` when > 0, otherwise the
 /// RELSIM_THREADS environment override, otherwise hardware_concurrency()
 /// (warning once and falling back to 4 when the hardware reports 0).
-unsigned resolve_threads(unsigned requested);
+/// The environment is consulted on EVERY call — a long-running daemon
+/// re-resolves per job, never once per process. `budget_cap` > 0 clamps
+/// the result (including an explicit `requested`): that is how a service
+/// enforces a per-request thread budget without restarting.
+unsigned resolve_threads(unsigned requested, unsigned budget_cap = 0);
 
 /// How sample indices are handed to workers.
 enum class McPartition {
@@ -91,9 +95,26 @@ enum class McStopReason {
   kThresholdPassed,  ///< yield decided above the spec threshold
   kThresholdFailed,  ///< yield decided below the spec threshold
   kAborted,          ///< a worker exception ended the run (kAbort policy)
+  kCancelled,        ///< the McRequest::cancel token fired mid-run
 };
 
 const char* to_string(McStopReason reason);
+
+/// How ReliabilitySimulator::run_yield evaluates samples (carried on the
+/// request so a service can select the path per job).
+enum class McEvalMode : std::uint8_t {
+  /// Batched (compiled-circuit lockstep) when the spec provides a
+  /// DC-solution predicate AND the strategy is plain pseudo-random;
+  /// classic per-sample otherwise.
+  kAuto = 0,
+  /// Always the classic build-vary-solve-per-sample path.
+  kPerSample = 1,
+  /// Require the batched path; throws when the spec or strategy is not
+  /// batch-eligible instead of silently degrading.
+  kBatched = 2,
+};
+
+const char* to_string(McEvalMode mode);
 
 /// What to do when evaluating ONE sample throws (or, for metric runs,
 /// returns a non-finite value).
@@ -147,8 +168,15 @@ struct McRequest {
   std::uint64_t seed = 0;  ///< base seed; sample i uses derive_seed(seed,{i})
   std::size_t n = 0;       ///< requested sample count
   unsigned threads = 0;    ///< worker count; 0 = resolve_threads() auto
+  /// Per-request thread budget: > 0 caps the resolved worker count even
+  /// when `threads` asks for more. A multi-tenant daemon sets this per job
+  /// so one request cannot grab the whole machine.
+  unsigned thread_budget = 0;
   std::size_t chunk = 32;  ///< samples per work-stealing chunk
   McPartition partition = McPartition::kWorkStealing;
+  /// Evaluation-path selection for ReliabilitySimulator::run_yield (the
+  /// session itself is told the path by which entry point is called).
+  McEvalMode eval_mode = McEvalMode::kAuto;
   McStoppingRule stopping;
   /// Variance-reduction sampling strategy (default: plain pseudo-random,
   /// the exact PR-2 draw stream). Strategies only change how per-sample
@@ -191,6 +219,13 @@ struct McRequest {
   /// Progress callback cadence in committed samples (0 = auto: ~1% of n).
   std::size_t progress_every = 0;
   std::function<void(const McProgress&)> progress;
+  /// Cooperative cancellation token, polled by every worker between
+  /// samples and before each range claim. Must be safe to call from any
+  /// worker thread (an atomic-flag read is the intended shape). Once it
+  /// returns true the run stops exactly like an early stop: the committed
+  /// prefix is the result, the checkpoint (when configured) is written, and
+  /// stop_reason() reports kCancelled — so a cancelled job is resumable.
+  std::function<bool()> cancel;
   /// Label used in the run manifest and trace (default: "mc.yield" /
   /// "mc.metric"; ReliabilitySimulator sets its facade names).
   std::string run_label;

@@ -67,9 +67,16 @@ class MonteCarloEngine {
   /// the fn must only be safe to call concurrently on distinct samples.
   /// New code should build an McRequest and use McSession directly — it
   /// adds early stopping, checkpoint/resume and telemetry on top.
+  ///
+  /// Removal schedule (see README migration notes): deprecated since the
+  /// McSession PR, in-repo callers fully migrated as of the service PR
+  /// (one pinned compat test remains); the shims are DELETED in the next
+  /// API-cleanup PR. Out-of-tree callers must migrate now.
   template <typename Fn>
   [[deprecated(
-      "use McSession::run_metric (variability/mc_session.h)")]]
+      "use McSession::run_metric (variability/mc_session.h); this shim is "
+      "scheduled for deletion in the next API-cleanup PR — see README "
+      "migration notes")]]
   std::vector<double> run_metric_parallel(std::size_t n, Fn&& fn,
                                           unsigned threads = 0) const {
     McSession session(parallel_request(n, threads));
@@ -78,7 +85,9 @@ class MonteCarloEngine {
 
   template <typename Fn>
   [[deprecated(
-      "use McSession::run_yield (variability/mc_session.h)")]]
+      "use McSession::run_yield (variability/mc_session.h); this shim is "
+      "scheduled for deletion in the next API-cleanup PR — see README "
+      "migration notes")]]
   YieldEstimate estimate_yield_parallel(std::size_t n, Fn&& pass,
                                         unsigned threads = 0) const {
     McSession session(parallel_request(n, threads));

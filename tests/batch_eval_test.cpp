@@ -1,12 +1,13 @@
 // Batched cross-sample evaluation tests.
 //
-// The contract under test: run_yield_batched draws the SAME per-sample
-// mismatch stream as run_yield and solves the same circuits, so the
-// pass/fail outcome per sample is identical (operating points agree to
-// Newton tolerance, which a sane spec margin dwarfs); results are
-// independent of thread count and batch grouping; and the whole run does
-// exactly one pattern capture and one symbolic factorization — that IS
-// the speedup.
+// The contract under test: the unified run_yield(YieldSpec) batched path
+// draws the SAME per-sample mismatch stream as the per-sample path and
+// solves the same circuits, so the pass/fail outcome per sample is
+// identical (operating points agree to Newton tolerance, which a sane
+// spec margin dwarfs); results are independent of thread count and batch
+// grouping; the whole run does exactly one pattern capture and one
+// symbolic factorization — that IS the speedup; and eval_mode dispatch
+// (kAuto/kPerSample/kBatched) picks the documented path.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -60,6 +61,13 @@ double mirror_error(const Circuit& c, const Vector& x) {
 
 bool mirror_spec(const Circuit& c, const Vector& x) {
   return mirror_error(c, x) < 0.05;
+}
+
+YieldSpec mirror_yield_spec(const TechNode& tech) {
+  YieldSpec spec;
+  spec.factory = [&tech] { return mirror_factory(tech); };
+  spec.solution_pass = mirror_spec;
+  return spec;
 }
 
 TEST(BatchEval, WorkspaceLanesMatchPerSampleSolves) {
@@ -118,7 +126,9 @@ TEST(BatchEval, BatchedYieldMatchesClassicRun) {
         return mirror_spec(c, r.x());
       },
       req);
-  const McResult batched = sim.run_yield_batched(factory, mirror_spec, req);
+  McRequest batched_req = req;
+  batched_req.eval_mode = McEvalMode::kBatched;
+  const McResult batched = sim.run_yield(mirror_yield_spec(tech), batched_req);
 
   EXPECT_EQ(classic.estimate.total, batched.estimate.total);
   EXPECT_EQ(classic.estimate.passed, batched.estimate.passed);
@@ -131,19 +141,19 @@ TEST(BatchEval, BatchedYieldMatchesClassicRun) {
 TEST(BatchEval, BatchedResultsIndependentOfThreadsAndChunk) {
   const auto& tech = tech_65nm();
   const ReliabilitySimulator sim(config_for(tech));
-  const auto factory = [&] { return mirror_factory(tech); };
 
   McRequest base;
   base.n = 300;
 
   McRequest a = base;
+  a.eval_mode = McEvalMode::kBatched;
   a.threads = 1;
   a.chunk = 32;
-  McRequest b = base;
+  McRequest b = a;
   b.threads = 4;
   b.chunk = 7;  // ragged batches: lanes must not see their neighbours
-  const McResult ra = sim.run_yield_batched(factory, mirror_spec, a);
-  const McResult rb = sim.run_yield_batched(factory, mirror_spec, b);
+  const McResult ra = sim.run_yield(mirror_yield_spec(tech), a);
+  const McResult rb = sim.run_yield(mirror_yield_spec(tech), b);
   EXPECT_EQ(ra.estimate.total, rb.estimate.total);
   EXPECT_EQ(ra.estimate.passed, rb.estimate.passed);
 }
@@ -151,15 +161,16 @@ TEST(BatchEval, BatchedResultsIndependentOfThreadsAndChunk) {
 TEST(BatchEval, SharesOneSymbolicFactorizationAcrossAllSamples) {
   const auto& tech = tech_65nm();
   const ReliabilitySimulator sim(config_for(tech));
-  const auto factory = [&] { return mirror_factory(tech); };
 
   McRequest req;
   req.n = 1000;
   req.threads = 2;
+  req.eval_mode = McEvalMode::kBatched;
 
   spice::SolverStats stats;
-  const McResult result =
-      sim.run_yield_batched(factory, mirror_spec, req, {}, &stats);
+  YieldSpec spec = mirror_yield_spec(tech);
+  spec.stats_out = &stats;
+  const McResult result = sim.run_yield(spec, req);
   EXPECT_EQ(result.completed, 1000u);
 
   // The whole point of compiling: topology work happens once, every sample
@@ -169,6 +180,104 @@ TEST(BatchEval, SharesOneSymbolicFactorizationAcrossAllSamples) {
   EXPECT_GE(stats.sparse_numeric_refactorizations, 1000);
   EXPECT_EQ(stats.dense_fallbacks, 0);
 }
+
+TEST(BatchEval, AutoModePicksBatchedWhenEligible) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+
+  McRequest req;
+  req.n = 200;
+  req.threads = 1;
+  ASSERT_EQ(req.eval_mode, McEvalMode::kAuto);
+
+  // A solution predicate + plain pseudo-random strategy: kAuto must take
+  // the compiled path, visible as exactly one pattern capture.
+  spice::SolverStats stats;
+  YieldSpec spec = mirror_yield_spec(tech);
+  spec.stats_out = &stats;
+  const McResult auto_run = sim.run_yield(spec, req);
+  EXPECT_EQ(stats.pattern_builds, 1);
+
+  // And it must agree sample-for-sample with the forced batched path.
+  McRequest forced = req;
+  forced.eval_mode = McEvalMode::kBatched;
+  const McResult batched = sim.run_yield(mirror_yield_spec(tech), forced);
+  EXPECT_EQ(auto_run.estimate.passed, batched.estimate.passed);
+  EXPECT_EQ(auto_run.estimate.total, batched.estimate.total);
+}
+
+TEST(BatchEval, AutoModeFallsBackPerSampleForVarianceReduction) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+
+  // LHS is not batch-eligible; kAuto must run the spec per-sample (the
+  // forced batched mode throws on the same request).
+  McRequest req;
+  req.n = 64;
+  req.threads = 1;
+  req.strategy.kind = McSampleStrategy::kLatinHypercube;
+  req.strategy.dimensions = 2;
+  const McResult r = sim.run_yield(mirror_yield_spec(tech), req);
+  EXPECT_EQ(r.completed, 64u);
+  EXPECT_EQ(r.estimate.total, 64u);
+
+  McRequest forced = req;
+  forced.eval_mode = McEvalMode::kBatched;
+  EXPECT_THROW(sim.run_yield(mirror_yield_spec(tech), forced), Error);
+}
+
+TEST(BatchEval, PerSampleModeMatchesBatchedOutcome) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+
+  McRequest per_sample;
+  per_sample.n = 200;
+  per_sample.threads = 2;
+  per_sample.eval_mode = McEvalMode::kPerSample;
+  const McResult classic = sim.run_yield(mirror_yield_spec(tech), per_sample);
+
+  McRequest batched = per_sample;
+  batched.eval_mode = McEvalMode::kBatched;
+  const McResult compiled = sim.run_yield(mirror_yield_spec(tech), batched);
+
+  EXPECT_EQ(classic.estimate.total, compiled.estimate.total);
+  EXPECT_EQ(classic.estimate.passed, compiled.estimate.passed);
+}
+
+TEST(BatchEval, BatchedModeRequiresSolutionPredicate) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+
+  YieldSpec spec;
+  spec.factory = [&tech] { return mirror_factory(tech); };
+  spec.pass = [](Circuit&) { return true; };  // circuit predicate only
+  McRequest req;
+  req.n = 8;
+  req.eval_mode = McEvalMode::kBatched;
+  EXPECT_THROW(sim.run_yield(spec, req), Error);
+}
+
+// The deprecated forwarder must stay behaviourally identical to the
+// unified entry until its removal PR (see README migration notes).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(BatchEval, DeprecatedForwarderMatchesUnifiedEntry) {
+  const auto& tech = tech_65nm();
+  const ReliabilitySimulator sim(config_for(tech));
+  const auto factory = [&] { return mirror_factory(tech); };
+
+  McRequest req;
+  req.n = 150;
+  req.threads = 1;
+  const McResult legacy = sim.run_yield_batched(factory, mirror_spec, req);
+
+  McRequest unified_req = req;
+  unified_req.eval_mode = McEvalMode::kBatched;
+  const McResult unified = sim.run_yield(mirror_yield_spec(tech), unified_req);
+  EXPECT_EQ(legacy.estimate.passed, unified.estimate.passed);
+  EXPECT_EQ(legacy.estimate.total, unified.estimate.total);
+}
+#pragma GCC diagnostic pop
 
 TEST(BatchEval, BatchRunRejectsVarianceReductionStrategies) {
   McRequest req;

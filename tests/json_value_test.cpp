@@ -1,0 +1,143 @@
+// obs::JsonValue parser tests: the inbound half of the service protocol.
+//
+// The high-stakes property is integer exactness — a seed above 2^53 that
+// round-trips through double breaks the daemon's bit-identity guarantee —
+// plus strict rejection of the malformed frames a flaky client can send.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/json_value.h"
+#include "obs/json_writer.h"
+
+namespace relsim::obs {
+namespace {
+
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_EQ(JsonValue::parse("42").as_u64(), 42u);
+  EXPECT_EQ(JsonValue::parse("-7").as_i64(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\\n\"").as_string(), "hi\n");
+  EXPECT_EQ(JsonValue::parse("  \"pad\"  ").as_string(), "pad");
+}
+
+TEST(JsonValue, Uint64SeedsSurviveExactly) {
+  // 2^53 + 1 is the first integer double cannot hold; a real base seed
+  // (0xC0FFEE-derived or full-range) is far beyond it.
+  const std::uint64_t seeds[] = {9007199254740993ull, 0xDEADBEEFCAFEBABEull,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t seed : seeds) {
+    const JsonValue v = JsonValue::parse(std::to_string(seed));
+    EXPECT_EQ(v.as_u64(), seed) << seed;
+  }
+  EXPECT_EQ(JsonValue::parse("-9223372036854775808").as_i64(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput) {
+  // The daemon replies through JsonWriter; its client parses with
+  // JsonValue. The two halves must agree on every value shape.
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("id", "job-1");
+  w.kv("seed", 18446744073709551615ull);
+  w.kv("yield", 0.875);
+  w.kv("done", true);
+  w.key("values").begin_array();
+  w.value(1.5);
+  w.value(-3);
+  w.end_array();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+  const JsonValue v = JsonValue::parse(os.str());
+  EXPECT_EQ(v.get_string("id", ""), "job-1");
+  EXPECT_EQ(v.get_u64("seed", 0), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(v.get_double("yield", 0.0), 0.875);
+  EXPECT_TRUE(v.get_bool("done", false));
+  const auto& values = v.find("values")->as_array();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0].as_double(), 1.5);
+  EXPECT_EQ(values[1].as_i64(), -3);
+}
+
+TEST(JsonValue, ParsesNestedStructures) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": {"b": [1, 2, {"c": "deep"}]}, "empty_obj": {}, "empty_arr": []})");
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  const auto& b = a->find("b")->as_array();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2].get_string("c", ""), "deep");
+  EXPECT_TRUE(v.find("empty_obj")->as_object().empty());
+  EXPECT_TRUE(v.find("empty_arr")->as_array().empty());
+}
+
+TEST(JsonValue, DecodesEscapesAndUnicode) {
+  EXPECT_EQ(JsonValue::parse(R"("\u0041\u00e9\u20ac")").as_string(),
+            "A\xC3\xA9\xE2\x82\xAC");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_EQ(JsonValue::parse(R"("\"\\\/\b\f\n\r\t")").as_string(),
+            "\"\\/\b\f\n\r\t");
+}
+
+TEST(JsonValue, RejectsMalformedFrames) {
+  const char* bad[] = {
+      "",                        // empty frame
+      "{",                       // truncated object
+      "[1, 2",                   // truncated array
+      "{\"a\": }",               // missing value
+      "{\"a\": 1,}",             // trailing comma
+      "{a: 1}",                  // unquoted key
+      "\"unterminated",          // truncated string
+      "12x",                     // garbage in number
+      "1 2",                     // trailing token
+      "{\"a\": 1} extra",        // trailing garbage
+      "\"bad \\q escape\"",      // invalid escape
+      "\"\\ud800\"",             // unpaired surrogate
+      "nul",                     // truncated literal
+      "--1",                     // invalid number
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(JsonValue::parse(text), JsonParseError) << text;
+  }
+}
+
+TEST(JsonValue, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(JsonValue::parse(deep), JsonParseError);
+}
+
+TEST(JsonValue, TypedAccessorsThrowOnMismatch) {
+  const JsonValue v = JsonValue::parse(R"({"s": "x", "neg": -1, "f": 1.5})");
+  EXPECT_THROW(v.find("s")->as_u64(), JsonParseError);
+  EXPECT_THROW(v.find("neg")->as_u64(), JsonParseError);
+  EXPECT_THROW(v.find("f")->as_u64(), JsonParseError);
+  EXPECT_THROW(v.find("s")->as_double(), JsonParseError);
+  EXPECT_THROW(v.get_bool("s", false), JsonParseError);
+  // Absent keys fall back instead of throwing.
+  EXPECT_EQ(v.get_u64("missing", 7), 7u);
+  EXPECT_EQ(v.get_string("missing", "d"), "d");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, SmallIntegersInterconvert) {
+  // A small count may arrive as uint, int or whole double depending on the
+  // client; all three must satisfy an as_u64 request.
+  EXPECT_EQ(JsonValue::parse("5").as_u64(), 5u);
+  EXPECT_EQ(JsonValue::parse("5").as_i64(), 5);
+  EXPECT_EQ(JsonValue::parse("5.0").as_u64(), 5u);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("5").as_double(), 5.0);
+}
+
+}  // namespace
+}  // namespace relsim::obs

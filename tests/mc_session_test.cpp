@@ -263,6 +263,96 @@ TEST(McSessionTest, ResolveThreadsHonorsEnvOverride) {
   }
 }
 
+TEST(McSessionTest, ResolveThreadsAppliesBudgetCap) {
+  const char* saved = std::getenv("RELSIM_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::setenv("RELSIM_THREADS", "8", 1);
+  EXPECT_EQ(resolve_threads(0, 3), 3u);   // budget caps the env default
+  EXPECT_EQ(resolve_threads(6, 3), 3u);   // budget caps an explicit request
+  EXPECT_EQ(resolve_threads(2, 3), 2u);   // request below budget untouched
+  EXPECT_EQ(resolve_threads(6, 0), 6u);   // zero budget = no cap
+
+  if (saved != nullptr) {
+    ::setenv("RELSIM_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("RELSIM_THREADS");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+
+TEST(McSessionTest, CancelTokenStopsRunAndReportsCancelled) {
+  McRequest req = base_request(77, 200000);
+  req.keep_values = true;
+  std::atomic<std::size_t> evaluated{0};
+  std::atomic<bool> cancel{false};
+  req.cancel = [&cancel] { return cancel.load(); };
+
+  const McResult result = McSession(req).run_yield(
+      [&](Xoshiro256& rng, std::size_t) {
+        if (evaluated.fetch_add(1) == 5000) cancel.store(true);
+        return coin_pass(rng, 0);
+      });
+
+  EXPECT_EQ(result.stop_reason(), McStopReason::kCancelled);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_LT(result.completed, result.requested);
+
+  // The committed prefix is bit-identical to the uninterrupted run: a
+  // cancelled job is a truncation, never a different run.
+  McRequest full = base_request(77, 200000);
+  full.keep_values = true;
+  const McResult reference = McSession(full).run_yield(coin_pass);
+  ASSERT_LE(result.completed, reference.completed);
+  for (std::size_t i = 0; i < result.completed; ++i) {
+    ASSERT_EQ(result.values[i], reference.values[i]) << "sample=" << i;
+  }
+}
+
+TEST(McSessionTest, CancelBeforeStartCompletesNothing) {
+  McRequest req = base_request(5, 5000);
+  req.cancel = [] { return true; };
+  const McResult result = McSession(req).run_yield(coin_pass);
+  EXPECT_EQ(result.stop_reason(), McStopReason::kCancelled);
+  EXPECT_EQ(result.completed, 0u);
+}
+
+TEST(McSessionTest, CancelledRunResumesFromCheckpoint) {
+  const ScratchFile ckpt("cancel_resume.rsmckpt");
+  McRequest interrupted = base_request(31, 4000);
+  interrupted.keep_values = true;
+  interrupted.checkpoint_path = ckpt.path();
+  interrupted.checkpoint_every = 64;
+  std::atomic<std::size_t> evaluated{0};
+  std::atomic<bool> cancel{false};
+  interrupted.cancel = [&cancel] { return cancel.load(); };
+  const McResult first = McSession(interrupted).run_yield(
+      [&](Xoshiro256& rng, std::size_t) {
+        if (evaluated.fetch_add(1) == 1000) cancel.store(true);
+        return coin_pass(rng, 0);
+      });
+  ASSERT_EQ(first.stop_reason(), McStopReason::kCancelled);
+  ASSERT_LT(first.completed, 4000u);
+
+  McRequest resumed_req = base_request(31, 4000);
+  resumed_req.keep_values = true;
+  resumed_req.checkpoint_path = ckpt.path();
+  const McResult resumed = McSession(resumed_req).run_yield(coin_pass);
+  EXPECT_GT(resumed.resumed, 0u);
+  EXPECT_EQ(resumed.completed, 4000u);
+
+  McRequest clean = base_request(31, 4000);
+  clean.keep_values = true;
+  const McResult reference = McSession(clean).run_yield(coin_pass);
+  EXPECT_EQ(resumed.estimate.passed, reference.estimate.passed);
+  ASSERT_EQ(resumed.values.size(), reference.values.size());
+  for (std::size_t i = 0; i < reference.values.size(); ++i) {
+    ASSERT_EQ(resumed.values[i], reference.values[i]) << "sample=" << i;
+  }
+}
+
 TEST(McSessionTest, KeepValuesExposesPassFlags) {
   McRequest req = base_request(12, 100);
   req.keep_values = true;

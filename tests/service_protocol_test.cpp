@@ -1,0 +1,190 @@
+// Protocol-layer tests: JobSpec <-> JSON round-trip and the frame
+// dispatcher's handling of malformed, truncated, and unknown requests.
+// Driven through Server::handle_frame with no sockets — the server is
+// constructed but never start()ed, so no threads or fds are involved.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json_value.h"
+#include "obs/json_writer.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/error.h"
+
+namespace relsim::service {
+namespace {
+
+JobSpec full_spec() {
+  JobSpec spec;
+  spec.kind = JobKind::kDcYield;
+  spec.netlist = "divider\nVDD vdd 0 1.2\nRD vdd d 4k\n";
+  spec.constraints.push_back({"d", 0.4, 0.9});
+  spec.constraints.push_back({"vdd", 1.1, 1.3});
+  spec.seed = 0xDEADBEEFCAFEBABEull;  // > 2^53: must survive exactly
+  spec.n = 4096;
+  spec.threads = 3;
+  spec.thread_budget = 2;
+  spec.chunk = 64;
+  spec.eval_mode = McEvalMode::kBatched;
+  spec.keep_values = true;
+  spec.checkpoint_path = "/tmp/job.rsmckpt";
+  spec.checkpoint_every = 512;
+  spec.manifest_path = "/tmp/job.manifest.json";
+  spec.label = "round-trip";
+  return spec;
+}
+
+std::string to_json(const JobSpec& spec) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  write_job_spec(w, spec);
+  w.complete();
+  return os.str();
+}
+
+TEST(ServiceProtocolTest, JobSpecSurvivesJsonRoundTrip) {
+  const JobSpec spec = full_spec();
+  const JobSpec back = parse_job_spec(obs::JsonValue::parse(to_json(spec)));
+
+  EXPECT_EQ(back.kind, spec.kind);
+  EXPECT_EQ(back.netlist, spec.netlist);
+  ASSERT_EQ(back.constraints.size(), spec.constraints.size());
+  for (std::size_t i = 0; i < spec.constraints.size(); ++i) {
+    EXPECT_EQ(back.constraints[i].node, spec.constraints[i].node);
+    EXPECT_EQ(back.constraints[i].lo, spec.constraints[i].lo);
+    EXPECT_EQ(back.constraints[i].hi, spec.constraints[i].hi);
+  }
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.n, spec.n);
+  EXPECT_EQ(back.threads, spec.threads);
+  EXPECT_EQ(back.thread_budget, spec.thread_budget);
+  EXPECT_EQ(back.chunk, spec.chunk);
+  EXPECT_EQ(back.eval_mode, spec.eval_mode);
+  EXPECT_EQ(back.keep_values, spec.keep_values);
+  EXPECT_EQ(back.checkpoint_path, spec.checkpoint_path);
+  EXPECT_EQ(back.checkpoint_every, spec.checkpoint_every);
+  EXPECT_EQ(back.manifest_path, spec.manifest_path);
+  EXPECT_EQ(back.label, spec.label);
+}
+
+TEST(ServiceProtocolTest, ParseJobSpecValidates) {
+  // n is required and positive.
+  EXPECT_THROW(parse_job_spec(obs::JsonValue::parse(R"({"kind":"synthetic"})")),
+               Error);
+  // dc_yield needs a netlist...
+  EXPECT_THROW(parse_job_spec(obs::JsonValue::parse(
+                   R"({"kind":"dc_yield","n":10})")),
+               Error);
+  // ...and at least one constraint.
+  EXPECT_THROW(parse_job_spec(obs::JsonValue::parse(
+                   R"({"kind":"dc_yield","n":10,"netlist":"x\n"})")),
+               Error);
+  // Unknown enum spellings are rejected, not defaulted.
+  EXPECT_THROW(parse_job_spec(obs::JsonValue::parse(
+                   R"({"kind":"warp_drive","n":10})")),
+               Error);
+  EXPECT_THROW(parse_job_spec(obs::JsonValue::parse(
+                   R"({"kind":"synthetic","n":10,"eval_mode":"quantum"})")),
+               Error);
+  // Constraints must name a node.
+  EXPECT_THROW(
+      parse_job_spec(obs::JsonValue::parse(
+          R"({"kind":"dc_yield","n":10,"netlist":"x\n",)"
+          R"("constraints":[{"lo":0.1}]})")),
+      Error);
+  // Unknown fields are ignored (forward compatibility).
+  const JobSpec ok = parse_job_spec(obs::JsonValue::parse(
+      R"({"kind":"synthetic","n":10,"future_field":42})"));
+  EXPECT_EQ(ok.n, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Frame dispatcher
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  DispatchTest() : server_({/*socket_path=*/::testing::TempDir() +
+                            "relsim_dispatch.sock"}) {}
+  // Never start()ed: handle_frame is exercised directly, jobs stay queued.
+  Server server_;
+
+  obs::JsonValue reply(const std::string& frame) {
+    return obs::JsonValue::parse(server_.handle_frame(frame));
+  }
+};
+
+TEST_F(DispatchTest, PingAndErrorsCarryOkFlag) {
+  EXPECT_TRUE(reply(R"({"op":"ping"})").get_bool("ok", false));
+
+  for (const char* bad : {
+           "",                                  // empty frame
+           "not json at all",                   // garbage
+           R"({"op":"ping")",                   // truncated frame (no brace)
+           R"({"op":"ping"} trailing)",         // trailing garbage
+           R"([1,2,3])",                        // not an object
+           R"({})",                             // missing op
+           R"({"op":"warp"})",                  // unknown op
+           R"({"op":"submit"})",                // submit without job
+           R"({"op":"submit","job":{"kind":"synthetic"}})",  // invalid job
+           R"({"op":"wait"})",                  // missing job_id
+           R"({"op":"wait","job_id":"seven"})",  // wrong-typed job_id
+       }) {
+    const obs::JsonValue r = reply(bad);
+    EXPECT_FALSE(r.get_bool("ok", true)) << "frame: " << bad;
+    EXPECT_FALSE(r.get_string("error", "").empty()) << "frame: " << bad;
+  }
+}
+
+TEST_F(DispatchTest, UnknownJobIdIsAnError) {
+  for (const char* op : {"status", "wait", "result", "cancel"}) {
+    const obs::JsonValue r =
+        reply(std::string(R"({"op":")") + op + R"(","job_id":424242})");
+    EXPECT_FALSE(r.get_bool("ok", true)) << op;
+  }
+}
+
+TEST_F(DispatchTest, SubmitQueuesAndCancelResolvesQueuedJob) {
+  const obs::JsonValue submitted = reply(
+      R"({"op":"submit","tenant":"t0","priority":2,)"
+      R"("job":{"kind":"synthetic","n":64}})");
+  ASSERT_TRUE(submitted.get_bool("ok", false));
+  const std::uint64_t id = submitted.get_u64("job_id", 0);
+  ASSERT_GT(id, 0u);
+  EXPECT_EQ(server_.queue_depth(), 1u);
+
+  const std::string id_str = std::to_string(id);
+  obs::JsonValue status = reply(R"({"op":"status","job_id":)" + id_str + "}");
+  EXPECT_EQ(status.get_string("state", ""), "queued");
+  EXPECT_EQ(status.get_string("tenant", ""), "t0");
+
+  // result refuses while not finished.
+  EXPECT_FALSE(reply(R"({"op":"result","job_id":)" + id_str + "}")
+                   .get_bool("ok", true));
+
+  // Cancel pulls it out of the queue and resolves it immediately (no
+  // executor threads exist in this fixture).
+  EXPECT_TRUE(reply(R"({"op":"cancel","job_id":)" + id_str + "}")
+                  .get_bool("ok", false));
+  EXPECT_EQ(server_.queue_depth(), 0u);
+  status = reply(R"({"op":"status","job_id":)" + id_str + "}");
+  EXPECT_EQ(status.get_string("state", ""), "cancelled");
+}
+
+TEST_F(DispatchTest, ShutdownOpOnlyLatchesTheFlag) {
+  EXPECT_FALSE(server_.shutdown_requested());
+  EXPECT_TRUE(reply(R"({"op":"shutdown"})").get_bool("ok", false));
+  EXPECT_TRUE(server_.shutdown_requested());
+}
+
+TEST_F(DispatchTest, MetricsFrameReportsQueueDepth) {
+  reply(R"({"op":"submit","job":{"kind":"synthetic","n":8}})");
+  const obs::JsonValue m = reply(R"({"op":"metrics"})");
+  ASSERT_TRUE(m.get_bool("ok", false));
+  EXPECT_EQ(m.get_u64("queue_depth", 0), 1u);
+  EXPECT_GE(m.get_u64("jobs_submitted", 0), 1u);
+}
+
+}  // namespace
+}  // namespace relsim::service

@@ -1,0 +1,125 @@
+// FairShareQueue policy tests: least-virtual-work tenant first, priority
+// then FIFO within a tenant, removal, and shutdown draining.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/fair_queue.h"
+
+namespace relsim::service {
+namespace {
+
+std::shared_ptr<Job> make_job(std::uint64_t id, const std::string& tenant,
+                              std::size_t n, int priority = 0) {
+  static std::uint64_t seq = 0;
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->tenant = tenant;
+  job->priority = priority;
+  job->seq = ++seq;
+  job->spec.kind = JobKind::kSynthetic;
+  job->spec.n = n;
+  return job;
+}
+
+TEST(FairShareQueueTest, FifoWithinOneTenant) {
+  FairShareQueue q;
+  q.push(make_job(1, "a", 10));
+  q.push(make_job(2, "a", 10));
+  q.push(make_job(3, "a", 10));
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 3u);
+}
+
+TEST(FairShareQueueTest, HigherPriorityBeatsSubmitOrder) {
+  FairShareQueue q;
+  q.push(make_job(1, "a", 10, 0));
+  q.push(make_job(2, "a", 10, 5));
+  q.push(make_job(3, "a", 10, 5));
+  EXPECT_EQ(q.pop()->id, 2u);  // priority 5 first, FIFO among equals
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_EQ(q.pop()->id, 1u);
+}
+
+TEST(FairShareQueueTest, LightTenantIsNotStarvedByHeavyBacklog) {
+  FairShareQueue q;
+  // Tenant "heavy" floods the queue with big jobs before "light" shows up
+  // with small ones.
+  for (std::uint64_t i = 1; i <= 4; ++i) q.push(make_job(i, "heavy", 10000));
+  q.push(make_job(101, "light", 100));
+  q.push(make_job(102, "light", 100));
+
+  // First pop: both tenants at 0 virtual work, name order breaks the tie
+  // deterministically ("heavy" < "light").
+  EXPECT_EQ(q.pop()->id, 1u);
+  // heavy now carries 10000 of virtual work; light (0) must be served next
+  // even though heavy submitted first.
+  EXPECT_EQ(q.pop()->id, 101u);
+  EXPECT_EQ(q.pop()->id, 102u);
+  // light's backlog is drained (200 total) — heavy resumes.
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.tenant_virtual_work("heavy"), 20000u);
+  EXPECT_EQ(q.tenant_virtual_work("light"), 200u);
+}
+
+TEST(FairShareQueueTest, RemovePullsQueuedJobOnce) {
+  FairShareQueue q;
+  q.push(make_job(1, "a", 10));
+  q.push(make_job(2, "a", 10));
+  const std::shared_ptr<Job> removed = q.remove(2);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->id, 2u);
+  EXPECT_EQ(q.remove(2), nullptr);  // already gone
+  EXPECT_EQ(q.remove(99), nullptr);  // never existed
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(FairShareQueueTest, PopBlocksUntilPush) {
+  FairShareQueue q;
+  std::shared_ptr<Job> got;
+  std::thread consumer([&] { got = q.pop(); });
+  q.push(make_job(7, "a", 1));
+  consumer.join();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id, 7u);
+}
+
+TEST(FairShareQueueTest, ShutdownDrainsBacklogAndWakesWaiters) {
+  FairShareQueue q;
+  q.push(make_job(1, "a", 10));
+  q.push(make_job(2, "b", 10));
+
+  std::shared_ptr<Job> waiter_result = make_job(999, "sentinel", 1);
+  std::thread waiter([&] {
+    // Drain the two queued jobs, then block until shutdown.
+    while (q.pop() != nullptr) {
+    }
+    waiter_result = nullptr;
+  });
+  while (q.depth() > 0) std::this_thread::yield();
+  const std::vector<std::shared_ptr<Job>> orphans = q.shutdown();
+  waiter.join();
+  EXPECT_EQ(waiter_result, nullptr);  // pop() returned nullptr after shutdown
+  EXPECT_TRUE(orphans.empty());       // backlog was drained before shutdown
+
+  // Push after shutdown is refused; pop stays nullptr.
+  EXPECT_FALSE(q.push(make_job(3, "a", 10)));
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(FairShareQueueTest, ShutdownReturnsUndrainedJobs) {
+  FairShareQueue q;
+  q.push(make_job(1, "a", 10));
+  q.push(make_job(2, "b", 10));
+  const std::vector<std::shared_ptr<Job>> orphans = q.shutdown();
+  EXPECT_EQ(orphans.size(), 2u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace relsim::service

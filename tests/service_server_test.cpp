@@ -1,0 +1,242 @@
+// End-to-end daemon tests over a real Unix socket: round-trip
+// bit-identity against direct McSession runs, disconnect/cancel/resume
+// semantics, and compiled-circuit cache reuse across jobs.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/compiled_cache.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/socket_io.h"
+#include "service/workload.h"
+#include "util/error.h"
+
+namespace relsim::service {
+namespace {
+
+constexpr const char* kDivider = R"(mos divider
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+
+JobSpec divider_spec(std::size_t n) {
+  JobSpec spec;
+  spec.kind = JobKind::kDcYield;
+  spec.netlist = kDivider;
+  spec.constraints.push_back({"d", 0.55, 0.75});
+  spec.seed = 99;
+  spec.n = n;
+  spec.keep_values = true;
+  return spec;
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.socket_path = ::testing::TempDir() + "relsim_srv_test.sock";
+    options.executors = 2;
+    server_ = std::make_unique<Server>(std::move(options));
+    server_->start();
+  }
+  void TearDown() override { server_->stop(); }
+
+  Client connect() {
+    return Client::connect_unix(server_->options().socket_path);
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerFixture, DcYieldRoundTripIsBitIdenticalToDirectRun) {
+  const JobSpec spec = divider_spec(1024);
+
+  Client client = connect();
+  const std::uint64_t id = client.submit("tenant-a", 0, spec);
+  const obs::JsonValue reply = client.wait(id);
+  ASSERT_EQ(reply.get_string("state", ""), "done");
+  const obs::JsonValue* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+
+  // The same JobSpec run directly (no daemon, no cache) must agree bit
+  // for bit: identical counts and an identical CRC over the per-sample
+  // value stream.
+  const McResult direct = run_job(spec, nullptr);
+  EXPECT_EQ(result->get_u64("completed", 0), direct.completed);
+  EXPECT_EQ(result->get_u64("passed", 0), direct.estimate.passed);
+  EXPECT_EQ(result->get_u64("total", 0), direct.estimate.total);
+  EXPECT_EQ(result->get_double("yield", -1.0),
+            direct.estimate.interval.estimate);
+  EXPECT_EQ(result->get_u64("values_crc32", 0), values_crc32(direct));
+  EXPECT_GT(result->get_u64("values_crc32", 0), 0u);
+}
+
+TEST_F(ServerFixture, EvalModesAgreeThroughTheDaemon) {
+  JobSpec batched = divider_spec(512);
+  batched.eval_mode = McEvalMode::kBatched;
+  JobSpec per_sample = divider_spec(512);
+  per_sample.eval_mode = McEvalMode::kPerSample;
+
+  Client client = connect();
+  const std::uint64_t id_b = client.submit("tenant-a", 0, batched);
+  const std::uint64_t id_p = client.submit("tenant-a", 0, per_sample);
+  const obs::JsonValue rb = client.wait(id_b);
+  const obs::JsonValue rp = client.wait(id_p);
+  const obs::JsonValue* b = rb.find("result");
+  const obs::JsonValue* p = rp.find("result");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(b->get_u64("values_crc32", 1), p->get_u64("values_crc32", 2));
+}
+
+TEST_F(ServerFixture, JobSurvivesClientDisconnectMidRun) {
+  // Slow enough to still be running when the submitter vanishes:
+  // per-sample mode re-parses the netlist for every sample.
+  JobSpec spec = divider_spec(20000);
+  spec.eval_mode = McEvalMode::kPerSample;
+  spec.threads = 1;
+
+  std::uint64_t id = 0;
+  {
+    Client submitter = connect();
+    id = submitter.submit("tenant-a", 0, spec);
+    ASSERT_GT(id, 0u);
+  }  // submitter's socket closes here, mid-run
+
+  Client other = connect();
+  const obs::JsonValue reply = other.wait(id);
+  EXPECT_EQ(reply.get_string("state", ""), "done");
+  ASSERT_NE(reply.find("result"), nullptr);
+  EXPECT_EQ(reply.find("result")->get_u64("completed", 0), spec.n);
+}
+
+TEST_F(ServerFixture, CancelMidRunTruncatesAndReportsCancelled) {
+  JobSpec spec = divider_spec(100000);  // minutes if left alone
+  spec.eval_mode = McEvalMode::kPerSample;
+  spec.threads = 1;
+
+  Client client = connect();
+  const std::uint64_t id = client.submit("tenant-a", 0, spec);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  client.cancel(id);
+  const obs::JsonValue reply = client.wait(id);
+  EXPECT_EQ(reply.get_string("state", ""), "cancelled");
+  const obs::JsonValue* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->get_string("stop_reason", ""), "cancelled");
+  EXPECT_LT(result->get_u64("completed", spec.n), spec.n);
+}
+
+TEST_F(ServerFixture, CancelledJobResumesFromCheckpointBitExact) {
+  const std::string ckpt = ::testing::TempDir() + "service_resume.rsmckpt";
+  std::remove(ckpt.c_str());
+
+  JobSpec spec = divider_spec(20000);
+  spec.eval_mode = McEvalMode::kPerSample;
+  spec.threads = 1;
+  spec.checkpoint_path = ckpt;
+  spec.checkpoint_every = 64;
+
+  Client client = connect();
+  const std::uint64_t first = client.submit("tenant-a", 0, spec);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.cancel(first);
+  const obs::JsonValue interrupted = client.wait(first);
+  ASSERT_EQ(interrupted.get_string("state", ""), "cancelled");
+  ASSERT_LT(interrupted.find("result")->get_u64("completed", spec.n),
+            spec.n);
+
+  // Resubmit the same spec: the job resumes from the checkpoint and the
+  // final value stream matches an uninterrupted run bit for bit.
+  const std::uint64_t second = client.submit("tenant-a", 0, spec);
+  const obs::JsonValue resumed = client.wait(second);
+  ASSERT_EQ(resumed.get_string("state", ""), "done");
+  const obs::JsonValue* result = resumed.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->get_u64("resumed", 0), 0u);
+  EXPECT_EQ(result->get_u64("completed", 0), spec.n);
+
+  JobSpec uninterrupted = divider_spec(20000);
+  uninterrupted.eval_mode = McEvalMode::kPerSample;
+  uninterrupted.threads = 1;
+  const McResult reference = run_job(uninterrupted, nullptr);
+  EXPECT_EQ(result->get_u64("passed", 0), reference.estimate.passed);
+  EXPECT_EQ(result->get_u64("values_crc32", 0), values_crc32(reference));
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(ServerFixture, CompiledCircuitIsBuiltOnceAcrossManyJobs) {
+  constexpr int kJobs = 8;
+  Client client = connect();
+  std::vector<std::uint64_t> ids;
+  for (int j = 0; j < kJobs; ++j) {
+    JobSpec spec = divider_spec(256);
+    spec.seed = 1000 + static_cast<std::uint64_t>(j);
+    ids.push_back(client.submit("tenant-" + std::to_string(j % 3), 0, spec));
+  }
+  for (const std::uint64_t id : ids) {
+    EXPECT_EQ(client.wait(id).get_string("state", ""), "done");
+  }
+
+  // One compile served every job: the cached entry's own stats say the
+  // stamp pattern was captured exactly once...
+  const CompiledCircuitCache::Entry entry = server_->cache().get(kDivider);
+  EXPECT_EQ(entry.compiled->compile_stats().pattern_builds, 1u);
+  // ...and the daemon counted one miss (plus our probe's hit).
+  const obs::JsonValue m = client.metrics();
+  EXPECT_EQ(m.get_u64("cache_misses", 0), 1u);
+  EXPECT_GE(m.get_u64("cache_hits", 0), static_cast<std::uint64_t>(kJobs - 1));
+  EXPECT_EQ(m.get_u64("cache_entries", 0), 1u);
+}
+
+TEST_F(ServerFixture, TruncatedFrameGetsErrorNotCrash) {
+  // Raw socket: send a frame with no terminating newline, then close.
+  const int fd = connect_unix(server_->options().socket_path);
+  ASSERT_TRUE(write_all(fd, R"({"op":"ping")"));
+  ::shutdown(fd, SHUT_WR);  // EOF -> server sees a truncated frame
+  LineReader reader(fd);
+  std::string reply_line;
+  // The server still answers (an error frame) before closing.
+  ASSERT_TRUE(reader.read_line(reply_line));
+  const obs::JsonValue reply = obs::JsonValue::parse(reply_line);
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  ::close(fd);
+
+  // And the daemon is alive for the next client.
+  Client client = connect();
+  client.ping();
+}
+
+TEST_F(ServerFixture, SyntheticJobsRunConcurrentlyUnderFairShare) {
+  Client client = connect();
+  std::vector<std::uint64_t> ids;
+  for (int j = 0; j < 12; ++j) {
+    JobSpec spec;
+    spec.kind = JobKind::kSynthetic;
+    spec.n = 5000;
+    spec.seed = static_cast<std::uint64_t>(j);
+    spec.pass_prob = 0.25 + 0.05 * j;
+    ids.push_back(
+        client.submit("tenant-" + std::to_string(j % 4), j % 2, spec));
+  }
+  for (const std::uint64_t id : ids) {
+    const obs::JsonValue reply = client.wait(id);
+    EXPECT_EQ(reply.get_string("state", ""), "done");
+    EXPECT_EQ(reply.find("result")->get_u64("completed", 0), 5000u);
+  }
+}
+
+}  // namespace
+}  // namespace relsim::service

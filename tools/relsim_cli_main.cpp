@@ -1,0 +1,302 @@
+// relsim-cli — command-line client for relsimd.
+//
+//   relsim-cli --socket /tmp/relsim.sock ping
+//   relsim-cli --socket S submit --netlist f.sp --constraint d:0.4:0.9
+//              --n 4096 [--wait]
+//   relsim-cli --socket S status|wait|result|cancel JOB_ID
+//   relsim-cli --socket S metrics | shutdown
+//   relsim-cli --socket S drive --clients 8 --jobs 4 --n 2048
+//              [--json BENCH_service_cli.json]
+//
+// `drive` is the synthetic many-client smoke: N client threads each submit
+// M jobs and wait for every result, then the tool reports sustained
+// jobs/sec and client-observed p50/p99 latency (and can write them as a
+// BENCH_*.json for CI upload).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "util/error.h"
+
+namespace {
+
+using relsim::Error;
+using relsim::service::Client;
+using relsim::service::JobKind;
+using relsim::service::JobSpec;
+using relsim::service::NodeConstraint;
+
+// The built-in workload for `drive` when no netlist is given: a mos
+// divider whose output node sits mid-rail, so mismatch actually moves the
+// pass/fail outcome.
+constexpr const char* kBuiltinNetlist = R"(mos divider
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+
+struct Cli {
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+
+  Client connect() const {
+    if (!socket_path.empty()) return Client::connect_unix(socket_path);
+    if (port >= 0) return Client::connect_tcp(host, port);
+    throw Error("no endpoint: pass --socket PATH or --port N");
+  }
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--socket PATH | [--host H] --port N) COMMAND ...\n"
+      "commands:\n"
+      "  ping | metrics | shutdown\n"
+      "  status ID | wait ID | result ID | cancel ID\n"
+      "  submit [job flags] [--tenant T] [--priority N] [--wait]\n"
+      "  drive [job flags] [--clients N] [--jobs M] [--json FILE]\n"
+      "job flags:\n"
+      "  --kind dc_yield|synthetic   (default dc_yield)\n"
+      "  --netlist FILE              (default: built-in mos divider)\n"
+      "  --constraint NODE:LO:HI     (repeatable; default d:0.55:0.75)\n"
+      "  --pass-prob P --n N --seed S --threads T --thread-budget B\n"
+      "  --chunk C --eval-mode auto|per-sample|batched --keep-values\n"
+      "  --checkpoint PATH --checkpoint-every K --manifest PATH --label L\n",
+      argv0);
+  return 2;
+}
+
+NodeConstraint parse_constraint(const std::string& text) {
+  const std::size_t a = text.find(':');
+  const std::size_t b = a == std::string::npos ? a : text.find(':', a + 1);
+  if (a == std::string::npos || b == std::string::npos) {
+    throw Error("bad --constraint '" + text + "' (want NODE:LO:HI)");
+  }
+  NodeConstraint c;
+  c.node = text.substr(0, a);
+  c.lo = std::stod(text.substr(a + 1, b - a - 1));
+  c.hi = std::stod(text.substr(b + 1));
+  return c;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read netlist file '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+int run_drive(const Cli& cli, const JobSpec& base, int clients, int jobs,
+              const std::string& json_path) {
+  std::mutex mu;
+  std::vector<double> latencies;  // seconds, client-observed submit->wait
+  std::vector<std::string> errors;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Client client = cli.connect();
+        const std::string tenant = "tenant" + std::to_string(c);
+        for (int j = 0; j < jobs; ++j) {
+          JobSpec spec = base;
+          // Distinct seeds keep the jobs statistically independent while
+          // every job still shares one compiled netlist in the cache.
+          spec.seed = base.seed + static_cast<std::uint64_t>(c * jobs + j);
+          const auto s0 = std::chrono::steady_clock::now();
+          const std::uint64_t id = client.submit(tenant, 0, spec);
+          client.wait(id);
+          const std::chrono::duration<double> dt =
+              std::chrono::steady_clock::now() - s0;
+          std::lock_guard<std::mutex> lock(mu);
+          latencies.push_back(dt.count());
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu);
+        errors.emplace_back(e.what());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "drive client error: %s\n", e.c_str());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double done = static_cast<double>(latencies.size());
+  const double jobs_per_sec = wall.count() > 0 ? done / wall.count() : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  std::printf(
+      "drive: %zu/%d jobs ok over %d clients in %.3f s  "
+      "(%.1f jobs/s, p50 %.1f ms, p99 %.1f ms)\n",
+      latencies.size(), clients * jobs, clients, wall.count(), jobs_per_sec,
+      1e3 * p50, 1e3 * p99);
+
+  Client probe = cli.connect();
+  const relsim::obs::JsonValue server_metrics = probe.metrics();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    relsim::obs::JsonWriter w(out, 2);
+    w.begin_object();
+    w.kv("bench", "service_cli_drive");
+    w.kv("clients", clients);
+    w.kv("jobs_per_client", jobs);
+    w.kv("jobs_done", static_cast<unsigned long long>(latencies.size()));
+    w.kv("errors", static_cast<unsigned long long>(errors.size()));
+    w.kv("wall_seconds", wall.count());
+    w.kv("jobs_per_sec", jobs_per_sec);
+    w.kv("latency_p50_seconds", p50);
+    w.kv("latency_p99_seconds", p99);
+    w.key("server_metrics").begin_object();
+    for (const char* k :
+         {"queue_depth", "jobs_submitted", "jobs_completed", "jobs_failed",
+          "jobs_cancelled", "cache_hits", "cache_misses", "cache_entries"}) {
+      w.kv(k, static_cast<unsigned long long>(server_metrics.get_u64(k, 0)));
+    }
+    w.end_object();
+    w.end_object();
+    w.complete();
+    out << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return errors.empty() && latencies.size() ==
+                               static_cast<std::size_t>(clients * jobs)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  JobSpec spec;
+  spec.kind = JobKind::kDcYield;
+  spec.n = 1024;
+  std::string tenant = "cli";
+  int priority = 0;
+  bool wait_after_submit = false;
+  int clients = 4;
+  int jobs = 4;
+  std::string json_path;
+  std::string command;
+  std::vector<std::string> positional;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error("flag " + arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--socket") cli.socket_path = value();
+      else if (arg == "--host") cli.host = value();
+      else if (arg == "--port") cli.port = std::stoi(value());
+      else if (arg == "--kind")
+        spec.kind = relsim::service::parse_job_kind(value());
+      else if (arg == "--netlist") spec.netlist = read_file(value());
+      else if (arg == "--constraint")
+        spec.constraints.push_back(parse_constraint(value()));
+      else if (arg == "--pass-prob") spec.pass_prob = std::stod(value());
+      else if (arg == "--n")
+        spec.n = static_cast<std::size_t>(std::stoull(value()));
+      else if (arg == "--seed") spec.seed = std::stoull(value());
+      else if (arg == "--threads")
+        spec.threads = static_cast<unsigned>(std::stoi(value()));
+      else if (arg == "--thread-budget")
+        spec.thread_budget = static_cast<unsigned>(std::stoi(value()));
+      else if (arg == "--chunk")
+        spec.chunk = static_cast<std::size_t>(std::stoull(value()));
+      else if (arg == "--eval-mode")
+        spec.eval_mode = relsim::service::parse_eval_mode(value());
+      else if (arg == "--keep-values") spec.keep_values = true;
+      else if (arg == "--checkpoint") spec.checkpoint_path = value();
+      else if (arg == "--checkpoint-every")
+        spec.checkpoint_every = static_cast<std::size_t>(std::stoull(value()));
+      else if (arg == "--manifest") spec.manifest_path = value();
+      else if (arg == "--label") spec.label = value();
+      else if (arg == "--tenant") tenant = value();
+      else if (arg == "--priority") priority = std::stoi(value());
+      else if (arg == "--wait") wait_after_submit = true;
+      else if (arg == "--clients") clients = std::stoi(value());
+      else if (arg == "--jobs") jobs = std::stoi(value());
+      else if (arg == "--json") json_path = value();
+      else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
+      else if (command.empty()) command = arg;
+      else positional.push_back(arg);
+    }
+    if (command.empty()) return usage(argv[0]);
+
+    // Defaults for the built-in dc_yield workload.
+    if (spec.kind == JobKind::kDcYield && spec.netlist.empty()) {
+      spec.netlist = kBuiltinNetlist;
+      if (spec.constraints.empty()) {
+        spec.constraints.push_back({"d", 0.55, 0.75});
+      }
+    }
+
+    if (command == "drive") {
+      return run_drive(cli, spec, clients, jobs, json_path);
+    }
+
+    Client client = cli.connect();
+    if (command == "ping") {
+      client.ping();
+      std::printf("%s\n", client.last_reply().c_str());
+    } else if (command == "metrics") {
+      client.metrics();
+      std::printf("%s\n", client.last_reply().c_str());
+    } else if (command == "shutdown") {
+      client.shutdown();
+      std::printf("%s\n", client.last_reply().c_str());
+    } else if (command == "submit") {
+      const std::uint64_t id = client.submit(tenant, priority, spec);
+      std::printf("%s\n", client.last_reply().c_str());
+      if (wait_after_submit) {
+        client.wait(id);
+        std::printf("%s\n", client.last_reply().c_str());
+      }
+    } else if (command == "status" || command == "wait" ||
+               command == "result" || command == "cancel") {
+      if (positional.empty()) return usage(argv[0]);
+      const std::uint64_t id = std::stoull(positional[0]);
+      if (command == "status") client.status(id);
+      else if (command == "wait") client.wait(id);
+      else if (command == "result") client.result(id);
+      else client.cancel(id);
+      std::printf("%s\n", client.last_reply().c_str());
+    } else {
+      return usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "relsim-cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

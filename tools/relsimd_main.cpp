@@ -1,0 +1,96 @@
+// relsimd — the relsim yield-analysis daemon.
+//
+// Serves the line-delimited-JSON protocol (see src/service/protocol.h)
+// over a Unix-domain socket and, optionally, a loopback TCP port. Runs
+// until a client sends {"op":"shutdown"} or the process receives
+// SIGINT/SIGTERM.
+//
+//   relsimd --socket /tmp/relsim.sock [--tcp-port 0] [--executors 4]
+//           [--cache-capacity 16] [--max-job-threads 8]
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "util/error.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--tcp-port N] [--executors N]\n"
+               "          [--cache-capacity N] [--max-job-threads N]\n"
+               "  --socket PATH        Unix-domain socket to listen on\n"
+               "  --tcp-port N         also listen on 127.0.0.1:N (0 = "
+               "ephemeral; default off)\n"
+               "  --executors N        concurrent jobs (default 2)\n"
+               "  --cache-capacity N   compiled netlists kept (default 16)\n"
+               "  --max-job-threads N  per-job worker cap (default 0 = "
+               "unlimited)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  relsim::service::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--socket" && value != nullptr) {
+      options.socket_path = value;
+      ++i;
+    } else if (arg == "--tcp-port" && value != nullptr) {
+      options.tcp_port = std::atoi(value);
+      ++i;
+    } else if (arg == "--executors" && value != nullptr) {
+      options.executors = static_cast<unsigned>(std::atoi(value));
+      ++i;
+    } else if (arg == "--cache-capacity" && value != nullptr) {
+      options.cache_capacity = static_cast<std::size_t>(std::atoi(value));
+      ++i;
+    } else if (arg == "--max-job-threads" && value != nullptr) {
+      options.max_job_threads = static_cast<unsigned>(std::atoi(value));
+      ++i;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    relsim::service::Server server(std::move(options));
+    server.start();
+    std::printf("relsimd listening on %s", server.options().socket_path.c_str());
+    if (server.tcp_port() >= 0) {
+      std::printf(" and 127.0.0.1:%d", server.tcp_port());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+
+    // wait_shutdown_requested() only wakes on the protocol op; poll so
+    // SIGINT/SIGTERM also end the daemon.
+    while (!server.shutdown_requested() && g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("relsimd shutting down (%s)\n",
+                g_signal != 0 ? "signal" : "shutdown op");
+    server.stop();
+  } catch (const relsim::Error& e) {
+    std::fprintf(stderr, "relsimd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
