@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -52,26 +53,12 @@ M1 d g 0 0 nmos W=0.2u L=0.06u
 RD vdd d 5k
 )";
 
-double percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t idx = std::min(
-      sorted.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
-  return sorted[idx];
-}
-
-/// Lower-bound percentile out of a log-bucketed histogram snapshot: the
-/// daemon-side view of the same latency the clients observe.
-double histogram_percentile(const obs::Histogram::Snapshot& snap, double p) {
-  if (snap.count <= 0) return 0.0;
-  const auto target =
-      static_cast<std::int64_t>(p * static_cast<double>(snap.count));
-  std::int64_t seen = 0;
-  for (const auto& [lower, count] : snap.buckets) {
-    seen += count;
-    if (seen > target) return lower;
-  }
-  return snap.max;
+/// Client-observed latency quantile through the same log-bucketed
+/// histogram + obs::histogram_quantile math the daemon's exporter uses.
+double percentile(const std::vector<double>& values, double p) {
+  obs::Histogram h;
+  for (double v : values) h.observe(v);
+  return obs::histogram_quantile(h.snapshot(), p);
 }
 
 struct LoadResult {
@@ -114,7 +101,6 @@ LoadResult drive(const std::string& socket_path, const JobSpec& base,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   r.submitted = static_cast<std::size_t>(clients) * jobs;
-  std::sort(latencies.begin(), latencies.end());
   r.done = latencies.size();
   r.p50 = percentile(latencies, 0.50);
   r.p99 = percentile(latencies, 0.99);
@@ -149,7 +135,26 @@ int main(int argc, char** argv) {
   synthetic.kind = JobKind::kSynthetic;
   synthetic.n = smoke ? 512 : 4096;
   synthetic.seed = 7;
+  // A live subscriber rides along with the load: the stream must deliver
+  // events while never slowing the measured path — drop-oldest isolation
+  // is the contract under test here. The target stays well under the
+  // per-subscriber queue depth so it is reachable even if every later
+  // event collapses into a synthesized "dropped" record.
+  const std::size_t event_target = std::min<std::size_t>(
+      static_cast<std::size_t>(clients) * static_cast<std::size_t>(jobs),
+      64);
+  std::atomic<std::size_t> events_seen{0};
+  std::thread subscriber([&] {
+    try {
+      Client sub = Client::connect_unix(socket_path);
+      sub.subscribe(0, [&](const obs::JsonValue&) {
+        return events_seen.fetch_add(1) + 1 < event_target;
+      });
+    } catch (...) {
+    }
+  });
   const LoadResult syn = drive(socket_path, synthetic, clients, jobs);
+  subscriber.join();
   const double syn_rate =
       syn.wall_seconds > 0 ? static_cast<double>(syn.done) / syn.wall_seconds
                            : 0.0;
@@ -164,6 +169,8 @@ int main(int argc, char** argv) {
   checks.check("every synthetic job completes", syn.done == syn.submitted);
   checks.check("sustained throughput is positive", syn_rate > 0.0);
   checks.check("p50 <= p99 (sane latency distribution)", syn.p50 <= syn.p99);
+  checks.check("subscriber streamed events during load",
+               events_seen.load() >= event_target);
   json.add("service_synthetic",
            {{"clients", double(clients)},
             {"jobs", double(syn.submitted)},
@@ -216,8 +223,8 @@ int main(int argc, char** argv) {
   const obs::Histogram::Snapshot job_hist =
       obs::metrics().histogram("service.job_seconds").snapshot();
   std::cout << "\nservice.job_seconds: count=" << job_hist.count
-            << "  p50>=" << histogram_percentile(job_hist, 0.50)
-            << "s  p99>=" << histogram_percentile(job_hist, 0.99) << "s\n";
+            << "  p50>=" << obs::histogram_quantile(job_hist, 0.50)
+            << "s  p99>=" << obs::histogram_quantile(job_hist, 0.99) << "s\n";
   checks.check("daemon observed every finished job in service.job_seconds",
                static_cast<std::size_t>(job_hist.count) >=
                    syn.done + yield_done);
@@ -229,8 +236,8 @@ int main(int argc, char** argv) {
             {"pattern_builds_b", double(builds_b)},
             {"cache_hits", double(server.cache().hits())},
             {"cache_misses", double(server.cache().misses())},
-            {"job_seconds_p50", histogram_percentile(job_hist, 0.50)},
-            {"job_seconds_p99", histogram_percentile(job_hist, 0.99)}});
+            {"job_seconds_p50", obs::histogram_quantile(job_hist, 0.50)},
+            {"job_seconds_p99", obs::histogram_quantile(job_hist, 0.99)}});
 
   server.stop();
 

@@ -1,0 +1,72 @@
+#include "obs/event_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace relsim::obs {
+
+namespace {
+
+std::size_t existing_size(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) return 0;
+  const auto pos = is.tellg();
+  return pos > 0 ? static_cast<std::size_t>(pos) : 0;
+}
+
+}  // namespace
+
+EventLog::EventLog(std::string path, std::size_t max_bytes, int keep)
+    : path_(std::move(path)),
+      max_bytes_(max_bytes > 0 ? max_bytes : 1),
+      keep_(keep > 0 ? keep : 1) {
+  bytes_ = existing_size(path_);
+  os_.open(path_, std::ios::app);
+  if (!os_) log_error("cannot open event log: ", path_);
+}
+
+void EventLog::rotate_locked() {
+  os_.close();
+  // Shift path.K-1 -> path.K, ..., path -> path.1; the oldest falls off.
+  std::remove((path_ + '.' + std::to_string(keep_)).c_str());
+  for (int i = keep_ - 1; i >= 1; --i) {
+    std::rename((path_ + '.' + std::to_string(i)).c_str(),
+                (path_ + '.' + std::to_string(i + 1)).c_str());
+  }
+  std::rename(path_.c_str(), (path_ + ".1").c_str());
+  os_.open(path_, std::ios::trunc);
+  bytes_ = 0;
+  ++rotations_;
+}
+
+bool EventLog::append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!os_.is_open()) return false;
+  const std::size_t add = line.size() + 1;
+  if (bytes_ > 0 && bytes_ + add > max_bytes_) rotate_locked();
+  os_ << line << '\n';
+  os_.flush();  // transitions are rare; readable-after-crash beats buffering
+  if (!os_) return false;
+  bytes_ += add;
+  return true;
+}
+
+std::size_t EventLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+std::unique_ptr<EventLog> event_log_from_env() {
+  const char* path = std::getenv("RELSIM_EVENT_LOG");
+  if (path == nullptr || *path == '\0') return nullptr;
+  std::size_t max_bytes = 8u << 20;
+  if (const char* mb = std::getenv("RELSIM_EVENT_LOG_MAX_BYTES")) {
+    const long long v = std::atoll(mb);
+    if (v > 0) max_bytes = static_cast<std::size_t>(v);
+  }
+  return std::make_unique<EventLog>(path, max_bytes);
+}
+
+}  // namespace relsim::obs

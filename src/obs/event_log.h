@@ -1,0 +1,59 @@
+// Rotating JSONL event log for SLO accounting.
+//
+// Append-only, newline-delimited JSON records (the caller supplies the
+// serialized line; the log adds the trailing '\n'). When the active file
+// would exceed max_bytes the log rotates: path -> path.1 -> ... -> path.K
+// with the oldest file dropped, mirroring every logrotate setup an
+// operator already knows. Appends are serialized under one mutex — event
+// volume is job *transitions* (a handful per job), not per-sample data, so
+// contention is irrelevant and ordering within the file is total.
+//
+// The daemon constructs one from RELSIM_EVENT_LOG=<path> (size cap via
+// RELSIM_EVENT_LOG_MAX_BYTES, default 8 MiB) or from ServerOptions.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace relsim::obs {
+
+class EventLog {
+ public:
+  /// Opens `path` for appending (existing bytes count against the cap).
+  /// `keep` is how many rotated files survive (path.1 .. path.keep).
+  explicit EventLog(std::string path, std::size_t max_bytes = 8u << 20,
+                    int keep = 3);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Writes `line` + '\n', rotating first when the append would cross the
+  /// cap. Thread-safe. Returns false when the filesystem rejected the
+  /// write (the event is dropped, not buffered).
+  bool append(const std::string& line);
+
+  const std::string& path() const { return path_; }
+
+  /// Number of rotations performed by THIS instance (tests, metrics).
+  std::size_t rotations() const;
+
+ private:
+  void rotate_locked();
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::size_t max_bytes_;
+  int keep_;
+  std::ofstream os_;
+  std::size_t bytes_ = 0;
+  std::size_t rotations_ = 0;
+};
+
+/// Builds an EventLog from RELSIM_EVENT_LOG / RELSIM_EVENT_LOG_MAX_BYTES,
+/// or returns nullptr when the variable is unset/empty.
+std::unique_ptr<EventLog> event_log_from_env();
+
+}  // namespace relsim::obs

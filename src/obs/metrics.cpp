@@ -77,6 +77,31 @@ void Histogram::reset() {
              std::memory_order_relaxed);
 }
 
+double histogram_quantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count <= 0) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // NaN and negatives clamp to the minimum
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(snapshot.count);
+  double value = snapshot.max;
+  double seen = 0.0;
+  for (const auto& [lower, count] : snapshot.buckets) {
+    const double next = seen + static_cast<double>(count);
+    if (next >= target) {
+      // The bucket spans [lower, 2*lower); interpolate geometrically:
+      // frac of the way through the bucket's count maps to lower * 2^frac.
+      const double frac = (target - seen) / static_cast<double>(count);
+      value = lower * std::exp2(frac);
+      break;
+    }
+    seen = next;
+  }
+  // Exact observed extremes beat bucket-edge artifacts (bucket 0 also
+  // absorbs zero/negative observations, whose "lower bound" is 2^-64).
+  if (value < snapshot.min) value = snapshot.min;
+  if (value > snapshot.max) value = snapshot.max;
+  return value;
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 

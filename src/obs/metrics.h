@@ -128,6 +128,16 @@ struct MetricsSnapshot {
   void to_json(JsonWriter& w) const;
 };
 
+/// Quantile q in [0, 1] out of a log-bucketed histogram snapshot, with
+/// geometric interpolation inside the crossing bucket (the buckets are
+/// powers of two, so the geometric midpoint — not the arithmetic one — is
+/// the unbiased guess). Clamped to the exact observed [min, max], so the
+/// extremes are never an artifact of bucket edges. Returns 0 when the
+/// snapshot is empty. This is THE percentile math shared by the Prometheus
+/// exporter, bench_service's p50/p99 reporting and relsim-cli's metrics
+/// pretty-printing — one implementation, one answer.
+double histogram_quantile(const Histogram::Snapshot& snapshot, double q);
+
 class MetricsRegistry {
  public:
   /// Finds or creates the named instrument. The returned reference is

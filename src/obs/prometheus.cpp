@@ -1,0 +1,107 @@
+#include "obs/prometheus.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace relsim::obs {
+
+namespace {
+
+/// Prometheus numeric literal: shortest round-trip doubles, with the
+/// spec's spellings for non-finite values.
+std::string fmt(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string fmt(std::int64_t v) { return std::to_string(v); }
+
+void family(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void sample(std::string& out, const std::string& name,
+            const std::string& value) {
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  if (name.rfind("relsim_", 0) != 0) out = "relsim_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string n = prometheus_name(name);
+    family(out, n, "counter");
+    sample(out, n, fmt(v));
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = prometheus_name(name);
+    family(out, n, "gauge");
+    sample(out, n, fmt(v));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = prometheus_name(name);
+    family(out, n, "histogram");
+    // Native buckets are [lower, 2*lower), so each le boundary is the
+    // bucket's upper edge; counts are cumulative per the exposition spec.
+    std::int64_t cum = 0;
+    double approx_sum = 0.0;
+    for (const auto& [lower, count] : h.buckets) {
+      cum += count;
+      sample(out, n + "_bucket{le=\"" + fmt(2.0 * lower) + "\"}", fmt(cum));
+      // No running sum in the sharded histogram: approximate with the
+      // geometric bucket midpoint lower * sqrt(2).
+      approx_sum += static_cast<double>(count) * lower * std::sqrt(2.0);
+    }
+    sample(out, n + "_bucket{le=\"+Inf\"}", fmt(h.count));
+    sample(out, n + "_sum", fmt(h.count > 0 ? approx_sum : 0.0));
+    sample(out, n + "_count", fmt(h.count));
+    if (h.nonfinite > 0) {
+      const std::string nn = n + "_nonfinite";
+      family(out, nn, "counter");
+      sample(out, nn, fmt(h.nonfinite));
+    }
+    // Convenience quantile/extreme gauges so dashboards don't need
+    // histogram_quantile() in PromQL to get the headline latencies.
+    struct Q {
+      const char* suffix;
+      double value;
+    };
+    const Q derived[] = {{"_p50", histogram_quantile(h, 0.50)},
+                         {"_p90", histogram_quantile(h, 0.90)},
+                         {"_p99", histogram_quantile(h, 0.99)},
+                         {"_min", h.count > 0 ? h.min : 0.0},
+                         {"_max", h.count > 0 ? h.max : 0.0}};
+    for (const Q& q : derived) {
+      const std::string qn = n + q.suffix;
+      family(out, qn, "gauge");
+      sample(out, qn, fmt(q.value));
+    }
+  }
+  return out;
+}
+
+}  // namespace relsim::obs

@@ -1,0 +1,47 @@
+// Prometheus text exposition (format 0.0.4) for the metrics registry.
+//
+// Renders a MetricsSnapshot as the plain-text format every Prometheus
+// scraper understands: counters as `counter`, gauges as `gauge`, and the
+// log-bucketed histograms as native `histogram` families with cumulative
+// `_bucket{le="..."}` series plus `_count`/`_sum`, followed by p50/p90/p99
+// convenience gauges derived through histogram_quantile(). Metric names
+// are sanitized ("service.job_seconds" -> "relsim_service_job_seconds")
+// and the output is deterministic: same snapshot, same bytes.
+//
+// Caveat the scraper should know: the sharded histograms track bucket
+// counts and exact min/max but not a running sum, so `_sum` is
+// approximated from geometric bucket midpoints. Rates and quantiles — the
+// things dashboards actually plot — come from the buckets and are exact
+// to bucket resolution.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace relsim::obs {
+
+/// "service.job_seconds" -> "relsim_service_job_seconds": '.' and every
+/// other character outside [a-zA-Z0-9_:] become '_', and the "relsim_"
+/// namespace prefix is prepended (unless already present).
+std::string prometheus_name(const std::string& name);
+
+/// Renders the full snapshot in text exposition format. Every line ends in
+/// '\n'; families are sorted by name (map order), so identical snapshots
+/// give byte-identical output.
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Bound renderer over a registry — the daemon holds one and serves
+/// render() for both the `metrics_text` op and the HTTP /metrics listener.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(const MetricsRegistry& registry = metrics())
+      : registry_(&registry) {}
+
+  std::string render() const { return to_prometheus_text(registry_->snapshot()); }
+
+ private:
+  const MetricsRegistry* registry_;
+};
+
+}  // namespace relsim::obs

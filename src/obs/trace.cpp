@@ -37,6 +37,7 @@ struct ThreadTraceBuffer {
     events.reserve(1024);
   }
   unsigned tid;
+  std::string name;  ///< optional display name (thread_name metadata)
   std::vector<TraceEvent> events;
 };
 
@@ -102,6 +103,12 @@ void emit_instant(const char* name, const char* k1, double v1) {
 
 }  // namespace detail
 
+void trace_set_thread_name(const std::string& name) {
+  if (!trace_enabled()) return;
+  ThreadTraceBuffer* buf = thread_buffer();
+  if (buf != nullptr) buf->name = name;  // thread-owned until flush
+}
+
 bool TraceSession::active() {
   TraceState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -152,6 +159,28 @@ bool TraceSession::flush() {
                   static_cast<unsigned>(ns % 1000));
     return num;
   };
+  // Metadata first: a process_name for the single relsim "process" and a
+  // thread_name per buffer, so Perfetto labels timelines instead of
+  // showing bare tids. Unnamed threads get a stable "thread/<tid>".
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.key("ph").value("M");
+  os << ",\"pid\":1";
+  w.key("args").begin_object();
+  w.kv("name", "relsim");
+  w.end_object();
+  w.end_object();
+  for (const auto& buf : s.buffers) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.key("ph").value("M");
+    os << ",\"pid\":1,\"tid\":" << buf->tid;
+    w.key("args").begin_object();
+    w.kv("name", buf->name.empty() ? "thread/" + std::to_string(buf->tid)
+                                   : buf->name);
+    w.end_object();
+    w.end_object();
+  }
   std::size_t total = 0;
   for (const auto& buf : s.buffers) {
     for (const TraceEvent& e : buf->events) {

@@ -73,6 +73,13 @@ class TraceSession {
 /// trace is written when the process exits normally.
 void init_trace_from_env();
 
+/// Labels the calling thread's timeline for the active session: the flush
+/// emits a Chrome `thread_name` metadata event so Perfetto shows
+/// "executor/0" or "mc.worker/3" instead of a bare tid. No-op when tracing
+/// is disabled; call again after starting a new session (buffers — and
+/// their names — are per session).
+void trace_set_thread_name(const std::string& name);
+
 /// A zero-duration marker event (e.g. an early-stop decision point).
 inline void trace_instant(const char* name) {
   if (trace_enabled()) detail::emit_instant(name, nullptr, 0.0);

@@ -3,8 +3,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "obs/json_writer.h"
@@ -43,24 +46,15 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-obs::JsonValue Client::call(const std::string& frame) {
-  RELSIM_REQUIRE(fd_ >= 0, "client is not connected");
-  if (!write_all(fd_, frame) || !write_all(fd_, "\n")) {
-    throw Error("service connection lost while sending request");
-  }
+void Client::read_frame() {
   // Buffered newline framing; the buffer carries over between calls in
-  // case the kernel delivers more than one reply's worth of bytes.
+  // case the kernel delivers more than one frame's worth of bytes.
   for (;;) {
     const std::size_t nl = read_buf_.find('\n');
     if (nl != std::string::npos) {
       last_reply_ = read_buf_.substr(0, nl);
       read_buf_.erase(0, nl + 1);
-      obs::JsonValue reply = obs::JsonValue::parse(last_reply_);
-      if (!reply.get_bool("ok", false)) {
-        throw Error("service error: " +
-                    reply.get_string("error", "unknown error"));
-      }
-      return reply;
+      return;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -68,6 +62,20 @@ obs::JsonValue Client::call(const std::string& frame) {
     if (n <= 0) throw Error("service connection lost while awaiting reply");
     read_buf_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+obs::JsonValue Client::call(const std::string& frame) {
+  RELSIM_REQUIRE(fd_ >= 0, "client is not connected");
+  if (!write_all(fd_, frame) || !write_all(fd_, "\n")) {
+    throw Error("service connection lost while sending request");
+  }
+  read_frame();
+  obs::JsonValue reply = obs::JsonValue::parse(last_reply_);
+  if (!reply.get_bool("ok", false)) {
+    throw Error("service error: " +
+                reply.get_string("error", "unknown error"));
+  }
+  return reply;
 }
 
 std::uint64_t Client::submit(const std::string& tenant, int priority,
@@ -119,8 +127,74 @@ obs::JsonValue Client::cancel(std::uint64_t job_id) {
 
 obs::JsonValue Client::metrics() { return call(R"({"op":"metrics"})"); }
 
+std::string Client::metrics_text() {
+  return call(R"({"op":"metrics_text"})").get_string("text", "");
+}
+
 void Client::ping() { call(R"({"op":"ping"})"); }
 
 void Client::shutdown() { call(R"({"op":"shutdown"})"); }
+
+void Client::subscribe(
+    std::uint64_t job_filter,
+    const std::function<bool(const obs::JsonValue&)>& on_event) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("op", "subscribe");
+  if (job_filter != 0) {
+    w.kv("job_id", static_cast<unsigned long long>(job_filter));
+  }
+  w.end_object();
+  w.complete();
+  // The ack is an ordinary ok/error reply; everything after it is events.
+  call(os.str());
+  for (;;) {
+    try {
+      read_frame();
+    } catch (const Error&) {
+      return;  // daemon closed the stream (or the connection dropped)
+    }
+    if (last_reply_.empty()) continue;
+    if (!on_event(obs::JsonValue::parse(last_reply_))) return;
+  }
+}
+
+obs::JsonValue wait_with_events(
+    std::uint64_t job_id, const std::function<Client()>& connect,
+    const std::function<void(const obs::JsonValue&)>& on_event) {
+  bool streamed = false;
+  try {
+    Client stream = connect();
+    stream.subscribe(job_id, [&](const obs::JsonValue& event) {
+      if (on_event) on_event(event);
+      const std::string state = event.get_string("state", "");
+      const bool terminal =
+          state == "done" || state == "cancelled" || state == "failed";
+      return !terminal;
+    });
+    streamed = true;
+  } catch (const Error&) {
+    // Pre-telemetry daemon ("unknown op 'subscribe'") or the stream
+    // dropped mid-job — either way the poll loop below settles it.
+  }
+  // The subscribe stream carries no result payload (and may have ended
+  // early); fetch the authoritative terminal state over a fresh
+  // request/reply connection. When streaming worked the job is already
+  // terminal and the first status call returns immediately.
+  Client poll = connect();
+  if (streamed) return poll.wait(job_id);
+  std::chrono::milliseconds delay(50);
+  for (;;) {
+    obs::JsonValue reply = poll.status(job_id);
+    const std::string state = reply.get_string("state", "");
+    if (state == "done" || state == "cancelled" || state == "failed") {
+      return reply;
+    }
+    if (on_event) on_event(reply);
+    std::this_thread::sleep_for(delay);
+    delay = std::min(delay * 2, std::chrono::milliseconds(2000));
+  }
+}
 
 }  // namespace relsim::service

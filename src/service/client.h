@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "obs/json_value.h"
@@ -48,15 +49,44 @@ class Client {
   obs::JsonValue result(std::uint64_t job_id);  ///< throws if still running
   obs::JsonValue cancel(std::uint64_t job_id);
   obs::JsonValue metrics();
+  /// Prometheus text rendering of the daemon's metric registry (the
+  /// "metrics_text" op; same bytes the /metrics HTTP listener serves).
+  std::string metrics_text();
   void ping();
   void shutdown();  ///< asks the daemon to latch its shutdown flag
 
+  /// Switches this connection into streaming mode and delivers every
+  /// event frame to `on_event` until it returns false, the daemon closes
+  /// the stream, or the connection drops. `job_filter` 0 subscribes to
+  /// everything (all job lifecycle events + daemon stats); a nonzero id
+  /// narrows the stream to that job. Throws Error if the daemon rejects
+  /// the subscribe op (e.g. a pre-telemetry daemon: "unknown op").
+  ///
+  /// The connection CANNOT return to request/reply mode afterwards —
+  /// treat the Client as consumed.
+  void subscribe(std::uint64_t job_filter,
+                 const std::function<bool(const obs::JsonValue&)>& on_event);
+
  private:
   explicit Client(int fd);
+  /// Reads one newline-delimited frame into last_reply_ (no parsing).
+  void read_frame();
 
   int fd_ = -1;
   std::string read_buf_;  ///< carry-over between frames
   std::string last_reply_;
 };
+
+/// Blocks until `job_id` is terminal, preferring the streaming subscribe
+/// op (each event is forwarded to `on_event` when set). Daemons that
+/// predate subscribe answer "unknown op ..." — this falls back to status
+/// polling with exponential backoff (50 ms doubling, capped at 2 s).
+/// `connect` must open a FRESH connection to the same daemon: subscribe
+/// consumes its connection, and the terminal result is fetched over a new
+/// one. Returns the final wait/status-shaped reply (includes "result" for
+/// finished jobs).
+obs::JsonValue wait_with_events(
+    std::uint64_t job_id, const std::function<Client()>& connect,
+    const std::function<void(const obs::JsonValue&)>& on_event = {});
 
 }  // namespace relsim::service

@@ -1,0 +1,103 @@
+#include "service/event_hub.h"
+
+#include "obs/metrics.h"
+
+namespace relsim::service {
+
+bool EventHub::Subscription::next(std::string& out,
+                                  std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu);
+  if (dropped_pending > 0) {
+    // Surface the gap before the events that follow it, so a consumer
+    // reconstructing state knows it missed something at this point.
+    out = "{\"event\":\"dropped\",\"count\":" +
+          std::to_string(dropped_pending) + "}";
+    dropped_pending = 0;
+    return true;
+  }
+  cv.wait_for(lock, timeout, [this] {
+    return !queue.empty() || dropped_pending > 0 || hub_closed;
+  });
+  if (dropped_pending > 0) {
+    out = "{\"event\":\"dropped\",\"count\":" +
+          std::to_string(dropped_pending) + "}";
+    dropped_pending = 0;
+    return true;
+  }
+  if (queue.empty()) return false;  // timeout, or closed and drained
+  out = *queue.front();
+  queue.pop_front();
+  return true;
+}
+
+bool EventHub::Subscription::closed() const {
+  std::lock_guard<std::mutex> lock(mu);
+  return hub_closed && queue.empty() && dropped_pending == 0;
+}
+
+std::uint64_t EventHub::Subscription::dropped() const {
+  std::lock_guard<std::mutex> lock(mu);
+  return dropped_total;
+}
+
+std::shared_ptr<EventHub::Subscription> EventHub::subscribe(
+    std::uint64_t job_filter) {
+  auto sub = std::make_shared<Subscription>();
+  sub->job_filter = job_filter;
+  sub->capacity = capacity_;
+  std::lock_guard<std::mutex> lock(mu_);
+  sub->hub_closed = closed_;
+  if (!closed_) {
+    subs_.push_back(sub);
+    count_.store(subs_.size(), std::memory_order_relaxed);
+  }
+  return sub;
+}
+
+void EventHub::unsubscribe(const std::shared_ptr<Subscription>& sub) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+    if (*it == sub) {
+      subs_.erase(it);
+      break;
+    }
+  }
+  count_.store(subs_.size(), std::memory_order_relaxed);
+}
+
+void EventHub::publish(std::uint64_t job_id, std::string line) {
+  static obs::Counter& c_published =
+      obs::metrics().counter("service.events_published");
+  static obs::Counter& c_dropped =
+      obs::metrics().counter("service.events_dropped");
+  const auto payload = std::make_shared<const std::string>(std::move(line));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  c_published.inc();
+  for (const auto& sub : subs_) {
+    if (sub->job_filter != 0 && sub->job_filter != job_id) continue;
+    std::lock_guard<std::mutex> slock(sub->mu);
+    sub->queue.push_back(payload);
+    if (sub->queue.size() > sub->capacity) {
+      sub->queue.pop_front();
+      ++sub->dropped_total;
+      ++sub->dropped_pending;
+      c_dropped.inc();
+    }
+    sub->cv.notify_one();
+  }
+}
+
+void EventHub::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  for (const auto& sub : subs_) {
+    std::lock_guard<std::mutex> slock(sub->mu);
+    sub->hub_closed = true;
+    sub->cv.notify_all();
+  }
+  subs_.clear();
+  count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace relsim::service

@@ -1,0 +1,93 @@
+// Fan-out of daemon telemetry events to subscribers, with hard isolation
+// between producers and consumers.
+//
+// Publishers (executor threads, the submit path) must NEVER block on a
+// slow subscriber, or a curious `relsim-cli top` could perturb job
+// execution. So every subscription owns a bounded queue of shared event
+// payloads: publish() appends under the subscription's own lock and, when
+// the queue is full, drops the OLDEST event and counts it. The consumer
+// learns about the gap through a synthesized {"event":"dropped","count":N}
+// line the next time it reads — the count rides outside the shared
+// payloads, so one slow reader's gaps never appear in another's stream.
+//
+// Event payloads are complete JSON lines, shared by shared_ptr across all
+// matching subscriptions (serialize once, fan out by refcount).
+//
+// Filtering: a subscription created with job_filter == 0 receives every
+// event; job_filter == J receives only events published with job_id == J.
+// Daemon-wide stats events are published with job_id == 0 and therefore
+// reach only unfiltered subscriptions.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace relsim::service {
+
+class EventHub {
+ public:
+  class Subscription {
+   public:
+    /// Blocks up to `timeout` for the next event line. Returns true with
+    /// the event in `out` (possibly a synthesized "dropped" record), false
+    /// on timeout or when the hub closed and the queue is drained — check
+    /// closed() to tell the two apart.
+    bool next(std::string& out, std::chrono::milliseconds timeout);
+
+    /// True once the hub closed AND every queued event was consumed.
+    bool closed() const;
+
+    /// Total events dropped from this subscription's queue so far.
+    std::uint64_t dropped() const;
+
+   private:
+    friend class EventHub;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<const std::string>> queue;
+    std::uint64_t job_filter = 0;
+    std::size_t capacity = 256;
+    std::uint64_t dropped_total = 0;
+    std::uint64_t dropped_pending = 0;  ///< not yet surfaced to the reader
+    bool hub_closed = false;
+  };
+
+  explicit EventHub(std::size_t queue_capacity = 256)
+      : capacity_(queue_capacity > 0 ? queue_capacity : 1) {}
+
+  /// Registers a subscriber (job_filter semantics above). The returned
+  /// subscription stays valid after close(); drop the shared_ptr or call
+  /// unsubscribe() when done.
+  std::shared_ptr<Subscription> subscribe(std::uint64_t job_filter = 0);
+
+  void unsubscribe(const std::shared_ptr<Subscription>& sub);
+
+  /// Delivers `line` to every matching subscription. Never blocks on
+  /// consumers (drop-oldest, see above). No-op after close().
+  void publish(std::uint64_t job_id, std::string line);
+
+  /// Wakes every subscriber with end-of-stream; publish() becomes a no-op.
+  void close();
+
+  /// Cheap check for "is anyone listening" — publishers use it to skip
+  /// serializing events nobody would receive.
+  std::size_t subscriber_count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Subscription>> subs_;
+  std::atomic<std::size_t> count_{0};
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace relsim::service

@@ -57,6 +57,10 @@ struct JobSpec {
   std::size_t checkpoint_every = 4096;
   std::string manifest_path;          ///< non-empty: audit manifest
   std::string label;                  ///< run_label override (manifest/trace)
+  /// Progress-snapshot cadence in committed samples (0 = auto: ~1% of n).
+  /// Deterministic content per McProgress's contract; the daemon streams
+  /// each snapshot to subscribers of this job.
+  std::size_t progress_every = 0;
 };
 
 enum class JobState : std::uint8_t {
@@ -90,6 +94,9 @@ struct Job {
   std::string error;  ///< valid in kFailed
   double queue_seconds = 0.0;  ///< submit -> execution start
   double run_seconds = 0.0;    ///< execution start -> finish
+  /// Latest progress snapshot of a running job (status op, `top`).
+  McProgress progress;
+  bool has_progress = false;
 };
 
 }  // namespace relsim::service

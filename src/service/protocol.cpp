@@ -39,6 +39,8 @@ JobSpec parse_job_spec(const obs::JsonValue& v) {
       v.get_u64("checkpoint_every", spec.checkpoint_every));
   spec.manifest_path = v.get_string("manifest", "");
   spec.label = v.get_string("label", "");
+  spec.progress_every =
+      static_cast<std::size_t>(v.get_u64("progress_every", 0));
   if (const obs::JsonValue* cs = v.find("constraints")) {
     for (const obs::JsonValue& c : cs->as_array()) {
       NodeConstraint nc;
@@ -88,6 +90,10 @@ void write_job_spec(obs::JsonWriter& w, const JobSpec& spec) {
   }
   if (!spec.manifest_path.empty()) w.kv("manifest", spec.manifest_path);
   if (!spec.label.empty()) w.kv("label", spec.label);
+  if (spec.progress_every > 0) {
+    w.kv("progress_every",
+         static_cast<unsigned long long>(spec.progress_every));
+  }
   w.end_object();
 }
 

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <sstream>
 
@@ -28,6 +29,8 @@ struct ServiceMetrics {
   obs::Counter& frames = obs::metrics().counter("service.frames");
   obs::Counter& bad_frames = obs::metrics().counter("service.bad_frames");
   obs::Counter& connections = obs::metrics().counter("service.connections");
+  obs::Gauge& running = obs::metrics().gauge("service.jobs_running");
+  obs::Gauge& queue_depth = obs::metrics().gauge("service.queue_depth");
   obs::Histogram& queue_seconds =
       obs::metrics().histogram("service.queue_seconds");
   obs::Histogram& job_seconds =
@@ -43,6 +46,47 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Wall-clock seconds for event timestamps (events are read by humans and
+/// log shippers; the steady clock above is for durations only).
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void write_progress_fields(obs::JsonWriter& w, const McProgress& p) {
+  w.kv("seq", static_cast<unsigned long long>(p.seq));
+  w.kv("completed", static_cast<unsigned long long>(p.completed));
+  w.kv("total", static_cast<unsigned long long>(p.total));
+  w.kv("passed", static_cast<unsigned long long>(p.passed));
+  w.kv("failed", static_cast<unsigned long long>(p.failed));
+  w.kv("retried", static_cast<unsigned long long>(p.retried));
+  w.kv("yield", p.interval.estimate);
+  w.kv("yield_lo", p.interval.lo);
+  w.kv("yield_hi", p.interval.hi);
+  w.kv("ci_half_width", p.ci_half_width);
+  w.kv("weighted", p.weighted);
+  if (p.weighted) w.kv("ess", p.ess);
+  w.kv("elapsed_seconds", p.elapsed_seconds);
+  w.kv("samples_per_sec", p.samples_per_sec);
+  w.kv("eta_seconds", p.eta_seconds);
+}
+
+/// True when `line` is a subscribe request; fills the optional job filter.
+/// Malformed JSON returns false and falls through to handle_frame, which
+/// produces the proper error reply.
+bool parse_subscribe(const std::string& line, std::uint64_t* job_filter) {
+  if (line.find("subscribe") == std::string::npos) return false;
+  try {
+    const obs::JsonValue v = obs::JsonValue::parse(line);
+    if (!v.is_object() || v.get_string("op", "") != "subscribe") return false;
+    *job_filter = v.get_u64("job_id", 0);
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 std::string error_frame(const std::string& op, const std::string& message) {
@@ -68,7 +112,9 @@ void write_job_status(obs::JsonWriter& w, const std::shared_ptr<Job>& job) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      hub_(options_.subscriber_queue) {
   RELSIM_REQUIRE(!options_.socket_path.empty(),
                  "Server needs a unix socket path");
   RELSIM_REQUIRE(options_.executors >= 1, "Server needs >= 1 executor");
@@ -81,6 +127,15 @@ void Server::start() {
   unix_fd_ = listen_unix(options_.socket_path);
   if (options_.tcp_port >= 0) {
     tcp_fd_ = listen_tcp(options_.tcp_port, &tcp_port_);
+  }
+  if (options_.metrics_http_port >= 0) {
+    http_fd_ = listen_tcp(options_.metrics_http_port, &http_port_);
+  }
+  if (!options_.event_log_path.empty()) {
+    event_log_ = std::make_unique<obs::EventLog>(
+        options_.event_log_path, options_.event_log_max_bytes);
+  } else {
+    event_log_ = obs::event_log_from_env();
   }
   if (::pipe(wake_pipe_) != 0) throw Error("pipe() failed");
   running_.store(true);
@@ -118,6 +173,11 @@ void Server::stop() {
   }
   executors_.clear();
 
+  // Executors are quiet: end every event stream so subscription threads
+  // (which park on their queues, not on the socket) wake and exit before
+  // the connection join below.
+  hub_.close();
+
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
@@ -137,11 +197,12 @@ void Server::stop() {
 
   if (unix_fd_ >= 0) ::close(unix_fd_);
   if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (http_fd_ >= 0) ::close(http_fd_);
   for (int& fd : wake_pipe_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
   }
-  unix_fd_ = tcp_fd_ = -1;
+  unix_fd_ = tcp_fd_ = http_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
 
   // Wake anything parked in wait_shutdown_requested().
@@ -162,11 +223,12 @@ std::shared_ptr<Job> Server::find_job(std::uint64_t id) {
 
 void Server::accept_loop() {
   while (running_.load(std::memory_order_relaxed)) {
-    pollfd fds[3];
+    pollfd fds[4];
     nfds_t count = 0;
     fds[count++] = {wake_pipe_[0], POLLIN, 0};
     fds[count++] = {unix_fd_, POLLIN, 0};
     if (tcp_fd_ >= 0) fds[count++] = {tcp_fd_, POLLIN, 0};
+    if (http_fd_ >= 0) fds[count++] = {http_fd_, POLLIN, 0};
     if (::poll(fds, count, -1) < 0) continue;
     if (fds[0].revents != 0) return;  // stop() woke us
     for (nfds_t i = 1; i < count; ++i) {
@@ -174,13 +236,16 @@ void Server::accept_loop() {
       const int client = ::accept(fds[i].fd, nullptr, nullptr);
       if (client < 0) continue;
       service_metrics().connections.inc();
+      const bool http = fds[i].fd == http_fd_;
       std::lock_guard<std::mutex> lock(conn_mu_);
       if (!running_.load(std::memory_order_relaxed)) {
         ::close(client);
         return;
       }
       connection_fds_.push_back(client);
-      connections_.emplace_back([this, client] { connection_loop(client); });
+      connections_.emplace_back([this, client, http] {
+        http ? http_loop(client) : connection_loop(client);
+      });
     }
   }
 }
@@ -190,6 +255,17 @@ void Server::connection_loop(int fd) {
   std::string line;
   while (reader.read_line(line)) {
     if (line.empty()) continue;  // blank keep-alive lines are fine
+    std::uint64_t job_filter = 0;
+    if (options_.enable_subscribe && parse_subscribe(line, &job_filter)) {
+      if (job_filter != 0 && find_job(job_filter) == nullptr) {
+        const std::string reply = error_frame(
+            "subscribe", "unknown job id " + std::to_string(job_filter));
+        if (!write_all(fd, reply) || !write_all(fd, "\n")) break;
+        continue;  // stay in request/reply mode
+      }
+      serve_subscription(fd, job_filter);
+      break;  // the stream consumed the connection
+    }
     const std::string reply = handle_frame(line);
     if (!write_all(fd, reply) || !write_all(fd, "\n")) break;
   }
@@ -199,6 +275,120 @@ void Server::connection_loop(int fd) {
       std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
       connection_fds_.end());
   // The std::thread object stays in connections_ for stop() to join.
+}
+
+void Server::http_loop(int fd) {
+  // Minimal HTTP/1.0 responder: one request, one response, close. Enough
+  // for a Prometheus scrape or `curl localhost:PORT/metrics`.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos &&
+         request.size() < 16384) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const bool found = request.rfind("GET /metrics", 0) == 0 ||
+                     request.rfind("GET / ", 0) == 0;
+  const std::string body = found ? exporter_.render() : "not found\n";
+  std::string head = found ? "HTTP/1.0 200 OK\r\nContent-Type: text/plain; "
+                             "version=0.0.4; charset=utf-8\r\n"
+                           : "HTTP/1.0 404 Not Found\r\nContent-Type: "
+                             "text/plain\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n";
+  (void)(write_all(fd, head) && write_all(fd, body));
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+      connection_fds_.end());
+}
+
+void Server::serve_subscription(int fd, std::uint64_t job_filter) {
+  static obs::Counter& c_subs =
+      obs::metrics().counter("service.subscriptions");
+  c_subs.inc();
+  const std::shared_ptr<EventHub::Subscription> sub =
+      hub_.subscribe(job_filter);
+
+  // Ack, then replay current state DIRECTLY to this fd (not through the
+  // hub) so the subscriber starts from a consistent picture; live events
+  // queued since subscribe() follow and simply re-assert newer state.
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("op", "subscribe");
+  if (job_filter != 0) {
+    w.kv("job_id", static_cast<unsigned long long>(job_filter));
+  }
+  w.end_object();
+  bool alive = write_all(fd, os.str()) && write_all(fd, "\n");
+
+  std::vector<std::shared_ptr<Job>> replay;
+  if (job_filter != 0) {
+    if (const std::shared_ptr<Job> job = find_job(job_filter)) {
+      replay.push_back(job);
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (const auto& [id, job] : jobs_) replay.push_back(job);
+  }
+  for (const std::shared_ptr<Job>& job : replay) {
+    if (!alive) break;
+    std::ostringstream es;
+    obs::JsonWriter ew(es, 0);
+    std::unique_lock<std::mutex> lock(job->mu);
+    const JobState state = job->state;
+    // Unfiltered streams replay only live jobs; a single-job stream also
+    // replays a terminal state so the subscriber learns it is already over.
+    if (job_filter == 0 && state != JobState::kQueued &&
+        state != JobState::kRunning) {
+      continue;
+    }
+    ew.begin_object();
+    ew.kv("event", "job");
+    ew.kv("job_id", static_cast<unsigned long long>(job->id));
+    ew.kv("tenant", job->tenant);
+    ew.kv("kind", to_string(job->spec.kind));
+    ew.kv("state", to_string(state));
+    ew.kv("n", static_cast<unsigned long long>(job->spec.n));
+    if (state != JobState::kQueued) ew.kv("queue_seconds", job->queue_seconds);
+    if (state == JobState::kDone || state == JobState::kCancelled ||
+        state == JobState::kFailed) {
+      ew.kv("run_seconds", job->run_seconds);
+    }
+    if (state == JobState::kFailed) ew.kv("job_error", job->error);
+    if (state == JobState::kRunning && job->has_progress) {
+      ew.key("progress").begin_object();
+      write_progress_fields(ew, job->progress);
+      ew.end_object();
+    }
+    ew.kv("ts", wall_seconds());
+    ew.end_object();
+    lock.unlock();
+    alive = write_all(fd, es.str()) && write_all(fd, "\n");
+  }
+
+  std::string event;
+  while (alive) {
+    if (sub->next(event, std::chrono::milliseconds(250))) {
+      alive = write_all(fd, event) && write_all(fd, "\n");
+      continue;
+    }
+    if (sub->closed()) break;  // server stopping: end of stream
+    // Idle tick: probe for a vanished client so abandoned subscriptions
+    // do not accumulate until shutdown.
+    char probe;
+    const ssize_t r = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (r == 0) break;  // orderly close
+    if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      break;
+    }
+  }
+  hub_.unsubscribe(sub);
 }
 
 std::string Server::handle_frame(const std::string& line) {
@@ -253,11 +443,16 @@ std::string Server::handle_frame(const std::string& line) {
         job->cancel_requested.store(true, std::memory_order_relaxed);
         // Still queued? Pull it out and resolve it as cancelled now.
         if (queue_.remove(id) != nullptr) {
-          std::lock_guard<std::mutex> lock(job->mu);
-          job->state = JobState::kCancelled;
-          job->queue_seconds = now_seconds() - job->queue_seconds;
-          job->cv.notify_all();
+          double queued_for = 0.0;
+          {
+            std::lock_guard<std::mutex> lock(job->mu);
+            job->state = JobState::kCancelled;
+            job->queue_seconds = now_seconds() - job->queue_seconds;
+            queued_for = job->queue_seconds;
+            job->cv.notify_all();
+          }
           service_metrics().cancelled.inc();
+          publish_job_event(job, "cancelled", queued_for, 0.0);
         }
         w.begin_object();
         w.kv("ok", true);
@@ -284,6 +479,11 @@ std::string Server::handle_frame(const std::string& line) {
       w.kv("ok", true);
       w.kv("op", op);
       write_job_status(w, job);
+      if (job->state == JobState::kRunning && job->has_progress) {
+        w.key("progress").begin_object();
+        write_progress_fields(w, job->progress);
+        w.end_object();
+      }
       if (finished && job->state != JobState::kFailed &&
           (op == "wait" || op == "result" || op == "status")) {
         w.kv("queue_seconds", job->queue_seconds);
@@ -301,6 +501,7 @@ std::string Server::handle_frame(const std::string& line) {
       w.kv("op", op);
       w.kv("queue_depth",
            static_cast<unsigned long long>(queue_.depth()));
+      w.kv("running", running_jobs_.load(std::memory_order_relaxed));
       w.kv("jobs_submitted", service_metrics().submitted.value());
       w.kv("jobs_completed", service_metrics().completed.value());
       w.kv("jobs_failed", service_metrics().failed.value());
@@ -308,8 +509,38 @@ std::string Server::handle_frame(const std::string& line) {
       w.kv("cache_hits", static_cast<long long>(cache_.hits()));
       w.kv("cache_misses", static_cast<long long>(cache_.misses()));
       w.kv("cache_entries", static_cast<unsigned long long>(cache_.size()));
+      // Shared quantile math (obs::histogram_quantile) over the daemon's
+      // latency histograms — the same numbers the Prometheus text carries.
+      const obs::Histogram::Snapshot qh =
+          service_metrics().queue_seconds.snapshot();
+      const obs::Histogram::Snapshot jh =
+          service_metrics().job_seconds.snapshot();
+      w.kv("queue_seconds_p50", obs::histogram_quantile(qh, 0.50));
+      w.kv("queue_seconds_p99", obs::histogram_quantile(qh, 0.99));
+      w.kv("job_seconds_p50", obs::histogram_quantile(jh, 0.50));
+      w.kv("job_seconds_p90", obs::histogram_quantile(jh, 0.90));
+      w.kv("job_seconds_p99", obs::histogram_quantile(jh, 0.99));
       w.end_object();
       return os.str();
+    }
+
+    if (op == "metrics_text") {
+      // Full registry in Prometheus text exposition format, for scrapers
+      // speaking the JSON protocol (CI does exactly this mid-run).
+      w.begin_object();
+      w.kv("ok", true);
+      w.kv("op", op);
+      w.kv("content_type", "text/plain; version=0.0.4; charset=utf-8");
+      w.kv("text", exporter_.render());
+      w.end_object();
+      return os.str();
+    }
+
+    if (op == "subscribe" && options_.enable_subscribe) {
+      // Reachable only through the socket-free dispatcher (tests): on a
+      // live connection the connection loop intercepts subscribe before
+      // this point and dedicates the socket to the stream.
+      return error_frame(op, "subscribe requires a streaming connection");
     }
 
     if (op == "shutdown") {
@@ -346,12 +577,63 @@ std::shared_ptr<Job> Server::submit(const std::string& tenant, int priority,
     jobs_.emplace(job->id, job);
   }
   service_metrics().submitted.inc();
+  // "queued" must be published BEFORE the queue push: once an executor can
+  // pop the job, it may publish "running" — ordering in the stream is part
+  // of the contract.
+  publish_job_event(job, "queued", -1.0, -1.0);
   if (!queue_.push(job)) {
-    std::lock_guard<std::mutex> lock(job->mu);
-    job->state = JobState::kFailed;
-    job->error = "server shutting down";
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->state = JobState::kFailed;
+      job->error = "server shutting down";
+    }
+    publish_job_event(job, "failed", -1.0, -1.0, job->error);
+    return job;
   }
+  service_metrics().queue_depth.set(static_cast<double>(queue_.depth()));
   return job;
+}
+
+void Server::publish_job_event(const std::shared_ptr<Job>& job,
+                               const char* state, double queue_seconds,
+                               double run_seconds, const std::string& error) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("event", "job");
+  w.kv("job_id", static_cast<unsigned long long>(job->id));
+  w.kv("tenant", job->tenant);
+  w.kv("kind", to_string(job->spec.kind));
+  w.kv("state", state);
+  w.kv("n", static_cast<unsigned long long>(job->spec.n));
+  if (queue_seconds >= 0.0) w.kv("queue_seconds", queue_seconds);
+  if (run_seconds >= 0.0) w.kv("run_seconds", run_seconds);
+  if (!error.empty()) w.kv("job_error", error);
+  w.kv("ts", wall_seconds());
+  w.end_object();
+  std::string line = os.str();
+  if (event_log_) event_log_->append(line);
+  hub_.publish(job->id, std::move(line));
+  publish_stats();
+}
+
+void Server::publish_stats() {
+  if (hub_.subscriber_count() == 0) return;  // lifecycle log has the rest
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("event", "stats");
+  w.kv("queue_depth", static_cast<unsigned long long>(queue_.depth()));
+  w.kv("running", running_jobs_.load(std::memory_order_relaxed));
+  w.kv("jobs_submitted", service_metrics().submitted.value());
+  w.kv("jobs_completed", service_metrics().completed.value());
+  w.kv("jobs_failed", service_metrics().failed.value());
+  w.kv("jobs_cancelled", service_metrics().cancelled.value());
+  w.kv("cache_hits", static_cast<long long>(cache_.hits()));
+  w.kv("cache_misses", static_cast<long long>(cache_.misses()));
+  w.kv("ts", wall_seconds());
+  w.end_object();
+  hub_.publish(0, os.str());
 }
 
 void Server::executor_loop() {
@@ -372,6 +654,10 @@ void Server::execute(const std::shared_ptr<Job>& job) {
     job->cv.notify_all();
   }
   service_metrics().queue_seconds.observe(job->queue_seconds);
+  service_metrics().running.set(static_cast<double>(
+      running_jobs_.fetch_add(1, std::memory_order_relaxed) + 1));
+  service_metrics().queue_depth.set(static_cast<double>(queue_.depth()));
+  publish_job_event(job, "running", job->queue_seconds, -1.0);
 
   // Apply the server-wide per-job thread ceiling on top of the job's own.
   JobSpec spec = job->spec;
@@ -386,9 +672,40 @@ void Server::execute(const std::shared_ptr<Job>& job) {
   std::string error;
   try {
     const std::shared_ptr<Job> token = job;
-    result = run_job(spec, &cache_, [token] {
+    RunHooks hooks;
+    hooks.cancel = [token] {
       return token->cancel_requested.load(std::memory_order_relaxed);
-    });
+    };
+    // Always record the latest snapshot (a cheap struct copy under the
+    // job lock: status replies carry it); serialize + fan out only when
+    // someone is actually subscribed — slow or absent consumers cost the
+    // executor nothing beyond this check.
+    hooks.progress = [this, token](const McProgress& p) {
+      {
+        std::lock_guard<std::mutex> lock(token->mu);
+        token->progress = p;
+        token->has_progress = true;
+      }
+      if (hub_.subscriber_count() == 0) return;
+      std::ostringstream es;
+      obs::JsonWriter ew(es, 0);
+      ew.begin_object();
+      ew.kv("event", "progress");
+      ew.kv("job_id", static_cast<unsigned long long>(token->id));
+      ew.kv("tenant", token->tenant);
+      write_progress_fields(ew, p);
+      ew.end_object();
+      hub_.publish(token->id, es.str());
+    };
+    hooks.on_checkpoint = [this, token] {
+      double queued_for;
+      {
+        std::lock_guard<std::mutex> lock(token->mu);
+        queued_for = token->queue_seconds;
+      }
+      publish_job_event(token, "checkpointed", queued_for, -1.0);
+    };
+    result = run_job(spec, &cache_, std::move(hooks));
   } catch (const std::exception& e) {
     error = e.what();
   } catch (...) {
@@ -397,22 +714,32 @@ void Server::execute(const std::shared_ptr<Job>& job) {
 
   const double elapsed = now_seconds() - start;
   service_metrics().job_seconds.observe(elapsed);
-  std::lock_guard<std::mutex> lock(job->mu);
-  job->run_seconds = elapsed;
-  if (!error.empty()) {
-    job->state = JobState::kFailed;
-    job->error = error;
-    service_metrics().failed.inc();
-  } else if (result.run.stop_reason == McStopReason::kCancelled) {
-    job->state = JobState::kCancelled;
-    job->result = std::move(result);
-    service_metrics().cancelled.inc();
-  } else {
-    job->state = JobState::kDone;
-    job->result = std::move(result);
-    service_metrics().completed.inc();
+  const char* final_state;
+  double queued_for;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->run_seconds = elapsed;
+    queued_for = job->queue_seconds;
+    if (!error.empty()) {
+      job->state = JobState::kFailed;
+      job->error = error;
+      service_metrics().failed.inc();
+    } else if (result.run.stop_reason == McStopReason::kCancelled) {
+      job->state = JobState::kCancelled;
+      job->result = std::move(result);
+      service_metrics().cancelled.inc();
+    } else {
+      job->state = JobState::kDone;
+      job->result = std::move(result);
+      service_metrics().completed.inc();
+    }
+    final_state = to_string(job->state);
+    job->cv.notify_all();
   }
-  job->cv.notify_all();
+  service_metrics().running.set(static_cast<double>(
+      running_jobs_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  service_metrics().queue_depth.set(static_cast<double>(queue_.depth()));
+  publish_job_event(job, final_state, queued_for, elapsed, error);
 }
 
 }  // namespace relsim::service

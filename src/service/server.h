@@ -30,7 +30,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/prometheus.h"
 #include "service/compiled_cache.h"
+#include "service/event_hub.h"
 #include "service/fair_queue.h"
 #include "service/job.h"
 
@@ -45,6 +48,20 @@ struct ServerOptions {
   /// thread_budget (0 = none): multi-tenant deployments set this so no
   /// request can monopolize the host.
   unsigned max_job_threads = 0;
+  /// Plain-HTTP /metrics listener on 127.0.0.1 (Prometheus text format).
+  /// -1 = disabled; 0 = ephemeral port (see metrics_http_port()).
+  int metrics_http_port = -1;
+  /// Non-empty: rotating JSONL log of every job transition (falls back to
+  /// RELSIM_EVENT_LOG / RELSIM_EVENT_LOG_MAX_BYTES when empty).
+  std::string event_log_path;
+  std::size_t event_log_max_bytes = 8u << 20;
+  /// Per-subscriber event queue depth; overflow drops the OLDEST events
+  /// (each subscriber sees its own dropped count inline in its stream).
+  std::size_t subscriber_queue = 256;
+  /// Test hook: false makes the daemon answer subscribe with the generic
+  /// unknown-op error, emulating a pre-telemetry daemon for client
+  /// fallback tests.
+  bool enable_subscribe = true;
 };
 
 class Server {
@@ -65,6 +82,9 @@ class Server {
 
   const ServerOptions& options() const { return options_; }
   int tcp_port() const { return tcp_port_; }  ///< resolved ephemeral port
+  /// Resolved /metrics listener port (-1 when disabled).
+  int metrics_http_port() const { return http_port_; }
+  EventHub& event_hub() { return hub_; }
 
   bool shutdown_requested() const {
     return shutdown_requested_.load(std::memory_order_relaxed);
@@ -84,14 +104,30 @@ class Server {
  private:
   void accept_loop();
   void connection_loop(int fd);
+  void http_loop(int fd);
+  /// Dedicates `fd` to a line-delimited event stream until the client
+  /// disconnects or the server stops (the connection never returns to
+  /// request/reply mode).
+  void serve_subscription(int fd, std::uint64_t job_filter);
   void executor_loop();
   void execute(const std::shared_ptr<Job>& job);
   std::shared_ptr<Job> submit(const std::string& tenant, int priority,
                               JobSpec spec);
+  /// Serializes + fans out one job lifecycle event (and appends it to the
+  /// event log). Negative queue/run seconds are omitted from the payload.
+  void publish_job_event(const std::shared_ptr<Job>& job, const char* state,
+                         double queue_seconds, double run_seconds,
+                         const std::string& error = std::string());
+  /// Daemon-wide stats event (job_id 0: unfiltered subscribers only).
+  void publish_stats();
 
   ServerOptions options_;
   CompiledCircuitCache cache_;
   FairShareQueue queue_;
+  EventHub hub_;
+  std::unique_ptr<obs::EventLog> event_log_;
+  obs::MetricsExporter exporter_;
+  std::atomic<int> running_jobs_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> shutdown_requested_{false};
@@ -101,6 +137,8 @@ class Server {
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
   int tcp_port_ = -1;
+  int http_fd_ = -1;
+  int http_port_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::thread accept_thread_;
   std::vector<std::thread> executors_;

@@ -156,6 +156,7 @@ McRequest request_for(const JobSpec& spec) {
   req.checkpoint_path = spec.checkpoint_path;
   req.checkpoint_every = spec.checkpoint_every;
   req.manifest_path = spec.manifest_path;
+  req.progress_every = spec.progress_every;
   req.run_label = !spec.label.empty()
                       ? spec.label
                       : std::string("service.") + to_string(spec.kind);
@@ -164,9 +165,18 @@ McRequest request_for(const JobSpec& spec) {
 
 McResult run_job(const JobSpec& spec, CompiledCircuitCache* cache,
                  std::function<bool()> cancel) {
+  RunHooks hooks;
+  hooks.cancel = std::move(cancel);
+  return run_job(spec, cache, std::move(hooks));
+}
+
+McResult run_job(const JobSpec& spec, CompiledCircuitCache* cache,
+                 RunHooks hooks) {
   RELSIM_REQUIRE(spec.n > 0, "job needs a sample count (n > 0)");
   McRequest req = request_for(spec);
-  req.cancel = std::move(cancel);
+  req.cancel = std::move(hooks.cancel);
+  req.progress = std::move(hooks.progress);
+  req.on_checkpoint = std::move(hooks.on_checkpoint);
   switch (spec.kind) {
     case JobKind::kSynthetic: return run_synthetic(spec, std::move(req));
     case JobKind::kDcYield: return run_dc_yield(spec, cache, std::move(req));

@@ -18,6 +18,15 @@ namespace relsim::service {
 /// leave it empty.
 McRequest request_for(const JobSpec& spec);
 
+/// Observer hooks a caller (the daemon) installs on a job run. All four
+/// map 1:1 onto McRequest fields; none of them affects the run's results —
+/// progress snapshots obey McProgress's determinism contract regardless.
+struct RunHooks {
+  std::function<bool()> cancel;
+  std::function<void(const McProgress&)> progress;
+  std::function<void()> on_checkpoint;
+};
+
 /// Runs the job to completion on the calling thread and returns its
 /// McResult (throws what the evaluation throws, e.g. NetlistError on a
 /// bad netlist or ConvergenceError under kAbort).
@@ -28,6 +37,10 @@ McRequest request_for(const JobSpec& spec);
 /// `cancel` (optional) is installed as McRequest::cancel.
 McResult run_job(const JobSpec& spec, CompiledCircuitCache* cache,
                  std::function<bool()> cancel = {});
+
+/// As above with the full hook set (the daemon's entry point).
+McResult run_job(const JobSpec& spec, CompiledCircuitCache* cache,
+                 RunHooks hooks);
 
 /// Evaluates a dc_yield pass/fail decision on a solved DC solution:
 /// every constraint's node voltage within [lo, hi]. Exposed for tests.

@@ -498,10 +498,52 @@ McResult run_session(const McRequest& req, RunKind kind,
   std::map<std::size_t, std::string> reasons;
   std::atomic<std::size_t> retried_total{0};
   std::atomic<std::size_t> recovered_total{0};
-  std::size_t last_progress = 0;
+  // Progress snapshots fire when the committed prefix crosses multiples of
+  // progress_every, INSIDE the index-ordered fold — so the sequence of
+  // snapshot contents (seq, counts, intervals) is a pure function of the
+  // request, identical for any worker count. retried/restored are
+  // accumulated over the committed prefix for the same reason: the racy
+  // run-wide atomics above are for end-of-run telemetry only.
+  std::size_t progress_seq = 0;
+  std::size_t retried_committed = 0;
+  std::size_t restored_committed = 0;
   const std::size_t progress_every =
       req.progress_every > 0 ? req.progress_every
                              : std::max<std::size_t>(1, n / 100);
+  std::size_t next_progress = progress_every;
+
+  auto emit_progress = [&] {
+    McProgress p;
+    p.seq = progress_seq++;
+    p.completed = committed;
+    p.total = n;
+    p.passed = passed;
+    p.failed = failed_committed;
+    p.retried = retried_committed;
+    if (yield_kind && committed > 0) {
+      if (weighted && wsums.w > 0.0) {
+        p.weighted = true;
+        p.interval = self_normalized_interval(wsums);
+        p.ess = wsums.ess();
+      } else {
+        p.interval =
+            wilson_interval(passed, committed, failed_committed, req.censored);
+      }
+      p.ci_half_width = 0.5 * (p.interval.hi - p.interval.lo);
+    }
+    p.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    const std::size_t executed = committed - restored_committed;
+    if (p.elapsed_seconds > 0.0 && executed > 0) {
+      p.samples_per_sec =
+          static_cast<double>(executed) / p.elapsed_seconds;
+      p.eta_seconds =
+          static_cast<double>(n - committed) / p.samples_per_sec;
+    }
+    req.progress(p);
+  };
 
   // Writes the checkpoint from the ranges retired so far (not just the
   // committed prefix: out-of-order stolen chunks are saved too).
@@ -604,6 +646,12 @@ McResult run_session(const McRequest& req, RunKind kind,
       const Range g = ranges[committed_ranges];
       for (std::size_t i = g.lo; i < g.hi; ++i) {
         const double v = values[i];
+        // attempts[i] is final once its range retires, and a function of
+        // the index alone — prefix-accumulated counts stay deterministic.
+        if (attempts[i] > 1) {
+          retried_committed += static_cast<std::size_t>(attempts[i]) - 1;
+        }
+        if (done[i]) ++restored_committed;
         if (status[i] != 0) {
           // Censored: the evaluation itself failed. Folded in per the
           // censored policy; the record list is capped but the count
@@ -655,26 +703,24 @@ McResult run_session(const McRequest& req, RunKind kind,
       }
       committed += g.size();
       ++committed_ranges;
+      // One snapshot per crossed threshold, before the stopping decision:
+      // an early-stopped run's last snapshot is exactly the decision
+      // prefix. Content depends only on the committed prefix, so the
+      // emitted sequence is identical for any worker count.
+      if (req.progress && committed >= next_progress) {
+        emit_progress();
+        while (next_progress <= committed) next_progress += progress_every;
+      }
       evaluate_stopping();
       if (decided) break;
     }
     if (decided) return;
-    if (req.progress && committed - last_progress >= progress_every) {
-      last_progress = committed;
-      McProgress p;
-      p.completed = committed;
-      p.total = n;
-      p.passed = passed;
-      if (yield_kind && committed > 0) {
-        p.interval = wilson_interval(passed, committed);
-      }
-      req.progress(p);
-    }
     if (!req.checkpoint_path.empty() && committed_ranges < range_count &&
         committed - last_checkpoint >=
             std::max<std::size_t>(1, req.checkpoint_every)) {
       last_checkpoint = committed;
       snapshot_checkpoint();
+      if (req.on_checkpoint) req.on_checkpoint();
     }
   };
 
@@ -761,6 +807,7 @@ McResult run_session(const McRequest& req, RunKind kind,
   std::vector<std::exception_ptr> errors(workers);
 
   auto worker_body = [&](unsigned w) {
+    obs::trace_set_thread_name("mc.worker/" + std::to_string(w));
     McWorkerTelemetry& tel = telemetry[w];
     tel.worker = w;
     const auto t0 = std::chrono::steady_clock::now();

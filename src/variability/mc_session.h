@@ -156,11 +156,35 @@ enum class McCheckpointRecovery {
   kDiscardCorrupt,  ///< warn, delete nothing, restart from zero samples
 };
 
+/// One live-progress snapshot, published at deterministic chunk-commit
+/// boundaries: the k-th snapshot of a run fires when the committed prefix
+/// first reaches k * progress_every samples, and every field except the
+/// wall-clock block below is derived from that prefix alone. Contract:
+/// for a fixed request {seed, n, chunk, strategy, ...} the SEQUENCE of
+/// snapshot contents is bit-identical for any worker count — the
+/// telemetry substrate the sharding coordinator's straggler logic needs.
 struct McProgress {
+  std::size_t seq = 0;        ///< 0-based snapshot number within the run
   std::size_t completed = 0;  ///< committed samples so far
   std::size_t total = 0;      ///< requested sample count
   std::size_t passed = 0;     ///< passes among committed (yield runs)
+  std::size_t failed = 0;     ///< censored samples among committed
+  /// Retry attempts spent on committed samples (kRetryThenSkip). Counted
+  /// over the committed prefix — NOT the racy run-wide retry counter — so
+  /// it obeys the determinism contract.
+  std::size_t retried = 0;
+  /// Current estimate: the self-normalized weighted interval for
+  /// importance runs (weighted == true), pooled Wilson otherwise.
   ProportionInterval interval{0.0, 0.0, 0.0};
+  double ci_half_width = 0.0;
+  bool weighted = false;
+  double ess = 0.0;  ///< Kish ESS of the committed prefix (weighted runs)
+  // -- Wall-clock fields: EXCLUDED from the determinism contract. --------
+  double elapsed_seconds = 0.0;
+  /// Evaluation rate over samples actually executed this run (checkpoint-
+  /// restored samples are not counted as work done).
+  double samples_per_sec = 0.0;
+  double eta_seconds = 0.0;  ///< 0 when the rate is not yet measurable
 };
 
 /// Everything a Monte-Carlo run needs, in one struct.
@@ -218,7 +242,14 @@ struct McRequest {
   bool keep_values = false;
   /// Progress callback cadence in committed samples (0 = auto: ~1% of n).
   std::size_t progress_every = 0;
+  /// Called under the commit lock whenever the committed prefix crosses a
+  /// progress_every threshold (see McProgress for the determinism
+  /// contract). Keep it cheap — it runs on whichever worker commits.
   std::function<void(const McProgress&)> progress;
+  /// Called (under the commit lock) right after each MID-RUN checkpoint
+  /// write — the hook a daemon uses to surface "checkpointed" lifecycle
+  /// events. The final end-of-run checkpoint does not fire it.
+  std::function<void()> on_checkpoint;
   /// Cooperative cancellation token, polled by every worker between
   /// samples and before each range claim. Must be safe to call from any
   /// worker thread (an atomic-flag read is the intended shape). Once it

@@ -245,6 +245,90 @@ TEST(McSessionTest, ProgressCallbackSeesMonotonePrefix) {
   EXPECT_GE(calls, 4u);
 }
 
+// The McProgress determinism contract: for a fixed request, the SEQUENCE
+// of snapshot contents — everything except the wall-clock block — is
+// bit-identical for any worker count. This is what lets a daemon stream
+// live progress without weakening the run's reproducibility story.
+TEST(McSessionTest, ProgressSnapshotsIdenticalAcrossWorkerCounts) {
+  const auto collect = [](unsigned threads) {
+    McRequest req = base_request(77, 3000);
+    req.threads = threads;
+    req.chunk = 16;
+    req.progress_every = 250;
+    std::vector<McProgress> snaps;
+    req.progress = [&](const McProgress& p) { snaps.push_back(p); };
+    McSession(req).run_yield(coin_pass);
+    return snaps;
+  };
+
+  const std::vector<McProgress> baseline = collect(1);
+  ASSERT_GE(baseline.size(), 10u);
+  for (const unsigned threads : {4u, 8u}) {
+    const std::vector<McProgress> snaps = collect(threads);
+    ASSERT_EQ(snaps.size(), baseline.size()) << threads << " workers";
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      const McProgress& a = baseline[i];
+      const McProgress& b = snaps[i];
+      EXPECT_EQ(b.seq, a.seq);
+      EXPECT_EQ(b.completed, a.completed);
+      EXPECT_EQ(b.total, a.total);
+      EXPECT_EQ(b.passed, a.passed);
+      EXPECT_EQ(b.failed, a.failed);
+      EXPECT_EQ(b.retried, a.retried);
+      EXPECT_EQ(b.interval.estimate, a.interval.estimate);  // bit-exact
+      EXPECT_EQ(b.interval.lo, a.interval.lo);
+      EXPECT_EQ(b.interval.hi, a.interval.hi);
+      EXPECT_EQ(b.ci_half_width, a.ci_half_width);
+      EXPECT_EQ(b.weighted, a.weighted);
+      EXPECT_EQ(b.ess, a.ess);
+    }
+  }
+}
+
+// failed/retried in a snapshot are accumulated over the committed prefix,
+// so censoring under kRetryThenSkip surfaces deterministically.
+TEST(McSessionTest, ProgressReportsCensoredAndRetriedCounts) {
+  McRequest req = base_request(5, 600);
+  req.threads = 4;
+  req.chunk = 16;
+  req.progress_every = 100;
+  req.failure_policy = McFailurePolicy::kRetryThenSkip;
+  req.max_retries = 2;
+  std::vector<McProgress> snaps;
+  req.progress = [&](const McProgress& p) { snaps.push_back(p); };
+  const McResult result =
+      McSession(req).run_yield([](Xoshiro256& rng, std::size_t i) {
+        if (i % 50 == 0) throw Error("synthetic failure");
+        return rng.uniform01() < 0.8;
+      });
+
+  // Indices 0, 50, ..., 550 fail every attempt: 12 censored samples, each
+  // burning max_retries retry attempts.
+  EXPECT_EQ(result.run.failed_total, 12u);
+  ASSERT_FALSE(snaps.empty());
+  const McProgress& last = snaps.back();
+  EXPECT_EQ(last.completed, 600u);
+  EXPECT_EQ(last.failed, 12u);
+  EXPECT_EQ(last.retried, 24u);
+  EXPECT_EQ(last.passed, result.estimate.passed);
+  EXPECT_EQ(last.interval.estimate, result.estimate.interval.estimate);
+}
+
+TEST(McSessionTest, OnCheckpointFiresForMidRunWritesOnly) {
+  ScratchFile ckpt("mc_session_on_checkpoint.ckpt");
+  McRequest req = base_request(31, 1000);
+  req.chunk = 16;
+  req.checkpoint_path = ckpt.path();
+  req.checkpoint_every = 200;
+  std::size_t hooks = 0;
+  req.on_checkpoint = [&] { ++hooks; };
+  McSession(req).run_yield(coin_pass);
+  // Mid-run writes only: the final end-of-run checkpoint must not fire
+  // the hook (the daemon publishes a terminal event instead).
+  EXPECT_GE(hooks, 2u);
+  EXPECT_LE(hooks, 5u);
+}
+
 TEST(McSessionTest, ResolveThreadsHonorsEnvOverride) {
   const char* saved = std::getenv("RELSIM_THREADS");
   const std::string saved_value = saved != nullptr ? saved : "";

@@ -1,0 +1,311 @@
+// Exporter-layer tests for relsim::obs — the shared histogram_quantile
+// math, the Prometheus text exposition renderer (validated line by line
+// against the 0.0.4 format rules), and the rotating JSONL event log.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace relsim {
+namespace {
+
+// --- histogram_quantile ------------------------------------------------------
+
+TEST(HistogramQuantileTest, EmptySnapshotIsZero) {
+  obs::Histogram h;
+  EXPECT_EQ(obs::histogram_quantile(h.snapshot(), 0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleValueCollapsesToIt) {
+  obs::Histogram h;
+  h.observe(3.25);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, q), 3.25) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, ClampedToObservedExtremesAndMonotone) {
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const obs::Histogram::Snapshot s = h.snapshot();
+
+  EXPECT_EQ(obs::histogram_quantile(s, 0.0), 1.0);    // exact min
+  EXPECT_EQ(obs::histogram_quantile(s, 1.0), 1000.0);  // exact max
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = obs::histogram_quantile(s, q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    EXPECT_GE(v, s.min);
+    EXPECT_LE(v, s.max);
+    prev = v;
+  }
+  // The median of 1..1000 must land in the right power-of-two bucket
+  // ([256, 512)) — geometric interpolation cannot wander off by a bucket.
+  const double p50 = obs::histogram_quantile(s, 0.5);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 512.0);
+}
+
+TEST(HistogramQuantileTest, OutOfRangeQuantilesClamp) {
+  obs::Histogram h;
+  h.observe(1.0);
+  h.observe(2.0);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(obs::histogram_quantile(s, -0.5), s.min);
+  EXPECT_EQ(obs::histogram_quantile(s, 7.0), s.max);
+}
+
+// --- prometheus_name ---------------------------------------------------------
+
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("service.job_seconds"),
+            "relsim_service_job_seconds");
+  EXPECT_EQ(obs::prometheus_name("mc.samples"), "relsim_mc_samples");
+  EXPECT_EQ(obs::prometheus_name("relsim_already_prefixed"),
+            "relsim_already_prefixed");
+  EXPECT_EQ(obs::prometheus_name("weird-name+x"), "relsim_weird_name_x");
+}
+
+// --- text exposition, validated line by line ---------------------------------
+
+struct ExpoLine {
+  std::string name;    // metric name without labels
+  std::string labels;  // raw label block, "" when absent
+  double value = 0.0;
+};
+
+/// Parses the rendered exposition: every line must be either a
+/// "# TYPE <name> <type>" comment or "<name>[{labels}] <value>", and every
+/// sample's family must have been declared by a preceding TYPE line.
+void parse_exposition(const std::string& text,
+                      std::map<std::string, std::string>* types,
+                      std::vector<ExpoLine>* samples) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kw, name, type;
+      ls >> hash >> kw >> name >> type;
+      ASSERT_EQ(hash, "#") << line;
+      ASSERT_EQ(kw, "TYPE") << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      ASSERT_EQ(types->count(name), 0u) << "duplicate TYPE for " << name;
+      (*types)[name] = type;
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    ExpoLine s;
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      s.labels = name.substr(brace + 1, name.size() - brace - 2);
+      name = name.substr(0, brace);
+    }
+    s.name = name;
+    if (value == "+Inf") {
+      s.value = std::numeric_limits<double>::infinity();
+    } else {
+      s.value = std::stod(value);
+    }
+    // Family lookup: histogram samples carry _bucket/_sum/_count suffixes.
+    std::string fam = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string suf(suffix);
+      if (fam.size() > suf.size() &&
+          fam.compare(fam.size() - suf.size(), suf.size(), suf) == 0 &&
+          types->count(fam.substr(0, fam.size() - suf.size())) > 0) {
+        fam = fam.substr(0, fam.size() - suf.size());
+        break;
+      }
+    }
+    ASSERT_EQ(types->count(fam), 1u)
+        << "sample " << line << " has no TYPE declaration";
+    samples->push_back(std::move(s));
+  }
+}
+
+TEST(PrometheusTest, RendersValidExpositionForFreshRegistry) {
+  obs::MetricsRegistry reg;
+  reg.counter("service.jobs_submitted").inc(42);
+  reg.gauge("service.queue_depth").set(3.0);
+  obs::Histogram& h = reg.histogram("service.job_seconds");
+  for (int i = 0; i < 100; ++i) h.observe(0.001 * (i + 1));
+
+  const std::string text = obs::to_prometheus_text(reg.snapshot());
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+
+  std::map<std::string, std::string> types;
+  std::vector<ExpoLine> samples;
+  parse_exposition(text, &types, &samples);
+  if (HasFatalFailure()) return;
+
+  EXPECT_EQ(types.at("relsim_service_jobs_submitted"), "counter");
+  EXPECT_EQ(types.at("relsim_service_queue_depth"), "gauge");
+  EXPECT_EQ(types.at("relsim_service_job_seconds"), "histogram");
+
+  double counter_v = -1.0, gauge_v = -1.0, count_v = -1.0, sum_v = -1.0;
+  double p50 = -1, p90 = -1, p99 = -1, min_v = -1, max_v = -1;
+  double prev_bucket = -1.0;
+  double prev_le = 0.0;
+  bool saw_inf_bucket = false;
+  for (const ExpoLine& s : samples) {
+    if (s.name == "relsim_service_jobs_submitted") counter_v = s.value;
+    if (s.name == "relsim_service_queue_depth") gauge_v = s.value;
+    if (s.name == "relsim_service_job_seconds_count") count_v = s.value;
+    if (s.name == "relsim_service_job_seconds_sum") sum_v = s.value;
+    if (s.name == "relsim_service_job_seconds_p50") p50 = s.value;
+    if (s.name == "relsim_service_job_seconds_p90") p90 = s.value;
+    if (s.name == "relsim_service_job_seconds_p99") p99 = s.value;
+    if (s.name == "relsim_service_job_seconds_min") min_v = s.value;
+    if (s.name == "relsim_service_job_seconds_max") max_v = s.value;
+    if (s.name == "relsim_service_job_seconds_bucket") {
+      // Bucket boundaries ascend and counts are cumulative.
+      ASSERT_EQ(s.labels.rfind("le=\"", 0), 0u) << s.labels;
+      const std::string le = s.labels.substr(4, s.labels.size() - 5);
+      if (le == "+Inf") {
+        saw_inf_bucket = true;
+        EXPECT_EQ(s.value, 100.0);
+      } else {
+        const double edge = std::stod(le);
+        EXPECT_GT(edge, prev_le);
+        prev_le = edge;
+        EXPECT_GE(s.value, prev_bucket);
+        prev_bucket = s.value;
+      }
+    }
+  }
+  EXPECT_EQ(counter_v, 42.0);
+  EXPECT_EQ(gauge_v, 3.0);
+  EXPECT_EQ(count_v, 100.0);
+  EXPECT_TRUE(saw_inf_bucket);
+  EXPECT_GT(sum_v, 0.0);
+  // Derived quantiles: ordered, clamped to the exact extremes.
+  EXPECT_EQ(min_v, 0.001);
+  EXPECT_EQ(max_v, 0.1);
+  EXPECT_LE(min_v, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, max_v);
+}
+
+TEST(PrometheusTest, ExporterMatchesFreeFunction) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").inc(7);
+  reg.histogram("a.hist").observe(1.5);
+  const obs::MetricsExporter exporter(reg);
+  EXPECT_EQ(exporter.render(), obs::to_prometheus_text(reg.snapshot()));
+}
+
+TEST(PrometheusTest, EmptyHistogramRendersZeroes) {
+  obs::MetricsRegistry reg;
+  reg.histogram("quiet.hist");
+  const std::string text = obs::to_prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("relsim_quiet_hist_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("relsim_quiet_hist_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("relsim_quiet_hist_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+}
+
+// --- rotating event log ------------------------------------------------------
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+class ScratchLog {
+ public:
+  explicit ScratchLog(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    cleanup();
+  }
+  ~ScratchLog() { cleanup(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void cleanup() {
+    std::remove(path_.c_str());
+    for (int i = 1; i <= 8; ++i) {
+      std::remove((path_ + "." + std::to_string(i)).c_str());
+    }
+  }
+  std::string path_;
+};
+
+TEST(EventLogTest, AppendsAndRotatesLikeLogrotate) {
+  ScratchLog scratch("relsim_event_log_test.jsonl");
+  const std::string line(39, 'x');  // 40 bytes per append with the '\n'
+
+  obs::EventLog log(scratch.path(), /*max_bytes=*/100, /*keep=*/2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(log.append(line)) << "append " << i;
+  }
+  // Two 40-byte lines fit under the 100-byte cap; the third forces a
+  // rotation — 10 appends -> 4 rotations, 2 lines per retired file.
+  EXPECT_EQ(log.rotations(), 4u);
+  EXPECT_EQ(count_lines(scratch.path()), 2u);
+  EXPECT_EQ(count_lines(scratch.path() + ".1"), 2u);
+  EXPECT_EQ(count_lines(scratch.path() + ".2"), 2u);
+  // keep=2: nothing survives past path.2.
+  EXPECT_FALSE(file_exists(scratch.path() + ".3"));
+}
+
+TEST(EventLogTest, ExistingBytesCountAgainstTheCap) {
+  ScratchLog scratch("relsim_event_log_preload.jsonl");
+  {
+    std::ofstream seed(scratch.path());
+    seed << std::string(90, 'y') << "\n";
+  }
+  obs::EventLog log(scratch.path(), /*max_bytes=*/100, /*keep=*/1);
+  EXPECT_TRUE(log.append("{\"event\":\"x\"}"));
+  EXPECT_EQ(log.rotations(), 1u);  // the preloaded 91 bytes forced it
+  EXPECT_EQ(count_lines(scratch.path()), 1u);
+  EXPECT_EQ(count_lines(scratch.path() + ".1"), 1u);
+}
+
+TEST(EventLogTest, FromEnvHonorsPathAndCap) {
+  ScratchLog scratch("relsim_event_log_env.jsonl");
+  ::setenv("RELSIM_EVENT_LOG", scratch.path().c_str(), 1);
+  ::setenv("RELSIM_EVENT_LOG_MAX_BYTES", "100", 1);
+  std::unique_ptr<obs::EventLog> log = obs::event_log_from_env();
+  ::unsetenv("RELSIM_EVENT_LOG");
+  ::unsetenv("RELSIM_EVENT_LOG_MAX_BYTES");
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->path(), scratch.path());
+  const std::string line(60, 'z');
+  EXPECT_TRUE(log->append(line));
+  EXPECT_TRUE(log->append(line));
+  EXPECT_EQ(log->rotations(), 1u);  // the 100-byte env cap took effect
+
+  EXPECT_EQ(obs::event_log_from_env(), nullptr);  // unset -> disabled
+}
+
+}  // namespace
+}  // namespace relsim

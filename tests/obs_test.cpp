@@ -527,6 +527,41 @@ TEST(TraceTest, SessionWritesWellFormedNestedSpans) {
   std::remove(path.c_str());
 }
 
+TEST(TraceTest, FlushEmitsProcessAndThreadNameMetadata) {
+  const std::string path = "obs_test_trace_meta.json";
+  std::remove(path.c_str());
+  {
+    obs::TraceSession session(path);
+    obs::trace_set_thread_name("test.main");
+    { const obs::TraceSpan span("named.work"); }
+    std::thread unnamed([] { const obs::TraceSpan span("worker.span"); });
+    unnamed.join();
+    ASSERT_TRUE(session.flush());
+  }
+
+  const Json doc = parse_file(path);
+  const Json& events = doc.at("traceEvents");
+  bool process_named = false;
+  bool main_named = false;
+  bool fallback_named = false;
+  for (const Json& e : events.arr) {
+    if (e.at("ph").str != "M") continue;
+    const std::string& name = e.at("name").str;
+    const std::string& value = e.at("args").at("name").str;
+    if (name == "process_name" && value == "relsim") process_named = true;
+    if (name == "thread_name" && value == "test.main") main_named = true;
+    // A thread that never called trace_set_thread_name still gets a
+    // stable "thread/<tid>" label.
+    if (name == "thread_name" && value.rfind("thread/", 0) == 0) {
+      fallback_named = true;
+    }
+  }
+  EXPECT_TRUE(process_named);
+  EXPECT_TRUE(main_named);
+  EXPECT_TRUE(fallback_named);
+  std::remove(path.c_str());
+}
+
 // --- manifest ----------------------------------------------------------------
 
 TEST(ManifestTest, McSessionWritesParsableManifest) {

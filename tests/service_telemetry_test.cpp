@@ -1,0 +1,451 @@
+// Live-telemetry tests for the daemon: EventHub isolation and drop
+// accounting, the subscribe streaming op (lifecycle + deterministic
+// progress snapshots), metrics_text / the HTTP /metrics listener, the
+// rotating event log, and the client-side wait fallback against a daemon
+// that predates the subscribe op.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_value.h"
+#include "service/client.h"
+#include "service/event_hub.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/socket_io.h"
+#include "service/workload.h"
+#include "util/error.h"
+
+namespace relsim::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- EventHub ---------------------------------------------------------------
+
+TEST(EventHubTest, FiltersByJobId) {
+  EventHub hub(16);
+  const auto all = hub.subscribe(0);
+  const auto only2 = hub.subscribe(2);
+
+  hub.publish(1, R"({"job":1})");
+  hub.publish(2, R"({"job":2})");
+  hub.publish(0, R"({"event":"stats"})");  // daemon-wide: unfiltered only
+
+  std::string line;
+  ASSERT_TRUE(all->next(line, 100ms));
+  EXPECT_EQ(line, R"({"job":1})");
+  ASSERT_TRUE(all->next(line, 100ms));
+  EXPECT_EQ(line, R"({"job":2})");
+  ASSERT_TRUE(all->next(line, 100ms));
+  EXPECT_EQ(line, R"({"event":"stats"})");
+
+  ASSERT_TRUE(only2->next(line, 100ms));
+  EXPECT_EQ(line, R"({"job":2})");
+  EXPECT_FALSE(only2->next(line, 10ms));  // nothing else matched
+  hub.close();
+}
+
+TEST(EventHubTest, SlowSubscriberDropsOldestAndSurfacesTheGap) {
+  EventHub hub(4);
+  const auto sub = hub.subscribe(0);
+  for (int i = 0; i < 10; ++i) {
+    hub.publish(1, "{\"n\":" + std::to_string(i) + "}");
+  }
+  // 10 published into a 4-deep queue: the 6 oldest were dropped, and the
+  // reader learns about the gap FIRST, as a synthesized inline record.
+  std::string line;
+  ASSERT_TRUE(sub->next(line, 100ms));
+  const obs::JsonValue gap = obs::JsonValue::parse(line);
+  EXPECT_EQ(gap.get_string("event", ""), "dropped");
+  EXPECT_EQ(gap.get_u64("count", 0), 6u);
+  for (int i = 6; i < 10; ++i) {
+    ASSERT_TRUE(sub->next(line, 100ms)) << i;
+    EXPECT_EQ(line, "{\"n\":" + std::to_string(i) + "}");
+  }
+  EXPECT_EQ(sub->dropped(), 6u);
+  hub.close();
+}
+
+TEST(EventHubTest, CloseDrainsThenEndsTheStream) {
+  EventHub hub(8);
+  const auto sub = hub.subscribe(0);
+  hub.publish(1, "queued-before-close");
+  hub.close();
+
+  EXPECT_FALSE(sub->closed());  // still has the queued event
+  std::string line;
+  ASSERT_TRUE(sub->next(line, 100ms));
+  EXPECT_EQ(line, "queued-before-close");
+  EXPECT_TRUE(sub->closed());
+  EXPECT_FALSE(sub->next(line, 10ms));
+
+  EXPECT_EQ(hub.subscriber_count(), 0u);       // close() dropped them
+  EXPECT_TRUE(hub.subscribe(0)->closed());     // late subscribers: closed
+  hub.publish(1, "after-close");               // must be a silent no-op
+}
+
+// --- daemon fixture ---------------------------------------------------------
+
+class TelemetryFixture : public ::testing::Test {
+ protected:
+  void start(ServerOptions options) {
+    // Unique per process: ctest runs fixture tests in parallel, and two
+    // servers sharing a socket path unlink each other out from under the
+    // clients.
+    options.socket_path = ::testing::TempDir() + "relsim_telemetry_" +
+                          std::to_string(::getpid()) + ".sock";
+    options.executors = 2;
+    if (options.subscriber_queue == 256) options.subscriber_queue = 4096;
+    server_ = std::make_unique<Server>(std::move(options));
+    server_->start();
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  Client connect() {
+    return Client::connect_unix(server_->options().socket_path);
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+JobSpec synthetic_spec(std::size_t n, unsigned threads) {
+  JobSpec spec;
+  spec.kind = JobKind::kSynthetic;
+  spec.pass_prob = 0.8;
+  spec.seed = 4242;
+  spec.n = n;
+  spec.threads = threads;
+  spec.chunk = 64;
+  spec.keep_values = true;
+  spec.progress_every = n / 20;  // 20 snapshots per run
+  return spec;
+}
+
+/// Deterministic progress fields of one streamed snapshot (the wall-clock
+/// block is explicitly outside the contract).
+struct SnapshotKey {
+  std::uint64_t seq, completed, passed, failed, retried;
+  double yield, lo, hi, ci;
+
+  bool operator==(const SnapshotKey&) const = default;
+};
+
+SnapshotKey key_of(const obs::JsonValue& e) {
+  return {e.get_u64("seq", 9999),     e.get_u64("completed", 0),
+          e.get_u64("passed", 0),     e.get_u64("failed", 0),
+          e.get_u64("retried", 0),    e.get_double("yield", -1),
+          e.get_double("yield_lo", -1), e.get_double("yield_hi", -1),
+          e.get_double("ci_half_width", -1)};
+}
+
+/// Subscribes unfiltered BEFORE submitting (so no early events are
+/// missed), submits `spec`, and collects the job's progress snapshots and
+/// lifecycle states until the terminal event.
+struct StreamedRun {
+  std::uint64_t job_id = 0;
+  std::vector<SnapshotKey> snapshots;
+  std::vector<std::string> states;
+  std::string final_state;
+};
+
+/// Polls the hub until `count` subscribers are attached — subscription
+/// registration happens on the daemon's connection thread, so both the
+/// attach and the previous subscriber's detach need an explicit rendezvous
+/// before submitting (otherwise early events race the registration).
+void wait_subscribers(Server& server, std::size_t count) {
+  for (int i = 0; i < 5000; ++i) {
+    if (server.event_hub().subscriber_count() == count) return;
+    std::this_thread::sleep_for(1ms);
+  }
+  FAIL() << "subscriber count never reached " << count;
+}
+
+StreamedRun stream_run(Server& server, Client&& subscriber,
+                       Client& submitter, const JobSpec& spec) {
+  StreamedRun out;
+  wait_subscribers(server, 0);
+  std::thread sub_thread([&out, sub = std::move(subscriber)]() mutable {
+    sub.subscribe(0, [&out](const obs::JsonValue& e) {
+      const std::string event = e.get_string("event", "");
+      if (event == "progress") {
+        out.snapshots.push_back(key_of(e));
+        return true;
+      }
+      if (event != "job") return true;  // stats etc.
+      const std::string state = e.get_string("state", "");
+      out.states.push_back(state);
+      if (state == "done" || state == "failed" || state == "cancelled") {
+        out.final_state = state;
+        return false;
+      }
+      return true;
+    });
+  });
+  wait_subscribers(server, 1);
+  out.job_id = submitter.submit("tenant-t", 0, spec);
+  sub_thread.join();
+  EXPECT_GT(out.job_id, 0u);
+  return out;
+}
+
+TEST_F(TelemetryFixture, SubscriberStreamsLifecycleAndProgressSnapshots) {
+  start({});
+  Client submitter = connect();
+  const JobSpec spec = synthetic_spec(100000, 2);
+  const StreamedRun run = stream_run(*server_, connect(), submitter, spec);
+
+  EXPECT_EQ(run.final_state, "done");
+  // Lifecycle arrives in order.
+  ASSERT_GE(run.states.size(), 3u);
+  EXPECT_EQ(run.states.front(), "queued");
+  EXPECT_EQ(run.states[1], "running");
+  EXPECT_EQ(run.states.back(), "done");
+  // The acceptance bar: a healthy stream carries many snapshots.
+  EXPECT_GE(run.snapshots.size(), 10u);
+  for (std::size_t i = 0; i < run.snapshots.size(); ++i) {
+    EXPECT_EQ(run.snapshots[i].seq, i);  // gap-free, ordered
+    EXPECT_LE(run.snapshots[i].completed, spec.n);
+  }
+
+  // Streaming must not perturb the run: the daemon result is bit-identical
+  // to a direct McSession run of the same spec.
+  Client fetcher = connect();
+  const obs::JsonValue reply = fetcher.result(run.job_id);
+  const obs::JsonValue* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+  const McResult direct = run_job(spec, nullptr);
+  EXPECT_EQ(result->get_u64("values_crc32", 0), values_crc32(direct));
+  EXPECT_GT(values_crc32(direct), 0u);
+}
+
+TEST_F(TelemetryFixture, SnapshotStreamIdenticalAcrossWorkerCounts) {
+  start({});
+  std::vector<std::vector<SnapshotKey>> runs;
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    Client submitter = connect();
+    const StreamedRun run = stream_run(*server_, connect(), submitter,
+                                       synthetic_spec(60000, threads));
+    EXPECT_EQ(run.final_state, "done") << threads;
+    runs.push_back(run.snapshots);
+  }
+  ASSERT_GE(runs[0].size(), 5u);
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size()) << "run " << r;
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_TRUE(runs[r][i] == runs[0][i])
+          << "snapshot " << i << " differs between 1 worker and run " << r;
+    }
+  }
+}
+
+TEST_F(TelemetryFixture, MetricsTextServesPrometheusExposition) {
+  start({});
+  Client client = connect();
+  const std::uint64_t id = client.submit("tenant-a", 0, synthetic_spec(20000, 2));
+  // Scrape concurrently with the running job: the op must serve a
+  // coherent snapshot regardless of executor state.
+  Client scraper = connect();
+  const std::string text = scraper.metrics_text();
+  EXPECT_NE(text.find("# TYPE relsim_service_jobs_submitted counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("relsim_service_jobs_submitted"), std::string::npos);
+  client.wait(id);
+
+  const std::string after = scraper.metrics_text();
+  EXPECT_NE(after.find("relsim_service_job_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(after.find("relsim_service_job_seconds_p99"), std::string::npos);
+}
+
+TEST_F(TelemetryFixture, HttpMetricsListenerServesExposition) {
+  ServerOptions options;
+  options.metrics_http_port = 0;  // ephemeral loopback port
+  start(std::move(options));
+  ASSERT_GE(server_->metrics_http_port(), 0);
+
+  const auto get = [&](const std::string& target) {
+    const int fd = connect_tcp("127.0.0.1", server_->metrics_http_port());
+    const std::string request =
+        "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    EXPECT_TRUE(write_all(fd, request));
+    std::string response;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string ok = get("/metrics");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("relsim_service_jobs_submitted"), std::string::npos);
+
+  EXPECT_NE(get("/nope").find("404"), std::string::npos);
+}
+
+TEST_F(TelemetryFixture, EventLogRecordsJobTransitions) {
+  const std::string log_path =
+      ::testing::TempDir() + "relsim_telemetry_events_" +
+      std::to_string(::getpid()) + ".jsonl";
+  std::remove(log_path.c_str());
+  ServerOptions options;
+  options.event_log_path = log_path;
+  start(std::move(options));
+
+  Client client = connect();
+  const std::uint64_t id = client.submit("tenant-log", 0, synthetic_spec(5000, 2));
+  ASSERT_EQ(client.wait(id).get_string("state", ""), "done");
+  server_->stop();
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> states;
+  std::string line;
+  double queue_seconds = -1.0, run_seconds = -1.0;
+  while (std::getline(in, line)) {
+    const obs::JsonValue e = obs::JsonValue::parse(line);
+    EXPECT_EQ(e.get_string("event", ""), "job");
+    EXPECT_EQ(e.get_u64("job_id", 0), id);
+    EXPECT_EQ(e.get_string("tenant", ""), "tenant-log");
+    states.push_back(e.get_string("state", ""));
+    if (states.back() == "done") {
+      queue_seconds = e.get_double("queue_seconds", -1.0);
+      run_seconds = e.get_double("run_seconds", -1.0);
+    }
+  }
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], "queued");
+  EXPECT_EQ(states[1], "running");
+  EXPECT_EQ(states[2], "done");
+  // SLO accounting latencies ride on the terminal record.
+  EXPECT_GE(queue_seconds, 0.0);
+  EXPECT_GE(run_seconds, 0.0);
+  std::remove(log_path.c_str());
+}
+
+TEST_F(TelemetryFixture, NonReadingSubscriberNeverBlocksJobs) {
+  start({});
+  // A subscriber that sends the subscribe frame and then never reads: the
+  // daemon must keep executing jobs at full speed regardless.
+  const int lazy = connect_unix(server_->options().socket_path);
+  ASSERT_TRUE(write_all(lazy, "{\"op\":\"subscribe\"}\n"));
+
+  Client client = connect();
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t id =
+        client.submit("tenant-a", 0, synthetic_spec(20000, 2));
+    EXPECT_EQ(client.wait(id).get_string("state", ""), "done");
+  }
+  ::close(lazy);
+}
+
+constexpr const char* kDivider = R"(mos divider
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+
+TEST_F(TelemetryFixture, StatusCarriesProgressWhileRunning) {
+  start({});
+  Client client = connect();
+  // Per-sample dc_yield re-parses the netlist for every sample — slow
+  // enough that status polls reliably catch the job mid-run.
+  JobSpec spec;
+  spec.kind = JobKind::kDcYield;
+  spec.netlist = kDivider;
+  spec.constraints.push_back({"d", 0.55, 0.75});
+  spec.eval_mode = McEvalMode::kPerSample;
+  spec.seed = 7;
+  spec.n = 20000;
+  spec.threads = 1;
+  spec.progress_every = 500;
+  const std::uint64_t id = client.submit("tenant-a", 0, spec);
+  bool saw_progress = false;
+  for (int i = 0; i < 5000 && !saw_progress; ++i) {
+    const obs::JsonValue reply = client.status(id);
+    const std::string state = reply.get_string("state", "");
+    if (state == "done") break;
+    if (state == "running") {
+      if (const obs::JsonValue* p = reply.find("progress")) {
+        EXPECT_GT(p->get_u64("completed", 0), 0u);
+        EXPECT_EQ(p->get_u64("total", 0), spec.n);
+        saw_progress = true;
+      }
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  client.wait(id);
+  EXPECT_TRUE(saw_progress);
+}
+
+TEST_F(TelemetryFixture, SubscribeInRequestReplyDispatcherIsRejected) {
+  start({});
+  // handle_frame (the socket-free dispatcher) must refuse subscribe with a
+  // pointed error instead of hijacking the reply channel.
+  const std::string reply = server_->handle_frame("{\"op\":\"subscribe\"}");
+  const obs::JsonValue v = obs::JsonValue::parse(reply);
+  EXPECT_FALSE(v.get_bool("ok", true));
+  EXPECT_NE(v.get_string("error", "").find("streaming"), std::string::npos);
+}
+
+TEST_F(TelemetryFixture, WaitWithEventsFallsBackOnPreTelemetryDaemon) {
+  ServerOptions options;
+  options.enable_subscribe = false;  // emulate an old daemon
+  start(std::move(options));
+
+  // subscribe is answered with the generic unknown-op error...
+  EXPECT_THROW(
+      connect().subscribe(0, [](const obs::JsonValue&) { return true; }),
+      Error);
+
+  // ...and wait_with_events degrades to backoff polling transparently.
+  Client client = connect();
+  const std::uint64_t id = client.submit("tenant-a", 0, synthetic_spec(50000, 2));
+  const obs::JsonValue reply =
+      wait_with_events(id, [&] { return connect(); });
+  EXPECT_EQ(reply.get_string("state", ""), "done");
+  ASSERT_NE(reply.find("result"), nullptr);
+}
+
+TEST_F(TelemetryFixture, WaitWithEventsStreamsWhenAvailable) {
+  start({});
+  Client client = connect();
+  // Big enough that the filtered subscription attaches (milliseconds)
+  // well before the run ends, so live snapshots actually flow.
+  const std::uint64_t id =
+      client.submit("tenant-a", 0, synthetic_spec(4000000, 1));
+  std::size_t events = 0;
+  std::size_t progress_events = 0;
+  const obs::JsonValue reply = wait_with_events(
+      id, [&] { return connect(); },
+      [&](const obs::JsonValue& e) {
+        ++events;
+        if (e.get_string("event", "") == "progress") ++progress_events;
+      });
+  EXPECT_EQ(reply.get_string("state", ""), "done");
+  ASSERT_NE(reply.find("result"), nullptr);
+  // At minimum the replay of the job's current state arrived; on any
+  // normal schedule live progress snapshots did too.
+  EXPECT_GE(events, 1u);
+  EXPECT_GE(progress_events, 1u);
+}
+
+}  // namespace
+}  // namespace relsim::service

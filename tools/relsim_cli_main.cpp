@@ -4,7 +4,9 @@
 //   relsim-cli --socket S submit --netlist f.sp --constraint d:0.4:0.9
 //              --n 4096 [--wait]
 //   relsim-cli --socket S status|wait|result|cancel JOB_ID
-//   relsim-cli --socket S metrics | shutdown
+//   relsim-cli --socket S metrics | metrics-text | shutdown
+//   relsim-cli --socket S subscribe [--job ID] [--count N] [--duration S]
+//   relsim-cli --socket S top [--job ID] [--duration S]
 //   relsim-cli --socket S drive --clients 8 --jobs 4 --n 2048
 //              [--json BENCH_service_cli.json]
 //
@@ -12,10 +14,18 @@
 // M jobs and wait for every result, then the tool reports sustained
 // jobs/sec and client-observed p50/p99 latency (and can write them as a
 // BENCH_*.json for CI upload).
+//
+// `subscribe` dumps the daemon's raw event stream as line-delimited JSON
+// (CI captures it as an artifact); `top` renders the same stream as a
+// live terminal dashboard; `wait` streams progress to stderr while it
+// blocks, falling back to status polling on daemons that predate the
+// subscribe op.
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "service/client.h"
 #include "service/protocol.h"
 #include "util/error.h"
@@ -63,9 +74,11 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s (--socket PATH | [--host H] --port N) COMMAND ...\n"
       "commands:\n"
-      "  ping | metrics | shutdown\n"
+      "  ping | metrics | metrics-text | shutdown\n"
       "  status ID | wait ID | result ID | cancel ID\n"
       "  submit [job flags] [--tenant T] [--priority N] [--wait]\n"
+      "  subscribe [--job ID] [--count N] [--duration S]\n"
+      "  top [--job ID] [--duration S]\n"
       "  drive [job flags] [--clients N] [--jobs M] [--json FILE]\n"
       "job flags:\n"
       "  --kind dc_yield|synthetic   (default dc_yield)\n"
@@ -73,7 +86,8 @@ int usage(const char* argv0) {
       "  --constraint NODE:LO:HI     (repeatable; default d:0.55:0.75)\n"
       "  --pass-prob P --n N --seed S --threads T --thread-budget B\n"
       "  --chunk C --eval-mode auto|per-sample|batched --keep-values\n"
-      "  --checkpoint PATH --checkpoint-every K --manifest PATH --label L\n",
+      "  --checkpoint PATH --checkpoint-every K --progress-every K\n"
+      "  --manifest PATH --label L\n",
       argv0);
   return 2;
 }
@@ -99,12 +113,149 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-double percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t idx = std::min(
-      sorted.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
-  return sorted[idx];
+/// Latency quantiles through the SAME log-bucketed histogram math the
+/// daemon's Prometheus exporter uses (obs::histogram_quantile) — no
+/// second ad-hoc percentile implementation to drift.
+relsim::obs::Histogram::Snapshot latency_snapshot(
+    const std::vector<double>& values) {
+  relsim::obs::Histogram h;
+  for (double v : values) h.observe(v);
+  return h.snapshot();
+}
+
+/// Detached timer that hard-exits the process after `seconds`: streaming
+/// commands block on recv with no events arriving on an idle daemon, so a
+/// --duration bound must fire independently of the stream.
+void arm_exit_timer(double seconds) {
+  if (seconds <= 0) return;
+  std::thread([seconds] {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    std::fflush(stdout);
+    std::_Exit(0);
+  }).detach();
+}
+
+int run_subscribe(const Cli& cli, std::uint64_t job_filter, int count_limit,
+                  double duration_s) {
+  Client client = cli.connect();
+  arm_exit_timer(duration_s);
+  const auto t0 = std::chrono::steady_clock::now();
+  int seen = 0;
+  client.subscribe(job_filter, [&](const relsim::obs::JsonValue&) {
+    std::printf("%s\n", client.last_reply().c_str());
+    std::fflush(stdout);
+    ++seen;
+    if (count_limit > 0 && seen >= count_limit) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    return duration_s <= 0 || elapsed.count() < duration_s;
+  });
+  return 0;
+}
+
+struct TopJob {
+  std::string tenant;
+  std::string kind;
+  std::string state;
+  unsigned long long n = 0;
+  unsigned long long completed = 0;
+  double yield = 0.0;
+  double ci = 0.0;
+  double rate = 0.0;
+  double eta = 0.0;
+  bool has_progress = false;
+};
+
+int run_top(const Cli& cli, std::uint64_t job_filter, double duration_s) {
+  Client client = cli.connect();
+  arm_exit_timer(duration_s);
+  std::map<std::uint64_t, TopJob> jobs;
+  unsigned long long queue_depth = 0;
+  unsigned long long running = 0;
+  unsigned long long submitted = 0;
+  unsigned long long finished = 0;
+  unsigned long long dropped = 0;
+  std::uint64_t events = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto last_render = t0 - std::chrono::seconds(1);
+
+  const auto render = [&] {
+    const std::chrono::duration<double> up =
+        std::chrono::steady_clock::now() - t0;
+    // Home + clear-to-end keeps the screen stable without full clears.
+    std::printf("\x1b[H\x1b[J");
+    std::printf(
+        "relsim top   up %6.1fs   events %" PRIu64
+        "   dropped %llu\nqueue %llu   running %llu   submitted %llu   "
+        "finished %llu\n\n",
+        up.count(), events, dropped, queue_depth, running, submitted,
+        finished);
+    std::printf("%6s  %-10s %-9s %-9s %12s %8s %8s %9s %8s\n", "JOB",
+                "TENANT", "KIND", "STATE", "DONE/N", "YIELD", "±CI",
+                "RATE/s", "ETA");
+    int rows = 0;
+    for (auto it = jobs.rbegin(); it != jobs.rend() && rows < 20;
+         ++it, ++rows) {
+      const TopJob& j = it->second;
+      char done[32];
+      std::snprintf(done, sizeof done, "%llu/%llu", j.completed, j.n);
+      if (j.has_progress) {
+        std::printf("%6llu  %-10s %-9s %-9s %12s %8.4f %8.4f %9.0f %7.0fs\n",
+                    static_cast<unsigned long long>(it->first),
+                    j.tenant.c_str(), j.kind.c_str(), j.state.c_str(), done,
+                    j.yield, j.ci, j.rate, j.eta);
+      } else {
+        std::printf("%6llu  %-10s %-9s %-9s %12s %8s %8s %9s %8s\n",
+                    static_cast<unsigned long long>(it->first),
+                    j.tenant.c_str(), j.kind.c_str(), j.state.c_str(), done,
+                    "-", "-", "-", "-");
+      }
+    }
+    std::fflush(stdout);
+  };
+
+  client.subscribe(job_filter, [&](const relsim::obs::JsonValue& e) {
+    ++events;
+    const std::string ev = e.get_string("event", "");
+    if (ev == "job") {
+      TopJob& j = jobs[e.get_u64("job_id", 0)];
+      j.tenant = e.get_string("tenant", j.tenant);
+      j.kind = e.get_string("kind", j.kind);
+      j.state = e.get_string("state", j.state);
+      j.n = e.get_u64("n", j.n);
+      if (j.state == "done" || j.state == "cancelled" ||
+          j.state == "failed") {
+        ++finished;
+        if (j.state == "done") j.completed = j.n;
+      }
+    } else if (ev == "progress") {
+      TopJob& j = jobs[e.get_u64("job_id", 0)];
+      j.tenant = e.get_string("tenant", j.tenant);
+      if (j.state.empty()) j.state = "running";
+      j.completed = e.get_u64("completed", 0);
+      j.n = e.get_u64("total", j.n);
+      j.yield = e.get_double("yield", 0.0);
+      j.ci = e.get_double("ci_half_width", 0.0);
+      j.rate = e.get_double("samples_per_sec", 0.0);
+      j.eta = e.get_double("eta_seconds", 0.0);
+      j.has_progress = true;
+    } else if (ev == "stats") {
+      queue_depth = e.get_u64("queue_depth", queue_depth);
+      running = e.get_u64("running", running);
+      submitted = e.get_u64("jobs_submitted", submitted);
+    } else if (ev == "dropped") {
+      dropped += e.get_u64("count", 0);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_render >= std::chrono::milliseconds(250)) {
+      last_render = now;
+      render();
+    }
+    const std::chrono::duration<double> elapsed = now - t0;
+    return duration_s <= 0 || elapsed.count() < duration_s;
+  });
+  render();
+  return 0;
 }
 
 int run_drive(const Cli& cli, const JobSpec& base, int clients, int jobs,
@@ -147,11 +298,11 @@ int run_drive(const Cli& cli, const JobSpec& base, int clients, int jobs,
   for (const std::string& e : errors) {
     std::fprintf(stderr, "drive client error: %s\n", e.c_str());
   }
-  std::sort(latencies.begin(), latencies.end());
   const double done = static_cast<double>(latencies.size());
   const double jobs_per_sec = wall.count() > 0 ? done / wall.count() : 0.0;
-  const double p50 = percentile(latencies, 0.50);
-  const double p99 = percentile(latencies, 0.99);
+  const relsim::obs::Histogram::Snapshot lat = latency_snapshot(latencies);
+  const double p50 = relsim::obs::histogram_quantile(lat, 0.50);
+  const double p99 = relsim::obs::histogram_quantile(lat, 0.99);
   std::printf(
       "drive: %zu/%d jobs ok over %d clients in %.3f s  "
       "(%.1f jobs/s, p50 %.1f ms, p99 %.1f ms)\n",
@@ -205,6 +356,9 @@ int main(int argc, char** argv) {
   int clients = 4;
   int jobs = 4;
   std::string json_path;
+  std::uint64_t job_filter = 0;
+  int count_limit = 0;
+  double duration_s = 0.0;
   std::string command;
   std::vector<std::string> positional;
 
@@ -239,6 +393,8 @@ int main(int argc, char** argv) {
       else if (arg == "--checkpoint") spec.checkpoint_path = value();
       else if (arg == "--checkpoint-every")
         spec.checkpoint_every = static_cast<std::size_t>(std::stoull(value()));
+      else if (arg == "--progress-every")
+        spec.progress_every = static_cast<std::size_t>(std::stoull(value()));
       else if (arg == "--manifest") spec.manifest_path = value();
       else if (arg == "--label") spec.label = value();
       else if (arg == "--tenant") tenant = value();
@@ -247,6 +403,9 @@ int main(int argc, char** argv) {
       else if (arg == "--clients") clients = std::stoi(value());
       else if (arg == "--jobs") jobs = std::stoi(value());
       else if (arg == "--json") json_path = value();
+      else if (arg == "--job") job_filter = std::stoull(value());
+      else if (arg == "--count") count_limit = std::stoi(value());
+      else if (arg == "--duration") duration_s = std::stod(value());
       else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
       else if (command.empty()) command = arg;
       else positional.push_back(arg);
@@ -264,6 +423,12 @@ int main(int argc, char** argv) {
     if (command == "drive") {
       return run_drive(cli, spec, clients, jobs, json_path);
     }
+    if (command == "subscribe") {
+      return run_subscribe(cli, job_filter, count_limit, duration_s);
+    }
+    if (command == "top") {
+      return run_top(cli, job_filter, duration_s);
+    }
 
     Client client = cli.connect();
     if (command == "ping") {
@@ -272,6 +437,8 @@ int main(int argc, char** argv) {
     } else if (command == "metrics") {
       client.metrics();
       std::printf("%s\n", client.last_reply().c_str());
+    } else if (command == "metrics-text") {
+      std::fputs(client.metrics_text().c_str(), stdout);
     } else if (command == "shutdown") {
       client.shutdown();
       std::printf("%s\n", client.last_reply().c_str());
@@ -282,12 +449,35 @@ int main(int argc, char** argv) {
         client.wait(id);
         std::printf("%s\n", client.last_reply().c_str());
       }
-    } else if (command == "status" || command == "wait" ||
-               command == "result" || command == "cancel") {
+    } else if (command == "wait") {
+      if (positional.empty()) return usage(argv[0]);
+      const std::uint64_t id = std::stoull(positional[0]);
+      // Stream progress to stderr while blocked; the daemon-side wait (or
+      // the polling fallback on a pre-telemetry daemon) settles the final
+      // state, then a plain wait on an already-terminal job fetches the
+      // raw reply frame for stdout.
+      relsim::service::wait_with_events(
+          id, [&] { return cli.connect(); },
+          [](const relsim::obs::JsonValue& e) {
+            if (e.get_string("event", "") == "progress") {
+              std::fprintf(stderr,
+                           "progress %llu/%llu yield=%.4f ±%.4f (%.0f/s)\n",
+                           static_cast<unsigned long long>(
+                               e.get_u64("completed", 0)),
+                           static_cast<unsigned long long>(
+                               e.get_u64("total", 0)),
+                           e.get_double("yield", 0.0),
+                           e.get_double("ci_half_width", 0.0),
+                           e.get_double("samples_per_sec", 0.0));
+            }
+          });
+      client.wait(id);
+      std::printf("%s\n", client.last_reply().c_str());
+    } else if (command == "status" || command == "result" ||
+               command == "cancel") {
       if (positional.empty()) return usage(argv[0]);
       const std::uint64_t id = std::stoull(positional[0]);
       if (command == "status") client.status(id);
-      else if (command == "wait") client.wait(id);
       else if (command == "result") client.result(id);
       else client.cancel(id);
       std::printf("%s\n", client.last_reply().c_str());

@@ -7,6 +7,7 @@
 //
 //   relsimd --socket /tmp/relsim.sock [--tcp-port 0] [--executors 4]
 //           [--cache-capacity 16] [--max-job-threads 8]
+//           [--metrics-port 9901] [--event-log /var/log/relsim/events.jsonl]
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -34,7 +35,15 @@ int usage(const char* argv0) {
                "  --executors N        concurrent jobs (default 2)\n"
                "  --cache-capacity N   compiled netlists kept (default 16)\n"
                "  --max-job-threads N  per-job worker cap (default 0 = "
-               "unlimited)\n",
+               "unlimited)\n"
+               "  --metrics-port N     serve Prometheus text on "
+               "127.0.0.1:N/metrics (0 = ephemeral; default off)\n"
+               "  --event-log PATH     rotating JSONL job-event log "
+               "(default $RELSIM_EVENT_LOG)\n"
+               "  --event-log-max-bytes N  rotate threshold "
+               "(default 8 MiB)\n"
+               "  --subscriber-queue N per-subscriber event queue depth "
+               "(default 256)\n",
                argv0);
   return 2;
 }
@@ -61,6 +70,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-job-threads" && value != nullptr) {
       options.max_job_threads = static_cast<unsigned>(std::atoi(value));
       ++i;
+    } else if (arg == "--metrics-port" && value != nullptr) {
+      options.metrics_http_port = std::atoi(value);
+      ++i;
+    } else if (arg == "--event-log" && value != nullptr) {
+      options.event_log_path = value;
+      ++i;
+    } else if (arg == "--event-log-max-bytes" && value != nullptr) {
+      options.event_log_max_bytes =
+          static_cast<std::size_t>(std::atoll(value));
+      ++i;
+    } else if (arg == "--subscriber-queue" && value != nullptr) {
+      options.subscriber_queue = static_cast<std::size_t>(std::atoi(value));
+      ++i;
     } else {
       return usage(argv[0]);
     }
@@ -76,6 +98,10 @@ int main(int argc, char** argv) {
     std::printf("relsimd listening on %s", server.options().socket_path.c_str());
     if (server.tcp_port() >= 0) {
       std::printf(" and 127.0.0.1:%d", server.tcp_port());
+    }
+    if (server.metrics_http_port() >= 0) {
+      std::printf(" (metrics http://127.0.0.1:%d/metrics)",
+                  server.metrics_http_port());
     }
     std::printf("\n");
     std::fflush(stdout);
