@@ -1,0 +1,166 @@
+// Distributed-sharding bench: the same Monte-Carlo yield job run single-
+// process and sharded across an in-process relsimd worker fleet, with a
+// chaos section that stops one worker mid-run. Reports wall time, the
+// coordinator's fault counters, and — the headline check — that every
+// configuration lands the SAME values CRC.
+//
+// Flags: --smoke (shrink load for CI),
+//        --workers N (fleet size, default 4),
+//        --sharded-json PATH (dump measured numbers as an artifact).
+#include <unistd.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/coordinator.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/workload.h"
+#include "util/table.h"
+
+namespace relsim {
+namespace {
+
+using service::CoordinatorOptions;
+using service::CoordinatorResult;
+using service::JobKind;
+using service::JobSpec;
+using service::Server;
+using service::ServerOptions;
+using service::WorkerEndpoint;
+
+constexpr const char* kDivider = R"(mos divider
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+}  // namespace relsim
+
+int main(int argc, char** argv) {
+  using namespace relsim;
+  bench::ShapeChecks checks;
+  bench::BenchJson json;
+  const bool smoke = bench::arg_present(argc, argv, "--smoke");
+  const std::string json_path = bench::arg_value(argc, argv, "--sharded-json");
+  const std::size_t worker_count =
+      static_cast<std::size_t>(bench::arg_long(argc, argv, "--workers", 4));
+
+  JobSpec spec;
+  spec.kind = JobKind::kDcYield;
+  spec.netlist = kDivider;
+  spec.constraints.push_back({"d", 0.55, 0.75});
+  spec.seed = 99;
+  spec.n = smoke ? 20000 : 200000;
+  spec.keep_values = true;
+  spec.eval_mode = McEvalMode::kPerSample;  // real per-sample solver cost
+  spec.threads = 2;
+  spec.checkpoint_every = 1024;
+
+  const std::string dir =
+      "/tmp/bench_sharded_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+
+  std::vector<std::unique_ptr<Server>> fleet;
+  std::vector<WorkerEndpoint> endpoints;
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    ServerOptions options;
+    options.socket_path = dir + "/w" + std::to_string(i) + ".sock";
+    options.executors = 2;
+    options.worker_name = "w" + std::to_string(i);
+    fleet.push_back(std::make_unique<Server>(std::move(options)));
+    fleet.back()->start();
+    WorkerEndpoint ep;
+    ep.socket_path = fleet.back()->options().socket_path;
+    ep.name = "w" + std::to_string(i);
+    endpoints.push_back(ep);
+  }
+
+  // -- Reference: one process, all threads ------------------------------
+  bench::banner("single-process reference");
+  auto t0 = std::chrono::steady_clock::now();
+  const McResult direct = service::run_job(spec, nullptr);
+  const double direct_s = seconds_since(t0);
+  const std::uint32_t direct_crc = service::values_crc32(direct);
+
+  // -- Sharded, healthy fleet -------------------------------------------
+  bench::banner("sharded across the fleet");
+  CoordinatorOptions options;
+  options.workers = endpoints;
+  options.shards = worker_count;
+  options.checkpoint_dir = dir;
+  t0 = std::chrono::steady_clock::now();
+  const CoordinatorResult healthy = service::run_sharded(spec, options);
+  const double healthy_s = seconds_since(t0);
+
+  // -- Sharded with one worker stopped mid-run --------------------------
+  bench::banner("sharded, one worker lost mid-run");
+  JobSpec chaos_spec = spec;
+  chaos_spec.label = "chaos";
+  std::thread killer([&] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(0.25 * healthy_s));
+    fleet[1]->stop();
+  });
+  t0 = std::chrono::steady_clock::now();
+  const CoordinatorResult chaos = service::run_sharded(chaos_spec, options);
+  const double chaos_s = seconds_since(t0);
+  killer.join();
+
+  {
+    TablePrinter t({"config", "wall_s", "crc", "reissues", "inproc"});
+    t.add_row({"single-process", direct_s,
+               static_cast<long long>(direct_crc), 0LL, 0LL});
+    t.add_row({"sharded-healthy", healthy_s,
+               static_cast<long long>(service::values_crc32(healthy.result)),
+               static_cast<long long>(healthy.reissues),
+               static_cast<long long>(healthy.shards_inprocess)});
+    t.add_row({"sharded-chaos", chaos_s,
+               static_cast<long long>(service::values_crc32(chaos.result)),
+               static_cast<long long>(chaos.reissues),
+               static_cast<long long>(chaos.shards_inprocess)});
+    t.print(std::cout);
+  }
+
+  checks.check("healthy sharded run matches the single-process CRC",
+               service::values_crc32(healthy.result) == direct_crc);
+  checks.check("chaos sharded run matches the single-process CRC",
+               service::values_crc32(chaos.result) == direct_crc);
+  checks.check("every sample completed in every configuration",
+               direct.completed == spec.n &&
+                   healthy.result.completed == spec.n &&
+                   chaos.result.completed == spec.n);
+  checks.check("healthy fleet needed no re-issues", healthy.reissues == 0);
+
+  json.add("sharded",
+           {{"n", double(spec.n)},
+            {"workers", double(worker_count)},
+            {"single_process_seconds", direct_s},
+            {"sharded_seconds", healthy_s},
+            {"sharded_chaos_seconds", chaos_s},
+            {"speedup", healthy_s > 0 ? direct_s / healthy_s : 0.0},
+            {"chaos_reissues", double(chaos.reissues)},
+            {"chaos_inprocess_shards", double(chaos.shards_inprocess)}});
+
+  for (auto& s : fleet) s->stop();
+
+  if (!json_path.empty() && !json.write(json_path)) {
+    std::cerr << "failed to write " << json_path << '\n';
+    return 1;
+  }
+  return checks.finish();
+}

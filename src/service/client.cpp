@@ -46,6 +46,11 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void Client::set_timeout(double seconds) {
+  RELSIM_REQUIRE(fd_ >= 0, "client is not connected");
+  set_socket_timeout(fd_, seconds);
+}
+
 void Client::read_frame() {
   // Buffered newline framing; the buffer carries over between calls in
   // case the kernel delivers more than one frame's worth of bytes.
@@ -59,6 +64,9 @@ void Client::read_frame() {
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw SocketTimeoutError("service reply timed out");
+    }
     if (n <= 0) throw Error("service connection lost while awaiting reply");
     read_buf_.append(chunk, static_cast<std::size_t>(n));
   }
@@ -152,12 +160,48 @@ void Client::subscribe(
   for (;;) {
     try {
       read_frame();
+    } catch (const SocketTimeoutError&) {
+      // A silent stream under a set_timeout deadline is a SIGNAL (lease
+      // expiry), not an end-of-stream — the caller must see it.
+      throw;
     } catch (const Error&) {
       return;  // daemon closed the stream (or the connection dropped)
     }
     if (last_reply_.empty()) continue;
     if (!on_event(obs::JsonValue::parse(last_reply_))) return;
   }
+}
+
+std::chrono::milliseconds poll_backoff(std::uint64_t job_id,
+                                       unsigned attempt) {
+  // Exponential 50 ms · 2^attempt, capped at 1 s. The old uncapped-at-2s
+  // doubling meant a long-running job was polled every 2 s with every
+  // waiter in phase; the cap keeps terminal-state latency under a second
+  // and the jitter de-phases concurrent waiters.
+  constexpr std::uint64_t kBaseMs = 50;
+  constexpr std::uint64_t kCapMs = 1000;
+  const std::uint64_t base =
+      std::min(kBaseMs << std::min(attempt, 10u /* 50ms<<10 > cap */),
+               kCapMs);
+  // FNV-1a over (job_id, attempt): deterministic jitter in [-25%, +25%].
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(job_id);
+  mix(attempt);
+  const std::int64_t span =
+      static_cast<std::int64_t>(base / 2);  // full jitter window, ±25%
+  const std::int64_t offset =
+      span > 0 ? static_cast<std::int64_t>(h % static_cast<std::uint64_t>(
+                                                   span + 1)) -
+                     span / 2
+               : 0;
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(base) + offset);
 }
 
 obs::JsonValue wait_with_events(
@@ -184,16 +228,14 @@ obs::JsonValue wait_with_events(
   // terminal and the first status call returns immediately.
   Client poll = connect();
   if (streamed) return poll.wait(job_id);
-  std::chrono::milliseconds delay(50);
-  for (;;) {
+  for (unsigned attempt = 0;; ++attempt) {
     obs::JsonValue reply = poll.status(job_id);
     const std::string state = reply.get_string("state", "");
     if (state == "done" || state == "cancelled" || state == "failed") {
       return reply;
     }
     if (on_event) on_event(reply);
-    std::this_thread::sleep_for(delay);
-    delay = std::min(delay * 2, std::chrono::milliseconds(2000));
+    std::this_thread::sleep_for(poll_backoff(job_id, attempt));
   }
 }
 

@@ -6,6 +6,7 @@
 // both do exactly that.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -26,11 +27,18 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();  ///< closes the connection
 
+  /// Arms a read/write deadline on the connection (seconds <= 0 clears
+  /// it). A stalled reply or subscribe stream then throws
+  /// SocketTimeoutError (socket_io.h) instead of blocking forever — the
+  /// coordinator's lease enforcement is built on exactly this.
+  void set_timeout(double seconds);
+
   /// Sends one raw frame (newline appended) and parses the reply. Throws
   /// Error on transport failure or when the reply has "ok":false (the
-  /// server's "error" string becomes the exception message). Use this for
-  /// ops without a convenience wrapper or for deliberately malformed
-  /// frames in tests.
+  /// server's "error" string becomes the exception message),
+  /// SocketTimeoutError when a set_timeout deadline expires first. Use
+  /// this for ops without a convenience wrapper or for deliberately
+  /// malformed frames in tests.
   obs::JsonValue call(const std::string& frame);
 
   /// Raw text of the last reply frame (before parsing) — handy for tools
@@ -60,7 +68,10 @@ class Client {
   /// the stream, or the connection drops. `job_filter` 0 subscribes to
   /// everything (all job lifecycle events + daemon stats); a nonzero id
   /// narrows the stream to that job. Throws Error if the daemon rejects
-  /// the subscribe op (e.g. a pre-telemetry daemon: "unknown op").
+  /// the subscribe op (e.g. a pre-telemetry daemon: "unknown op"). A
+  /// dropped stream returns normally; a set_timeout deadline expiring
+  /// mid-stream throws SocketTimeoutError (a silent peer and a dead peer
+  /// must be distinguishable for lease enforcement).
   ///
   /// The connection CANNOT return to request/reply mode afterwards —
   /// treat the Client as consumed.
@@ -80,13 +91,20 @@ class Client {
 /// Blocks until `job_id` is terminal, preferring the streaming subscribe
 /// op (each event is forwarded to `on_event` when set). Daemons that
 /// predate subscribe answer "unknown op ..." — this falls back to status
-/// polling with exponential backoff (50 ms doubling, capped at 2 s).
-/// `connect` must open a FRESH connection to the same daemon: subscribe
-/// consumes its connection, and the terminal result is fetched over a new
-/// one. Returns the final wait/status-shaped reply (includes "result" for
-/// finished jobs).
+/// polling spaced by poll_backoff() below. `connect` must open a FRESH
+/// connection to the same daemon: subscribe consumes its connection, and
+/// the terminal result is fetched over a new one. Returns the final
+/// wait/status-shaped reply (includes "result" for finished jobs).
 obs::JsonValue wait_with_events(
     std::uint64_t job_id, const std::function<Client()>& connect,
     const std::function<void(const obs::JsonValue&)>& on_event = {});
+
+/// Delay before status poll number `attempt` (0-based) for `job_id`:
+/// exponential from 50 ms, CAPPED at 1 s, with a deterministic ±25%
+/// jitter derived from (job_id, attempt) so a fleet of waiters polling
+/// the same daemon spreads out instead of thundering in lockstep. Pure
+/// function of its arguments — tests pin exact values.
+std::chrono::milliseconds poll_backoff(std::uint64_t job_id,
+                                       unsigned attempt);
 
 }  // namespace relsim::service

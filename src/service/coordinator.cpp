@@ -1,0 +1,560 @@
+#include "service/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "service/socket_io.h"
+#include "service/workload.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace relsim::service {
+
+namespace {
+
+struct CoordMetrics {
+  obs::Counter& runs = obs::metrics().counter("coord.runs");
+  obs::Counter& leases = obs::metrics().counter("coord.shard_leases");
+  obs::Counter& reissues = obs::metrics().counter("coord.shard_reissues");
+  obs::Counter& lease_expiries =
+      obs::metrics().counter("coord.lease_expiries");
+  obs::Counter& crashes = obs::metrics().counter("coord.worker_crashes");
+  obs::Counter& speculative =
+      obs::metrics().counter("coord.speculative_launches");
+  obs::Counter& inprocess = obs::metrics().counter("coord.shards_inprocess");
+  obs::Counter& completed = obs::metrics().counter("coord.shards_completed");
+};
+
+CoordMetrics& coord_metrics() {
+  static CoordMetrics m;
+  return m;
+}
+
+std::string endpoint_name(const WorkerEndpoint& ep) {
+  if (!ep.name.empty()) return ep.name;
+  if (!ep.socket_path.empty()) return ep.socket_path;
+  return ep.host + ":" + std::to_string(ep.port);
+}
+
+Client connect_worker(const WorkerEndpoint& ep) {
+  return ep.socket_path.empty() ? Client::connect_tcp(ep.host, ep.port)
+                                : Client::connect_unix(ep.socket_path);
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+/// Seeds a fresh attempt's checkpoint from the best partial so far; the
+/// copy (not a shared path) is what lets a zombie worker from an expired
+/// lease keep writing ITS file without corrupting the re-issue.
+void copy_file_bytes(const std::string& from, const std::string& to) {
+  std::ifstream is(from, std::ios::binary);
+  if (!is) return;
+  std::ofstream os(to, std::ios::binary | std::ios::trunc);
+  os << is.rdbuf();
+}
+
+enum class AttemptOutcome {
+  kDone,          ///< worker reported the shard job done
+  kFailed,        ///< worker reported the job failed
+  kCancelled,     ///< someone cancelled the job on the worker
+  kLeaseExpired,  ///< no event for lease_seconds — worker presumed stuck
+  kCrashed,       ///< stream ended with no terminal state (kill -9 &c.)
+  kUnreachable,   ///< could not connect/submit at all
+};
+
+const char* to_string(AttemptOutcome out) {
+  switch (out) {
+    case AttemptOutcome::kDone:
+      return "done";
+    case AttemptOutcome::kFailed:
+      return "failed";
+    case AttemptOutcome::kCancelled:
+      return "cancelled";
+    case AttemptOutcome::kLeaseExpired:
+      return "lease-expired";
+    case AttemptOutcome::kCrashed:
+      return "crashed";
+    case AttemptOutcome::kUnreachable:
+      return "unreachable";
+  }
+  return "unknown";
+}
+
+using Clock = std::chrono::steady_clock;
+
+struct ActiveLease {
+  std::size_t worker = 0;
+  std::uint64_t job_id = 0;
+};
+
+struct ShardState {
+  McShard shard;
+  std::mutex mu;
+  bool finished = false;
+  bool running = false;      ///< a lease is currently live
+  bool speculated = false;
+  unsigned attempts = 0;     ///< leases issued (primary + speculative)
+  std::string winner_path;
+  std::string winner_worker;
+  std::string last_worker;
+  std::string last_good_path;   ///< best partial checkpoint seen so far
+  std::size_t last_good_done = 0;
+  std::vector<ActiveLease> active;
+  Clock::time_point attempt_start{};
+};
+
+/// The whole coordination run's shared context.
+struct Coordination {
+  const JobSpec* spec = nullptr;
+  const CoordinatorOptions* opts = nullptr;
+  std::vector<std::unique_ptr<ShardState>> shards;
+  std::mutex done_mu;
+  std::vector<double> completed_seconds;  ///< durations of finished shards
+  std::atomic<std::size_t> pending{0};    ///< shards not yet settled
+  std::atomic<std::size_t> reissues{0};
+  std::atomic<std::size_t> lease_expiries{0};
+  std::atomic<std::size_t> crashes{0};
+  std::atomic<std::size_t> speculative{0};
+};
+
+void cancel_lease(const CoordinatorOptions& opts, const ActiveLease& lease) {
+  try {
+    Client c = connect_worker(opts.workers[lease.worker]);
+    c.set_timeout(std::max(1.0, opts.lease_seconds));
+    c.cancel(lease.job_id);
+  } catch (const Error&) {
+    // Best-effort: the worker may be gone, which is exactly why the
+    // lease is being cancelled.
+  }
+}
+
+/// After cancelling an expired lease, waits (bounded) for the job to
+/// settle so its final checkpoint flush lands BEFORE the partial is
+/// harvested for the re-issue or the merge.
+void await_terminal(const CoordinatorOptions& opts, const ActiveLease& lease) {
+  const auto deadline = Clock::now() + std::chrono::seconds(2);
+  try {
+    Client c = connect_worker(opts.workers[lease.worker]);
+    c.set_timeout(1.0);
+    while (Clock::now() < deadline) {
+      const std::string state =
+          c.status(lease.job_id).get_string("state", "");
+      if (state != "queued" && state != "running") return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  } catch (const Error&) {
+    // Worker unreachable — nothing to wait for.
+  }
+}
+
+/// First-complete-wins. Complete shard checkpoints are bit-identical
+/// regardless of which attempt produced them, so the race is benign for
+/// results — it only decides which FILE the merge reads.
+bool try_finish(Coordination& ctx, ShardState& st, const std::string& path,
+                const std::string& worker, double elapsed_seconds) {
+  std::vector<ActiveLease> losers;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.finished) return false;
+    st.finished = true;
+    st.winner_path = path;
+    st.winner_worker = worker;
+    losers = st.active;  // the winner already deregistered itself
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx.done_mu);
+    ctx.completed_seconds.push_back(elapsed_seconds);
+  }
+  for (const ActiveLease& lease : losers) cancel_lease(*ctx.opts, lease);
+  coord_metrics().completed.inc();
+  return true;
+}
+
+/// Runs one lease of `shard` on worker `widx`, blocking until a terminal
+/// event, lease expiry or stream death. Never throws.
+AttemptOutcome run_attempt(Coordination& ctx, ShardState& st,
+                           std::size_t widx,
+                           const std::string& ckpt_path) {
+  const CoordinatorOptions& opts = *ctx.opts;
+  const WorkerEndpoint& ep = opts.workers[widx];
+  std::uint64_t job_id = 0;
+  try {
+    Client control = connect_worker(ep);
+    // Submitting must not hang on a half-dead worker either.
+    control.set_timeout(std::max(opts.lease_seconds, 1.0));
+    JobSpec js = *ctx.spec;
+    js.shard_lo = st.shard.lo;
+    js.shard_hi = st.shard.hi;
+    js.checkpoint_path = ckpt_path;
+    js.keep_values = false;   // checkpoints carry the values
+    js.manifest_path.clear();
+    js.label = (js.label.empty() ? std::string("sharded") : js.label) +
+               ".shard" + std::to_string(st.shard.index);
+    job_id = control.submit(opts.tenant, 0, js);
+  } catch (const Error&) {
+    return AttemptOutcome::kUnreachable;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.active.push_back({widx, job_id});
+  }
+  const auto deregister = [&] {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.active.erase(std::remove_if(st.active.begin(), st.active.end(),
+                                   [&](const ActiveLease& l) {
+                                     return l.job_id == job_id &&
+                                            l.worker == widx;
+                                   }),
+                    st.active.end());
+  };
+
+  bool done = false;
+  bool failed = false;
+  bool cancelled = false;
+  AttemptOutcome outcome = AttemptOutcome::kCrashed;
+  try {
+    Client stream = connect_worker(ep);
+    // THE lease: every event (progress snapshots are the heartbeat)
+    // re-arms the deadline; silence for lease_seconds raises
+    // SocketTimeoutError below.
+    stream.set_timeout(opts.lease_seconds);
+    stream.subscribe(job_id, [&](const obs::JsonValue& event) {
+      const std::string state = event.get_string("state", "");
+      if (state == "done") {
+        done = true;
+        return false;
+      }
+      if (state == "failed") {
+        failed = true;
+        return false;
+      }
+      if (state == "cancelled") {
+        cancelled = true;
+        return false;
+      }
+      return true;
+    });
+    outcome = done        ? AttemptOutcome::kDone
+              : failed    ? AttemptOutcome::kFailed
+              : cancelled ? AttemptOutcome::kCancelled
+                          : AttemptOutcome::kCrashed;
+  } catch (const SocketTimeoutError&) {
+    outcome = AttemptOutcome::kLeaseExpired;
+  } catch (const Error&) {
+    outcome = AttemptOutcome::kCrashed;
+  }
+  deregister();
+  if (outcome == AttemptOutcome::kLeaseExpired) {
+    // Free the (possibly merely slow) worker; its partial stays on disk.
+    cancel_lease(opts, {widx, job_id});
+    await_terminal(opts, {widx, job_id});
+  }
+  return outcome;
+}
+
+/// Folds the attempt's checkpoint into the shard's best-partial tracking.
+void refresh_last_good(ShardState& st, const std::string& path) {
+  McCheckpointImage image;
+  try {
+    if (!load_checkpoint_image(path, image)) return;
+  } catch (const McCheckpointCorruptError&) {
+    return;  // a torn write from a killed worker — ignore the file
+  }
+  const std::size_t done = image.done_count();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (done > st.last_good_done) {
+    st.last_good_done = done;
+    st.last_good_path = path;
+  }
+}
+
+/// One lease of a shard end-to-end: seed the attempt file, lease, harvest.
+/// Returns the outcome (kDone implies try_finish already ran).
+AttemptOutcome lease_once(Coordination& ctx, ShardState& st,
+                          std::size_t widx, unsigned attempt_no,
+                          const char* suffix) {
+  const CoordinatorOptions& opts = *ctx.opts;
+  const std::string path = st.shard.checkpoint_path + ".a" +
+                           std::to_string(attempt_no) + suffix;
+  std::string seed_from;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    seed_from = st.last_good_path;
+    st.attempts += 1;
+    st.running = true;
+    st.attempt_start = Clock::now();
+    st.last_worker = endpoint_name(opts.workers[widx]);
+  }
+  if (!seed_from.empty() && seed_from != path) {
+    copy_file_bytes(seed_from, path);
+  }
+  coord_metrics().leases.inc();
+  const auto t0 = Clock::now();
+  const AttemptOutcome out = run_attempt(ctx, st, widx, path);
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.running = false;
+  }
+  refresh_last_good(st, path);
+  if (out == AttemptOutcome::kDone) {
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    try_finish(ctx, st, path, endpoint_name(opts.workers[widx]), secs);
+  } else {
+    log_warn("coordinator: shard ", st.shard.index, " lease on ",
+             endpoint_name(opts.workers[widx]), " ended ", to_string(out));
+    if (out == AttemptOutcome::kLeaseExpired) {
+      ctx.lease_expiries.fetch_add(1);
+      coord_metrics().lease_expiries.inc();
+    } else if (out == AttemptOutcome::kCrashed ||
+               out == AttemptOutcome::kUnreachable) {
+      ctx.crashes.fetch_add(1);
+      coord_metrics().crashes.inc();
+    }
+  }
+  return out;
+}
+
+bool shard_finished(ShardState& st) {
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.finished;
+}
+
+/// Primary per-shard driver: sequential leases with exponential backoff,
+/// bounded by max_reissues, rotating through the workers.
+void drive_shard(Coordination& ctx, ShardState& st) {
+  const CoordinatorOptions& opts = *ctx.opts;
+  const std::size_t worker_count = opts.workers.size();
+  for (unsigned attempt = 0; attempt <= opts.max_reissues; ++attempt) {
+    if (shard_finished(st)) break;  // a speculative racer won
+    if (worker_count == 0) break;   // pure in-process mode
+    if (attempt > 0) {
+      ctx.reissues.fetch_add(1);
+      coord_metrics().reissues.inc();
+      const std::uint64_t delay = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(opts.backoff_base_ms) << (attempt - 1),
+          opts.backoff_cap_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      if (shard_finished(st)) break;
+    }
+    const std::size_t widx = (st.shard.index + attempt) % worker_count;
+    if (lease_once(ctx, st, widx, attempt, "") == AttemptOutcome::kDone) {
+      break;
+    }
+  }
+  ctx.pending.fetch_sub(1);
+}
+
+/// Straggler watchdog: once enough shards completed to estimate a median
+/// duration, a shard still running straggler_factor× longer gets ONE
+/// duplicate lease on the next worker over; first complete attempt wins.
+void speculate_loop(Coordination& ctx, std::vector<std::thread>& extra,
+                    std::mutex& extra_mu) {
+  const CoordinatorOptions& opts = *ctx.opts;
+  const std::size_t worker_count = opts.workers.size();
+  if (opts.straggler_factor <= 0.0 || worker_count < 2) return;
+  while (ctx.pending.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    double median = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(ctx.done_mu);
+      if (ctx.completed_seconds.size() < opts.straggler_min_done) continue;
+      std::vector<double> sorted = ctx.completed_seconds;
+      std::sort(sorted.begin(), sorted.end());
+      median = sorted[sorted.size() / 2];
+    }
+    const double limit = opts.straggler_factor * median;
+    for (auto& shard_ptr : ctx.shards) {
+      ShardState& st = *shard_ptr;
+      unsigned attempt_no = 0;
+      std::size_t widx = 0;
+      {
+        std::lock_guard<std::mutex> lock(st.mu);
+        if (st.finished || st.speculated || !st.running) continue;
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - st.attempt_start)
+                .count();
+        if (elapsed <= limit) continue;
+        st.speculated = true;
+        attempt_no = st.attempts;  // distinct attempt-file number
+        widx = (st.shard.index + st.attempts) % worker_count;
+      }
+      ctx.speculative.fetch_add(1);
+      coord_metrics().speculative.inc();
+      log_info("coordinator: speculating shard ", st.shard.index, " on ",
+               endpoint_name(opts.workers[widx]));
+      std::lock_guard<std::mutex> lock(extra_mu);
+      extra.emplace_back([&ctx, &st, widx, attempt_no] {
+        lease_once(ctx, st, widx, attempt_no, ".spec");
+      });
+    }
+  }
+}
+
+void write_coordinator_manifest(const std::string& path, const JobSpec& spec,
+                                const CoordinatorResult& out) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 2);
+  w.begin_object();
+  w.kv("kind", "coordinator");
+  w.kv("n", static_cast<unsigned long long>(spec.n));
+  w.kv("seed", static_cast<unsigned long long>(spec.seed));
+  w.kv("reissues", static_cast<unsigned long long>(out.reissues));
+  w.kv("lease_expiries",
+       static_cast<unsigned long long>(out.lease_expiries));
+  w.kv("worker_crashes",
+       static_cast<unsigned long long>(out.worker_crashes));
+  w.kv("speculative_launches",
+       static_cast<unsigned long long>(out.speculative_launches));
+  w.kv("shards_inprocess",
+       static_cast<unsigned long long>(out.shards_inprocess));
+  w.kv("merged_checkpoint", out.merged_checkpoint);
+  w.kv("merge_parts_found",
+       static_cast<unsigned long long>(out.merge.parts_found));
+  w.kv("merge_samples", static_cast<unsigned long long>(out.merge.samples));
+  w.key("shards").begin_array();
+  for (const ShardOutcome& s : out.shards) {
+    w.begin_object();
+    w.kv("index", static_cast<unsigned long long>(s.index));
+    w.kv("lo", static_cast<unsigned long long>(s.lo));
+    w.kv("hi", static_cast<unsigned long long>(s.hi));
+    w.kv("attempts", s.attempts);
+    w.kv("completed", s.completed);
+    w.kv("speculated", s.speculated);
+    w.kv("worker", s.worker);
+    w.kv("checkpoint", s.checkpoint_path);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream f(path, std::ios::trunc);
+  RELSIM_REQUIRE(bool(f), "cannot write coordinator manifest: " + path);
+  f << os.str() << "\n";
+}
+
+}  // namespace
+
+CoordinatorResult run_sharded(const JobSpec& spec,
+                              const CoordinatorOptions& options) {
+  RELSIM_REQUIRE(spec.n > 0, "sharded run needs a sample count (n > 0)");
+  RELSIM_REQUIRE(!options.checkpoint_dir.empty(),
+                 "sharded run needs a checkpoint directory");
+  RELSIM_REQUIRE(spec.shard_hi == 0,
+                 "the coordinator owns shard windows — submit a whole-run "
+                 "spec");
+  coord_metrics().runs.inc();
+
+  const std::size_t shard_count =
+      options.shards > 0 ? options.shards
+                         : std::max<std::size_t>(options.workers.size(), 1);
+  const std::string prefix =
+      options.checkpoint_dir + "/" +
+      (spec.label.empty() ? std::string("sharded") : spec.label);
+  const std::vector<McShard> plan =
+      make_shard_plan(spec.n, shard_count, spec.chunk, prefix);
+
+  Coordination ctx;
+  ctx.spec = &spec;
+  ctx.opts = &options;
+  for (const McShard& shard : plan) {
+    auto st = std::make_unique<ShardState>();
+    st->shard = shard;
+    ctx.shards.push_back(std::move(st));
+  }
+  ctx.pending.store(ctx.shards.size());
+
+  std::vector<std::thread> drivers;
+  std::vector<std::thread> extra;
+  std::mutex extra_mu;
+  if (!options.workers.empty()) {
+    drivers.reserve(ctx.shards.size());
+    for (auto& st : ctx.shards) {
+      drivers.emplace_back(
+          [&ctx, &state = *st] { drive_shard(ctx, state); });
+    }
+  } else {
+    ctx.pending.store(0);  // degenerate: everything goes to assembly
+  }
+  std::thread watchdog(
+      [&ctx, &extra, &extra_mu] { speculate_loop(ctx, extra, extra_mu); });
+  for (std::thread& t : drivers) t.join();
+  watchdog.join();
+  // No new speculative threads can start now (pending == 0): the vector
+  // is stable, racers just need joining.
+  for (std::thread& t : extra) t.join();
+
+  CoordinatorResult out;
+  out.reissues = ctx.reissues.load();
+  out.lease_expiries = ctx.lease_expiries.load();
+  out.worker_crashes = ctx.crashes.load();
+  out.speculative_launches = ctx.speculative.load();
+
+  std::vector<std::string> parts;
+  for (auto& shard_ptr : ctx.shards) {
+    ShardState& st = *shard_ptr;
+    ShardOutcome o;
+    o.index = st.shard.index;
+    o.lo = st.shard.lo;
+    o.hi = st.shard.hi;
+    o.attempts = st.attempts;
+    o.completed = st.finished;
+    o.speculated = st.speculated;
+    o.worker = st.finished ? st.winner_worker : st.last_worker;
+    o.checkpoint_path = st.finished ? st.winner_path : st.last_good_path;
+    if (st.finished) {
+      parts.push_back(st.winner_path);
+    } else {
+      RELSIM_REQUIRE(
+          options.failure_policy != ShardFailurePolicy::kAbort,
+          "shard " + std::to_string(st.shard.index) +
+              " exhausted its leases (policy: abort)");
+      ++out.shards_inprocess;
+      coord_metrics().inprocess.inc();
+      // A partial from any attempt still shrinks the in-process bill.
+      if (!st.last_good_path.empty()) parts.push_back(st.last_good_path);
+    }
+    out.shards.push_back(std::move(o));
+  }
+
+  bool any_part = false;
+  for (const std::string& part : parts) {
+    if (file_exists(part)) {
+      any_part = true;
+      break;
+    }
+  }
+  if (any_part) {
+    out.merged_checkpoint = prefix + ".merged.rsmckpt";
+    out.merge = merge_checkpoints(parts, out.merged_checkpoint);
+  }
+
+  // Assembly: resume the FULL (non-windowed) run from the merged image.
+  // Restored samples keep their worker-computed values; anything the
+  // workers never finished is evaluated here — which is also the whole
+  // run when every worker was lost before its first checkpoint. Either
+  // way the result is the single-process result by construction.
+  JobSpec assembly = spec;
+  assembly.shard_lo = 0;
+  assembly.shard_hi = 0;
+  assembly.checkpoint_path = out.merged_checkpoint;
+  out.result = run_job(assembly, nullptr);
+
+  if (!options.manifest_path.empty()) {
+    write_coordinator_manifest(options.manifest_path, spec, out);
+  }
+  return out;
+}
+
+}  // namespace relsim::service

@@ -1,0 +1,118 @@
+// Distributed shard coordinator: drives one Monte-Carlo job across N
+// relsimd worker daemons with crash tolerance, and reassembles a result
+// that is BIT-IDENTICAL to a single-process run of the same JobSpec.
+//
+// How the identity is kept (DESIGN.md §5e): sample i's outcome is a pure
+// function of {request, i} (per-sample seed = derive_seed(seed, {i}) with
+// GLOBAL indices), so the coordinator only decides WHERE samples run,
+// never what they evaluate to. Each shard is a windowed job
+// (JobSpec::shard_lo/shard_hi) writing a full-size RSMCKPT3 checkpoint;
+// merge_checkpoints() unions the disjoint done-bitmaps; the final
+// assembly run resumes from the merged image in-process, evaluating any
+// samples the workers never finished. {1 process × 8 threads} and
+// {4 workers × 2 threads} — including runs where workers are kill -9'd
+// mid-shard — produce the same values array, crc and estimate.
+//
+// Fault model:
+//   * lease expiry — a worker that streams no event (progress snapshots
+//     are the heartbeat) for lease_seconds is presumed stuck: its job is
+//     cancelled best-effort and the shard re-issued elsewhere;
+//   * crash — the subscribe stream ends without a terminal state
+//     (kill -9, connection refused): re-issue from the best partial
+//     checkpoint any earlier attempt landed;
+//   * stragglers — optional speculative duplicate of the slowest shard,
+//     first complete attempt wins (identical content either way, so the
+//     winner cannot affect the result);
+//   * total worker loss — every attempt exhausted: the shard is left to
+//     the in-process assembly run (ShardFailurePolicy::kInProcess) or the
+//     whole run throws (kAbort).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+#include "variability/mc_session.h"
+#include "variability/shard.h"
+
+namespace relsim::service {
+
+/// One relsimd worker the coordinator may lease shards to. Unix socket
+/// when `socket_path` is set, loopback TCP otherwise.
+struct WorkerEndpoint {
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string name;  ///< for logs/manifest; defaults to the address
+};
+
+/// What to do with a shard whose every lease attempt failed.
+enum class ShardFailurePolicy : std::uint8_t {
+  kInProcess = 0,  ///< assembly evaluates the leftovers locally (default)
+  kAbort = 1,      ///< throw — distributed capacity was the point
+};
+
+struct CoordinatorOptions {
+  std::vector<WorkerEndpoint> workers;
+  /// Shard count (0 = one per worker). Shards are chunk-aligned,
+  /// contiguous and balanced — see make_shard_plan().
+  std::size_t shards = 0;
+  /// Directory for per-attempt shard checkpoints and the merged image.
+  /// Required; each attempt writes its OWN file so a zombie worker can
+  /// never corrupt a re-issued attempt's checkpoint.
+  std::string checkpoint_dir;
+  /// Heartbeat deadline: a worker whose event stream is silent this long
+  /// loses its lease. Progress events re-arm it, so size this above the
+  /// worker's progress_every cadence in wall time.
+  double lease_seconds = 10.0;
+  /// Re-issues allowed per shard beyond the first attempt (spec included).
+  unsigned max_reissues = 3;
+  /// Exponential re-issue backoff: base · 2^attempt, capped (ms).
+  unsigned backoff_base_ms = 100;
+  unsigned backoff_cap_ms = 2000;
+  ShardFailurePolicy failure_policy = ShardFailurePolicy::kInProcess;
+  /// > 0 enables speculation: a shard still running after
+  /// straggler_factor × the median completed-shard duration (once
+  /// straggler_min_done shards completed) gets a duplicate attempt on
+  /// another worker; first complete wins.
+  double straggler_factor = 0.0;
+  std::size_t straggler_min_done = 2;
+  std::string tenant = "coordinator";
+  /// Non-empty: JSON manifest of the plan, attempts and counters.
+  std::string manifest_path;
+};
+
+/// Per-shard outcome for the manifest / caller diagnostics.
+struct ShardOutcome {
+  std::size_t index = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  unsigned attempts = 0;        ///< leases issued (including speculative)
+  bool completed = false;       ///< some attempt finished on a worker
+  bool speculated = false;
+  std::string worker;           ///< winning (or last) worker name
+  std::string checkpoint_path;  ///< winner, or best partial, or empty
+};
+
+struct CoordinatorResult {
+  McResult result;  ///< assembled exactly as a single-process run
+  std::vector<ShardOutcome> shards;
+  std::size_t reissues = 0;          ///< re-leases after a failed attempt
+  std::size_t lease_expiries = 0;
+  std::size_t worker_crashes = 0;    ///< streams that died w/o a terminal
+  std::size_t speculative_launches = 0;
+  std::size_t shards_inprocess = 0;  ///< left to the assembly run
+  McCheckpointMergeStats merge;
+  std::string merged_checkpoint;     ///< empty when no part existed
+};
+
+/// Runs `spec` sharded across `options.workers` and returns the
+/// assembled result (plus fault-tolerance telemetry). Blocking; throws
+/// Error on an invalid plan or under ShardFailurePolicy::kAbort when a
+/// shard exhausts its leases. With zero workers every shard goes straight
+/// to the in-process assembly — same result, no sockets.
+CoordinatorResult run_sharded(const JobSpec& spec,
+                              const CoordinatorOptions& options);
+
+}  // namespace relsim::service

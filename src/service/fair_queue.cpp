@@ -31,7 +31,8 @@ bool FairShareQueue::push(std::shared_ptr<Job> job) {
 
 std::shared_ptr<Job> FairShareQueue::pop() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return depth_ > 0 || shutdown_; });
+  cv_.wait(lock, [this] { return depth_ > 0 || shutdown_ || paused_; });
+  if (paused_) return nullptr;      // draining: backlog kept, not served
   if (depth_ == 0) return nullptr;  // shutdown with empty backlog
 
   // Least-virtual-work tenant among those with pending jobs; name order
@@ -67,6 +68,14 @@ std::shared_ptr<Job> FairShareQueue::remove(std::uint64_t id) {
     }
   }
   return nullptr;
+}
+
+void FairShareQueue::pause() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+  cv_.notify_all();
 }
 
 std::vector<std::shared_ptr<Job>> FairShareQueue::shutdown() {

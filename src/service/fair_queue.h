@@ -40,6 +40,14 @@ class FairShareQueue {
   /// job when it was still queued, nullptr when already popped/unknown.
   std::shared_ptr<Job> remove(std::uint64_t id);
 
+  /// Stops dispensing WITHOUT dropping the backlog: pop() returns nullptr
+  /// while paused (waking any blocked executors), push() still accepts.
+  /// The drain sequence uses this so no new job starts while running ones
+  /// are cancelled to their checkpoints; queued jobs stay queued and are
+  /// failed by the eventual shutdown(). Irreversible by design — drain
+  /// never resumes.
+  void pause();
+
   /// Wakes all waiters; subsequent pop() returns nullptr. Returns every
   /// job still queued, in no particular order.
   std::vector<std::shared_ptr<Job>> shutdown();
@@ -62,6 +70,7 @@ class FairShareQueue {
   std::map<std::string, Tenant> tenants_;
   std::size_t depth_ = 0;
   bool shutdown_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace relsim::service

@@ -61,6 +61,13 @@ struct JobSpec {
   /// Deterministic content per McProgress's contract; the daemon streams
   /// each snapshot to subscribers of this job.
   std::size_t progress_every = 0;
+  /// Shard window [shard_lo, shard_hi) of GLOBAL sample indices
+  /// (McRequest::shard_lo/shard_hi). shard_hi == 0 runs the whole range;
+  /// a windowed job evaluates only its slice and checkpoints full-size
+  /// images whose done bits lie inside the window, so a coordinator can
+  /// merge_checkpoints() across workers.
+  std::size_t shard_lo = 0;
+  std::size_t shard_hi = 0;
 };
 
 enum class JobState : std::uint8_t {

@@ -41,6 +41,8 @@ JobSpec parse_job_spec(const obs::JsonValue& v) {
   spec.label = v.get_string("label", "");
   spec.progress_every =
       static_cast<std::size_t>(v.get_u64("progress_every", 0));
+  spec.shard_lo = static_cast<std::size_t>(v.get_u64("shard_lo", 0));
+  spec.shard_hi = static_cast<std::size_t>(v.get_u64("shard_hi", 0));
   if (const obs::JsonValue* cs = v.find("constraints")) {
     for (const obs::JsonValue& c : cs->as_array()) {
       NodeConstraint nc;
@@ -93,6 +95,10 @@ void write_job_spec(obs::JsonWriter& w, const JobSpec& spec) {
   if (spec.progress_every > 0) {
     w.kv("progress_every",
          static_cast<unsigned long long>(spec.progress_every));
+  }
+  if (spec.shard_hi > 0) {
+    w.kv("shard_lo", static_cast<unsigned long long>(spec.shard_lo));
+    w.kv("shard_hi", static_cast<unsigned long long>(spec.shard_hi));
   }
   w.end_object();
 }

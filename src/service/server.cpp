@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "obs/json_value.h"
 #include "obs/json_writer.h"
@@ -29,6 +31,7 @@ struct ServiceMetrics {
   obs::Counter& frames = obs::metrics().counter("service.frames");
   obs::Counter& bad_frames = obs::metrics().counter("service.bad_frames");
   obs::Counter& connections = obs::metrics().counter("service.connections");
+  obs::Counter& io_timeouts = obs::metrics().counter("service.io_timeouts");
   obs::Gauge& running = obs::metrics().gauge("service.jobs_running");
   obs::Gauge& queue_depth = obs::metrics().gauge("service.queue_depth");
   obs::Histogram& queue_seconds =
@@ -210,6 +213,26 @@ void Server::stop() {
   shutdown_cv_.notify_all();
 }
 
+void Server::drain() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  // No new job may start: executors blocked in pop() wake with nullptr
+  // and exit; the queued backlog stays intact for stop() to fail.
+  queue_.pause();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& [id, job] : jobs_) {
+      job->cancel_requested.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Running jobs observe the token at the next chunk boundary, write
+  // their final checkpoint and publish "checkpointed" + "cancelled"
+  // events on the way out. Bounded only by one chunk of work.
+  while (running_jobs_.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop();
+}
+
 void Server::wait_shutdown_requested() {
   std::unique_lock<std::mutex> lock(shutdown_mu_);
   shutdown_cv_.wait(lock, [this] { return shutdown_requested(); });
@@ -237,6 +260,9 @@ void Server::accept_loop() {
       if (client < 0) continue;
       service_metrics().connections.inc();
       const bool http = fds[i].fd == http_fd_;
+      if (!http && options_.io_timeout_seconds > 0.0) {
+        set_socket_timeout(client, options_.io_timeout_seconds);
+      }
       std::lock_guard<std::mutex> lock(conn_mu_);
       if (!running_.load(std::memory_order_relaxed)) {
         ::close(client);
@@ -253,21 +279,30 @@ void Server::accept_loop() {
 void Server::connection_loop(int fd) {
   LineReader reader(fd);
   std::string line;
-  while (reader.read_line(line)) {
-    if (line.empty()) continue;  // blank keep-alive lines are fine
-    std::uint64_t job_filter = 0;
-    if (options_.enable_subscribe && parse_subscribe(line, &job_filter)) {
-      if (job_filter != 0 && find_job(job_filter) == nullptr) {
-        const std::string reply = error_frame(
-            "subscribe", "unknown job id " + std::to_string(job_filter));
-        if (!write_all(fd, reply) || !write_all(fd, "\n")) break;
-        continue;  // stay in request/reply mode
+  try {
+    while (reader.read_line(line)) {
+      if (line.empty()) continue;  // blank keep-alive lines are fine
+      std::uint64_t job_filter = 0;
+      if (options_.enable_subscribe && parse_subscribe(line, &job_filter)) {
+        if (job_filter != 0 && find_job(job_filter) == nullptr) {
+          const std::string reply = error_frame(
+              "subscribe", "unknown job id " + std::to_string(job_filter));
+          if (!write_all(fd, reply) || !write_all(fd, "\n")) break;
+          continue;  // stay in request/reply mode
+        }
+        // A subscriber legitimately idles between requests — only its
+        // event WRITES should observe the deadline, and write_all's
+        // timeout path already drops a stuck consumer.
+        serve_subscription(fd, job_filter);
+        break;  // the stream consumed the connection
       }
-      serve_subscription(fd, job_filter);
-      break;  // the stream consumed the connection
+      const std::string reply = handle_frame(line);
+      if (!write_all(fd, reply) || !write_all(fd, "\n")) break;
     }
-    const std::string reply = handle_frame(line);
-    if (!write_all(fd, reply) || !write_all(fd, "\n")) break;
+  } catch (const SocketTimeoutError&) {
+    // io_timeout_seconds expired mid-request: the peer is stalled, not
+    // protocol-broken. Drop the connection; jobs it submitted live on.
+    service_metrics().io_timeouts.inc();
   }
   ::close(fd);
   std::lock_guard<std::mutex> lock(conn_mu_);
@@ -623,6 +658,7 @@ void Server::publish_stats() {
   obs::JsonWriter w(os, 0);
   w.begin_object();
   w.kv("event", "stats");
+  if (!options_.worker_name.empty()) w.kv("worker", options_.worker_name);
   w.kv("queue_depth", static_cast<unsigned long long>(queue_.depth()));
   w.kv("running", running_jobs_.load(std::memory_order_relaxed));
   w.kv("jobs_submitted", service_metrics().submitted.value());
@@ -739,6 +775,14 @@ void Server::execute(const std::shared_ptr<Job>& job) {
   service_metrics().running.set(static_cast<double>(
       running_jobs_.fetch_sub(1, std::memory_order_relaxed) - 1));
   service_metrics().queue_depth.set(static_cast<double>(queue_.depth()));
+  if (std::strcmp(final_state, "cancelled") == 0 &&
+      !job->spec.checkpoint_path.empty()) {
+    // McSession persisted the final partial checkpoint on its way out of
+    // the cancelled run (outside the on_checkpoint cadence): tell
+    // subscribers — the drain path and coordinators key on this event to
+    // know the partial is on disk before the process exits.
+    publish_job_event(job, "checkpointed", queued_for, elapsed);
+  }
   publish_job_event(job, final_state, queued_for, elapsed, error);
 }
 

@@ -62,6 +62,16 @@ struct ServerOptions {
   /// unknown-op error, emulating a pre-telemetry daemon for client
   /// fallback tests.
   bool enable_subscribe = true;
+  /// Read/write deadline applied to every accepted request/reply
+  /// connection (0 = none). A client that stalls mid-frame for longer is
+  /// dropped instead of pinning its connection thread forever. Subscribe
+  /// streams clear the deadline when they start: an idle but healthy
+  /// subscriber is normal.
+  double io_timeout_seconds = 0.0;
+  /// Cosmetic identity for sharded deployments (relsimd --worker-of):
+  /// carried in daemon stats events so coordinator logs and event-log
+  /// artifacts attribute a stream to a worker.
+  std::string worker_name;
 };
 
 class Server {
@@ -79,6 +89,13 @@ class Server {
   /// threads, removes the socket file. Idempotent. Must not be called
   /// from a connection thread (the "shutdown" op latches a flag instead).
   void stop();
+
+  /// Graceful drain (relsimd's SIGTERM path): stop dequeuing, cancel the
+  /// running jobs cooperatively so each writes its final checkpoint and
+  /// publishes its "checkpointed"/"cancelled" events, wait for them to
+  /// settle, then stop(). Queued jobs are failed by stop() as usual.
+  /// Same threading rule as stop().
+  void drain();
 
   const ServerOptions& options() const { return options_; }
   int tcp_port() const { return tcp_port_; }  ///< resolved ephemeral port

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -20,6 +21,24 @@ namespace {
 }
 
 }  // namespace
+
+void set_socket_timeout(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                         tv.tv_sec)) *
+                                          1e6);
+    // A sub-microsecond request must still time out, not block forever.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
+  }
+}
 
 int listen_unix(const std::string& path) {
   sockaddr_un addr{};
@@ -106,6 +125,10 @@ bool write_all(int fd, std::string_view data) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO deadline expired mid-frame.
+        throw SocketTimeoutError("socket write timed out");
+      }
       return false;
     }
     data.remove_prefix(static_cast<std::size_t>(n));
@@ -131,6 +154,11 @@ bool LineReader::read_line(std::string& out) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO deadline expired: the peer is slow, not gone. The
+        // buffered prefix (if any) stays for the next read_line call.
+        throw SocketTimeoutError("socket read timed out");
+      }
       eof_ = true;
       continue;
     }

@@ -6,7 +6,24 @@
 #include <string>
 #include <string_view>
 
+#include "util/error.h"
+
 namespace relsim::service {
+
+/// A read or write exceeded the socket's configured deadline. Distinct
+/// from the plain Error raised on disconnect so callers can tell a SLOW
+/// peer (lease expiry, stuck worker) from a DEAD one (crash, close) and
+/// react differently — re-issue vs. reconnect.
+class SocketTimeoutError : public Error {
+ public:
+  explicit SocketTimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Arms SO_RCVTIMEO + SO_SNDTIMEO on `fd`: blocking reads/writes that
+/// stall longer than `seconds` fail with EAGAIN, which LineReader
+/// surfaces as SocketTimeoutError. `seconds <= 0` clears the deadlines
+/// (block forever, the default for every socket this module creates).
+void set_socket_timeout(int fd, double seconds);
 
 /// Binds + listens on a Unix-domain stream socket, replacing any stale
 /// socket file. Throws Error on failure (path too long for sockaddr_un,
@@ -32,7 +49,9 @@ class LineReader {
   /// Reads one '\n'-terminated frame into `out` (terminator stripped).
   /// Returns false on EOF or error. A final unterminated fragment at EOF
   /// is returned as a frame — the protocol layer decides if a truncated
-  /// frame is an error (it is).
+  /// frame is an error (it is). When the fd carries a set_socket_timeout
+  /// deadline, a stalled read throws SocketTimeoutError instead (the
+  /// connection stays usable — no data was consumed).
   bool read_line(std::string& out);
 
  private:

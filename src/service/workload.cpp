@@ -157,6 +157,8 @@ McRequest request_for(const JobSpec& spec) {
   req.checkpoint_every = spec.checkpoint_every;
   req.manifest_path = spec.manifest_path;
   req.progress_every = spec.progress_every;
+  req.shard_lo = spec.shard_lo;
+  req.shard_hi = spec.shard_hi;
   req.run_label = !spec.label.empty()
                       ? spec.label
                       : std::string("service.") + to_string(spec.kind);

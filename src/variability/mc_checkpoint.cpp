@@ -1,0 +1,193 @@
+#include "variability/mc_checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "testing/fault_injection.h"
+#include "util/crc32.h"
+
+namespace relsim {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '3'};
+constexpr std::uint64_t kCheckpointHasWeights = 1;
+constexpr std::size_t kCheckpointHeaderWords = 7;
+
+void append_u64(std::string& buf, std::uint64_t v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64_at(const std::string& buf, std::size_t offset) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf.data() + offset, sizeof(v));
+  return v;
+}
+
+std::size_t checkpoint_image_size(std::size_t n, bool has_weights) {
+  return sizeof(kCheckpointMagic) +
+         kCheckpointHeaderWords * sizeof(std::uint64_t) +
+         (n + 7) / 8 /* bitmap */ + n /* status */ + n /* attempts */ +
+         n * sizeof(double) + (has_weights ? n * sizeof(double) : 0) +
+         sizeof(std::uint32_t) /* CRC */;
+}
+
+[[noreturn]] void throw_corrupt(const char* what, const std::string& path) {
+  throw McCheckpointCorruptError(
+      std::string("corrupt Monte-Carlo checkpoint (") + what + "): " + path);
+}
+
+}  // namespace
+
+std::size_t McCheckpointImage::done_count() const {
+  std::size_t count = 0;
+  for (const std::uint8_t d : done) {
+    if (d) ++count;
+  }
+  return count;
+}
+
+bool McCheckpointImage::same_run(const McCheckpointImage& other) const {
+  return seed == other.seed && n == other.n && kind == other.kind &&
+         strategy_kind == other.strategy_kind &&
+         strategy_digest == other.strategy_digest &&
+         has_weights() == other.has_weights();
+}
+
+bool load_checkpoint_image(const std::string& path,
+                           McCheckpointImage& image) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::string buf((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+
+  const std::size_t header_size =
+      sizeof(kCheckpointMagic) + kCheckpointHeaderWords * sizeof(std::uint64_t);
+  if (buf.size() < header_size + sizeof(std::uint32_t)) {
+    throw_corrupt("truncated header", path);
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (crc32(buf.data(), buf.size() - sizeof(stored_crc)) != stored_crc) {
+    throw_corrupt("CRC mismatch", path);
+  }
+  if (std::memcmp(buf.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    throw_corrupt("bad magic/version", path);
+  }
+  std::size_t off = sizeof(kCheckpointMagic);
+  image.seed = read_u64_at(buf, off);
+  image.n = read_u64_at(buf, off + 8);
+  const std::uint64_t f_kind = read_u64_at(buf, off + 16);
+  const std::uint64_t f_count = read_u64_at(buf, off + 24);
+  image.strategy_kind = read_u64_at(buf, off + 32);
+  image.strategy_digest = read_u64_at(buf, off + 40);
+  const std::uint64_t f_flags = read_u64_at(buf, off + 48);
+  off += kCheckpointHeaderWords * sizeof(std::uint64_t);
+  image.kind = static_cast<McCheckpointRunKind>(f_kind);
+  const bool has_weights = (f_flags & kCheckpointHasWeights) != 0;
+  const std::size_t n = static_cast<std::size_t>(image.n);
+  if (buf.size() != checkpoint_image_size(n, has_weights)) {
+    throw_corrupt("size does not match header", path);
+  }
+
+  const std::size_t bitmap_size = (n + 7) / 8;
+  const unsigned char* bitmap =
+      reinterpret_cast<const unsigned char*>(buf.data() + off);
+  off += bitmap_size;
+  image.status.resize(n);
+  image.attempts.resize(n);
+  image.values.resize(n);
+  std::memcpy(image.status.data(), buf.data() + off, n);
+  off += n;
+  std::memcpy(image.attempts.data(), buf.data() + off, n);
+  off += n;
+  std::memcpy(image.values.data(), buf.data() + off, n * sizeof(double));
+  off += n * sizeof(double);
+  if (has_weights) {
+    image.weights.resize(n);
+    std::memcpy(image.weights.data(), buf.data() + off, n * sizeof(double));
+  } else {
+    image.weights.clear();
+  }
+
+  image.done.assign(n, 0);
+  std::size_t restored = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bitmap[i / 8] & (1u << (i % 8))) {
+      image.done[i] = 1;
+      ++restored;
+    }
+  }
+  if (restored != f_count) {
+    throw_corrupt("bitmap disagrees with header count", path);
+  }
+  return true;
+}
+
+void save_checkpoint_image(const std::string& path,
+                           const McCheckpointImage& image) {
+  const std::size_t n = static_cast<std::size_t>(image.n);
+  RELSIM_REQUIRE(image.done.size() == n && image.status.size() == n &&
+                     image.attempts.size() == n && image.values.size() == n &&
+                     (image.weights.empty() || image.weights.size() == n),
+                 "checkpoint image arrays must all have n entries");
+  const bool has_weights = image.has_weights();
+  std::string buf;
+  buf.reserve(checkpoint_image_size(n, has_weights));
+  buf.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  append_u64(buf, image.seed);
+  append_u64(buf, image.n);
+  append_u64(buf, static_cast<std::uint64_t>(image.kind));
+  std::uint64_t count = 0;
+  std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (image.done[i]) {
+      bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      ++count;
+    }
+  }
+  append_u64(buf, count);
+  append_u64(buf, image.strategy_kind);
+  append_u64(buf, image.strategy_digest);
+  append_u64(buf, has_weights ? kCheckpointHasWeights : 0);
+  buf.append(reinterpret_cast<const char*>(bitmap.data()), bitmap.size());
+  buf.append(reinterpret_cast<const char*>(image.status.data()), n);
+  buf.append(reinterpret_cast<const char*>(image.attempts.data()), n);
+  buf.append(reinterpret_cast<const char*>(image.values.data()),
+             n * sizeof(double));
+  if (has_weights) {
+    buf.append(reinterpret_cast<const char*>(image.weights.data()),
+               n * sizeof(double));
+  }
+  const std::uint32_t crc = crc32(buf.data(), buf.size());
+  buf.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
+  }
+  RELSIM_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot move Monte-Carlo checkpoint into place: " + path);
+
+  if (testing::fire(testing::FaultSite::kCheckpointCorrupt)) {
+    // Chaos hook: flip one byte in the middle of the file the CRC covers.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (f) {
+      const std::streamoff pos = static_cast<std::streamoff>(buf.size() / 2);
+      f.seekg(pos);
+      char byte = 0;
+      f.get(byte);
+      f.seekp(pos);
+      f.put(static_cast<char>(byte ^ 0x5A));
+    }
+  }
+}
+
+}  // namespace relsim

@@ -1,0 +1,78 @@
+// RSMCKPT3 checkpoint images: the on-disk representation of a (possibly
+// partial) Monte-Carlo run, reusable outside McSession.
+//
+// Format ("RSMCKPT3"): 8-byte magic, {seed, n, run kind, done count,
+// strategy kind, strategy digest, flags} header words, done bitmap,
+// per-sample failure-status bytes, per-sample attempt counts, per-sample
+// values, the per-sample importance weights when flags bit 0 is set, and
+// a trailing CRC-32 over everything before it. Writes are atomic (tmp
+// file + rename), so a reader never observes a half-written image.
+//
+// McSession reads/writes these through mc_session.cpp; the distributed
+// sharding layer (shard.h) loads per-shard partial images directly and
+// merges them deterministically. The load/save pair here is pure
+// serialization — REQUEST validation (does this file belong to this
+// seed/strategy?) is the caller's job, so a merge can compare images
+// without pretending to be a run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace relsim {
+
+/// Run kinds tagged in checkpoints so a yield checkpoint cannot silently
+/// resume a metric run (the stored per-sample doubles mean different
+/// things).
+enum class McCheckpointRunKind : std::uint64_t { kYield = 0, kMetric = 1 };
+
+/// A checkpoint that failed its integrity check: bad magic/version, CRC
+/// mismatch, truncation, or a bitmap that disagrees with the header
+/// count. Distinct from Error so callers can apply a recovery policy to
+/// corruption while still treating request mismatches as hard errors.
+class McCheckpointCorruptError : public Error {
+ public:
+  explicit McCheckpointCorruptError(const std::string& what) : Error(what) {}
+};
+
+/// In-memory image of one checkpoint file. All per-sample vectors have
+/// exactly `n` entries after a successful load (`weights` is empty when
+/// the image carries no importance weights).
+struct McCheckpointImage {
+  std::uint64_t seed = 0;
+  std::uint64_t n = 0;
+  McCheckpointRunKind kind = McCheckpointRunKind::kYield;
+  std::uint64_t strategy_kind = 0;
+  std::uint64_t strategy_digest = 0;
+  std::vector<std::uint8_t> done;      ///< 0/1 per sample
+  std::vector<std::uint8_t> status;    ///< McFailureKind per sample
+  std::vector<std::uint8_t> attempts;  ///< evaluation attempts per sample
+  std::vector<double> values;
+  std::vector<double> weights;  ///< empty = no importance weights stored
+
+  bool has_weights() const { return !weights.empty(); }
+  std::size_t done_count() const;
+
+  /// True when `other` describes the same run: seed, n, kind, strategy
+  /// identity and weight presence all agree. Done bitmaps and values are
+  /// NOT compared — partial images of one run match by design.
+  bool same_run(const McCheckpointImage& other) const;
+};
+
+/// Loads `path` into `image`. Returns false when the file does not exist
+/// (image untouched); throws McCheckpointCorruptError when the file fails
+/// its integrity check. Never validates against a request — see
+/// McCheckpointImage::same_run for identity comparison.
+bool load_checkpoint_image(const std::string& path, McCheckpointImage& image);
+
+/// Atomically (tmp + rename) serializes `image`, CRC-protected. The done
+/// count in the header is derived from the bitmap. Honours the
+/// kCheckpointCorrupt fault-injection site (post-rename byte flip) so
+/// chaos tests exercise the CRC path.
+void save_checkpoint_image(const std::string& path,
+                           const McCheckpointImage& image);
+
+}  // namespace relsim

@@ -4,11 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <iterator>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -17,9 +13,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "testing/fault_injection.h"
-#include "util/crc32.h"
 #include "util/error.h"
 #include "util/log.h"
+#include "variability/mc_checkpoint.h"
 
 namespace relsim {
 
@@ -116,19 +112,9 @@ namespace {
 
 // Run kinds tagged in checkpoints so a yield checkpoint cannot silently
 // resume a metric run (the stored per-sample doubles mean different things).
-enum class RunKind : std::uint64_t { kYield = 0, kMetric = 1 };
-
-// Checkpoint format v3 ("RSMCKPT3"): magic, {seed, n, kind, count,
-// strategy kind, strategy digest, flags} header, done bitmap, per-sample
-// failure-status bytes, per-sample attempt counts, per-sample values, the
-// per-sample importance weights when flags bit 0 is set, and a trailing
-// CRC-32 over everything before it. The strategy identity in the header
-// means a checkpoint can never silently resume under a different sampler
-// (that throws as a caller error, like a seed mismatch). A v1/v2 file
-// fails the magic check and is handled as corruption, never silently read.
-constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '3'};
-constexpr std::uint64_t kCheckpointHasWeights = 1;
-constexpr std::size_t kCheckpointHeaderWords = 7;
+// RSMCKPT3 serialization lives in variability/mc_checkpoint.* so the shard
+// merge path (variability/shard.*) reads/writes the exact same format.
+using RunKind = McCheckpointRunKind;
 
 struct Range {
   std::size_t lo = 0;
@@ -136,24 +122,6 @@ struct Range {
 
   std::size_t size() const { return hi - lo; }
 };
-
-void append_u64(std::string& buf, std::uint64_t v) {
-  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-std::uint64_t read_u64_at(const std::string& buf, std::size_t offset) {
-  std::uint64_t v = 0;
-  std::memcpy(&v, buf.data() + offset, sizeof(v));
-  return v;
-}
-
-std::size_t checkpoint_image_size(std::size_t n, bool has_weights) {
-  return sizeof(kCheckpointMagic) +
-         kCheckpointHeaderWords * sizeof(std::uint64_t) +
-         (n + 7) / 8 /* bitmap */ + n /* status */ + n /* attempts */ +
-         n * sizeof(double) + (has_weights ? n * sizeof(double) : 0) +
-         sizeof(std::uint32_t) /* CRC */;
-}
 
 /// Loads a checkpoint into `done`/`values`/`status`/`attempts`; returns
 /// the restored sample count (0 when the file does not exist). A file that
@@ -171,95 +139,35 @@ std::size_t load_checkpoint(const std::string& path, std::uint64_t seed,
                             std::vector<std::uint8_t>& status,
                             std::vector<std::uint8_t>& attempts,
                             bool& discarded) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return 0;
-  std::string buf((std::istreambuf_iterator<char>(is)),
-                  std::istreambuf_iterator<char>());
-
   static obs::Counter& c_discarded =
       obs::metrics().counter("mc.checkpoint_discarded");
-  const auto corrupt = [&](const char* what) -> std::size_t {
-    if (recovery == McCheckpointRecovery::kDiscardCorrupt) {
-      log_warn("discarding corrupt Monte-Carlo checkpoint (", what,
-               "): ", path, " — restarting from zero samples");
-      c_discarded.inc();
-      discarded = true;
-      return 0;
-    }
-    throw Error(std::string("corrupt Monte-Carlo checkpoint (") + what +
-                "): " + path);
-  };
-
-  const std::size_t header_size =
-      sizeof(kCheckpointMagic) + kCheckpointHeaderWords * sizeof(std::uint64_t);
-  if (buf.size() < header_size + sizeof(std::uint32_t)) {
-    return corrupt("truncated header");
+  McCheckpointImage image;
+  try {
+    if (!load_checkpoint_image(path, image)) return 0;
+  } catch (const McCheckpointCorruptError& e) {
+    if (recovery != McCheckpointRecovery::kDiscardCorrupt) throw;
+    log_warn("discarding ", e.what(), " — restarting from zero samples");
+    c_discarded.inc();
+    discarded = true;
+    return 0;
   }
-  std::uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(stored_crc),
-              sizeof(stored_crc));
-  if (crc32(buf.data(), buf.size() - sizeof(stored_crc)) != stored_crc) {
-    return corrupt("CRC mismatch");
-  }
-  if (std::memcmp(buf.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
-      0) {
-    return corrupt("bad magic/version");
-  }
-  std::size_t off = sizeof(kCheckpointMagic);
-  const std::uint64_t f_seed = read_u64_at(buf, off);
-  const std::uint64_t f_n = read_u64_at(buf, off + 8);
-  const std::uint64_t f_kind = read_u64_at(buf, off + 16);
-  const std::uint64_t f_count = read_u64_at(buf, off + 24);
-  const std::uint64_t f_strategy = read_u64_at(buf, off + 32);
-  const std::uint64_t f_digest = read_u64_at(buf, off + 40);
-  const std::uint64_t f_flags = read_u64_at(buf, off + 48);
-  off += kCheckpointHeaderWords * sizeof(std::uint64_t);
-  const bool has_weights = (f_flags & kCheckpointHasWeights) != 0;
-  if (buf.size() !=
-      checkpoint_image_size(static_cast<std::size_t>(f_n), has_weights)) {
-    return corrupt("size does not match header");
-  }
-  RELSIM_REQUIRE(f_seed == seed && f_n == n &&
-                     f_kind == static_cast<std::uint64_t>(kind),
+  RELSIM_REQUIRE(image.seed == seed && image.n == n && image.kind == kind,
                  "Monte-Carlo checkpoint does not match this request "
                  "(different seed, sample count or run kind): " + path);
   RELSIM_REQUIRE(
-      f_strategy == static_cast<std::uint64_t>(strategy.kind) &&
-          f_digest == strategy.digest(),
+      image.strategy_kind == static_cast<std::uint64_t>(strategy.kind) &&
+          image.strategy_digest == strategy.digest(),
       "Monte-Carlo checkpoint was written under a different sampling "
       "strategy (kind or parameters): " + path);
-  RELSIM_REQUIRE(has_weights == !weights.empty(),
+  RELSIM_REQUIRE(image.has_weights() == !weights.empty(),
                  "Monte-Carlo checkpoint weight section disagrees with the "
                  "strategy: " + path);
-
-  const std::size_t bitmap_size = (n + 7) / 8;
-  const unsigned char* bitmap =
-      reinterpret_cast<const unsigned char*>(buf.data() + off);
-  off += bitmap_size;
-  std::memcpy(status.data(), buf.data() + off, n);
-  off += n;
-  std::memcpy(attempts.data(), buf.data() + off, n);
-  off += n;
-  std::memcpy(values.data(), buf.data() + off, n * sizeof(double));
-  off += n * sizeof(double);
-  if (has_weights) {
-    std::memcpy(weights.data(), buf.data() + off, n * sizeof(double));
-  }
-
-  std::size_t restored = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (bitmap[i / 8] & (1u << (i % 8))) {
-      done[i] = 1;
-      ++restored;
-    }
-  }
-  if (restored != f_count) {
-    std::fill(done.begin(), done.end(), 0);
-    std::fill(status.begin(), status.end(), 0);
-    std::fill(attempts.begin(), attempts.end(), 0);
-    std::fill(weights.begin(), weights.end(), 0.0);
-    return corrupt("bitmap disagrees with header count");
-  }
+  const std::size_t restored = image.done_count();
+  done = std::move(image.done);
+  status = std::move(image.status);
+  attempts = std::move(image.attempts);
+  values = std::move(image.values);
+  if (image.has_weights()) weights = std::move(image.weights);
   return restored;
 }
 
@@ -273,60 +181,18 @@ void save_checkpoint(const std::string& path, std::uint64_t seed,
                      const std::vector<double>& weights,
                      const std::vector<std::uint8_t>& status,
                      const std::vector<std::uint8_t>& attempts) {
-  const bool has_weights = !weights.empty();
-  std::string buf;
-  buf.reserve(checkpoint_image_size(n, has_weights));
-  buf.append(kCheckpointMagic, sizeof(kCheckpointMagic));
-  append_u64(buf, seed);
-  append_u64(buf, static_cast<std::uint64_t>(n));
-  append_u64(buf, static_cast<std::uint64_t>(kind));
-  std::uint64_t count = 0;
-  std::vector<std::uint8_t> bitmap((n + 7) / 8, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (done[i]) {
-      bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-      ++count;
-    }
-  }
-  append_u64(buf, count);
-  append_u64(buf, static_cast<std::uint64_t>(strategy.kind));
-  append_u64(buf, strategy.digest());
-  append_u64(buf, has_weights ? kCheckpointHasWeights : 0);
-  buf.append(reinterpret_cast<const char*>(bitmap.data()), bitmap.size());
-  buf.append(reinterpret_cast<const char*>(status.data()), n);
-  buf.append(reinterpret_cast<const char*>(attempts.data()), n);
-  buf.append(reinterpret_cast<const char*>(values.data()),
-             n * sizeof(double));
-  if (has_weights) {
-    buf.append(reinterpret_cast<const char*>(weights.data()),
-               n * sizeof(double));
-  }
-  const std::uint32_t crc = crc32(buf.data(), buf.size());
-  buf.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
-    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    RELSIM_REQUIRE(bool(os), "cannot write Monte-Carlo checkpoint: " + tmp);
-  }
-  RELSIM_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-                 "cannot move Monte-Carlo checkpoint into place: " + path);
-
-  if (testing::fire(testing::FaultSite::kCheckpointCorrupt)) {
-    // Chaos hook: flip one byte in the middle of the file the CRC covers.
-    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
-    if (f) {
-      const std::streamoff pos =
-          static_cast<std::streamoff>(buf.size() / 2);
-      f.seekg(pos);
-      char byte = 0;
-      f.get(byte);
-      f.seekp(pos);
-      f.put(static_cast<char>(byte ^ 0x5A));
-    }
-  }
+  McCheckpointImage image;
+  image.seed = seed;
+  image.n = static_cast<std::uint64_t>(n);
+  image.kind = kind;
+  image.strategy_kind = static_cast<std::uint64_t>(strategy.kind);
+  image.strategy_digest = strategy.digest();
+  image.done = done;
+  image.status = status;
+  image.attempts = attempts;
+  image.values = values;
+  image.weights = weights;
+  save_checkpoint_image(path, image);
 }
 
 /// The shared run driver. `eval(point)` returns the per-sample double
@@ -376,8 +242,28 @@ McResult run_session(const McRequest& req, RunKind kind,
                  "stratified/importance strategies are yield-run only "
                  "(their estimators are proportion estimators)");
 
+  // Shard window: the run evaluates only [win_lo, win_hi) of the global
+  // index range. Sample i's outcome is a pure function of {request, i}, so
+  // windowed shards compose bit-identically with the full run. The window
+  // changes scheduling and reporting ONLY — seeds, strategy points and the
+  // checkpoint layout all stay full-size global.
+  const bool windowed = req.shard_hi > 0;
+  RELSIM_REQUIRE(!windowed || (req.shard_lo < req.shard_hi &&
+                               req.shard_hi <= n),
+                 "shard window [shard_lo, shard_hi) must satisfy "
+                 "lo < hi <= n");
+  // Early stopping decides on the committed prefix of the FULL run; a
+  // window only sees its own slice, so any decision it made would depend
+  // on the shard plan — refused rather than silently wrong.
+  RELSIM_REQUIRE(!windowed || !req.stopping.enabled(),
+                 "shard-windowed runs cannot use early-stopping rules "
+                 "(a window cannot decide for the whole run)");
+  const std::size_t win_lo = windowed ? req.shard_lo : 0;
+  const std::size_t win_hi = windowed ? req.shard_hi : n;
+  const std::size_t win_n = win_hi - win_lo;
+
   McResult result;
-  result.requested = n;
+  result.requested = win_n;
   result.run.kind = yield_kind ? "yield" : "metric";
   if (n == 0) return result;
   c_runs.inc();
@@ -392,24 +278,27 @@ McResult run_session(const McRequest& req, RunKind kind,
   const bool stratified = driver.stratified();
 
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-      resolve_threads(req.threads, req.thread_budget), n));
+      resolve_threads(req.threads, req.thread_budget), win_n));
   result.run.threads = workers;
-  obs::TraceSpan run_span("mc.run", "n", static_cast<double>(n), "workers",
-                          static_cast<double>(workers));
+  obs::TraceSpan run_span("mc.run", "n", static_cast<double>(win_n),
+                          "workers", static_cast<double>(workers));
 
   // The unit of scheduling AND of commit: contiguous index ranges, ordered
-  // by lo. Work stealing uses fixed chunks; the static baseline uses one
-  // block per worker (the legacy parallel_for partition).
+  // by lo, covering exactly the window. Work stealing uses fixed chunks
+  // anchored at win_lo (a chunk-aligned shard plan therefore reproduces the
+  // global chunk grid); the static baseline uses one block per worker (the
+  // legacy parallel_for partition, over the window).
   std::vector<Range> ranges;
   if (req.partition == McPartition::kStaticBlocks) {
     for (std::size_t w = 0; w < workers; ++w) {
-      const Range r{n * w / workers, n * (w + 1) / workers};
+      const Range r{win_lo + win_n * w / workers,
+                    win_lo + win_n * (w + 1) / workers};
       if (r.size() > 0) ranges.push_back(r);
     }
   } else {
     const std::size_t chunk = std::max<std::size_t>(1, req.chunk);
-    for (std::size_t lo = 0; lo < n; lo += chunk) {
-      ranges.push_back({lo, std::min(lo + chunk, n)});
+    for (std::size_t lo = win_lo; lo < win_hi; lo += chunk) {
+      ranges.push_back({lo, std::min(lo + chunk, win_hi)});
     }
   }
   const std::size_t range_count = ranges.size();
@@ -433,6 +322,15 @@ McResult run_session(const McRequest& req, RunKind kind,
                               req.strategy, req.checkpoint_recovery, done,
                               values, weights, status, attempts,
                               checkpoint_discarded);
+    if (windowed) {
+      // Report (and count) only the restored samples this window owns;
+      // out-of-window done bits stay in `done` untouched so they survive
+      // into every checkpoint this shard writes (merge round-trips).
+      resumed = 0;
+      for (std::size_t i = win_lo; i < win_hi; ++i) {
+        if (done[i]) ++resumed;
+      }
+    }
     c_restored.inc(static_cast<std::int64_t>(resumed));
   }
   result.resumed = resumed;
@@ -509,14 +407,14 @@ McResult run_session(const McRequest& req, RunKind kind,
   std::size_t restored_committed = 0;
   const std::size_t progress_every =
       req.progress_every > 0 ? req.progress_every
-                             : std::max<std::size_t>(1, n / 100);
+                             : std::max<std::size_t>(1, win_n / 100);
   std::size_t next_progress = progress_every;
 
   auto emit_progress = [&] {
     McProgress p;
     p.seq = progress_seq++;
     p.completed = committed;
-    p.total = n;
+    p.total = win_n;
     p.passed = passed;
     p.failed = failed_committed;
     p.retried = retried_committed;
@@ -540,7 +438,7 @@ McResult run_session(const McRequest& req, RunKind kind,
       p.samples_per_sec =
           static_cast<double>(executed) / p.elapsed_seconds;
       p.eta_seconds =
-          static_cast<double>(n - committed) / p.samples_per_sec;
+          static_cast<double>(win_n - committed) / p.samples_per_sec;
     }
     req.progress(p);
   };
@@ -941,7 +839,7 @@ McResult run_session(const McRequest& req, RunKind kind,
   result.run.stop_reason = first_error ? McStopReason::kAborted
                           : early      ? reason
                           : (cancelled.load(std::memory_order_relaxed) &&
-                             result.completed < n)
+                             result.completed < win_n)
                               ? McStopReason::kCancelled
                               : McStopReason::kCompleted;
   result.run.failing_samples = early ? std::move(decided_failing)
@@ -1027,6 +925,10 @@ McResult run_session(const McRequest& req, RunKind kind,
     }
   }
   if (!yield_kind || req.keep_values) {
+    // The committed prefix of a windowed run starts at win_lo: slice the
+    // window's prefix out of the full-size array (win_lo == 0 unwindowed).
+    values.erase(values.begin(),
+                 values.begin() + static_cast<std::ptrdiff_t>(win_lo));
     values.resize(result.completed);
     result.values = std::move(values);
   }

@@ -197,6 +197,17 @@ struct McRequest {
   /// so one request cannot grab the whole machine.
   unsigned thread_budget = 0;
   std::size_t chunk = 32;  ///< samples per work-stealing chunk
+  /// Shard window [shard_lo, shard_hi): when shard_hi > 0 the run
+  /// evaluates ONLY the samples in this half-open GLOBAL index range —
+  /// per-sample seeds, strategy inputs and checkpoint layout stay those
+  /// of the full n-sample run, so disjoint windows executed by separate
+  /// processes produce partial checkpoints that merge_checkpoints()
+  /// reassembles bit-identically (see shard.h). shard_hi == 0 (default)
+  /// runs the whole range. Windowed runs report window-local counts
+  /// (requested/completed/progress cover the window) and reject early-
+  /// stopping rules, whose semantics are whole-run.
+  std::size_t shard_lo = 0;
+  std::size_t shard_hi = 0;
   McPartition partition = McPartition::kWorkStealing;
   /// Evaluation-path selection for ReliabilitySimulator::run_yield (the
   /// session itself is told the path by which entry point is called).

@@ -1,0 +1,89 @@
+#include "variability/shard.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace relsim {
+
+std::vector<McShard> make_shard_plan(std::size_t n, std::size_t shards,
+                                     std::size_t chunk,
+                                     const std::string& checkpoint_prefix) {
+  RELSIM_REQUIRE(shards > 0, "a shard plan needs at least one shard");
+  std::vector<McShard> plan;
+  if (n == 0) return plan;
+  const std::size_t c = std::max<std::size_t>(1, chunk);
+  // Deal whole chunks, not samples: boundary k sits at chunk granularity,
+  // so every shard window is a run of complete work-stealing chunks (the
+  // last may be short when n is not a chunk multiple).
+  const std::size_t total_chunks = (n + c - 1) / c;
+  const std::size_t s_count = std::min(shards, total_chunks);
+  for (std::size_t s = 0; s < s_count; ++s) {
+    McShard shard;
+    shard.lo = (total_chunks * s / s_count) * c;
+    shard.hi = std::min((total_chunks * (s + 1) / s_count) * c, n);
+    if (shard.hi <= shard.lo) continue;
+    shard.index = plan.size();
+    if (!checkpoint_prefix.empty()) {
+      shard.checkpoint_path = checkpoint_prefix + ".shard" +
+                              std::to_string(shard.index) + ".rsmckpt";
+    }
+    plan.push_back(std::move(shard));
+  }
+  return plan;
+}
+
+McCheckpointMergeStats merge_checkpoints(const std::vector<std::string>& parts,
+                                         const std::string& out_path) {
+  RELSIM_REQUIRE(!parts.empty(), "merge_checkpoints needs input parts");
+  RELSIM_REQUIRE(!out_path.empty(), "merge_checkpoints needs an output path");
+  static obs::Counter& c_merges =
+      obs::metrics().counter("mc.checkpoint_merges");
+  static obs::Counter& c_merged_samples =
+      obs::metrics().counter("mc.checkpoint_merge_samples");
+
+  McCheckpointMergeStats stats;
+  McCheckpointImage merged;
+  bool have_base = false;
+  for (const std::string& path : parts) {
+    McCheckpointImage part;
+    if (!load_checkpoint_image(path, part)) {
+      ++stats.parts_missing;
+      continue;
+    }
+    ++stats.parts_found;
+    if (!have_base) {
+      merged = std::move(part);
+      have_base = true;
+      continue;
+    }
+    RELSIM_REQUIRE(
+        merged.same_run(part),
+        "checkpoint merge parts describe different runs (seed, sample "
+        "count, run kind, sampling strategy or weight presence): " + path);
+    const std::size_t n = static_cast<std::size_t>(merged.n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!part.done[i]) continue;
+      RELSIM_REQUIRE(!merged.done[i],
+                     "checkpoint merge parts overlap at sample " +
+                         std::to_string(i) + ": " + path);
+      merged.done[i] = 1;
+      merged.status[i] = part.status[i];
+      merged.attempts[i] = part.attempts[i];
+      merged.values[i] = part.values[i];
+      if (merged.has_weights()) merged.weights[i] = part.weights[i];
+    }
+  }
+  RELSIM_REQUIRE(have_base,
+                 "merge_checkpoints found no existing checkpoint part "
+                 "(all inputs missing)");
+  stats.samples = merged.done_count();
+  stats.has_weights = merged.has_weights();
+  save_checkpoint_image(out_path, merged);
+  c_merges.inc();
+  c_merged_samples.inc(static_cast<std::int64_t>(stats.samples));
+  return stats;
+}
+
+}  // namespace relsim

@@ -1,0 +1,72 @@
+// Distributed sharding substrate: contiguous index-range shard plans and
+// the deterministic merge of per-shard partial checkpoints.
+//
+// The sample-index-ordered commit discipline makes a Monte-Carlo run a
+// pure function of {request}: sample i's value never depends on which
+// process, worker or attempt evaluated it. A run over [0, n) can
+// therefore be split into contiguous shards, each executed by a separate
+// process as a WINDOWED run (McRequest::shard_lo/shard_hi) writing a
+// full-size RSMCKPT3 checkpoint whose done bits lie inside its window.
+// Merging the shard checkpoints is a union of disjoint bitmaps — and
+// resuming a full (non-windowed) run from the merged image reassembles
+// the exact single-process result, evaluating in-process any samples the
+// shards did not finish (the graceful-degradation path when workers are
+// lost).
+//
+// Merge invariants, enforced here:
+//   * every part must describe the SAME run (seed, n, run kind, strategy
+//     kind + digest, weight presence) — anything else throws;
+//   * done bitmaps must be disjoint — an overlap means two shards claimed
+//     the same sample and the plan or coordinator is broken, so the merge
+//     refuses rather than silently preferring one side;
+//   * values/status/attempts/weights are copied only for done samples, so
+//     the merged image is bit-identical to what one process would have
+//     checkpointed after completing the union of the windows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "variability/mc_checkpoint.h"
+
+namespace relsim {
+
+/// One shard of a run: samples [lo, hi) plus the checkpoint file its
+/// worker writes. Shards of one plan are contiguous, disjoint and cover
+/// [0, n) in index order.
+struct McShard {
+  std::size_t index = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::string checkpoint_path;
+
+  std::size_t size() const { return hi - lo; }
+};
+
+/// Splits [0, n) into at most `shards` contiguous shards with boundaries
+/// aligned to `chunk` (so no work-stealing chunk straddles two shards and
+/// batched evaluators see the same spans a single process would). Shards
+/// are balanced to within one chunk; fewer shards are returned when n is
+/// too small to populate all of them. Each shard's checkpoint_path is
+/// `<prefix>.shard<index>.rsmckpt` (empty prefix leaves paths empty).
+std::vector<McShard> make_shard_plan(std::size_t n, std::size_t shards,
+                                     std::size_t chunk,
+                                     const std::string& checkpoint_prefix);
+
+struct McCheckpointMergeStats {
+  std::size_t parts_found = 0;    ///< input files that existed and loaded
+  std::size_t parts_missing = 0;  ///< inputs with no file (empty shards)
+  std::size_t samples = 0;        ///< done samples in the merged image
+  bool has_weights = false;
+};
+
+/// Merges partial checkpoints into one image at `out_path`. Parts that do
+/// not exist are skipped (an empty shard merges as identity); corrupt
+/// parts throw McCheckpointCorruptError; parts describing a different run
+/// or overlapping an earlier part throw Error. At least one part must
+/// exist. Merging a single part writes a byte-identical copy of it.
+McCheckpointMergeStats merge_checkpoints(const std::vector<std::string>& parts,
+                                         const std::string& out_path);
+
+}  // namespace relsim

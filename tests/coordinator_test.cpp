@@ -1,0 +1,252 @@
+// Distributed shard coordinator contracts (service/coordinator.h), run
+// against real in-process relsimd servers on temp Unix sockets:
+//  * {1 process} and {N workers × shards} produce the same values CRC;
+//  * a worker lost mid-shard is detected, the shard re-issued from its
+//    last partial checkpoint, and the result stays bit-identical;
+//  * losing every worker degrades to the in-process assembly run;
+//  * a silent worker exhausts its lease and the run still completes.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/coordinator.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/workload.h"
+#include "util/error.h"
+
+namespace relsim::service {
+namespace {
+
+constexpr const char* kDivider = R"(mos divider
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+
+JobSpec divider_spec(std::size_t n) {
+  JobSpec spec;
+  spec.kind = JobKind::kDcYield;
+  spec.netlist = kDivider;
+  spec.constraints.push_back({"d", 0.55, 0.75});
+  spec.seed = 99;
+  spec.n = n;
+  spec.keep_values = true;
+  return spec;
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+/// A small fleet of in-process daemons, one Unix socket each.
+class WorkerFleet {
+ public:
+  explicit WorkerFleet(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      ServerOptions options;
+      options.socket_path = ::testing::TempDir() + "relsim_coord_w" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(i) + ".sock";
+      options.executors = 2;
+      options.worker_name = "w" + std::to_string(i);
+      servers_.push_back(std::make_unique<Server>(std::move(options)));
+      servers_.back()->start();
+      WorkerEndpoint ep;
+      ep.socket_path = servers_.back()->options().socket_path;
+      ep.name = "w" + std::to_string(i);
+      endpoints_.push_back(ep);
+    }
+  }
+  ~WorkerFleet() {
+    for (auto& s : servers_) s->stop();
+  }
+
+  const std::vector<WorkerEndpoint>& endpoints() const { return endpoints_; }
+  Server& server(std::size_t i) { return *servers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<WorkerEndpoint> endpoints_;
+};
+
+std::string scratch_dir(const char* tag) {
+  return ::testing::TempDir() + "relsim_coord_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+CoordinatorOptions base_options(const WorkerFleet& fleet, const char* tag) {
+  CoordinatorOptions options;
+  options.workers = fleet.endpoints();
+  options.checkpoint_dir = scratch_dir(tag);
+  ::mkdir(options.checkpoint_dir.c_str(), 0755);
+  options.backoff_base_ms = 10;
+  options.backoff_cap_ms = 100;
+  return options;
+}
+
+TEST(CoordinatorTest, ShardedRunIsBitIdenticalToSingleProcess) {
+  const JobSpec spec = divider_spec(8000);
+  const McResult direct = run_job(spec, nullptr);
+
+  WorkerFleet fleet(4);
+  CoordinatorOptions options = base_options(fleet, "identity");
+  options.shards = 4;
+  options.manifest_path = options.checkpoint_dir + "/manifest.json";
+  const CoordinatorResult sharded = run_sharded(spec, options);
+
+  EXPECT_EQ(sharded.result.completed, direct.completed);
+  EXPECT_EQ(sharded.result.estimate.passed, direct.estimate.passed);
+  EXPECT_EQ(values_crc32(sharded.result), values_crc32(direct));
+  EXPECT_GT(values_crc32(sharded.result), 0u);
+  EXPECT_EQ(sharded.reissues, 0u);
+  EXPECT_EQ(sharded.shards_inprocess, 0u);
+  EXPECT_EQ(sharded.merge.parts_found, 4u);
+  EXPECT_EQ(sharded.merge.samples, spec.n);
+  ASSERT_EQ(sharded.shards.size(), 4u);
+  for (const ShardOutcome& s : sharded.shards) {
+    EXPECT_TRUE(s.completed) << "shard " << s.index;
+    EXPECT_EQ(s.attempts, 1u);
+  }
+  EXPECT_TRUE(file_exists(options.manifest_path));
+}
+
+TEST(CoordinatorTest, DifferentWorkerAndThreadSplitsAgree) {
+  // The headline acceptance: {1 × 8 threads} vs {4 workers × 2 threads}.
+  JobSpec spec = divider_spec(6000);
+  spec.threads = 8;
+  const McResult one_process = run_job(spec, nullptr);
+
+  JobSpec worker_spec = spec;
+  worker_spec.threads = 2;
+  WorkerFleet fleet(4);
+  CoordinatorOptions options = base_options(fleet, "splits");
+  options.shards = 4;
+  const CoordinatorResult sharded = run_sharded(worker_spec, options);
+  EXPECT_EQ(values_crc32(sharded.result), values_crc32(one_process));
+}
+
+TEST(CoordinatorTest, WorkerLostMidShardIsReissuedBitIdentically) {
+  // Slow enough that stopping a worker lands mid-shard: per-sample mode
+  // re-parses the netlist for every sample.
+  JobSpec spec = divider_spec(30000);
+  spec.eval_mode = McEvalMode::kPerSample;
+  spec.threads = 2;
+  spec.checkpoint_every = 512;
+  const McResult direct = run_job(spec, nullptr);
+
+  WorkerFleet fleet(3);
+  CoordinatorOptions options = base_options(fleet, "lost");
+  options.shards = 3;
+  options.lease_seconds = 20.0;
+
+  // Shard 1's first attempt lands on worker 1; its checkpoint appearing
+  // means the attempt is mid-run — stop that worker THEN, so the kill is
+  // mid-shard regardless of machine speed.
+  const std::string shard1_attempt0 =
+      options.checkpoint_dir + "/sharded.shard1.rsmckpt.a0";
+  std::thread killer([&] {
+    for (int i = 0; i < 2000 && !file_exists(shard1_attempt0); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    fleet.server(1).stop();
+  });
+  const CoordinatorResult sharded = run_sharded(spec, options);
+  killer.join();
+
+  EXPECT_EQ(values_crc32(sharded.result), values_crc32(direct));
+  EXPECT_EQ(sharded.result.completed, spec.n);
+  EXPECT_GE(sharded.reissues, 1u);
+  EXPECT_EQ(sharded.shards_inprocess, 0u);
+}
+
+TEST(CoordinatorTest, TotalWorkerLossFallsBackToInProcess) {
+  const JobSpec spec = divider_spec(2000);
+  const McResult direct = run_job(spec, nullptr);
+
+  WorkerEndpoint ghost;
+  ghost.socket_path = ::testing::TempDir() + "relsim_coord_ghost.sock";
+  CoordinatorOptions options;
+  options.workers = {ghost, ghost};
+  options.checkpoint_dir = scratch_dir("loss");
+  ::mkdir(options.checkpoint_dir.c_str(), 0755);
+  options.shards = 2;
+  options.max_reissues = 1;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 10;
+
+  const CoordinatorResult sharded = run_sharded(spec, options);
+  EXPECT_EQ(sharded.shards_inprocess, 2u);
+  EXPECT_GE(sharded.worker_crashes, 2u);
+  EXPECT_EQ(sharded.result.completed, spec.n);
+  EXPECT_EQ(values_crc32(sharded.result), values_crc32(direct));
+
+  CoordinatorOptions abort_options = options;
+  abort_options.failure_policy = ShardFailurePolicy::kAbort;
+  EXPECT_THROW(run_sharded(spec, abort_options), Error);
+}
+
+TEST(CoordinatorTest, ZeroWorkersRunsEntirelyInProcess) {
+  const JobSpec spec = divider_spec(1500);
+  const McResult direct = run_job(spec, nullptr);
+  CoordinatorOptions options;
+  options.checkpoint_dir = scratch_dir("zero");
+  ::mkdir(options.checkpoint_dir.c_str(), 0755);
+  const CoordinatorResult sharded = run_sharded(spec, options);
+  EXPECT_EQ(values_crc32(sharded.result), values_crc32(direct));
+  EXPECT_TRUE(sharded.merged_checkpoint.empty());
+}
+
+TEST(CoordinatorTest, SilentWorkerExhaustsItsLeaseAndTheRunStillFinishes) {
+  // progress_every = n and checkpoint_every = n mean the only event after
+  // "running" would be the terminal one — a slow job therefore streams
+  // NOTHING for the whole lease, which must read as a stuck worker, not a
+  // healthy one. (Progress AND checkpoint events both count as
+  // heartbeats; a worker emitting either is alive.)
+  JobSpec spec = divider_spec(150000);
+  spec.eval_mode = McEvalMode::kPerSample;
+  spec.threads = 1;
+  spec.progress_every = spec.n;
+  spec.checkpoint_every = spec.n;
+  const McResult direct = run_job(spec, nullptr);
+
+  WorkerFleet fleet(1);
+  CoordinatorOptions options = base_options(fleet, "lease");
+  options.shards = 1;
+  options.lease_seconds = 0.2;
+  options.max_reissues = 0;  // straight to the in-process fallback
+
+  const CoordinatorResult sharded = run_sharded(spec, options);
+  EXPECT_GE(sharded.lease_expiries, 1u);
+  EXPECT_EQ(sharded.shards_inprocess, 1u);
+  EXPECT_EQ(sharded.result.completed, spec.n);
+  EXPECT_EQ(values_crc32(sharded.result), values_crc32(direct));
+  // The cancelled attempt's partial checkpoint must have been harvested:
+  // the assembly run resumes rather than recomputing from zero.
+  EXPECT_GT(sharded.result.resumed, 0u);
+}
+
+TEST(CoordinatorTest, RejectsPreShardedSpecsAndMissingCheckpointDir) {
+  JobSpec windowed = divider_spec(100);
+  windowed.shard_lo = 0;
+  windowed.shard_hi = 50;
+  CoordinatorOptions options;
+  options.checkpoint_dir = scratch_dir("reject");
+  ::mkdir(options.checkpoint_dir.c_str(), 0755);
+  EXPECT_THROW(run_sharded(windowed, options), Error);
+
+  CoordinatorOptions no_dir;
+  EXPECT_THROW(run_sharded(divider_spec(100), no_dir), Error);
+}
+
+}  // namespace
+}  // namespace relsim::service

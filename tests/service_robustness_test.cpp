@@ -1,0 +1,296 @@
+// Transport-robustness contracts of the service layer:
+//  * a SLOW peer raises SocketTimeoutError — a typed error distinct from
+//    the plain Error a DEAD peer raises (lease enforcement needs the two
+//    distinguishable);
+//  * the daemon's io_timeout drops clients that stall mid-frame;
+//  * poll_backoff is capped, jittered and deterministic;
+//  * drain() checkpoints running jobs and publishes "checkpointed";
+//  * a paused queue stops dispensing but keeps its backlog.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_value.h"
+#include "service/client.h"
+#include "service/fair_queue.h"
+#include "service/server.h"
+#include "service/socket_io.h"
+#include "util/error.h"
+
+namespace relsim::service {
+namespace {
+
+constexpr const char* kDivider = R"(mos divider
+.tech 90nm
+VDD vdd 0 1.2
+VB g 0 0.7
+M1 d g 0 0 nmos W=0.3u L=0.09u
+RD vdd d 4k
+)";
+
+JobSpec divider_spec(std::size_t n) {
+  JobSpec spec;
+  spec.kind = JobKind::kDcYield;
+  spec.netlist = kDivider;
+  spec.constraints.push_back({"d", 0.55, 0.75});
+  spec.seed = 99;
+  spec.n = n;
+  return spec;
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+/// A Unix-socket listener that accepts connections and then behaves per
+/// `mode`: kSilent never replies (slow peer), kSlam closes immediately
+/// (dead peer).
+class StubPeer {
+ public:
+  enum class Mode { kSilent, kSlam };
+
+  explicit StubPeer(Mode mode)
+      : mode_(mode),
+        path_(::testing::TempDir() + "relsim_stub_" +
+              std::to_string(::getpid()) + "_" +
+              std::to_string(mode == Mode::kSilent ? 0 : 1) + ".sock") {
+    std::remove(path_.c_str());
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(fd_, 4);
+    acceptor_ = std::thread([this] {
+      for (;;) {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) return;  // listener closed
+        if (mode_ == Mode::kSlam) {
+          ::close(client);
+        } else {
+          clients_.push_back(client);  // hold open, never reply
+        }
+      }
+    });
+  }
+  ~StubPeer() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    acceptor_.join();
+    for (int c : clients_) ::close(c);
+    std::remove(path_.c_str());
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Mode mode_;
+  std::string path_;
+  int fd_ = -1;
+  std::thread acceptor_;
+  std::vector<int> clients_;
+};
+
+TEST(SocketTimeoutTest, SlowPeerThrowsTypedTimeoutNotPlainError) {
+  StubPeer silent(StubPeer::Mode::kSilent);
+  Client client = Client::connect_unix(silent.path());
+  client.set_timeout(0.2);
+  const auto t0 = std::chrono::steady_clock::now();
+  bool typed = false;
+  try {
+    client.ping();
+    FAIL() << "ping against a silent peer must not succeed";
+  } catch (const SocketTimeoutError&) {
+    typed = true;
+  } catch (const Error&) {
+    typed = false;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(typed) << "slow peer must raise SocketTimeoutError";
+  EXPECT_GE(elapsed.count(), 0.15);
+  EXPECT_LT(elapsed.count(), 5.0);
+}
+
+TEST(SocketTimeoutTest, DeadPeerThrowsPlainErrorNotTimeout) {
+  StubPeer slam(StubPeer::Mode::kSlam);
+  Client client = Client::connect_unix(slam.path());
+  client.set_timeout(5.0);
+  try {
+    client.ping();
+    FAIL() << "ping against a slammed connection must not succeed";
+  } catch (const SocketTimeoutError&) {
+    FAIL() << "disconnect must NOT be reported as a timeout";
+  } catch (const Error&) {
+    // the distinct, correct classification
+  }
+}
+
+TEST(SocketTimeoutTest, SetSocketTimeoutArmsAndClearsTheDeadline) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  set_socket_timeout(sv[0], 0.1);
+  char buf[4];
+  errno = 0;
+  EXPECT_EQ(::recv(sv[0], buf, sizeof buf, 0), -1);
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+
+  set_socket_timeout(sv[0], 0.0);  // cleared: reads block again
+  ASSERT_EQ(::send(sv[1], "ok\n", 3, 0), 3);
+  EXPECT_EQ(::recv(sv[0], buf, sizeof buf, 0), 3);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(PollBackoffTest, GrowsExponentiallyWithACapAndBoundedJitter) {
+  for (unsigned attempt = 0; attempt < 16; ++attempt) {
+    const std::uint64_t base =
+        std::min<std::uint64_t>(50ull << std::min(attempt, 10u), 1000ull);
+    const auto d = poll_backoff(42, attempt).count();
+    EXPECT_GE(d, static_cast<std::int64_t>(base - base / 4))
+        << "attempt " << attempt;
+    EXPECT_LE(d, static_cast<std::int64_t>(base + base / 4))
+        << "attempt " << attempt;
+  }
+  // Hard cap: even absurd attempts stay near 1 s.
+  EXPECT_LE(poll_backoff(7, 63).count(), 1250);
+}
+
+TEST(PollBackoffTest, DeterministicPerJobAndSpreadAcrossJobs) {
+  EXPECT_EQ(poll_backoff(5, 3).count(), poll_backoff(5, 3).count());
+  std::set<std::int64_t> delays;
+  for (std::uint64_t job = 1; job <= 32; ++job) {
+    delays.insert(poll_backoff(job, 6).count());
+  }
+  // 32 waiters at the same attempt must NOT collapse onto one instant.
+  EXPECT_GT(delays.size(), 4u);
+}
+
+TEST(ServerIoTimeoutTest, StalledClientIsDroppedHealthyClientServed) {
+  ServerOptions options;
+  options.socket_path = ::testing::TempDir() + "relsim_iotimeout_" +
+                        std::to_string(::getpid()) + ".sock";
+  options.io_timeout_seconds = 0.2;
+  Server server(std::move(options));
+  server.start();
+
+  // A raw client that sends half a frame and stalls.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server.options().socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_GT(::send(fd, "{\"op\":\"pi", 9, 0), 0);  // no newline, ever
+
+  // The daemon must close the stalled connection: recv sees EOF.
+  char buf[16];
+  const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_EQ(got, 0) << "stalled connection should be dropped with EOF";
+  ::close(fd);
+
+  // And the daemon is still healthy for well-behaved clients.
+  Client ok = Client::connect_unix(server.options().socket_path);
+  ok.ping();
+  server.stop();
+}
+
+TEST(DrainTest, DrainCheckpointsRunningJobsAndPublishesCheckpointed) {
+  const std::string log_path = ::testing::TempDir() + "relsim_drain_" +
+                               std::to_string(::getpid()) + ".jsonl";
+  const std::string ckpt_path = ::testing::TempDir() + "relsim_drain_" +
+                                std::to_string(::getpid()) + ".rsmckpt";
+  std::remove(log_path.c_str());
+  std::remove(ckpt_path.c_str());
+
+  ServerOptions options;
+  options.socket_path = ::testing::TempDir() + "relsim_drain_" +
+                        std::to_string(::getpid()) + ".sock";
+  options.event_log_path = log_path;
+  Server server(std::move(options));
+  server.start();
+
+  // Slow enough to still be running at drain: per-sample mode re-parses
+  // the netlist per sample.
+  JobSpec spec = divider_spec(50000);
+  spec.eval_mode = McEvalMode::kPerSample;
+  spec.threads = 1;
+  spec.checkpoint_path = ckpt_path;
+  spec.checkpoint_every = 128;
+
+  Client client = Client::connect_unix(server.options().socket_path);
+  const std::uint64_t id = client.submit("drain-tenant", 0, spec);
+  for (int i = 0; i < 2000 && !file_exists(ckpt_path); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(file_exists(ckpt_path)) << "job never started checkpointing";
+
+  server.drain();
+
+  const std::shared_ptr<Job> job = server.find_job(id);
+  ASSERT_NE(job, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    EXPECT_EQ(job->state, JobState::kCancelled);
+    EXPECT_LT(job->result.completed, spec.n);
+    EXPECT_GT(job->result.completed, 0u);
+  }
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  bool saw_checkpointed = false;
+  bool saw_cancelled = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const obs::JsonValue e = obs::JsonValue::parse(line);
+    if (e.get_u64("job_id", 0) != id) continue;
+    const std::string state = e.get_string("state", "");
+    saw_checkpointed = saw_checkpointed || state == "checkpointed";
+    saw_cancelled = saw_cancelled || state == "cancelled";
+  }
+  EXPECT_TRUE(saw_checkpointed)
+      << "drain must publish the job's checkpointed event";
+  EXPECT_TRUE(saw_cancelled);
+  std::remove(log_path.c_str());
+  std::remove(ckpt_path.c_str());
+}
+
+TEST(DrainTest, PausedQueueStopsDispensingButKeepsBacklog) {
+  FairShareQueue queue;
+  auto job = std::make_shared<Job>();
+  job->id = 1;
+  job->tenant = "t";
+  job->seq = 1;
+  job->spec.n = 10;
+  ASSERT_TRUE(queue.push(job));
+  queue.pause();
+  EXPECT_EQ(queue.pop(), nullptr) << "paused pop must not dispense";
+  EXPECT_EQ(queue.depth(), 1u) << "pause must keep the backlog";
+
+  auto late = std::make_shared<Job>();
+  late->id = 2;
+  late->tenant = "t";
+  late->seq = 2;
+  late->spec.n = 10;
+  EXPECT_TRUE(queue.push(late)) << "push still accepts while paused";
+  EXPECT_EQ(queue.depth(), 2u);
+
+  const std::vector<std::shared_ptr<Job>> leftovers = queue.shutdown();
+  EXPECT_EQ(leftovers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace relsim::service

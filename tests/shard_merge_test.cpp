@@ -1,0 +1,356 @@
+// Distributed-sharding substrate contracts (variability/shard.h):
+//  * shard plans are contiguous, disjoint, chunk-aligned covers of [0, n);
+//  * a windowed run is the exact slice of the full run, and merging the
+//    shard checkpoints + resuming reassembles the bit-identical result;
+//  * merge refuses overlapping bitmaps and mismatched runs;
+//  * importance-sampling shards merge with their likelihood-ratio weights
+//    bit-exact; missing parts merge as identity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "variability/mc_checkpoint.h"
+#include "variability/mc_session.h"
+#include "variability/shard.h"
+
+namespace relsim {
+namespace {
+
+McRequest base_request(std::uint64_t seed, std::size_t n) {
+  McRequest req;
+  req.seed = seed;
+  req.n = n;
+  req.threads = 2;
+  req.chunk = 16;
+  return req;
+}
+
+bool coin_pass(Xoshiro256& rng, std::size_t) { return rng.uniform01() < 0.8; }
+
+bool tail_event(McSamplePoint& p) {
+  return 0.8 * p.normal(0) + 0.6 * p.normal(1) > 2.0;
+}
+
+SampleStrategyConfig importance_config(std::vector<double> shift) {
+  SampleStrategyConfig c;
+  c.kind = McSampleStrategy::kImportance;
+  c.shift = std::move(shift);
+  return c;
+}
+
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// A minimal consistent checkpoint image with `done_lo..done_hi` marked
+/// done — for merge-validation tests that need precise bitmaps.
+McCheckpointImage make_image(std::uint64_t seed, std::size_t n,
+                             std::size_t done_lo, std::size_t done_hi) {
+  McCheckpointImage image;
+  image.seed = seed;
+  image.n = n;
+  image.kind = McCheckpointRunKind::kYield;
+  image.strategy_kind = 0;
+  image.strategy_digest = 0;
+  image.done.assign(n, 0);
+  image.status.assign(n, 0);
+  image.attempts.assign(n, 0);
+  image.values.assign(n, 0.0);
+  for (std::size_t i = done_lo; i < done_hi; ++i) {
+    image.done[i] = 1;
+    image.values[i] = static_cast<double>(i) * 0.5;
+    image.attempts[i] = 1;
+  }
+  return image;
+}
+
+// ---------------------------------------------------------------------------
+// Shard plans
+
+TEST(ShardPlanTest, CoversRangeContiguouslyChunkAligned) {
+  for (const auto& [n, shards, chunk] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{1000, 4, 16},
+        {1000, 3, 32},
+        {17, 4, 16},
+        {4096, 7, 64},
+        {5, 8, 2}}) {
+    const std::vector<McShard> plan = make_shard_plan(n, shards, chunk, "p");
+    ASSERT_FALSE(plan.empty());
+    ASSERT_LE(plan.size(), shards);
+    std::size_t expect_lo = 0;
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+      EXPECT_EQ(plan[s].index, s);
+      EXPECT_EQ(plan[s].lo, expect_lo) << "gap before shard " << s;
+      EXPECT_LT(plan[s].lo, plan[s].hi) << "empty shard " << s;
+      if (plan[s].hi != n) {
+        EXPECT_EQ(plan[s].hi % chunk, 0u)
+            << "shard " << s << " boundary not chunk-aligned";
+      }
+      EXPECT_EQ(plan[s].checkpoint_path,
+                "p.shard" + std::to_string(s) + ".rsmckpt");
+      expect_lo = plan[s].hi;
+    }
+    EXPECT_EQ(expect_lo, n) << "plan does not cover [0, n)";
+  }
+}
+
+TEST(ShardPlanTest, ShardsAreBalancedToWithinOneChunk) {
+  const std::vector<McShard> plan = make_shard_plan(10000, 4, 16, "");
+  ASSERT_EQ(plan.size(), 4u);
+  std::size_t lo = plan[0].size(), hi = plan[0].size();
+  for (const McShard& s : plan) {
+    lo = std::min(lo, s.size());
+    hi = std::max(hi, s.size());
+  }
+  EXPECT_LE(hi - lo, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed runs
+
+TEST(ShardWindowTest, WindowedRunIsTheExactSliceOfTheFullRun) {
+  McRequest full = base_request(123, 600);
+  full.keep_values = true;
+  const McResult reference = McSession(full).run_yield(coin_pass);
+  ASSERT_EQ(reference.values.size(), 600u);
+
+  McRequest window = full;
+  window.shard_lo = 200;
+  window.shard_hi = 400;
+  const McResult slice = McSession(window).run_yield(coin_pass);
+  EXPECT_EQ(slice.requested, 200u);
+  EXPECT_EQ(slice.completed, 200u);
+  ASSERT_EQ(slice.values.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(slice.values[i], reference.values[200 + i]) << "sample " << i;
+  }
+}
+
+TEST(ShardWindowTest, RejectsInvalidWindowsAndStoppingRules) {
+  McRequest bad = base_request(1, 100);
+  bad.shard_lo = 50;
+  bad.shard_hi = 50;  // empty
+  EXPECT_THROW(McSession(bad).run_yield(coin_pass), Error);
+  bad.shard_hi = 200;  // past n
+  EXPECT_THROW(McSession(bad).run_yield(coin_pass), Error);
+
+  McRequest stopping = base_request(1, 100);
+  stopping.shard_lo = 0;
+  stopping.shard_hi = 50;
+  stopping.stopping.ci_half_width = 0.01;
+  EXPECT_THROW(McSession(stopping).run_yield(coin_pass), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Merge + reassembly
+
+TEST(ShardMergeTest, FourShardMergeAndResumeEqualsTheDirectRun) {
+  const std::size_t n = 1000;
+  McRequest direct = base_request(2026, n);
+  direct.keep_values = true;
+  const McResult reference = McSession(direct).run_yield(coin_pass);
+
+  const std::string prefix = ::testing::TempDir() + "shard_merge4";
+  const std::vector<McShard> plan = make_shard_plan(n, 4, direct.chunk, prefix);
+  ASSERT_EQ(plan.size(), 4u);
+  for (const McShard& shard : plan) {
+    std::remove(shard.checkpoint_path.c_str());
+    McRequest req = base_request(2026, n);
+    req.shard_lo = shard.lo;
+    req.shard_hi = shard.hi;
+    req.checkpoint_path = shard.checkpoint_path;
+    const McResult part = McSession(req).run_yield(coin_pass);
+    EXPECT_EQ(part.completed, shard.size());
+  }
+
+  ScratchFile merged("shard_merge4.merged.rsmckpt");
+  std::vector<std::string> parts;
+  for (const McShard& shard : plan) parts.push_back(shard.checkpoint_path);
+  const McCheckpointMergeStats stats =
+      merge_checkpoints(parts, merged.path());
+  EXPECT_EQ(stats.parts_found, 4u);
+  EXPECT_EQ(stats.parts_missing, 0u);
+  EXPECT_EQ(stats.samples, n);
+
+  // Everything is done in the merged image, so the assembly resume must
+  // not evaluate a single sample — and must equal the direct run bit for
+  // bit.
+  McRequest assemble = base_request(2026, n);
+  assemble.keep_values = true;
+  assemble.checkpoint_path = merged.path();
+  const McResult assembled = McSession(assemble).run_yield(
+      [](Xoshiro256&, std::size_t) -> bool {
+        throw Error("merged run must not re-evaluate");
+      });
+  EXPECT_EQ(assembled.resumed, n);
+  EXPECT_EQ(assembled.completed, reference.completed);
+  EXPECT_EQ(assembled.estimate.passed, reference.estimate.passed);
+  EXPECT_EQ(assembled.estimate.total, reference.estimate.total);
+  ASSERT_EQ(assembled.values.size(), reference.values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(assembled.values[i], reference.values[i]) << "sample " << i;
+  }
+  for (const McShard& shard : plan) {
+    std::remove(shard.checkpoint_path.c_str());
+  }
+}
+
+TEST(ShardMergeTest, PartialShardsMergeAndTheResumeFinishesTheRest) {
+  // Only 2 of 3 shards ran: the merged image resumes and evaluates the
+  // missing middle window in-process — the coordinator's degraded path.
+  const std::size_t n = 900;
+  McRequest direct = base_request(515, n);
+  direct.keep_values = true;
+  const McResult reference = McSession(direct).run_yield(coin_pass);
+
+  const std::string prefix = ::testing::TempDir() + "shard_partial";
+  const std::vector<McShard> plan = make_shard_plan(n, 3, direct.chunk, prefix);
+  ASSERT_EQ(plan.size(), 3u);
+  for (const McShard& shard : plan) std::remove(shard.checkpoint_path.c_str());
+  for (std::size_t s : {std::size_t{0}, std::size_t{2}}) {
+    McRequest req = base_request(515, n);
+    req.shard_lo = plan[s].lo;
+    req.shard_hi = plan[s].hi;
+    req.checkpoint_path = plan[s].checkpoint_path;
+    McSession(req).run_yield(coin_pass);
+  }
+
+  ScratchFile merged("shard_partial.merged.rsmckpt");
+  const McCheckpointMergeStats stats = merge_checkpoints(
+      {plan[0].checkpoint_path, plan[1].checkpoint_path,
+       plan[2].checkpoint_path},
+      merged.path());
+  EXPECT_EQ(stats.parts_found, 2u);
+  EXPECT_EQ(stats.parts_missing, 1u);
+
+  McRequest assemble = base_request(515, n);
+  assemble.keep_values = true;
+  assemble.checkpoint_path = merged.path();
+  const McResult assembled = McSession(assemble).run_yield(coin_pass);
+  EXPECT_EQ(assembled.resumed, plan[0].size() + plan[2].size());
+  ASSERT_EQ(assembled.values.size(), reference.values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(assembled.values[i], reference.values[i]) << "sample " << i;
+  }
+  for (const McShard& shard : plan) std::remove(shard.checkpoint_path.c_str());
+}
+
+TEST(ShardMergeTest, SinglePartMergeIsByteIdentical) {
+  ScratchFile part("shard_single.part.rsmckpt");
+  ScratchFile out("shard_single.merged.rsmckpt");
+  save_checkpoint_image(part.path(), make_image(9, 64, 0, 32));
+  merge_checkpoints({part.path()}, out.path());
+  EXPECT_EQ(slurp(part.path()), slurp(out.path()));
+}
+
+TEST(ShardMergeTest, RejectsOverlappingParts) {
+  ScratchFile a("shard_overlap.a.rsmckpt");
+  ScratchFile b("shard_overlap.b.rsmckpt");
+  ScratchFile out("shard_overlap.merged.rsmckpt");
+  save_checkpoint_image(a.path(), make_image(7, 32, 0, 10));
+  save_checkpoint_image(b.path(), make_image(7, 32, 8, 20));  // 8,9 overlap
+  try {
+    merge_checkpoints({a.path(), b.path()}, out.path());
+    FAIL() << "overlapping parts must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("overlap"), std::string::npos);
+  }
+}
+
+TEST(ShardMergeTest, RejectsPartsOfDifferentRuns) {
+  ScratchFile a("shard_mismatch.a.rsmckpt");
+  ScratchFile b("shard_mismatch.b.rsmckpt");
+  ScratchFile out("shard_mismatch.merged.rsmckpt");
+  save_checkpoint_image(a.path(), make_image(7, 32, 0, 10));
+  save_checkpoint_image(b.path(), make_image(8, 32, 16, 20));  // other seed
+  EXPECT_THROW(merge_checkpoints({a.path(), b.path()}, out.path()), Error);
+
+  McCheckpointImage other_digest = make_image(7, 32, 16, 20);
+  other_digest.strategy_digest = 0xBEEF;
+  save_checkpoint_image(b.path(), other_digest);
+  EXPECT_THROW(merge_checkpoints({a.path(), b.path()}, out.path()), Error);
+}
+
+TEST(ShardMergeTest, ThrowsWhenEveryPartIsMissing) {
+  ScratchFile out("shard_none.merged.rsmckpt");
+  EXPECT_THROW(
+      merge_checkpoints({::testing::TempDir() + "does_not_exist.rsmckpt"},
+                        out.path()),
+      Error);
+}
+
+TEST(ShardMergeTest, ImportanceShardsMergeWithWeightsBitExact) {
+  const std::size_t n = 800;
+  McRequest direct = base_request(88, n);
+  direct.strategy = importance_config({1.2, 0.9});
+  ScratchFile ref_ckpt("shard_is.ref.rsmckpt");
+  McRequest ref_req = direct;
+  ref_req.checkpoint_path = ref_ckpt.path();
+  const McResult reference = McSession(ref_req).run_yield(tail_event);
+  McCheckpointImage ref_image;
+  ASSERT_TRUE(load_checkpoint_image(ref_ckpt.path(), ref_image));
+  ASSERT_TRUE(ref_image.has_weights());
+
+  const std::string prefix = ::testing::TempDir() + "shard_is";
+  const std::vector<McShard> plan = make_shard_plan(n, 2, direct.chunk, prefix);
+  ASSERT_EQ(plan.size(), 2u);
+  for (const McShard& shard : plan) {
+    std::remove(shard.checkpoint_path.c_str());
+    McRequest req = direct;
+    req.shard_lo = shard.lo;
+    req.shard_hi = shard.hi;
+    req.checkpoint_path = shard.checkpoint_path;
+    McSession(req).run_yield(tail_event);
+  }
+  ScratchFile merged("shard_is.merged.rsmckpt");
+  const McCheckpointMergeStats stats = merge_checkpoints(
+      {plan[0].checkpoint_path, plan[1].checkpoint_path}, merged.path());
+  EXPECT_TRUE(stats.has_weights);
+
+  McCheckpointImage merged_image;
+  ASSERT_TRUE(load_checkpoint_image(merged.path(), merged_image));
+  ASSERT_TRUE(merged_image.has_weights());
+  ASSERT_EQ(merged_image.weights.size(), ref_image.weights.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(merged_image.weights[i], ref_image.weights[i])
+        << "LR weight drifted at sample " << i;
+    ASSERT_EQ(merged_image.values[i], ref_image.values[i]);
+  }
+
+  // And the weighted estimate survives the reassembly bit-exact.
+  McRequest assemble = direct;
+  assemble.checkpoint_path = merged.path();
+  const McResult assembled = McSession(assemble).run_yield(
+      [](McSamplePoint&) -> bool {
+        throw Error("merged IS run must not re-evaluate");
+      });
+  EXPECT_TRUE(assembled.weighted.enabled);
+  EXPECT_EQ(assembled.weighted.ess, reference.weighted.ess);
+  EXPECT_EQ(assembled.estimate.interval.estimate,
+            reference.estimate.interval.estimate);
+  for (const McShard& shard : plan) std::remove(shard.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace relsim

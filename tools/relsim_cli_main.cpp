@@ -35,6 +35,7 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "service/client.h"
+#include "service/coordinator.h"
 #include "service/protocol.h"
 #include "util/error.h"
 
@@ -80,6 +81,11 @@ int usage(const char* argv0) {
       "  subscribe [--job ID] [--count N] [--duration S]\n"
       "  top [--job ID] [--duration S]\n"
       "  drive [job flags] [--clients N] [--jobs M] [--json FILE]\n"
+      "  run-sharded [job flags] --workers EP[,EP...] --ckpt-dir DIR\n"
+      "              [--shards N] [--lease S] [--max-reissues N]\n"
+      "              [--straggler-factor F] [--abort-on-loss]\n"
+      "              [--coord-manifest PATH] [--json FILE]\n"
+      "              (EP = unix socket path, or HOST:PORT for TCP)\n"
       "job flags:\n"
       "  --kind dc_yield|synthetic   (default dc_yield)\n"
       "  --netlist FILE              (default: built-in mos divider)\n"
@@ -258,6 +264,79 @@ int run_top(const Cli& cli, std::uint64_t job_filter, double duration_s) {
   return 0;
 }
 
+/// `--workers` element: a unix socket path, or HOST:PORT for loopback TCP.
+relsim::service::WorkerEndpoint parse_worker(const std::string& text) {
+  relsim::service::WorkerEndpoint ep;
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos && colon + 1 < text.size() &&
+      text.find('/') == std::string::npos) {
+    ep.host = text.substr(0, colon);
+    ep.port = std::stoi(text.substr(colon + 1));
+  } else {
+    ep.socket_path = text;
+  }
+  return ep;
+}
+
+int run_sharded_cmd(JobSpec spec,
+                    const relsim::service::CoordinatorOptions& options,
+                    const std::string& json_path) {
+  // The whole point of the command is comparing merged results against a
+  // single-process reference run, so the assembled values must be kept.
+  spec.keep_values = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  const relsim::service::CoordinatorResult out =
+      relsim::service::run_sharded(spec, options);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+  const std::uint32_t crc = relsim::service::values_crc32(out.result);
+
+  std::printf(
+      "run-sharded: %zu/%zu samples over %zu workers / %zu shards in "
+      "%.3f s\n  yield %.6f ±%.6f  values_crc32 %u\n  reissues %zu  "
+      "lease_expiries %zu  worker_crashes %zu  speculative %zu  "
+      "in-process shards %zu\n",
+      out.result.completed, out.result.requested, options.workers.size(),
+      out.shards.size(), wall.count(), out.result.estimate.yield(),
+      0.5 * (out.result.estimate.interval.hi -
+             out.result.estimate.interval.lo),
+      crc, out.reissues, out.lease_expiries, out.worker_crashes,
+      out.speculative_launches, out.shards_inprocess);
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    relsim::obs::JsonWriter w(f, 2);
+    w.begin_object();
+    w.kv("bench", "run_sharded");
+    w.kv("n", static_cast<unsigned long long>(spec.n));
+    w.kv("seed", static_cast<unsigned long long>(spec.seed));
+    w.kv("workers", static_cast<unsigned long long>(options.workers.size()));
+    w.kv("shards", static_cast<unsigned long long>(out.shards.size()));
+    w.kv("completed", static_cast<unsigned long long>(out.result.completed));
+    w.kv("yield", out.result.estimate.yield());
+    w.kv("ci_half_width", 0.5 * (out.result.estimate.interval.hi -
+                                 out.result.estimate.interval.lo));
+    w.kv("values_crc32", static_cast<unsigned long long>(crc));
+    w.kv("wall_seconds", wall.count());
+    w.kv("reissues", static_cast<unsigned long long>(out.reissues));
+    w.kv("lease_expiries",
+         static_cast<unsigned long long>(out.lease_expiries));
+    w.kv("worker_crashes",
+         static_cast<unsigned long long>(out.worker_crashes));
+    w.kv("speculative_launches",
+         static_cast<unsigned long long>(out.speculative_launches));
+    w.kv("shards_inprocess",
+         static_cast<unsigned long long>(out.shards_inprocess));
+    w.kv("merge_parts_found",
+         static_cast<unsigned long long>(out.merge.parts_found));
+    w.kv("merged_checkpoint", out.merged_checkpoint);
+    w.end_object();
+    f << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return out.result.completed == out.result.requested ? 0 : 1;
+}
+
 int run_drive(const Cli& cli, const JobSpec& base, int clients, int jobs,
               const std::string& json_path) {
   std::mutex mu;
@@ -359,6 +438,8 @@ int main(int argc, char** argv) {
   std::uint64_t job_filter = 0;
   int count_limit = 0;
   double duration_s = 0.0;
+  relsim::service::CoordinatorOptions coord;
+  std::string workers_csv;
   std::string command;
   std::vector<std::string> positional;
 
@@ -406,6 +487,18 @@ int main(int argc, char** argv) {
       else if (arg == "--job") job_filter = std::stoull(value());
       else if (arg == "--count") count_limit = std::stoi(value());
       else if (arg == "--duration") duration_s = std::stod(value());
+      else if (arg == "--workers") workers_csv = value();
+      else if (arg == "--ckpt-dir") coord.checkpoint_dir = value();
+      else if (arg == "--shards")
+        coord.shards = static_cast<std::size_t>(std::stoull(value()));
+      else if (arg == "--lease") coord.lease_seconds = std::stod(value());
+      else if (arg == "--max-reissues")
+        coord.max_reissues = static_cast<unsigned>(std::stoi(value()));
+      else if (arg == "--straggler-factor")
+        coord.straggler_factor = std::stod(value());
+      else if (arg == "--abort-on-loss")
+        coord.failure_policy = relsim::service::ShardFailurePolicy::kAbort;
+      else if (arg == "--coord-manifest") coord.manifest_path = value();
       else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
       else if (command.empty()) command = arg;
       else positional.push_back(arg);
@@ -420,6 +513,13 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (command == "run-sharded") {
+      std::stringstream ss(workers_csv);
+      for (std::string tok; std::getline(ss, tok, ',');) {
+        if (!tok.empty()) coord.workers.push_back(parse_worker(tok));
+      }
+      return run_sharded_cmd(spec, coord, json_path);
+    }
     if (command == "drive") {
       return run_drive(cli, spec, clients, jobs, json_path);
     }

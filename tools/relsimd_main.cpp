@@ -43,7 +43,12 @@ int usage(const char* argv0) {
                "  --event-log-max-bytes N  rotate threshold "
                "(default 8 MiB)\n"
                "  --subscriber-queue N per-subscriber event queue depth "
-               "(default 256)\n",
+               "(default 256)\n"
+               "  --io-timeout SECS    drop clients that stall a "
+               "request/reply read or write this long (default 0 = off)\n"
+               "  --worker-of NAME     run as shard worker NAME of a "
+               "coordinator; SIGTERM drains (checkpoint + exit) instead "
+               "of stopping immediately\n",
                argv0);
   return 2;
 }
@@ -83,6 +88,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--subscriber-queue" && value != nullptr) {
       options.subscriber_queue = static_cast<std::size_t>(std::atoi(value));
       ++i;
+    } else if (arg == "--io-timeout" && value != nullptr) {
+      options.io_timeout_seconds = std::atof(value);
+      ++i;
+    } else if (arg == "--worker-of" && value != nullptr) {
+      options.worker_name = value;
+      ++i;
     } else {
       return usage(argv[0]);
     }
@@ -111,9 +122,21 @@ int main(int argc, char** argv) {
     while (!server.shutdown_requested() && g_signal == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
-    std::printf("relsimd shutting down (%s)\n",
-                g_signal != 0 ? "signal" : "shutdown op");
-    server.stop();
+    // SIGTERM = deliberate decommission (systemd stop, coordinator
+    // scale-down): drain so every running job lands its final checkpoint
+    // and "checkpointed" event. SIGINT / the shutdown op keep the old
+    // fast stop — checkpoints still flush, but without waiting for the
+    // cooperative-cancel handshake first.
+    if (g_signal == SIGTERM) {
+      std::printf("relsimd draining (SIGTERM)\n");
+      std::fflush(stdout);
+      server.drain();
+      std::printf("relsimd drained\n");
+    } else {
+      std::printf("relsimd shutting down (%s)\n",
+                  g_signal != 0 ? "signal" : "shutdown op");
+      server.stop();
+    }
   } catch (const relsim::Error& e) {
     std::fprintf(stderr, "relsimd: %s\n", e.what());
     return 1;
