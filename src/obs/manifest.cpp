@@ -83,6 +83,7 @@ void RunManifest::to_json(JsonWriter& w) const {
     w.kv("ess", ess);
     w.kv("weight_sum", weight_sum);
     w.kv("weight_sum_sq", weight_sum_sq);
+    w.kv("weight_log_scale", weight_log_scale);
     w.kv("yield", weighted_yield);
     w.kv("yield_lo", weighted_lo);
     w.kv("yield_hi", weighted_hi);

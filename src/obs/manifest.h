@@ -73,8 +73,12 @@ struct RunManifest {
   /// Importance-sampling runs: weighted-estimator diagnostics.
   bool has_weighted = false;
   double ess = 0.0;            ///< Kish effective sample size
-  double weight_sum = 0.0;     ///< sum of likelihood-ratio weights
-  double weight_sum_sq = 0.0;  ///< sum of squared weights
+  double weight_sum = 0.0;     ///< sum of likelihood-ratio weights, scaled
+  double weight_sum_sq = 0.0;  ///< sum of squared weights, scaled
+  /// Shared log factor of weight_sum (/ twice of weight_sum_sq): the true
+  /// sums are weight_sum * exp(weight_log_scale). 0 for in-range weights;
+  /// far negative for high-sigma shifts whose raw ratios underflow.
+  double weight_log_scale = 0.0;
   double weighted_yield = 0.0;
   double weighted_lo = 0.0;
   double weighted_hi = 0.0;

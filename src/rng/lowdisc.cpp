@@ -1,6 +1,7 @@
 #include "rng/lowdisc.h"
 
 #include <numeric>
+#include <string>
 
 #include "rng/rng.h"
 #include "util/error.h"
@@ -15,12 +16,22 @@ constexpr std::uint64_t kLhsPermTag = 0x4c48537065726d30ull;        // "LHSperm0
 constexpr std::uint64_t kLhsJitterTag = 0x4c48536a69747430ull;      // "LHSjitt0"
 
 // Primitive-polynomial degree s, coefficient word a, and initial direction
-// numbers m for Sobol dimensions 1..20 (dimension 0 is van der Corput).
-// First rows of the Joe-Kuo "new-joe-kuo-6" table.
+// numbers m for Sobol dimensions 1..63 (dimension 0 is van der Corput).
+// Dimensions 1..20 are the first rows of the Joe-Kuo "new-joe-kuo-6"
+// table, kept verbatim so draws in those dimensions are bit-identical to
+// the original 21-dimension build. Dimensions 21..63 continue the same
+// polynomial sequence — all primitive polynomials over GF(2), ordered by
+// degree then by coefficient word a (the Joe-Kuo ordering, verified
+// against the published degree-<=7 rows) — with odd initial direction
+// numbers m_i < 2^i, which is exactly the condition for a valid digital
+// net (the published m values only optimize 2D projections). The m values
+// are additionally chosen so every dimension's first five direction
+// numbers are pairwise distinct — otherwise two dimensions would emit
+// identical 32-point prefixes.
 struct JoeKuoRow {
   unsigned s;
   std::uint32_t a;
-  std::uint32_t m[7];
+  std::uint32_t m[9];
 };
 
 constexpr JoeKuoRow kJoeKuo[kSobolMaxDimensions - 1] = {
@@ -44,6 +55,49 @@ constexpr JoeKuoRow kJoeKuo[kSobolMaxDimensions - 1] = {
     {6, 25, {1, 1, 5, 5, 19, 61}},
     {7, 1, {1, 3, 7, 11, 23, 15, 103}},
     {7, 4, {1, 3, 7, 13, 13, 21, 79}},
+    {7, 7, {1, 3, 1, 13, 9, 41, 75}},
+    {7, 8, {1, 3, 7, 5, 13, 57, 17}},
+    {7, 14, {1, 1, 7, 11, 17, 5, 115}},
+    {7, 19, {1, 3, 7, 3, 25, 33, 113}},
+    {7, 21, {1, 1, 5, 7, 11, 11, 25}},
+    {7, 28, {1, 3, 3, 11, 23, 5, 97}},
+    {7, 31, {1, 3, 1, 7, 9, 61, 97}},
+    {7, 32, {1, 1, 1, 13, 11, 55, 125}},
+    {7, 37, {1, 1, 5, 13, 27, 37, 103}},
+    {7, 41, {1, 3, 1, 3, 7, 33, 35}},
+    {7, 42, {1, 1, 5, 9, 13, 35, 83}},
+    {7, 50, {1, 1, 5, 15, 11, 41, 125}},
+    {7, 55, {1, 1, 3, 5, 21, 27, 91}},
+    {7, 56, {1, 3, 5, 13, 9, 29, 11}},
+    {7, 59, {1, 3, 3, 13, 21, 23, 95}},
+    {7, 62, {1, 3, 3, 1, 27, 57, 79}},
+    {8, 14, {1, 1, 1, 7, 25, 3, 7, 39}},
+    {8, 21, {1, 1, 7, 5, 3, 11, 83, 101}},
+    {8, 22, {1, 3, 1, 11, 19, 19, 33, 37}},
+    {8, 38, {1, 1, 3, 7, 17, 21, 57, 255}},
+    {8, 47, {1, 3, 5, 7, 31, 19, 123, 127}},
+    {8, 49, {1, 3, 5, 3, 17, 51, 65, 245}},
+    {8, 50, {1, 1, 1, 3, 25, 35, 9, 79}},
+    {8, 52, {1, 3, 1, 5, 7, 43, 115, 193}},
+    {8, 56, {1, 3, 7, 11, 29, 15, 83, 145}},
+    {8, 67, {1, 3, 3, 11, 7, 45, 3, 19}},
+    {8, 70, {1, 3, 7, 7, 25, 17, 103, 237}},
+    {8, 84, {1, 3, 7, 9, 9, 19, 59, 121}},
+    {8, 97, {1, 1, 5, 13, 21, 45, 37, 153}},
+    {8, 103, {1, 1, 7, 13, 27, 49, 41, 227}},
+    {8, 115, {1, 3, 1, 1, 19, 23, 1, 171}},
+    {8, 122, {1, 3, 1, 11, 7, 59, 109, 103}},
+    {9, 8, {1, 1, 1, 13, 17, 35, 53, 101, 123}},
+    {9, 13, {1, 1, 7, 7, 19, 11, 121, 61, 37}},
+    {9, 16, {1, 3, 1, 5, 25, 31, 17, 51, 191}},
+    {9, 22, {1, 3, 1, 5, 19, 45, 35, 141, 15}},
+    {9, 25, {1, 1, 5, 11, 25, 21, 23, 145, 511}},
+    {9, 44, {1, 3, 7, 5, 27, 35, 23, 203, 83}},
+    {9, 47, {1, 3, 5, 7, 17, 25, 91, 199, 249}},
+    {9, 52, {1, 1, 1, 15, 5, 47, 107, 229, 259}},
+    {9, 55, {1, 3, 1, 15, 31, 17, 17, 59, 79}},
+    {9, 59, {1, 3, 1, 1, 13, 21, 21, 191, 491}},
+    {9, 62, {1, 3, 1, 7, 5, 31, 81, 65, 453}},
 };
 
 std::array<std::uint32_t, 32> direction_numbers(unsigned dim) {
@@ -71,7 +125,9 @@ SobolSequence::SobolSequence(unsigned dimensions,
                              std::uint64_t scramble_seed) {
   RELSIM_REQUIRE(dimensions >= 1, "Sobol sequence needs >= 1 dimension");
   RELSIM_REQUIRE(dimensions <= kSobolMaxDimensions,
-                 "Sobol direction-number table covers 21 dimensions");
+                 "Sobol direction-number table covers " +
+                     std::to_string(kSobolMaxDimensions) +
+                     " dimensions; requested " + std::to_string(dimensions));
   direction_.reserve(dimensions);
   shift_.reserve(dimensions);
   for (unsigned d = 0; d < dimensions; ++d) {

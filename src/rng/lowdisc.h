@@ -14,7 +14,10 @@
 namespace relsim {
 
 /// Dimensions covered by the built-in Joe-Kuo direction-number table.
-inline constexpr unsigned kSobolMaxDimensions = 21;
+/// Sized for the SRAM workloads: a 6T cell plus bitline/wordline
+/// peripherals needs ~3 Pelgrom inputs per transistor, so 64 covers a
+/// cell with margin to spare.
+inline constexpr unsigned kSobolMaxDimensions = 64;
 
 /// Sobol' sequence, evaluated directly (non-Gray-code) from the binary
 /// digits of the point index, using the new-joe-kuo-6 initial direction

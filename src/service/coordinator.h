@@ -6,7 +6,7 @@
 // function of {request, i} (per-sample seed = derive_seed(seed, {i}) with
 // GLOBAL indices), so the coordinator only decides WHERE samples run,
 // never what they evaluate to. Each shard is a windowed job
-// (JobSpec::shard_lo/shard_hi) writing a full-size RSMCKPT3 checkpoint;
+// (JobSpec::shard_lo/shard_hi) writing a full-size RSMCKPT4 checkpoint;
 // merge_checkpoints() unions the disjoint done-bitmaps; the final
 // assembly run resumes from the merged image in-process, evaluating any
 // samples the workers never finished. {1 process × 8 threads} and

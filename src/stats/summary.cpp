@@ -217,24 +217,69 @@ double normal_quantile(double p) {
          (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
 }
 
+void WeightedSums::rescale_to(double new_scale) {
+  if (new_scale == log_scale) return;
+  if (w == 0.0 && w2 == 0.0) {
+    // No mass accumulated yet: re-labelling the scale is free.
+    log_scale = new_scale;
+    return;
+  }
+  const double r = std::exp(log_scale - new_scale);
+  const double r2 = r * r;
+  w *= r;
+  wx *= r;
+  w2 *= r2;
+  w2x *= r2;
+  w2x2 *= r2;
+  log_scale = new_scale;
+}
+
 void WeightedSums::add(double weight, double x) {
   RELSIM_REQUIRE(weight >= 0.0 && std::isfinite(weight),
                  "importance weight must be finite and non-negative");
-  w += weight;
-  w2 += weight * weight;
-  wx += weight * x;
-  w2x += weight * weight * x;
-  w2x2 += weight * weight * x * x;
+  // Raw weights live at scale exp(0). The log_scale == 0 fast path keeps
+  // the legacy arithmetic bit-identical for plain raw-weight users.
+  const double v = log_scale == 0.0 ? weight : weight * std::exp(-log_scale);
+  w += v;
+  w2 += v * v;
+  wx += v * x;
+  w2x += v * v * x;
+  w2x2 += v * v * x * x;
+  ++count;
+}
+
+void WeightedSums::add_log(double log_weight, double x) {
+  RELSIM_REQUIRE(!std::isnan(log_weight) &&
+                     log_weight < std::numeric_limits<double>::infinity(),
+                 "importance log-weight must be < +inf and not NaN");
+  if (log_weight == -std::numeric_limits<double>::infinity()) {
+    // Zero weight: contributes to the sample count only.
+    ++count;
+    return;
+  }
+  if (log_weight > log_scale || (w == 0.0 && w2 == 0.0)) {
+    rescale_to(log_weight);
+  }
+  const double v = std::exp(log_weight - log_scale);
+  w += v;
+  w2 += v * v;
+  wx += v * x;
+  w2x += v * v * x;
+  w2x2 += v * v * x * x;
   ++count;
 }
 
 void WeightedSums::merge(const WeightedSums& other) {
-  w += other.w;
-  w2 += other.w2;
-  wx += other.wx;
-  w2x += other.w2x;
-  w2x2 += other.w2x2;
-  count += other.count;
+  WeightedSums o = other;
+  const double target = std::max(log_scale, o.log_scale);
+  rescale_to(target);
+  o.rescale_to(target);
+  w += o.w;
+  w2 += o.w2;
+  wx += o.wx;
+  w2x += o.w2x;
+  w2x2 += o.w2x2;
+  count += o.count;
 }
 
 double WeightedSums::mean() const {
@@ -256,7 +301,13 @@ double WeightedSums::mean_variance() const {
 
 double WeightedSums::mean_unnormalized() const {
   RELSIM_REQUIRE(count > 0, "weighted estimate of empty sample");
-  return wx / static_cast<double>(count);
+  const double scaled = wx / static_cast<double>(count);
+  if (log_scale == 0.0) return scaled;  // legacy raw-weight path, bit-exact
+  if (scaled == 0.0) return 0.0;
+  // Multiply exp(log_scale) back in log space: exp(log_scale) alone can
+  // overflow/underflow even when the product is representable.
+  return std::copysign(
+      std::exp(log_scale + std::log(std::abs(scaled))), scaled);
 }
 
 double WeightedSums::mean_unnormalized_variance() const {
@@ -265,12 +316,19 @@ double WeightedSums::mean_unnormalized_variance() const {
   const double m = wx / n;
   // Var of (1/n) sum w_i x_i: sample second moment of w x minus mean^2.
   const double second = w2x2 / n;
-  return std::max(0.0, second - m * m) / n;
+  const double scaled = std::max(0.0, second - m * m) / n;
+  if (log_scale == 0.0) return scaled;
+  if (scaled == 0.0) return 0.0;
+  return std::exp(2.0 * log_scale + std::log(scaled));
 }
 
 ProportionInterval self_normalized_interval(const WeightedSums& sums,
                                             double z) {
   RELSIM_REQUIRE(z > 0.0, "interval needs a positive z-score");
+  // An empty batch — or one whose weights are all exactly zero — carries
+  // no information about the proportion. Report the vacuous [0, 1]
+  // interval instead of dividing by the zero total weight.
+  if (sums.count == 0 || sums.w <= 0.0) return {0.0, 0.0, 1.0};
   const double m = sums.mean();
   const double half = z * std::sqrt(sums.mean_variance());
   return {m, std::max(0.0, m - half), std::min(1.0, m + half)};
@@ -278,6 +336,7 @@ ProportionInterval self_normalized_interval(const WeightedSums& sums,
 
 ProportionInterval unnormalized_interval(const WeightedSums& sums, double z) {
   RELSIM_REQUIRE(z > 0.0, "interval needs a positive z-score");
+  if (sums.count == 0) return {0.0, 0.0, 1.0};  // vacuous: no samples
   const double m = sums.mean_unnormalized();
   const double half = z * std::sqrt(sums.mean_unnormalized_variance());
   return {m, std::max(0.0, m - half), std::min(1.0, m + half)};
@@ -291,6 +350,7 @@ ProportionInterval post_stratified_interval(
   double estimate = 0.0;
   double var = 0.0;
   double weight_sum = 0.0;
+  double unknown_mass = 0.0;
   for (std::size_t k = 0; k < strata.size(); ++k) {
     const StratumCount& s = strata[k];
     RELSIM_REQUIRE(s.weight > 0.0, "stratum weight must be positive");
@@ -301,9 +361,16 @@ ProportionInterval post_stratified_interval(
     const std::size_t denom = policy == CensoredPolicy::kExclude
                                   ? s.total - s.censored
                                   : s.total;
-    RELSIM_REQUIRE(denom > 0,
-                   "post-stratified estimate undefined: stratum has no "
-                   "usable samples under the censoring policy");
+    if (denom == 0) {
+      // A stratum with no usable samples (tiny runs, heavy censoring under
+      // kExclude) has a completely unknown p_k in [0, 1]: fold it in at
+      // the midpoint and widen the interval by its full mass, instead of
+      // throwing or dividing by zero.
+      estimate += 0.5 * s.weight;
+      unknown_mass += s.weight;
+      weight_sum += s.weight;
+      continue;
+    }
     const double nk = static_cast<double>(denom);
     const double pk = static_cast<double>(s.passed) / nk;
     estimate += s.weight * pk;
@@ -312,7 +379,7 @@ ProportionInterval post_stratified_interval(
   }
   RELSIM_REQUIRE(std::abs(weight_sum - 1.0) < 1e-6,
                  "stratum weights must sum to 1");
-  const double half = z * std::sqrt(var);
+  const double half = z * std::sqrt(var) + 0.5 * unknown_mass;
   return {estimate, std::max(0.0, estimate - half),
           std::min(1.0, estimate + half)};
 }

@@ -119,15 +119,31 @@ double normal_quantile(double p);
 /// and values x_i accumulate the five power sums the self-normalized
 /// estimator and its delta-method variance need. For yield runs x_i is the
 /// 0/1 pass indicator. Deterministic given the insertion order.
+///
+/// High-sigma importance runs produce weights far outside double range
+/// (log w_i ~ -|mu|^2/2, i.e. exp(-900) for a 6-sigma multi-dim shift), so
+/// the sums carry a shared `log_scale`: the stored fields hold
+/// sum(w_i * exp(-log_scale)) etc., rescaled on the fly to keep the
+/// largest weight at exp(0). The scale cancels out of every ratio
+/// estimator (mean, ess, mean_variance); only the unnormalized estimators
+/// multiply it back. Feed extreme weights through add_log — add() keeps
+/// the legacy raw-weight behaviour (bit-identical when log_scale == 0).
 struct WeightedSums {
-  double w = 0.0;     ///< sum w_i
-  double w2 = 0.0;    ///< sum w_i^2
-  double wx = 0.0;    ///< sum w_i x_i
-  double w2x = 0.0;   ///< sum w_i^2 x_i
-  double w2x2 = 0.0;  ///< sum w_i^2 x_i^2
+  double w = 0.0;     ///< sum w_i * exp(-log_scale)
+  double w2 = 0.0;    ///< sum w_i^2 * exp(-2 log_scale)
+  double wx = 0.0;    ///< sum w_i x_i * exp(-log_scale)
+  double w2x = 0.0;   ///< sum w_i^2 x_i * exp(-2 log_scale)
+  double w2x2 = 0.0;  ///< sum w_i^2 x_i^2 * exp(-2 log_scale)
+  double log_scale = 0.0;  ///< shared log factor of the stored sums
   std::size_t count = 0;
 
   void add(double weight, double x);
+  /// Accumulates a sample whose weight is exp(log_weight), rescaling the
+  /// stored sums when log_weight exceeds the current scale. log_weight
+  /// may be -inf (a zero-weight sample: counts, contributes no mass) but
+  /// not NaN/+inf. The rescale sequence depends only on insertion order,
+  /// so index-ordered folds stay bit-identical across worker counts.
+  void add_log(double log_weight, double x);
   void merge(const WeightedSums& other);
 
   /// Self-normalized estimate sum(w x)/sum(w); requires w > 0.
@@ -137,10 +153,14 @@ struct WeightedSums {
   /// Delta-method variance of mean(): sum w_i^2 (x_i - mean)^2 / (sum w)^2.
   double mean_variance() const;
   /// Unbiased (unnormalized) estimate sum(w x)/count — the classic
-  /// importance-sampling estimator; requires count > 0.
+  /// importance-sampling estimator; requires count > 0. Underflows to 0
+  /// when the true value is below double range (log_scale very negative).
   double mean_unnormalized() const;
   /// Variance of mean_unnormalized(): sample variance of w_i x_i over n.
   double mean_unnormalized_variance() const;
+
+ private:
+  void rescale_to(double new_scale);
 };
 
 /// Self-normalized importance-sampling CI for a proportion (0/1 values):

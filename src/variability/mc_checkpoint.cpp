@@ -12,7 +12,15 @@ namespace relsim {
 
 namespace {
 
-constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '3'};
+constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T', '4'};
+// RSMCKPT3 differs from v4 only in the weights section: it stored raw
+// likelihood ratios where v4 stores log weights. A v3 image WITHOUT a
+// weights section is therefore still byte-compatible and loads fine; a v3
+// image WITH weights cannot be reinterpreted (exp/log round-trip would
+// silently turn every underflowed weight into -inf) and is rejected as
+// corrupt so the session's recovery policy can discard and redo it.
+constexpr char kCheckpointMagicV3[8] = {'R', 'S', 'M', 'C', 'K', 'P', 'T',
+                                        '3'};
 constexpr std::uint64_t kCheckpointHasWeights = 1;
 constexpr std::size_t kCheckpointHeaderWords = 7;
 
@@ -74,8 +82,10 @@ bool load_checkpoint_image(const std::string& path,
   if (crc32(buf.data(), buf.size() - sizeof(stored_crc)) != stored_crc) {
     throw_corrupt("CRC mismatch", path);
   }
-  if (std::memcmp(buf.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
-      0) {
+  const bool v3 = std::memcmp(buf.data(), kCheckpointMagicV3,
+                              sizeof(kCheckpointMagicV3)) == 0;
+  if (!v3 && std::memcmp(buf.data(), kCheckpointMagic,
+                         sizeof(kCheckpointMagic)) != 0) {
     throw_corrupt("bad magic/version", path);
   }
   std::size_t off = sizeof(kCheckpointMagic);
@@ -89,6 +99,12 @@ bool load_checkpoint_image(const std::string& path,
   off += kCheckpointHeaderWords * sizeof(std::uint64_t);
   image.kind = static_cast<McCheckpointRunKind>(f_kind);
   const bool has_weights = (f_flags & kCheckpointHasWeights) != 0;
+  if (v3 && has_weights) {
+    throw_corrupt(
+        "RSMCKPT3 raw-weight section cannot be resumed; v4 stores log "
+        "weights — discard and rerun",
+        path);
+  }
   const std::size_t n = static_cast<std::size_t>(image.n);
   if (buf.size() != checkpoint_image_size(n, has_weights)) {
     throw_corrupt("size does not match header", path);

@@ -1,12 +1,16 @@
-// RSMCKPT3 checkpoint images: the on-disk representation of a (possibly
+// RSMCKPT4 checkpoint images: the on-disk representation of a (possibly
 // partial) Monte-Carlo run, reusable outside McSession.
 //
-// Format ("RSMCKPT3"): 8-byte magic, {seed, n, run kind, done count,
+// Format ("RSMCKPT4"): 8-byte magic, {seed, n, run kind, done count,
 // strategy kind, strategy digest, flags} header words, done bitmap,
 // per-sample failure-status bytes, per-sample attempt counts, per-sample
-// values, the per-sample importance weights when flags bit 0 is set, and
-// a trailing CRC-32 over everything before it. Writes are atomic (tmp
+// values, the per-sample importance LOG weights when flags bit 0 is set,
+// and a trailing CRC-32 over everything before it. Writes are atomic (tmp
 // file + rename), so a reader never observes a half-written image.
+//
+// "RSMCKPT3" images (raw weights instead of log weights) still load when
+// they carry no weights section; a v3 image with weights is rejected as
+// corrupt — raw ratios that underflowed to 0 cannot be recovered.
 //
 // McSession reads/writes these through mc_session.cpp; the distributed
 // sharding layer (shard.h) loads per-shard partial images directly and
@@ -51,7 +55,7 @@ struct McCheckpointImage {
   std::vector<std::uint8_t> status;    ///< McFailureKind per sample
   std::vector<std::uint8_t> attempts;  ///< evaluation attempts per sample
   std::vector<double> values;
-  std::vector<double> weights;  ///< empty = no importance weights stored
+  std::vector<double> weights;  ///< log weights; empty = none stored
 
   bool has_weights() const { return !weights.empty(); }
   std::size_t done_count() const;

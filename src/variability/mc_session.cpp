@@ -112,7 +112,7 @@ namespace {
 
 // Run kinds tagged in checkpoints so a yield checkpoint cannot silently
 // resume a metric run (the stored per-sample doubles mean different things).
-// RSMCKPT3 serialization lives in variability/mc_checkpoint.* so the shard
+// RSMCKPT4 serialization lives in variability/mc_checkpoint.* so the shard
 // merge path (variability/shard.*) reads/writes the exact same format.
 using RunKind = McCheckpointRunKind;
 
@@ -309,8 +309,10 @@ McResult run_session(const McRequest& req, RunKind kind,
   // censored samples (0 = evaluated fine), `attempts` the evaluation
   // attempts spent; both are written only by the worker owning the sample.
   std::vector<double> values(n, 0.0);
-  // Per-sample likelihood-ratio weights (importance strategy only; empty
-  // otherwise — the empty/non-empty state doubles as the checkpoint flag).
+  // Per-sample likelihood-ratio LOG weights (importance strategy only;
+  // empty otherwise — the empty/non-empty state doubles as the checkpoint
+  // flag). Stored and checkpointed in log space: a high-sigma shift's raw
+  // ratios sit far outside double range.
   std::vector<double> weights(weighted ? n : 0, 0.0);
   std::vector<std::uint8_t> done(n, 0);
   std::vector<std::uint8_t> status(n, 0);
@@ -571,10 +573,11 @@ McResult run_session(const McRequest& req, RunKind kind,
           if (yield_kind && req.censored == CensoredPolicy::kTreatAsFail) {
             metric_stats.add(0.0);
             // A censored sample never produced its likelihood ratio, so
-            // treat-as-fail carries it at unit weight with a 0 indicator
-            // (conservative: it can only pull the weighted yield down);
-            // kExclude drops it from the weighted sums entirely.
-            if (weighted) wsums.add(1.0, 0.0);
+            // treat-as-fail carries it at unit weight (log-weight 0) with
+            // a 0 indicator (conservative: it can only pull the weighted
+            // yield down); kExclude drops it from the weighted sums
+            // entirely.
+            if (weighted) wsums.add_log(0.0, 0.0);
           }
           if (stratified) {
             StratumCount& s = strata_tally[driver.stratum_of(i)];
@@ -590,7 +593,7 @@ McResult run_session(const McRequest& req, RunKind kind,
             failing.push_back(
                 {i, derive_seed(req.seed, {static_cast<std::uint64_t>(i)})});
           }
-          if (weighted) wsums.add(weights[i], v != 0.0 ? 1.0 : 0.0);
+          if (weighted) wsums.add_log(weights[i], v != 0.0 ? 1.0 : 0.0);
           if (stratified) {
             StratumCount& s = strata_tally[driver.stratum_of(i)];
             ++s.total;
@@ -656,7 +659,7 @@ McResult run_session(const McRequest& req, RunKind kind,
           // kAbort lets non-finite values flow through untouched: that is
           // the legacy behaviour the policy exists to preserve.
           values[i] = v;
-          if (weighted) weights[i] = point.weight();
+          if (weighted) weights[i] = point.log_weight();
           attempts[i] = static_cast<std::uint8_t>(
               std::min(attempt + 1, 255));
           if (attempt > 0) {
@@ -992,6 +995,7 @@ obs::RunManifest mc_manifest(const McRequest& req, const McResult& result) {
     m.ess = result.weighted.ess;
     m.weight_sum = result.weighted.sums.w;
     m.weight_sum_sq = result.weighted.sums.w2;
+    m.weight_log_scale = result.weighted.sums.log_scale;
     m.weighted_yield = result.weighted.interval.estimate;
     m.weighted_lo = result.weighted.interval.lo;
     m.weighted_hi = result.weighted.interval.hi;

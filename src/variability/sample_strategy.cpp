@@ -63,7 +63,10 @@ void SampleStrategyConfig::validate(std::size_t n) const {
     case McSampleStrategy::kSobol:
       RELSIM_REQUIRE(dimensions >= 1, "sobol strategy needs dimensions >= 1");
       RELSIM_REQUIRE(dimensions <= kSobolMaxDimensions,
-                     "sobol strategy supports at most 21 dimensions");
+                     "sobol strategy supports at most " +
+                         std::to_string(kSobolMaxDimensions) +
+                         " dimensions; requested " +
+                         std::to_string(dimensions));
       RELSIM_REQUIRE(strata.empty() && shift.empty(),
                      "sobol strategy takes no strata/shift");
       return;
@@ -253,10 +256,13 @@ double McSamplePoint::normal(unsigned dim) {
     const double z = standard(rng_);
     if (dim < cfg.shift.size() && cfg.shift[dim] != 0.0) {
       // Draw from the shifted proposal N(mu, 1) and fold the likelihood
-      // ratio p(x)/q(x) = exp(-mu x + mu^2/2) into the sample weight.
+      // ratio p(x)/q(x) = exp(-mu x + mu^2/2) into the sample log-weight.
+      // Accumulated in log space: the per-dim factors are exp(-|mu|^2/2)
+      // on average, so the running product of a high-sigma multi-dim
+      // shift underflowed to 0 long before the last dimension.
       const double mu = cfg.shift[dim];
       const double x = z + mu;
-      weight_ *= std::exp(-mu * x + 0.5 * mu * mu);
+      log_weight_ += -mu * x + 0.5 * mu * mu;
       return x;
     }
     return z;

@@ -34,6 +34,7 @@
 // normal.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -97,7 +98,7 @@ class StrategyDriver;
 /// The per-sample view handed to evaluation callbacks. Construction is a
 /// pure function of (driver, index): any worker, any attempt, any order
 /// produces the same inputs. One instance per evaluation attempt — the
-/// likelihood-ratio weight restarts at 1 with each attempt.
+/// likelihood-ratio log-weight restarts at 0 with each attempt.
 class McSamplePoint {
  public:
   McSamplePoint(const StrategyDriver& driver, std::size_t index);
@@ -119,9 +120,17 @@ class McSamplePoint {
   /// polar-method draws from rng().
   double normal(unsigned dim);
 
-  /// Likelihood-ratio weight accumulated by the importance-shifted draws
-  /// so far (1 for every other strategy).
-  double weight() const { return weight_; }
+  /// Log likelihood-ratio accumulated by the importance-shifted draws so
+  /// far (0 for every other strategy). Kept in log space: a 6-sigma shift
+  /// over a few dozen dimensions puts the per-sample ratio at exp(-900) —
+  /// far below double range — so the multiplicative form underflowed to a
+  /// hard 0 and silently zeroed the self-normalized estimator and its
+  /// Kish ESS. Sums over many samples rescale inside WeightedSums::add_log.
+  double log_weight() const { return log_weight_; }
+
+  /// exp(log_weight()): the raw likelihood-ratio weight. Underflows to 0
+  /// beyond log_weight() < ~-745 — use log_weight() for accumulation.
+  double weight() const { return std::exp(log_weight_); }
 
   /// Stratum of this sample (kStratified; 0 otherwise).
   unsigned stratum() const { return stratum_; }
@@ -130,7 +139,7 @@ class McSamplePoint {
   const StrategyDriver* driver_;
   std::size_t index_;
   Xoshiro256 rng_;
-  double weight_ = 1.0;
+  double log_weight_ = 0.0;
   unsigned stratum_ = 0;
   bool lhs_ready_ = false;
   std::vector<double> lhs_coords_;

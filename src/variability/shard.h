@@ -6,7 +6,7 @@
 // process, worker or attempt evaluated it. A run over [0, n) can
 // therefore be split into contiguous shards, each executed by a separate
 // process as a WINDOWED run (McRequest::shard_lo/shard_hi) writing a
-// full-size RSMCKPT3 checkpoint whose done bits lie inside its window.
+// full-size RSMCKPT4 checkpoint whose done bits lie inside its window.
 // Merging the shard checkpoints is a union of disjoint bitmaps — and
 // resuming a full (non-windowed) run from the merged image reassembles
 // the exact single-process result, evaluating in-process any samples the

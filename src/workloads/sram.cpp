@@ -1,0 +1,549 @@
+#include "workloads/sram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "spice/analysis.h"
+#include "spice/waveform.h"
+#include "util/error.h"
+#include "util/mathx.h"
+#include "variability/pelgrom.h"
+
+namespace relsim::workloads {
+
+const char* const kSram6TDeviceNames[kSram6TDeviceCount] = {
+    "PDL", "AXL", "PUL", "PDR", "AXR", "PUR"};
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+/// W/L of one canonical device slot.
+void device_geometry(const Sram6TParams& p, std::size_t k, double& w,
+                     double& l, bool& pmos) {
+  switch (static_cast<Sram6TDevice>(k)) {
+    case kSramPdl:
+    case kSramPdr:
+      w = p.w_pd_um;
+      l = p.l_pd_um;
+      pmos = false;
+      return;
+    case kSramAxl:
+    case kSramAxr:
+      w = p.w_ax_um;
+      l = p.l_ax_um;
+      pmos = false;
+      return;
+    case kSramPul:
+    case kSramPur:
+      w = p.w_pu_um;
+      l = p.l_pu_um;
+      pmos = true;
+      return;
+  }
+  throw Error("unknown SRAM 6T device index");
+}
+
+spice::MosParams device_params(const Sram6TParams& p, std::size_t k) {
+  double w = 0.0, l = 0.0;
+  bool pmos = false;
+  device_geometry(p, k, w, l, pmos);
+  return spice::make_mos_params(*p.tech, w, l, pmos);
+}
+
+/// Adds the six cell transistors in canonical order, names prefixed/
+/// suffixed by `suffix` (empty for a single cell).
+void add_cell_devices(spice::Circuit& c, const Sram6TParams& p,
+                      spice::NodeId q, spice::NodeId qb, spice::NodeId wl,
+                      spice::NodeId bl, spice::NodeId blb, spice::NodeId vdd,
+                      const std::string& suffix = {}) {
+  const auto name = [&suffix](std::size_t k) {
+    return std::string(kSram6TDeviceNames[k]) + suffix;
+  };
+  c.add_mosfet(name(kSramPdl), q, qb, spice::kGround, spice::kGround,
+               device_params(p, kSramPdl));
+  c.add_mosfet(name(kSramAxl), bl, wl, q, spice::kGround,
+               device_params(p, kSramAxl));
+  c.add_mosfet(name(kSramPul), q, qb, vdd, vdd, device_params(p, kSramPul));
+  c.add_mosfet(name(kSramPdr), qb, q, spice::kGround, spice::kGround,
+               device_params(p, kSramPdr));
+  c.add_mosfet(name(kSramAxr), blb, wl, qb, spice::kGround,
+               device_params(p, kSramAxr));
+  c.add_mosfet(name(kSramPur), qb, q, vdd, vdd, device_params(p, kSramPur));
+}
+
+/// One loop-broken read VTC: input `in` drives the inverter gates, the
+/// output is loaded by the access device to a VDD bitline (worst-case
+/// read bias). `left` selects which canonical device triple is built, so
+/// apply_sram6t_variation addresses the right mismatch entries.
+std::unique_ptr<spice::Circuit> make_read_vtc_half(const Sram6TParams& p,
+                                                   bool left) {
+  auto c = std::make_unique<spice::Circuit>();
+  const double supply = p.supply();
+  const spice::NodeId vdd = c->node("vdd");
+  const spice::NodeId in = c->node("in");
+  const spice::NodeId out = c->node("out");
+  const spice::NodeId wl = c->node("wl");
+  const spice::NodeId bl = c->node("bl");
+  c->add_vsource("VDD", vdd, spice::kGround, supply);
+  c->add_vsource("VIN", in, spice::kGround, 0.0);
+  c->add_vsource("WL", wl, spice::kGround, supply);
+  c->add_vsource("BL", bl, spice::kGround, supply);
+  const std::size_t pd = left ? kSramPdl : kSramPdr;
+  const std::size_t ax = left ? kSramAxl : kSramAxr;
+  const std::size_t pu = left ? kSramPul : kSramPur;
+  c->add_mosfet(kSram6TDeviceNames[pd], out, in, spice::kGround,
+                spice::kGround, device_params(p, pd));
+  c->add_mosfet(kSram6TDeviceNames[ax], bl, wl, out, spice::kGround,
+                device_params(p, ax));
+  c->add_mosfet(kSram6TDeviceNames[pu], out, in, vdd, vdd,
+                device_params(p, pu));
+  return c;
+}
+
+/// A curve rotated into the 45-degree frame xr = (x - y)/sqrt(2),
+/// yr = (x + y)/sqrt(2), sorted by xr. Both butterfly branches are
+/// single-valued in xr (a falling VTC has d(x - y)/dx > 0 everywhere).
+struct RotatedCurve {
+  std::vector<double> xr;
+  std::vector<double> yr;
+
+  void add(double x, double y) {
+    xr.push_back((x - y) / kSqrt2);
+    yr.push_back((x + y) / kSqrt2);
+  }
+  void sort_ascending() {
+    if (!xr.empty() && xr.front() > xr.back()) {
+      std::reverse(xr.begin(), xr.end());
+      std::reverse(yr.begin(), yr.end());
+    }
+  }
+  double interp(double u) const {
+    const auto it = std::lower_bound(xr.begin(), xr.end(), u);
+    if (it == xr.begin()) return yr.front();
+    if (it == xr.end()) return yr.back();
+    const std::size_t i = static_cast<std::size_t>(it - xr.begin());
+    const double t = (u - xr[i - 1]) / (xr[i] - xr[i - 1]);
+    return yr[i - 1] + t * (yr[i] - yr[i - 1]);
+  }
+};
+
+}  // namespace
+
+double Sram6TParams::supply() const {
+  RELSIM_REQUIRE(tech != nullptr, "Sram6TParams needs a technology node");
+  return vdd > 0.0 ? vdd : tech->vdd;
+}
+
+void Sram6TParams::validate() const {
+  RELSIM_REQUIRE(tech != nullptr, "Sram6TParams needs a technology node");
+  RELSIM_REQUIRE(w_pd_um > 0.0 && l_pd_um > 0.0 && w_ax_um > 0.0 &&
+                     l_ax_um > 0.0 && w_pu_um > 0.0 && l_pu_um > 0.0,
+                 "SRAM cell device geometries must be positive");
+  RELSIM_REQUIRE(supply() > 0.0, "SRAM cell supply must be positive");
+  RELSIM_REQUIRE(c_bl_ff > 0.0, "SRAM bitline capacitance must be positive");
+}
+
+Sram6TVariation variation_from_normals(
+    const Sram6TParams& params, const std::array<double, kSram6TDims>& z) {
+  params.validate();
+  const PelgromModel pelgrom(PelgromParams::from_tech(*params.tech));
+  Sram6TVariation var;
+  for (std::size_t k = 0; k < kSram6TDeviceCount; ++k) {
+    double w = 0.0, l = 0.0;
+    bool pmos = false;
+    device_geometry(params, k, w, l, pmos);
+    var.device[k].dvt = pelgrom.sigma_dvt_single(w, l) * z[2 * k];
+    var.device[k].dbeta_rel = pelgrom.sigma_dbeta_single(w, l) * z[2 * k + 1];
+  }
+  return var;
+}
+
+Sram6TVariation variation_from_point(const Sram6TParams& params,
+                                     McSamplePoint& point) {
+  std::array<double, kSram6TDims> z;
+  for (unsigned d = 0; d < kSram6TDims; ++d) z[d] = point.normal(d);
+  return variation_from_normals(params, z);
+}
+
+void apply_sram6t_variation(spice::Circuit& circuit,
+                            const Sram6TVariation& var) {
+  for (spice::Mosfet* m : circuit.mosfets()) {
+    for (std::size_t k = 0; k < kSram6TDeviceCount; ++k) {
+      if (m->name() == kSram6TDeviceNames[k]) {
+        m->set_variation(var.device[k]);
+        break;
+      }
+    }
+  }
+}
+
+std::unique_ptr<spice::Circuit> make_sram6t_cell(const Sram6TParams& params,
+                                                 double wl_v, double bl_v,
+                                                 double blb_v) {
+  params.validate();
+  auto c = std::make_unique<spice::Circuit>();
+  const spice::NodeId vdd = c->node("vdd");
+  const spice::NodeId q = c->node("q");
+  const spice::NodeId qb = c->node("qb");
+  const spice::NodeId wl = c->node("wl");
+  const spice::NodeId bl = c->node("bl");
+  const spice::NodeId blb = c->node("blb");
+  c->add_vsource("VDD", vdd, spice::kGround, params.supply());
+  c->add_vsource("WL", wl, spice::kGround, wl_v);
+  c->add_vsource("BL", bl, spice::kGround, bl_v);
+  c->add_vsource("BLB", blb, spice::kGround, blb_v);
+  add_cell_devices(*c, params, q, qb, wl, bl, blb, vdd);
+  return c;
+}
+
+std::unique_ptr<spice::Circuit> make_read_disturb_cell(
+    const Sram6TParams& params) {
+  params.validate();
+  const double supply = params.supply();
+  auto c = std::make_unique<spice::Circuit>();
+  const spice::NodeId vdd = c->node("vdd");
+  const spice::NodeId qbf = c->node("qbf");  // forced "1" side
+  const spice::NodeId q = c->node("q");      // disturbed "0" node
+  const spice::NodeId sense = c->node("sense");
+  const spice::NodeId wl = c->node("wl");
+  const spice::NodeId bl = c->node("bl");
+  const spice::NodeId blb = c->node("blb");
+  c->add_vsource("VDD", vdd, spice::kGround, supply);
+  c->add_vsource("VQB", qbf, spice::kGround, supply);
+  c->add_vsource("WL", wl, spice::kGround, supply);
+  c->add_vsource("BL", bl, spice::kGround, supply);
+  c->add_vsource("BLB", blb, spice::kGround, supply);
+  // Left half: the disturbed node. qb is FORCED high, so q settles at the
+  // AXL/PDL read divider level — no feedback loop, unique DC solution.
+  c->add_mosfet(kSram6TDeviceNames[kSramPdl], q, qbf, spice::kGround,
+                spice::kGround, device_params(params, kSramPdl));
+  c->add_mosfet(kSram6TDeviceNames[kSramAxl], bl, wl, q, spice::kGround,
+                device_params(params, kSramAxl));
+  c->add_mosfet(kSram6TDeviceNames[kSramPul], q, qbf, vdd, vdd,
+                device_params(params, kSramPul));
+  // Right half: responds to the disturbed level under its own read bias
+  // (AXR pulls sense toward BLB). sense staying high = the cell still
+  // reads as a 0.
+  c->add_mosfet(kSram6TDeviceNames[kSramPdr], sense, q, spice::kGround,
+                spice::kGround, device_params(params, kSramPdr));
+  c->add_mosfet(kSram6TDeviceNames[kSramAxr], blb, wl, sense, spice::kGround,
+                device_params(params, kSramAxr));
+  c->add_mosfet(kSram6TDeviceNames[kSramPur], sense, q, vdd, vdd,
+                device_params(params, kSramPur));
+  return c;
+}
+
+std::unique_ptr<spice::Circuit> make_sram_array(const Sram6TParams& params,
+                                                unsigned rows,
+                                                unsigned cols) {
+  params.validate();
+  RELSIM_REQUIRE(rows >= 1 && cols >= 1,
+                 "SRAM array needs at least one row and one column");
+  const double supply = params.supply();
+  auto c = std::make_unique<spice::Circuit>();
+  const spice::NodeId vdd = c->node("vdd");
+  c->add_vsource("VDD", vdd, spice::kGround, supply);
+  std::vector<spice::NodeId> wls(rows), bls(cols), blbs(cols);
+  for (unsigned r = 0; r < rows; ++r) {
+    wls[r] = c->node("wl" + std::to_string(r));
+    c->add_vsource("WL" + std::to_string(r), wls[r], spice::kGround, 0.0);
+  }
+  for (unsigned col = 0; col < cols; ++col) {
+    bls[col] = c->node("bl" + std::to_string(col));
+    blbs[col] = c->node("blb" + std::to_string(col));
+    c->add_vsource("BL" + std::to_string(col), bls[col], spice::kGround,
+                   supply);
+    c->add_vsource("BLB" + std::to_string(col), blbs[col], spice::kGround,
+                   supply);
+  }
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned col = 0; col < cols; ++col) {
+      const std::string rc =
+          "_r" + std::to_string(r) + "c" + std::to_string(col);
+      const spice::NodeId q = c->node("q" + rc);
+      const spice::NodeId qb = c->node("qb" + rc);
+      add_cell_devices(*c, params, q, qb, wls[r], bls[col], blbs[col], vdd,
+                       rc);
+    }
+  }
+  return c;
+}
+
+double read_snm(const Sram6TParams& params, const Sram6TVariation* var,
+                unsigned sweep_points) {
+  params.validate();
+  RELSIM_REQUIRE(sweep_points >= 8, "read_snm needs >= 8 sweep points");
+  const double supply = params.supply();
+  const std::vector<double> vins =
+      linspace(0.0, supply, static_cast<int>(sweep_points));
+
+  // Two loop-broken read VTCs: out = f(in) for each half-cell.
+  std::array<std::vector<double>, 2> vtc;
+  for (int half = 0; half < 2; ++half) {
+    auto c = make_read_vtc_half(params, half == 0);
+    if (var != nullptr) apply_sram6t_variation(*c, *var);
+    auto& vin = c->device_as<spice::VoltageSource>("VIN");
+    const spice::NodeId out = c->find_node("out");
+    for (const spice::DcResult& r : spice::dc_sweep(*c, vin, vins)) {
+      vtc[static_cast<std::size_t>(half)].push_back(r.v(out));
+    }
+  }
+
+  // Seevinck's construction: curve 1 is (in, f1(in)); curve 2 is the
+  // MIRRORED second VTC (f2(in), in). Rotated 45 degrees, both are
+  // single-valued in xr and the vertical gap at equal xr is the main
+  // diagonal of an inscribed square: side = gap / sqrt(2). The two lobes
+  // have opposite gap signs; the SNM is the smaller lobe's square.
+  RotatedCurve c1, c2;
+  for (std::size_t i = 0; i < vins.size(); ++i) {
+    c1.add(vins[i], vtc[0][i]);
+    c2.add(vtc[1][i], vins[i]);
+  }
+  c1.sort_ascending();
+  c2.sort_ascending();
+
+  const double lo = std::max(c1.xr.front(), c2.xr.front());
+  const double hi = std::min(c1.xr.back(), c2.xr.back());
+  double gap_pos = -std::numeric_limits<double>::infinity();
+  double gap_neg = -std::numeric_limits<double>::infinity();
+  const auto consider = [&](double u) {
+    if (u < lo || u > hi) return;
+    const double g = c1.interp(u) - c2.interp(u);
+    gap_pos = std::max(gap_pos, g);
+    gap_neg = std::max(gap_neg, -g);
+  };
+  for (const double u : c1.xr) consider(u);
+  for (const double u : c2.xr) consider(u);
+  return std::min(gap_pos, gap_neg) / kSqrt2;
+}
+
+double write_margin(const Sram6TParams& params, const Sram6TVariation* var,
+                    unsigned sweep_points) {
+  params.validate();
+  RELSIM_REQUIRE(sweep_points >= 8, "write_margin needs >= 8 sweep points");
+  const double supply = params.supply();
+  auto c = make_sram6t_cell(params, supply, supply, supply);
+  if (var != nullptr) apply_sram6t_variation(*c, *var);
+  const spice::NodeId q = c->find_node("q");
+
+  // Latch the cell at q = 1 under read bias via a state-selecting guess,
+  // then walk BL down with warm starts so Newton follows the state branch
+  // until it snaps.
+  c->assemble();
+  Vector guess(static_cast<std::size_t>(c->unknown_count()), 0.0);
+  guess[static_cast<std::size_t>(q - 1)] = supply;
+  const spice::DcOptions dc;
+  spice::DcResult r = spice::dc_operating_point(*c, dc, guess);
+  RELSIM_REQUIRE(r.v(q) > 0.5 * supply,
+                 "SRAM write-margin setup failed to latch the q = 1 state");
+
+  auto& bl = c->device_as<spice::VoltageSource>("BL");
+  const std::vector<double> values =
+      linspace(supply, 0.0, static_cast<int>(sweep_points));
+  Vector x = r.x();
+  double prev_bl = supply;
+  double prev_q = r.v(q);
+  for (const double v : values) {
+    bl.set_dc(v);
+    r = spice::dc_operating_point(*c, dc, x);
+    x = r.x();
+    const double vq = r.v(q);
+    if (vq < 0.5 * supply) {
+      // Interpolate the BL voltage where V(q) crossed half-supply.
+      const double frac = (prev_q - 0.5 * supply) / (prev_q - vq);
+      return prev_bl + frac * (v - prev_bl);
+    }
+    prev_bl = v;
+    prev_q = vq;
+  }
+  return 0.0;  // the sweep reached BL = 0 without flipping: write failure
+}
+
+double access_time(const Sram6TParams& params, const Sram6TVariation* var) {
+  params.validate();
+  const double supply = params.supply();
+  const double t_wl = 50e-12;    // wordline rise start
+  const double t_rise = 20e-12;  // wordline edge
+  const double droop = 0.1 * supply;
+
+  auto c = std::make_unique<spice::Circuit>();
+  const spice::NodeId vdd = c->node("vdd");
+  const spice::NodeId q = c->node("q");
+  const spice::NodeId qb = c->node("qb");
+  const spice::NodeId wl = c->node("wl");
+  const spice::NodeId bl = c->node("bl");
+  const spice::NodeId blb = c->node("blb");
+  c->add_vsource("VDD", vdd, spice::kGround, supply);
+  c->add_vsource("WL", wl, spice::kGround,
+                 std::make_unique<spice::PulseWaveform>(
+                     0.0, supply, t_wl, t_rise, t_rise, 1e-9, 2e-9));
+  // Precharged floating bitlines: the read discharges C_BL through the
+  // AXL/PDL pair (the cell stores q = 0).
+  c->add_capacitor("CBL", bl, spice::kGround, params.c_bl_ff * 1e-15);
+  c->add_capacitor("CBLB", blb, spice::kGround, params.c_bl_ff * 1e-15);
+  add_cell_devices(*c, params, q, qb, wl, bl, blb, vdd);
+  if (var != nullptr) apply_sram6t_variation(*c, *var);
+
+  spice::TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.t_stop = t_wl + 500e-12;
+  opt.use_initial_conditions = true;
+  opt.initial_conditions = {{vdd, supply}, {q, 0.0},     {qb, supply},
+                            {wl, 0.0},     {bl, supply}, {blb, supply}};
+  const spice::TransientResult tr = spice::transient_analysis(*c, opt, {bl});
+
+  const std::vector<double>& t = tr.time();
+  const std::vector<double>& v_bl = tr.node(bl);
+  const double v_sense = supply - droop;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (v_bl[i] <= v_sense) {
+      const double frac = (v_bl[i - 1] - v_sense) / (v_bl[i - 1] - v_bl[i]);
+      const double t_cross = t[i - 1] + frac * (t[i] - t[i - 1]);
+      return t_cross - (t_wl + 0.5 * t_rise);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double read_disturb_margin(const Sram6TParams& params,
+                           const Sram6TVariation* var) {
+  auto c = make_read_disturb_cell(params);
+  if (var != nullptr) apply_sram6t_variation(*c, *var);
+  const spice::DcResult r = spice::dc_operating_point(*c);
+  return r.v(c->find_node("sense")) - 0.5 * params.supply();
+}
+
+double read_disturb_margin(const spice::Circuit& circuit, const Vector& x,
+                           double supply) {
+  const spice::NodeId sense = circuit.find_node("sense");
+  return x[static_cast<std::size_t>(sense - 1)] - 0.5 * supply;
+}
+
+const char* to_string(Sram6TMetric metric) {
+  switch (metric) {
+    case Sram6TMetric::kReadDisturb:
+      return "read-disturb";
+    case Sram6TMetric::kReadSnm:
+      return "read-snm";
+    case Sram6TMetric::kWriteMargin:
+      return "write-margin";
+    case Sram6TMetric::kAccessTime:
+      return "access-time";
+  }
+  return "unknown";
+}
+
+double eval_metric(const Sram6TParams& params, Sram6TMetric metric,
+                   const Sram6TVariation& var) {
+  switch (metric) {
+    case Sram6TMetric::kReadDisturb:
+      return read_disturb_margin(params, &var);
+    case Sram6TMetric::kReadSnm:
+      return read_snm(params, &var);
+    case Sram6TMetric::kWriteMargin:
+      return write_margin(params, &var);
+    case Sram6TMetric::kAccessTime:
+      return access_time(params, &var);
+  }
+  throw Error("unknown SRAM 6T metric");
+}
+
+bool metric_passes(Sram6TMetric metric, double value, double threshold) {
+  return metric == Sram6TMetric::kAccessTime ? value <= threshold
+                                             : value >= threshold;
+}
+
+McPointPredicate sram6t_point_predicate(const Sram6TParams& params,
+                                        Sram6TMetric metric,
+                                        double threshold) {
+  params.validate();
+  return [params, metric, threshold](McSamplePoint& point) {
+    const Sram6TVariation var = variation_from_point(params, point);
+    return metric_passes(metric, eval_metric(params, metric, var), threshold);
+  };
+}
+
+YieldSpec read_disturb_yield_spec(const Sram6TParams& params,
+                                  double margin_min) {
+  params.validate();
+  const double supply = params.supply();
+  YieldSpec spec;
+  spec.factory = [params] { return make_read_disturb_cell(params); };
+  spec.solution_pass = [supply, margin_min](const spice::Circuit& circuit,
+                                            const Vector& x) {
+    return read_disturb_margin(circuit, x, supply) >= margin_min;
+  };
+  return spec;
+}
+
+double Sram6TLinearization::tau(double threshold) const {
+  RELSIM_REQUIRE(sigma > 0.0,
+                 "SRAM linearization has zero sensitivity to mismatch");
+  const double sign = metric == Sram6TMetric::kAccessTime ? -1.0 : 1.0;
+  return sign * (nominal - threshold) / sigma;
+}
+
+double Sram6TLinearization::failure_probability(double threshold) const {
+  return normal_cdf(-tau(threshold));
+}
+
+std::vector<double> Sram6TLinearization::is_shift(double threshold,
+                                                  double tilt) const {
+  const double t = tau(threshold);
+  const double sign = metric == Sram6TMetric::kAccessTime ? -1.0 : 1.0;
+  std::vector<double> shift(kSram6TDims, 0.0);
+  for (unsigned d = 0; d < kSram6TDims; ++d) {
+    // Unit failure direction: the metric moves toward the threshold.
+    shift[d] = -sign * tilt * t * gradient[d] / sigma;
+  }
+  return shift;
+}
+
+double Sram6TLinearization::value(
+    const std::array<double, kSram6TDims>& z) const {
+  double v = nominal;
+  for (unsigned d = 0; d < kSram6TDims; ++d) v += gradient[d] * z[d];
+  return v;
+}
+
+Sram6TLinearization linearize(const Sram6TParams& params, Sram6TMetric metric,
+                              double dz) {
+  params.validate();
+  RELSIM_REQUIRE(dz > 0.0, "linearization step must be positive");
+  Sram6TLinearization lin;
+  lin.metric = metric;
+  std::array<double, kSram6TDims> z{};
+  lin.nominal = eval_metric(params, metric, variation_from_normals(params, z));
+  RELSIM_REQUIRE(std::isfinite(lin.nominal),
+                 "SRAM linearization: nominal metric is not finite");
+  double norm_sq = 0.0;
+  for (unsigned d = 0; d < kSram6TDims; ++d) {
+    z[d] = dz;
+    const double up =
+        eval_metric(params, metric, variation_from_normals(params, z));
+    z[d] = -dz;
+    const double dn =
+        eval_metric(params, metric, variation_from_normals(params, z));
+    z[d] = 0.0;
+    RELSIM_REQUIRE(std::isfinite(up) && std::isfinite(dn),
+                   "SRAM linearization: perturbed metric is not finite");
+    lin.gradient[d] = (up - dn) / (2.0 * dz);
+    norm_sq += lin.gradient[d] * lin.gradient[d];
+  }
+  lin.sigma = std::sqrt(norm_sq);
+  return lin;
+}
+
+McPointPredicate sram6t_linearized_predicate(const Sram6TLinearization& lin,
+                                             double threshold) {
+  return [lin, threshold](McSamplePoint& point) {
+    std::array<double, kSram6TDims> z;
+    for (unsigned d = 0; d < kSram6TDims; ++d) z[d] = point.normal(d);
+    return metric_passes(lin.metric, lin.value(z), threshold);
+  };
+}
+
+}  // namespace relsim::workloads

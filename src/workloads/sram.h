@@ -1,0 +1,223 @@
+// SRAM 6T bitcell workload — the paper's flagship high-sigma yield victim.
+//
+// An SRAM array multiplies one cell's failure probability by millions of
+// instances, so the cell must be certified at 5-6 sigma (Sec. 2 of the
+// paper: memories are where the Pelgrom mismatch budget bites first).
+// This module packages the cell as a reusable workload:
+//
+//  * parameterized 6T netlists (single cell, loop-broken metric harnesses,
+//    a rows x cols array) on the level-1 MOS model;
+//  * the three classic cell metrics — read static noise margin (Seevinck
+//    butterfly curves), bitline write margin (sweep-until-flip), and read
+//    access time (transient bitline discharge);
+//  * a loop-broken read-disturb margin with a UNIQUE DC solution, usable
+//    both as a per-sample metric and as a batched `solution_pass`
+//    predicate for ReliabilitySimulator::run_yield;
+//  * sample-point plumbing: every cell transistor draws its Pelgrom
+//    mismatch from two tracked normal dimensions of an McSamplePoint, so
+//    an importance-sampling mean shift lands on exactly those dimensions;
+//  * a finite-difference linearization around the nominal cell that
+//    yields an EXACT Phi(-tau) ground truth for the linearized metric —
+//    the acceptance pin of bench_sram.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/reliability_sim.h"
+#include "spice/circuit.h"
+#include "tech/tech.h"
+#include "variability/mc_session.h"
+
+namespace relsim::workloads {
+
+/// Cell geometry and operating point. Defaults give the conventional
+/// read-stable cell ratios (pull-down strongest, pull-up weakest) at the
+/// tech node's minimum-ish length.
+struct Sram6TParams {
+  const TechNode* tech = nullptr;  ///< required
+  double vdd = 0.0;                ///< supply; 0 = tech nominal
+
+  double w_pd_um = 0.20;  ///< pull-down NMOS width
+  double l_pd_um = 0.07;
+  double w_ax_um = 0.14;  ///< access NMOS width
+  double l_ax_um = 0.07;
+  double w_pu_um = 0.10;  ///< pull-up PMOS width
+  double l_pu_um = 0.07;
+
+  double c_bl_ff = 5.0;  ///< bitline capacitance for access-time runs, fF
+
+  double supply() const;
+  void validate() const;
+};
+
+/// Canonical device order of every netlist this module builds: array
+/// index into Sram6TVariation::device, Circuit::mosfets() order of
+/// make_sram6t_cell, and the normal-dimension blocks of sample-driven
+/// runs (device k owns dims 2k = dVT, 2k+1 = dbeta).
+enum Sram6TDevice : unsigned {
+  kSramPdl = 0,  ///< left pull-down NMOS
+  kSramAxl,      ///< left access NMOS
+  kSramPul,      ///< left pull-up PMOS
+  kSramPdr,      ///< right pull-down NMOS
+  kSramAxr,      ///< right access NMOS
+  kSramPur,      ///< right pull-up PMOS
+};
+inline constexpr std::size_t kSram6TDeviceCount = 6;
+extern const char* const kSram6TDeviceNames[kSram6TDeviceCount];
+
+/// Tracked normal dimensions of a sample-driven cell evaluation.
+inline constexpr unsigned kSram6TDims = 2 * kSram6TDeviceCount;
+
+/// One fabricated cell's mismatch, in canonical device order.
+struct Sram6TVariation {
+  std::array<spice::MosVariation, kSram6TDeviceCount> device{};
+};
+
+/// Maps kSram6TDims standard normals through the tech node's Pelgrom
+/// sigmas (single-device sigma, geometry of the addressed transistor):
+/// z[2k] scales dVT of device k, z[2k+1] its relative dbeta.
+Sram6TVariation variation_from_normals(
+    const Sram6TParams& params, const std::array<double, kSram6TDims>& z);
+
+/// Draws the cell mismatch from the point's tracked normals (dims
+/// 0..kSram6TDims-1, canonical order) — the hook importance-sampling mean
+/// shifts act on.
+Sram6TVariation variation_from_point(const Sram6TParams& params,
+                                     McSamplePoint& point);
+
+/// Applies `var` to every cell transistor the circuit contains, matched
+/// by canonical device name (array instances use name prefixes and are
+/// not touched). Unknown MOSFET names are left alone.
+void apply_sram6t_variation(spice::Circuit& circuit,
+                            const Sram6TVariation& var);
+
+// ---------------------------------------------------------------------------
+// Netlists
+
+/// The full cross-coupled cell with ideal rail/wordline/bitline sources
+/// ("VDD", "WL", "BL", "BLB"; internal nodes "q"/"qb"). Bistable — DC
+/// analyses need a state-selecting initial guess.
+std::unique_ptr<spice::Circuit> make_sram6t_cell(const Sram6TParams& params,
+                                                 double wl_v, double bl_v,
+                                                 double blb_v);
+
+/// Read-disturb harness with the feedback loop broken at the "1" node: qb
+/// is forced to VDD, so "q" settles at the read-disturb divider level and
+/// node "sense" carries the right inverter's response to it (both halves
+/// under worst-case read bias, all six transistors in the signal path).
+/// Single-valued — safe for cold-start Newton and batched lanes.
+std::unique_ptr<spice::Circuit> make_read_disturb_cell(
+    const Sram6TParams& params);
+
+/// A rows x cols cell array in hold state: per-row wordlines "wl<r>" (at
+/// 0 V), per-column bitline pairs "bl<c>"/"blb<c>" (precharged to VDD),
+/// cell devices named "<dev>_r<r>c<c>" in canonical per-cell order.
+/// Netlist-scale workload for solver and EM/leakage experiments.
+std::unique_ptr<spice::Circuit> make_sram_array(const Sram6TParams& params,
+                                                unsigned rows, unsigned cols);
+
+// ---------------------------------------------------------------------------
+// Cell metrics (var == nullptr evaluates the nominal cell)
+
+/// Read static noise margin (volts): Seevinck butterfly construction from
+/// the two loop-broken read VTCs, rotated 45 degrees; the returned value
+/// is the side of the smaller maximal square (<= 0 = unstable cell).
+double read_snm(const Sram6TParams& params,
+                const Sram6TVariation* var = nullptr,
+                unsigned sweep_points = 101);
+
+/// Bitline write margin (volts): with the cell latched at q = 1 and the
+/// wordline up, BL is swept from VDD toward 0; the margin is the BL
+/// voltage at which the cell flips (higher = easier write; 0 = the sweep
+/// never flips the cell, a write failure).
+double write_margin(const Sram6TParams& params,
+                    const Sram6TVariation* var = nullptr,
+                    unsigned sweep_points = 81);
+
+/// Read access time (seconds): transient bitline discharge through the
+/// access/pull-down pair after the wordline rises, measured from the WL
+/// half-swing crossing to a 10%-of-VDD bitline droop. +inf when the
+/// bitline never develops the sense differential.
+double access_time(const Sram6TParams& params,
+                   const Sram6TVariation* var = nullptr);
+
+/// Read-disturb margin (volts): V("sense") - VDD/2 of the loop-broken
+/// harness (> 0 = the disturbed cell still reads as a 0). The overload on
+/// a solved DC solution is the batched-path form.
+double read_disturb_margin(const Sram6TParams& params,
+                           const Sram6TVariation* var = nullptr);
+double read_disturb_margin(const spice::Circuit& circuit, const Vector& x,
+                           double supply);
+
+// ---------------------------------------------------------------------------
+// Yield plumbing
+
+/// Which cell metric a yield run thresholds on. Read SNM, write margin
+/// and read disturb pass when the value is >= the threshold; access time
+/// passes when <= (smaller is better).
+enum class Sram6TMetric { kReadDisturb, kReadSnm, kWriteMargin, kAccessTime };
+
+const char* to_string(Sram6TMetric metric);
+
+/// Evaluates one metric under a given mismatch.
+double eval_metric(const Sram6TParams& params, Sram6TMetric metric,
+                   const Sram6TVariation& var);
+
+/// Pass/fail of a metric value against its threshold, honouring the
+/// metric's direction.
+bool metric_passes(Sram6TMetric metric, double value, double threshold);
+
+/// Point predicate for McSession::run_yield: draws the cell mismatch from
+/// the point's tracked normals, evaluates the metric, thresholds it.
+/// Works under every sampling strategy; importance shifts must have
+/// kSram6TDims components (canonical dimension order).
+McPointPredicate sram6t_point_predicate(const Sram6TParams& params,
+                                        Sram6TMetric metric,
+                                        double threshold);
+
+/// Declarative spec for ReliabilitySimulator::run_yield: read-disturb
+/// margin >= margin_min on the loop-broken harness. Batched-capable
+/// (solution_pass); the simulator's Pelgrom stream supplies the mismatch,
+/// so per-sample and batched paths agree per sample index.
+YieldSpec read_disturb_yield_spec(const Sram6TParams& params,
+                                  double margin_min = 0.0);
+
+// ---------------------------------------------------------------------------
+// Linearization (the bench_sram acceptance pin)
+
+/// First-order model of a metric around the nominal cell:
+///   metric(z) ~= nominal + sum_i gradient[i] * z_i
+/// over the kSram6TDims standard normals. For the LINEARIZED metric the
+/// failure probability at a threshold is exactly Phi(-tau), which pins
+/// the importance-sampling estimator to an analytic ground truth.
+struct Sram6TLinearization {
+  Sram6TMetric metric = Sram6TMetric::kReadDisturb;
+  double nominal = 0.0;
+  std::array<double, kSram6TDims> gradient{};
+  double sigma = 0.0;  ///< |gradient| — the linearized metric's stddev
+
+  /// Distance from nominal to the threshold in metric sigmas, signed so
+  /// tau > 0 means the nominal cell passes.
+  double tau(double threshold) const;
+  /// Exact failure probability of the linearized metric: Phi(-tau).
+  double failure_probability(double threshold) const;
+  /// Importance-sampling mean shift: `tilt` * tau along the unit failure
+  /// direction (tilt 0.5 = the variance-safe half tilt, 1.0 = centred on
+  /// the failure boundary).
+  std::vector<double> is_shift(double threshold, double tilt = 0.5) const;
+  /// The linearized metric value at a normal vector.
+  double value(const std::array<double, kSram6TDims>& z) const;
+};
+
+/// Central-difference linearization (step `dz` in normalized units; 2 *
+/// kSram6TDims + 1 metric evaluations).
+Sram6TLinearization linearize(const Sram6TParams& params, Sram6TMetric metric,
+                              double dz = 0.5);
+
+/// Point predicate thresholding the LINEARIZED metric — the exact-ground-
+/// truth companion of sram6t_point_predicate.
+McPointPredicate sram6t_linearized_predicate(const Sram6TLinearization& lin,
+                                             double threshold);
+
+}  // namespace relsim::workloads

@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -147,6 +148,233 @@ TEST(SobolTest, ScrambleSeedChangesThePointsDeterministically) {
   EXPECT_TRUE(differs);
 }
 
+TEST(SobolTest, OriginalTwentyOneDimensionsAreBitIdenticalToTheOldTable) {
+  // Golden double bit patterns captured from the 21-dimension build before
+  // the table was extended to 64 dimensions: the extension must not change
+  // a single existing draw (appended rows only).
+  struct Golden {
+    std::uint64_t seed;
+    std::uint64_t index;
+    unsigned dim;
+    std::uint64_t bits;
+  };
+  static const Golden kGolden[] = {
+      {0ull, 0ull, 0, 0x3de0000000000000ull},
+      {0ull, 0ull, 5, 0x3de0000000000000ull},
+      {0ull, 0ull, 10, 0x3de0000000000000ull},
+      {0ull, 0ull, 15, 0x3de0000000000000ull},
+      {0ull, 0ull, 20, 0x3de0000000000000ull},
+      {0ull, 1ull, 0, 0x3fe0000000100000ull},
+      {0ull, 1ull, 5, 0x3fe0000000100000ull},
+      {0ull, 1ull, 10, 0x3fe0000000100000ull},
+      {0ull, 1ull, 15, 0x3fe0000000100000ull},
+      {0ull, 1ull, 20, 0x3fe0000000100000ull},
+      {0ull, 2ull, 0, 0x3fd0000000200000ull},
+      {0ull, 2ull, 5, 0x3fd0000000200000ull},
+      {0ull, 2ull, 10, 0x3fd0000000200000ull},
+      {0ull, 2ull, 15, 0x3fe8000000100000ull},
+      {0ull, 2ull, 20, 0x3fe8000000100000ull},
+      {0ull, 3ull, 0, 0x3fe8000000100000ull},
+      {0ull, 3ull, 5, 0x3fe8000000100000ull},
+      {0ull, 3ull, 10, 0x3fe8000000100000ull},
+      {0ull, 3ull, 15, 0x3fd0000000200000ull},
+      {0ull, 3ull, 20, 0x3fd0000000200000ull},
+      {0ull, 7ull, 0, 0x3fec000000100000ull},
+      {0ull, 7ull, 5, 0x3fe4000000100000ull},
+      {0ull, 7ull, 10, 0x3fd8000000200000ull},
+      {0ull, 7ull, 15, 0x3fd8000000200000ull},
+      {0ull, 7ull, 20, 0x3fe4000000100000ull},
+      {0ull, 100ull, 0, 0x3fc3000000400000ull},
+      {0ull, 100ull, 5, 0x3fb2000000800000ull},
+      {0ull, 100ull, 10, 0x3fd4800000200000ull},
+      {0ull, 100ull, 15, 0x3fe4400000100000ull},
+      {0ull, 100ull, 20, 0x3fc5000000400000ull},
+      {0ull, 1023ull, 0, 0x3feff80000100000ull},
+      {0ull, 1023ull, 5, 0x3fd0700000200000ull},
+      {0ull, 1023ull, 10, 0x3fd4d00000200000ull},
+      {0ull, 1023ull, 15, 0x3fe7880000100000ull},
+      {0ull, 1023ull, 20, 0x3fe3e80000100000ull},
+      {0ull, 65536ull, 0, 0x3ee0001000000000ull},
+      {0ull, 65536ull, 5, 0x3fd2002000200000ull},
+      {0ull, 65536ull, 10, 0x3fcf06c000400000ull},
+      {0ull, 65536ull, 15, 0x3feab4f000100000ull},
+      {0ull, 65536ull, 20, 0x3fd260e000200000ull},
+      {0ull, 123456789ull, 0, 0x3fe5167b5c100000ull},
+      {0ull, 123456789ull, 5, 0x3fe6f8ead4100000ull},
+      {0ull, 123456789ull, 10, 0x3fcdbb1dd0400000ull},
+      {0ull, 123456789ull, 15, 0x3fb056ac60800000ull},
+      {0ull, 123456789ull, 20, 0x3fd35c40d8200000ull},
+      {42ull, 0ull, 0, 0x3feb921541d00000ull},
+      {42ull, 0ull, 5, 0x3fee495646700000ull},
+      {42ull, 0ull, 10, 0x3fd3d4a2e4600000ull},
+      {42ull, 0ull, 15, 0x3f3662eb80000000ull},
+      {42ull, 0ull, 20, 0x3fe28dc553f00000ull},
+      {42ull, 1ull, 0, 0x3fd7242a83a00000ull},
+      {42ull, 1ull, 5, 0x3fdc92ac8ce00000ull},
+      {42ull, 1ull, 10, 0x3fe9ea5172300000ull},
+      {42ull, 1ull, 15, 0x3fe002cc5d700000ull},
+      {42ull, 1ull, 20, 0x3fb46e2a9f800000ull},
+      {42ull, 2ull, 0, 0x3fe3921541d00000ull},
+      {42ull, 2ull, 5, 0x3fe6495646700000ull},
+      {42ull, 2ull, 10, 0x3faea51723000000ull},
+      {42ull, 2ull, 15, 0x3fe802cc5d700000ull},
+      {42ull, 2ull, 20, 0x3fd51b8aa7e00000ull},
+      {42ull, 3ull, 0, 0x3fbc90aa0e800000ull},
+      {42ull, 3ull, 5, 0x3fc9255919c00000ull},
+      {42ull, 3ull, 10, 0x3fe1ea5172300000ull},
+      {42ull, 3ull, 15, 0x3fd00598bae00000ull},
+      {42ull, 3ull, 20, 0x3fea8dc553f00000ull},
+      {42ull, 7ull, 0, 0x3fce485507400000ull},
+      {42ull, 7ull, 5, 0x3fd492ac8ce00000ull},
+      {42ull, 7ull, 10, 0x3fc7a945c8c00000ull},
+      {42ull, 7ull, 15, 0x3fd80598bae00000ull},
+      {42ull, 7ull, 20, 0x3fca37154fc00000ull},
+      {42ull, 100ull, 0, 0x3fef521541d00000ull},
+      {42ull, 100ull, 5, 0x3fec095646700000ull},
+      {42ull, 100ull, 10, 0x3fbd528b91800000ull},
+      {42ull, 100ull, 15, 0x3fe442cc5d700000ull},
+      {42ull, 100ull, 20, 0x3fe7cdc553f00000ull},
+      {42ull, 1023ull, 0, 0x3fc1a85507400000ull},
+      {42ull, 1023ull, 5, 0x3fe6715646700000ull},
+      {42ull, 1023ull, 10, 0x3fbc128b91800000ull},
+      {42ull, 1023ull, 15, 0x3fe78acc5d700000ull},
+      {42ull, 1023ull, 20, 0x3fa65c553f000000ull},
+      {42ull, 65536ull, 0, 0x3feb920541d00000ull},
+      {42ull, 65536ull, 5, 0x3fe7494646700000ull},
+      {42ull, 65536ull, 10, 0x3fdc57c2e4600000ull},
+      {42ull, 65536ull, 15, 0x3feab63c5d700000ull},
+      {42ull, 65536ull, 20, 0x3febbdb553f00000ull},
+      {42ull, 123456789ull, 0, 0x3fdd08dc3ba00000ull},
+      {42ull, 123456789ull, 5, 0x3fd1637924e00000ull},
+      {42ull, 123456789ull, 10, 0x3fdd092c0c600000ull},
+      {42ull, 123456789ull, 15, 0x3fb040ce8b800000ull},
+      {42ull, 123456789ull, 20, 0x3feb23e53ff00000ull},
+      {3735928559ull, 0ull, 0, 0x3fe58aa630100000ull},
+      {3735928559ull, 0ull, 5, 0x3fe9d04525900000ull},
+      {3735928559ull, 0ull, 10, 0x3fee7298c1500000ull},
+      {3735928559ull, 0ull, 15, 0x3fc166b7a4400000ull},
+      {3735928559ull, 0ull, 20, 0x3fc9e0ea48c00000ull},
+      {3735928559ull, 1ull, 0, 0x3fc62a98c0400000ull},
+      {3735928559ull, 1ull, 5, 0x3fd3a08a4b200000ull},
+      {3735928559ull, 1ull, 10, 0x3fdce53182a00000ull},
+      {3735928559ull, 1ull, 15, 0x3fe459ade9100000ull},
+      {3735928559ull, 1ull, 20, 0x3fe6783a92300000ull},
+      {3735928559ull, 2ull, 0, 0x3fed8aa630100000ull},
+      {3735928559ull, 2ull, 5, 0x3fe1d04525900000ull},
+      {3735928559ull, 2ull, 10, 0x3fe67298c1500000ull},
+      {3735928559ull, 2ull, 15, 0x3fec59ade9100000ull},
+      {3735928559ull, 2ull, 20, 0x3fee783a92300000ull},
+      {3735928559ull, 3ull, 0, 0x3fdb154c60200000ull},
+      {3735928559ull, 3ull, 5, 0x3fad045259000000ull},
+      {3735928559ull, 3ull, 10, 0x3fc9ca6305400000ull},
+      {3735928559ull, 3ull, 15, 0x3fd8b35bd2200000ull},
+      {3735928559ull, 3ull, 20, 0x3fdcf07524600000ull},
+      {3735928559ull, 7ull, 0, 0x3fd3154c60200000ull},
+      {3735928559ull, 7ull, 5, 0x3fdba08a4b200000ull},
+      {3735928559ull, 7ull, 10, 0x3fe27298c1500000ull},
+      {3735928559ull, 7ull, 15, 0x3fd0b35bd2200000ull},
+      {3735928559ull, 7ull, 20, 0x3fe2783a92300000ull},
+      {3735928559ull, 100ull, 0, 0x3fe14aa630100000ull},
+      {3735928559ull, 100ull, 5, 0x3feb904525900000ull},
+      {3735928559ull, 100ull, 10, 0x3fe43298c1500000ull},
+      {3735928559ull, 100ull, 15, 0x3fe019ade9100000ull},
+      {3735928559ull, 100ull, 20, 0x3fb9c1d491800000ull},
+      {3735928559ull, 1023ull, 0, 0x3fd4e54c60200000ull},
+      {3735928559ull, 1023ull, 5, 0x3fe1e84525900000ull},
+      {3735928559ull, 1023ull, 10, 0x3fe41a98c1500000ull},
+      {3735928559ull, 1023ull, 15, 0x3fe3d1ade9100000ull},
+      {3735928559ull, 1023ull, 20, 0x3fe5903a92300000ull},
+      {3735928559ull, 65536ull, 0, 0x3fe58ab630100000ull},
+      {3735928559ull, 65536ull, 5, 0x3fe0d05525900000ull},
+      {3735928559ull, 65536ull, 10, 0x3fe9b328c1500000ull},
+      {3735928559ull, 65536ull, 15, 0x3feeed5de9100000ull},
+      {3735928559ull, 65536ull, 20, 0x3fde909524600000ull},
+      {3735928559ull, 123456789ull, 0, 0x3f939bad82000000ull},
+      {3735928559ull, 123456789ull, 5, 0x3fde515fe3200000ull},
+      {3735928559ull, 123456789ull, 10, 0x3fe91c5fb5500000ull},
+      {3735928559ull, 123456789ull, 15, 0x3fc94de194400000ull},
+      {3735928559ull, 123456789ull, 20, 0x3fdfac35fc600000ull},
+  };
+  std::uint64_t last_seed = ~std::uint64_t{0};
+  std::vector<SobolSequence> seq;
+  for (const Golden& g : kGolden) {
+    if (g.seed != last_seed) {
+      seq.clear();
+      seq.emplace_back(21, g.seed);
+      last_seed = g.seed;
+    }
+    const double x = seq[0].coordinate(g.index, g.dim);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    EXPECT_EQ(bits, g.bits) << "seed=" << g.seed << " index=" << g.index
+                            << " dim=" << g.dim;
+  }
+}
+
+TEST(SobolTest, ExtendedDimensionsKeepTheDyadicBalance) {
+  // Every appended dimension must still be a valid base-2 digital net in
+  // 1D: the first 64 points land exactly 8 per dyadic interval of width
+  // 1/8. A non-primitive polynomial or an even/oversized m would break
+  // this within the first few dimensions it touches.
+  for (std::uint64_t scramble : {std::uint64_t{0}, std::uint64_t{1234}}) {
+    const SobolSequence sobol(kSobolMaxDimensions, scramble);
+    for (unsigned d = 21; d < kSobolMaxDimensions; ++d) {
+      std::vector<int> hits(8, 0);
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        const double x = sobol.coordinate(i, d);
+        ASSERT_GT(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        ++hits[static_cast<std::size_t>(x * 8.0)];
+      }
+      for (int h : hits) {
+        EXPECT_EQ(h, 8) << "dim=" << d << " scramble=" << scramble;
+      }
+    }
+  }
+}
+
+TEST(SobolTest, ExtendedDimensionsAreDistinctStreams) {
+  // Distinct direction numbers per dimension: no two of the 64 dimensions
+  // may produce the same first-32-point stream (a duplicated table row
+  // would silently collapse two Pelgrom inputs onto one axis).
+  const SobolSequence sobol(kSobolMaxDimensions, 0);
+  std::vector<std::vector<double>> streams(kSobolMaxDimensions);
+  for (unsigned d = 0; d < kSobolMaxDimensions; ++d) {
+    for (std::uint64_t i = 1; i < 32; ++i) {
+      streams[d].push_back(sobol.coordinate(i, d));
+    }
+  }
+  for (unsigned a = 0; a < kSobolMaxDimensions; ++a) {
+    for (unsigned b = a + 1; b < kSobolMaxDimensions; ++b) {
+      EXPECT_NE(streams[a], streams[b]) << "dims " << a << " and " << b;
+    }
+  }
+}
+
+TEST(SobolTest, OverCapRequestNamesTheLimitAndTheRequest) {
+  try {
+    SobolSequence sobol(kSobolMaxDimensions + 1);
+    FAIL() << "expected over-cap construction to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(kSobolMaxDimensions)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(std::to_string(kSobolMaxDimensions + 1)),
+              std::string::npos)
+        << what;
+  }
+  try {
+    sobol_config(kSobolMaxDimensions + 7).validate(100);
+    FAIL() << "expected over-cap strategy config to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(kSobolMaxDimensions)),
+              std::string::npos)
+        << what;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Strategy configuration
 
@@ -215,6 +443,33 @@ TEST(SamplingSessionTest, EveryStrategyIsBitIdenticalAcrossScheduling) {
       EXPECT_EQ(r.weighted.sums.w, ref.weighted.sums.w) << name;
       EXPECT_EQ(r.weighted.sums.wx, ref.weighted.sums.wx) << name;
     }
+  }
+}
+
+TEST(SamplingStrategyTest, HighSigmaShiftKeepsLogWeightsFinite) {
+  // Regression: the likelihood ratio used to accumulate multiplicatively
+  // (weight_ *= exp(-mu x + mu^2/2)). At a 50-dim 6-sigma shift the true
+  // log weight sits near -|mu|^2/2 = -900, far below double range, so the
+  // old running product underflowed to exactly 0 and every sample lost
+  // its weight. The log-space accumulator must keep it finite.
+  const unsigned kDims = 50;
+  const double kShift = 6.0;
+  const SampleStrategyConfig config =
+      importance_config(std::vector<double>(kDims, kShift));
+  const StrategyDriver driver(config, 1234, 64);
+  for (std::size_t i = 0; i < 8; ++i) {
+    McSamplePoint point(driver, i);
+    double old_style_product = 1.0;  // the pre-fix accumulation
+    for (unsigned d = 0; d < kDims; ++d) {
+      const double x = point.normal(d);
+      old_style_product *= std::exp(-kShift * x + 0.5 * kShift * kShift);
+    }
+    EXPECT_EQ(old_style_product, 0.0) << "sample " << i;
+    EXPECT_TRUE(std::isfinite(point.log_weight())) << "sample " << i;
+    EXPECT_LT(point.log_weight(), -700.0) << "sample " << i;
+    // exp(log_weight) underflows — weight() is documented to do exactly
+    // that; estimators must go through log_weight()/WeightedSums::add_log.
+    EXPECT_EQ(point.weight(), 0.0) << "sample " << i;
   }
 }
 
@@ -347,6 +602,69 @@ TEST(SamplingSessionTest, KilledImportanceRunResumesBitExactly) {
   EXPECT_EQ(resumed.weighted.ess, uninterrupted.weighted.ess);
   EXPECT_EQ(resumed.estimate.interval.lo, uninterrupted.estimate.interval.lo);
   EXPECT_EQ(resumed.estimate.interval.hi, uninterrupted.estimate.interval.hi);
+}
+
+TEST(SamplingSessionTest, HighSigmaImportanceRunKeepsWeightedMass) {
+  // End-to-end companion of HighSigmaShiftKeepsLogWeightsFinite: a session
+  // whose every likelihood ratio is ~exp(-900) must still produce a
+  // positive weighted mass and ESS. Under the pre-fix raw-weight
+  // accumulation all weights collapsed to 0 and the weighted estimator
+  // reported nothing.
+  const unsigned kDims = 50;
+  McRequest req = base_request(99, 256);
+  req.strategy = importance_config(std::vector<double>(kDims, 6.0));
+  const McResult r = McSession(req).run_yield([](McSamplePoint& p) {
+    double sum = 0.0;
+    for (unsigned d = 0; d < kDims; ++d) sum += p.normal(d);
+    return sum / std::sqrt(static_cast<double>(kDims)) > 6.0;
+  });
+
+  ASSERT_TRUE(r.weighted.enabled);
+  EXPECT_GT(r.weighted.sums.w, 0.0);
+  EXPECT_GT(r.weighted.ess, 0.0);
+  EXPECT_LT(r.weighted.sums.log_scale, -700.0);
+  EXPECT_TRUE(std::isfinite(r.weighted.interval.estimate));
+  EXPECT_GE(r.weighted.interval.estimate, 0.0);
+  EXPECT_LE(r.weighted.interval.estimate, 1.0);
+}
+
+TEST(SamplingSessionTest, HighSigmaImportanceRunResumesBitExactly) {
+  // The checkpoint stores LOG weights (RSMCKPT4): a kill/resume at a
+  // 6-sigma shift must reproduce the uninterrupted weighted sums bit for
+  // bit — impossible with raw ratios, which round-trip through 0.
+  const unsigned kDims = 50;
+  McRequest req = base_request(101, 256);
+  req.strategy = importance_config(std::vector<double>(kDims, 6.0));
+  const auto event = [](McSamplePoint& p) {
+    double sum = 0.0;
+    for (unsigned d = 0; d < kDims; ++d) sum += p.normal(d);
+    return sum / std::sqrt(static_cast<double>(kDims)) > 6.0;
+  };
+  const McResult uninterrupted = McSession(req).run_yield(event);
+
+  ScratchFile ckpt("sampling_highsigma_resume.ckpt");
+  McRequest kr = req;
+  kr.checkpoint_path = ckpt.path();
+  kr.checkpoint_every = 32;
+  bool killed = false;
+  try {
+    McSession(kr).run_yield([&event](McSamplePoint& p) {
+      if (p.index() == 200) throw Error("injected kill");
+      return event(p);
+    });
+  } catch (const Error&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed);
+
+  const McResult resumed = McSession(kr).run_yield(event);
+  EXPECT_GT(resumed.resumed, 0u);
+  EXPECT_EQ(resumed.weighted.sums.w, uninterrupted.weighted.sums.w);
+  EXPECT_EQ(resumed.weighted.sums.w2, uninterrupted.weighted.sums.w2);
+  EXPECT_EQ(resumed.weighted.sums.wx, uninterrupted.weighted.sums.wx);
+  EXPECT_EQ(resumed.weighted.sums.log_scale,
+            uninterrupted.weighted.sums.log_scale);
+  EXPECT_EQ(resumed.weighted.ess, uninterrupted.weighted.ess);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,319 @@
+// SRAM 6T workload contracts (workloads/sram.h):
+//  * the nominal cell is healthy on every metric (positive margins, a
+//    finite access time) and the metrics respond to supply, load and
+//    mismatch the way the physics says they must;
+//  * the array generator emits the canonical per-cell device set;
+//  * the finite-difference linearization reproduces the metric near the
+//    origin and pins the linearized failure probability to Phi(-tau);
+//  * sample-driven yield runs keep the session's determinism contract:
+//    bit-identical results for any worker count, and kill/resume lands on
+//    the uninterrupted result — importance weights included;
+//  * the batched and per-sample paths of the read-disturb YieldSpec agree
+//    per sample index.
+#include "workloads/sram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/reliability_sim.h"
+#include "tech/tech.h"
+#include "util/error.h"
+#include "variability/mc_session.h"
+
+namespace relsim::workloads {
+namespace {
+
+Sram6TParams params_65nm() {
+  Sram6TParams p;
+  p.tech = &tech_65nm();
+  return p;
+}
+
+SampleStrategyConfig importance_config(std::vector<double> shift) {
+  SampleStrategyConfig c;
+  c.kind = McSampleStrategy::kImportance;
+  c.shift = std::move(shift);
+  return c;
+}
+
+/// Scratch checkpoint path, removed on destruction.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// Cell metrics
+
+TEST(Sram6TCellTest, NominalCellIsHealthyOnEveryMetric) {
+  const Sram6TParams p = params_65nm();
+  const double supply = p.supply();
+
+  EXPECT_GT(read_disturb_margin(p), 0.0);
+  EXPECT_GT(read_snm(p), 0.0);
+
+  const double wm = write_margin(p);
+  EXPECT_GT(wm, 0.0) << "nominal cell must be writable";
+  EXPECT_LT(wm, supply);
+
+  const double t = access_time(p);
+  EXPECT_TRUE(std::isfinite(t));
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(Sram6TCellTest, ReadSnmIsMonotoneAcrossSupply) {
+  // The level-1 cell loses read margin monotonically as the supply rises:
+  // the read divider lifts the "0" node with VDD while the trip point
+  // tracks it sublinearly. The test pins positivity plus strict
+  // monotonicity — a butterfly-extraction bug (wrong lobe, wrong
+  // rotation) breaks one or the other.
+  Sram6TParams p = params_65nm();
+  double prev = 0.0;
+  bool first = true;
+  for (const double vdd : {0.8, 1.0, 1.2}) {
+    p.vdd = vdd;
+    const double snm = read_snm(p);
+    EXPECT_GT(snm, 0.0) << "vdd = " << vdd;
+    if (!first) {
+      EXPECT_LT(snm, prev) << "vdd = " << vdd;
+    }
+    prev = snm;
+    first = false;
+  }
+}
+
+TEST(Sram6TCellTest, AccessTimeGrowsWithBitlineLoad) {
+  Sram6TParams p = params_65nm();
+  const double t1 = access_time(p);
+  p.c_bl_ff = 2.0 * p.c_bl_ff;
+  const double t2 = access_time(p);
+  EXPECT_TRUE(std::isfinite(t1));
+  EXPECT_TRUE(std::isfinite(t2));
+  EXPECT_GT(t2, t1) << "doubling C_BL must slow the read";
+}
+
+TEST(Sram6TCellTest, MismatchMovesTheReadDisturbMarginTheRightWay) {
+  // A slow left pull-down (positive dVT on PDL) lets the read divider
+  // lift q further, so the sense inverter sees a worse input: the margin
+  // must drop. The mirrored perturbation must raise it.
+  const Sram6TParams p = params_65nm();
+  const double nominal = read_disturb_margin(p);
+
+  std::array<double, kSram6TDims> z{};
+  z[2 * kSramPdl] = 3.0;
+  const Sram6TVariation weak_pd = variation_from_normals(p, z);
+  EXPECT_LT(read_disturb_margin(p, &weak_pd), nominal);
+
+  z[2 * kSramPdl] = -3.0;
+  const Sram6TVariation strong_pd = variation_from_normals(p, z);
+  EXPECT_GT(read_disturb_margin(p, &strong_pd), nominal);
+}
+
+TEST(Sram6TCellTest, VariationAddressesDevicesByCanonicalName) {
+  const Sram6TParams p = params_65nm();
+  auto c = make_sram6t_cell(p, 0.0, p.supply(), p.supply());
+  ASSERT_EQ(c->mosfets().size(), kSram6TDeviceCount);
+  // Insertion order IS the canonical order — the contract the batched
+  // path's per-lane mismatch streams rely on.
+  for (std::size_t k = 0; k < kSram6TDeviceCount; ++k) {
+    EXPECT_EQ(c->mosfets()[k]->name(), kSram6TDeviceNames[k]);
+  }
+
+  std::array<double, kSram6TDims> z{};
+  for (unsigned d = 0; d < kSram6TDims; ++d) z[d] = 1.0;
+  const Sram6TVariation var = variation_from_normals(p, z);
+  apply_sram6t_variation(*c, var);
+  for (std::size_t k = 0; k < kSram6TDeviceCount; ++k) {
+    EXPECT_EQ(c->mosfets()[k]->variation().dvt, var.device[k].dvt);
+    EXPECT_EQ(c->mosfets()[k]->variation().dbeta_rel,
+              var.device[k].dbeta_rel);
+  }
+}
+
+TEST(SramArrayTest, ArrayCarriesTheCanonicalDeviceSetPerCell) {
+  const Sram6TParams p = params_65nm();
+  const unsigned rows = 3, cols = 2;
+  auto c = make_sram_array(p, rows, cols);
+  EXPECT_EQ(c->mosfets().size(), kSram6TDeviceCount * rows * cols);
+  // Per-row wordlines, per-column bitline pairs, per-cell storage nodes.
+  EXPECT_NO_THROW(c->find_node("wl2"));
+  EXPECT_NO_THROW(c->find_node("bl1"));
+  EXPECT_NO_THROW(c->find_node("blb0"));
+  EXPECT_NO_THROW(c->find_node("q_r2c1"));
+  EXPECT_NO_THROW(c->find_node("qb_r0c0"));
+  // Device names carry the row/column suffix in canonical order.
+  EXPECT_EQ(c->mosfets().front()->name(), "PDL_r0c0");
+  EXPECT_EQ(c->mosfets().back()->name(), "PUR_r2c1");
+  EXPECT_THROW(make_sram_array(p, 0, 4), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Linearization
+
+TEST(SramLinearizationTest, ReproducesTheMetricNearTheOrigin) {
+  const Sram6TParams p = params_65nm();
+  const Sram6TLinearization lin = linearize(p, Sram6TMetric::kReadDisturb);
+  ASSERT_GT(lin.sigma, 0.0);
+  EXPECT_NEAR(lin.nominal, read_disturb_margin(p), 1e-12);
+
+  // A mixed half-sigma perturbation: the first-order model must land
+  // within a small fraction of the metric's mismatch sigma.
+  std::array<double, kSram6TDims> z{};
+  z[0] = 0.5;
+  z[3] = -0.5;
+  z[6] = 0.5;
+  const Sram6TVariation var = variation_from_normals(p, z);
+  const double actual = read_disturb_margin(p, &var);
+  EXPECT_NEAR(lin.value(z), actual, 0.2 * lin.sigma);
+}
+
+TEST(SramLinearizationTest, FailureProbabilityIsTheGaussianTail) {
+  const Sram6TParams p = params_65nm();
+  const Sram6TLinearization lin = linearize(p, Sram6TMetric::kReadDisturb);
+  const double tau = 5.0;
+  const double threshold = lin.nominal - tau * lin.sigma;
+
+  EXPECT_NEAR(lin.tau(threshold), tau, 1e-9);
+  EXPECT_NEAR(lin.failure_probability(threshold), normal_cdf(-tau),
+              1e-12 * normal_cdf(-tau) + 1e-300);
+
+  // The full-tilt shift is tau long and points along the failure
+  // direction: the linearized metric at the shifted mean sits exactly on
+  // the threshold.
+  const std::vector<double> shift = lin.is_shift(threshold, 1.0);
+  ASSERT_EQ(shift.size(), kSram6TDims);
+  double norm_sq = 0.0;
+  std::array<double, kSram6TDims> at_shift{};
+  for (unsigned d = 0; d < kSram6TDims; ++d) {
+    norm_sq += shift[d] * shift[d];
+    at_shift[d] = shift[d];
+  }
+  EXPECT_NEAR(std::sqrt(norm_sq), tau, 1e-9);
+  EXPECT_NEAR(lin.value(at_shift), threshold, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Sample-driven yield runs
+
+McRequest sram_request(std::uint64_t seed, std::size_t n) {
+  McRequest req;
+  req.seed = seed;
+  req.n = n;
+  req.threads = 2;
+  req.chunk = 8;
+  req.keep_values = true;
+  return req;
+}
+
+TEST(SramYieldTest, ImportanceRunIsBitIdenticalAcrossWorkerCounts) {
+  const Sram6TParams p = params_65nm();
+  const Sram6TLinearization lin = linearize(p, Sram6TMetric::kReadDisturb);
+  // A 2-sigma pin with a matching proposal shift: failures are common
+  // enough for 64 samples to see both outcomes.
+  const double threshold = lin.nominal - 2.0 * lin.sigma;
+  const McPointPredicate pass =
+      sram6t_point_predicate(p, Sram6TMetric::kReadDisturb, threshold);
+
+  McRequest req = sram_request(7, 64);
+  req.strategy = importance_config(lin.is_shift(threshold));
+
+  McResult ref;
+  bool have_ref = false;
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    req.threads = threads;
+    const McResult r = McSession(req).run_yield(pass);
+    ASSERT_EQ(r.completed, 64u);
+    ASSERT_TRUE(r.weighted.enabled);
+    if (!have_ref) {
+      ref = r;
+      have_ref = true;
+      EXPECT_GT(ref.estimate.passed, 0u);
+      EXPECT_LT(ref.estimate.passed, ref.estimate.total);
+      continue;
+    }
+    EXPECT_EQ(r.values, ref.values) << threads << " workers";
+    EXPECT_EQ(r.estimate.passed, ref.estimate.passed);
+    EXPECT_EQ(r.weighted.sums.w, ref.weighted.sums.w);
+    EXPECT_EQ(r.weighted.sums.w2, ref.weighted.sums.w2);
+    EXPECT_EQ(r.weighted.sums.wx, ref.weighted.sums.wx);
+    EXPECT_EQ(r.weighted.sums.log_scale, ref.weighted.sums.log_scale);
+    EXPECT_EQ(r.weighted.interval.estimate, ref.weighted.interval.estimate);
+  }
+}
+
+TEST(SramYieldTest, KilledRunResumesToTheUninterruptedResult) {
+  const Sram6TParams p = params_65nm();
+  const Sram6TLinearization lin = linearize(p, Sram6TMetric::kReadDisturb);
+  const double threshold = lin.nominal - 2.0 * lin.sigma;
+  const McPointPredicate pass =
+      sram6t_point_predicate(p, Sram6TMetric::kReadDisturb, threshold);
+
+  McRequest req = sram_request(11, 96);
+  req.strategy = importance_config(lin.is_shift(threshold));
+  const McResult uninterrupted = McSession(req).run_yield(pass);
+
+  ScratchFile ckpt("sram_resume.ckpt");
+  McRequest kr = req;
+  kr.checkpoint_path = ckpt.path();
+  kr.checkpoint_every = 16;
+  bool killed = false;
+  try {
+    McSession(kr).run_yield([&pass](McSamplePoint& point) {
+      if (point.index() == 70) throw Error("injected kill");
+      return pass(point);
+    });
+  } catch (const Error&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed);
+
+  const McResult resumed = McSession(kr).run_yield(pass);
+  EXPECT_GT(resumed.resumed, 0u);
+  EXPECT_EQ(resumed.values, uninterrupted.values);
+  EXPECT_EQ(resumed.estimate.passed, uninterrupted.estimate.passed);
+  EXPECT_EQ(resumed.weighted.sums.w, uninterrupted.weighted.sums.w);
+  EXPECT_EQ(resumed.weighted.sums.w2, uninterrupted.weighted.sums.w2);
+  EXPECT_EQ(resumed.weighted.sums.wx, uninterrupted.weighted.sums.wx);
+  EXPECT_EQ(resumed.weighted.ess, uninterrupted.weighted.ess);
+}
+
+TEST(SramYieldTest, BatchedAndPerSamplePathsAgreeOnTheReadDisturbSpec) {
+  const Sram6TParams p = params_65nm();
+  ReliabilityConfig cfg;
+  cfg.tech = p.tech;
+  cfg.seed = 0x5ca3;
+  const ReliabilitySimulator sim(cfg);
+
+  // A tight margin floor so the simulator's own Pelgrom stream produces a
+  // pass/fail mix (the nominal margin is ~0.54 V; device sigmas are mV).
+  const double nominal = read_disturb_margin(p);
+  const YieldSpec spec = read_disturb_yield_spec(p, nominal - 0.002);
+
+  McRequest req = sram_request(0, 64);  // seed comes from the simulator
+  req.eval_mode = McEvalMode::kPerSample;
+  const McResult scalar = sim.run_yield(spec, req);
+  req.eval_mode = McEvalMode::kBatched;
+  const McResult batched = sim.run_yield(spec, req);
+
+  ASSERT_EQ(scalar.completed, 64u);
+  ASSERT_EQ(batched.completed, 64u);
+  EXPECT_GT(scalar.estimate.passed, 0u);
+  EXPECT_LT(scalar.estimate.passed, scalar.estimate.total);
+  EXPECT_EQ(batched.values, scalar.values);
+  EXPECT_EQ(batched.estimate.passed, scalar.estimate.passed);
+}
+
+}  // namespace
+}  // namespace relsim::workloads

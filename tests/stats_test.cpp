@@ -464,6 +464,131 @@ TEST(PostStratifiedTest, CensoringFollowsPolicy) {
   EXPECT_DOUBLE_EQ(excl.estimate, 0.5 * (80.0 / 90.0) + 0.25);
 }
 
+TEST(WeightedSumsTest, LogSpaceAgreesWithRawWeightsInRange) {
+  // For weights inside double range the two entry points are the same
+  // estimator; ratios agree to rounding even though add_log may rescale.
+  WeightedSums raw, logged;
+  for (int i = 0; i < 50; ++i) {
+    const double w = std::exp(0.3 * (i % 11) - 1.5);
+    const double x = (i % 4 == 0) ? 1.0 : 0.0;
+    raw.add(w, x);
+    logged.add_log(std::log(w), x);
+  }
+  EXPECT_EQ(raw.count, logged.count);
+  EXPECT_NEAR(logged.mean(), raw.mean(), 1e-12);
+  EXPECT_NEAR(logged.ess() / raw.ess(), 1.0, 1e-12);
+  EXPECT_NEAR(logged.mean_variance() / raw.mean_variance(), 1.0, 1e-12);
+  EXPECT_NEAR(logged.mean_unnormalized() / raw.mean_unnormalized(), 1.0,
+              1e-12);
+  EXPECT_NEAR(logged.mean_unnormalized_variance() /
+                  raw.mean_unnormalized_variance(),
+              1.0, 1e-12);
+}
+
+TEST(WeightedSumsTest, LogSpaceSurvivesWeightsFarBelowDoubleRange) {
+  // log w ~ -900: exp(w) == 0.0 in double, so raw accumulation collapses
+  // to zero total weight and zero ESS. The log path must keep the ratio
+  // estimators alive.
+  WeightedSums s;
+  s.add_log(-900.0, 1.0);
+  s.add_log(-901.0, 0.0);
+  s.add_log(-899.5, 1.0);
+  s.add_log(-902.0, 0.0);
+  EXPECT_GT(s.w, 0.0);
+  EXPECT_DOUBLE_EQ(s.log_scale, -899.5);
+  EXPECT_GT(s.ess(), 1.0);
+  EXPECT_GT(s.mean(), 0.0);
+  EXPECT_LT(s.mean(), 1.0);
+  EXPECT_TRUE(std::isfinite(s.mean_variance()));
+  // The unnormalized estimate's true value (~e-390) is below double
+  // range; a hard 0 is the defined answer, not NaN.
+  EXPECT_EQ(s.mean_unnormalized(), 0.0);
+}
+
+TEST(WeightedSumsTest, ZeroWeightSamplesCountWithoutMass) {
+  WeightedSums s;
+  s.add_log(-std::numeric_limits<double>::infinity(), 1.0);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.w, 0.0);
+  s.add_log(0.0, 1.0);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.w, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_THROW(s.add_log(std::numeric_limits<double>::quiet_NaN(), 0.0),
+               Error);
+  EXPECT_THROW(s.add_log(std::numeric_limits<double>::infinity(), 0.0),
+               Error);
+}
+
+TEST(WeightedSumsTest, MergeAcrossDifferentScales) {
+  WeightedSums lo, hi, all;
+  lo.add_log(-800.0, 1.0);
+  lo.add_log(-801.0, 0.0);
+  hi.add_log(-700.0, 1.0);
+  hi.add_log(-702.0, 1.0);
+  all.add_log(-800.0, 1.0);
+  all.add_log(-801.0, 0.0);
+  all.add_log(-700.0, 1.0);
+  all.add_log(-702.0, 1.0);
+  lo.merge(hi);
+  EXPECT_EQ(lo.count, all.count);
+  EXPECT_DOUBLE_EQ(lo.log_scale, -700.0);
+  EXPECT_NEAR(lo.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(lo.ess() / all.ess(), 1.0, 1e-12);
+}
+
+TEST(SelfNormalizedIntervalTest, EmptyAndZeroWeightBatchesAreVacuous) {
+  // Degenerate batches used to hit a divide-by-zero REQUIRE; the defined
+  // answer is the vacuous [0, 1] interval.
+  const WeightedSums empty;
+  const auto iv_empty = self_normalized_interval(empty);
+  EXPECT_DOUBLE_EQ(iv_empty.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(iv_empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv_empty.hi, 1.0);
+
+  WeightedSums zeros;
+  for (int i = 0; i < 5; ++i) {
+    zeros.add_log(-std::numeric_limits<double>::infinity(), 1.0);
+  }
+  const auto iv_zero = self_normalized_interval(zeros);
+  EXPECT_DOUBLE_EQ(iv_zero.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(iv_zero.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv_zero.hi, 1.0);
+
+  const auto iv_unnorm = unnormalized_interval(empty);
+  EXPECT_DOUBLE_EQ(iv_unnorm.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv_unnorm.hi, 1.0);
+}
+
+TEST(PostStratifiedTest, EmptyStratumWidensInsteadOfThrowing) {
+  // Stratum 1 has no samples: its unknown p contributes weight/2 to the
+  // estimate and its full mass to the interval width.
+  const std::vector<StratumCount> strata{{0.9, 90, 100, 0}, {0.1, 0, 0, 0}};
+  const auto iv =
+      post_stratified_interval(strata, CensoredPolicy::kTreatAsFail);
+  EXPECT_DOUBLE_EQ(iv.estimate, 0.9 * 0.9 + 0.5 * 0.1);
+  const double known_half = 1.959963984540054 * std::sqrt(0.81 * 0.09 / 100.0);
+  EXPECT_NEAR(iv.hi - iv.lo, 2.0 * (known_half + 0.05), 1e-12);
+
+  // A stratum whose samples are all censored under kExclude degenerates
+  // the same way.
+  const std::vector<StratumCount> censored{{0.5, 40, 50, 0},
+                                           {0.5, 0, 10, 10}};
+  const auto iv_ex =
+      post_stratified_interval(censored, CensoredPolicy::kExclude);
+  EXPECT_DOUBLE_EQ(iv_ex.estimate, 0.5 * 0.8 + 0.25);
+  EXPECT_LT(iv_ex.lo, 0.4);
+  EXPECT_GT(iv_ex.hi, 0.6);
+
+  // All strata empty: a fully vacuous [0, 1] answer centred at 1/2.
+  const std::vector<StratumCount> none{{0.5, 0, 0, 0}, {0.5, 0, 0, 0}};
+  const auto iv_none =
+      post_stratified_interval(none, CensoredPolicy::kTreatAsFail);
+  EXPECT_DOUBLE_EQ(iv_none.estimate, 0.5);
+  EXPECT_DOUBLE_EQ(iv_none.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv_none.hi, 1.0);
+}
+
 TEST(NormalQuantileTest, RoundTripsTheCdf) {
   EXPECT_DOUBLE_EQ(normal_quantile(0.5), 0.0);
   for (double p : {1e-6, 1e-4, 1e-3, 0.025, 0.31, 0.5, 0.69, 0.975,
